@@ -1,0 +1,114 @@
+// Experiment B7 — attributes as the semantic layer: "an unlimited
+// number of attribute/value pairs can be attached to a node or link
+// ... very dynamic" (paper §3/§4.2).
+//
+// Measures attach/update/read/detach throughput, versioned (archive)
+// vs unversioned (file) objects, and reads at historical times as the
+// per-attribute history grows.
+//
+// Expected shape: sets are O(log history) appends plus the commit
+// path; current reads O(log history); historical reads the same (one
+// binary search); file-node sets stay O(1) since history is replaced.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace neptune {
+namespace {
+
+void BM_SetNodeAttribute(benchmark::State& state) {
+  const bool archive = state.range(0) != 0;
+  bench::ScratchGraph graph("b7_set");
+  auto* ham = graph.ham();
+  auto ctx = graph.ctx();
+  auto added = ham->AddNode(ctx, archive);
+  auto attr = *ham->GetAttributeIndex(ctx, "status");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ham->SetNodeAttributeValue(ctx, added->node, attr,
+                               "value-" + std::to_string(i++ % 16));
+  }
+  state.SetLabel(archive ? "archive (versioned)" : "file (unversioned)");
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SetNodeAttribute)->Arg(1)->Arg(0)->Unit(benchmark::kMicrosecond);
+
+void BM_GetNodeAttribute(benchmark::State& state) {
+  const int history = static_cast<int>(state.range(0));
+  const bool historical = state.range(1) != 0;
+  bench::ScratchGraph graph("b7_get");
+  auto* ham = graph.ham();
+  auto ctx = graph.ctx();
+  auto added = ham->AddNode(ctx, true);
+  auto attr = *ham->GetAttributeIndex(ctx, "status");
+  ham::Time mid = 0;
+  for (int i = 0; i < history; ++i) {
+    ham->SetNodeAttributeValue(ctx, added->node, attr,
+                               "v" + std::to_string(i));
+    if (i == history / 2) mid = ham->GetStats(ctx)->current_time;
+  }
+  const ham::Time when = historical ? mid : 0;
+  for (auto _ : state) {
+    auto value = ham->GetNodeAttributeValue(ctx, added->node, attr, when);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetLabel(historical ? "historical read" : "current read");
+}
+
+BENCHMARK(BM_GetNodeAttribute)
+    ->ArgsProduct({{1, 100, 10000}, {0, 1}})
+    ->ArgNames({"history", "past"})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GetNodeAttributesAll(benchmark::State& state) {
+  const int attrs = static_cast<int>(state.range(0));
+  bench::ScratchGraph graph("b7_all");
+  auto* ham = graph.ham();
+  auto ctx = graph.ctx();
+  auto added = ham->AddNode(ctx, true);
+  for (int i = 0; i < attrs; ++i) {
+    auto attr = *ham->GetAttributeIndex(ctx, "attr" + std::to_string(i));
+    ham->SetNodeAttributeValue(ctx, added->node, attr,
+                               "value" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    auto all = ham->GetNodeAttributes(ctx, added->node, 0);
+    benchmark::DoNotOptimize(all);
+  }
+  state.counters["attrs"] = attrs;
+}
+
+BENCHMARK(BM_GetNodeAttributesAll)->Arg(1)->Arg(16)->Arg(128)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_GetAttributeIndexInterned(benchmark::State& state) {
+  bench::ScratchGraph graph("b7_intern");
+  auto* ham = graph.ham();
+  auto ctx = graph.ctx();
+  ham->GetAttributeIndex(ctx, "contentType");
+  for (auto _ : state) {
+    auto attr = ham->GetAttributeIndex(ctx, "contentType");
+    benchmark::DoNotOptimize(attr);
+  }
+}
+
+BENCHMARK(BM_GetAttributeIndexInterned)->Unit(benchmark::kMicrosecond);
+
+void BM_PredicateEvaluation(benchmark::State& state) {
+  // Pure predicate-evaluation cost, factored out of query scans.
+  auto pred = *query::Predicate::Parse(
+      "(kind = special | serial < 50) & !(serial = 77) & exists kind");
+  query::MapAttributeSource attrs{{"kind", "special"}, {"serial", "123"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.Evaluate(attrs));
+  }
+}
+
+BENCHMARK(BM_PredicateEvaluation);
+
+}  // namespace
+}  // namespace neptune
+
+BENCHMARK_MAIN();

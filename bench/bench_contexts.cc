@@ -1,0 +1,124 @@
+// Experiment B8 — the §5 contexts extension: "a scheme for multiple
+// version threads that allows multiple simultaneous contexts to exist
+// in a given Neptune database" with merge back into the main design.
+//
+// Measures branch creation, the copy-on-write cost of the first write
+// in a branch, read overhead through a branch overlay, and merge cost
+// vs divergence (number of records touched in the branch).
+//
+// Expected shape: branch creation is O(1) (no copying); branch writes
+// pay one record copy each (copy-on-write); merge is linear in the
+// branch's dirty set, not in graph size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace neptune {
+namespace {
+
+void BM_CreateContext(benchmark::State& state) {
+  const int base_nodes = static_cast<int>(state.range(0));
+  bench::ScratchGraph graph("b8_create");
+  for (int i = 0; i < base_nodes; ++i) graph.MakeNode("n");
+  auto* ham = graph.ham();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto info = ham->CreateContext(graph.ctx(), "w" + std::to_string(i++));
+    benchmark::DoNotOptimize(info);
+  }
+  state.counters["base_nodes"] = base_nodes;
+}
+
+BENCHMARK(BM_CreateContext)->Arg(10)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+// First write to a base record inside a branch: pays the COW copy.
+void BM_BranchFirstWrite(benchmark::State& state) {
+  const int contents_bytes = static_cast<int>(state.range(0));
+  bench::ScratchGraph graph("b8_cow");
+  auto* ham = graph.ham();
+  Random rng(1);
+  std::vector<ham::NodeIndex> nodes;
+  for (int i = 0; i < 2000; ++i) {
+    nodes.push_back(graph.MakeNode(
+        rng.NextString(static_cast<size_t>(contents_bytes))));
+  }
+  auto info = ham->CreateContext(graph.ctx(), "cow");
+  auto branch = *ham->OpenContext(graph.ctx(), info->thread);
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i >= nodes.size()) {
+      state.SkipWithError("fixture exhausted; raise node count");
+      break;
+    }
+    const ham::NodeIndex n = nodes[i++];
+    auto ts = ham->GetNodeTimeStamp(branch, n);
+    ham->ModifyNode(branch, n, *ts, "branch edit", {}, "");
+  }
+}
+
+BENCHMARK(BM_BranchFirstWrite)
+    ->Arg(256)
+    ->Arg(16 << 10)
+    ->Iterations(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Reads through a branch overlay vs reads on the main thread.
+void BM_ReadThroughOverlay(benchmark::State& state) {
+  const bool through_branch = state.range(0) != 0;
+  bench::ScratchGraph graph("b8_read");
+  auto* ham = graph.ham();
+  ham::NodeIndex node = graph.MakeNode("contents");
+  ham::Context ctx = graph.ctx();
+  if (through_branch) {
+    auto info = ham->CreateContext(graph.ctx(), "reader");
+    ctx = *ham->OpenContext(graph.ctx(), info->thread);
+    // Touch a different node so the overlay is non-empty.
+    ham::NodeIndex other = graph.MakeNode("other");
+    auto ts = ham->GetNodeTimeStamp(ctx, other);
+    ham->ModifyNode(ctx, other, *ts, "dirty", {}, "");
+  }
+  for (auto _ : state) {
+    auto opened = ham->OpenNode(ctx, node, 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetLabel(through_branch ? "via branch overlay" : "main thread");
+}
+
+BENCHMARK(BM_ReadThroughOverlay)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMicrosecond);
+
+// Merge cost vs number of records dirtied in the branch.
+void BM_MergeContext(benchmark::State& state) {
+  const int dirty = static_cast<int>(state.range(0));
+  bench::ScratchGraph graph("b8_merge");
+  auto* ham = graph.ham();
+  std::vector<ham::NodeIndex> nodes;
+  for (int i = 0; i < dirty; ++i) {
+    nodes.push_back(graph.MakeNode("base " + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto info = ham->CreateContext(graph.ctx(), "m");
+    auto branch = *ham->OpenContext(graph.ctx(), info->thread);
+    for (ham::NodeIndex n : nodes) {
+      auto ts = ham->GetNodeTimeStamp(branch, n);
+      ham->ModifyNode(branch, n, *ts, "branched edit", {}, "");
+    }
+    state.ResumeTiming();
+    ham->MergeContext(graph.ctx(), info->thread, false);
+    state.PauseTiming();
+    ham->CloseGraph(branch);
+    state.ResumeTiming();
+  }
+  state.counters["dirty_records"] = dirty;
+}
+
+BENCHMARK(BM_MergeContext)->Arg(1)->Arg(10)->Arg(100)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace neptune
+
+BENCHMARK_MAIN();

@@ -1,0 +1,210 @@
+// Experiment B3 — getGraphQuery: "directly accesses a set of nodes and
+// their interconnecting links" filtered by attribute predicates
+// (paper §3, Appendix A.1).
+//
+// Sweeps graph size x predicate selectivity, plus predicate complexity
+// and historical (time-travel) queries.
+//
+// Expected shape: latency linear in graph size (the HAM evaluates the
+// predicate per object); returned-set cost proportional to
+// selectivity; historical queries cost the same order as current ones
+// (version resolution is a binary search per attribute).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace neptune {
+namespace {
+
+// Builds `nodes` nodes; fraction 1/`stride` carry kind=special, the
+// rest kind=plain. Sequential isPartOf-ish links chain them.
+struct QueryFixture {
+  explicit QueryFixture(int nodes, int stride)
+      : graph("b3_query_" + std::to_string(nodes)) {
+    auto* ham = graph.ham();
+    auto ctx = graph.ctx();
+    kind = *ham->GetAttributeIndex(ctx, "kind");
+    serial = *ham->GetAttributeIndex(ctx, "serial");
+    ham::NodeIndex prev = 0;
+    for (int i = 0; i < nodes; ++i) {
+      auto added = ham->AddNode(ctx, true);
+      ham->SetNodeAttributeValue(ctx, added->node, kind,
+                                 i % stride == 0 ? "special" : "plain");
+      ham->SetNodeAttributeValue(ctx, added->node, serial,
+                                 std::to_string(i));
+      if (prev != 0) {
+        ham->AddLink(ctx, ham::LinkPt{prev, 0, 0, true},
+                     ham::LinkPt{added->node, 0, 0, true});
+      }
+      prev = added->node;
+    }
+  }
+
+  bench::ScratchGraph graph;
+  ham::AttributeIndex kind = 0;
+  ham::AttributeIndex serial = 0;
+};
+
+// Args: {nodes, stride (1/selectivity)}.
+void BM_GetGraphQuerySelectivity(benchmark::State& state) {
+  QueryFixture fixture(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto result = fixture.graph.ham()->GetGraphQuery(
+        fixture.graph.ctx(), 0, "kind = special", "", {}, {});
+    hits = result->nodes.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["matched"] = static_cast<double>(hits);
+  state.counters["nodes"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_GetGraphQuerySelectivity)
+    ->ArgsProduct({{100, 1000, 5000}, {1, 10, 100}})
+    ->ArgNames({"nodes", "stride"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Predicate complexity at a fixed graph size.
+void BM_GetGraphQueryPredicateComplexity(benchmark::State& state) {
+  static QueryFixture* fixture = new QueryFixture(2000, 10);
+  const char* predicates[] = {
+      "",                                     // trivially true
+      "kind = special",                       // one comparison
+      "kind = special & serial >= 100",       // conjunction
+      "(kind = special | serial < 50) & !(serial = 77) & exists kind",
+  };
+  const char* predicate = predicates[state.range(0)];
+  for (auto _ : state) {
+    auto result = fixture->graph.ham()->GetGraphQuery(
+        fixture->graph.ctx(), 0, predicate, "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(predicate[0] == '\0' ? "<true>" : predicate);
+}
+
+BENCHMARK(BM_GetGraphQueryPredicateComplexity)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+// Historical vs current query on a graph with churn.
+void BM_GetGraphQueryTimeTravel(benchmark::State& state) {
+  const bool historical = state.range(0) != 0;
+  bench::ScratchGraph graph("b3_history");
+  auto* ham = graph.ham();
+  auto ctx = graph.ctx();
+  auto kind = *ham->GetAttributeIndex(ctx, "kind");
+  // 500 nodes, each retagged once after the checkpoint time.
+  std::vector<ham::NodeIndex> nodes;
+  for (int i = 0; i < 500; ++i) {
+    auto added = ham->AddNode(ctx, true);
+    ham->SetNodeAttributeValue(ctx, added->node, kind, "early");
+    nodes.push_back(added->node);
+  }
+  const ham::Time snapshot_time = ham->GetStats(ctx)->current_time;
+  for (ham::NodeIndex n : nodes) {
+    ham->SetNodeAttributeValue(ctx, n, kind, "late");
+  }
+  const ham::Time when = historical ? snapshot_time : 0;
+  const char* predicate = historical ? "kind = early" : "kind = late";
+  for (auto _ : state) {
+    auto result = ham->GetGraphQuery(ctx, when, predicate, "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(historical ? "historical" : "current");
+}
+
+BENCHMARK(BM_GetGraphQueryTimeTravel)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMicrosecond);
+
+// Ablation: the attribute index vs a full scan, read-heavy workload.
+// The index is rebuilt lazily after writes, so its advantage shows on
+// repeated queries over a stable graph — the browser refresh pattern.
+void BM_QueryIndexAblation(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const bool use_index = state.range(1) != 0;
+  bench::ScratchGraph graph("b3_ablation_" + std::to_string(nodes) +
+                            (use_index ? "_idx" : "_scan"));
+  // Reopen the graph through an engine configured per the ablation arm.
+  auto* build_ham = graph.ham();
+  auto build_ctx = graph.ctx();
+  auto kind = *build_ham->GetAttributeIndex(build_ctx, "kind");
+  for (int i = 0; i < nodes; ++i) {
+    auto added = build_ham->AddNode(build_ctx, true);
+    build_ham->SetNodeAttributeValue(build_ctx, added->node, kind,
+                                     i % 100 == 0 ? "special" : "plain");
+  }
+  ham::HamOptions options;
+  options.sync_commits = false;
+  options.use_attribute_index = use_index;
+  build_ham->CloseGraph(build_ctx);
+  ham::Ham engine(graph.env(), options);
+  auto ctx = *engine.OpenGraph(graph.project(), "local", graph.dir());
+
+  for (auto _ : state) {
+    auto result = engine.GetGraphQuery(ctx, 0, "kind = special", "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(use_index ? "attribute index" : "full scan");
+  state.counters["nodes"] = nodes;
+}
+
+BENCHMARK(BM_QueryIndexAblation)
+    ->ArgsProduct({{1000, 10000, 50000}, {0, 1}})
+    ->ArgNames({"nodes", "index"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Write-then-query: each iteration dirties the graph, forcing an index
+// rebuild — the index's worst case.
+void BM_QueryIndexWriteHeavy(benchmark::State& state) {
+  const bool use_index = state.range(0) != 0;
+  bench::ScratchGraph graph(std::string("b3_writeheavy") +
+                            (use_index ? "_idx" : "_scan"));
+  auto* build_ham = graph.ham();
+  auto build_ctx = graph.ctx();
+  auto kind = *build_ham->GetAttributeIndex(build_ctx, "kind");
+  std::vector<ham::NodeIndex> nodes;
+  for (int i = 0; i < 5000; ++i) {
+    auto added = build_ham->AddNode(build_ctx, true);
+    build_ham->SetNodeAttributeValue(build_ctx, added->node, kind, "plain");
+    nodes.push_back(added->node);
+  }
+  ham::HamOptions options;
+  options.sync_commits = false;
+  options.use_attribute_index = use_index;
+  build_ham->CloseGraph(build_ctx);
+  ham::Ham engine(graph.env(), options);
+  auto ctx = *engine.OpenGraph(graph.project(), "local", graph.dir());
+
+  size_t i = 0;
+  for (auto _ : state) {
+    engine.SetNodeAttributeValue(ctx, nodes[i++ % nodes.size()], kind,
+                                 "touched");
+    auto result = engine.GetGraphQuery(ctx, 0, "kind = special", "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(use_index ? "attribute index (rebuild per query)"
+                           : "full scan");
+}
+
+BENCHMARK(BM_QueryIndexWriteHeavy)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMicrosecond);
+
+// getAttributeValues: the value-set scan behind the document browser.
+void BM_GetAttributeValues(benchmark::State& state) {
+  QueryFixture fixture(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    auto values = fixture.graph.ham()->GetAttributeValues(
+        fixture.graph.ctx(), fixture.serial, 0);
+    benchmark::DoNotOptimize(values);
+  }
+}
+
+BENCHMARK(BM_GetAttributeValues)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace neptune
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// Experiment B6 — the client/server deployment: "a central server
+// which is accessible over a local area network ... the user interface
+// process communicates with the HAM using a remote procedure call
+// mechanism" (paper §2.2/§4.1).
+//
+// Measures per-operation round-trip cost of the RPC layer (loopback
+// TCP) against the same operations on the in-process engine, and how
+// batched queries amortize the per-call overhead.
+//
+// Expected shape: a fixed per-call overhead (framing + syscalls +
+// loopback) of tens of microseconds dominates small ops; large reads
+// approach memcpy bandwidth; one big linearizeGraph beats N small
+// openNode calls by ~N x the per-call overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+
+namespace neptune {
+namespace {
+
+// A server + connected client + one populated graph, built once.
+struct RpcFixture {
+  RpcFixture() : graph("b6_rpc") {
+    server = std::make_unique<rpc::Server>(graph.ham());
+    port = *server->Start(0);
+    client = std::move(*rpc::RemoteHam::Connect("localhost", port));
+    remote_ctx =
+        *client->OpenGraph(graph.project(), "localhost", graph.dir());
+    // A chain of 100 nodes with contents for traversal benches.
+    ham::NodeIndex prev = 0;
+    for (int i = 0; i < 100; ++i) {
+      ham::NodeIndex n = graph.MakeNode("node contents " + std::to_string(i));
+      nodes.push_back(n);
+      if (prev != 0) {
+        graph.ham()->AddLink(graph.ctx(), ham::LinkPt{prev, 0, 0, true},
+                             ham::LinkPt{n, 0, 0, true});
+      }
+      prev = n;
+    }
+    big_node = graph.MakeNode(std::string(1 << 20, 'x'));
+  }
+
+  ~RpcFixture() {
+    client.reset();
+    server->Stop();
+  }
+
+  bench::ScratchGraph graph;
+  std::unique_ptr<rpc::Server> server;
+  uint16_t port = 0;
+  std::unique_ptr<rpc::RemoteHam> client;
+  ham::Context remote_ctx;
+  std::vector<ham::NodeIndex> nodes;
+  ham::NodeIndex big_node = 0;
+};
+
+RpcFixture* Fixture() {
+  static RpcFixture* fixture = new RpcFixture();
+  return fixture;
+}
+
+void BM_OpenNodeLocal(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto opened = f->graph.ham()->OpenNode(f->graph.ctx(), f->nodes[0], 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+}
+
+void BM_OpenNodeRemote(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto opened = f->client->OpenNode(f->remote_ctx, f->nodes[0], 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+}
+
+BENCHMARK(BM_OpenNodeLocal)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OpenNodeRemote)->Unit(benchmark::kMicrosecond);
+
+void BM_PingRoundTrip(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->client->Ping());
+  }
+}
+
+BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_LargeReadRemote(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto opened = f->client->OpenNode(f->remote_ctx, f->big_node, 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (1 << 20));
+}
+
+BENCHMARK(BM_LargeReadRemote)->Unit(benchmark::kMicrosecond);
+
+void BM_ModifyNodeRemote(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  auto added = f->client->AddNode(f->remote_ctx, true);
+  ham::Time expected = added->creation_time;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    f->client->ModifyNode(f->remote_ctx, added->node, expected,
+                          "edit " + std::to_string(i++), {}, "");
+    expected = *f->client->GetNodeTimeStamp(f->remote_ctx, added->node);
+  }
+}
+
+BENCHMARK(BM_ModifyNodeRemote)->Unit(benchmark::kMicrosecond);
+
+// The amortization comparison: fetch 100 nodes one by one vs one
+// linearizeGraph returning the whole chain.
+void BM_ChainFetchPerNodeRemote(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    for (ham::NodeIndex n : f->nodes) {
+      auto opened = f->client->OpenNode(f->remote_ctx, n, 0, {});
+      benchmark::DoNotOptimize(opened);
+    }
+  }
+  state.counters["nodes"] = static_cast<double>(f->nodes.size());
+}
+
+void BM_ChainFetchBatchedRemote(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto result = f->client->LinearizeGraph(f->remote_ctx, f->nodes[0], 0, "",
+                                            "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes"] = static_cast<double>(f->nodes.size());
+}
+
+BENCHMARK(BM_ChainFetchPerNodeRemote)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChainFetchBatchedRemote)->Unit(benchmark::kMicrosecond);
+
+void BM_TransactionRemote(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  const int ops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    f->client->BeginTransaction(f->remote_ctx);
+    for (int i = 0; i < ops; ++i) {
+      benchmark::DoNotOptimize(f->client->AddNode(f->remote_ctx, true));
+    }
+    f->client->CommitTransaction(f->remote_ctx);
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+
+BENCHMARK(BM_TransactionRemote)->Arg(1)->Arg(10)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace neptune
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Experiment B4 — linearizeGraph: "starts at a designated node and
+// follows a depth-first traversal of out-links ordered by the links'
+// offsets within the node" (paper §3, Appendix A.1). This is the
+// operation behind document browsers and hardcopy extraction.
+//
+// Sweeps tree size and branching factor, with and without predicates.
+//
+// Expected shape: linear in the number of visited nodes + links;
+// predicate pruning cuts cost proportionally to the pruned subtree.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace neptune {
+namespace {
+
+// A complete `fanout`-ary tree with `levels` levels, isPartOf links
+// ordered by offset; half of each level's nodes are tagged prunable.
+struct TreeFixture {
+  TreeFixture(int fanout, int levels)
+      : graph("b4_tree_" + std::to_string(fanout) + "_" +
+              std::to_string(levels)) {
+    auto* ham = graph.ham();
+    auto ctx = graph.ctx();
+    tag = *ham->GetAttributeIndex(ctx, "tag");
+    root = graph.MakeNode("root");
+    std::vector<ham::NodeIndex> frontier{root};
+    total = 1;
+    for (int level = 1; level < levels; ++level) {
+      std::vector<ham::NodeIndex> next;
+      for (ham::NodeIndex parent : frontier) {
+        for (int c = 0; c < fanout; ++c) {
+          auto child = ham->AddNode(ctx, true);
+          ham->AddLink(ctx,
+                       ham::LinkPt{parent, static_cast<uint64_t>(c), 0, true},
+                       ham::LinkPt{child->node, 0, 0, true});
+          ham->SetNodeAttributeValue(ctx, child->node, tag,
+                                     c % 2 == 0 ? "keep" : "prune");
+          next.push_back(child->node);
+          ++total;
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+
+  bench::ScratchGraph graph;
+  ham::AttributeIndex tag = 0;
+  ham::NodeIndex root = 0;
+  size_t total = 0;
+};
+
+// Args: {fanout, levels}.
+void BM_LinearizeFullTree(benchmark::State& state) {
+  TreeFixture fixture(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  size_t visited = 0;
+  for (auto _ : state) {
+    auto result = fixture.graph.ham()->LinearizeGraph(
+        fixture.graph.ctx(), fixture.root, 0, "", "", {}, {});
+    visited = result->nodes.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes_visited"] = static_cast<double>(visited);
+  state.counters["nodes_total"] = static_cast<double>(fixture.total);
+}
+
+BENCHMARK(BM_LinearizeFullTree)
+    ->Args({2, 8})    // 255 nodes
+    ->Args({4, 6})    // 1365 nodes
+    ->Args({10, 4})   // 1111 nodes
+    ->Args({2, 12})   // 4095 nodes
+    ->ArgNames({"fanout", "levels"})
+    ->Unit(benchmark::kMicrosecond);
+
+// Predicate pruning: nodes tagged "prune" (and their subtrees) drop
+// out of the traversal.
+void BM_LinearizeWithPruning(benchmark::State& state) {
+  static TreeFixture* fixture = new TreeFixture(2, 12);
+  const bool prune = state.range(0) != 0;
+  const char* predicate = prune ? "!(tag = prune)" : "";
+  size_t visited = 0;
+  for (auto _ : state) {
+    auto result = fixture->graph.ham()->LinearizeGraph(
+        fixture->graph.ctx(), fixture->root, 0, predicate, "", {}, {});
+    visited = result->nodes.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes_visited"] = static_cast<double>(visited);
+  state.SetLabel(prune ? "pruned" : "full");
+}
+
+BENCHMARK(BM_LinearizeWithPruning)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMicrosecond);
+
+// Attribute projection cost: asking linearizeGraph to also return m
+// attribute values per node (the document browser asks for icon).
+void BM_LinearizeWithProjection(benchmark::State& state) {
+  static TreeFixture* fixture = new TreeFixture(4, 6);
+  const int m = static_cast<int>(state.range(0));
+  std::vector<ham::AttributeIndex> attrs;
+  for (int i = 0; i < m; ++i) attrs.push_back(fixture->tag);
+  for (auto _ : state) {
+    auto result = fixture->graph.ham()->LinearizeGraph(
+        fixture->graph.ctx(), fixture->root, 0, "", "", attrs, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_LinearizeWithProjection)->Arg(0)->Arg(1)->Arg(4)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace neptune
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Shared helpers for the Neptune benchmark suite (experiments B1–B8 in
+// EXPERIMENTS.md). Each bench binary regenerates one experiment's rows.
+
+#ifndef NEPTUNE_BENCH_BENCH_UTIL_H_
+#define NEPTUNE_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "ham/ham.h"
+
+namespace neptune {
+namespace bench {
+
+// A scratch graph database living for one benchmark run.
+class ScratchGraph {
+ public:
+  explicit ScratchGraph(const std::string& tag, bool sync_commits = false) {
+    env_ = Env::Default();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_bench_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    env_->RemoveDirRecursive(dir_);
+    ham::HamOptions options;
+    options.sync_commits = sync_commits;
+    options.checkpoint_wal_bytes = 1ull << 40;  // benches control rotation
+    ham_ = std::make_unique<ham::Ham>(env_, options);
+    auto created = ham_->CreateGraph(dir_, 0755);
+    project_ = created.ok() ? created->project : 0;
+    auto ctx = ham_->OpenGraph(project_, "local", dir_);
+    ctx_ = ctx.ok() ? *ctx : ham::Context{};
+  }
+
+  ~ScratchGraph() {
+    ham_.reset();
+    env_->RemoveDirRecursive(dir_);
+  }
+
+  ham::Ham* ham() { return ham_.get(); }
+  ham::Context ctx() const { return ctx_; }
+  ham::ProjectId project() const { return project_; }
+  const std::string& dir() const { return dir_; }
+  Env* env() { return env_; }
+
+  // An archive node holding `text`.
+  ham::NodeIndex MakeNode(const std::string& text) {
+    auto added = ham_->AddNode(ctx_, true);
+    ham_->ModifyNode(ctx_, added->node, added->creation_time, text, {},
+                     "init");
+    return added->node;
+  }
+
+ private:
+  Env* env_ = nullptr;
+  std::string dir_;
+  std::unique_ptr<ham::Ham> ham_;
+  ham::ProjectId project_ = 0;
+  ham::Context ctx_;
+};
+
+// Applies a small random edit (insert/delete/overwrite) to `text`.
+inline void RandomEdit(Random* rng, std::string* text, size_t edit_size) {
+  if (text->empty()) {
+    *text = rng->NextString(edit_size);
+    return;
+  }
+  switch (rng->Uniform(3)) {
+    case 0:
+      text->insert(rng->Uniform(text->size()), rng->NextString(edit_size));
+      break;
+    case 1: {
+      size_t pos = rng->Uniform(text->size());
+      text->erase(pos, std::min(edit_size, text->size() - pos));
+      break;
+    }
+    default: {
+      size_t pos = rng->Uniform(text->size());
+      size_t len = std::min(edit_size, text->size() - pos);
+      for (size_t i = 0; i < len; ++i) {
+        (*text)[pos + i] = static_cast<char>('a' + rng->Uniform(26));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace neptune
+
+#endif  // NEPTUNE_BENCH_BENCH_UTIL_H_

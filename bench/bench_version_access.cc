@@ -1,0 +1,121 @@
+// Experiment B2 — "provides rapid access to any version of a
+// hypergraph" (paper §3).
+//
+// Measures openNode latency as a function of version depth (how far
+// back from the current version) for the backward-delta and full-copy
+// representations.
+//
+// Expected shape: the current version is O(1) for both; with backward
+// deltas, cost grows linearly with depth (each step applies one
+// delta); full-copy stays flat but pays its storage price (B1). The
+// design bet of §3 is that recent versions — the common case — are the
+// cheapest.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "delta/version_chain.h"
+
+namespace neptune {
+namespace {
+
+using delta::ChainMode;
+using delta::VersionChain;
+
+// Args: {total_versions, depth_from_current}.
+void BM_ChainGetAtDepth(benchmark::State& state, ChainMode mode) {
+  const int versions = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  Random rng(3);
+  std::string text = rng.NextString(16 << 10);
+  VersionChain chain(mode);
+  std::vector<uint64_t> times;
+  uint64_t t = 0;
+  for (int v = 0; v < versions; ++v) {
+    bench::RandomEdit(&rng, &text, 64);
+    chain.Append(++t, text, "");
+    times.push_back(t);
+  }
+  const uint64_t target = times[times.size() - 1 - depth];
+  for (auto _ : state) {
+    auto contents = chain.Get(target);
+    benchmark::DoNotOptimize(contents);
+  }
+  state.counters["depth"] = depth;
+}
+
+void DepthArgs(benchmark::internal::Benchmark* b) {
+  for (int depth : {0, 1, 10, 100, 499}) {
+    b->Args({500, depth});
+  }
+}
+
+BENCHMARK_CAPTURE(BM_ChainGetAtDepth, backward_delta,
+                  ChainMode::kBackwardDelta)
+    ->Apply(DepthArgs);
+BENCHMARK_CAPTURE(BM_ChainGetAtDepth, full_copy, ChainMode::kFullCopy)
+    ->Apply(DepthArgs);
+// The ablation that justifies RCS-style backward deltas: with forward
+// (SCCS-style) deltas the CURRENT version is the expensive one.
+BENCHMARK_CAPTURE(BM_ChainGetAtDepth, forward_delta,
+                  ChainMode::kForwardDelta)
+    ->Apply(DepthArgs);
+
+// The same sweep through the full HAM: openNode at a historical time.
+void BM_HamOpenNodeAtDepth(benchmark::State& state) {
+  const int versions = 200;
+  const int depth = static_cast<int>(state.range(0));
+  bench::ScratchGraph graph("b2_open");
+  Random rng(5);
+  std::string text = rng.NextString(16 << 10);
+  auto added = graph.ham()->AddNode(graph.ctx(), true);
+  ham::Time expected = added->creation_time;
+  std::vector<ham::Time> times;
+  for (int v = 0; v < versions; ++v) {
+    bench::RandomEdit(&rng, &text, 64);
+    graph.ham()->ModifyNode(graph.ctx(), added->node, expected, text, {}, "");
+    expected = *graph.ham()->GetNodeTimeStamp(graph.ctx(), added->node);
+    times.push_back(expected);
+  }
+  const ham::Time target = times[times.size() - 1 - depth];
+  for (auto _ : state) {
+    auto opened = graph.ham()->OpenNode(graph.ctx(), added->node, target, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  state.counters["depth"] = depth;
+}
+
+BENCHMARK(BM_HamOpenNodeAtDepth)->Arg(0)->Arg(10)->Arg(100)->Arg(199);
+
+// getNodeDifferences between two versions `gap` apart.
+void BM_HamNodeDifferences(benchmark::State& state) {
+  const int gap = static_cast<int>(state.range(0));
+  bench::ScratchGraph graph("b2_diff");
+  Random rng(9);
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "line " + std::to_string(i) + " of the document\n";
+  }
+  auto added = graph.ham()->AddNode(graph.ctx(), true);
+  ham::Time expected = added->creation_time;
+  std::vector<ham::Time> times;
+  for (int v = 0; v < 100; ++v) {
+    text += "appended line " + std::to_string(v) + "\n";
+    graph.ham()->ModifyNode(graph.ctx(), added->node, expected, text, {}, "");
+    expected = *graph.ham()->GetNodeTimeStamp(graph.ctx(), added->node);
+    times.push_back(expected);
+  }
+  for (auto _ : state) {
+    auto diffs = graph.ham()->GetNodeDifferences(
+        graph.ctx(), added->node, times[times.size() - 1 - gap],
+        times.back());
+    benchmark::DoNotOptimize(diffs);
+  }
+}
+
+BENCHMARK(BM_HamNodeDifferences)->Arg(1)->Arg(10)->Arg(99);
+
+}  // namespace
+}  // namespace neptune
+
+BENCHMARK_MAIN();

@@ -1,0 +1,205 @@
+// neptune_ctl: a command-line tool over a Neptune graph database —
+// the kind of utility a team adopting the HAM actually drives it with.
+//
+//   neptune_ctl create <dir>
+//   neptune_ctl stats <dir>
+//   neptune_ctl ls <dir> [node-predicate]
+//   neptune_ctl cat <dir> <node> [time]
+//   neptune_ctl new <dir> [title]            (contents from stdin)
+//   neptune_ctl put <dir> <node>             (contents from stdin)
+//   neptune_ctl link <dir> <from> <pos> <to> [relation]
+//   neptune_ctl versions <dir> <node>
+//   neptune_ctl diff <dir> <node> <t1> <t2>
+//   neptune_ctl fsck <dir>
+//   neptune_ctl prune <dir> <before-time>
+//   neptune_ctl export <dir>                 (NIF1 to stdout)
+//   neptune_ctl import <dir>                 (NIF1 from stdin)
+//   neptune_ctl destroy <dir>
+//
+// All commands address the graph by directory; the ProjectId is read
+// from the PROJECT file.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <iterator>
+#include <string>
+
+#include "app/document.h"
+#include "app/interchange.h"
+#include "delta/text_diff.h"
+#include "ham/ham.h"
+
+using namespace neptune;
+
+namespace {
+
+[[noreturn]] void Die(const Status& status) {
+  std::fprintf(stderr, "neptune_ctl: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+void Check(const Status& status) {
+  if (!status.ok()) Die(status);
+}
+
+std::string ReadStdin() {
+  return std::string(std::istreambuf_iterator<char>(std::cin),
+                     std::istreambuf_iterator<char>());
+}
+
+// Opens the graph in `dir` using the PROJECT file's id.
+ham::Context OpenByDir(ham::Ham* engine, const std::string& dir) {
+  ham::ProjectId project =
+      Unwrap(ham::Ham::ReadProjectId(Env::Default(), dir));
+  return Unwrap(engine->OpenGraph(project, "local", dir));
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: neptune_ctl "
+               "create|stats|ls|cat|new|put|link|versions|diff|fsck|prune|"
+               "export|import|destroy <dir> [args...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  ham::Ham engine(Env::Default(), ham::HamOptions());
+
+  if (command == "create") {
+    auto created = Unwrap(engine.CreateGraph(dir, 0755));
+    std::printf("created graph in %s (project %" PRIu64 ")\n", dir.c_str(),
+                created.project);
+    return 0;
+  }
+  if (command == "destroy") {
+    ham::ProjectId project =
+        Unwrap(ham::Ham::ReadProjectId(Env::Default(), dir));
+    Check(engine.DestroyGraph(project, dir));
+    std::printf("destroyed %s\n", dir.c_str());
+    return 0;
+  }
+
+  ham::Context ctx = OpenByDir(&engine, dir);
+
+  if (command == "stats") {
+    auto stats = Unwrap(engine.GetStats(ctx));
+    std::printf("nodes       : %" PRIu64 " live / %" PRIu64 " total\n",
+                stats.node_count, stats.total_node_records);
+    std::printf("links       : %" PRIu64 " live / %" PRIu64 " total\n",
+                stats.link_count, stats.total_link_records);
+    std::printf("attributes  : %" PRIu64 "\n", stats.attribute_count);
+    std::printf("contexts    : %" PRIu64 "\n", stats.thread_count + 1);
+    std::printf("wal bytes   : %" PRIu64 "\n", stats.wal_bytes);
+    std::printf("logical time: %" PRIu64 "\n", stats.current_time);
+  } else if (command == "ls") {
+    const std::string predicate = argc > 3 ? argv[3] : "";
+    app::DocumentModel doc(&engine, ctx);
+    Check(doc.Init());
+    auto result =
+        Unwrap(engine.GetGraphQuery(ctx, 0, predicate, "", {}, {}));
+    for (const auto& node : result.nodes) {
+      std::printf("%8" PRIu64 "  %s\n", node.node,
+                  doc.TitleOf(node.node, 0).c_str());
+    }
+    std::printf("(%zu nodes, %zu links)\n", result.nodes.size(),
+                result.links.size());
+  } else if (command == "cat") {
+    if (argc < 4) return Usage();
+    const ham::NodeIndex node = std::strtoull(argv[3], nullptr, 10);
+    const ham::Time time = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+    auto opened = Unwrap(engine.OpenNode(ctx, node, time, {}));
+    std::fwrite(opened.contents.data(), 1, opened.contents.size(), stdout);
+  } else if (command == "new") {
+    app::DocumentModel doc(&engine, ctx);
+    Check(doc.Init());
+    auto added = Unwrap(engine.AddNode(ctx, true));
+    const std::string contents = ReadStdin();
+    Check(engine.ModifyNode(ctx, added.node, added.creation_time, contents,
+                            {}, "neptune_ctl new"));
+    if (argc > 3) {
+      Check(engine.SetNodeAttributeValue(ctx, added.node, doc.icon_attr(),
+                                         argv[3]));
+    }
+    std::printf("%" PRIu64 "\n", added.node);
+  } else if (command == "put") {
+    if (argc < 4) return Usage();
+    const ham::NodeIndex node = std::strtoull(argv[3], nullptr, 10);
+    auto opened = Unwrap(engine.OpenNode(ctx, node, 0, {}));
+    std::vector<ham::AttachmentUpdate> updates;
+    for (const auto& att : opened.attachments) {
+      updates.push_back({att.link, att.is_source_end, att.position});
+    }
+    Check(engine.ModifyNode(ctx, node, opened.current_version_time,
+                            ReadStdin(), updates, "neptune_ctl put"));
+  } else if (command == "link") {
+    if (argc < 6) return Usage();
+    const ham::NodeIndex from = std::strtoull(argv[3], nullptr, 10);
+    const uint64_t pos = std::strtoull(argv[4], nullptr, 10);
+    const ham::NodeIndex to = std::strtoull(argv[5], nullptr, 10);
+    auto link = Unwrap(engine.AddLink(ctx, ham::LinkPt{from, pos, 0, true},
+                                      ham::LinkPt{to, 0, 0, true}));
+    if (argc > 6) {
+      auto relation = Unwrap(engine.GetAttributeIndex(ctx, "relation"));
+      Check(engine.SetLinkAttributeValue(ctx, link.link, relation, argv[6]));
+    }
+    std::printf("%" PRIu64 "\n", link.link);
+  } else if (command == "versions") {
+    if (argc < 4) return Usage();
+    const ham::NodeIndex node = std::strtoull(argv[3], nullptr, 10);
+    auto versions = Unwrap(engine.GetNodeVersions(ctx, node));
+    for (const auto& v : versions.major) {
+      std::printf("major t=%" PRIu64 "  %s\n", v.time,
+                  v.explanation.c_str());
+    }
+    for (const auto& v : versions.minor) {
+      std::printf("minor t=%" PRIu64 "  %s\n", v.time,
+                  v.explanation.c_str());
+    }
+  } else if (command == "diff") {
+    if (argc < 6) return Usage();
+    const ham::NodeIndex node = std::strtoull(argv[3], nullptr, 10);
+    const ham::Time t1 = std::strtoull(argv[4], nullptr, 10);
+    const ham::Time t2 = std::strtoull(argv[5], nullptr, 10);
+    auto diffs = Unwrap(engine.GetNodeDifferences(ctx, node, t1, t2));
+    std::fputs(delta::FormatDifferences(diffs).c_str(), stdout);
+  } else if (command == "fsck") {
+    auto problems = Unwrap(engine.VerifyGraph(ctx));
+    for (const auto& problem : problems) {
+      std::printf("PROBLEM: %s\n", problem.c_str());
+    }
+    std::printf(problems.empty() ? "graph is clean\n"
+                                 : "%zu problem(s) found\n",
+                problems.size());
+  } else if (command == "prune") {
+    if (argc < 4) return Usage();
+    const ham::Time before = std::strtoull(argv[3], nullptr, 10);
+    auto snapshot_bytes = Unwrap(engine.PruneHistory(ctx, before));
+    std::printf("pruned history before t=%" PRIu64 "; snapshot now %" PRIu64
+                " bytes\n",
+                before, snapshot_bytes);
+  } else if (command == "export") {
+    auto exported = Unwrap(app::ExportGraph(&engine, ctx, 0));
+    std::fwrite(exported.data(), 1, exported.size(), stdout);
+  } else if (command == "import") {
+    auto report = Unwrap(app::ImportGraph(&engine, ctx, ReadStdin()));
+    std::fprintf(stderr, "imported %zu nodes, %zu links, %zu attributes\n",
+                 report.nodes, report.links, report.attributes);
+  } else {
+    return Usage();
+  }
+  Check(engine.CloseGraph(ctx));
+  return 0;
+}

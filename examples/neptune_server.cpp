@@ -1,0 +1,143 @@
+// neptune_server: the client/server deployment of the paper —
+// "Neptune has a central server which is accessible over a local area
+// network from a variety of workstations."
+//
+// Modes:
+//   ./neptune_server serve <data-dir> [port]
+//       Runs a HAM server (port 0 = pick one) until killed.
+//   ./neptune_server demo [data-dir]
+//       Starts an in-process server on an ephemeral port, connects a
+//       RemoteHam client over real TCP, and runs a workstation session
+//       against it — the zero-setup way to see the RPC layer work.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+
+using neptune::Env;
+using neptune::LogLevel;
+using neptune::ham::Ham;
+using neptune::ham::HamOptions;
+using neptune::ham::LinkPt;
+using neptune::rpc::RemoteHam;
+using neptune::rpc::Server;
+
+#define CHECK_OK(expr)                                        \
+  do {                                                        \
+    auto _s = (expr);                                         \
+    if (!_s.ok()) {                                           \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__,     \
+                   __LINE__, _s.ToString().c_str());          \
+      return 1;                                               \
+    }                                                         \
+  } while (0)
+
+namespace {
+
+int RunServe(const std::string& dir, uint16_t port) {
+  neptune::SetLogLevel(LogLevel::kInfo);
+  Env::Default()->CreateDir(dir);
+  Ham ham(Env::Default(), HamOptions());
+  Server server(&ham);
+  auto bound = server.Start(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("neptune server on 127.0.0.1:%u, data under %s\n", *bound,
+              dir.c_str());
+  std::printf("press Ctrl-C to stop\n");
+  for (;;) pause();
+}
+
+int RunDemo(const std::string& dir) {
+  Env* env = Env::Default();
+  env->RemoveDirRecursive(dir);
+  env->CreateDir(dir);
+
+  // The "central server".
+  Ham engine(env, HamOptions());
+  Server server(&engine);
+  auto port = server.Start(0);
+  CHECK_OK(port.status());
+  std::printf("server up on 127.0.0.1:%u\n", *port);
+
+  // A "workstation" connects over TCP.
+  auto client = RemoteHam::Connect("localhost", *port);
+  CHECK_OK(client.status());
+  std::printf("workstation connected (ping ok)\n");
+
+  const std::string graph_dir = dir + "/project-graph";
+  auto created = (*client)->CreateGraph(graph_dir, 0755);
+  CHECK_OK(created.status());
+  auto ctx = (*client)->OpenGraph(created->project, "localhost", graph_dir);
+  CHECK_OK(ctx.status());
+
+  // A transaction spanning several primitive operations, all remote.
+  CHECK_OK((*client)->BeginTransaction(*ctx));
+  auto a = (*client)->AddNode(*ctx, true);
+  auto b = (*client)->AddNode(*ctx, true);
+  CHECK_OK(a.status());
+  CHECK_OK(b.status());
+  CHECK_OK((*client)->ModifyNode(*ctx, a->node, a->creation_time,
+                                 "design data on the server\n", {},
+                                 "initial"));
+  CHECK_OK((*client)->ModifyNode(*ctx, b->node, b->creation_time,
+                                 "a review comment\n", {}, "initial"));
+  auto link = (*client)->AddLink(*ctx, LinkPt{a->node, 7, 0, true},
+                                 LinkPt{b->node, 0, 0, true});
+  CHECK_OK(link.status());
+  CHECK_OK((*client)->CommitTransaction(*ctx));
+  std::printf("committed a 5-operation transaction over the wire\n");
+
+  // A second workstation sees the committed state immediately.
+  auto client2 = RemoteHam::Connect("localhost", *port);
+  CHECK_OK(client2.status());
+  auto ctx2 = (*client2)->OpenGraph(created->project, "localhost", graph_dir);
+  CHECK_OK(ctx2.status());
+  auto seen = (*client2)->OpenNode(*ctx2, a->node, 0, {});
+  CHECK_OK(seen.status());
+  std::printf("second workstation reads: %s", seen->contents.c_str());
+  std::printf("  ...with %zu attachment(s)\n", seen->attachments.size());
+
+  auto stats = (*client2)->GetStats(*ctx2);
+  CHECK_OK(stats.status());
+  std::printf("server-side stats: %llu nodes, %llu links\n",
+              (unsigned long long)stats->node_count,
+              (unsigned long long)stats->link_count);
+
+  CHECK_OK((*client2)->CloseGraph(*ctx2));
+  CHECK_OK((*client)->CloseGraph(*ctx));
+  CHECK_OK((*client)->DestroyGraph(created->project, graph_dir));
+  server.Stop();
+  env->RemoveDirRecursive(dir);
+  std::printf("demo complete\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "demo";
+  if (mode == "serve") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s serve <data-dir> [port]\n", argv[0]);
+      return 2;
+    }
+    const uint16_t port =
+        argc > 3 ? static_cast<uint16_t>(std::atoi(argv[3])) : 0;
+    return RunServe(argv[2], port);
+  }
+  if (mode == "demo") {
+    return RunDemo(argc > 2 ? argv[2] : "/tmp/neptune_server_demo");
+  }
+  std::fprintf(stderr, "usage: %s serve <data-dir> [port] | demo [dir]\n",
+               argv[0]);
+  return 2;
+}

@@ -1,0 +1,156 @@
+// paper_browser: reproduces the paper's three figures with this very
+// paper stored as a hyperdocument (exactly the scenario of Figures
+// 1–3, which show Neptune's browsers viewing the SIGMOD paper itself).
+//
+//   Figure 1  graph browser     — pictorial sub-graph with visibility
+//                                 predicates
+//   Figure 2  document browser  — four node-list panes over
+//                                 getGraphQuery + linearizeGraph, with
+//                                 a node browser pane below
+//   Figure 3  node browser      — contents with inline link icons,
+//                                 plus the node-differences browser
+//
+//   ./paper_browser [directory]
+
+#include <cstdio>
+#include <string>
+
+#include "app/browsers/document_browser.h"
+#include "app/browsers/graph_browser.h"
+#include "app/browsers/inspect_browsers.h"
+#include "app/browsers/node_browser.h"
+#include "app/document.h"
+#include "ham/ham.h"
+
+using neptune::Env;
+using neptune::ham::Ham;
+using neptune::ham::HamOptions;
+using namespace neptune::app;
+
+#define CHECK_OK(expr)                                        \
+  do {                                                        \
+    auto _s = (expr);                                         \
+    if (!_s.ok()) {                                           \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__,     \
+                   __LINE__, _s.ToString().c_str());          \
+      return 1;                                               \
+    }                                                         \
+  } while (0)
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/neptune_paper";
+  Env* env = Env::Default();
+  env->RemoveDirRecursive(dir);
+  Ham ham(env, HamOptions());
+
+  auto created = ham.CreateGraph(dir, 0755);
+  CHECK_OK(created.status());
+  auto ctx = ham.OpenGraph(created->project, "local", dir);
+  CHECK_OK(ctx.status());
+
+  DocumentModel doc(&ham, *ctx);
+  CHECK_OK(doc.Init());
+
+  // ---- Build the paper as a hyperdocument --------------------------
+  auto root = doc.CreateDocument("sigmod-paper", "SIGMOD Paper");
+  CHECK_OK(root.status());
+  auto intro = doc.AddSection(
+      *root, "sigmod-paper", "Introduction",
+      "Traditional databases have certain weaknesses when it comes\n"
+      "to their use in Computer Aided Design (CAD) systems.\n",
+      0);
+  auto hypertext = doc.AddSection(
+      *root, "sigmod-paper", "Hypertext",
+      "Hypertext in its essence is non-linear or non-sequential text.\n"
+      "Documents consist of a collection of nodes connected by links.\n",
+      10);
+  auto existing = doc.AddSection(
+      *hypertext, "sigmod-paper", "Existing Systems",
+      "Memex, Augment/NLS, Xanadu, FRESS, Notecards, ZOG -- and Neptune.\n",
+      0);
+  auto overview = doc.AddSection(
+      *root, "sigmod-paper", "Neptune Overview",
+      "Neptune is designed as a layered architecture. The bottom level\n"
+      "is a transaction-based server named the Hypertext Abstract\n"
+      "Machine (HAM).\n",
+      20);
+  auto cad = doc.AddSection(
+      *root, "sigmod-paper", "Hypertext-based CAD",
+      "For a CASE application, all documentation, source and object\n"
+      "code are stored in hyperdocuments.\n",
+      30);
+  CHECK_OK(intro.status());
+  CHECK_OK(existing.status());
+  CHECK_OK(overview.status());
+  CHECK_OK(cad.status());
+  // A cross-reference and an annotation, as real documents have.
+  CHECK_OK(doc.AddReference(*cad, 10, *overview).status());
+  CHECK_OK(doc.Annotate(*intro, 24, "cite Katz & Lehman here").status());
+
+  // ---- Figure 1: the graph browser ---------------------------------
+  std::printf("================ Figure 1: Graph Browser ================\n");
+  GraphBrowser graph_browser(&ham, *ctx);
+  GraphBrowserOptions graph_options;
+  graph_options.node_predicate = "document = sigmod-paper";
+  auto fig1 = graph_browser.Render(graph_options);
+  CHECK_OK(fig1.status());
+  std::fputs(fig1->c_str(), stdout);
+
+  // ---- Figure 2: the document browser ------------------------------
+  std::printf("\n=============== Figure 2: Document Browser ==============\n");
+  DocumentBrowser document_browser(&ham, *ctx);
+  DocumentBrowserOptions doc_options;
+  doc_options.query_predicate = "document = sigmod-paper & !exists parent";
+  // The root is simply the first query hit; drill into it, then into
+  // its second child ("Hypertext").
+  doc_options.query_predicate = "icon = 'SIGMOD Paper'";
+  doc_options.selection = {0, 1};
+  auto fig2 = document_browser.Render(doc_options);
+  CHECK_OK(fig2.status());
+  std::fputs(fig2->c_str(), stdout);
+
+  // ---- Figure 3: the node browser + differences browser ------------
+  std::printf("\n================ Figure 3: Node Browser =================\n");
+  NodeBrowser node_browser(&ham, *ctx);
+  auto fig3 = node_browser.Render(*intro, 0);
+  CHECK_OK(fig3.status());
+  std::fputs(fig3->c_str(), stdout);
+
+  std::printf("\n-------- node differences browser (two versions) --------\n");
+  auto before = ham.GetNodeTimeStamp(*ctx, *hypertext);
+  CHECK_OK(before.status());
+  CHECK_OK(doc.EditSection(
+      *hypertext,
+      "Hypertext in its essence is non-linear or non-sequential text.\n"
+      "The nodes of a hyperdocument are not restricted to be text.\n",
+      "revise for camera-ready"));
+  auto after = ham.GetNodeTimeStamp(*ctx, *hypertext);
+  CHECK_OK(after.status());
+  NodeDifferencesBrowser diff_browser(&ham, *ctx);
+  auto diff = diff_browser.Render(*hypertext, *before, *after);
+  CHECK_OK(diff.status());
+  std::fputs(diff->c_str(), stdout);
+
+  // ---- The supporting browsers the paper lists ----------------------
+  std::printf("\n---------------- version browser ------------------------\n");
+  VersionBrowser version_browser(&ham, *ctx);
+  auto versions = version_browser.Render(*hypertext);
+  CHECK_OK(versions.status());
+  std::fputs(versions->c_str(), stdout);
+
+  std::printf("\n---------------- attribute browser ----------------------\n");
+  AttributeBrowser attribute_browser(&ham, *ctx);
+  auto attrs = attribute_browser.RenderGraph(0);
+  CHECK_OK(attrs.status());
+  std::fputs(attrs->c_str(), stdout);
+
+  // ---- Hardcopy extraction via linearizeGraph ----------------------
+  std::printf("\n---------------- hardcopy extraction --------------------\n");
+  auto hardcopy = doc.ExtractHardcopy(*root, 0);
+  CHECK_OK(hardcopy.status());
+  std::fputs(hardcopy->c_str(), stdout);
+
+  CHECK_OK(ham.CloseGraph(*ctx));
+  CHECK_OK(ham.DestroyGraph(created->project, dir));
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "app/browsers/canvas.h"
+
+#include <algorithm>
+
+namespace neptune {
+namespace app {
+
+void TextCanvas::Put(int x, int y, char c) {
+  if (x < 0 || y < 0) return;
+  if (y >= static_cast<int>(rows_.size())) {
+    rows_.resize(static_cast<size_t>(y) + 1);
+  }
+  std::string& row = rows_[static_cast<size_t>(y)];
+  if (x >= static_cast<int>(row.size())) {
+    row.resize(static_cast<size_t>(x) + 1, ' ');
+  }
+  row[static_cast<size_t>(x)] = c;
+}
+
+void TextCanvas::DrawText(int x, int y, std::string_view text) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    Put(x + static_cast<int>(i), y, text[i]);
+  }
+}
+
+void TextCanvas::DrawHLine(int x1, int x2, int y, char c) {
+  if (x1 > x2) std::swap(x1, x2);
+  for (int x = x1; x <= x2; ++x) Put(x, y, c);
+}
+
+void TextCanvas::DrawVLine(int x, int y1, int y2, char c) {
+  if (y1 > y2) std::swap(y1, y2);
+  for (int y = y1; y <= y2; ++y) Put(x, y, c);
+}
+
+int TextCanvas::DrawBox(int x, int y, std::string_view text) {
+  const int w = BoxWidth(text);
+  Put(x, y, '+');
+  DrawHLine(x + 1, x + w - 2, y, '-');
+  Put(x + w - 1, y, '+');
+  Put(x, y + 1, '|');
+  Put(x + 1, y + 1, ' ');
+  DrawText(x + 2, y + 1, text);
+  Put(x + w - 2, y + 1, ' ');
+  Put(x + w - 1, y + 1, '|');
+  Put(x, y + 2, '+');
+  DrawHLine(x + 1, x + w - 2, y + 2, '-');
+  Put(x + w - 1, y + 2, '+');
+  return w;
+}
+
+int TextCanvas::width() const {
+  int w = 0;
+  for (const auto& row : rows_) w = std::max(w, static_cast<int>(row.size()));
+  return w;
+}
+
+std::string TextCanvas::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    size_t end = row.find_last_not_of(' ');
+    if (end == std::string::npos) {
+      out.push_back('\n');
+    } else {
+      out.append(row, 0, end + 1);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,46 @@
+// TextCanvas: a 2D character buffer the text-mode browsers draw into —
+// the stand-in for Neptune's Smalltalk-80 bitmap panes.
+
+#ifndef NEPTUNE_APP_BROWSERS_CANVAS_H_
+#define NEPTUNE_APP_BROWSERS_CANVAS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neptune {
+namespace app {
+
+class TextCanvas {
+ public:
+  // Puts one character, growing the canvas as needed. Negative
+  // coordinates are ignored.
+  void Put(int x, int y, char c);
+
+  void DrawText(int x, int y, std::string_view text);
+  void DrawHLine(int x1, int x2, int y, char c = '-');
+  void DrawVLine(int x, int y1, int y2, char c = '|');
+
+  // A box with `text` centered inside: +------+ / | text | / +------+.
+  // Returns the box width.
+  int DrawBox(int x, int y, std::string_view text);
+
+  static int BoxWidth(std::string_view text) {
+    return static_cast<int>(text.size()) + 4;
+  }
+  static constexpr int kBoxHeight = 3;
+
+  int width() const;
+  int height() const { return static_cast<int>(rows_.size()); }
+
+  // The canvas as text, trailing spaces trimmed per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+}  // namespace app
+}  // namespace neptune
+
+#endif  // NEPTUNE_APP_BROWSERS_CANVAS_H_

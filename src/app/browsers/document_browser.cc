@@ -1,0 +1,139 @@
+#include "app/browsers/document_browser.h"
+
+#include <algorithm>
+
+#include "app/browsers/node_browser.h"
+#include "app/document.h"
+
+namespace neptune {
+namespace app {
+
+namespace {
+
+constexpr size_t kPaneCount = 4;
+constexpr size_t kPaneWidth = 20;
+constexpr size_t kPaneRows = 8;
+
+std::string Cell(const std::string& text) {
+  std::string out = text.substr(0, kPaneWidth - 2);
+  out.resize(kPaneWidth - 2, ' ');
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<ham::NodeIndex>> DocumentBrowser::ChildrenOf(
+    ham::NodeIndex node, ham::Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::AttributeIndex relation,
+                           ham_->GetAttributeIndex(ctx_, Conventions::kRelation));
+  NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult opened,
+                           ham_->OpenNode(ctx_, node, time, {}));
+  struct Child {
+    uint64_t position;
+    ham::LinkIndex link;
+    ham::NodeIndex node;
+  };
+  std::vector<Child> children;
+  for (const ham::Attachment& att : opened.attachments) {
+    if (!att.is_source_end) continue;
+    Result<std::string> rel =
+        ham_->GetLinkAttributeValue(ctx_, att.link, relation, time);
+    if (!rel.ok() || *rel != Conventions::kIsPartOf) continue;
+    NEPTUNE_ASSIGN_OR_RETURN(ham::LinkEndResult end,
+                             ham_->GetToNode(ctx_, att.link, time));
+    children.push_back(Child{att.position, att.link, end.node});
+  }
+  std::sort(children.begin(), children.end(),
+            [](const Child& a, const Child& b) {
+              return a.position != b.position ? a.position < b.position
+                                              : a.link < b.link;
+            });
+  std::vector<ham::NodeIndex> out;
+  out.reserve(children.size());
+  for (const Child& c : children) out.push_back(c.node);
+  return out;
+}
+
+Result<std::string> DocumentBrowser::Render(
+    const DocumentBrowserOptions& options) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::AttributeIndex icon,
+                           ham_->GetAttributeIndex(ctx_, Conventions::kIcon));
+
+  auto title_of = [&](ham::NodeIndex node) {
+    Result<std::string> title =
+        ham_->GetNodeAttributeValue(ctx_, node, icon, options.time);
+    return title.ok() ? *title : "#" + std::to_string(node);
+  };
+
+  // Level 0: getGraphQuery with the user's predicate; each further
+  // level holds the immediate descendants of the selection above it.
+  // The selection path may run deeper than the four visible panes.
+  NEPTUNE_ASSIGN_OR_RETURN(
+      ham::SubGraph queried,
+      ham_->GetGraphQuery(ctx_, options.time, options.query_predicate, "",
+                          {}, {}));
+  std::vector<std::vector<ham::NodeIndex>> levels(1);
+  for (const auto& node : queried.nodes) levels[0].push_back(node.node);
+
+  ham::NodeIndex selected = 0;
+  for (size_t level = 0; level < options.selection.size(); ++level) {
+    if (level >= levels.size()) break;
+    const size_t row = options.selection[level];
+    if (row >= levels[level].size()) break;
+    selected = levels[level][row];
+    NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::NodeIndex> children,
+                             ChildrenOf(selected, options.time));
+    levels.push_back(std::move(children));
+  }
+
+  // The four visible panes start at pane_offset (pane shifting).
+  std::vector<std::vector<ham::NodeIndex>> panes(kPaneCount);
+  for (size_t pane = 0; pane < kPaneCount; ++pane) {
+    const size_t level = options.pane_offset + pane;
+    if (level < levels.size()) panes[pane] = levels[level];
+  }
+
+  // Layout the four list panes.
+  std::string out = "Document Browser";
+  if (!options.query_predicate.empty()) {
+    out += "  [" + options.query_predicate + "]";
+  }
+  if (options.pane_offset > 0) {
+    out += "  <<shifted " + std::to_string(options.pane_offset) + ">>";
+  }
+  out += "\n";
+  std::string rule;
+  for (size_t pane = 0; pane < kPaneCount; ++pane) {
+    rule += "+" + std::string(kPaneWidth - 1, '-');
+  }
+  rule += "+\n";
+  out += rule;
+  for (size_t row = 0; row < kPaneRows; ++row) {
+    for (size_t pane = 0; pane < kPaneCount; ++pane) {
+      out += "|";
+      if (row < panes[pane].size()) {
+        const size_t level = options.pane_offset + pane;
+        const bool is_selected = level < options.selection.size() &&
+                                 options.selection[level] == row;
+        out += is_selected ? '>' : ' ';
+        out += Cell(title_of(panes[pane][row]));
+      } else {
+        out += std::string(kPaneWidth - 1, ' ');
+      }
+    }
+    out += "|\n";
+  }
+  out += rule;
+
+  // Lower pane: a node browser on the deepest selection.
+  if (selected != 0) {
+    NodeBrowser node_browser(ham_, ctx_);
+    NEPTUNE_ASSIGN_OR_RETURN(std::string body,
+                             node_browser.Render(selected, options.time));
+    out += body;
+  }
+  return out;
+}
+
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,46 @@
+// GraphBrowser: the text-mode counterpart of Figure 1 — "a pictorial
+// view of a hyperdocument or a portion of a hyperdocument. Each node
+// is represented by an icon that consists of a name enclosed in a
+// rectangle." Node and link visibility predicates (the figure's two
+// lower-right panes) filter what is drawn.
+
+#ifndef NEPTUNE_APP_BROWSERS_GRAPH_BROWSER_H_
+#define NEPTUNE_APP_BROWSERS_GRAPH_BROWSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ham/ham_interface.h"
+
+namespace neptune {
+namespace app {
+
+struct GraphBrowserOptions {
+  // Visibility predicates (empty = everything).
+  std::string node_predicate;
+  std::string link_predicate;
+  // Version of the hypergraph to draw (0 = current).
+  ham::Time time = 0;
+  // Zoom: nodes beyond this BFS depth from the roots are elided.
+  int max_depth = 16;
+};
+
+class GraphBrowser {
+ public:
+  GraphBrowser(ham::HamInterface* ham, ham::Context ctx)
+      : ham_(ham), ctx_(ctx) {}
+
+  // Draws the sub-graph selected by the predicates: boxes named by the
+  // `icon` attribute, arranged left-to-right by BFS depth, with edges
+  // as elbow connectors.
+  Result<std::string> Render(const GraphBrowserOptions& options);
+
+ private:
+  ham::HamInterface* ham_;
+  ham::Context ctx_;
+};
+
+}  // namespace app
+}  // namespace neptune
+
+#endif  // NEPTUNE_APP_BROWSERS_GRAPH_BROWSER_H_

@@ -1,0 +1,105 @@
+#include "app/browsers/inspect_browsers.h"
+
+namespace neptune {
+namespace app {
+
+Result<std::string> VersionBrowser::Render(ham::NodeIndex node) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::NodeVersions versions,
+                           ham_->GetNodeVersions(ctx_, node));
+  std::string out = "Version Browser - node " + std::to_string(node) + "\n";
+  out += "major versions (contents updates):\n";
+  for (const ham::VersionEntry& v : versions.major) {
+    out += "  t=" + std::to_string(v.time);
+    if (!v.explanation.empty()) out += "  " + v.explanation;
+    out += "\n";
+  }
+  if (versions.minor.empty()) {
+    out += "minor versions: (none)\n";
+  } else {
+    out += "minor versions (structure/attribute updates):\n";
+    for (const ham::VersionEntry& v : versions.minor) {
+      out += "  t=" + std::to_string(v.time);
+      if (!v.explanation.empty()) out += "  " + v.explanation;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::string> AttributeBrowser::RenderGraph(ham::Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::AttributeEntry> attrs,
+                           ham_->GetAttributes(ctx_, time));
+  std::string out = "Attribute Browser - graph";
+  if (time != 0) out += " @ t=" + std::to_string(time);
+  out += "\n";
+  for (const ham::AttributeEntry& attr : attrs) {
+    out += "  " + attr.name + " (#" + std::to_string(attr.index) + "):";
+    NEPTUNE_ASSIGN_OR_RETURN(std::vector<std::string> values,
+                             ham_->GetAttributeValues(ctx_, attr.index, time));
+    if (values.empty()) {
+      out += " (no values)";
+    } else {
+      for (const std::string& value : values) {
+        out += " '" + value + "'";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::string> AttributeBrowser::RenderNode(ham::NodeIndex node,
+                                                 ham::Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::AttributeValueEntry> attrs,
+                           ham_->GetNodeAttributes(ctx_, node, time));
+  std::string out = "Attribute Browser - node " + std::to_string(node);
+  if (time != 0) out += " @ t=" + std::to_string(time);
+  out += "\n";
+  for (const ham::AttributeValueEntry& attr : attrs) {
+    out += "  " + attr.name + " = '" + attr.value + "'\n";
+  }
+  if (attrs.empty()) out += "  (no attributes attached)\n";
+  return out;
+}
+
+Result<std::string> AttributeBrowser::RenderLink(ham::LinkIndex link,
+                                                 ham::Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::AttributeValueEntry> attrs,
+                           ham_->GetLinkAttributes(ctx_, link, time));
+  std::string out = "Attribute Browser - link " + std::to_string(link);
+  if (time != 0) out += " @ t=" + std::to_string(time);
+  out += "\n";
+  for (const ham::AttributeValueEntry& attr : attrs) {
+    out += "  " + attr.name + " = '" + attr.value + "'\n";
+  }
+  if (attrs.empty()) out += "  (no attributes attached)\n";
+  return out;
+}
+
+Result<std::string> DemonBrowser::Render(ham::NodeIndex node, ham::Time time) {
+  std::string out = "Demon Browser";
+  if (time != 0) out += " @ t=" + std::to_string(time);
+  out += "\n";
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::DemonEntry> graph_demons,
+                           ham_->GetGraphDemons(ctx_, time));
+  out += "graph demons:\n";
+  if (graph_demons.empty()) out += "  (none)\n";
+  for (const ham::DemonEntry& d : graph_demons) {
+    out += std::string("  on ") + ham::EventName(d.event) + ": '" + d.demon +
+           "'\n";
+  }
+  if (node != 0) {
+    NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::DemonEntry> node_demons,
+                             ham_->GetNodeDemons(ctx_, node, time));
+    out += "node " + std::to_string(node) + " demons:\n";
+    if (node_demons.empty()) out += "  (none)\n";
+    for (const ham::DemonEntry& d : node_demons) {
+      out += std::string("  on ") + ham::EventName(d.event) + ": '" + d.demon +
+             "'\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace app
+}  // namespace neptune

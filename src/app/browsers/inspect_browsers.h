@@ -1,0 +1,62 @@
+// The smaller inspection browsers the paper lists alongside the three
+// primary ones: "attribute browsers, version browsers ... and demon
+// browsers".
+
+#ifndef NEPTUNE_APP_BROWSERS_INSPECT_BROWSERS_H_
+#define NEPTUNE_APP_BROWSERS_INSPECT_BROWSERS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ham/ham_interface.h"
+
+namespace neptune {
+namespace app {
+
+// Lists a node's major and minor version history.
+class VersionBrowser {
+ public:
+  VersionBrowser(ham::HamInterface* ham, ham::Context ctx)
+      : ham_(ham), ctx_(ctx) {}
+
+  Result<std::string> Render(ham::NodeIndex node);
+
+ private:
+  ham::HamInterface* ham_;
+  ham::Context ctx_;
+};
+
+// Lists attributes: the graph's attribute definitions with their value
+// sets, or one node's/link's attached values, at a given time.
+class AttributeBrowser {
+ public:
+  AttributeBrowser(ham::HamInterface* ham, ham::Context ctx)
+      : ham_(ham), ctx_(ctx) {}
+
+  Result<std::string> RenderGraph(ham::Time time);
+  Result<std::string> RenderNode(ham::NodeIndex node, ham::Time time);
+  Result<std::string> RenderLink(ham::LinkIndex link, ham::Time time);
+
+ private:
+  ham::HamInterface* ham_;
+  ham::Context ctx_;
+};
+
+// Lists demon bindings for the graph and optionally one node.
+class DemonBrowser {
+ public:
+  DemonBrowser(ham::HamInterface* ham, ham::Context ctx)
+      : ham_(ham), ctx_(ctx) {}
+
+  // `node` == 0 shows graph demons only.
+  Result<std::string> Render(ham::NodeIndex node, ham::Time time);
+
+ private:
+  ham::HamInterface* ham_;
+  ham::Context ctx_;
+};
+
+}  // namespace app
+}  // namespace neptune
+
+#endif  // NEPTUNE_APP_BROWSERS_INSPECT_BROWSERS_H_

@@ -1,0 +1,273 @@
+#include "app/case_model.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "app/document.h"
+#include "common/crc32c.h"
+#include "delta/text_diff.h"
+
+namespace neptune {
+namespace app {
+
+Status CaseModel::Init() {
+  NEPTUNE_ASSIGN_OR_RETURN(
+      content_type_, ham_->GetAttributeIndex(ctx_, Conventions::kContentType));
+  NEPTUNE_ASSIGN_OR_RETURN(code_type_,
+                           ham_->GetAttributeIndex(ctx_, "codeType"));
+  NEPTUNE_ASSIGN_OR_RETURN(
+      relation_, ham_->GetAttributeIndex(ctx_, Conventions::kRelation));
+  NEPTUNE_ASSIGN_OR_RETURN(icon_,
+                           ham_->GetAttributeIndex(ctx_, Conventions::kIcon));
+  return Status::OK();
+}
+
+std::string CaseModel::FakeObjectCode(const std::string& source) {
+  // A stand-in for a real code generator: stable, content-derived, and
+  // visibly different from the source. Real object code would be
+  // uninterpreted binary to the HAM anyway.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "OBJ crc=%08x bytes=%zu lines=%zu\n",
+                crc32c::Value(source), source.size(),
+                delta::SplitLines(source).size());
+  return buf;
+}
+
+Result<ham::NodeIndex> CaseModel::AddSourceNode(const std::string& name,
+                                                const std::string& code_type,
+                                                const std::string& source) {
+  NEPTUNE_RETURN_IF_ERROR(ham_->BeginTransaction(ctx_));
+  Result<ham::NodeIndex> result = [&]() -> Result<ham::NodeIndex> {
+    NEPTUNE_ASSIGN_OR_RETURN(ham::AddNodeResult node, ham_->AddNode(ctx_, true));
+    NEPTUNE_RETURN_IF_ERROR(ham_->ModifyNode(ctx_, node.node,
+                                             node.creation_time, source, {},
+                                             "initial source"));
+    NEPTUNE_RETURN_IF_ERROR(ham_->SetNodeAttributeValue(
+        ctx_, node.node, content_type_, CaseConventions::kSourceType));
+    NEPTUNE_RETURN_IF_ERROR(
+        ham_->SetNodeAttributeValue(ctx_, node.node, code_type_, code_type));
+    NEPTUNE_RETURN_IF_ERROR(
+        ham_->SetNodeAttributeValue(ctx_, node.node, icon_, name));
+    return node.node;
+  }();
+  if (!result.ok()) {
+    ham_->AbortTransaction(ctx_);
+    return result.status();
+  }
+  NEPTUNE_RETURN_IF_ERROR(ham_->CommitTransaction(ctx_));
+  return result;
+}
+
+Result<ham::NodeIndex> CaseModel::AddModule(const std::string& name,
+                                            const std::string& code_type,
+                                            const std::string& source) {
+  if (code_type != CaseConventions::kDefinitionModule &&
+      code_type != CaseConventions::kImplementationModule) {
+    return Status::InvalidArgument("codeType must be definitionModule or "
+                                   "implementationModule, got " +
+                                   code_type);
+  }
+  return AddSourceNode(name, code_type, source);
+}
+
+Result<ham::NodeIndex> CaseModel::AddProcedure(ham::NodeIndex module,
+                                               const std::string& name,
+                                               const std::string& source,
+                                               uint64_t position) {
+  NEPTUNE_ASSIGN_OR_RETURN(
+      ham::NodeIndex procedure,
+      AddSourceNode(name, CaseConventions::kProcedure, source));
+  NEPTUNE_RETURN_IF_ERROR(ham_->BeginTransaction(ctx_));
+  Status status = [&]() -> Status {
+    NEPTUNE_ASSIGN_OR_RETURN(
+        ham::AddLinkResult link,
+        ham_->AddLink(ctx_, ham::LinkPt{module, position, 0, true},
+                      ham::LinkPt{procedure, 0, 0, true}));
+    return ham_->SetLinkAttributeValue(ctx_, link.link, relation_,
+                                       Conventions::kIsPartOf);
+  }();
+  if (!status.ok()) {
+    ham_->AbortTransaction(ctx_);
+    return status;
+  }
+  NEPTUNE_RETURN_IF_ERROR(ham_->CommitTransaction(ctx_));
+  return procedure;
+}
+
+Status CaseModel::AddImport(ham::NodeIndex importer, ham::NodeIndex imported,
+                            uint64_t position) {
+  NEPTUNE_RETURN_IF_ERROR(ham_->BeginTransaction(ctx_));
+  Status status = [&]() -> Status {
+    NEPTUNE_ASSIGN_OR_RETURN(
+        ham::AddLinkResult link,
+        ham_->AddLink(ctx_, ham::LinkPt{importer, position, 0, true},
+                      ham::LinkPt{imported, 0, 0, true}));
+    return ham_->SetLinkAttributeValue(ctx_, link.link, relation_,
+                                       CaseConventions::kImports);
+  }();
+  if (!status.ok()) {
+    ham_->AbortTransaction(ctx_);
+    return status;
+  }
+  return ham_->CommitTransaction(ctx_);
+}
+
+Status CaseModel::EditSource(ham::NodeIndex node, const std::string& source) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult current,
+                           ham_->OpenNode(ctx_, node, 0, {}));
+  std::vector<ham::AttachmentUpdate> updates;
+  for (const ham::Attachment& att : current.attachments) {
+    updates.push_back(
+        ham::AttachmentUpdate{att.link, att.is_source_end, att.position});
+  }
+  return ham_->ModifyNode(ctx_, node, current.current_version_time, source,
+                          updates, "edit source");
+}
+
+Result<ham::NodeIndex> CaseModel::ObjectCodeOf(ham::NodeIndex source) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult opened,
+                           ham_->OpenNode(ctx_, source, 0, {}));
+  for (const ham::Attachment& att : opened.attachments) {
+    if (!att.is_source_end) continue;
+    Result<std::string> relation =
+        ham_->GetLinkAttributeValue(ctx_, att.link, relation_, 0);
+    if (!relation.ok() || *relation != CaseConventions::kCompilesInto) {
+      continue;
+    }
+    NEPTUNE_ASSIGN_OR_RETURN(ham::LinkEndResult end,
+                             ham_->GetToNode(ctx_, att.link, 0));
+    return end.node;
+  }
+  return Status::NotFound("node " + std::to_string(source) +
+                          " was never compiled");
+}
+
+Result<bool> CaseModel::NeedsRecompile(ham::NodeIndex source) {
+  Result<ham::NodeIndex> object = ObjectCodeOf(source);
+  if (!object.ok()) {
+    if (object.status().IsNotFound()) return true;
+    return object.status();
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(ham::Time source_time,
+                           ham_->GetNodeTimeStamp(ctx_, source));
+  NEPTUNE_ASSIGN_OR_RETURN(ham::Time object_time,
+                           ham_->GetNodeTimeStamp(ctx_, *object));
+  return source_time > object_time;
+}
+
+Result<ham::NodeIndex> CaseModel::Compile(ham::NodeIndex source) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult opened,
+                           ham_->OpenNode(ctx_, source, 0, {}));
+  const std::string object_code = FakeObjectCode(opened.contents);
+  Result<ham::NodeIndex> existing = ObjectCodeOf(source);
+  if (existing.ok()) {
+    NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult object,
+                             ham_->OpenNode(ctx_, *existing, 0, {}));
+    std::vector<ham::AttachmentUpdate> updates;
+    for (const ham::Attachment& att : object.attachments) {
+      updates.push_back(
+          ham::AttachmentUpdate{att.link, att.is_source_end, att.position});
+    }
+    NEPTUNE_RETURN_IF_ERROR(
+        ham_->ModifyNode(ctx_, *existing, object.current_version_time,
+                         object_code, updates, "recompile"));
+    return *existing;
+  }
+  if (!existing.status().IsNotFound()) return existing.status();
+
+  NEPTUNE_RETURN_IF_ERROR(ham_->BeginTransaction(ctx_));
+  Result<ham::NodeIndex> result = [&]() -> Result<ham::NodeIndex> {
+    NEPTUNE_ASSIGN_OR_RETURN(ham::AddNodeResult object,
+                             ham_->AddNode(ctx_, true));
+    NEPTUNE_RETURN_IF_ERROR(ham_->ModifyNode(ctx_, object.node,
+                                             object.creation_time, object_code,
+                                             {}, "compile"));
+    NEPTUNE_RETURN_IF_ERROR(ham_->SetNodeAttributeValue(
+        ctx_, object.node, content_type_, CaseConventions::kObjectType));
+    NEPTUNE_ASSIGN_OR_RETURN(
+        ham::AddLinkResult link,
+        ham_->AddLink(ctx_, ham::LinkPt{source, 0, 0, true},
+                      ham::LinkPt{object.node, 0, 0, true}));
+    NEPTUNE_RETURN_IF_ERROR(ham_->SetLinkAttributeValue(
+        ctx_, link.link, relation_, CaseConventions::kCompilesInto));
+    return object.node;
+  }();
+  if (!result.ok()) {
+    ham_->AbortTransaction(ctx_);
+    return result.status();
+  }
+  NEPTUNE_RETURN_IF_ERROR(ham_->CommitTransaction(ctx_));
+  return result;
+}
+
+Result<CompileReport> CaseModel::CompileAll() {
+  NEPTUNE_ASSIGN_OR_RETURN(
+      ham::SubGraph sources,
+      ham_->GetGraphQuery(ctx_, 0,
+                          "contentType = 'Modula-2 source'", "", {}, {}));
+  CompileReport report;
+  for (const ham::SubGraphNode& node : sources.nodes) {
+    NEPTUNE_ASSIGN_OR_RETURN(bool stale, NeedsRecompile(node.node));
+    if (!stale) {
+      ++report.up_to_date;
+      continue;
+    }
+    Result<ham::NodeIndex> compiled = Compile(node.node);
+    if (!compiled.ok()) return compiled.status();
+    ++report.compiled;
+  }
+  return report;
+}
+
+Status CaseModel::EnableAutoCompile(ham::NodeIndex source) {
+  // The demon value's first word selects the registered callback.
+  return ham_->SetNodeDemon(ctx_, source, ham::Event::kModifyNode,
+                            "compile incremental");
+}
+
+void CaseModel::InstallCompileDemonHandler(ham::DemonRegistry* registry) {
+  registry->Register("compile", [this](const ham::DemonInvocation& inv) {
+    if (inv.node == 0) return;
+    // Demons run outside the engine's locks, so calling back in is
+    // safe. A failed recompile is logged by the caller's Status.
+    Compile(inv.node);
+  });
+}
+
+Result<std::vector<ham::NodeIndex>> CaseModel::ProceduresOf(
+    ham::NodeIndex module) {
+  NEPTUNE_ASSIGN_OR_RETURN(
+      ham::SubGraph graph,
+      ham_->LinearizeGraph(ctx_, module, 0, "", "relation = isPartOf", {},
+                           {}));
+  std::vector<ham::NodeIndex> out;
+  for (const ham::SubGraphNode& node : graph.nodes) {
+    if (node.node == module) continue;
+    Result<std::string> kind =
+        ham_->GetNodeAttributeValue(ctx_, node.node, code_type_, 0);
+    if (kind.ok() && *kind == CaseConventions::kProcedure) {
+      out.push_back(node.node);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ham::NodeIndex>> CaseModel::ImportersOf(
+    ham::NodeIndex module) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult opened,
+                           ham_->OpenNode(ctx_, module, 0, {}));
+  std::vector<ham::NodeIndex> out;
+  for (const ham::Attachment& att : opened.attachments) {
+    if (att.is_source_end) continue;  // we want links pointing at us
+    Result<std::string> relation =
+        ham_->GetLinkAttributeValue(ctx_, att.link, relation_, 0);
+    if (!relation.ok() || *relation != CaseConventions::kImports) continue;
+    NEPTUNE_ASSIGN_OR_RETURN(ham::LinkEndResult end,
+                             ham_->GetFromNode(ctx_, att.link, 0));
+    out.push_back(end.node);
+  }
+  return out;
+}
+
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,127 @@
+// The CASE application layer of paper §4.2: a Modula-2-flavoured
+// software-engineering environment on top of the HAM.
+//
+// Conventions (verbatim from the paper):
+//   contentType  "Modula-2 source" | "Modula-2 object code" | text...
+//   codeType     definitionModule | implementationModule | procedure
+//   relation     isPartOf | imports | compilesInto | annotates
+//
+// The "compiler integrated with hypertext" is simulated: object code
+// is a deterministic digest of the source text, stored in its own node
+// and linked from the source by a compilesInto link. The incremental
+// rebuild rule is the real one — recompile exactly the source nodes
+// whose contents version is newer than their object node's — and the
+// paper's §5 demon example ("invoking an incremental compiler when a
+// node which contains code is modified") is implemented with a real
+// node demon.
+
+#ifndef NEPTUNE_APP_CASE_MODEL_H_
+#define NEPTUNE_APP_CASE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ham/ham.h"
+#include "ham/ham_interface.h"
+
+namespace neptune {
+namespace app {
+
+struct CaseConventions {
+  static constexpr char kSourceType[] = "Modula-2 source";
+  static constexpr char kObjectType[] = "Modula-2 object code";
+  static constexpr char kDefinitionModule[] = "definitionModule";
+  static constexpr char kImplementationModule[] = "implementationModule";
+  static constexpr char kProcedure[] = "procedure";
+  static constexpr char kImports[] = "imports";
+  static constexpr char kCompilesInto[] = "compilesInto";
+};
+
+struct CompileReport {
+  size_t compiled = 0;     // object nodes (re)generated
+  size_t up_to_date = 0;   // sources whose object code was current
+};
+
+class CaseModel {
+ public:
+  CaseModel(ham::HamInterface* ham, ham::Context ctx) : ham_(ham), ctx_(ctx) {}
+
+  Status Init();
+
+  // A module source node (codeType definitionModule or
+  // implementationModule), named `name` via the icon attribute.
+  Result<ham::NodeIndex> AddModule(const std::string& name,
+                                   const std::string& code_type,
+                                   const std::string& source);
+
+  // A procedure node nested in `module` (isPartOf link at `position`).
+  Result<ham::NodeIndex> AddProcedure(ham::NodeIndex module,
+                                      const std::string& name,
+                                      const std::string& source,
+                                      uint64_t position);
+
+  // Records that `importer` imports `imported` (imports link at the
+  // import list's `position` in the source text).
+  Status AddImport(ham::NodeIndex importer, ham::NodeIndex imported,
+                   uint64_t position);
+
+  // Replaces a source node's text.
+  Status EditSource(ham::NodeIndex node, const std::string& source);
+
+  // Incremental build over every source node in the graph: recompiles
+  // exactly the sources whose contents changed since their object code
+  // was produced.
+  Result<CompileReport> CompileAll();
+
+  // Compiles one source node (unconditionally); creates the object
+  // node + compilesInto link on first compile.
+  Result<ham::NodeIndex> Compile(ham::NodeIndex source);
+
+  // Object-code node of `source`, or NotFound if never compiled.
+  Result<ham::NodeIndex> ObjectCodeOf(ham::NodeIndex source);
+
+  // True iff the object code is missing or older than the source.
+  Result<bool> NeedsRecompile(ham::NodeIndex source);
+
+  // Arms the §5 demon: any modifyNode on `source` recompiles it.
+  // `registry` is the engine's demon registry (local deployments) —
+  // InstallCompileDemonHandler must have been called on it.
+  Status EnableAutoCompile(ham::NodeIndex source);
+
+  // Registers the "compile" demon callback that EnableAutoCompile's
+  // bindings invoke. Call once per engine.
+  void InstallCompileDemonHandler(ham::DemonRegistry* registry);
+
+  // All procedure nodes nested in `module`, in offset order.
+  Result<std::vector<ham::NodeIndex>> ProceduresOf(ham::NodeIndex module);
+
+  // All modules whose import lists reference `module`.
+  Result<std::vector<ham::NodeIndex>> ImportersOf(ham::NodeIndex module);
+
+  // The deterministic "object code" for a source text (exposed so
+  // tests can assert compilation output).
+  static std::string FakeObjectCode(const std::string& source);
+
+  ham::AttributeIndex content_type_attr() const { return content_type_; }
+  ham::AttributeIndex code_type_attr() const { return code_type_; }
+  ham::AttributeIndex relation_attr() const { return relation_; }
+  ham::AttributeIndex icon_attr() const { return icon_; }
+
+ private:
+  Result<ham::NodeIndex> AddSourceNode(const std::string& name,
+                                       const std::string& code_type,
+                                       const std::string& source);
+
+  ham::HamInterface* ham_;
+  ham::Context ctx_;
+  ham::AttributeIndex content_type_ = 0;
+  ham::AttributeIndex code_type_ = 0;
+  ham::AttributeIndex relation_ = 0;
+  ham::AttributeIndex icon_ = 0;
+};
+
+}  // namespace app
+}  // namespace neptune
+
+#endif  // NEPTUNE_APP_CASE_MODEL_H_

@@ -1,0 +1,245 @@
+#include "app/interchange.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace neptune {
+namespace app {
+
+namespace {
+
+constexpr char kHeader[] = "NEPTUNE-INTERCHANGE 1\n";
+
+void AppendBlob(std::string* out, std::string_view blob) {
+  out->append(blob);
+  out->push_back('\n');
+}
+
+// Reads one text line (without the newline) from *in.
+bool ReadLine(std::string_view* in, std::string_view* line) {
+  size_t nl = in->find('\n');
+  if (nl == std::string_view::npos) return false;
+  *line = in->substr(0, nl);
+  in->remove_prefix(nl + 1);
+  return true;
+}
+
+// Reads `n` raw bytes followed by the separating newline.
+bool ReadBlob(std::string_view* in, size_t n, std::string_view* blob) {
+  if (in->size() < n + 1) return false;
+  *blob = in->substr(0, n);
+  if ((*in)[n] != '\n') return false;
+  in->remove_prefix(n + 1);
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> ExportGraph(ham::HamInterface* ham, ham::Context ctx,
+                                ham::Time time) {
+  std::string out = kHeader;
+
+  // Attribute dictionary: every attribute that existed at `time`, in
+  // index order; ordinals in the stream are positions in this list.
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::AttributeEntry> attrs,
+                           ham->GetAttributes(ctx, time));
+  std::map<ham::AttributeIndex, size_t> attr_ordinal;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    attr_ordinal[attrs[i].index] = i;
+    out += "attribute " + std::to_string(attrs[i].name.size()) + "\n";
+    AppendBlob(&out, attrs[i].name);
+  }
+
+  // Everything visible at `time`.
+  NEPTUNE_ASSIGN_OR_RETURN(ham::SubGraph graph,
+                           ham->GetGraphQuery(ctx, time, "", "", {}, {}));
+
+  std::map<ham::NodeIndex, size_t> node_ordinal;
+  for (const ham::SubGraphNode& node : graph.nodes) {
+    NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult opened,
+                             ham->OpenNode(ctx, node.node, time, {}));
+    node_ordinal[node.node] = node_ordinal.size();
+    char header[96];
+    std::snprintf(header, sizeof(header),
+                  "node %" PRIu64 " 1 420 %zu\n", node.node,
+                  opened.contents.size());
+    out += header;
+    AppendBlob(&out, opened.contents);
+    NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::AttributeValueEntry> values,
+                             ham->GetNodeAttributes(ctx, node.node, time));
+    for (const ham::AttributeValueEntry& value : values) {
+      auto ord = attr_ordinal.find(value.index);
+      if (ord == attr_ordinal.end()) continue;
+      std::snprintf(header, sizeof(header), "nodeattr %" PRIu64 " %zu %zu\n",
+                    node.node, ord->second, value.value.size());
+      out += header;
+      AppendBlob(&out, value.value);
+    }
+  }
+
+  size_t link_ordinal = 0;
+  for (const ham::SubGraphLink& link : graph.links) {
+    NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult from_open,
+                             ham->OpenNode(ctx, link.from, time, {}));
+    uint64_t from_pos = 0;
+    uint64_t to_pos = 0;
+    for (const ham::Attachment& att : from_open.attachments) {
+      if (att.link == link.link && att.is_source_end) from_pos = att.position;
+    }
+    NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult to_open,
+                             ham->OpenNode(ctx, link.to, time, {}));
+    for (const ham::Attachment& att : to_open.attachments) {
+      if (att.link == link.link && !att.is_source_end) to_pos = att.position;
+    }
+    char header[128];
+    std::snprintf(header, sizeof(header),
+                  "link %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 "\n",
+                  link.link, link.from, from_pos, link.to, to_pos);
+    out += header;
+    NEPTUNE_ASSIGN_OR_RETURN(std::vector<ham::AttributeValueEntry> values,
+                             ham->GetLinkAttributes(ctx, link.link, time));
+    for (const ham::AttributeValueEntry& value : values) {
+      auto ord = attr_ordinal.find(value.index);
+      if (ord == attr_ordinal.end()) continue;
+      std::snprintf(header, sizeof(header), "linkattr %zu %zu %zu\n",
+                    link_ordinal, ord->second, value.value.size());
+      out += header;
+      AppendBlob(&out, value.value);
+    }
+    ++link_ordinal;
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<ImportReport> ImportGraph(ham::HamInterface* ham, ham::Context ctx,
+                                 std::string_view data) {
+  if (data.substr(0, sizeof(kHeader) - 1) != kHeader) {
+    return Status::InvalidArgument("not a NEPTUNE-INTERCHANGE 1 stream");
+  }
+  data.remove_prefix(sizeof(kHeader) - 1);
+
+  ImportReport report;
+  std::vector<ham::AttributeIndex> attr_by_ordinal;
+  std::vector<ham::LinkIndex> link_by_ordinal;
+  auto corrupt = [](std::string_view what) {
+    return Status::Corruption("interchange: malformed " + std::string(what));
+  };
+
+  NEPTUNE_RETURN_IF_ERROR(ham->BeginTransaction(ctx));
+  Status status = [&]() -> Status {
+    std::string_view line;
+    while (ReadLine(&data, &line)) {
+      if (line == "end") return Status::OK();
+      char kind[16];
+      if (std::sscanf(std::string(line).c_str(), "%15s", kind) != 1) {
+        return corrupt("record");
+      }
+      const std::string k = kind;
+      if (k == "attribute") {
+        size_t len = 0;
+        if (std::sscanf(std::string(line).c_str(), "attribute %zu", &len) !=
+            1) {
+          return corrupt("attribute");
+        }
+        std::string_view name;
+        if (!ReadBlob(&data, len, &name)) return corrupt("attribute name");
+        NEPTUNE_ASSIGN_OR_RETURN(
+            ham::AttributeIndex attr,
+            ham->GetAttributeIndex(ctx, std::string(name)));
+        attr_by_ordinal.push_back(attr);
+        ++report.attributes;
+      } else if (k == "node") {
+        uint64_t old_index = 0;
+        int archive = 1;
+        unsigned protections = 0;
+        size_t len = 0;
+        if (std::sscanf(std::string(line).c_str(),
+                        "node %" PRIu64 " %d %u %zu", &old_index, &archive,
+                        &protections, &len) != 4) {
+          return corrupt("node");
+        }
+        std::string_view contents;
+        if (!ReadBlob(&data, len, &contents)) return corrupt("node contents");
+        NEPTUNE_ASSIGN_OR_RETURN(ham::AddNodeResult added,
+                                 ham->AddNode(ctx, archive != 0));
+        if (!contents.empty()) {
+          NEPTUNE_RETURN_IF_ERROR(
+              ham->ModifyNode(ctx, added.node, added.creation_time,
+                              std::string(contents), {}, "imported"));
+        }
+        report.node_mapping[old_index] = added.node;
+        ++report.nodes;
+      } else if (k == "nodeattr") {
+        uint64_t old_node = 0;
+        size_t attr_ord = 0;
+        size_t len = 0;
+        if (std::sscanf(std::string(line).c_str(),
+                        "nodeattr %" PRIu64 " %zu %zu", &old_node, &attr_ord,
+                        &len) != 3) {
+          return corrupt("nodeattr");
+        }
+        std::string_view value;
+        if (!ReadBlob(&data, len, &value)) return corrupt("nodeattr value");
+        auto node = report.node_mapping.find(old_node);
+        if (node == report.node_mapping.end() ||
+            attr_ord >= attr_by_ordinal.size()) {
+          return corrupt("nodeattr reference");
+        }
+        NEPTUNE_RETURN_IF_ERROR(ham->SetNodeAttributeValue(
+            ctx, node->second, attr_by_ordinal[attr_ord],
+            std::string(value)));
+      } else if (k == "link") {
+        uint64_t old_index = 0, from = 0, from_pos = 0, to = 0, to_pos = 0;
+        if (std::sscanf(std::string(line).c_str(),
+                        "link %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                        " %" PRIu64,
+                        &old_index, &from, &from_pos, &to, &to_pos) != 5) {
+          return corrupt("link");
+        }
+        auto from_it = report.node_mapping.find(from);
+        auto to_it = report.node_mapping.find(to);
+        if (from_it == report.node_mapping.end() ||
+            to_it == report.node_mapping.end()) {
+          return corrupt("link endpoints");
+        }
+        NEPTUNE_ASSIGN_OR_RETURN(
+            ham::AddLinkResult added,
+            ham->AddLink(ctx, ham::LinkPt{from_it->second, from_pos, 0, true},
+                         ham::LinkPt{to_it->second, to_pos, 0, true}));
+        link_by_ordinal.push_back(added.link);
+        ++report.links;
+      } else if (k == "linkattr") {
+        size_t link_ord = 0, attr_ord = 0, len = 0;
+        if (std::sscanf(std::string(line).c_str(), "linkattr %zu %zu %zu",
+                        &link_ord, &attr_ord, &len) != 3) {
+          return corrupt("linkattr");
+        }
+        std::string_view value;
+        if (!ReadBlob(&data, len, &value)) return corrupt("linkattr value");
+        if (link_ord >= link_by_ordinal.size() ||
+            attr_ord >= attr_by_ordinal.size()) {
+          return corrupt("linkattr reference");
+        }
+        NEPTUNE_RETURN_IF_ERROR(ham->SetLinkAttributeValue(
+            ctx, link_by_ordinal[link_ord], attr_by_ordinal[attr_ord],
+            std::string(value)));
+      } else {
+        return corrupt("record kind '" + k + "'");
+      }
+    }
+    return corrupt("stream (missing 'end')");
+  }();
+  if (!status.ok()) {
+    ham->AbortTransaction(ctx);  // an import is all-or-nothing
+    return status;
+  }
+  NEPTUNE_RETURN_IF_ERROR(ham->CommitTransaction(ctx));
+  return report;
+}
+
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,57 @@
+// Hyperdocument interchange: serializes the configuration of a graph
+// (its nodes, links and attributes as of one Time) to a portable,
+// binary-safe text format and loads it into another graph.
+//
+// This transfers one *version* of the hyperdocument — the natural unit
+// for publishing or migrating — not the version history, which stays
+// with the originating database (exactly like shipping a release
+// tarball out of an RCS tree, the paper's own storage analogy).
+//
+// Format (NIF1): a header line, then one record per line; binary
+// payloads are length-prefixed and follow their record line verbatim.
+//
+//   NEPTUNE-INTERCHANGE 1
+//   attribute <name-bytes>\n<name>
+//   node <old-index> <archive> <protections> <contents-bytes>\n<contents>
+//   nodeattr <old-node> <attr-ordinal> <value-bytes>\n<value>
+//   link <old-index> <from> <from-pos> <to> <to-pos>
+//   linkattr <link-ordinal> <attr-ordinal> <value-bytes>\n<value>
+//   end
+//
+// Ordinals refer to earlier records in the stream (0-based), so the
+// format needs no global id coordination on import.
+
+#ifndef NEPTUNE_APP_INTERCHANGE_H_
+#define NEPTUNE_APP_INTERCHANGE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "ham/ham_interface.h"
+
+namespace neptune {
+namespace app {
+
+struct ImportReport {
+  size_t nodes = 0;
+  size_t links = 0;
+  size_t attributes = 0;
+  // Old node index (from the export) -> node index in the target.
+  std::map<ham::NodeIndex, ham::NodeIndex> node_mapping;
+};
+
+// Exports every node/link visible at `time` (0 = now) in `ctx`'s
+// version thread, with their attribute values as of `time`.
+Result<std::string> ExportGraph(ham::HamInterface* ham, ham::Context ctx,
+                                ham::Time time);
+
+// Imports an NIF1 stream into `ctx`'s graph as new nodes/links (one
+// transaction per imported object group; ids are freshly assigned).
+Result<ImportReport> ImportGraph(ham::HamInterface* ham, ham::Context ctx,
+                                 std::string_view data);
+
+}  // namespace app
+}  // namespace neptune
+
+#endif  // NEPTUNE_APP_INTERCHANGE_H_

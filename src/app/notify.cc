@@ -1,0 +1,55 @@
+#include "app/notify.h"
+
+namespace neptune {
+namespace app {
+
+Status NotificationCenter::Init() {
+  NEPTUNE_ASSIGN_OR_RETURN(responsible_,
+                           ham_->GetAttributeIndex(ctx_, "responsible"));
+  return Status::OK();
+}
+
+void NotificationCenter::Install(ham::DemonRegistry* registry) {
+  registry->Register("mail", [this](const ham::DemonInvocation& invocation) {
+    if (invocation.node == 0) return;
+    Result<std::string> owner = ham_->GetNodeAttributeValue(
+        ctx_, invocation.node, responsible_, 0);
+    if (!owner.ok()) return;  // nobody responsible: nothing to send
+    // "when someone OTHER than that person modifies the node".
+    if (*owner == user_) return;
+    MailMessage message;
+    message.recipient = *owner;
+    message.modified_by = user_;
+    message.invocation = invocation;
+    std::lock_guard<std::mutex> lock(mu_);
+    mailbox_.push_back(std::move(message));
+  });
+}
+
+Status NotificationCenter::SetResponsible(ham::NodeIndex node,
+                                          const std::string& user) {
+  return ham_->SetNodeAttributeValue(ctx_, node, responsible_, user);
+}
+
+Status NotificationCenter::Watch(ham::NodeIndex node) {
+  return ham_->SetNodeDemon(ctx_, node, ham::Event::kModifyNode,
+                            "mail on-modify");
+}
+
+std::vector<MailMessage> NotificationCenter::MessagesFor(
+    const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MailMessage> out;
+  for (const MailMessage& message : mailbox_) {
+    if (message.recipient == user) out.push_back(message);
+  }
+  return out;
+}
+
+size_t NotificationCenter::TotalMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mailbox_.size();
+}
+
+}  // namespace app
+}  // namespace neptune

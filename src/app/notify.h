@@ -1,0 +1,71 @@
+// NotificationCenter: the paper's §5 demon example made concrete —
+// "sending mail to the person responsible for a node when someone
+// other than that person modifies the node."
+//
+// Conventions: the `responsible` attribute names a node's owner; the
+// session identifies its user by name. Watch(node) arms a modifyNode
+// demon whose callback compares the modifying user with the node's
+// `responsible` value and, when they differ, delivers a message (with
+// the full §5 parameterized invocation record) into the owner's
+// mailbox.
+
+#ifndef NEPTUNE_APP_NOTIFY_H_
+#define NEPTUNE_APP_NOTIFY_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ham/ham.h"
+#include "ham/ham_interface.h"
+
+namespace neptune {
+namespace app {
+
+struct MailMessage {
+  std::string recipient;           // the responsible person
+  std::string modified_by;         // who triggered the demon
+  ham::DemonInvocation invocation; // event, timestamp, node, graph...
+};
+
+class NotificationCenter {
+ public:
+  // `user` is the person this session acts as.
+  NotificationCenter(ham::HamInterface* ham, ham::Context ctx,
+                     std::string user)
+      : ham_(ham), ctx_(ctx), user_(std::move(user)) {}
+
+  Status Init();
+
+  // Registers the "mail" demon callback on an engine's registry.
+  // Call once per engine (typically server-side).
+  void Install(ham::DemonRegistry* registry);
+
+  // Records who is responsible for `node`.
+  Status SetResponsible(ham::NodeIndex node, const std::string& user);
+
+  // Arms the modifyNode mail demon on `node`.
+  Status Watch(ham::NodeIndex node);
+
+  // Messages delivered to `user` so far (snapshot).
+  std::vector<MailMessage> MessagesFor(const std::string& user) const;
+
+  size_t TotalMessages() const;
+
+  const std::string& user() const { return user_; }
+
+ private:
+  ham::HamInterface* ham_;
+  ham::Context ctx_;
+  std::string user_;
+  ham::AttributeIndex responsible_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<MailMessage> mailbox_;
+};
+
+}  // namespace app
+}  // namespace neptune
+
+#endif  // NEPTUNE_APP_NOTIFY_H_

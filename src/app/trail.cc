@@ -1,0 +1,141 @@
+#include "app/trail.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "app/document.h"
+#include "delta/text_diff.h"
+
+namespace neptune {
+namespace app {
+
+namespace {
+constexpr char kTrailsDocument[] = "trails";
+constexpr char kFollowsTrail[] = "followsTrail";
+}  // namespace
+
+Status TrailRecorder::Init() {
+  NEPTUNE_ASSIGN_OR_RETURN(icon_,
+                           ham_->GetAttributeIndex(ctx_, Conventions::kIcon));
+  NEPTUNE_ASSIGN_OR_RETURN(
+      document_, ham_->GetAttributeIndex(ctx_, Conventions::kDocument));
+  NEPTUNE_ASSIGN_OR_RETURN(
+      relation_, ham_->GetAttributeIndex(ctx_, Conventions::kRelation));
+  return Status::OK();
+}
+
+Result<ham::NodeIndex> TrailRecorder::StartTrail(const std::string& name) {
+  NEPTUNE_RETURN_IF_ERROR(ham_->BeginTransaction(ctx_));
+  Result<ham::NodeIndex> result = [&]() -> Result<ham::NodeIndex> {
+    NEPTUNE_ASSIGN_OR_RETURN(ham::AddNodeResult trail, ham_->AddNode(ctx_, true));
+    NEPTUNE_RETURN_IF_ERROR(ham_->SetNodeAttributeValue(
+        ctx_, trail.node, document_, kTrailsDocument));
+    NEPTUNE_RETURN_IF_ERROR(
+        ham_->SetNodeAttributeValue(ctx_, trail.node, icon_, name));
+    return trail.node;
+  }();
+  if (!result.ok()) {
+    ham_->AbortTransaction(ctx_);
+    return result.status();
+  }
+  NEPTUNE_RETURN_IF_ERROR(ham_->CommitTransaction(ctx_));
+  return result;
+}
+
+Status TrailRecorder::RecordStep(ham::NodeIndex trail, const TrailStep& step) {
+  NEPTUNE_RETURN_IF_ERROR(ham_->BeginTransaction(ctx_));
+  Status status = [&]() -> Status {
+    NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult current,
+                             ham_->OpenNode(ctx_, trail, 0, {}));
+    char line[64];
+    std::snprintf(line, sizeof(line), "%" PRIu64 " %" PRIu64 "\n", step.node,
+                  step.via);
+    std::vector<ham::AttachmentUpdate> updates;
+    size_t ordinal = 0;
+    for (const ham::Attachment& att : current.attachments) {
+      updates.push_back(
+          ham::AttachmentUpdate{att.link, att.is_source_end, att.position});
+      if (att.is_source_end) ++ordinal;
+    }
+    NEPTUNE_RETURN_IF_ERROR(ham_->ModifyNode(
+        ctx_, trail, current.current_version_time, current.contents + line,
+        updates, "trail step"));
+    NEPTUNE_ASSIGN_OR_RETURN(
+        ham::AddLinkResult link,
+        ham_->AddLink(ctx_,
+                      ham::LinkPt{trail, static_cast<uint64_t>(ordinal), 0,
+                                  true},
+                      ham::LinkPt{step.node, 0, 0, true}));
+    return ham_->SetLinkAttributeValue(ctx_, link.link, relation_,
+                                       kFollowsTrail);
+  }();
+  if (!status.ok()) {
+    ham_->AbortTransaction(ctx_);
+    return status;
+  }
+  return ham_->CommitTransaction(ctx_);
+}
+
+Result<std::vector<TrailStep>> TrailRecorder::Replay(ham::NodeIndex trail,
+                                                     ham::Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(ham::OpenNodeResult opened,
+                           ham_->OpenNode(ctx_, trail, time, {document_}));
+  if (opened.attribute_values.empty() ||
+      !opened.attribute_values[0].has_value() ||
+      *opened.attribute_values[0] != kTrailsDocument) {
+    return Status::InvalidArgument("node " + std::to_string(trail) +
+                                   " is not a trail");
+  }
+  std::vector<TrailStep> steps;
+  for (const std::string& line : delta::SplitLines(opened.contents)) {
+    TrailStep step;
+    if (std::sscanf(line.c_str(), "%" PRIu64 " %" PRIu64, &step.node,
+                    &step.via) >= 1) {
+      steps.push_back(step);
+    }
+  }
+  return steps;
+}
+
+Result<TrailStep> TrailRecorder::Resume(ham::NodeIndex trail) {
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<TrailStep> steps, Replay(trail, 0));
+  if (steps.empty()) {
+    return Status::NotFound("trail " + std::to_string(trail) +
+                            " has no steps yet");
+  }
+  return steps.back();
+}
+
+Result<std::vector<ham::NodeIndex>> TrailRecorder::ListTrails() {
+  NEPTUNE_ASSIGN_OR_RETURN(
+      ham::SubGraph graph,
+      ham_->GetGraphQuery(ctx_, 0, "document = trails", "", {}, {}));
+  std::vector<ham::NodeIndex> out;
+  for (const ham::SubGraphNode& node : graph.nodes) out.push_back(node.node);
+  return out;
+}
+
+Result<std::string> TrailRecorder::Render(ham::NodeIndex trail,
+                                          ham::Time time) {
+  Result<std::string> name =
+      ham_->GetNodeAttributeValue(ctx_, trail, icon_, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<TrailStep> steps, Replay(trail, time));
+  std::string out =
+      "Trail - " + (name.ok() ? *name : "#" + std::to_string(trail)) + "\n";
+  int ordinal = 1;
+  for (const TrailStep& step : steps) {
+    Result<std::string> title =
+        ham_->GetNodeAttributeValue(ctx_, step.node, icon_, time);
+    out += "  " + std::to_string(ordinal++) + ". " +
+           (title.ok() ? *title : "#" + std::to_string(step.node));
+    if (step.via != 0) {
+      out += "  (via link " + std::to_string(step.via) + ")";
+    }
+    out += "\n";
+  }
+  if (steps.empty()) out += "  (no steps recorded)\n";
+  return out;
+}
+
+}  // namespace app
+}  // namespace neptune

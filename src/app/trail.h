@@ -1,0 +1,67 @@
+// Trails — the memex feature the paper calls out (§2.2): "As a
+// hypertext reader follows link after link ... he or she may want to
+// keep a trail of which links were followed. This trail allows other
+// readers to follow the same path and makes it easier to resume
+// reading a document after a diversion has been followed."
+//
+// A trail is itself hypertext: a node (document=trails) whose contents
+// record the visited steps one per line, with a `followsTrail` link to
+// each visited node at the step's ordinal position — so trails are
+// versioned, queryable and browsable like everything else.
+
+#ifndef NEPTUNE_APP_TRAIL_H_
+#define NEPTUNE_APP_TRAIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ham/ham_interface.h"
+
+namespace neptune {
+namespace app {
+
+struct TrailStep {
+  ham::NodeIndex node = 0;  // the node the reader visited
+  ham::LinkIndex via = 0;   // the link followed to get there (0 = jump)
+};
+
+class TrailRecorder {
+ public:
+  TrailRecorder(ham::HamInterface* ham, ham::Context ctx)
+      : ham_(ham), ctx_(ctx) {}
+
+  Status Init();
+
+  // Creates an empty trail named `name`; the first step is usually the
+  // node the reader started at.
+  Result<ham::NodeIndex> StartTrail(const std::string& name);
+
+  // Appends a step (atomically: contents line + followsTrail link).
+  Status RecordStep(ham::NodeIndex trail, const TrailStep& step);
+
+  // The steps of `trail` at `time` (0 = now), in visit order — another
+  // reader "follows the same path" by walking this.
+  Result<std::vector<TrailStep>> Replay(ham::NodeIndex trail, ham::Time time);
+
+  // Where to resume: the last step, or NotFound for an empty trail.
+  Result<TrailStep> Resume(ham::NodeIndex trail);
+
+  // All trail nodes in the graph (document = trails).
+  Result<std::vector<ham::NodeIndex>> ListTrails();
+
+  // Human-readable rendering (a trail browser pane).
+  Result<std::string> Render(ham::NodeIndex trail, ham::Time time);
+
+ private:
+  ham::HamInterface* ham_;
+  ham::Context ctx_;
+  ham::AttributeIndex icon_ = 0;
+  ham::AttributeIndex document_ = 0;
+  ham::AttributeIndex relation_ = 0;
+};
+
+}  // namespace app
+}  // namespace neptune
+
+#endif  // NEPTUNE_APP_TRAIL_H_

@@ -1,0 +1,14 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace neptune {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace neptune

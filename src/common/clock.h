@@ -1,0 +1,43 @@
+// Clocks. HAM `Time` is a per-graph logical timestamp: a strictly
+// increasing non-negative integer (the Appendix only requires "a
+// non-negative integer representation for a given date and time", and
+// reserves 0 for "the current version"). Logical time makes version
+// histories deterministic and testable. A wall-clock helper is kept
+// for benchmarks and log messages.
+
+#ifndef NEPTUNE_COMMON_CLOCK_H_
+#define NEPTUNE_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace neptune {
+
+// Hands out strictly increasing timestamps, starting at 1 (0 is the
+// reserved "current version" sentinel throughout the HAM).
+class LogicalClock {
+ public:
+  LogicalClock() = default;
+  explicit LogicalClock(uint64_t last) : last_(last) {}
+
+  // Returns a timestamp strictly greater than every previous return.
+  uint64_t Tick() { return ++last_; }
+
+  // The most recently issued timestamp (0 if none yet).
+  uint64_t Last() const { return last_; }
+
+  // Fast-forwards so the next Tick() is > `t`; used by WAL recovery to
+  // resume after the highest replayed timestamp.
+  void AdvanceTo(uint64_t t) {
+    if (t > last_) last_ = t;
+  }
+
+ private:
+  uint64_t last_ = 0;
+};
+
+// Wall-clock microseconds since the Unix epoch (benchmarks, logging).
+uint64_t NowMicros();
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_COMMON_CLOCK_H_

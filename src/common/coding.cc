@@ -1,0 +1,138 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace neptune {
+
+void EncodeFixed32(char* dst, uint32_t value) {
+  dst[0] = static_cast<char>(value & 0xff);
+  dst[1] = static_cast<char>((value >> 8) & 0xff);
+  dst[2] = static_cast<char>((value >> 16) & 0xff);
+  dst[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+void EncodeFixed64(char* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t DecodeFixed32(const char* src) {
+  const auto* p = reinterpret_cast<const unsigned char*>(src);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t DecodeFixed64(const char* src) {
+  const auto* p = reinterpret_cast<const unsigned char*>(src);
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | p[i];
+  }
+  return value;
+}
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[2];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  dst->append(buf, 2);
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetFixed16(std::string_view* src, uint16_t* value) {
+  if (src->size() < 2) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(src->data());
+  *value = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  src->remove_prefix(2);
+  return true;
+}
+
+bool GetFixed32(std::string_view* src, uint32_t* value) {
+  if (src->size() < 4) return false;
+  *value = DecodeFixed32(src->data());
+  src->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* src, uint64_t* value) {
+  if (src->size() < 8) return false;
+  *value = DecodeFixed64(src->data());
+  src->remove_prefix(8);
+  return true;
+}
+
+bool GetVarint64(std::string_view* src, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !src->empty(); shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(src->front());
+    src->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // Truncated or > 10-byte varint.
+}
+
+bool GetVarint32(std::string_view* src, uint32_t* value) {
+  uint64_t v = 0;
+  if (!GetVarint64(src, &v) || v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetLengthPrefixed(std::string_view* src, std::string_view* value) {
+  uint64_t len = 0;
+  if (!GetVarint64(src, &len)) return false;
+  if (src->size() < len) return false;
+  *value = src->substr(0, len);
+  src->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace neptune

@@ -1,0 +1,44 @@
+// Binary encoding primitives shared by the WAL, snapshots, the HAM
+// codec, deltas and the RPC wire format: little-endian fixed-width
+// integers, LEB128 varints, and length-prefixed strings.
+//
+// All Get* functions consume from a std::string_view in place and
+// return false (without modifying the output) on underflow or a
+// malformed varint, so callers can surface Status::Corruption.
+
+#ifndef NEPTUNE_COMMON_CODING_H_
+#define NEPTUNE_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace neptune {
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// Encodes directly into a caller-provided buffer of at least 2/4/8
+// bytes; used by the WAL frame header.
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+uint32_t DecodeFixed32(const char* src);
+uint64_t DecodeFixed64(const char* src);
+
+bool GetFixed16(std::string_view* src, uint16_t* value);
+bool GetFixed32(std::string_view* src, uint32_t* value);
+bool GetFixed64(std::string_view* src, uint64_t* value);
+bool GetVarint32(std::string_view* src, uint32_t* value);
+bool GetVarint64(std::string_view* src, uint64_t* value);
+bool GetLengthPrefixed(std::string_view* src, std::string_view* value);
+
+// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_COMMON_CODING_H_

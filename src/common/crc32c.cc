@@ -1,0 +1,42 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace neptune {
+namespace crc32c {
+
+namespace {
+
+// Table-driven software CRC32C (polynomial 0x1EDC6F41, reflected
+// 0x82F63B78), one table, byte at a time. Fast enough for our record
+// sizes and fully portable.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, std::string_view data) {
+  const auto& table = Table();
+  uint32_t crc = init_crc ^ 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crc32c
+}  // namespace neptune

@@ -1,0 +1,48 @@
+// Minimal leveled logging. Off by default so tests and benchmarks stay
+// quiet; the server binary turns it on. Not a tracing framework — just
+// enough to see what a long-running HAM server is doing.
+
+#ifndef NEPTUNE_COMMON_LOGGING_H_
+#define NEPTUNE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace neptune {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Minimum level that is emitted; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr: "[LEVEL] message".
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define NEPTUNE_LOG(level)                                         \
+  if (::neptune::GetLogLevel() <= ::neptune::LogLevel::k##level)   \
+  ::neptune::internal::LogLine(::neptune::LogLevel::k##level)
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_COMMON_LOGGING_H_

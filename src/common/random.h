@@ -1,0 +1,74 @@
+// Deterministic PRNG for tests, workload generators and benchmarks.
+// xorshift128+ — fast, seedable, reproducible across platforms.
+
+#ifndef NEPTUNE_COMMON_RANDOM_H_
+#define NEPTUNE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace neptune {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to spread an arbitrary seed over both state words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  // Uniform in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  // Random lowercase-alpha string of length `len`.
+  std::string NextString(size_t len) {
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + Uniform(26)));
+    }
+    return out;
+  }
+
+  // Random byte string (full 0..255 range) of length `len`.
+  std::string NextBytes(size_t len) {
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>(Uniform(256)));
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97f4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_COMMON_RANDOM_H_

@@ -1,0 +1,82 @@
+// Result<T>: a value-or-Status, the return type of fallible operations
+// that produce a value. Modeled on arrow::Result / absl::StatusOr.
+
+#ifndef NEPTUNE_COMMON_RESULT_H_
+#define NEPTUNE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace neptune {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from a non-OK Status keeps
+  // call sites readable:  return value;  /  return Status::NotFound(...).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK Status without value");
+    if (status_.ok()) {
+      status_ = Status::FailedPrecondition("Result from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `alternative` if this holds an error.
+  T value_or(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or returns its
+// Status from the enclosing function.
+#define NEPTUNE_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  NEPTUNE_ASSIGN_OR_RETURN_IMPL_(                     \
+      NEPTUNE_CONCAT_(_neptune_result_, __LINE__), lhs, rexpr)
+
+#define NEPTUNE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define NEPTUNE_CONCAT_(a, b) NEPTUNE_CONCAT_IMPL_(a, b)
+#define NEPTUNE_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_COMMON_RESULT_H_

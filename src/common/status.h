@@ -1,0 +1,144 @@
+// Status: the error model used throughout Neptune.
+//
+// No exceptions cross an API boundary in this codebase (the style the
+// paper's era and today's storage engines share): every fallible
+// operation returns a Status, or a Result<T> when it produces a value.
+// This mirrors the HAM specification's implicit Boolean result0 on
+// every operation ("if the operation is successful then true is
+// returned otherwise false") while carrying a machine-readable code
+// and a human-readable reason.
+
+#ifndef NEPTUNE_COMMON_STATUS_H_
+#define NEPTUNE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace neptune {
+
+// Machine-readable classification of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kAlreadyExists = 5,
+  kFailedPrecondition = 6,
+  kAborted = 7,
+  kConflict = 8,
+  kPermissionDenied = 9,
+  kUnimplemented = 10,
+  kNetworkError = 11,
+};
+
+// Returns the canonical lower-level name ("NotFound", ...) for a code.
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status is cheap to copy in the OK case (a null pointer) and holds
+// (code, message) otherwise.
+class Status {
+ public:
+  Status() = default;  // OK.
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status Conflict(std::string_view msg) {
+    return Status(StatusCode::kConflict, msg);
+  }
+  static Status PermissionDenied(std::string_view msg) {
+    return Status(StatusCode::kPermissionDenied, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status NetworkError(std::string_view msg) {
+    return Status(StatusCode::kNetworkError, msg);
+  }
+  static Status FromCode(StatusCode code, std::string_view msg) {
+    return code == StatusCode::kOk ? OK() : Status(code, msg);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string_view msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::string(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+// Evaluates `expr` (a Status expression) and returns it from the
+// enclosing function if it is not OK.
+#define NEPTUNE_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::neptune::Status _neptune_status_ = (expr);     \
+    if (!_neptune_status_.ok()) return _neptune_status_; \
+  } while (0)
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_COMMON_STATUS_H_

@@ -1,0 +1,52 @@
+// Line-oriented differencing (Myers O(ND)) for the HAM's
+// getNodeDifferences operation and the node-differences browser.
+//
+// The Appendix defines the Difference domain as "a deletion, insertion
+// or replacement"; DiffLines computes a minimal line edit script and
+// coalesces adjacent edits into those three shapes.
+
+#ifndef NEPTUNE_DELTA_TEXT_DIFF_H_
+#define NEPTUNE_DELTA_TEXT_DIFF_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neptune {
+namespace delta {
+
+enum class DifferenceKind { kInsertion, kDeletion, kReplacement };
+
+// One hunk of difference between an old and a new version.
+// Line ranges are 0-based half-open intervals into the respective
+// versions' line lists. For an insertion old_begin == old_end (the
+// position the lines were inserted at); for a deletion new_begin ==
+// new_end.
+struct Difference {
+  DifferenceKind kind;
+  size_t old_begin = 0;
+  size_t old_end = 0;
+  size_t new_begin = 0;
+  size_t new_end = 0;
+  std::vector<std::string> old_lines;
+  std::vector<std::string> new_lines;
+};
+
+// Splits text into lines; a trailing '\n' does not create an empty
+// final line.
+std::vector<std::string> SplitLines(std::string_view text);
+
+// Minimal line-level differences transforming `old_text` into
+// `new_text`. Empty result iff the texts split into identical lines.
+std::vector<Difference> DiffLines(std::string_view old_text,
+                                  std::string_view new_text);
+
+// Human-readable rendering ("3d2", "4a5,6"-style headers with -/+
+// lines), used by the version browser and tests.
+std::string FormatDifferences(const std::vector<Difference>& diffs);
+
+}  // namespace delta
+}  // namespace neptune
+
+#endif  // NEPTUNE_DELTA_TEXT_DIFF_H_

@@ -1,0 +1,179 @@
+#include "delta/version_chain.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "delta/byte_delta.h"
+
+namespace neptune {
+namespace delta {
+
+Status VersionChain::Append(uint64_t time, std::string_view contents,
+                            std::string_view explanation) {
+  if (time == 0) {
+    return Status::InvalidArgument("version time 0 is reserved for 'current'");
+  }
+  if (!versions_.empty() && time <= versions_.back().time) {
+    return Status::InvalidArgument("version times must strictly increase");
+  }
+  if (mode_ == ChainMode::kCurrentOnly) {
+    // A file node: replace, keep only the latest version record.
+    versions_.assign(1, VersionInfo{time, std::string(explanation)});
+    current_.assign(contents);
+    return Status::OK();
+  }
+  if (mode_ == ChainMode::kForwardDelta) {
+    if (versions_.empty()) {
+      current_.assign(contents);  // the oldest version is the base
+    } else {
+      backward_.push_back(EncodeDelta(/*base=*/tip_, /*target=*/contents));
+    }
+    tip_.assign(contents);
+    versions_.push_back(VersionInfo{time, std::string(explanation)});
+    return Status::OK();
+  }
+  if (!versions_.empty()) {
+    if (mode_ == ChainMode::kBackwardDelta) {
+      backward_.push_back(EncodeDelta(/*base=*/contents, /*target=*/current_));
+    } else {
+      backward_.push_back(current_);
+    }
+  }
+  versions_.push_back(VersionInfo{time, std::string(explanation)});
+  current_.assign(contents);
+  return Status::OK();
+}
+
+Result<size_t> VersionChain::VersionIndexAt(uint64_t time) const {
+  if (versions_.empty()) return Status::NotFound("no versions");
+  if (time == 0) return versions_.size() - 1;
+  // Latest version whose time <= `time`.
+  auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), time,
+      [](uint64_t t, const VersionInfo& v) { return t < v.time; });
+  if (it == versions_.begin()) {
+    return Status::NotFound("no version at or before time " +
+                            std::to_string(time));
+  }
+  return static_cast<size_t>(std::distance(versions_.begin(), it)) - 1;
+}
+
+Result<std::string> VersionChain::Get(uint64_t time) const {
+  if (versions_.empty()) return Status::NotFound("no versions");
+  if (mode_ == ChainMode::kCurrentOnly) return current_;
+  NEPTUNE_ASSIGN_OR_RETURN(size_t index, VersionIndexAt(time));
+  if (mode_ == ChainMode::kForwardDelta) {
+    if (index == versions_.size() - 1) return tip_;
+    // Walk forward deltas up from the oldest version to `index`.
+    std::string contents = current_;
+    for (size_t i = 0; i < index; ++i) {
+      NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));
+    }
+    return contents;
+  }
+  if (index == versions_.size() - 1) return current_;
+  if (mode_ == ChainMode::kFullCopy) return backward_[index];
+  // Walk backward deltas from the current version down to `index`.
+  std::string contents = current_;
+  for (size_t i = versions_.size() - 1; i-- > index;) {
+    NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));
+  }
+  return contents;
+}
+
+size_t VersionChain::PruneBefore(uint64_t before) {
+  if (mode_ == ChainMode::kCurrentOnly || before == 0 || versions_.empty()) {
+    return 0;
+  }
+  Result<size_t> index = VersionIndexAt(before);
+  if (!index.ok() || *index == 0) return 0;
+  const size_t drop = *index;
+  if (mode_ == ChainMode::kForwardDelta) {
+    // Rebase: the version at the horizon becomes the new oldest base.
+    Result<std::string> base = Get(versions_[drop].time);
+    if (!base.ok()) return 0;
+    current_ = std::move(*base);
+  }
+  versions_.erase(versions_.begin(),
+                  versions_.begin() + static_cast<ptrdiff_t>(drop));
+  backward_.erase(backward_.begin(),
+                  backward_.begin() + static_cast<ptrdiff_t>(drop));
+  return drop;
+}
+
+size_t VersionChain::StoredBytes() const {
+  size_t total = current_.size();
+  for (const auto& d : backward_) total += d.size();
+  return total;
+}
+
+void VersionChain::EncodeTo(std::string* out) const {
+  out->push_back(static_cast<char>(mode_));
+  PutLengthPrefixed(out, current_);
+  PutVarint64(out, versions_.size());
+  for (const auto& v : versions_) {
+    PutVarint64(out, v.time);
+    PutLengthPrefixed(out, v.explanation);
+  }
+  PutVarint64(out, backward_.size());
+  for (const auto& d : backward_) {
+    PutLengthPrefixed(out, d);
+  }
+}
+
+Result<VersionChain> VersionChain::DecodeFrom(std::string_view* in) {
+  if (in->empty()) return Status::Corruption("version chain: empty input");
+  const uint8_t mode_byte = static_cast<uint8_t>(in->front());
+  in->remove_prefix(1);
+  if (mode_byte > static_cast<uint8_t>(ChainMode::kForwardDelta)) {
+    return Status::Corruption("version chain: bad mode");
+  }
+  VersionChain chain(static_cast<ChainMode>(mode_byte));
+  std::string_view current;
+  if (!GetLengthPrefixed(in, &current)) {
+    return Status::Corruption("version chain: truncated contents");
+  }
+  chain.current_.assign(current);
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) {
+    return Status::Corruption("version chain: truncated version count");
+  }
+  chain.versions_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    VersionInfo v;
+    std::string_view expl;
+    if (!GetVarint64(in, &v.time) || !GetLengthPrefixed(in, &expl)) {
+      return Status::Corruption("version chain: truncated version info");
+    }
+    v.explanation.assign(expl);
+    chain.versions_.push_back(std::move(v));
+  }
+  uint64_t nd = 0;
+  if (!GetVarint64(in, &nd)) {
+    return Status::Corruption("version chain: truncated delta count");
+  }
+  if (chain.mode_ != ChainMode::kCurrentOnly &&
+      nd + 1 != n && !(nd == 0 && n == 0)) {
+    return Status::Corruption("version chain: delta/version count mismatch");
+  }
+  chain.backward_.reserve(nd);
+  for (uint64_t i = 0; i < nd; ++i) {
+    std::string_view d;
+    if (!GetLengthPrefixed(in, &d)) {
+      return Status::Corruption("version chain: truncated delta");
+    }
+    chain.backward_.emplace_back(d);
+  }
+  if (chain.mode_ == ChainMode::kForwardDelta && !chain.versions_.empty()) {
+    // Rebuild the in-memory tip cache by replaying the chain.
+    std::string tip = chain.current_;
+    for (const std::string& d : chain.backward_) {
+      NEPTUNE_ASSIGN_OR_RETURN(tip, ApplyDelta(tip, d));
+    }
+    chain.tip_ = std::move(tip);
+  }
+  return chain;
+}
+
+}  // namespace delta
+}  // namespace neptune

@@ -1,0 +1,116 @@
+// VersionChain: the storage representation of "a complete version
+// history ... at the granularity of writes" (paper §2.2) using
+// backward deltas (paper §3).
+//
+// The chain always holds the *current* contents in full; each older
+// version is a delta computed against the version that replaced it, so
+// reading version k applies (newest - k) deltas backwards — recent
+// versions, the common case, are cheapest. Three modes exist:
+//
+//   kBackwardDelta  the paper's archive representation
+//   kFullCopy       every version stored whole; the baseline the
+//                   paper's design is implicitly compared against
+//                   ("without copying each individual item")
+//   kCurrentOnly    the paper's *file* nodes: no history kept
+//   kForwardDelta   the SCCS-flavoured alternative (oldest version
+//                   whole + forward deltas): as compact as backward
+//                   deltas, but the *current* version — the common
+//                   read — costs O(history). Kept as the ablation that
+//                   justifies the paper's RCS-style choice (B1/B2).
+//
+// Timestamps are the per-graph logical HAM Time; Get(0) means the
+// current version, Get(t) the version in effect at time t.
+
+#ifndef NEPTUNE_DELTA_VERSION_CHAIN_H_
+#define NEPTUNE_DELTA_VERSION_CHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace neptune {
+namespace delta {
+
+enum class ChainMode : uint8_t {
+  kBackwardDelta = 0,
+  kFullCopy = 1,
+  kCurrentOnly = 2,
+  kForwardDelta = 3,
+};
+
+struct VersionInfo {
+  uint64_t time = 0;
+  std::string explanation;
+};
+
+class VersionChain {
+ public:
+  explicit VersionChain(ChainMode mode = ChainMode::kBackwardDelta)
+      : mode_(mode) {}
+
+  ChainMode mode() const { return mode_; }
+  bool empty() const { return versions_.empty(); }
+  size_t version_count() const { return versions_.size(); }
+
+  // Records `contents` as the new current version at `time`, which
+  // must be strictly greater than the previous version's time.
+  Status Append(uint64_t time, std::string_view contents,
+                std::string_view explanation);
+
+  // Contents in effect at `time` (0 = current). NotFound if the chain
+  // is empty or `time` predates the first version. For kCurrentOnly
+  // chains any time returns the current contents (the HAM ignores
+  // Time for file nodes).
+  Result<std::string> Get(uint64_t time) const;
+
+  // Index of the version in effect at `time` (0 = current). NotFound
+  // if `time` predates the first version.
+  Result<size_t> VersionIndexAt(uint64_t time) const;
+
+  const std::string& Current() const {
+    return mode_ == ChainMode::kForwardDelta ? tip_ : current_;
+  }
+  uint64_t CurrentTime() const {
+    return versions_.empty() ? 0 : versions_.back().time;
+  }
+
+  // Version metadata, oldest first.
+  const std::vector<VersionInfo>& versions() const { return versions_; }
+
+  // Bytes held by this chain (current contents + stored deltas or
+  // copies); the quantity benchmark B1 measures.
+  size_t StoredBytes() const;
+
+  // Reclaims storage: drops every version strictly older than the one
+  // in effect at `before`. Reads at or after `before` still work;
+  // earlier times become NotFound. No-op for kCurrentOnly chains,
+  // before == 0, or when nothing predates `before`. Returns the number
+  // of versions dropped.
+  size_t PruneBefore(uint64_t before);
+
+  void EncodeTo(std::string* out) const;
+  static Result<VersionChain> DecodeFrom(std::string_view* in);
+
+ private:
+  ChainMode mode_;
+  // kForwardDelta: the OLDEST version's contents; otherwise the newest.
+  std::string current_;
+  std::vector<VersionInfo> versions_;  // oldest -> newest
+  // Size is versions_.size() - 1. Per mode:
+  //   kBackwardDelta  backward_[i] reconstructs version i from i+1
+  //   kFullCopy       backward_[i] holds version i's full contents
+  //   kForwardDelta   backward_[i] reconstructs version i+1 from i
+  //   kCurrentOnly    unused (empty)
+  std::vector<std::string> backward_;
+  // kForwardDelta only: in-memory cache of the newest contents (not
+  // serialized; rebuilt on decode) so appends don't replay the chain.
+  std::string tip_;
+};
+
+}  // namespace delta
+}  // namespace neptune
+
+#endif  // NEPTUNE_DELTA_VERSION_CHAIN_H_

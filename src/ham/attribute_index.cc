@@ -1,0 +1,36 @@
+#include "ham/attribute_index.h"
+
+#include <algorithm>
+
+namespace neptune {
+namespace ham {
+
+void AttributeValueIndex::Rebuild(
+    const std::unordered_map<NodeIndex, NodeRecord>& nodes, uint64_t epoch) {
+  by_value_.clear();
+  entries_ = 0;
+  for (const auto& [index, node] : nodes) {
+    if (!node.ExistsAt(0)) continue;
+    for (const auto& [attr, value] : node.attributes.GetAll(0)) {
+      by_value_[{attr, value}].push_back(index);
+      ++entries_;
+    }
+  }
+  for (auto& [key, list] : by_value_) {
+    (void)key;
+    std::sort(list.begin(), list.end());
+  }
+  built_ = true;
+  epoch_ = epoch;
+  ++rebuilds_;
+}
+
+const std::vector<NodeIndex>& AttributeValueIndex::Lookup(
+    AttributeIndex attr, const std::string& value) const {
+  static const std::vector<NodeIndex> kEmpty;
+  auto it = by_value_.find({attr, value});
+  return it == by_value_.end() ? kEmpty : it->second;
+}
+
+}  // namespace ham
+}  // namespace neptune

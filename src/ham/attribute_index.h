@@ -1,0 +1,66 @@
+// AttributeValueIndex: an inverted index from (attribute, value) to
+// the live main-thread nodes currently carrying that value —
+// getGraphQuery's fast path for the common predicate shape the paper
+// uses everywhere (`document = requirements & ...`).
+//
+// Design: lazily rebuilt. Every mutation of the main thread bumps the
+// graph's mutation epoch; a query that wants the index rebuilds it iff
+// its epoch is stale. This keeps the write path entirely index-free
+// (writes stay exactly as durable/fast as without the index) and makes
+// the index trivially consistent — the classic read-optimized
+// trade-off, measured as the B3 ablation in bench_query.
+//
+// The index answers only current-time (time == 0), main-thread,
+// no-open-transaction queries; everything else scans. Correctness
+// never depends on the index: candidates it returns are still run
+// through the full predicate.
+
+#ifndef NEPTUNE_HAM_ATTRIBUTE_INDEX_H_
+#define NEPTUNE_HAM_ATTRIBUTE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ham/records.h"
+#include "ham/types.h"
+
+namespace neptune {
+namespace ham {
+
+class AttributeValueIndex {
+ public:
+  // True iff the index matches `epoch` and can serve lookups.
+  bool FreshAt(uint64_t epoch) const { return built_ && epoch_ == epoch; }
+
+  // Rebuilds from `nodes` (live main-thread records only are indexed).
+  void Rebuild(const std::unordered_map<NodeIndex, NodeRecord>& nodes,
+               uint64_t epoch);
+
+  // Node indices whose current value of `attr` equals `value`,
+  // ascending. Precondition: FreshAt(current epoch).
+  const std::vector<NodeIndex>& Lookup(AttributeIndex attr,
+                                       const std::string& value) const;
+
+  // Candidate count for planning (chooses the most selective conjunct).
+  size_t Cardinality(AttributeIndex attr, const std::string& value) const {
+    return Lookup(attr, value).size();
+  }
+
+  size_t entry_count() const { return entries_; }
+  uint64_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  bool built_ = false;
+  uint64_t epoch_ = 0;
+  size_t entries_ = 0;
+  uint64_t rebuilds_ = 0;
+  std::map<std::pair<AttributeIndex, std::string>, std::vector<NodeIndex>>
+      by_value_;
+};
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_HAM_ATTRIBUTE_INDEX_H_

@@ -1,0 +1,93 @@
+#include "ham/attribute_table.h"
+
+#include "common/coding.h"
+
+namespace neptune {
+namespace ham {
+
+Result<AttributeIndex> AttributeTable::Lookup(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("attribute '" + std::string(name) +
+                            "' is not defined");
+  }
+  return it->second;
+}
+
+Result<AttributeIndex> AttributeTable::Intern(std::string_view name, Time t,
+                                              AttributeIndex forced_index) {
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (forced_index != 0 && forced_index != it->second) {
+      return Status::Corruption("attribute replay index mismatch for '" +
+                                std::string(name) + "'");
+    }
+    return it->second;
+  }
+  const AttributeIndex index = next_index();
+  if (forced_index != 0 && forced_index != index) {
+    return Status::Corruption("attribute replay assigned " +
+                              std::to_string(index) + ", log says " +
+                              std::to_string(forced_index));
+  }
+  defs_.push_back(Def{std::string(name), t});
+  by_name_.emplace(std::string(name), index);
+  return index;
+}
+
+Result<std::string> AttributeTable::Name(AttributeIndex index) const {
+  if (index == 0 || index > defs_.size()) {
+    return Status::NotFound("no attribute with index " +
+                            std::to_string(index));
+  }
+  return defs_[index - 1].name;
+}
+
+bool AttributeTable::ExistedAt(AttributeIndex index, Time t) const {
+  if (index == 0 || index > defs_.size()) return false;
+  return t == 0 || defs_[index - 1].created <= t;
+}
+
+std::vector<AttributeEntry> AttributeTable::AllAt(Time t) const {
+  std::vector<AttributeEntry> out;
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (t == 0 || defs_[i].created <= t) {
+      out.push_back(
+          AttributeEntry{defs_[i].name, static_cast<AttributeIndex>(i + 1)});
+    }
+  }
+  return out;
+}
+
+void AttributeTable::EncodeTo(std::string* out) const {
+  PutVarint64(out, defs_.size());
+  for (const Def& def : defs_) {
+    PutLengthPrefixed(out, def.name);
+    PutVarint64(out, def.created);
+  }
+}
+
+Result<AttributeTable> AttributeTable::DecodeFrom(std::string_view* in) {
+  AttributeTable out;
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) {
+    return Status::Corruption("attribute table: truncated count");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view name;
+    uint64_t created = 0;
+    if (!GetLengthPrefixed(in, &name) || !GetVarint64(in, &created)) {
+      return Status::Corruption("attribute table: truncated definition");
+    }
+    out.defs_.push_back(Def{std::string(name), created});
+    out.by_name_.emplace(std::string(name),
+                         static_cast<AttributeIndex>(i + 1));
+  }
+  return out;
+}
+
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,63 @@
+// AttributeTable: the per-graph mapping between attribute names and
+// their unique AttributeIndex values. getAttributeIndex interns a name
+// on first use ("If no attribute exists, then creates one"), and
+// getAttributes(Context, Time) reports the attributes "that existed at
+// time Time" — so each definition carries its creation time.
+
+#ifndef NEPTUNE_HAM_ATTRIBUTE_TABLE_H_
+#define NEPTUNE_HAM_ATTRIBUTE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ham/types.h"
+
+namespace neptune {
+namespace ham {
+
+class AttributeTable {
+ public:
+  // Index for `name`, or NotFound if it was never interned.
+  Result<AttributeIndex> Lookup(std::string_view name) const;
+
+  // Interns `name` at `t`, assigning the next index; returns the
+  // existing index if already present. `forced_index` (non-zero)
+  // replays a recovered assignment and must match what the table
+  // would assign.
+  Result<AttributeIndex> Intern(std::string_view name, Time t,
+                                AttributeIndex forced_index = 0);
+
+  // Name for `index`, or NotFound.
+  Result<std::string> Name(AttributeIndex index) const;
+
+  // True iff `index` was defined at or before `t` (0 = now).
+  bool ExistedAt(AttributeIndex index, Time t) const;
+
+  // All attributes that existed at `t`, ascending by index.
+  std::vector<AttributeEntry> AllAt(Time t) const;
+
+  size_t size() const { return defs_.size(); }
+  AttributeIndex next_index() const {
+    return static_cast<AttributeIndex>(defs_.size()) + 1;
+  }
+
+  void EncodeTo(std::string* out) const;
+  static Result<AttributeTable> DecodeFrom(std::string_view* in);
+
+ private:
+  struct Def {
+    std::string name;
+    Time created = 0;
+  };
+
+  std::vector<Def> defs_;  // defs_[i] has index i+1
+  std::unordered_map<std::string, AttributeIndex> by_name_;
+};
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_HAM_ATTRIBUTE_TABLE_H_

@@ -1,0 +1,1050 @@
+#include "ham/graph_state.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/coding.h"
+
+namespace neptune {
+namespace ham {
+
+namespace {
+
+// Adapts a record's attribute history (at a time) to the predicate
+// evaluator, resolving attribute names through the graph's table.
+class RecordAttributeSource : public query::AttributeSource {
+ public:
+  RecordAttributeSource(const AttributeTable& table,
+                        const AttributeHistory& attrs, Time time)
+      : table_(table), attrs_(attrs), time_(time) {}
+
+  std::optional<std::string_view> GetAttribute(
+      std::string_view name) const override {
+    Result<AttributeIndex> index = table_.Lookup(name);
+    if (!index.ok()) return std::nullopt;
+    return attrs_.Get(*index, time_);
+  }
+
+ private:
+  const AttributeTable& table_;
+  const AttributeHistory& attrs_;
+  Time time_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- lookup
+
+const NodeRecord* GraphState::FindNode(ThreadId thread, const TxnOverlay* txn,
+                                       NodeIndex index) const {
+  if (txn != nullptr) {
+    auto it = txn->records.nodes.find(index);
+    if (it != txn->records.nodes.end()) return &it->second;
+  }
+  if (thread != kMainThread) {
+    auto tit = threads_.find(thread);
+    if (tit != threads_.end()) {
+      auto it = tit->second.records.nodes.find(index);
+      if (it != tit->second.records.nodes.end()) return &it->second;
+    }
+  }
+  auto it = base_.nodes.find(index);
+  return it == base_.nodes.end() ? nullptr : &it->second;
+}
+
+const LinkRecord* GraphState::FindLink(ThreadId thread, const TxnOverlay* txn,
+                                       LinkIndex index) const {
+  if (txn != nullptr) {
+    auto it = txn->records.links.find(index);
+    if (it != txn->records.links.end()) return &it->second;
+  }
+  if (thread != kMainThread) {
+    auto tit = threads_.find(thread);
+    if (tit != threads_.end()) {
+      auto it = tit->second.records.links.find(index);
+      if (it != tit->second.records.links.end()) return &it->second;
+    }
+  }
+  auto it = base_.links.find(index);
+  return it == base_.links.end() ? nullptr : &it->second;
+}
+
+const DemonHistory& GraphState::GraphDemons(const TxnOverlay* txn) const {
+  if (txn != nullptr && txn->graph_demons.has_value()) {
+    return *txn->graph_demons;
+  }
+  return graph_demons_;
+}
+
+void GraphState::ForEachNode(
+    ThreadId thread, const TxnOverlay* txn,
+    const std::function<void(const NodeRecord&)>& fn) const {
+  std::map<NodeIndex, const NodeRecord*> merged;
+  for (const auto& [index, record] : base_.nodes) merged[index] = &record;
+  if (thread != kMainThread) {
+    auto tit = threads_.find(thread);
+    if (tit != threads_.end()) {
+      for (const auto& [index, record] : tit->second.records.nodes) {
+        merged[index] = &record;
+      }
+    }
+  }
+  if (txn != nullptr) {
+    for (const auto& [index, record] : txn->records.nodes) {
+      merged[index] = &record;
+    }
+  }
+  for (const auto& [index, record] : merged) {
+    (void)index;
+    fn(*record);
+  }
+}
+
+void GraphState::ForEachLink(
+    ThreadId thread, const TxnOverlay* txn,
+    const std::function<void(const LinkRecord&)>& fn) const {
+  std::map<LinkIndex, const LinkRecord*> merged;
+  for (const auto& [index, record] : base_.links) merged[index] = &record;
+  if (thread != kMainThread) {
+    auto tit = threads_.find(thread);
+    if (tit != threads_.end()) {
+      for (const auto& [index, record] : tit->second.records.links) {
+        merged[index] = &record;
+      }
+    }
+  }
+  if (txn != nullptr) {
+    for (const auto& [index, record] : txn->records.links) {
+      merged[index] = &record;
+    }
+  }
+  for (const auto& [index, record] : merged) {
+    (void)index;
+    fn(*record);
+  }
+}
+
+// ----------------------------------------------------------- mutation
+
+GraphState::RecordSet& GraphState::LevelFor(ThreadId thread, TxnOverlay* txn) {
+  if (txn != nullptr) return txn->records;
+  if (thread != kMainThread) return threads_[thread].records;
+  return base_;
+}
+
+Result<NodeRecord*> GraphState::MutableNode(ThreadId thread, TxnOverlay* txn,
+                                            NodeIndex index) {
+  RecordSet& level = LevelFor(thread, txn);
+  auto it = level.nodes.find(index);
+  if (it != level.nodes.end()) return &it->second;
+  // Copy-on-write from the level below.
+  const NodeRecord* below = nullptr;
+  if (txn != nullptr) {
+    below = FindNode(thread, nullptr, index);
+  } else if (thread != kMainThread) {
+    auto bit = base_.nodes.find(index);
+    below = bit == base_.nodes.end() ? nullptr : &bit->second;
+  }
+  if (below == nullptr) {
+    return Status::NotFound("node " + std::to_string(index) +
+                            " does not exist");
+  }
+  auto [pos, inserted] = level.nodes.emplace(index, *below);
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<LinkRecord*> GraphState::MutableLink(ThreadId thread, TxnOverlay* txn,
+                                            LinkIndex index) {
+  RecordSet& level = LevelFor(thread, txn);
+  auto it = level.links.find(index);
+  if (it != level.links.end()) return &it->second;
+  const LinkRecord* below = nullptr;
+  if (txn != nullptr) {
+    below = FindLink(thread, nullptr, index);
+  } else if (thread != kMainThread) {
+    auto bit = base_.links.find(index);
+    below = bit == base_.links.end() ? nullptr : &bit->second;
+  }
+  if (below == nullptr) {
+    return Status::NotFound("link " + std::to_string(index) +
+                            " does not exist");
+  }
+  auto [pos, inserted] = level.links.emplace(index, *below);
+  (void)inserted;
+  return &pos->second;
+}
+
+void GraphState::AddMinorVersion(NodeRecord* node, Time t,
+                                 std::string explanation) {
+  if (!node->minor_versions.empty() &&
+      node->minor_versions.back().time == t) {
+    return;  // one minor version per timestamp is enough
+  }
+  node->minor_versions.push_back(VersionEntry{t, std::move(explanation)});
+}
+
+Status GraphState::Apply(const Op& op, TxnOverlay* txn) {
+  Status status;
+  switch (op.kind) {
+    case OpKind::kAddNode:
+      status = ApplyAddNode(op, txn);
+      break;
+    case OpKind::kDeleteNode:
+      status = ApplyDeleteNode(op, txn);
+      break;
+    case OpKind::kAddLink:
+      status = ApplyAddLink(op, txn);
+      break;
+    case OpKind::kDeleteLink:
+      status = ApplyDeleteLink(op, txn);
+      break;
+    case OpKind::kModifyNode:
+      status = ApplyModifyNode(op, txn);
+      break;
+    case OpKind::kSetNodeAttribute: {
+      NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * node,
+                               MutableNode(op.thread, txn, op.node));
+      if (!node->ExistsAt(0)) {
+        return Status::NotFound("node " + std::to_string(op.node) +
+                                " is deleted");
+      }
+      if (!attributes_.ExistedAt(op.attr, 0)) {
+        return Status::NotFound("attribute index " + std::to_string(op.attr) +
+                                " is not defined");
+      }
+      node->attributes.Set(op.attr, op.time, op.value, node->is_archive);
+      AddMinorVersion(node, op.time, "setAttribute");
+      break;
+    }
+    case OpKind::kDeleteNodeAttribute: {
+      NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * node,
+                               MutableNode(op.thread, txn, op.node));
+      if (!node->ExistsAt(0)) {
+        return Status::NotFound("node " + std::to_string(op.node) +
+                                " is deleted");
+      }
+      node->attributes.Delete(op.attr, op.time, node->is_archive);
+      AddMinorVersion(node, op.time, "deleteAttribute");
+      break;
+    }
+    case OpKind::kSetLinkAttribute:
+    case OpKind::kDeleteLinkAttribute: {
+      NEPTUNE_ASSIGN_OR_RETURN(LinkRecord * link,
+                               MutableLink(op.thread, txn, op.link));
+      if (!link->ExistsAt(0)) {
+        return Status::NotFound("link " + std::to_string(op.link) +
+                                " is deleted");
+      }
+      // "If the link LinkIndex is attached to an archive then creates
+      // a new version of the attribute value."
+      bool versioned = false;
+      for (NodeIndex end : {link->from.node, link->to.node}) {
+        const NodeRecord* node = FindNode(op.thread, txn, end);
+        if (node != nullptr && node->is_archive) versioned = true;
+      }
+      if (op.kind == OpKind::kSetLinkAttribute) {
+        if (!attributes_.ExistedAt(op.attr, 0)) {
+          return Status::NotFound("attribute index " +
+                                  std::to_string(op.attr) +
+                                  " is not defined");
+        }
+        link->attributes.Set(op.attr, op.time, op.value, versioned);
+      } else {
+        link->attributes.Delete(op.attr, op.time, versioned);
+      }
+      break;
+    }
+    case OpKind::kInternAttribute: {
+      // Interning is append-only and logged as its own transaction, so
+      // it bypasses the txn overlay by design.
+      NEPTUNE_ASSIGN_OR_RETURN(AttributeIndex assigned,
+                               attributes_.Intern(op.extra, op.time, op.attr));
+      (void)assigned;
+      break;
+    }
+    case OpKind::kChangeNodeProtection: {
+      NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * node,
+                               MutableNode(op.thread, txn, op.node));
+      node->protections = static_cast<uint32_t>(op.arg);
+      AddMinorVersion(node, op.time, "changeProtection");
+      break;
+    }
+    case OpKind::kSetGraphDemon: {
+      if (txn != nullptr) {
+        if (!txn->graph_demons.has_value()) {
+          txn->graph_demons = graph_demons_;
+        }
+        txn->graph_demons->Set(op.event, op.time, op.value);
+      } else {
+        graph_demons_.Set(op.event, op.time, op.value);
+      }
+      break;
+    }
+    case OpKind::kSetNodeDemon: {
+      NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * node,
+                               MutableNode(op.thread, txn, op.node));
+      if (!node->ExistsAt(0)) {
+        return Status::NotFound("node " + std::to_string(op.node) +
+                                " is deleted");
+      }
+      node->demons.Set(op.event, op.time, op.value);
+      AddMinorVersion(node, op.time, "setDemon");
+      break;
+    }
+    case OpKind::kCreateContext: {
+      const ThreadId id = op.arg;
+      if (id == kMainThread || threads_.count(id) != 0) {
+        return Status::AlreadyExists("version thread " + std::to_string(id) +
+                                     " already exists");
+      }
+      ThreadState thread;
+      thread.id = id;
+      thread.name = op.extra;
+      thread.branched_at = op.time;
+      threads_.emplace(id, std::move(thread));
+      if (id >= next_thread_) next_thread_ = id + 1;
+      break;
+    }
+    case OpKind::kMergeContext:
+      status = ApplyMergeContext(op);
+      break;
+    case OpKind::kPruneHistory:
+      // Direct-to-base maintenance op (like merge); op.arg carries the
+      // prune horizon.
+      PruneHistoryBefore(op.arg);
+      break;
+  }
+  if (status.ok()) {
+    clock_.AdvanceTo(op.time);
+    ++mutation_epoch_;  // invalidates the lazy attribute index
+  }
+  return status;
+}
+
+Status GraphState::ApplyAddNode(const Op& op, TxnOverlay* txn) {
+  if (FindNode(op.thread, txn, op.node) != nullptr) {
+    return Status::AlreadyExists("node " + std::to_string(op.node) +
+                                 " already exists");
+  }
+  NodeRecord node;
+  node.index = op.node;
+  node.is_archive = op.flag;
+  node.protections = op.arg != 0 ? static_cast<uint32_t>(op.arg) : 0644;
+  node.created = op.time;
+  node.contents = delta::VersionChain(op.flag
+                                          ? delta::ChainMode::kBackwardDelta
+                                          : delta::ChainMode::kCurrentOnly);
+  // Seed the initial (empty) version so getNodeTimeStamp and the
+  // modifyNode optimistic check are uniform from birth.
+  NEPTUNE_RETURN_IF_ERROR(node.contents.Append(op.time, "", "created"));
+  LevelFor(op.thread, txn).nodes.emplace(op.node, std::move(node));
+  if (op.node >= next_node_) next_node_ = op.node + 1;
+  return Status::OK();
+}
+
+Status GraphState::ApplyDeleteNode(const Op& op, TxnOverlay* txn) {
+  NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * node,
+                           MutableNode(op.thread, txn, op.node));
+  if (!node->ExistsAt(0)) {
+    return Status::NotFound("node " + std::to_string(op.node) +
+                            " is already deleted");
+  }
+  node->deleted = op.time;
+  // "All links into or out of the node are deleted."
+  std::vector<LinkIndex> attached = node->out_links;
+  attached.insert(attached.end(), node->in_links.begin(),
+                  node->in_links.end());
+  for (LinkIndex index : attached) {
+    Result<LinkRecord*> link = MutableLink(op.thread, txn, index);
+    if (!link.ok()) continue;  // never materialized in this thread
+    if (!(*link)->ExistsAt(0)) continue;
+    (*link)->deleted = op.time;
+    // The surviving endpoint gets a minor version for the lost link.
+    const NodeIndex other = (*link)->from.node == op.node
+                                ? (*link)->to.node
+                                : (*link)->from.node;
+    if (other != op.node) {
+      Result<NodeRecord*> other_node = MutableNode(op.thread, txn, other);
+      if (other_node.ok() && (*other_node)->ExistsAt(0)) {
+        AddMinorVersion(*other_node, op.time, "deleteLink");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphState::ApplyAddLink(const Op& op, TxnOverlay* txn) {
+  if (FindLink(op.thread, txn, op.link) != nullptr) {
+    return Status::AlreadyExists("link " + std::to_string(op.link) +
+                                 " already exists");
+  }
+  // "The from and to nodes must exist at their respective times."
+  for (const LinkPt* pt : {&op.from, &op.to}) {
+    const NodeRecord* node = FindNode(op.thread, txn, pt->node);
+    if (node == nullptr || !node->ExistsAt(pt->time)) {
+      return Status::NotFound("link endpoint node " +
+                              std::to_string(pt->node) +
+                              " does not exist at time " +
+                              std::to_string(pt->time));
+    }
+  }
+  LinkRecord link;
+  link.index = op.link;
+  link.created = op.time;
+  auto make_end = [&op](const LinkPt& pt) {
+    LinkEnd end;
+    end.node = pt.node;
+    end.track_current = pt.track_current;
+    end.pinned_time = pt.track_current ? 0 : pt.time;
+    end.positions.emplace_back(op.time, pt.position);
+    return end;
+  };
+  link.from = make_end(op.from);
+  link.to = make_end(op.to);
+  LevelFor(op.thread, txn).links.emplace(op.link, std::move(link));
+  if (op.link >= next_link_) next_link_ = op.link + 1;
+
+  NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * from_node,
+                           MutableNode(op.thread, txn, op.from.node));
+  from_node->out_links.push_back(op.link);
+  AddMinorVersion(from_node, op.time, "addLink");
+  NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * to_node,
+                           MutableNode(op.thread, txn, op.to.node));
+  to_node->in_links.push_back(op.link);
+  AddMinorVersion(to_node, op.time, "addLink");
+  return Status::OK();
+}
+
+Status GraphState::ApplyDeleteLink(const Op& op, TxnOverlay* txn) {
+  NEPTUNE_ASSIGN_OR_RETURN(LinkRecord * link,
+                           MutableLink(op.thread, txn, op.link));
+  if (!link->ExistsAt(0)) {
+    return Status::NotFound("link " + std::to_string(op.link) +
+                            " is already deleted");
+  }
+  link->deleted = op.time;
+  for (NodeIndex end : {link->from.node, link->to.node}) {
+    Result<NodeRecord*> node = MutableNode(op.thread, txn, end);
+    if (node.ok() && (*node)->ExistsAt(0)) {
+      AddMinorVersion(*node, op.time, "deleteLink");
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphState::ApplyModifyNode(const Op& op, TxnOverlay* txn) {
+  NEPTUNE_ASSIGN_OR_RETURN(NodeRecord * node,
+                           MutableNode(op.thread, txn, op.node));
+  if (!node->ExistsAt(0)) {
+    return Status::NotFound("node " + std::to_string(op.node) +
+                            " is deleted");
+  }
+  if ((node->protections & 0222) == 0) {
+    return Status::PermissionDenied("node " + std::to_string(op.node) +
+                                    " is write-protected");
+  }
+  // Optimistic check-in: "Time must be equal to the version time of
+  // the current version of the node." op.arg carries the caller's
+  // expected time.
+  if (op.arg != node->contents.CurrentTime()) {
+    return Status::Conflict(
+        "node " + std::to_string(op.node) + " was modified: expected time " +
+        std::to_string(op.arg) + ", current is " +
+        std::to_string(node->contents.CurrentTime()));
+  }
+  // "There must be a LinkPt for each link associated with the current
+  // version of the node": every live automatic-update attachment needs
+  // an entry. Pinned ends are frozen at their version and need none.
+  size_t live_attachments = 0;
+  for (bool source_end : {true, false}) {
+    const std::vector<LinkIndex>& list =
+        source_end ? node->out_links : node->in_links;
+    for (LinkIndex index : list) {
+      const LinkRecord* link = FindLink(op.thread, txn, index);
+      if (link == nullptr || !link->ExistsAt(0)) continue;
+      const LinkEnd& end = source_end ? link->from : link->to;
+      if (end.track_current) ++live_attachments;
+    }
+  }
+  if (op.attachments.size() < live_attachments) {
+    return Status::InvalidArgument(
+        "modifyNode needs a LinkPt for each of the " +
+        std::to_string(live_attachments) + " attached links; got " +
+        std::to_string(op.attachments.size()));
+  }
+  // Attachment updates. In a kModifyNode op each `attachments` entry
+  // reuses LinkPt fields as: node = LinkIndex, track_current =
+  // is_source_end, position = new offset (see ops.h). Validate all of
+  // them before mutating anything so a failed op leaves the overlay
+  // untouched.
+  for (const LinkPt& att : op.attachments) {
+    const LinkRecord* link = FindLink(op.thread, txn, att.node);
+    if (link == nullptr) {
+      return Status::NotFound("attachment link " + std::to_string(att.node) +
+                              " does not exist");
+    }
+    const LinkEnd& end = att.track_current ? link->from : link->to;
+    if (link->ExistsAt(0) && end.node != op.node) {
+      return Status::InvalidArgument(
+          "attachment for link " + std::to_string(att.node) +
+          " does not reference node " + std::to_string(op.node));
+    }
+  }
+  NEPTUNE_RETURN_IF_ERROR(node->contents.Append(op.time, op.value, op.extra));
+  for (const LinkPt& att : op.attachments) {
+    NEPTUNE_ASSIGN_OR_RETURN(LinkRecord * link,
+                             MutableLink(op.thread, txn, att.node));
+    if (!link->ExistsAt(0)) continue;
+    LinkEnd& end = att.track_current ? link->from : link->to;
+    // "creates a new version of each of its link attachments whose
+    // Position has changed."
+    if (end.PositionAt(0) != att.position) {
+      end.SetPosition(op.time, att.position, node->is_archive);
+    }
+  }
+  return Status::OK();
+}
+
+Status GraphState::ApplyMergeContext(const Op& op) {
+  const ThreadId source = op.arg;
+  const bool force = op.flag;
+  auto tit = threads_.find(source);
+  if (tit == threads_.end()) {
+    return Status::NotFound("version thread " + std::to_string(source) +
+                            " does not exist");
+  }
+  ThreadState& thread = tit->second;
+  if (!force) {
+    // Validate everything before mutating anything: merge is atomic.
+    for (const auto& [index, record] : thread.records.nodes) {
+      auto bit = base_.nodes.find(index);
+      if (bit != base_.nodes.end() &&
+          NodeLastModified(bit->second) > thread.branched_at) {
+        return Status::Conflict("node " + std::to_string(index) +
+                                " changed in the main thread since this "
+                                "context branched");
+      }
+      (void)record;
+    }
+    for (const auto& [index, record] : thread.records.links) {
+      auto bit = base_.links.find(index);
+      if (bit != base_.links.end() &&
+          LinkLastModified(bit->second) > thread.branched_at) {
+        return Status::Conflict("link " + std::to_string(index) +
+                                " changed in the main thread since this "
+                                "context branched");
+      }
+      (void)record;
+    }
+  }
+  for (auto& [index, record] : thread.records.nodes) {
+    base_.nodes.insert_or_assign(index, std::move(record));
+  }
+  for (auto& [index, record] : thread.records.links) {
+    base_.links.insert_or_assign(index, std::move(record));
+  }
+  thread.records.nodes.clear();
+  thread.records.links.clear();
+  thread.branched_at = op.time;  // context continues from the merge point
+  return Status::OK();
+}
+
+void GraphState::CommitOverlay(ThreadId thread, TxnOverlay&& txn) {
+  if (txn.graph_demons.has_value()) {
+    graph_demons_ = std::move(*txn.graph_demons);
+  }
+  RecordSet& target =
+      thread == kMainThread ? base_ : threads_[thread].records;
+  for (auto& [index, record] : txn.records.nodes) {
+    target.nodes.insert_or_assign(index, std::move(record));
+  }
+  for (auto& [index, record] : txn.records.links) {
+    target.links.insert_or_assign(index, std::move(record));
+  }
+  ++mutation_epoch_;
+}
+
+// ------------------------------------------------------------ queries
+
+bool GraphState::EvaluateOnNode(const NodeRecord& node, Time time,
+                                const query::Predicate& pred) const {
+  if (pred.IsTriviallyTrue()) return true;
+  RecordAttributeSource source(attributes_, node.attributes, time);
+  return pred.Evaluate(source);
+}
+
+bool GraphState::EvaluateOnLink(const LinkRecord& link, Time time,
+                                const query::Predicate& pred) const {
+  if (pred.IsTriviallyTrue()) return true;
+  RecordAttributeSource source(attributes_, link.attributes, time);
+  return pred.Evaluate(source);
+}
+
+std::vector<std::optional<std::string>> GraphState::AttributeValuesFor(
+    const AttributeHistory& attrs, const AttributeRequest& request,
+    Time time) const {
+  std::vector<std::optional<std::string>> out;
+  out.reserve(request.size());
+  for (AttributeIndex attr : request) {
+    std::optional<std::string_view> value = attrs.Get(attr, time);
+    if (value.has_value()) {
+      out.emplace_back(std::string(*value));
+    } else {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+Result<SubGraph> GraphState::Linearize(ThreadId thread, const TxnOverlay* txn,
+                                       NodeIndex start, Time time,
+                                       const query::Predicate& node_pred,
+                                       const query::Predicate& link_pred,
+                                       const AttributeRequest& node_attrs,
+                                       const AttributeRequest& link_attrs)
+    const {
+  const NodeRecord* start_node = FindNode(thread, txn, start);
+  if (start_node == nullptr || !start_node->ExistsAt(time)) {
+    return Status::NotFound("start node " + std::to_string(start) +
+                            " does not exist at time " +
+                            std::to_string(time));
+  }
+  SubGraph out;
+  if (!EvaluateOnNode(*start_node, time, node_pred)) return out;
+
+  std::set<NodeIndex> visited;
+  std::set<LinkIndex> emitted_links;
+
+  // Recursive DFS via explicit lambda (graphs can be cyclic).
+  std::function<void(const NodeRecord&)> visit =
+      [&](const NodeRecord& node) {
+        visited.insert(node.index);
+        out.nodes.push_back(SubGraphNode{
+            node.index,
+            AttributeValuesFor(node.attributes, node_attrs, time)});
+        // Out-links "ordered by the links' offsets within the node".
+        struct Candidate {
+          uint64_t position;
+          LinkIndex link;
+        };
+        std::vector<Candidate> candidates;
+        for (LinkIndex index : node.out_links) {
+          const LinkRecord* link = FindLink(thread, txn, index);
+          if (link == nullptr || !link->ExistsAt(time)) continue;
+          candidates.push_back(
+              Candidate{link->from.PositionAt(time), index});
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                    return a.position != b.position ? a.position < b.position
+                                                    : a.link < b.link;
+                  });
+        for (const Candidate& c : candidates) {
+          const LinkRecord* link = FindLink(thread, txn, c.link);
+          if (!EvaluateOnLink(*link, time, link_pred)) continue;
+          const NodeRecord* target = FindNode(thread, txn, link->to.node);
+          if (target == nullptr || !target->ExistsAt(time)) continue;
+          if (!EvaluateOnNode(*target, time, node_pred)) continue;
+          // The link connects two result nodes: emit it (once).
+          if (emitted_links.insert(c.link).second) {
+            out.links.push_back(SubGraphLink{
+                c.link, link->from.node, link->to.node,
+                AttributeValuesFor(link->attributes, link_attrs, time)});
+          }
+          if (visited.count(target->index) == 0) visit(*target);
+        }
+      };
+  visit(*start_node);
+  return out;
+}
+
+Result<SubGraph> GraphState::Query(ThreadId thread, const TxnOverlay* txn,
+                                   Time time,
+                                   const query::Predicate& node_pred,
+                                   const query::Predicate& link_pred,
+                                   const AttributeRequest& node_attrs,
+                                   const AttributeRequest& link_attrs) const {
+  SubGraph out;
+  std::set<NodeIndex> selected;
+
+  // Fast path: serve candidates from the attribute index when the
+  // query shape allows it (see attribute_index.h).
+  const std::vector<NodeIndex>* candidates = nullptr;
+  if (attribute_index_enabled_ && thread == kMainThread && txn == nullptr &&
+      time == 0) {
+    std::pair<AttributeIndex, std::string> best{0, ""};
+    size_t best_cardinality = 0;
+    for (const auto& [name, value] : node_pred.EqualityConjuncts()) {
+      Result<AttributeIndex> attr = attributes_.Lookup(name);
+      if (!attr.ok()) {
+        // The conjunct references an attribute no object ever carried:
+        // nothing can match the predicate.
+        return out;
+      }
+      if (!node_index_.FreshAt(mutation_epoch_)) {
+        node_index_.Rebuild(base_.nodes, mutation_epoch_);
+      }
+      const size_t cardinality = node_index_.Cardinality(*attr, value);
+      if (best.first == 0 || cardinality < best_cardinality) {
+        best = {*attr, value};
+        best_cardinality = cardinality;
+      }
+    }
+    if (best.first != 0) {
+      candidates = &node_index_.Lookup(best.first, best.second);
+    }
+  }
+
+  if (candidates != nullptr) {
+    for (NodeIndex index : *candidates) {
+      auto it = base_.nodes.find(index);
+      if (it == base_.nodes.end()) continue;
+      const NodeRecord& node = it->second;
+      if (!node.ExistsAt(time)) continue;
+      if (!EvaluateOnNode(node, time, node_pred)) continue;
+      selected.insert(node.index);
+      out.nodes.push_back(SubGraphNode{
+          node.index, AttributeValuesFor(node.attributes, node_attrs, time)});
+    }
+  } else {
+    ForEachNode(thread, txn, [&](const NodeRecord& node) {
+      if (!node.ExistsAt(time)) return;
+      if (!EvaluateOnNode(node, time, node_pred)) return;
+      selected.insert(node.index);
+      out.nodes.push_back(SubGraphNode{
+          node.index, AttributeValuesFor(node.attributes, node_attrs, time)});
+    });
+  }
+  ForEachLink(thread, txn, [&](const LinkRecord& link) {
+    if (!link.ExistsAt(time)) return;
+    if (selected.count(link.from.node) == 0 ||
+        selected.count(link.to.node) == 0) {
+      return;
+    }
+    if (!EvaluateOnLink(link, time, link_pred)) return;
+    out.links.push_back(
+        SubGraphLink{link.index, link.from.node, link.to.node,
+                     AttributeValuesFor(link.attributes, link_attrs, time)});
+  });
+  return out;
+}
+
+std::vector<std::string> GraphState::AttributeValuesAt(ThreadId thread,
+                                                       const TxnOverlay* txn,
+                                                       AttributeIndex attr,
+                                                       Time time) const {
+  std::set<std::string> values;
+  ForEachNode(thread, txn, [&](const NodeRecord& node) {
+    if (!node.ExistsAt(time)) return;
+    std::optional<std::string_view> value = node.attributes.Get(attr, time);
+    if (value.has_value()) values.emplace(*value);
+  });
+  ForEachLink(thread, txn, [&](const LinkRecord& link) {
+    if (!link.ExistsAt(time)) return;
+    std::optional<std::string_view> value = link.attributes.Get(attr, time);
+    if (value.has_value()) values.emplace(*value);
+  });
+  return std::vector<std::string>(values.begin(), values.end());
+}
+
+// ------------------------------------------------------------ threads
+
+const GraphState::ThreadState* GraphState::FindThread(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  return it == threads_.end() ? nullptr : &it->second;
+}
+
+std::vector<ContextInfo> GraphState::ListThreads() const {
+  std::vector<ContextInfo> out;
+  out.push_back(ContextInfo{kMainThread, "main", 0});
+  for (const auto& [id, thread] : threads_) {
+    out.push_back(ContextInfo{id, thread.name, thread.branched_at});
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ helpers
+
+Time GraphState::NodeLastModified(const NodeRecord& node) {
+  Time last = std::max(node.created, node.deleted);
+  last = std::max(last, node.contents.CurrentTime());
+  if (!node.minor_versions.empty()) {
+    last = std::max(last, node.minor_versions.back().time);
+  }
+  last = std::max(last, node.attributes.LastTime());
+  return last;
+}
+
+Time GraphState::LinkLastModified(const LinkRecord& link) {
+  Time last = std::max(link.created, link.deleted);
+  for (const LinkEnd* end : {&link.from, &link.to}) {
+    if (!end->positions.empty()) {
+      last = std::max(last, end->positions.back().first);
+    }
+  }
+  last = std::max(last, link.attributes.LastTime());
+  return last;
+}
+
+GraphState::Stats GraphState::ComputeStats() const {
+  Stats stats;
+  stats.total_node_records = base_.nodes.size();
+  stats.total_link_records = base_.links.size();
+  for (const auto& [index, node] : base_.nodes) {
+    (void)index;
+    if (node.ExistsAt(0)) ++stats.node_count;
+  }
+  for (const auto& [index, link] : base_.links) {
+    (void)index;
+    if (link.ExistsAt(0)) ++stats.link_count;
+  }
+  stats.thread_count = threads_.size();
+  stats.attribute_count = attributes_.size();
+  return stats;
+}
+
+// ------------------------------------------------------------ fsck
+
+std::vector<std::string> GraphState::CheckIntegrity() const {
+  std::vector<std::string> problems;
+  auto report = [&problems](std::string message) {
+    problems.push_back(std::move(message));
+  };
+
+  NodeIndex max_node = 0;
+  LinkIndex max_link = 0;
+
+  for (const auto& [index, node] : base_.nodes) {
+    max_node = std::max(max_node, index);
+    if (node.index != index) {
+      report("node " + std::to_string(index) + " stored under wrong key");
+    }
+    if (node.created == 0) {
+      report("node " + std::to_string(index) + " has no creation time");
+    }
+    // Version times strictly increase.
+    Time prev = 0;
+    for (const auto& version : node.contents.versions()) {
+      if (version.time <= prev) {
+        report("node " + std::to_string(index) +
+               " version times not strictly increasing");
+        break;
+      }
+      prev = version.time;
+    }
+    // Attribute indices must be defined in the table.
+    for (const auto& [attr, value] : node.attributes.GetAll(0)) {
+      (void)value;
+      if (!attributes_.ExistedAt(attr, 0)) {
+        report("node " + std::to_string(index) +
+               " carries undefined attribute index " + std::to_string(attr));
+      }
+    }
+    // Link lists must reference existing links that point back here.
+    for (bool source_end : {true, false}) {
+      const auto& list = source_end ? node.out_links : node.in_links;
+      for (LinkIndex link_index : list) {
+        auto it = base_.links.find(link_index);
+        if (it == base_.links.end()) {
+          report("node " + std::to_string(index) + " lists missing link " +
+                 std::to_string(link_index));
+          continue;
+        }
+        const LinkEnd& end = source_end ? it->second.from : it->second.to;
+        if (end.node != index) {
+          report("link " + std::to_string(link_index) +
+                 " does not attach back to node " + std::to_string(index));
+        }
+      }
+    }
+  }
+
+  for (const auto& [index, link] : base_.links) {
+    max_link = std::max(max_link, index);
+    if (link.index != index) {
+      report("link " + std::to_string(index) + " stored under wrong key");
+    }
+    for (const LinkEnd* end : {&link.from, &link.to}) {
+      auto it = base_.nodes.find(end->node);
+      if (it == base_.nodes.end()) {
+        report("link " + std::to_string(index) +
+               " references missing node " + std::to_string(end->node));
+        continue;
+      }
+      const bool is_from = end == &link.from;
+      const auto& list = is_from ? it->second.out_links : it->second.in_links;
+      if (std::find(list.begin(), list.end(), index) == list.end()) {
+        report("node " + std::to_string(end->node) + " does not list link " +
+               std::to_string(index));
+      }
+      if (end->positions.empty()) {
+        report("link " + std::to_string(index) +
+               " has an end with no attachment offset");
+      }
+    }
+    if (link.created == 0) {
+      report("link " + std::to_string(index) + " has no creation time");
+    }
+  }
+
+  if (max_node >= next_node_) {
+    report("node counter " + std::to_string(next_node_) +
+           " not above max node " + std::to_string(max_node));
+  }
+  if (max_link >= next_link_) {
+    report("link counter " + std::to_string(next_link_) +
+           " not above max link " + std::to_string(max_link));
+  }
+  for (const auto& [id, thread] : threads_) {
+    if (id != thread.id) {
+      report("thread " + std::to_string(id) + " stored under wrong key");
+    }
+    if (thread.branched_at > clock_.Last()) {
+      report("thread " + std::to_string(id) + " branched in the future");
+    }
+  }
+  return problems;
+}
+
+size_t GraphState::PruneHistoryBefore(Time before) {
+  size_t touched = 0;
+  for (auto& [index, node] : base_.nodes) {
+    (void)index;
+    size_t dropped = node.contents.PruneBefore(before);
+    dropped += node.attributes.PruneBefore(before);
+    const size_t minors_before = node.minor_versions.size();
+    node.minor_versions.erase(
+        std::remove_if(node.minor_versions.begin(), node.minor_versions.end(),
+                       [before](const VersionEntry& v) {
+                         return v.time < before;
+                       }),
+        node.minor_versions.end());
+    dropped += minors_before - node.minor_versions.size();
+    if (dropped > 0) ++touched;
+  }
+  for (auto& [index, link] : base_.links) {
+    (void)index;
+    size_t dropped = link.attributes.PruneBefore(before);
+    for (LinkEnd* end : {&link.from, &link.to}) {
+      auto keep = std::upper_bound(
+          end->positions.begin(), end->positions.end(), before,
+          [](Time t, const std::pair<Time, uint64_t>& p) {
+            return t < p.first;
+          });
+      if (keep != end->positions.begin()) {
+        --keep;  // the offset in effect at `before` stays
+        dropped += static_cast<size_t>(
+            std::distance(end->positions.begin(), keep));
+        end->positions.erase(end->positions.begin(), keep);
+      }
+    }
+    if (dropped > 0) ++touched;
+  }
+  ++mutation_epoch_;
+  return touched;
+}
+
+// -------------------------------------------------------------- codec
+
+namespace {
+
+void EncodeRecordSet(const GraphState::RecordSet& set, std::string* out) {
+  // Deterministic order: ascending index.
+  std::vector<NodeIndex> node_ids;
+  node_ids.reserve(set.nodes.size());
+  for (const auto& [index, record] : set.nodes) {
+    (void)record;
+    node_ids.push_back(index);
+  }
+  std::sort(node_ids.begin(), node_ids.end());
+  PutVarint64(out, node_ids.size());
+  for (NodeIndex id : node_ids) set.nodes.at(id).EncodeTo(out);
+
+  std::vector<LinkIndex> link_ids;
+  link_ids.reserve(set.links.size());
+  for (const auto& [index, record] : set.links) {
+    (void)record;
+    link_ids.push_back(index);
+  }
+  std::sort(link_ids.begin(), link_ids.end());
+  PutVarint64(out, link_ids.size());
+  for (LinkIndex id : link_ids) set.links.at(id).EncodeTo(out);
+}
+
+Status DecodeRecordSet(std::string_view* in, GraphState::RecordSet* set) {
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) {
+    return Status::Corruption("record set: truncated node count");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    NEPTUNE_ASSIGN_OR_RETURN(NodeRecord node, NodeRecord::DecodeFrom(in));
+    const NodeIndex index = node.index;
+    set->nodes.emplace(index, std::move(node));
+  }
+  if (!GetVarint64(in, &n)) {
+    return Status::Corruption("record set: truncated link count");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    NEPTUNE_ASSIGN_OR_RETURN(LinkRecord link, LinkRecord::DecodeFrom(in));
+    const LinkIndex index = link.index;
+    set->links.emplace(index, std::move(link));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void GraphState::EncodeTo(std::string* out) const {
+  attributes_.EncodeTo(out);
+  graph_demons_.EncodeTo(out);
+  PutVarint64(out, clock_.Last());
+  PutVarint64(out, next_node_);
+  PutVarint64(out, next_link_);
+  PutVarint64(out, next_thread_);
+  EncodeRecordSet(base_, out);
+  PutVarint64(out, threads_.size());
+  for (const auto& [id, thread] : threads_) {
+    PutVarint64(out, id);
+    PutLengthPrefixed(out, thread.name);
+    PutVarint64(out, thread.branched_at);
+    EncodeRecordSet(thread.records, out);
+  }
+}
+
+Result<GraphState> GraphState::DecodeFrom(std::string_view in) {
+  GraphState out;
+  NEPTUNE_ASSIGN_OR_RETURN(out.attributes_, AttributeTable::DecodeFrom(&in));
+  NEPTUNE_ASSIGN_OR_RETURN(out.graph_demons_, DemonHistory::DecodeFrom(&in));
+  uint64_t last_time = 0;
+  if (!GetVarint64(&in, &last_time) || !GetVarint64(&in, &out.next_node_) ||
+      !GetVarint64(&in, &out.next_link_) ||
+      !GetVarint64(&in, &out.next_thread_)) {
+    return Status::Corruption("graph state: truncated counters");
+  }
+  out.clock_.AdvanceTo(last_time);
+  NEPTUNE_RETURN_IF_ERROR(DecodeRecordSet(&in, &out.base_));
+  uint64_t threads = 0;
+  if (!GetVarint64(&in, &threads)) {
+    return Status::Corruption("graph state: truncated thread count");
+  }
+  for (uint64_t i = 0; i < threads; ++i) {
+    ThreadState thread;
+    std::string_view name;
+    if (!GetVarint64(&in, &thread.id) || !GetLengthPrefixed(&in, &name) ||
+        !GetVarint64(&in, &thread.branched_at)) {
+      return Status::Corruption("graph state: truncated thread header");
+    }
+    thread.name.assign(name);
+    NEPTUNE_RETURN_IF_ERROR(DecodeRecordSet(&in, &thread.records));
+    const ThreadId id = thread.id;
+    out.threads_.emplace(id, std::move(thread));
+  }
+  if (!in.empty()) {
+    return Status::Corruption("graph state: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,451 @@
+#include "ham/ham.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace neptune {
+namespace ham {
+
+namespace {
+
+constexpr char kMetaMagic[] = "NEPMETA1";  // 8 bytes
+
+// Read permission: any read bit; write permission: any write bit.
+bool CanRead(uint32_t protections) { return (protections & 0444) != 0; }
+bool CanWrite(uint32_t protections) { return (protections & 0222) != 0; }
+
+// First whitespace-delimited word of a demon value — the registry key.
+std::string DemonCallbackName(const std::string& demon) {
+  size_t end = demon.find(' ');
+  return end == std::string::npos ? demon : demon.substr(0, end);
+}
+
+Event EventForOp(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kAddNode:
+      return Event::kAddNode;
+    case OpKind::kDeleteNode:
+      return Event::kDeleteNode;
+    case OpKind::kAddLink:
+      return Event::kAddLink;
+    case OpKind::kDeleteLink:
+      return Event::kDeleteLink;
+    case OpKind::kModifyNode:
+      return Event::kModifyNode;
+    case OpKind::kSetNodeAttribute:
+    case OpKind::kSetLinkAttribute:
+      return Event::kSetAttribute;
+    case OpKind::kDeleteNodeAttribute:
+    case OpKind::kDeleteLinkAttribute:
+      return Event::kDeleteAttribute;
+    case OpKind::kChangeNodeProtection:
+      return Event::kChangeProtection;
+    default:
+      return Event::kCommitTransaction;  // no per-op demon event
+  }
+}
+
+bool OpHasDemonEvent(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kInternAttribute:
+    case OpKind::kSetGraphDemon:
+    case OpKind::kSetNodeDemon:
+    case OpKind::kCreateContext:
+    case OpKind::kMergeContext:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------------- DemonRegistry
+
+void DemonRegistry::Register(const std::string& name, DemonCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[name] = std::move(callback);
+}
+
+void DemonRegistry::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(name);
+}
+
+bool DemonRegistry::Fire(const DemonInvocation& invocation) const {
+  DemonCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = callbacks_.find(DemonCallbackName(invocation.demon));
+    if (it == callbacks_.end()) return false;
+    callback = it->second;
+  }
+  callback(invocation);
+  return true;
+}
+
+// ------------------------------------------------------------- lifecycle
+
+Ham::Ham(Env* env, HamOptions options)
+    : env_(env), options_(std::move(options)) {}
+
+Ham::~Ham() = default;
+
+std::string Ham::EncodeMeta(ProjectId project, uint32_t protections) {
+  std::string out(kMetaMagic, 8);
+  PutFixed64(&out, project);
+  PutVarint32(&out, protections);
+  return out;
+}
+
+Status Ham::DecodeMeta(std::string_view meta, ProjectId* project,
+                       uint32_t* protections) {
+  if (meta.size() < 8 || meta.substr(0, 8) != std::string_view(kMetaMagic, 8)) {
+    return Status::Corruption("bad PROJECT metadata magic");
+  }
+  meta.remove_prefix(8);
+  if (!GetFixed64(&meta, project) || !GetVarint32(&meta, protections)) {
+    return Status::Corruption("truncated PROJECT metadata");
+  }
+  return Status::OK();
+}
+
+Result<ProjectId> Ham::ReadProjectId(Env* env, const std::string& dir) {
+  NEPTUNE_ASSIGN_OR_RETURN(std::string meta, DurableStore::ReadMeta(env, dir));
+  ProjectId project = 0;
+  uint32_t protections = 0;
+  NEPTUNE_RETURN_IF_ERROR(DecodeMeta(meta, &project, &protections));
+  return project;
+}
+
+Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
+                                           uint32_t protections) {
+  // A fresh graph: logical time 1 is its creation instant.
+  GraphState state;
+  const Time creation = state.clock().Tick();
+
+  // Unique-enough project id (the Appendix only requires uniqueness).
+  static Random project_rng(NowMicros());
+  ProjectId project = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    do {
+      project = project_rng.Next();
+    } while (project == 0);
+  }
+
+  std::string snapshot;
+  state.EncodeTo(&snapshot);
+  NEPTUNE_ASSIGN_OR_RETURN(
+      std::unique_ptr<DurableStore> store,
+      DurableStore::Create(env_, directory, EncodeMeta(project, protections),
+                           snapshot, protections));
+  (void)store;  // closed immediately; openGraph re-opens
+  return CreateGraphResult{project, creation};
+}
+
+Status Ham::DestroyGraph(ProjectId project, const std::string& directory) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = graphs_.find(directory);
+    if (it != graphs_.end() && !it->second.expired()) {
+      return Status::FailedPrecondition(
+          "graph in " + directory + " has open sessions; close them first");
+    }
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(std::string meta,
+                           DurableStore::ReadMeta(env_, directory));
+  ProjectId stored = 0;
+  uint32_t protections = 0;
+  NEPTUNE_RETURN_IF_ERROR(DecodeMeta(meta, &stored, &protections));
+  if (stored != project) {
+    return Status::PermissionDenied(
+        "ProjectId does not match the graph in " + directory);
+  }
+  return DurableStore::Destroy(env_, directory);
+}
+
+Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
+    const std::string& directory) {
+  // Fast path: already open.
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = graphs_.find(directory);
+    if (it != graphs_.end()) {
+      if (std::shared_ptr<GraphHandle> handle = it->second.lock()) {
+        return handle;
+      }
+      graphs_.erase(it);
+    }
+  }
+
+  RecoveredState recovered;
+  NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                           DurableStore::Open(env_, directory, &recovered));
+  auto handle = std::make_shared<GraphHandle>();
+  handle->directory = directory;
+  handle->store = std::move(store);
+  NEPTUNE_RETURN_IF_ERROR(
+      DecodeMeta(recovered.meta, &handle->project, &handle->protections));
+  NEPTUNE_ASSIGN_OR_RETURN(handle->state,
+                           GraphState::DecodeFrom(recovered.snapshot));
+  handle->state.set_attribute_index_enabled(options_.use_attribute_index);
+  // Redo every committed transaction.
+  for (const std::string& record : recovered.wal_records) {
+    NEPTUNE_ASSIGN_OR_RETURN(std::vector<Op> ops, DecodeTransaction(record));
+    for (const Op& op : ops) {
+      Status status = handle->state.Apply(op, /*txn=*/nullptr);
+      if (!status.ok()) {
+        return Status::Corruption("WAL replay failed for " +
+                                  std::string(OpKindName(op.kind)) + ": " +
+                                  status.ToString());
+      }
+    }
+  }
+  if (recovered.wal_tail_truncated) {
+    NEPTUNE_LOG(Warn) << "graph " << directory
+                      << ": dropped a torn transaction at the WAL tail";
+  }
+
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = graphs_.find(directory);
+  if (it != graphs_.end()) {
+    if (std::shared_ptr<GraphHandle> existing = it->second.lock()) {
+      return existing;  // lost a benign race with another opener
+    }
+  }
+  graphs_[directory] = handle;
+  return handle;
+}
+
+Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
+                               const std::string& directory) {
+  (void)machine;  // addressing is the RPC layer's concern
+  NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<GraphHandle> graph,
+                           LoadGraph(directory));
+  if (graph->project != project) {
+    return Status::PermissionDenied("ProjectId does not match the graph in " +
+                                    directory);
+  }
+  auto session = std::make_unique<Session>();
+  session->graph = graph;
+  GraphHandle* handle = graph.get();
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    id = next_session_++;
+    sessions_[id] = std::move(session);
+    handle->open_sessions++;
+  }
+  // "This operation can trigger a demon."
+  Time now = 0;
+  {
+    std::lock_guard<std::mutex> lock(handle->mu);
+    now = handle->state.clock().Last();
+  }
+  FireEventDemons(handle, kMainThread, Event::kOpenGraph, 0, 0, now);
+  return Context{id};
+}
+
+Status Ham::CloseGraph(Context ctx) {
+  std::unique_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = sessions_.find(ctx.session);
+    if (it == sessions_.end()) {
+      return Status::InvalidArgument("invalid context handle");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+    session->graph->open_sessions--;
+  }
+  if (session->in_txn) {
+    // Abort: staged state evaporates; free the writer slot.
+    ReleaseWriter(session->graph.get(), ctx.session);
+  }
+  return Status::OK();
+}
+
+Result<Ham::Session*> Ham::FindSession(Context ctx) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = sessions_.find(ctx.session);
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("invalid context handle " +
+                                   std::to_string(ctx.session));
+  }
+  return it->second.get();
+}
+
+// ----------------------------------------------------------- writer slot
+
+void Ham::AcquireWriter(GraphHandle* graph, uint64_t session) {
+  std::unique_lock<std::mutex> lock(graph->mu);
+  graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
+  graph->writer_session = session;
+}
+
+void Ham::ReleaseWriter(GraphHandle* graph, uint64_t session) {
+  {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    if (graph->writer_session == session) graph->writer_session = 0;
+  }
+  graph->writer_cv.notify_all();
+}
+
+// ----------------------------------------------------------- transactions
+
+Status Ham::BeginTransaction(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (session->in_txn) {
+    return Status::FailedPrecondition("a transaction is already open");
+  }
+  AcquireWriter(session->graph.get(), ctx.session);
+  session->in_txn = true;
+  session->overlay = GraphState::TxnOverlay();
+  session->ops.clear();
+  return Status::OK();
+}
+
+Status Ham::CommitLocked(GraphHandle* graph, Session* session) {
+  if (session->ops.empty()) return Status::OK();
+  const std::string record = EncodeTransaction(session->ops);
+  Status status = graph->store->AppendRecord(record, options_.sync_commits);
+  if (!status.ok()) {
+    // The transaction did not become durable; treat as aborted.
+    session->overlay = GraphState::TxnOverlay();
+    session->ops.clear();
+    return status;
+  }
+  graph->state.CommitOverlay(session->thread, std::move(session->overlay));
+  session->overlay = GraphState::TxnOverlay();
+  if (graph->store->wal_bytes() > options_.checkpoint_wal_bytes) {
+    std::string snapshot;
+    graph->state.EncodeTo(&snapshot);
+    Status checkpoint_status = graph->store->Checkpoint(snapshot);
+    if (!checkpoint_status.ok()) {
+      NEPTUNE_LOG(Warn) << "auto-checkpoint failed: "
+                        << checkpoint_status.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Status Ham::CommitTransaction(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (!session->in_txn) {
+    return Status::FailedPrecondition("no transaction is open");
+  }
+  GraphHandle* graph = session->graph.get();
+  std::vector<Op> committed;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    status = CommitLocked(graph, session);
+    if (status.ok()) committed = std::move(session->ops);
+    session->ops.clear();
+  }
+  session->in_txn = false;
+  ReleaseWriter(graph, ctx.session);
+  if (status.ok() && !committed.empty()) {
+    FireDemons(graph, session->thread, committed);
+  }
+  return status;
+}
+
+Status Ham::AbortTransaction(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (!session->in_txn) {
+    return Status::FailedPrecondition("no transaction is open");
+  }
+  session->overlay = GraphState::TxnOverlay();
+  session->ops.clear();
+  session->in_txn = false;
+  ReleaseWriter(session->graph.get(), ctx.session);
+  return Status::OK();
+}
+
+Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
+  GraphHandle* graph = session->graph.get();
+  op->thread = session->thread;
+  if (session->in_txn) {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    op->time = graph->state.clock().Tick();
+    NEPTUNE_RETURN_IF_ERROR(graph->state.Apply(*op, &session->overlay));
+    session->ops.push_back(*op);
+    return Status::OK();
+  }
+  // Implicit single-op transaction: hold the lock across apply+commit,
+  // but only once the writer slot is free.
+  std::vector<Op> committed;
+  {
+    std::unique_lock<std::mutex> lock(graph->mu);
+    graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
+    (void)session_id;
+    op->time = graph->state.clock().Tick();
+    Status apply_status = graph->state.Apply(*op, &session->overlay);
+    if (!apply_status.ok()) {
+      // Drop copy-on-write residue so a later implicit op can't fold
+      // stale record copies over newer base state.
+      session->overlay = GraphState::TxnOverlay();
+      return apply_status;
+    }
+    session->ops.push_back(*op);
+    Status status = CommitLocked(graph, session);
+    if (!status.ok()) {
+      session->ops.clear();
+      return status;
+    }
+    committed = std::move(session->ops);
+    session->ops.clear();
+  }
+  FireDemons(graph, session->thread, committed);
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- demons
+
+void Ham::FireEventDemons(GraphHandle* graph, ThreadId thread, Event event,
+                          NodeIndex node, LinkIndex link, Time time) {
+  std::vector<DemonInvocation> to_fire;
+  {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    std::string graph_demon = graph->state.GraphDemons(nullptr).Get(event, 0);
+    if (!graph_demon.empty()) {
+      to_fire.push_back(DemonInvocation{event, time, graph->project, thread,
+                                        node, link, std::move(graph_demon)});
+    }
+    if (node != 0) {
+      const NodeRecord* record = graph->state.FindNode(thread, nullptr, node);
+      if (record != nullptr) {
+        std::string node_demon = record->demons.Get(event, 0);
+        if (!node_demon.empty()) {
+          to_fire.push_back(DemonInvocation{event, time, graph->project,
+                                            thread, node, link,
+                                            std::move(node_demon)});
+        }
+      }
+    }
+  }
+  for (const DemonInvocation& invocation : to_fire) {
+    demon_registry_.Fire(invocation);
+  }
+}
+
+void Ham::FireDemons(GraphHandle* graph, ThreadId thread,
+                     const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    if (!OpHasDemonEvent(op)) continue;
+    FireEventDemons(graph, thread, EventForOp(op), op.node, op.link, op.time);
+  }
+  if (!ops.empty()) {
+    FireEventDemons(graph, thread, Event::kCommitTransaction, 0, 0,
+                    ops.back().time);
+  }
+}
+
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,248 @@
+// Ham: the local Hypertext Abstract Machine engine — Neptune's bottom
+// layer (paper §3). One Ham instance manages any number of graph
+// databases (each a DurableStore directory), serializes writers per
+// graph, runs demons, and recovers committed state on open.
+
+#ifndef NEPTUNE_HAM_HAM_H_
+#define NEPTUNE_HAM_HAM_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ham/graph_state.h"
+#include "ham/ham_interface.h"
+#include "storage/durable_store.h"
+
+namespace neptune {
+namespace ham {
+
+struct HamOptions {
+  // fsync the WAL on every commit. Turning this off trades the last
+  // few commits on power loss for throughput (bench B5 measures both).
+  bool sync_commits = true;
+  // Rewrite the snapshot and rotate the WAL when it exceeds this size.
+  uint64_t checkpoint_wal_bytes = 8ull << 20;
+  // Machine name reported to openGraph validation; "" accepts any.
+  std::string machine = "local";
+  // Serve eligible getGraphQuery calls from the lazily-rebuilt
+  // attribute index (see ham/attribute_index.h). Off = always scan
+  // (the B3 ablation baseline).
+  bool use_attribute_index = true;
+};
+
+// Process-wide registry binding demon values to callables — the
+// in-process stand-in for the paper's planned Smalltalk/Modula-2/C
+// demon bodies. Demon values that start with the registered name
+// (e.g. value "mail bob" fires callback "mail") receive the full
+// value in the invocation record.
+class DemonRegistry {
+ public:
+  void Register(const std::string& name, DemonCallback callback);
+  void Unregister(const std::string& name);
+  // Invokes the callback whose name is the first word of
+  // `invocation.demon`, if registered. Returns true if one fired.
+  bool Fire(const DemonInvocation& invocation) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, DemonCallback> callbacks_;
+};
+
+class Ham final : public HamInterface {
+ public:
+  explicit Ham(Env* env, HamOptions options = HamOptions());
+  ~Ham() override;
+
+  Ham(const Ham&) = delete;
+  Ham& operator=(const Ham&) = delete;
+
+  DemonRegistry& demons() { return demon_registry_; }
+  const HamOptions& options() const { return options_; }
+
+  // Reads the ProjectId stored in a graph directory without opening
+  // the graph — what command-line tools use to address a database.
+  static Result<ProjectId> ReadProjectId(Env* env, const std::string& dir);
+
+  // Local administration (not part of HamInterface):
+  // Structural integrity check; one message per problem, empty = clean.
+  Result<std::vector<std::string>> VerifyGraph(Context ctx);
+  // Drops version history strictly older than the version in effect at
+  // `before` across the whole graph, then checkpoints (the reclaimed
+  // space only materializes in a fresh snapshot). Disallowed inside an
+  // open transaction. Returns the fresh snapshot's size in bytes.
+  Result<uint64_t> PruneHistory(Context ctx, Time before);
+
+  // HamInterface implementation ------------------------------------
+  Result<CreateGraphResult> CreateGraph(const std::string& directory,
+                                        uint32_t protections) override;
+  Status DestroyGraph(ProjectId project,
+                      const std::string& directory) override;
+  Result<Context> OpenGraph(ProjectId project, const std::string& machine,
+                            const std::string& directory) override;
+  Status CloseGraph(Context ctx) override;
+
+  Status BeginTransaction(Context ctx) override;
+  Status CommitTransaction(Context ctx) override;
+  Status AbortTransaction(Context ctx) override;
+
+  Result<AddNodeResult> AddNode(Context ctx, bool keep_history) override;
+  Status DeleteNode(Context ctx, NodeIndex node) override;
+  Result<AddLinkResult> AddLink(Context ctx, const LinkPt& from,
+                                const LinkPt& to) override;
+  Result<AddLinkResult> CopyLink(Context ctx, LinkIndex link, Time time,
+                                 bool copy_source,
+                                 const LinkPt& other) override;
+  Status DeleteLink(Context ctx, LinkIndex link) override;
+
+  Result<SubGraph> LinearizeGraph(
+      Context ctx, NodeIndex start, Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<AttributeIndex>& node_attrs,
+      const std::vector<AttributeIndex>& link_attrs) override;
+  Result<SubGraph> GetGraphQuery(
+      Context ctx, Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<AttributeIndex>& node_attrs,
+      const std::vector<AttributeIndex>& link_attrs) override;
+
+  Result<OpenNodeResult> OpenNode(
+      Context ctx, NodeIndex node, Time time,
+      const std::vector<AttributeIndex>& attrs) override;
+  Status ModifyNode(Context ctx, NodeIndex node, Time expected_time,
+                    const std::string& contents,
+                    const std::vector<AttachmentUpdate>& attachments,
+                    const std::string& explanation) override;
+  Result<Time> GetNodeTimeStamp(Context ctx, NodeIndex node) override;
+  Status ChangeNodeProtection(Context ctx, NodeIndex node,
+                              uint32_t protections) override;
+  Result<NodeVersions> GetNodeVersions(Context ctx, NodeIndex node) override;
+  Result<std::vector<delta::Difference>> GetNodeDifferences(
+      Context ctx, NodeIndex node, Time t1, Time t2) override;
+
+  Result<LinkEndResult> GetToNode(Context ctx, LinkIndex link,
+                                  Time time) override;
+  Result<LinkEndResult> GetFromNode(Context ctx, LinkIndex link,
+                                    Time time) override;
+
+  Result<std::vector<AttributeEntry>> GetAttributes(Context ctx,
+                                                    Time time) override;
+  Result<std::vector<std::string>> GetAttributeValues(Context ctx,
+                                                      AttributeIndex attr,
+                                                      Time time) override;
+  Result<AttributeIndex> GetAttributeIndex(Context ctx,
+                                           const std::string& name) override;
+
+  Status SetNodeAttributeValue(Context ctx, NodeIndex node,
+                               AttributeIndex attr,
+                               const std::string& value) override;
+  Status DeleteNodeAttribute(Context ctx, NodeIndex node,
+                             AttributeIndex attr) override;
+  Result<std::string> GetNodeAttributeValue(Context ctx, NodeIndex node,
+                                            AttributeIndex attr,
+                                            Time time) override;
+  Result<std::vector<AttributeValueEntry>> GetNodeAttributes(
+      Context ctx, NodeIndex node, Time time) override;
+
+  Status SetLinkAttributeValue(Context ctx, LinkIndex link,
+                               AttributeIndex attr,
+                               const std::string& value) override;
+  Status DeleteLinkAttribute(Context ctx, LinkIndex link,
+                             AttributeIndex attr) override;
+  Result<std::string> GetLinkAttributeValue(Context ctx, LinkIndex link,
+                                            AttributeIndex attr,
+                                            Time time) override;
+  Result<std::vector<AttributeValueEntry>> GetLinkAttributes(
+      Context ctx, LinkIndex link, Time time) override;
+
+  Status SetGraphDemonValue(Context ctx, Event event,
+                            const std::string& demon) override;
+  Result<std::vector<DemonEntry>> GetGraphDemons(Context ctx,
+                                                 Time time) override;
+  Status SetNodeDemon(Context ctx, NodeIndex node, Event event,
+                      const std::string& demon) override;
+  Result<std::vector<DemonEntry>> GetNodeDemons(Context ctx, NodeIndex node,
+                                                Time time) override;
+
+  Result<ContextInfo> CreateContext(Context ctx,
+                                    const std::string& name) override;
+  Result<Context> OpenContext(Context ctx, ThreadId thread) override;
+  Status MergeContext(Context ctx, ThreadId source, bool force) override;
+  Result<std::vector<ContextInfo>> ListContexts(Context ctx) override;
+
+  Status Checkpoint(Context ctx) override;
+  Result<GraphStats> GetStats(Context ctx) override;
+  Result<ThreadId> ContextThread(Context ctx) override;
+
+ private:
+  // One open graph database shared by all sessions on it.
+  struct GraphHandle {
+    std::string directory;
+    ProjectId project = 0;
+    uint32_t protections = 0;
+    std::unique_ptr<DurableStore> store;
+    GraphState state;
+
+    std::mutex mu;               // guards state + store
+    std::condition_variable writer_cv;
+    uint64_t writer_session = 0;  // session holding the writer slot
+    int open_sessions = 0;
+  };
+
+  // A session created by OpenGraph/OpenContext.
+  struct Session {
+    std::shared_ptr<GraphHandle> graph;
+    ThreadId thread = kMainThread;
+    bool in_txn = false;
+    GraphState::TxnOverlay overlay;
+    std::vector<Op> ops;
+  };
+
+  Result<Session*> FindSession(Context ctx);
+
+  // Loads or creates the shared handle for a directory.
+  Result<std::shared_ptr<GraphHandle>> LoadGraph(const std::string& directory);
+
+  // Acquires/releases the per-graph writer slot for a session.
+  void AcquireWriter(GraphHandle* graph, uint64_t session);
+  void ReleaseWriter(GraphHandle* graph, uint64_t session);
+
+  // Stages `*op` in the session's transaction, opening an implicit
+  // single-op transaction when none is active. On success the op is
+  // recorded for the WAL (implicit transactions commit immediately)
+  // and op->time carries the assigned timestamp.
+  Status Execute(Session* session, uint64_t session_id, Op* op);
+
+  // Applies the commit protocol: WAL append, fold overlay, demons.
+  Status CommitLocked(GraphHandle* graph, Session* session);
+
+  // Fires demons for a committed op list (outside the graph lock).
+  void FireDemons(GraphHandle* graph, ThreadId thread,
+                  const std::vector<Op>& ops);
+  void FireEventDemons(GraphHandle* graph, ThreadId thread, Event event,
+                       NodeIndex node, LinkIndex link, Time time);
+
+  // Serializes a PROJECT metadata blob.
+  static std::string EncodeMeta(ProjectId project, uint32_t protections);
+  static Status DecodeMeta(std::string_view meta, ProjectId* project,
+                           uint32_t* protections);
+
+  Env* env_;
+  HamOptions options_;
+  DemonRegistry demon_registry_;
+
+  std::mutex registry_mu_;  // guards graphs_ and sessions_
+  std::map<std::string, std::weak_ptr<GraphHandle>> graphs_;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_ = 1;
+};
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_HAM_HAM_H_

@@ -1,0 +1,189 @@
+// HamInterface: the abstract Hypertext Abstract Machine, one virtual
+// method per Appendix operation (A.1 graph, A.2 node, A.3 link,
+// A.4 attribute, A.5 demon operations) plus the transaction surface
+// and the §5 extensions (contexts/version threads, checkpointing).
+//
+// Two implementations exist:
+//   ham::Ham        the local engine over DurableStore (src/ham)
+//   rpc::RemoteHam  a client stub speaking the wire protocol to a
+//                   neptune server (src/rpc)
+// Application layers and browsers program against this interface, so
+// they run unchanged locally or against a server — the paper's layered
+// architecture.
+//
+// Deviations from the 1986 signatures, made explicit:
+//  * Every operation takes the Context handle (the Appendix leaves the
+//    graph implicit for node/link/attribute/demon ops).
+//  * modifyNode identifies attachments by LinkIndex + end instead of
+//    positional correspondence with openNode's LinkPt list.
+//  * The Boolean result0 is a Status/Result carrying a reason.
+
+#ifndef NEPTUNE_HAM_HAM_INTERFACE_H_
+#define NEPTUNE_HAM_HAM_INTERFACE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "delta/text_diff.h"
+#include "ham/types.h"
+
+namespace neptune {
+namespace ham {
+
+// A modifyNode attachment: the new offset for one end of one link
+// attached to the node being modified.
+struct AttachmentUpdate {
+  LinkIndex link = 0;
+  bool is_source_end = false;  // true: the link's "from" end is here
+  uint64_t position = 0;
+};
+
+struct GraphStats {
+  uint64_t node_count = 0;
+  uint64_t link_count = 0;
+  uint64_t total_node_records = 0;
+  uint64_t total_link_records = 0;
+  uint64_t thread_count = 0;
+  uint64_t attribute_count = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t current_time = 0;
+};
+
+class HamInterface {
+ public:
+  virtual ~HamInterface() = default;
+
+  // ------------------------------------------------- A.1 graph ops
+  virtual Result<CreateGraphResult> CreateGraph(const std::string& directory,
+                                                uint32_t protections) = 0;
+  virtual Status DestroyGraph(ProjectId project,
+                              const std::string& directory) = 0;
+  virtual Result<Context> OpenGraph(ProjectId project,
+                                    const std::string& machine,
+                                    const std::string& directory) = 0;
+  virtual Status CloseGraph(Context ctx) = 0;
+
+  // ---------------------------------------------------- transactions
+  // Operations called outside an open transaction auto-commit as a
+  // single-op transaction. Begin blocks until the graph's writer slot
+  // is free (the HAM serializes writers per graph).
+  virtual Status BeginTransaction(Context ctx) = 0;
+  virtual Status CommitTransaction(Context ctx) = 0;
+  virtual Status AbortTransaction(Context ctx) = 0;
+
+  // ------------------------------------------- A.1 structure + query
+  virtual Result<AddNodeResult> AddNode(Context ctx, bool keep_history) = 0;
+  virtual Status DeleteNode(Context ctx, NodeIndex node) = 0;
+  virtual Result<AddLinkResult> AddLink(Context ctx, const LinkPt& from,
+                                        const LinkPt& to) = 0;
+  // One end copied from `link` as of `time`; `copy_source` picks which
+  // end is copied; the other end is `other`.
+  virtual Result<AddLinkResult> CopyLink(Context ctx, LinkIndex link,
+                                         Time time, bool copy_source,
+                                         const LinkPt& other) = 0;
+  virtual Status DeleteLink(Context ctx, LinkIndex link) = 0;
+
+  virtual Result<SubGraph> LinearizeGraph(
+      Context ctx, NodeIndex start, Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<AttributeIndex>& node_attrs,
+      const std::vector<AttributeIndex>& link_attrs) = 0;
+  virtual Result<SubGraph> GetGraphQuery(
+      Context ctx, Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<AttributeIndex>& node_attrs,
+      const std::vector<AttributeIndex>& link_attrs) = 0;
+
+  // --------------------------------------------------- A.2 node ops
+  virtual Result<OpenNodeResult> OpenNode(
+      Context ctx, NodeIndex node, Time time,
+      const std::vector<AttributeIndex>& attrs) = 0;
+  // `expected_time` must equal the node's current version time (the
+  // optimistic check-in of the Appendix); Conflict otherwise.
+  virtual Status ModifyNode(Context ctx, NodeIndex node, Time expected_time,
+                            const std::string& contents,
+                            const std::vector<AttachmentUpdate>& attachments,
+                            const std::string& explanation) = 0;
+  virtual Result<Time> GetNodeTimeStamp(Context ctx, NodeIndex node) = 0;
+  virtual Status ChangeNodeProtection(Context ctx, NodeIndex node,
+                                      uint32_t protections) = 0;
+  virtual Result<NodeVersions> GetNodeVersions(Context ctx,
+                                               NodeIndex node) = 0;
+  virtual Result<std::vector<delta::Difference>> GetNodeDifferences(
+      Context ctx, NodeIndex node, Time t1, Time t2) = 0;
+
+  // --------------------------------------------------- A.3 link ops
+  virtual Result<LinkEndResult> GetToNode(Context ctx, LinkIndex link,
+                                          Time time) = 0;
+  virtual Result<LinkEndResult> GetFromNode(Context ctx, LinkIndex link,
+                                            Time time) = 0;
+
+  // ---------------------------------------------- A.4 attribute ops
+  virtual Result<std::vector<AttributeEntry>> GetAttributes(Context ctx,
+                                                            Time time) = 0;
+  virtual Result<std::vector<std::string>> GetAttributeValues(
+      Context ctx, AttributeIndex attr, Time time) = 0;
+  virtual Result<AttributeIndex> GetAttributeIndex(
+      Context ctx, const std::string& name) = 0;
+
+  virtual Status SetNodeAttributeValue(Context ctx, NodeIndex node,
+                                       AttributeIndex attr,
+                                       const std::string& value) = 0;
+  virtual Status DeleteNodeAttribute(Context ctx, NodeIndex node,
+                                     AttributeIndex attr) = 0;
+  virtual Result<std::string> GetNodeAttributeValue(Context ctx,
+                                                    NodeIndex node,
+                                                    AttributeIndex attr,
+                                                    Time time) = 0;
+  virtual Result<std::vector<AttributeValueEntry>> GetNodeAttributes(
+      Context ctx, NodeIndex node, Time time) = 0;
+
+  virtual Status SetLinkAttributeValue(Context ctx, LinkIndex link,
+                                       AttributeIndex attr,
+                                       const std::string& value) = 0;
+  virtual Status DeleteLinkAttribute(Context ctx, LinkIndex link,
+                                     AttributeIndex attr) = 0;
+  virtual Result<std::string> GetLinkAttributeValue(Context ctx,
+                                                    LinkIndex link,
+                                                    AttributeIndex attr,
+                                                    Time time) = 0;
+  virtual Result<std::vector<AttributeValueEntry>> GetLinkAttributes(
+      Context ctx, LinkIndex link, Time time) = 0;
+
+  // -------------------------------------------------- A.5 demon ops
+  virtual Status SetGraphDemonValue(Context ctx, Event event,
+                                    const std::string& demon) = 0;
+  virtual Result<std::vector<DemonEntry>> GetGraphDemons(Context ctx,
+                                                         Time time) = 0;
+  virtual Status SetNodeDemon(Context ctx, NodeIndex node, Event event,
+                              const std::string& demon) = 0;
+  virtual Result<std::vector<DemonEntry>> GetNodeDemons(Context ctx,
+                                                        NodeIndex node,
+                                                        Time time) = 0;
+
+  // -------------------------- §5 extensions: contexts & maintenance
+  // Creates a new version thread (private world) branched from now.
+  virtual Result<ContextInfo> CreateContext(Context ctx,
+                                            const std::string& name) = 0;
+  // A new session handle on the same graph bound to `thread`.
+  virtual Result<Context> OpenContext(Context ctx, ThreadId thread) = 0;
+  // Merges `source`'s changes into the main thread; Conflict when the
+  // main thread changed the same objects since the branch (unless
+  // `force`).
+  virtual Status MergeContext(Context ctx, ThreadId source, bool force) = 0;
+  virtual Result<std::vector<ContextInfo>> ListContexts(Context ctx) = 0;
+
+  // Forces a snapshot + WAL rotation now.
+  virtual Status Checkpoint(Context ctx) = 0;
+  virtual Result<GraphStats> GetStats(Context ctx) = 0;
+
+  // The thread a session is bound to (kMainThread unless OpenContext).
+  virtual Result<ThreadId> ContextThread(Context ctx) = 0;
+};
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_HAM_HAM_INTERFACE_H_

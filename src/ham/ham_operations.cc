@@ -1,0 +1,709 @@
+// Implementations of the Appendix A.1–A.5 operations and the §5
+// extensions on the local Ham engine. Session/transaction plumbing
+// lives in ham.cc.
+
+#include <algorithm>
+#include <mutex>
+
+#include "ham/ham.h"
+
+namespace neptune {
+namespace ham {
+
+namespace {
+
+bool NodeCanRead(uint32_t protections) { return (protections & 0444) != 0; }
+
+// Validates that every requested attribute index is defined.
+Status ValidateAttrRequest(const AttributeTable& table,
+                           const std::vector<AttributeIndex>& attrs) {
+  for (AttributeIndex attr : attrs) {
+    if (!table.ExistedAt(attr, 0)) {
+      return Status::NotFound("attribute index " + std::to_string(attr) +
+                              " is not defined");
+    }
+  }
+  return Status::OK();
+}
+
+// Normalizes a caller LinkPt per the Appendix: "If a Time is zero then
+// the link always refers to the current version".
+LinkPt Normalize(LinkPt pt) {
+  pt.track_current = (pt.time == 0);
+  return pt;
+}
+
+}  // namespace
+
+// ----------------------------------------------------- A.1 structure
+
+Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  Op op;
+  op.kind = OpKind::kAddNode;
+  op.flag = keep_history;
+  {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    op.node = graph->state.AllocateNodeIndex();
+  }
+  NEPTUNE_RETURN_IF_ERROR(Execute(session, ctx.session, &op));
+  return AddNodeResult{op.node, op.time};
+}
+
+Status Ham::DeleteNode(Context ctx, NodeIndex node) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kDeleteNode;
+  op.node = node;
+  return Execute(session, ctx.session, &op);
+}
+
+Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
+                                   const LinkPt& to) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  Op op;
+  op.kind = OpKind::kAddLink;
+  op.from = Normalize(from);
+  op.to = Normalize(to);
+  {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    op.link = graph->state.AllocateLinkIndex();
+  }
+  NEPTUNE_RETURN_IF_ERROR(Execute(session, ctx.session, &op));
+  return AddLinkResult{op.link, op.time};
+}
+
+Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
+                                    bool copy_source, const LinkPt& other) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  LinkPt copied;
+  {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    const GraphState::TxnOverlay* overlay =
+        session->in_txn ? &session->overlay : nullptr;
+    const LinkRecord* record =
+        graph->state.FindLink(session->thread, overlay, link);
+    if (record == nullptr || !record->ExistsAt(time)) {
+      return Status::NotFound("link " + std::to_string(link) +
+                              " does not exist at time " +
+                              std::to_string(time));
+    }
+    const LinkEnd& end = copy_source ? record->from : record->to;
+    copied.node = end.node;
+    copied.position = end.PositionAt(time);
+    copied.time = end.track_current ? 0 : end.pinned_time;
+    copied.track_current = end.track_current;
+  }
+  // "If Boolean has value true then the source of the new link is
+  // identical to that of LinkIndex."
+  if (copy_source) {
+    return AddLink(ctx, copied, other);
+  }
+  return AddLink(ctx, other, copied);
+}
+
+Status Ham::DeleteLink(Context ctx, LinkIndex link) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kDeleteLink;
+  op.link = link;
+  return Execute(session, ctx.session, &op);
+}
+
+// -------------------------------------------------------- A.1 queries
+
+Result<SubGraph> Ham::LinearizeGraph(
+    Context ctx, NodeIndex start, Time time, const std::string& node_pred,
+    const std::string& link_pred,
+    const std::vector<AttributeIndex>& node_attrs,
+    const std::vector<AttributeIndex>& link_attrs) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
+  NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  NEPTUNE_RETURN_IF_ERROR(
+      ValidateAttrRequest(graph->state.attributes(), node_attrs));
+  NEPTUNE_RETURN_IF_ERROR(
+      ValidateAttrRequest(graph->state.attributes(), link_attrs));
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  return graph->state.Linearize(session->thread, overlay, start, time, np, lp,
+                                node_attrs, link_attrs);
+}
+
+Result<SubGraph> Ham::GetGraphQuery(
+    Context ctx, Time time, const std::string& node_pred,
+    const std::string& link_pred,
+    const std::vector<AttributeIndex>& node_attrs,
+    const std::vector<AttributeIndex>& link_attrs) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
+  NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  NEPTUNE_RETURN_IF_ERROR(
+      ValidateAttrRequest(graph->state.attributes(), node_attrs));
+  NEPTUNE_RETURN_IF_ERROR(
+      ValidateAttrRequest(graph->state.attributes(), link_attrs));
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  return graph->state.Query(session->thread, overlay, time, np, lp,
+                            node_attrs, link_attrs);
+}
+
+// --------------------------------------------------------- A.2 nodes
+
+Result<OpenNodeResult> Ham::OpenNode(
+    Context ctx, NodeIndex node, Time time,
+    const std::vector<AttributeIndex>& attrs) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  OpenNodeResult out;
+  {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    NEPTUNE_RETURN_IF_ERROR(
+        ValidateAttrRequest(graph->state.attributes(), attrs));
+    const GraphState::TxnOverlay* overlay =
+        session->in_txn ? &session->overlay : nullptr;
+    const NodeRecord* record =
+        graph->state.FindNode(session->thread, overlay, node);
+    if (record == nullptr || !record->ExistsAt(time)) {
+      return Status::NotFound("node " + std::to_string(node) +
+                              " does not exist at time " +
+                              std::to_string(time));
+    }
+    if (!NodeCanRead(record->protections)) {
+      return Status::PermissionDenied("node " + std::to_string(node) +
+                                      " is read-protected");
+    }
+    NEPTUNE_ASSIGN_OR_RETURN(out.contents, record->contents.Get(time));
+    out.current_version_time = record->contents.CurrentTime();
+    out.attribute_values =
+        graph->state.AttributeValuesFor(record->attributes, attrs, time);
+    // LinkPt* for the requested version: live attachments at `time`.
+    for (bool source_end : {true, false}) {
+      const std::vector<LinkIndex>& list =
+          source_end ? record->out_links : record->in_links;
+      for (LinkIndex index : list) {
+        const LinkRecord* link =
+            graph->state.FindLink(session->thread, overlay, index);
+        if (link == nullptr || !link->ExistsAt(time)) continue;
+        const LinkEnd& end = source_end ? link->from : link->to;
+        out.attachments.push_back(Attachment{
+            index, source_end, end.PositionAt(time), end.track_current});
+      }
+    }
+  }
+  // "This operation can trigger a demon."
+  FireEventDemons(graph, session->thread, Event::kOpenNode, node, 0,
+                  out.current_version_time);
+  return out;
+}
+
+Status Ham::ModifyNode(Context ctx, NodeIndex node, Time expected_time,
+                       const std::string& contents,
+                       const std::vector<AttachmentUpdate>& attachments,
+                       const std::string& explanation) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kModifyNode;
+  op.node = node;
+  op.arg = expected_time;
+  op.value = contents;
+  op.extra = explanation;
+  op.attachments.reserve(attachments.size());
+  for (const AttachmentUpdate& att : attachments) {
+    // Encoding contract (ops.h): node = LinkIndex, track_current =
+    // is_source_end, position = new offset.
+    LinkPt pt;
+    pt.node = att.link;
+    pt.track_current = att.is_source_end;
+    pt.position = att.position;
+    op.attachments.push_back(pt);
+  }
+  return Execute(session, ctx.session, &op);
+}
+
+Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const NodeRecord* record =
+      graph->state.FindNode(session->thread, overlay, node);
+  if (record == nullptr || !record->ExistsAt(0)) {
+    return Status::NotFound("node " + std::to_string(node) +
+                            " does not exist");
+  }
+  return record->contents.CurrentTime();
+}
+
+Status Ham::ChangeNodeProtection(Context ctx, NodeIndex node,
+                                 uint32_t protections) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kChangeNodeProtection;
+  op.node = node;
+  op.arg = protections;
+  return Execute(session, ctx.session, &op);
+}
+
+Result<NodeVersions> Ham::GetNodeVersions(Context ctx, NodeIndex node) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const NodeRecord* record =
+      graph->state.FindNode(session->thread, overlay, node);
+  if (record == nullptr) {
+    return Status::NotFound("node " + std::to_string(node) +
+                            " does not exist");
+  }
+  NodeVersions out;
+  for (const auto& v : record->contents.versions()) {
+    out.major.push_back(VersionEntry{v.time, v.explanation});
+  }
+  out.minor = record->minor_versions;
+  return out;
+}
+
+Result<std::vector<delta::Difference>> Ham::GetNodeDifferences(Context ctx,
+                                                               NodeIndex node,
+                                                               Time t1,
+                                                               Time t2) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const NodeRecord* record =
+      graph->state.FindNode(session->thread, overlay, node);
+  if (record == nullptr) {
+    return Status::NotFound("node " + std::to_string(node) +
+                            " does not exist");
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(std::string old_contents, record->contents.Get(t1));
+  NEPTUNE_ASSIGN_OR_RETURN(std::string new_contents, record->contents.Get(t2));
+  return delta::DiffLines(old_contents, new_contents);
+}
+
+// --------------------------------------------------------- A.3 links
+
+Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const LinkRecord* record =
+      graph->state.FindLink(session->thread, overlay, link);
+  if (record == nullptr || !record->ExistsAt(time)) {
+    return Status::NotFound("link " + std::to_string(link) +
+                            " does not exist at time " + std::to_string(time));
+  }
+  const LinkEnd& end = record->to;
+  const NodeRecord* node =
+      graph->state.FindNode(session->thread, overlay, end.node);
+  if (node == nullptr) {
+    return Status::Corruption("link " + std::to_string(link) +
+                              " references missing node");
+  }
+  const Time effective = end.track_current ? time : end.pinned_time;
+  NEPTUNE_ASSIGN_OR_RETURN(size_t index,
+                           node->contents.VersionIndexAt(effective));
+  return LinkEndResult{end.node, node->contents.versions()[index].time};
+}
+
+Result<LinkEndResult> Ham::GetFromNode(Context ctx, LinkIndex link,
+                                       Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const LinkRecord* record =
+      graph->state.FindLink(session->thread, overlay, link);
+  if (record == nullptr || !record->ExistsAt(time)) {
+    return Status::NotFound("link " + std::to_string(link) +
+                            " does not exist at time " + std::to_string(time));
+  }
+  const LinkEnd& end = record->from;
+  const NodeRecord* node =
+      graph->state.FindNode(session->thread, overlay, end.node);
+  if (node == nullptr) {
+    return Status::Corruption("link " + std::to_string(link) +
+                              " references missing node");
+  }
+  const Time effective = end.track_current ? time : end.pinned_time;
+  NEPTUNE_ASSIGN_OR_RETURN(size_t index,
+                           node->contents.VersionIndexAt(effective));
+  return LinkEndResult{end.node, node->contents.versions()[index].time};
+}
+
+// ---------------------------------------------------- A.4 attributes
+
+Result<std::vector<AttributeEntry>> Ham::GetAttributes(Context ctx,
+                                                       Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  return graph->state.attributes().AllAt(time);
+}
+
+Result<std::vector<std::string>> Ham::GetAttributeValues(Context ctx,
+                                                         AttributeIndex attr,
+                                                         Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  if (!graph->state.attributes().ExistedAt(attr, time)) {
+    return Status::NotFound("attribute index " + std::to_string(attr) +
+                            " did not exist at time " + std::to_string(time));
+  }
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  return graph->state.AttributeValuesAt(session->thread, overlay, attr, time);
+}
+
+Result<AttributeIndex> Ham::GetAttributeIndex(Context ctx,
+                                              const std::string& name) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  Result<AttributeIndex> existing = graph->state.attributes().Lookup(name);
+  if (existing.ok()) return existing;
+  // "If no attribute exists, then creates one." Interning commits
+  // immediately as its own transaction (it is append-only and must
+  // survive even if a surrounding transaction aborts).
+  Op op;
+  op.kind = OpKind::kInternAttribute;
+  op.extra = name;
+  op.attr = graph->state.attributes().next_index();
+  op.thread = session->thread;
+  op.time = graph->state.clock().Tick();
+  NEPTUNE_RETURN_IF_ERROR(graph->state.Apply(op, /*txn=*/nullptr));
+  NEPTUNE_RETURN_IF_ERROR(graph->store->AppendRecord(
+      EncodeTransaction({op}), options_.sync_commits));
+  return op.attr;
+}
+
+Status Ham::SetNodeAttributeValue(Context ctx, NodeIndex node,
+                                  AttributeIndex attr,
+                                  const std::string& value) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kSetNodeAttribute;
+  op.node = node;
+  op.attr = attr;
+  op.value = value;
+  return Execute(session, ctx.session, &op);
+}
+
+Status Ham::DeleteNodeAttribute(Context ctx, NodeIndex node,
+                                AttributeIndex attr) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kDeleteNodeAttribute;
+  op.node = node;
+  op.attr = attr;
+  return Execute(session, ctx.session, &op);
+}
+
+Result<std::string> Ham::GetNodeAttributeValue(Context ctx, NodeIndex node,
+                                               AttributeIndex attr,
+                                               Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const NodeRecord* record =
+      graph->state.FindNode(session->thread, overlay, node);
+  if (record == nullptr || !record->ExistsAt(time)) {
+    return Status::NotFound("node " + std::to_string(node) +
+                            " does not exist at time " + std::to_string(time));
+  }
+  std::optional<std::string_view> value = record->attributes.Get(attr, time);
+  if (!value.has_value()) {
+    return Status::NotFound("attribute " + std::to_string(attr) +
+                            " is not attached to node " +
+                            std::to_string(node) + " at time " +
+                            std::to_string(time));
+  }
+  return std::string(*value);
+}
+
+Result<std::vector<AttributeValueEntry>> Ham::GetNodeAttributes(
+    Context ctx, NodeIndex node, Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const NodeRecord* record =
+      graph->state.FindNode(session->thread, overlay, node);
+  if (record == nullptr || !record->ExistsAt(time)) {
+    return Status::NotFound("node " + std::to_string(node) +
+                            " does not exist at time " + std::to_string(time));
+  }
+  std::vector<AttributeValueEntry> out;
+  for (auto& [attr, value] : record->attributes.GetAll(time)) {
+    NEPTUNE_ASSIGN_OR_RETURN(std::string name,
+                             graph->state.attributes().Name(attr));
+    out.push_back(AttributeValueEntry{std::move(name), attr, std::move(value)});
+  }
+  return out;
+}
+
+Status Ham::SetLinkAttributeValue(Context ctx, LinkIndex link,
+                                  AttributeIndex attr,
+                                  const std::string& value) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kSetLinkAttribute;
+  op.link = link;
+  op.attr = attr;
+  op.value = value;
+  return Execute(session, ctx.session, &op);
+}
+
+Status Ham::DeleteLinkAttribute(Context ctx, LinkIndex link,
+                                AttributeIndex attr) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kDeleteLinkAttribute;
+  op.link = link;
+  op.attr = attr;
+  return Execute(session, ctx.session, &op);
+}
+
+Result<std::string> Ham::GetLinkAttributeValue(Context ctx, LinkIndex link,
+                                               AttributeIndex attr,
+                                               Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const LinkRecord* record =
+      graph->state.FindLink(session->thread, overlay, link);
+  if (record == nullptr || !record->ExistsAt(time)) {
+    return Status::NotFound("link " + std::to_string(link) +
+                            " does not exist at time " + std::to_string(time));
+  }
+  std::optional<std::string_view> value = record->attributes.Get(attr, time);
+  if (!value.has_value()) {
+    return Status::NotFound("attribute " + std::to_string(attr) +
+                            " is not attached to link " +
+                            std::to_string(link) + " at time " +
+                            std::to_string(time));
+  }
+  return std::string(*value);
+}
+
+Result<std::vector<AttributeValueEntry>> Ham::GetLinkAttributes(
+    Context ctx, LinkIndex link, Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const LinkRecord* record =
+      graph->state.FindLink(session->thread, overlay, link);
+  if (record == nullptr || !record->ExistsAt(time)) {
+    return Status::NotFound("link " + std::to_string(link) +
+                            " does not exist at time " + std::to_string(time));
+  }
+  std::vector<AttributeValueEntry> out;
+  for (auto& [attr, value] : record->attributes.GetAll(time)) {
+    NEPTUNE_ASSIGN_OR_RETURN(std::string name,
+                             graph->state.attributes().Name(attr));
+    out.push_back(AttributeValueEntry{std::move(name), attr, std::move(value)});
+  }
+  return out;
+}
+
+// -------------------------------------------------------- A.5 demons
+
+Status Ham::SetGraphDemonValue(Context ctx, Event event,
+                               const std::string& demon) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kSetGraphDemon;
+  op.event = event;
+  op.value = demon;
+  return Execute(session, ctx.session, &op);
+}
+
+Result<std::vector<DemonEntry>> Ham::GetGraphDemons(Context ctx, Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  return graph->state.GraphDemons(overlay).GetAll(time);
+}
+
+Status Ham::SetNodeDemon(Context ctx, NodeIndex node, Event event,
+                         const std::string& demon) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  Op op;
+  op.kind = OpKind::kSetNodeDemon;
+  op.node = node;
+  op.event = event;
+  op.value = demon;
+  return Execute(session, ctx.session, &op);
+}
+
+Result<std::vector<DemonEntry>> Ham::GetNodeDemons(Context ctx,
+                                                   NodeIndex node,
+                                                   Time time) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  const NodeRecord* record =
+      graph->state.FindNode(session->thread, overlay, node);
+  if (record == nullptr) {
+    return Status::NotFound("node " + std::to_string(node) +
+                            " does not exist");
+  }
+  return record->demons.GetAll(time);
+}
+
+// -------------------------------------- §5 extensions: contexts etc.
+
+Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  Op op;
+  op.kind = OpKind::kCreateContext;
+  op.arg = graph->state.AllocateThreadId();
+  op.extra = name;
+  op.thread = session->thread;
+  op.time = graph->state.clock().Tick();
+  // Like attribute interning, context creation commits immediately.
+  NEPTUNE_RETURN_IF_ERROR(graph->state.Apply(op, /*txn=*/nullptr));
+  NEPTUNE_RETURN_IF_ERROR(graph->store->AppendRecord(
+      EncodeTransaction({op}), options_.sync_commits));
+  return ContextInfo{op.arg, name, op.time};
+}
+
+Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  if (thread != kMainThread) {
+    std::lock_guard<std::mutex> lock(graph->mu);
+    if (graph->state.FindThread(thread) == nullptr) {
+      return Status::NotFound("version thread " + std::to_string(thread) +
+                              " does not exist");
+    }
+  }
+  auto new_session = std::make_unique<Session>();
+  new_session->graph = session->graph;
+  new_session->thread = thread;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const uint64_t id = next_session_++;
+  sessions_[id] = std::move(new_session);
+  graph->open_sessions++;
+  return Context{id};
+}
+
+Status Ham::MergeContext(Context ctx, ThreadId source, bool force) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (session->in_txn) {
+    return Status::FailedPrecondition(
+        "mergeContext must run outside an open transaction");
+  }
+  Op op;
+  op.kind = OpKind::kMergeContext;
+  op.arg = source;
+  op.flag = force;
+  return Execute(session, ctx.session, &op);
+}
+
+Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  return graph->state.ListThreads();
+}
+
+Status Ham::Checkpoint(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  std::string snapshot;
+  graph->state.EncodeTo(&snapshot);
+  return graph->store->Checkpoint(snapshot);
+}
+
+Result<GraphStats> Ham::GetStats(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  GraphState::Stats stats = graph->state.ComputeStats();
+  GraphStats out;
+  out.node_count = stats.node_count;
+  out.link_count = stats.link_count;
+  out.total_node_records = stats.total_node_records;
+  out.total_link_records = stats.total_link_records;
+  out.thread_count = stats.thread_count;
+  out.attribute_count = stats.attribute_count;
+  out.wal_bytes = graph->store->wal_bytes();
+  out.current_time = graph->state.clock().Last();
+  return out;
+}
+
+Result<ThreadId> Ham::ContextThread(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  return session->thread;
+}
+
+// ----------------------------------------------- local administration
+
+Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  GraphHandle* graph = session->graph.get();
+  std::lock_guard<std::mutex> lock(graph->mu);
+  return graph->state.CheckIntegrity();
+}
+
+Result<uint64_t> Ham::PruneHistory(Context ctx, Time before) {
+  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (session->in_txn) {
+    return Status::FailedPrecondition(
+        "pruneHistory must run outside an open transaction");
+  }
+  if (before == 0) {
+    return Status::InvalidArgument("prune horizon must be a concrete time");
+  }
+  GraphHandle* graph = session->graph.get();
+  std::unique_lock<std::mutex> lock(graph->mu);
+  graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
+  Op op;
+  op.kind = OpKind::kPruneHistory;
+  op.arg = before;
+  op.thread = kMainThread;
+  op.time = graph->state.clock().Tick();
+  // Count before applying (Apply returns no payload).
+  NEPTUNE_RETURN_IF_ERROR(graph->state.Apply(op, /*txn=*/nullptr));
+  NEPTUNE_RETURN_IF_ERROR(graph->store->AppendRecord(
+      EncodeTransaction({op}), options_.sync_commits));
+  // The reclaimed bytes only become real in a fresh snapshot.
+  std::string snapshot;
+  graph->state.EncodeTo(&snapshot);
+  NEPTUNE_RETURN_IF_ERROR(graph->store->Checkpoint(snapshot));
+  return static_cast<uint64_t>(snapshot.size());
+}
+
+}  // namespace ham
+}  // namespace neptune

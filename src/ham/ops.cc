@@ -1,0 +1,155 @@
+#include "ham/ops.h"
+
+#include "common/coding.h"
+
+namespace neptune {
+namespace ham {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAddNode:
+      return "addNode";
+    case OpKind::kDeleteNode:
+      return "deleteNode";
+    case OpKind::kAddLink:
+      return "addLink";
+    case OpKind::kDeleteLink:
+      return "deleteLink";
+    case OpKind::kModifyNode:
+      return "modifyNode";
+    case OpKind::kSetNodeAttribute:
+      return "setNodeAttributeValue";
+    case OpKind::kDeleteNodeAttribute:
+      return "deleteNodeAttribute";
+    case OpKind::kSetLinkAttribute:
+      return "setLinkAttributeValue";
+    case OpKind::kDeleteLinkAttribute:
+      return "deleteLinkAttribute";
+    case OpKind::kInternAttribute:
+      return "getAttributeIndex";
+    case OpKind::kChangeNodeProtection:
+      return "changeNodeProtection";
+    case OpKind::kSetGraphDemon:
+      return "setGraphDemonValue";
+    case OpKind::kSetNodeDemon:
+      return "setNodeDemon";
+    case OpKind::kCreateContext:
+      return "createContext";
+    case OpKind::kMergeContext:
+      return "mergeContext";
+    case OpKind::kPruneHistory:
+      return "pruneHistory";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void EncodeLinkPt(const LinkPt& pt, std::string* out) {
+  PutVarint64(out, pt.node);
+  PutVarint64(out, pt.position);
+  PutVarint64(out, pt.time);
+  out->push_back(pt.track_current ? 1 : 0);
+}
+
+bool DecodeLinkPt(std::string_view* in, LinkPt* pt) {
+  if (!GetVarint64(in, &pt->node) || !GetVarint64(in, &pt->position) ||
+      !GetVarint64(in, &pt->time) || in->empty()) {
+    return false;
+  }
+  pt->track_current = in->front() != 0;
+  in->remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+void EncodeOp(const Op& op, std::string* out) {
+  out->push_back(static_cast<char>(op.kind));
+  PutVarint64(out, op.time);
+  PutVarint64(out, op.thread);
+  PutVarint64(out, op.node);
+  PutVarint64(out, op.link);
+  PutVarint64(out, op.attr);
+  PutVarint64(out, op.arg);
+  out->push_back(op.flag ? 1 : 0);
+  out->push_back(static_cast<char>(op.event));
+  PutLengthPrefixed(out, op.value);
+  PutLengthPrefixed(out, op.extra);
+  EncodeLinkPt(op.from, out);
+  EncodeLinkPt(op.to, out);
+  PutVarint64(out, op.attachments.size());
+  for (const LinkPt& pt : op.attachments) EncodeLinkPt(pt, out);
+}
+
+Result<Op> DecodeOp(std::string_view* in) {
+  Op op;
+  if (in->empty()) return Status::Corruption("op: empty input");
+  const uint8_t kind = static_cast<uint8_t>(in->front());
+  in->remove_prefix(1);
+  if (kind < static_cast<uint8_t>(OpKind::kAddNode) ||
+      kind > static_cast<uint8_t>(OpKind::kPruneHistory)) {
+    return Status::Corruption("op: unknown kind " + std::to_string(kind));
+  }
+  op.kind = static_cast<OpKind>(kind);
+  if (!GetVarint64(in, &op.time) || !GetVarint64(in, &op.thread) ||
+      !GetVarint64(in, &op.node) || !GetVarint64(in, &op.link) ||
+      !GetVarint64(in, &op.attr) || !GetVarint64(in, &op.arg) ||
+      in->size() < 2) {
+    return Status::Corruption("op: truncated header");
+  }
+  op.flag = in->front() != 0;
+  in->remove_prefix(1);
+  op.event = static_cast<Event>(in->front());
+  in->remove_prefix(1);
+  std::string_view value;
+  std::string_view extra;
+  if (!GetLengthPrefixed(in, &value) || !GetLengthPrefixed(in, &extra)) {
+    return Status::Corruption("op: truncated strings");
+  }
+  op.value.assign(value);
+  op.extra.assign(extra);
+  if (!DecodeLinkPt(in, &op.from) || !DecodeLinkPt(in, &op.to)) {
+    return Status::Corruption("op: truncated link points");
+  }
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) {
+    return Status::Corruption("op: truncated attachment count");
+  }
+  op.attachments.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    LinkPt pt;
+    if (!DecodeLinkPt(in, &pt)) {
+      return Status::Corruption("op: truncated attachment");
+    }
+    op.attachments.push_back(pt);
+  }
+  return op;
+}
+
+std::string EncodeTransaction(const std::vector<Op>& ops) {
+  std::string out;
+  PutVarint64(&out, ops.size());
+  for (const Op& op : ops) EncodeOp(op, &out);
+  return out;
+}
+
+Result<std::vector<Op>> DecodeTransaction(std::string_view payload) {
+  uint64_t n = 0;
+  if (!GetVarint64(&payload, &n)) {
+    return Status::Corruption("transaction: truncated op count");
+  }
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    NEPTUNE_ASSIGN_OR_RETURN(Op op, DecodeOp(&payload));
+    ops.push_back(std::move(op));
+  }
+  if (!payload.empty()) {
+    return Status::Corruption("transaction: trailing bytes");
+  }
+  return ops;
+}
+
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,74 @@
+// The logical operation log. Every mutating HAM operation is recorded
+// as one Op carrying all of its operands *and* the results the engine
+// assigned (indices, timestamps), so that replaying the ops of every
+// committed transaction — in order, on top of the latest snapshot —
+// deterministically rebuilds the graph. One WAL record holds the ops
+// of one committed transaction.
+
+#ifndef NEPTUNE_HAM_OPS_H_
+#define NEPTUNE_HAM_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ham/types.h"
+
+namespace neptune {
+namespace ham {
+
+enum class OpKind : uint8_t {
+  kAddNode = 1,
+  kDeleteNode = 2,
+  kAddLink = 3,
+  kDeleteLink = 4,
+  kModifyNode = 5,
+  kSetNodeAttribute = 6,
+  kDeleteNodeAttribute = 7,
+  kSetLinkAttribute = 8,
+  kDeleteLinkAttribute = 9,
+  kInternAttribute = 10,
+  kChangeNodeProtection = 11,
+  kSetGraphDemon = 12,
+  kSetNodeDemon = 13,
+  kCreateContext = 14,
+  kMergeContext = 15,
+  kPruneHistory = 16,
+};
+
+const char* OpKindName(OpKind kind);
+
+// A single mutation. Fields not meaningful for a given kind are left
+// zero/empty (see the per-kind contracts in ops.cc's codec).
+struct Op {
+  OpKind kind = OpKind::kAddNode;
+  Time time = 0;            // logical timestamp assigned to the op
+  ThreadId thread = kMainThread;  // version thread it applies to
+
+  NodeIndex node = 0;       // target or newly assigned node
+  LinkIndex link = 0;       // target or newly assigned link
+  AttributeIndex attr = 0;  // attribute ops
+
+  uint64_t arg = 0;         // protections / source thread / misc
+  bool flag = false;        // addNode: is_archive; copyLink origin side
+  Event event = Event::kOpenGraph;  // demon ops
+
+  std::string value;        // contents / attribute value / demon value
+  std::string extra;        // explanation / attribute or context name
+
+  LinkPt from;              // addLink
+  LinkPt to;                // addLink
+  std::vector<LinkPt> attachments;  // modifyNode: per-link new LinkPts
+};
+
+void EncodeOp(const Op& op, std::string* out);
+Result<Op> DecodeOp(std::string_view* in);
+
+// A committed transaction's WAL payload.
+std::string EncodeTransaction(const std::vector<Op>& ops);
+Result<std::vector<Op>> DecodeTransaction(std::string_view payload);
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_HAM_OPS_H_

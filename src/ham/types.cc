@@ -1,0 +1,35 @@
+#include "ham/types.h"
+
+namespace neptune {
+namespace ham {
+
+const char* EventName(Event event) {
+  switch (event) {
+    case Event::kOpenGraph:
+      return "openGraph";
+    case Event::kAddNode:
+      return "addNode";
+    case Event::kDeleteNode:
+      return "deleteNode";
+    case Event::kAddLink:
+      return "addLink";
+    case Event::kDeleteLink:
+      return "deleteLink";
+    case Event::kOpenNode:
+      return "openNode";
+    case Event::kModifyNode:
+      return "modifyNode";
+    case Event::kSetAttribute:
+      return "setAttribute";
+    case Event::kDeleteAttribute:
+      return "deleteAttribute";
+    case Event::kChangeProtection:
+      return "changeProtection";
+    case Event::kCommitTransaction:
+      return "commitTransaction";
+  }
+  return "unknown";
+}
+
+}  // namespace ham
+}  // namespace neptune

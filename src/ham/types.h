@@ -1,0 +1,195 @@
+// Core value types of the Hypertext Abstract Machine, mirroring the
+// atomic domains of the paper's Appendix:
+//
+//   Time            "a non-negative integer representation for a given
+//                   date and time" — here a per-graph logical
+//                   timestamp; 0 always means "the current version"
+//   NodeIndex /     unique identifications for nodes, links and
+//   LinkIndex /     attribute names within one graph
+//   AttributeIndex
+//   ProjectId       unique identification for a hyperdata graph
+//   Context         unique identification for "the current graph" —
+//                   an open-graph handle, extended here to also name a
+//                   version thread (paper §5 contexts)
+//   LinkPt          NodeIndex x Position x Time x Boolean
+//   Version         Time x Explanation
+//
+// Plus the demon event vocabulary and the composite result structs the
+// HAM operations return.
+
+#ifndef NEPTUNE_HAM_TYPES_H_
+#define NEPTUNE_HAM_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace neptune {
+namespace ham {
+
+using Time = uint64_t;            // 0 = "current version" sentinel
+using NodeIndex = uint64_t;       // 0 = invalid
+using LinkIndex = uint64_t;       // 0 = invalid
+using AttributeIndex = uint64_t;  // 0 = invalid
+using ProjectId = uint64_t;
+using TxnId = uint64_t;
+
+// The id of a version thread inside a graph. Thread 0 is the main
+// thread; others are private worlds created by CreateContext (§5).
+using ThreadId = uint64_t;
+constexpr ThreadId kMainThread = 0;
+
+// An open-graph handle ("Context" in the Appendix): identifies the
+// session's graph and the version thread its operations apply to.
+struct Context {
+  uint64_t session = 0;  // handle issued by OpenGraph; 0 = invalid
+};
+
+// One end of a link: where it attaches and how the attachment follows
+// node versions. `track_current == true` is the paper's "automatic
+// update" attachment (a history of offsets is kept per node version);
+// otherwise the end is pinned to the node's version at `time`.
+struct LinkPt {
+  NodeIndex node = 0;
+  uint64_t position = 0;
+  Time time = 0;  // 0 = the current version at attachment use
+  bool track_current = true;
+};
+
+// Version = Time x Explanation.
+struct VersionEntry {
+  Time time = 0;
+  std::string explanation;
+};
+
+// HAM events that can trigger demons. kCommitTransaction is the
+// extension point the documentation app uses for "annotate" bundles.
+enum class Event : uint8_t {
+  kOpenGraph = 0,
+  kAddNode = 1,
+  kDeleteNode = 2,
+  kAddLink = 3,
+  kDeleteLink = 4,
+  kOpenNode = 5,
+  kModifyNode = 6,
+  kSetAttribute = 7,
+  kDeleteAttribute = 8,
+  kChangeProtection = 9,
+  kCommitTransaction = 10,
+};
+
+// Returns e.g. "modifyNode" for Event::kModifyNode.
+const char* EventName(Event event);
+
+// The parameterized demon invocation record of paper §5 ("a set of
+// parameters associated with each demon, such as the demon invoking
+// event, an invocation time-stamp, or an identification of the
+// invoking node or graph").
+struct DemonInvocation {
+  Event event = Event::kOpenGraph;
+  Time timestamp = 0;
+  ProjectId graph = 0;
+  ThreadId thread = kMainThread;
+  NodeIndex node = 0;  // 0 when not node-scoped
+  LinkIndex link = 0;  // 0 when not link-scoped
+  std::string demon;   // the demon value that fired
+};
+
+// Demon bodies are registered in-process (the paper planned Smalltalk/
+// Modula-2/C demon bodies; we bind demon values to C++ callables).
+using DemonCallback = std::function<void(const DemonInvocation&)>;
+
+// ---------------------------------------------------------------------
+// Composite operation results.
+
+struct CreateGraphResult {
+  ProjectId project = 0;
+  Time creation_time = 0;
+};
+
+struct AddNodeResult {
+  NodeIndex node = 0;
+  Time creation_time = 0;
+};
+
+struct AddLinkResult {
+  LinkIndex link = 0;
+  Time creation_time = 0;
+};
+
+// One LinkPt attached to a node version, as returned by openNode.
+struct Attachment {
+  LinkIndex link = 0;
+  bool is_source_end = false;  // this node is the link's "from" end
+  uint64_t position = 0;
+  bool track_current = true;
+};
+
+struct OpenNodeResult {
+  std::string contents;
+  std::vector<Attachment> attachments;
+  // Values for the requested AttributeIndex^m, in request order;
+  // nullopt where the attribute is not attached at that time.
+  std::vector<std::optional<std::string>> attribute_values;
+  Time current_version_time = 0;  // Time2 in the Appendix
+};
+
+struct NodeVersions {
+  std::vector<VersionEntry> major;  // contents updates
+  std::vector<VersionEntry> minor;  // structural/attribute updates
+};
+
+// getToNode / getFromNode result: the node and the version of it the
+// link end refers to.
+struct LinkEndResult {
+  NodeIndex node = 0;
+  Time version_time = 0;
+};
+
+// Sub-graph results for linearizeGraph / getGraphQuery.
+struct SubGraphNode {
+  NodeIndex node = 0;
+  std::vector<std::optional<std::string>> attribute_values;
+};
+
+struct SubGraphLink {
+  LinkIndex link = 0;
+  NodeIndex from = 0;
+  NodeIndex to = 0;
+  std::vector<std::optional<std::string>> attribute_values;
+};
+
+struct SubGraph {
+  std::vector<SubGraphNode> nodes;  // traversal order for linearizeGraph
+  std::vector<SubGraphLink> links;
+};
+
+struct AttributeEntry {
+  std::string name;
+  AttributeIndex index = 0;
+};
+
+struct AttributeValueEntry {
+  std::string name;
+  AttributeIndex index = 0;
+  std::string value;
+};
+
+struct DemonEntry {
+  Event event = Event::kOpenGraph;
+  std::string demon;
+};
+
+// A context (version thread) visible through ListContexts.
+struct ContextInfo {
+  ThreadId thread = kMainThread;
+  std::string name;
+  Time branched_at = 0;  // 0 for the main thread
+};
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_HAM_TYPES_H_

@@ -1,0 +1,523 @@
+#include "query/predicate.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace neptune {
+namespace query {
+
+namespace internal {
+
+enum class Op {
+  kTrue,
+  kFalse,
+  kAnd,
+  kOr,
+  kNot,
+  kExists,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,
+};
+
+struct Expr {
+  Op op;
+  // kAnd/kOr: both children; kNot: left only.
+  std::shared_ptr<const Expr> left;
+  std::shared_ptr<const Expr> right;
+  // Comparisons and kExists.
+  std::string attribute;
+  std::string value;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::Expr;
+using internal::Op;
+
+// ---------------------------------------------------------------- lexer
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kString,   // quoted
+  kLParen,
+  kRParen,
+  kAnd,
+  kOr,
+  kNot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t pos = 0;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '-';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        tokens.push_back({TokenKind::kEnd, "", pos_});
+        return tokens;
+      }
+      const size_t start = pos_;
+      const char c = text_[pos_];
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "(", start});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")", start});
+        ++pos_;
+      } else if (c == '&') {
+        tokens.push_back({TokenKind::kAnd, "&", start});
+        ++pos_;
+      } else if (c == '|') {
+        tokens.push_back({TokenKind::kOr, "|", start});
+        ++pos_;
+      } else if (c == '~') {
+        tokens.push_back({TokenKind::kContains, "~", start});
+        ++pos_;
+      } else if (c == '=') {
+        tokens.push_back({TokenKind::kEq, "=", start});
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') ++pos_;  // allow ==
+      } else if (c == '!') {
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          tokens.push_back({TokenKind::kNe, "!=", start});
+          ++pos_;
+        } else {
+          tokens.push_back({TokenKind::kNot, "!", start});
+        }
+      } else if (c == '<') {
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          tokens.push_back({TokenKind::kLe, "<=", start});
+          ++pos_;
+        } else {
+          tokens.push_back({TokenKind::kLt, "<", start});
+        }
+      } else if (c == '>') {
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          tokens.push_back({TokenKind::kGe, ">=", start});
+          ++pos_;
+        } else {
+          tokens.push_back({TokenKind::kGt, ">", start});
+        }
+      } else if (c == '\'' || c == '"') {
+        const char quote = c;
+        ++pos_;
+        std::string value;
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+          if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+          value.push_back(text_[pos_++]);
+        }
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument(
+              "unterminated string at position " + std::to_string(start));
+        }
+        ++pos_;  // closing quote
+        tokens.push_back({TokenKind::kString, std::move(value), start});
+      } else if (IsIdentStart(c) ||
+                 std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        ++pos_;
+        while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+        std::string word(text_.substr(start, pos_ - start));
+        if (word == "and") {
+          tokens.push_back({TokenKind::kAnd, word, start});
+        } else if (word == "or") {
+          tokens.push_back({TokenKind::kOr, word, start});
+        } else if (word == "not") {
+          tokens.push_back({TokenKind::kNot, word, start});
+        } else {
+          tokens.push_back({TokenKind::kIdent, std::move(word), start});
+        }
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at position " +
+                                       std::to_string(start));
+      }
+    }
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<const Expr>> Run() {
+    NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> expr, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  Token Take() { return tokens_[index_++]; }
+
+  Status Error(std::string_view what) const {
+    return Status::InvalidArgument(std::string(what) + " at position " +
+                                   std::to_string(Peek().pos));
+  }
+
+  static std::shared_ptr<const Expr> MakeBinary(
+      Op op, std::shared_ptr<const Expr> l, std::shared_ptr<const Expr> r) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->left = std::move(l);
+    e->right = std::move(r);
+    return e;
+  }
+
+  Result<std::shared_ptr<const Expr>> ParseOr() {
+    NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> left, ParseAnd());
+    while (Peek().kind == TokenKind::kOr) {
+      Take();
+      NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> right, ParseAnd());
+      left = MakeBinary(Op::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const Expr>> ParseAnd() {
+    NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> left, ParseUnary());
+    while (Peek().kind == TokenKind::kAnd) {
+      Take();
+      NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> right, ParseUnary());
+      left = MakeBinary(Op::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const Expr>> ParseUnary() {
+    if (Peek().kind == TokenKind::kNot) {
+      Take();
+      NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> child, ParseUnary());
+      auto e = std::make_shared<Expr>();
+      e->op = Op::kNot;
+      e->left = std::move(child);
+      return std::shared_ptr<const Expr>(std::move(e));
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Take();
+      NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> inner, ParseOr());
+      if (Peek().kind != TokenKind::kRParen) return Error("expected ')'");
+      Take();
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<std::shared_ptr<const Expr>> ParseAtom() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected attribute name");
+    }
+    Token name = Take();
+    auto e = std::make_shared<Expr>();
+    if (name.text == "true") {
+      e->op = Op::kTrue;
+      return std::shared_ptr<const Expr>(std::move(e));
+    }
+    if (name.text == "false") {
+      e->op = Op::kFalse;
+      return std::shared_ptr<const Expr>(std::move(e));
+    }
+    if (name.text == "exists") {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected attribute name after 'exists'");
+      }
+      e->op = Op::kExists;
+      e->attribute = Take().text;
+      return std::shared_ptr<const Expr>(std::move(e));
+    }
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        e->op = Op::kEq;
+        break;
+      case TokenKind::kNe:
+        e->op = Op::kNe;
+        break;
+      case TokenKind::kLt:
+        e->op = Op::kLt;
+        break;
+      case TokenKind::kLe:
+        e->op = Op::kLe;
+        break;
+      case TokenKind::kGt:
+        e->op = Op::kGt;
+        break;
+      case TokenKind::kGe:
+        e->op = Op::kGe;
+        break;
+      case TokenKind::kContains:
+        e->op = Op::kContains;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Take();
+    if (Peek().kind != TokenKind::kIdent && Peek().kind != TokenKind::kString) {
+      return Error("expected value");
+    }
+    e->attribute = std::move(name.text);
+    e->value = Take().text;
+    return std::shared_ptr<const Expr>(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+// ------------------------------------------------------------ evaluator
+
+// Three-way compare with numeric coercion when both sides are decimal
+// integers (optionally signed), lexicographic otherwise.
+int CompareValues(std::string_view a, std::string_view b) {
+  auto parse_int = [](std::string_view s, int64_t* out) {
+    if (s.empty()) return false;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+    return ec == std::errc() && ptr == s.data() + s.size();
+  };
+  int64_t ia = 0;
+  int64_t ib = 0;
+  if (parse_int(a, &ia) && parse_int(b, &ib)) {
+    return ia < ib ? -1 : (ia > ib ? 1 : 0);
+  }
+  const int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+bool EvaluateExpr(const Expr& e, const AttributeSource& attrs) {
+  switch (e.op) {
+    case Op::kTrue:
+      return true;
+    case Op::kFalse:
+      return false;
+    case Op::kAnd:
+      return EvaluateExpr(*e.left, attrs) && EvaluateExpr(*e.right, attrs);
+    case Op::kOr:
+      return EvaluateExpr(*e.left, attrs) || EvaluateExpr(*e.right, attrs);
+    case Op::kNot:
+      return !EvaluateExpr(*e.left, attrs);
+    case Op::kExists:
+      return attrs.GetAttribute(e.attribute).has_value();
+    default:
+      break;
+  }
+  std::optional<std::string_view> value = attrs.GetAttribute(e.attribute);
+  if (!value.has_value()) return false;  // absent attribute matches nothing
+  switch (e.op) {
+    case Op::kEq:
+      return *value == e.value;
+    case Op::kNe:
+      return *value != e.value;
+    case Op::kLt:
+      return CompareValues(*value, e.value) < 0;
+    case Op::kLe:
+      return CompareValues(*value, e.value) <= 0;
+    case Op::kGt:
+      return CompareValues(*value, e.value) > 0;
+    case Op::kGe:
+      return CompareValues(*value, e.value) >= 0;
+    case Op::kContains:
+      return value->find(e.value) != std::string_view::npos;
+    default:
+      return false;
+  }
+}
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  if (!IsIdentStart(value[0]) &&
+      !std::isdigit(static_cast<unsigned char>(value[0])) && value[0] != '-') {
+    return true;
+  }
+  for (char c : value) {
+    if (!IsIdentChar(c)) return true;
+  }
+  return false;
+}
+
+std::string QuoteValue(std::string_view value) {
+  if (!NeedsQuoting(value)) return std::string(value);
+  std::string out = "'";
+  for (char c : value) {
+    if (c == '\'' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('\'');
+  return out;
+}
+
+void ExprToString(const Expr& e, std::string* out) {
+  switch (e.op) {
+    case Op::kTrue:
+      *out += "true";
+      return;
+    case Op::kFalse:
+      *out += "false";
+      return;
+    case Op::kAnd:
+    case Op::kOr:
+      *out += "(";
+      ExprToString(*e.left, out);
+      *out += e.op == Op::kAnd ? " & " : " | ";
+      ExprToString(*e.right, out);
+      *out += ")";
+      return;
+    case Op::kNot:
+      *out += "!(";
+      ExprToString(*e.left, out);
+      *out += ")";
+      return;
+    case Op::kExists:
+      *out += "exists " + e.attribute;
+      return;
+    case Op::kEq:
+      *out += e.attribute + " = " + QuoteValue(e.value);
+      return;
+    case Op::kNe:
+      *out += e.attribute + " != " + QuoteValue(e.value);
+      return;
+    case Op::kLt:
+      *out += e.attribute + " < " + QuoteValue(e.value);
+      return;
+    case Op::kLe:
+      *out += e.attribute + " <= " + QuoteValue(e.value);
+      return;
+    case Op::kGt:
+      *out += e.attribute + " > " + QuoteValue(e.value);
+      return;
+    case Op::kGe:
+      *out += e.attribute + " >= " + QuoteValue(e.value);
+      return;
+    case Op::kContains:
+      *out += e.attribute + " ~ " + QuoteValue(e.value);
+      return;
+  }
+}
+
+// Walks only through AND nodes: every kEq found this way is implied by
+// the whole formula.
+void CollectEqualityConjuncts(
+    const Expr& e, std::vector<std::pair<std::string, std::string>>* out) {
+  if (e.op == Op::kAnd) {
+    CollectEqualityConjuncts(*e.left, out);
+    CollectEqualityConjuncts(*e.right, out);
+    return;
+  }
+  if (e.op == Op::kEq) {
+    out->emplace_back(e.attribute, e.value);
+  }
+}
+
+void CollectAttributes(const Expr& e, std::vector<std::string>* out) {
+  if (e.left != nullptr) CollectAttributes(*e.left, out);
+  if (e.right != nullptr) CollectAttributes(*e.right, out);
+  if (!e.attribute.empty()) {
+    for (const auto& seen : *out) {
+      if (seen == e.attribute) return;
+    }
+    out->push_back(e.attribute);
+  }
+}
+
+}  // namespace
+
+Predicate::Predicate() = default;
+Predicate::Predicate(const Predicate& other) = default;
+Predicate& Predicate::operator=(const Predicate& other) = default;
+Predicate::Predicate(Predicate&&) noexcept = default;
+Predicate& Predicate::operator=(Predicate&&) noexcept = default;
+Predicate::~Predicate() = default;
+
+Predicate::Predicate(std::shared_ptr<const internal::Expr> root)
+    : root_(std::move(root)) {}
+
+Result<Predicate> Predicate::Parse(std::string_view text) {
+  // Entirely-blank input is the universal predicate.
+  bool all_space = true;
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      all_space = false;
+      break;
+    }
+  }
+  if (all_space) return Predicate();
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Run());
+  NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<const Expr> root,
+                           Parser(std::move(tokens)).Run());
+  return Predicate(std::move(root));
+}
+
+bool Predicate::Evaluate(const AttributeSource& attrs) const {
+  if (root_ == nullptr) return true;
+  return EvaluateExpr(*root_, attrs);
+}
+
+bool Predicate::IsTriviallyTrue() const {
+  return root_ == nullptr || root_->op == Op::kTrue;
+}
+
+std::vector<std::string> Predicate::ReferencedAttributes() const {
+  std::vector<std::string> out;
+  if (root_ != nullptr) CollectAttributes(*root_, &out);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Predicate::EqualityConjuncts()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (root_ != nullptr) CollectEqualityConjuncts(*root_, &out);
+  return out;
+}
+
+std::string Predicate::ToString() const {
+  if (root_ == nullptr) return "true";
+  std::string out;
+  ExprToString(*root_, &out);
+  return out;
+}
+
+}  // namespace query
+}  // namespace neptune

@@ -1,0 +1,132 @@
+// Predicate: "a Boolean formula in terms of attributes and their
+// values" (Appendix atomic domain). Both HAM query mechanisms —
+// linearizeGraph and getGraphQuery — take one node predicate and one
+// link predicate and return only the objects that satisfy them
+// (paper §3, e.g. `document = requirements`).
+//
+// Grammar (case-sensitive identifiers; '&' binds tighter than '|'):
+//
+//   predicate  := orExpr | <empty>            empty matches everything
+//   orExpr     := andExpr ( ('|' | 'or')  andExpr )*
+//   andExpr    := unary   ( ('&' | 'and') unary )*
+//   unary      := ('!' | 'not') unary | '(' orExpr ')' | atom
+//   atom       := 'true' | 'false'
+//             | 'exists' name                attribute is attached
+//             | name op value
+//   op         := '=' | '!=' | '<' | '<=' | '>' | '>=' | '~'
+//   name       := [A-Za-z_][A-Za-z0-9_.-]*
+//   value      := name | integer | 'single or "double quoted string'
+//
+// Semantics: attribute values are strings. '=' / '!=' compare exactly;
+// '~' is substring containment; the orderings compare numerically when
+// both sides are decimal integers and lexicographically otherwise. A
+// comparison on an attribute that is not attached is false ('!=' too:
+// an absent attribute has no value to differ); use 'exists' / '!exists'
+// to test attachment.
+
+#ifndef NEPTUNE_QUERY_PREDICATE_H_
+#define NEPTUNE_QUERY_PREDICATE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace neptune {
+namespace query {
+
+// Where the evaluator reads attribute values from. The HAM adapts its
+// nodes and links (at a given Time) to this interface.
+class AttributeSource {
+ public:
+  virtual ~AttributeSource() = default;
+  // Value of `name`, or nullopt if the attribute is not attached.
+  virtual std::optional<std::string_view> GetAttribute(
+      std::string_view name) const = 0;
+};
+
+// AttributeSource over an in-memory list; used by tests and by
+// callers that already materialized (attribute, value) pairs.
+class MapAttributeSource : public AttributeSource {
+ public:
+  MapAttributeSource() = default;
+  MapAttributeSource(
+      std::initializer_list<std::pair<std::string, std::string>> pairs) {
+    for (auto& [k, v] : pairs) Set(k, v);
+  }
+
+  void Set(std::string name, std::string value) {
+    for (auto& [k, v] : pairs_) {
+      if (k == name) {
+        v = std::move(value);
+        return;
+      }
+    }
+    pairs_.emplace_back(std::move(name), std::move(value));
+  }
+
+  std::optional<std::string_view> GetAttribute(
+      std::string_view name) const override {
+    for (const auto& [k, v] : pairs_) {
+      if (k == name) return std::string_view(v);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+namespace internal {
+struct Expr;  // AST node; definition private to predicate.cc
+}  // namespace internal
+
+class Predicate {
+ public:
+  // The always-true predicate (what an empty input parses to).
+  Predicate();
+  Predicate(const Predicate& other);
+  Predicate& operator=(const Predicate& other);
+  Predicate(Predicate&&) noexcept;
+  Predicate& operator=(Predicate&&) noexcept;
+  ~Predicate();
+
+  // Parses `text`; InvalidArgument with position info on bad syntax.
+  static Result<Predicate> Parse(std::string_view text);
+  static Predicate True() { return Predicate(); }
+
+  bool Evaluate(const AttributeSource& attrs) const;
+
+  // True when this predicate matches everything (no filtering).
+  bool IsTriviallyTrue() const;
+
+  // Attribute names the formula mentions, deduplicated, in first-use
+  // order. Query planning uses this to pick candidate indexes.
+  std::vector<std::string> ReferencedAttributes() const;
+
+  // Top-level AND-ed equality terms, i.e. every `name = value` that
+  // must hold for the whole formula to hold. Any object matching the
+  // predicate also matches each returned pair, so an index lookup on
+  // one of them yields a complete candidate set. Empty for formulas
+  // with no such term (e.g. pure disjunctions).
+  std::vector<std::pair<std::string, std::string>> EqualityConjuncts() const;
+
+  // Canonical fully-parenthesized text form; Parse(ToString()) is
+  // equivalent to the original.
+  std::string ToString() const;
+
+ private:
+  explicit Predicate(std::shared_ptr<const internal::Expr> root);
+
+  // Shared immutable AST: Predicates are cheap to copy and safe to
+  // evaluate concurrently.
+  std::shared_ptr<const internal::Expr> root_;  // null == true
+};
+
+}  // namespace query
+}  // namespace neptune
+
+#endif  // NEPTUNE_QUERY_PREDICATE_H_

@@ -1,0 +1,629 @@
+#include "rpc/remote_ham.h"
+
+#include "common/coding.h"
+
+namespace neptune {
+namespace rpc {
+
+namespace {
+
+using ham::Context;
+
+constexpr char kTruncatedReply[] = "truncated reply";
+
+void PutContext(std::string* out, Context ctx) {
+  PutVarint64(out, ctx.session);
+}
+
+void PutBool(std::string* out, bool v) { out->push_back(v ? 1 : 0); }
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteHam>> RemoteHam::Connect(const std::string& host,
+                                                      uint16_t port) {
+  NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<FrameStream> stream,
+                           FrameStream::Connect(host, port));
+  auto client = std::unique_ptr<RemoteHam>(new RemoteHam(std::move(stream)));
+  NEPTUNE_RETURN_IF_ERROR(client->Ping());
+  return client;
+}
+
+Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
+  std::string request;
+  request.reserve(1 + args.size());
+  request.push_back(static_cast<char>(method));
+  request.append(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  NEPTUNE_RETURN_IF_ERROR(stream_->SendFrame(request));
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, stream_->RecvFrame());
+  std::string_view in = reply;
+  Status status;
+  if (!DecodeStatusFrom(&in, &status)) {
+    return Status::Corruption("malformed reply status");
+  }
+  NEPTUNE_RETURN_IF_ERROR(status);
+  return std::string(in);
+}
+
+Status RemoteHam::Ping() {
+  Result<std::string> reply = Call(Method::kPing, "neptune");
+  if (!reply.ok()) return reply.status();
+  if (*reply != "neptune") {
+    return Status::NetworkError("ping echo mismatch");
+  }
+  return Status::OK();
+}
+
+Result<ham::CreateGraphResult> RemoteHam::CreateGraph(
+    const std::string& directory, uint32_t protections) {
+  std::string args;
+  PutLengthPrefixed(&args, directory);
+  PutVarint32(&args, protections);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kCreateGraph, args));
+  std::string_view in = reply;
+  ham::CreateGraphResult out;
+  if (!GetVarint64(&in, &out.project) ||
+      !GetVarint64(&in, &out.creation_time)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::DestroyGraph(ham::ProjectId project,
+                               const std::string& directory) {
+  std::string args;
+  PutVarint64(&args, project);
+  PutLengthPrefixed(&args, directory);
+  return Call(Method::kDestroyGraph, args).status();
+}
+
+Result<Context> RemoteHam::OpenGraph(ham::ProjectId project,
+                                     const std::string& machine,
+                                     const std::string& directory) {
+  std::string args;
+  PutVarint64(&args, project);
+  PutLengthPrefixed(&args, machine);
+  PutLengthPrefixed(&args, directory);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kOpenGraph, args));
+  std::string_view in = reply;
+  Context ctx;
+  if (!GetVarint64(&in, &ctx.session)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return ctx;
+}
+
+Status RemoteHam::CloseGraph(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  return Call(Method::kCloseGraph, args).status();
+}
+
+Status RemoteHam::BeginTransaction(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  return Call(Method::kBeginTransaction, args).status();
+}
+
+Status RemoteHam::CommitTransaction(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  return Call(Method::kCommitTransaction, args).status();
+}
+
+Status RemoteHam::AbortTransaction(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  return Call(Method::kAbortTransaction, args).status();
+}
+
+Result<ham::AddNodeResult> RemoteHam::AddNode(Context ctx, bool keep_history) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutBool(&args, keep_history);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kAddNode, args));
+  std::string_view in = reply;
+  ham::AddNodeResult out;
+  if (!GetVarint64(&in, &out.node) || !GetVarint64(&in, &out.creation_time)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::DeleteNode(Context ctx, ham::NodeIndex node) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  return Call(Method::kDeleteNode, args).status();
+}
+
+Result<ham::AddLinkResult> RemoteHam::AddLink(Context ctx,
+                                              const ham::LinkPt& from,
+                                              const ham::LinkPt& to) {
+  std::string args;
+  PutContext(&args, ctx);
+  EncodeLinkPtTo(from, &args);
+  EncodeLinkPtTo(to, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kAddLink, args));
+  std::string_view in = reply;
+  ham::AddLinkResult out;
+  if (!GetVarint64(&in, &out.link) || !GetVarint64(&in, &out.creation_time)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<ham::AddLinkResult> RemoteHam::CopyLink(Context ctx,
+                                               ham::LinkIndex link,
+                                               ham::Time time,
+                                               bool copy_source,
+                                               const ham::LinkPt& other) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  PutVarint64(&args, time);
+  PutBool(&args, copy_source);
+  EncodeLinkPtTo(other, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kCopyLink, args));
+  std::string_view in = reply;
+  ham::AddLinkResult out;
+  if (!GetVarint64(&in, &out.link) || !GetVarint64(&in, &out.creation_time)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::DeleteLink(Context ctx, ham::LinkIndex link) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  return Call(Method::kDeleteLink, args).status();
+}
+
+Result<ham::SubGraph> RemoteHam::LinearizeGraph(
+    Context ctx, ham::NodeIndex start, ham::Time time,
+    const std::string& node_pred, const std::string& link_pred,
+    const std::vector<ham::AttributeIndex>& node_attrs,
+    const std::vector<ham::AttributeIndex>& link_attrs) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, start);
+  PutVarint64(&args, time);
+  PutLengthPrefixed(&args, node_pred);
+  PutLengthPrefixed(&args, link_pred);
+  EncodeIndexVecTo(node_attrs, &args);
+  EncodeIndexVecTo(link_attrs, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kLinearizeGraph, args));
+  std::string_view in = reply;
+  ham::SubGraph out;
+  if (!DecodeSubGraphFrom(&in, &out)) return Status::Corruption(kTruncatedReply);
+  return out;
+}
+
+Result<ham::SubGraph> RemoteHam::GetGraphQuery(
+    Context ctx, ham::Time time, const std::string& node_pred,
+    const std::string& link_pred,
+    const std::vector<ham::AttributeIndex>& node_attrs,
+    const std::vector<ham::AttributeIndex>& link_attrs) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, time);
+  PutLengthPrefixed(&args, node_pred);
+  PutLengthPrefixed(&args, link_pred);
+  EncodeIndexVecTo(node_attrs, &args);
+  EncodeIndexVecTo(link_attrs, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetGraphQuery, args));
+  std::string_view in = reply;
+  ham::SubGraph out;
+  if (!DecodeSubGraphFrom(&in, &out)) return Status::Corruption(kTruncatedReply);
+  return out;
+}
+
+Result<ham::OpenNodeResult> RemoteHam::OpenNode(
+    Context ctx, ham::NodeIndex node, ham::Time time,
+    const std::vector<ham::AttributeIndex>& attrs) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, time);
+  EncodeIndexVecTo(attrs, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kOpenNode, args));
+  std::string_view in = reply;
+  ham::OpenNodeResult out;
+  if (!DecodeOpenNodeResultFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::ModifyNode(
+    Context ctx, ham::NodeIndex node, ham::Time expected_time,
+    const std::string& contents,
+    const std::vector<ham::AttachmentUpdate>& attachments,
+    const std::string& explanation) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, expected_time);
+  PutLengthPrefixed(&args, contents);
+  EncodeAttachmentUpdatesTo(attachments, &args);
+  PutLengthPrefixed(&args, explanation);
+  return Call(Method::kModifyNode, args).status();
+}
+
+Result<ham::Time> RemoteHam::GetNodeTimeStamp(Context ctx,
+                                              ham::NodeIndex node) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetNodeTimeStamp, args));
+  std::string_view in = reply;
+  ham::Time time = 0;
+  if (!GetVarint64(&in, &time)) return Status::Corruption(kTruncatedReply);
+  return time;
+}
+
+Status RemoteHam::ChangeNodeProtection(Context ctx, ham::NodeIndex node,
+                                       uint32_t protections) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint32(&args, protections);
+  return Call(Method::kChangeNodeProtection, args).status();
+}
+
+Result<ham::NodeVersions> RemoteHam::GetNodeVersions(Context ctx,
+                                                     ham::NodeIndex node) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetNodeVersions, args));
+  std::string_view in = reply;
+  ham::NodeVersions out;
+  if (!DecodeNodeVersionsFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<std::vector<delta::Difference>> RemoteHam::GetNodeDifferences(
+    Context ctx, ham::NodeIndex node, ham::Time t1, ham::Time t2) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, t1);
+  PutVarint64(&args, t2);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetNodeDifferences, args));
+  std::string_view in = reply;
+  std::vector<delta::Difference> out;
+  if (!DecodeDifferencesFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<ham::LinkEndResult> RemoteHam::GetToNode(Context ctx,
+                                                ham::LinkIndex link,
+                                                ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kGetToNode, args));
+  std::string_view in = reply;
+  ham::LinkEndResult out;
+  if (!GetVarint64(&in, &out.node) || !GetVarint64(&in, &out.version_time)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<ham::LinkEndResult> RemoteHam::GetFromNode(Context ctx,
+                                                  ham::LinkIndex link,
+                                                  ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetFromNode, args));
+  std::string_view in = reply;
+  ham::LinkEndResult out;
+  if (!GetVarint64(&in, &out.node) || !GetVarint64(&in, &out.version_time)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<std::vector<ham::AttributeEntry>> RemoteHam::GetAttributes(
+    Context ctx, ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetAttributes, args));
+  std::string_view in = reply;
+  std::vector<ham::AttributeEntry> out;
+  if (!DecodeAttributeEntriesFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> RemoteHam::GetAttributeValues(
+    Context ctx, ham::AttributeIndex attr, ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, attr);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetAttributeValues, args));
+  std::string_view in = reply;
+  std::vector<std::string> out;
+  if (!DecodeStringVecFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<ham::AttributeIndex> RemoteHam::GetAttributeIndex(
+    Context ctx, const std::string& name) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutLengthPrefixed(&args, name);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetAttributeIndex, args));
+  std::string_view in = reply;
+  ham::AttributeIndex attr = 0;
+  if (!GetVarint64(&in, &attr)) return Status::Corruption(kTruncatedReply);
+  return attr;
+}
+
+Status RemoteHam::SetNodeAttributeValue(Context ctx, ham::NodeIndex node,
+                                        ham::AttributeIndex attr,
+                                        const std::string& value) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, attr);
+  PutLengthPrefixed(&args, value);
+  return Call(Method::kSetNodeAttributeValue, args).status();
+}
+
+Status RemoteHam::DeleteNodeAttribute(Context ctx, ham::NodeIndex node,
+                                      ham::AttributeIndex attr) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, attr);
+  return Call(Method::kDeleteNodeAttribute, args).status();
+}
+
+Result<std::string> RemoteHam::GetNodeAttributeValue(Context ctx,
+                                                     ham::NodeIndex node,
+                                                     ham::AttributeIndex attr,
+                                                     ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, attr);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetNodeAttributeValue, args));
+  std::string_view in = reply;
+  std::string_view value;
+  if (!GetLengthPrefixed(&in, &value)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return std::string(value);
+}
+
+Result<std::vector<ham::AttributeValueEntry>> RemoteHam::GetNodeAttributes(
+    Context ctx, ham::NodeIndex node, ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetNodeAttributes, args));
+  std::string_view in = reply;
+  std::vector<ham::AttributeValueEntry> out;
+  if (!DecodeAttributeValueEntriesFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::SetLinkAttributeValue(Context ctx, ham::LinkIndex link,
+                                        ham::AttributeIndex attr,
+                                        const std::string& value) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  PutVarint64(&args, attr);
+  PutLengthPrefixed(&args, value);
+  return Call(Method::kSetLinkAttributeValue, args).status();
+}
+
+Status RemoteHam::DeleteLinkAttribute(Context ctx, ham::LinkIndex link,
+                                      ham::AttributeIndex attr) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  PutVarint64(&args, attr);
+  return Call(Method::kDeleteLinkAttribute, args).status();
+}
+
+Result<std::string> RemoteHam::GetLinkAttributeValue(Context ctx,
+                                                     ham::LinkIndex link,
+                                                     ham::AttributeIndex attr,
+                                                     ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  PutVarint64(&args, attr);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetLinkAttributeValue, args));
+  std::string_view in = reply;
+  std::string_view value;
+  if (!GetLengthPrefixed(&in, &value)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return std::string(value);
+}
+
+Result<std::vector<ham::AttributeValueEntry>> RemoteHam::GetLinkAttributes(
+    Context ctx, ham::LinkIndex link, ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, link);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetLinkAttributes, args));
+  std::string_view in = reply;
+  std::vector<ham::AttributeValueEntry> out;
+  if (!DecodeAttributeValueEntriesFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::SetGraphDemonValue(Context ctx, ham::Event event,
+                                     const std::string& demon) {
+  std::string args;
+  PutContext(&args, ctx);
+  args.push_back(static_cast<char>(event));
+  PutLengthPrefixed(&args, demon);
+  return Call(Method::kSetGraphDemonValue, args).status();
+}
+
+Result<std::vector<ham::DemonEntry>> RemoteHam::GetGraphDemons(
+    Context ctx, ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetGraphDemons, args));
+  std::string_view in = reply;
+  std::vector<ham::DemonEntry> out;
+  if (!DecodeDemonEntriesFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::SetNodeDemon(Context ctx, ham::NodeIndex node,
+                               ham::Event event, const std::string& demon) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  args.push_back(static_cast<char>(event));
+  PutLengthPrefixed(&args, demon);
+  return Call(Method::kSetNodeDemon, args).status();
+}
+
+Result<std::vector<ham::DemonEntry>> RemoteHam::GetNodeDemons(
+    Context ctx, ham::NodeIndex node, ham::Time time) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, node);
+  PutVarint64(&args, time);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetNodeDemons, args));
+  std::string_view in = reply;
+  std::vector<ham::DemonEntry> out;
+  if (!DecodeDemonEntriesFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<ham::ContextInfo> RemoteHam::CreateContext(Context ctx,
+                                                  const std::string& name) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutLengthPrefixed(&args, name);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kCreateContext, args));
+  std::string_view in = reply;
+  ham::ContextInfo out;
+  std::string_view out_name;
+  if (!GetVarint64(&in, &out.thread) || !GetLengthPrefixed(&in, &out_name) ||
+      !GetVarint64(&in, &out.branched_at)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  out.name.assign(out_name);
+  return out;
+}
+
+Result<Context> RemoteHam::OpenContext(Context ctx, ham::ThreadId thread) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, thread);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kOpenContext, args));
+  std::string_view in = reply;
+  Context out;
+  if (!GetVarint64(&in, &out.session)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::MergeContext(Context ctx, ham::ThreadId source, bool force) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, source);
+  PutBool(&args, force);
+  return Call(Method::kMergeContext, args).status();
+}
+
+Result<std::vector<ham::ContextInfo>> RemoteHam::ListContexts(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kListContexts, args));
+  std::string_view in = reply;
+  std::vector<ham::ContextInfo> out;
+  if (!DecodeContextInfosFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Status RemoteHam::Checkpoint(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  return Call(Method::kCheckpoint, args).status();
+}
+
+Result<ham::GraphStats> RemoteHam::GetStats(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kGetStats, args));
+  std::string_view in = reply;
+  ham::GraphStats out;
+  if (!DecodeStatsFrom(&in, &out)) return Status::Corruption(kTruncatedReply);
+  return out;
+}
+
+Result<ham::ThreadId> RemoteHam::ContextThread(Context ctx) {
+  std::string args;
+  PutContext(&args, ctx);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kContextThread, args));
+  std::string_view in = reply;
+  ham::ThreadId thread = 0;
+  if (!GetVarint64(&in, &thread)) return Status::Corruption(kTruncatedReply);
+  return thread;
+}
+
+}  // namespace rpc
+}  // namespace neptune

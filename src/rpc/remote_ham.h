@@ -1,0 +1,159 @@
+// RemoteHam: the client stub. Implements HamInterface over a TCP
+// connection to a Neptune server, so application layers and browsers
+// run unchanged against a networked HAM — the paper's deployment
+// ("a central server which is accessible over a local area network
+// from a variety of workstations").
+
+#ifndef NEPTUNE_RPC_REMOTE_HAM_H_
+#define NEPTUNE_RPC_REMOTE_HAM_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ham/ham_interface.h"
+#include "rpc/socket.h"
+#include "rpc/wire.h"
+
+namespace neptune {
+namespace rpc {
+
+class RemoteHam final : public ham::HamInterface {
+ public:
+  // Connects to a running server; host "" or "localhost" means
+  // 127.0.0.1.
+  static Result<std::unique_ptr<RemoteHam>> Connect(const std::string& host,
+                                                    uint16_t port);
+
+  RemoteHam(const RemoteHam&) = delete;
+  RemoteHam& operator=(const RemoteHam&) = delete;
+
+  // Round-trip liveness probe.
+  Status Ping();
+
+  // HamInterface (see ham/ham_interface.h for contracts) -------------
+  Result<ham::CreateGraphResult> CreateGraph(const std::string& directory,
+                                             uint32_t protections) override;
+  Status DestroyGraph(ham::ProjectId project,
+                      const std::string& directory) override;
+  Result<ham::Context> OpenGraph(ham::ProjectId project,
+                                 const std::string& machine,
+                                 const std::string& directory) override;
+  Status CloseGraph(ham::Context ctx) override;
+
+  Status BeginTransaction(ham::Context ctx) override;
+  Status CommitTransaction(ham::Context ctx) override;
+  Status AbortTransaction(ham::Context ctx) override;
+
+  Result<ham::AddNodeResult> AddNode(ham::Context ctx,
+                                     bool keep_history) override;
+  Status DeleteNode(ham::Context ctx, ham::NodeIndex node) override;
+  Result<ham::AddLinkResult> AddLink(ham::Context ctx, const ham::LinkPt& from,
+                                     const ham::LinkPt& to) override;
+  Result<ham::AddLinkResult> CopyLink(ham::Context ctx, ham::LinkIndex link,
+                                      ham::Time time, bool copy_source,
+                                      const ham::LinkPt& other) override;
+  Status DeleteLink(ham::Context ctx, ham::LinkIndex link) override;
+
+  Result<ham::SubGraph> LinearizeGraph(
+      ham::Context ctx, ham::NodeIndex start, ham::Time time,
+      const std::string& node_pred, const std::string& link_pred,
+      const std::vector<ham::AttributeIndex>& node_attrs,
+      const std::vector<ham::AttributeIndex>& link_attrs) override;
+  Result<ham::SubGraph> GetGraphQuery(
+      ham::Context ctx, ham::Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<ham::AttributeIndex>& node_attrs,
+      const std::vector<ham::AttributeIndex>& link_attrs) override;
+
+  Result<ham::OpenNodeResult> OpenNode(
+      ham::Context ctx, ham::NodeIndex node, ham::Time time,
+      const std::vector<ham::AttributeIndex>& attrs) override;
+  Status ModifyNode(ham::Context ctx, ham::NodeIndex node,
+                    ham::Time expected_time, const std::string& contents,
+                    const std::vector<ham::AttachmentUpdate>& attachments,
+                    const std::string& explanation) override;
+  Result<ham::Time> GetNodeTimeStamp(ham::Context ctx,
+                                     ham::NodeIndex node) override;
+  Status ChangeNodeProtection(ham::Context ctx, ham::NodeIndex node,
+                              uint32_t protections) override;
+  Result<ham::NodeVersions> GetNodeVersions(ham::Context ctx,
+                                            ham::NodeIndex node) override;
+  Result<std::vector<delta::Difference>> GetNodeDifferences(
+      ham::Context ctx, ham::NodeIndex node, ham::Time t1,
+      ham::Time t2) override;
+
+  Result<ham::LinkEndResult> GetToNode(ham::Context ctx, ham::LinkIndex link,
+                                       ham::Time time) override;
+  Result<ham::LinkEndResult> GetFromNode(ham::Context ctx, ham::LinkIndex link,
+                                         ham::Time time) override;
+
+  Result<std::vector<ham::AttributeEntry>> GetAttributes(
+      ham::Context ctx, ham::Time time) override;
+  Result<std::vector<std::string>> GetAttributeValues(
+      ham::Context ctx, ham::AttributeIndex attr, ham::Time time) override;
+  Result<ham::AttributeIndex> GetAttributeIndex(
+      ham::Context ctx, const std::string& name) override;
+
+  Status SetNodeAttributeValue(ham::Context ctx, ham::NodeIndex node,
+                               ham::AttributeIndex attr,
+                               const std::string& value) override;
+  Status DeleteNodeAttribute(ham::Context ctx, ham::NodeIndex node,
+                             ham::AttributeIndex attr) override;
+  Result<std::string> GetNodeAttributeValue(ham::Context ctx,
+                                            ham::NodeIndex node,
+                                            ham::AttributeIndex attr,
+                                            ham::Time time) override;
+  Result<std::vector<ham::AttributeValueEntry>> GetNodeAttributes(
+      ham::Context ctx, ham::NodeIndex node, ham::Time time) override;
+
+  Status SetLinkAttributeValue(ham::Context ctx, ham::LinkIndex link,
+                               ham::AttributeIndex attr,
+                               const std::string& value) override;
+  Status DeleteLinkAttribute(ham::Context ctx, ham::LinkIndex link,
+                             ham::AttributeIndex attr) override;
+  Result<std::string> GetLinkAttributeValue(ham::Context ctx,
+                                            ham::LinkIndex link,
+                                            ham::AttributeIndex attr,
+                                            ham::Time time) override;
+  Result<std::vector<ham::AttributeValueEntry>> GetLinkAttributes(
+      ham::Context ctx, ham::LinkIndex link, ham::Time time) override;
+
+  Status SetGraphDemonValue(ham::Context ctx, ham::Event event,
+                            const std::string& demon) override;
+  Result<std::vector<ham::DemonEntry>> GetGraphDemons(ham::Context ctx,
+                                                      ham::Time time) override;
+  Status SetNodeDemon(ham::Context ctx, ham::NodeIndex node, ham::Event event,
+                      const std::string& demon) override;
+  Result<std::vector<ham::DemonEntry>> GetNodeDemons(ham::Context ctx,
+                                                     ham::NodeIndex node,
+                                                     ham::Time time) override;
+
+  Result<ham::ContextInfo> CreateContext(ham::Context ctx,
+                                         const std::string& name) override;
+  Result<ham::Context> OpenContext(ham::Context ctx,
+                                   ham::ThreadId thread) override;
+  Status MergeContext(ham::Context ctx, ham::ThreadId source,
+                      bool force) override;
+  Result<std::vector<ham::ContextInfo>> ListContexts(ham::Context ctx) override;
+
+  Status Checkpoint(ham::Context ctx) override;
+  Result<ham::GraphStats> GetStats(ham::Context ctx) override;
+  Result<ham::ThreadId> ContextThread(ham::Context ctx) override;
+
+ private:
+  explicit RemoteHam(std::unique_ptr<FrameStream> stream)
+      : stream_(std::move(stream)) {}
+
+  // Sends one request and returns the reply's result payload (after
+  // the status header); non-OK replies become that Status.
+  Result<std::string> Call(Method method, std::string_view args);
+
+  std::mutex mu_;  // one request in flight per connection
+  std::unique_ptr<FrameStream> stream_;
+};
+
+}  // namespace rpc
+}  // namespace neptune
+
+#endif  // NEPTUNE_RPC_REMOTE_HAM_H_

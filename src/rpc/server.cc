@@ -1,0 +1,542 @@
+#include "rpc/server.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace neptune {
+namespace rpc {
+
+namespace {
+
+using ham::Context;
+
+// Decode helpers that fail by returning false; the dispatcher turns
+// that into a Corruption reply.
+bool GetContext(std::string_view* in, Context* ctx) {
+  return GetVarint64(in, &ctx->session);
+}
+
+bool GetString(std::string_view* in, std::string* out) {
+  std::string_view s;
+  if (!GetLengthPrefixed(in, &s)) return false;
+  out->assign(s);
+  return true;
+}
+
+bool GetBool(std::string_view* in, bool* out) {
+  if (in->empty()) return false;
+  *out = in->front() != 0;
+  in->remove_prefix(1);
+  return true;
+}
+
+bool GetEvent(std::string_view* in, ham::Event* out) {
+  if (in->empty()) return false;
+  *out = static_cast<ham::Event>(in->front());
+  in->remove_prefix(1);
+  return true;
+}
+
+std::string BadRequest(std::string_view what) {
+  std::string reply;
+  EncodeStatusTo(Status::Corruption("malformed request: " + std::string(what)),
+                 &reply);
+  return reply;
+}
+
+// Builds a reply from a Status-only operation.
+std::string StatusReply(const Status& status) {
+  std::string reply;
+  EncodeStatusTo(status, &reply);
+  return reply;
+}
+
+// Builds a reply from a Result<T> plus a result encoder.
+template <typename T, typename Encoder>
+std::string ResultReply(const Result<T>& result, Encoder encode) {
+  std::string reply;
+  EncodeStatusTo(result.ok() ? Status::OK() : result.status(), &reply);
+  if (result.ok()) encode(*result, &reply);
+  return reply;
+}
+
+}  // namespace
+
+Server::~Server() { Stop(); }
+
+Result<uint16_t> Server::Start(uint16_t port) {
+  NEPTUNE_ASSIGN_OR_RETURN(listener_, Listener::Bind(port));
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  NEPTUNE_LOG(Info) << "neptune server listening on 127.0.0.1:" << port_;
+  return port_;
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listener_ != nullptr) listener_->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& stream : streams_) stream->Close();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_) {
+    auto stream = listener_->Accept();
+    if (!stream.ok()) {
+      if (!stopping_) {
+        NEPTUNE_LOG(Warn) << "accept failed: " << stream.status().ToString();
+      }
+      return;
+    }
+    FrameStream* raw = stream->get();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    streams_.push_back(std::move(*stream));
+    threads_.emplace_back([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void Server::ServeConnection(FrameStream* stream) {
+  std::set<uint64_t> sessions;
+  while (!stopping_) {
+    Result<std::string> request = stream->RecvFrame();
+    if (!request.ok()) break;  // disconnect or corruption: drop client
+    std::string reply = HandleRequest(*request, &sessions);
+    if (!stream->SendFrame(reply).ok()) break;
+  }
+  // A vanished client releases everything it held (crash recovery for
+  // its open transaction happens via CloseGraph's abort path).
+  for (uint64_t session : sessions) {
+    ham_->CloseGraph(Context{session});
+  }
+}
+
+std::string Server::HandleRequest(std::string_view in,
+                                  std::set<uint64_t>* sessions) {
+  if (in.empty()) return BadRequest("empty");
+  const Method method = static_cast<Method>(in.front());
+  in.remove_prefix(1);
+
+  Context ctx;
+  switch (method) {
+    case Method::kPing: {
+      std::string reply = StatusReply(Status::OK());
+      reply.append(in);  // echo
+      return reply;
+    }
+
+    case Method::kCreateGraph: {
+      std::string directory;
+      uint32_t protections = 0;
+      if (!GetString(&in, &directory) || !GetVarint32(&in, &protections)) {
+        return BadRequest("createGraph");
+      }
+      return ResultReply(ham_->CreateGraph(directory, protections),
+                         [](const ham::CreateGraphResult& r, std::string* out) {
+                           PutVarint64(out, r.project);
+                           PutVarint64(out, r.creation_time);
+                         });
+    }
+    case Method::kDestroyGraph: {
+      uint64_t project = 0;
+      std::string directory;
+      if (!GetVarint64(&in, &project) || !GetString(&in, &directory)) {
+        return BadRequest("destroyGraph");
+      }
+      return StatusReply(ham_->DestroyGraph(project, directory));
+    }
+    case Method::kOpenGraph: {
+      uint64_t project = 0;
+      std::string machine;
+      std::string directory;
+      if (!GetVarint64(&in, &project) || !GetString(&in, &machine) ||
+          !GetString(&in, &directory)) {
+        return BadRequest("openGraph");
+      }
+      Result<Context> opened = ham_->OpenGraph(project, machine, directory);
+      if (opened.ok()) sessions->insert(opened->session);
+      return ResultReply(opened, [](const Context& c, std::string* out) {
+        PutVarint64(out, c.session);
+      });
+    }
+    case Method::kCloseGraph: {
+      if (!GetContext(&in, &ctx)) return BadRequest("closeGraph");
+      Status status = ham_->CloseGraph(ctx);
+      if (status.ok()) sessions->erase(ctx.session);
+      return StatusReply(status);
+    }
+
+    case Method::kBeginTransaction: {
+      if (!GetContext(&in, &ctx)) return BadRequest("begin");
+      return StatusReply(ham_->BeginTransaction(ctx));
+    }
+    case Method::kCommitTransaction: {
+      if (!GetContext(&in, &ctx)) return BadRequest("commit");
+      return StatusReply(ham_->CommitTransaction(ctx));
+    }
+    case Method::kAbortTransaction: {
+      if (!GetContext(&in, &ctx)) return BadRequest("abort");
+      return StatusReply(ham_->AbortTransaction(ctx));
+    }
+
+    case Method::kAddNode: {
+      bool archive = false;
+      if (!GetContext(&in, &ctx) || !GetBool(&in, &archive)) {
+        return BadRequest("addNode");
+      }
+      return ResultReply(ham_->AddNode(ctx, archive),
+                         [](const ham::AddNodeResult& r, std::string* out) {
+                           PutVarint64(out, r.node);
+                           PutVarint64(out, r.creation_time);
+                         });
+    }
+    case Method::kDeleteNode: {
+      uint64_t node = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node)) {
+        return BadRequest("deleteNode");
+      }
+      return StatusReply(ham_->DeleteNode(ctx, node));
+    }
+    case Method::kAddLink: {
+      ham::LinkPt from;
+      ham::LinkPt to;
+      if (!GetContext(&in, &ctx) || !DecodeLinkPtFrom(&in, &from) ||
+          !DecodeLinkPtFrom(&in, &to)) {
+        return BadRequest("addLink");
+      }
+      return ResultReply(ham_->AddLink(ctx, from, to),
+                         [](const ham::AddLinkResult& r, std::string* out) {
+                           PutVarint64(out, r.link);
+                           PutVarint64(out, r.creation_time);
+                         });
+    }
+    case Method::kCopyLink: {
+      uint64_t link = 0;
+      uint64_t time = 0;
+      bool copy_source = false;
+      ham::LinkPt other;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &link) ||
+          !GetVarint64(&in, &time) || !GetBool(&in, &copy_source) ||
+          !DecodeLinkPtFrom(&in, &other)) {
+        return BadRequest("copyLink");
+      }
+      return ResultReply(ham_->CopyLink(ctx, link, time, copy_source, other),
+                         [](const ham::AddLinkResult& r, std::string* out) {
+                           PutVarint64(out, r.link);
+                           PutVarint64(out, r.creation_time);
+                         });
+    }
+    case Method::kDeleteLink: {
+      uint64_t link = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &link)) {
+        return BadRequest("deleteLink");
+      }
+      return StatusReply(ham_->DeleteLink(ctx, link));
+    }
+
+    case Method::kLinearizeGraph:
+    case Method::kGetGraphQuery: {
+      uint64_t start = 0;
+      uint64_t time = 0;
+      std::string node_pred;
+      std::string link_pred;
+      std::vector<uint64_t> node_attrs;
+      std::vector<uint64_t> link_attrs;
+      if (!GetContext(&in, &ctx)) return BadRequest("query");
+      if (method == Method::kLinearizeGraph && !GetVarint64(&in, &start)) {
+        return BadRequest("linearize start");
+      }
+      if (!GetVarint64(&in, &time) || !GetString(&in, &node_pred) ||
+          !GetString(&in, &link_pred) ||
+          !DecodeIndexVecFrom(&in, &node_attrs) ||
+          !DecodeIndexVecFrom(&in, &link_attrs)) {
+        return BadRequest("query args");
+      }
+      Result<ham::SubGraph> result =
+          method == Method::kLinearizeGraph
+              ? ham_->LinearizeGraph(ctx, start, time, node_pred, link_pred,
+                                     node_attrs, link_attrs)
+              : ham_->GetGraphQuery(ctx, time, node_pred, link_pred,
+                                    node_attrs, link_attrs);
+      return ResultReply(result, EncodeSubGraphTo);
+    }
+
+    case Method::kOpenNode: {
+      uint64_t node = 0;
+      uint64_t time = 0;
+      std::vector<uint64_t> attrs;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node) ||
+          !GetVarint64(&in, &time) || !DecodeIndexVecFrom(&in, &attrs)) {
+        return BadRequest("openNode");
+      }
+      return ResultReply(ham_->OpenNode(ctx, node, time, attrs),
+                         EncodeOpenNodeResultTo);
+    }
+    case Method::kModifyNode: {
+      uint64_t node = 0;
+      uint64_t expected = 0;
+      std::string contents;
+      std::vector<ham::AttachmentUpdate> attachments;
+      std::string explanation;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node) ||
+          !GetVarint64(&in, &expected) || !GetString(&in, &contents) ||
+          !DecodeAttachmentUpdatesFrom(&in, &attachments) ||
+          !GetString(&in, &explanation)) {
+        return BadRequest("modifyNode");
+      }
+      return StatusReply(ham_->ModifyNode(ctx, node, expected, contents,
+                                          attachments, explanation));
+    }
+    case Method::kGetNodeTimeStamp: {
+      uint64_t node = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node)) {
+        return BadRequest("getNodeTimeStamp");
+      }
+      return ResultReply(ham_->GetNodeTimeStamp(ctx, node),
+                         [](const ham::Time& t, std::string* out) {
+                           PutVarint64(out, t);
+                         });
+    }
+    case Method::kChangeNodeProtection: {
+      uint64_t node = 0;
+      uint32_t protections = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node) ||
+          !GetVarint32(&in, &protections)) {
+        return BadRequest("changeNodeProtection");
+      }
+      return StatusReply(ham_->ChangeNodeProtection(ctx, node, protections));
+    }
+    case Method::kGetNodeVersions: {
+      uint64_t node = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node)) {
+        return BadRequest("getNodeVersions");
+      }
+      return ResultReply(ham_->GetNodeVersions(ctx, node),
+                         EncodeNodeVersionsTo);
+    }
+    case Method::kGetNodeDifferences: {
+      uint64_t node = 0;
+      uint64_t t1 = 0;
+      uint64_t t2 = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node) ||
+          !GetVarint64(&in, &t1) || !GetVarint64(&in, &t2)) {
+        return BadRequest("getNodeDifferences");
+      }
+      return ResultReply(ham_->GetNodeDifferences(ctx, node, t1, t2),
+                         EncodeDifferencesTo);
+    }
+
+    case Method::kGetToNode:
+    case Method::kGetFromNode: {
+      uint64_t link = 0;
+      uint64_t time = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &link) ||
+          !GetVarint64(&in, &time)) {
+        return BadRequest("getEndNode");
+      }
+      Result<ham::LinkEndResult> result =
+          method == Method::kGetToNode ? ham_->GetToNode(ctx, link, time)
+                                       : ham_->GetFromNode(ctx, link, time);
+      return ResultReply(result,
+                         [](const ham::LinkEndResult& r, std::string* out) {
+                           PutVarint64(out, r.node);
+                           PutVarint64(out, r.version_time);
+                         });
+    }
+
+    case Method::kGetAttributes: {
+      uint64_t time = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &time)) {
+        return BadRequest("getAttributes");
+      }
+      return ResultReply(ham_->GetAttributes(ctx, time),
+                         EncodeAttributeEntriesTo);
+    }
+    case Method::kGetAttributeValues: {
+      uint64_t attr = 0;
+      uint64_t time = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &attr) ||
+          !GetVarint64(&in, &time)) {
+        return BadRequest("getAttributeValues");
+      }
+      return ResultReply(ham_->GetAttributeValues(ctx, attr, time),
+                         EncodeStringVecTo);
+    }
+    case Method::kGetAttributeIndex: {
+      std::string name;
+      if (!GetContext(&in, &ctx) || !GetString(&in, &name)) {
+        return BadRequest("getAttributeIndex");
+      }
+      return ResultReply(ham_->GetAttributeIndex(ctx, name),
+                         [](const ham::AttributeIndex& a, std::string* out) {
+                           PutVarint64(out, a);
+                         });
+    }
+
+    case Method::kSetNodeAttributeValue:
+    case Method::kSetLinkAttributeValue: {
+      uint64_t target = 0;
+      uint64_t attr = 0;
+      std::string value;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &target) ||
+          !GetVarint64(&in, &attr) || !GetString(&in, &value)) {
+        return BadRequest("setAttributeValue");
+      }
+      Status status =
+          method == Method::kSetNodeAttributeValue
+              ? ham_->SetNodeAttributeValue(ctx, target, attr, value)
+              : ham_->SetLinkAttributeValue(ctx, target, attr, value);
+      return StatusReply(status);
+    }
+    case Method::kDeleteNodeAttribute:
+    case Method::kDeleteLinkAttribute: {
+      uint64_t target = 0;
+      uint64_t attr = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &target) ||
+          !GetVarint64(&in, &attr)) {
+        return BadRequest("deleteAttribute");
+      }
+      Status status = method == Method::kDeleteNodeAttribute
+                          ? ham_->DeleteNodeAttribute(ctx, target, attr)
+                          : ham_->DeleteLinkAttribute(ctx, target, attr);
+      return StatusReply(status);
+    }
+    case Method::kGetNodeAttributeValue:
+    case Method::kGetLinkAttributeValue: {
+      uint64_t target = 0;
+      uint64_t attr = 0;
+      uint64_t time = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &target) ||
+          !GetVarint64(&in, &attr) || !GetVarint64(&in, &time)) {
+        return BadRequest("getAttributeValue");
+      }
+      Result<std::string> result =
+          method == Method::kGetNodeAttributeValue
+              ? ham_->GetNodeAttributeValue(ctx, target, attr, time)
+              : ham_->GetLinkAttributeValue(ctx, target, attr, time);
+      return ResultReply(result, [](const std::string& v, std::string* out) {
+        PutLengthPrefixed(out, v);
+      });
+    }
+    case Method::kGetNodeAttributes:
+    case Method::kGetLinkAttributes: {
+      uint64_t target = 0;
+      uint64_t time = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &target) ||
+          !GetVarint64(&in, &time)) {
+        return BadRequest("getAttributes(node/link)");
+      }
+      Result<std::vector<ham::AttributeValueEntry>> result =
+          method == Method::kGetNodeAttributes
+              ? ham_->GetNodeAttributes(ctx, target, time)
+              : ham_->GetLinkAttributes(ctx, target, time);
+      return ResultReply(result, EncodeAttributeValueEntriesTo);
+    }
+
+    case Method::kSetGraphDemonValue: {
+      ham::Event event;
+      std::string demon;
+      if (!GetContext(&in, &ctx) || !GetEvent(&in, &event) ||
+          !GetString(&in, &demon)) {
+        return BadRequest("setGraphDemonValue");
+      }
+      return StatusReply(ham_->SetGraphDemonValue(ctx, event, demon));
+    }
+    case Method::kGetGraphDemons: {
+      uint64_t time = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &time)) {
+        return BadRequest("getGraphDemons");
+      }
+      return ResultReply(ham_->GetGraphDemons(ctx, time), EncodeDemonEntriesTo);
+    }
+    case Method::kSetNodeDemon: {
+      uint64_t node = 0;
+      ham::Event event;
+      std::string demon;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node) ||
+          !GetEvent(&in, &event) || !GetString(&in, &demon)) {
+        return BadRequest("setNodeDemon");
+      }
+      return StatusReply(ham_->SetNodeDemon(ctx, node, event, demon));
+    }
+    case Method::kGetNodeDemons: {
+      uint64_t node = 0;
+      uint64_t time = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &node) ||
+          !GetVarint64(&in, &time)) {
+        return BadRequest("getNodeDemons");
+      }
+      return ResultReply(ham_->GetNodeDemons(ctx, node, time),
+                         EncodeDemonEntriesTo);
+    }
+
+    case Method::kCreateContext: {
+      std::string name;
+      if (!GetContext(&in, &ctx) || !GetString(&in, &name)) {
+        return BadRequest("createContext");
+      }
+      return ResultReply(ham_->CreateContext(ctx, name),
+                         [](const ham::ContextInfo& info, std::string* out) {
+                           PutVarint64(out, info.thread);
+                           PutLengthPrefixed(out, info.name);
+                           PutVarint64(out, info.branched_at);
+                         });
+    }
+    case Method::kOpenContext: {
+      uint64_t thread = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &thread)) {
+        return BadRequest("openContext");
+      }
+      Result<Context> opened = ham_->OpenContext(ctx, thread);
+      if (opened.ok()) sessions->insert(opened->session);
+      return ResultReply(opened, [](const Context& c, std::string* out) {
+        PutVarint64(out, c.session);
+      });
+    }
+    case Method::kMergeContext: {
+      uint64_t source = 0;
+      bool force = false;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &source) ||
+          !GetBool(&in, &force)) {
+        return BadRequest("mergeContext");
+      }
+      return StatusReply(ham_->MergeContext(ctx, source, force));
+    }
+    case Method::kListContexts: {
+      if (!GetContext(&in, &ctx)) return BadRequest("listContexts");
+      return ResultReply(ham_->ListContexts(ctx), EncodeContextInfosTo);
+    }
+
+    case Method::kCheckpoint: {
+      if (!GetContext(&in, &ctx)) return BadRequest("checkpoint");
+      return StatusReply(ham_->Checkpoint(ctx));
+    }
+    case Method::kGetStats: {
+      if (!GetContext(&in, &ctx)) return BadRequest("getStats");
+      return ResultReply(ham_->GetStats(ctx), EncodeStatsTo);
+    }
+    case Method::kContextThread: {
+      if (!GetContext(&in, &ctx)) return BadRequest("contextThread");
+      return ResultReply(ham_->ContextThread(ctx),
+                         [](const ham::ThreadId& t, std::string* out) {
+                           PutVarint64(out, t);
+                         });
+    }
+  }
+  return BadRequest("unknown method " +
+                    std::to_string(static_cast<int>(method)));
+}
+
+}  // namespace rpc
+}  // namespace neptune

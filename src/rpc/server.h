@@ -1,0 +1,66 @@
+// The Neptune HAM server: accepts TCP connections on localhost and
+// serves the wire protocol against a HamInterface (normally the local
+// ham::Ham engine). One thread per connection; requests on a
+// connection are answered in order. Sessions opened by a connection
+// are closed automatically when it disconnects — a crashed client
+// aborts its open transaction, which the HAM recovers from completely.
+
+#ifndef NEPTUNE_RPC_SERVER_H_
+#define NEPTUNE_RPC_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "ham/ham_interface.h"
+#include "rpc/socket.h"
+
+namespace neptune {
+namespace rpc {
+
+class Server {
+ public:
+  explicit Server(ham::HamInterface* ham) : ham_(ham) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = pick a free port) and starts serving.
+  // Returns the bound port.
+  Result<uint16_t> Start(uint16_t port);
+
+  // Stops accepting, disconnects all clients, joins all threads.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(FrameStream* stream);
+
+  // Handles one request payload; returns the reply payload.
+  // Context handles opened/closed by this connection are tracked in
+  // `sessions` so disconnects can clean up.
+  std::string HandleRequest(std::string_view request,
+                            std::set<uint64_t>* sessions);
+
+  ham::HamInterface* ham_;
+  std::unique_ptr<Listener> listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;  // guards streams_ and threads_
+  std::vector<std::unique_ptr<FrameStream>> streams_;
+  std::vector<std::thread> threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace rpc
+}  // namespace neptune
+
+#endif  // NEPTUNE_RPC_SERVER_H_

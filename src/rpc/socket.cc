@@ -1,0 +1,142 @@
+#include "rpc/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace neptune {
+namespace rpc {
+
+namespace {
+
+Status SockError(std::string_view op, int err) {
+  return Status::NetworkError(std::string(op) + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+FrameStream::~FrameStream() { Close(); }
+
+void FrameStream::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<FrameStream>> FrameStream::Connect(
+    const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SockError("socket", errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = (host == "localhost" || host.empty())
+                             ? std::string("127.0.0.1")
+                             : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unresolvable host '" + host +
+                                   "' (IPv4 literals only)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return SockError("connect " + ip + ":" + std::to_string(port), err);
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<FrameStream>(new FrameStream(fd));
+}
+
+Status FrameStream::SendFrame(std::string_view payload) {
+  if (fd_ < 0) return Status::NetworkError("stream is closed");
+  std::string frame = FramePayload(payload);
+  std::string_view rest = frame;
+  while (!rest.empty()) {
+    ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SockError("send", errno);
+    }
+    rest.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Result<std::string> FrameStream::RecvFrame() {
+  while (pending_.empty()) {
+    if (fd_ < 0) return Status::NetworkError("stream is closed");
+    char buf[1 << 16];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SockError("recv", errno);
+    }
+    if (n == 0) return Status::NetworkError("connection closed");
+    NEPTUNE_RETURN_IF_ERROR(
+        decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)),
+                      &pending_));
+  }
+  std::string frame = std::move(pending_.front());
+  pending_.erase(pending_.begin());
+  return frame;
+}
+
+Listener::~Listener() { Shutdown(); }
+
+Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SockError("socket", errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return SockError("bind port " + std::to_string(port), err);
+  }
+  if (::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    return SockError("listen", err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    int err = errno;
+    ::close(fd);
+    return SockError("getsockname", err);
+  }
+  return std::unique_ptr<Listener>(new Listener(fd, ntohs(addr.sin_port)));
+}
+
+Result<std::unique_ptr<FrameStream>> Listener::Accept() {
+  if (fd_ < 0) return Status::NetworkError("listener is shut down");
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return SockError("accept", errno);
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<FrameStream>(new FrameStream(client));
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace rpc
+}  // namespace neptune

@@ -1,0 +1,73 @@
+// Thin POSIX TCP wrappers used by the Neptune server and client:
+// a connected stream that sends/receives whole frames, and a listener.
+
+#ifndef NEPTUNE_RPC_SOCKET_H_
+#define NEPTUNE_RPC_SOCKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "rpc/wire.h"
+
+namespace neptune {
+namespace rpc {
+
+// A connected TCP stream exchanging CRC-framed payloads.
+class FrameStream {
+ public:
+  explicit FrameStream(int fd) : fd_(fd) {}
+  ~FrameStream();
+
+  FrameStream(const FrameStream&) = delete;
+  FrameStream& operator=(const FrameStream&) = delete;
+
+  // Connects to host:port (IPv4 dotted quad or "localhost").
+  static Result<std::unique_ptr<FrameStream>> Connect(const std::string& host,
+                                                      uint16_t port);
+
+  // Sends one framed payload.
+  Status SendFrame(std::string_view payload);
+
+  // Blocks for the next complete frame. NetworkError("connection
+  // closed") on orderly EOF between frames.
+  Result<std::string> RecvFrame();
+
+  void Close();
+
+ private:
+  int fd_;
+  FrameDecoder decoder_;
+  std::vector<std::string> pending_;
+};
+
+class Listener {
+ public:
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds and listens on 127.0.0.1:`port` (0 = ephemeral).
+  static Result<std::unique_ptr<Listener>> Bind(uint16_t port);
+
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; NetworkError after Shutdown().
+  Result<std::unique_ptr<FrameStream>> Accept();
+
+  // Unblocks Accept() and closes the listening socket.
+  void Shutdown();
+
+ private:
+  Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  uint16_t port_;
+};
+
+}  // namespace rpc
+}  // namespace neptune
+
+#endif  // NEPTUNE_RPC_SOCKET_H_

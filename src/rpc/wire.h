@@ -1,0 +1,162 @@
+// Wire protocol between Neptune clients and the HAM server.
+//
+// Neptune's HAM "has a central server which is accessible over a local
+// area network ... the user interface process communicates with the
+// HAM using a remote procedure call mechanism" (paper §2.2/§4.1). This
+// module defines that RPC encoding:
+//
+//   frame   := fixed32 length | fixed32 masked_crc32c(payload) | payload
+//   request := method(u8) | method-specific fields
+//   reply   := status_code(u8) | status_message | method-specific fields
+//
+// One request is answered by exactly one reply, in order, per
+// connection. All integers are varints unless stated; strings are
+// length-prefixed. The codecs below are shared by the server and the
+// client stub so the two cannot drift.
+
+#ifndef NEPTUNE_RPC_WIRE_H_
+#define NEPTUNE_RPC_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "delta/text_diff.h"
+#include "ham/ham_interface.h"
+#include "ham/types.h"
+
+namespace neptune {
+namespace rpc {
+
+// Maximum accepted frame payload; guards against garbage lengths.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class Method : uint8_t {
+  kCreateGraph = 1,
+  kDestroyGraph = 2,
+  kOpenGraph = 3,
+  kCloseGraph = 4,
+  kBeginTransaction = 5,
+  kCommitTransaction = 6,
+  kAbortTransaction = 7,
+  kAddNode = 8,
+  kDeleteNode = 9,
+  kAddLink = 10,
+  kCopyLink = 11,
+  kDeleteLink = 12,
+  kLinearizeGraph = 13,
+  kGetGraphQuery = 14,
+  kOpenNode = 15,
+  kModifyNode = 16,
+  kGetNodeTimeStamp = 17,
+  kChangeNodeProtection = 18,
+  kGetNodeVersions = 19,
+  kGetNodeDifferences = 20,
+  kGetToNode = 21,
+  kGetFromNode = 22,
+  kGetAttributes = 23,
+  kGetAttributeValues = 24,
+  kGetAttributeIndex = 25,
+  kSetNodeAttributeValue = 26,
+  kDeleteNodeAttribute = 27,
+  kGetNodeAttributeValue = 28,
+  kGetNodeAttributes = 29,
+  kSetLinkAttributeValue = 30,
+  kDeleteLinkAttribute = 31,
+  kGetLinkAttributeValue = 32,
+  kGetLinkAttributes = 33,
+  kSetGraphDemonValue = 34,
+  kGetGraphDemons = 35,
+  kSetNodeDemon = 36,
+  kGetNodeDemons = 37,
+  kCreateContext = 38,
+  kOpenContext = 39,
+  kMergeContext = 40,
+  kListContexts = 41,
+  kCheckpoint = 42,
+  kGetStats = 43,
+  kContextThread = 44,
+  kPing = 45,
+};
+
+// ------------------------------------------------------------- framing
+
+// Wraps a payload in a length+crc frame.
+std::string FramePayload(std::string_view payload);
+
+// Incremental frame splitter for a byte stream.
+class FrameDecoder {
+ public:
+  // Feeds received bytes; complete payloads are appended to `out`.
+  // Corruption (bad CRC, oversized length) is returned as a Status.
+  Status Feed(std::string_view bytes, std::vector<std::string>* out);
+
+ private:
+  std::string buffer_;
+};
+
+// --------------------------------------------------- value (de)coders
+// Shared composite-type codecs. Decoders consume from a string_view
+// and fail with Corruption on malformed input.
+
+void EncodeStatusTo(const Status& status, std::string* out);
+// Decodes a reply's status header into *status; false on malformed
+// input.
+bool DecodeStatusFrom(std::string_view* in, Status* status);
+
+void EncodeLinkPtTo(const ham::LinkPt& pt, std::string* out);
+bool DecodeLinkPtFrom(std::string_view* in, ham::LinkPt* pt);
+
+void EncodeStringVecTo(const std::vector<std::string>& v, std::string* out);
+bool DecodeStringVecFrom(std::string_view* in, std::vector<std::string>* v);
+
+void EncodeIndexVecTo(const std::vector<uint64_t>& v, std::string* out);
+bool DecodeIndexVecFrom(std::string_view* in, std::vector<uint64_t>* v);
+
+void EncodeSubGraphTo(const ham::SubGraph& graph, std::string* out);
+bool DecodeSubGraphFrom(std::string_view* in, ham::SubGraph* graph);
+
+void EncodeOpenNodeResultTo(const ham::OpenNodeResult& r, std::string* out);
+bool DecodeOpenNodeResultFrom(std::string_view* in, ham::OpenNodeResult* r);
+
+void EncodeNodeVersionsTo(const ham::NodeVersions& v, std::string* out);
+bool DecodeNodeVersionsFrom(std::string_view* in, ham::NodeVersions* v);
+
+void EncodeDifferencesTo(const std::vector<delta::Difference>& diffs,
+                         std::string* out);
+bool DecodeDifferencesFrom(std::string_view* in,
+                           std::vector<delta::Difference>* diffs);
+
+void EncodeAttributeEntriesTo(const std::vector<ham::AttributeEntry>& v,
+                              std::string* out);
+bool DecodeAttributeEntriesFrom(std::string_view* in,
+                                std::vector<ham::AttributeEntry>* v);
+
+void EncodeAttributeValueEntriesTo(
+    const std::vector<ham::AttributeValueEntry>& v, std::string* out);
+bool DecodeAttributeValueEntriesFrom(std::string_view* in,
+                                     std::vector<ham::AttributeValueEntry>* v);
+
+void EncodeDemonEntriesTo(const std::vector<ham::DemonEntry>& v,
+                          std::string* out);
+bool DecodeDemonEntriesFrom(std::string_view* in,
+                            std::vector<ham::DemonEntry>* v);
+
+void EncodeContextInfosTo(const std::vector<ham::ContextInfo>& v,
+                          std::string* out);
+bool DecodeContextInfosFrom(std::string_view* in,
+                            std::vector<ham::ContextInfo>* v);
+
+void EncodeAttachmentUpdatesTo(const std::vector<ham::AttachmentUpdate>& v,
+                               std::string* out);
+bool DecodeAttachmentUpdatesFrom(std::string_view* in,
+                                 std::vector<ham::AttachmentUpdate>* v);
+
+void EncodeStatsTo(const ham::GraphStats& stats, std::string* out);
+bool DecodeStatsFrom(std::string_view* in, ham::GraphStats* stats);
+
+}  // namespace rpc
+}  // namespace neptune
+
+#endif  // NEPTUNE_RPC_WIRE_H_

@@ -1,0 +1,174 @@
+#include "storage/durable_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace neptune {
+
+namespace {
+
+constexpr char kProjectFile[] = "PROJECT";
+constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kSnapMagic[] = "NEPSNAP1";  // 8 bytes
+
+// SNAP file layout: magic(8) | masked_crc32c(blob)(4) | fixed64 len | blob.
+std::string EncodeSnapshot(std::string_view blob) {
+  std::string out;
+  out.reserve(20 + blob.size());
+  out.append(kSnapMagic, 8);
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(blob)));
+  PutFixed64(&out, blob.size());
+  out.append(blob);
+  return out;
+}
+
+Result<std::string> DecodeSnapshot(std::string_view data,
+                                   const std::string& path) {
+  std::string_view in = data;
+  if (in.size() < 20 || in.substr(0, 8) != std::string_view(kSnapMagic, 8)) {
+    return Status::Corruption("bad snapshot magic in " + path);
+  }
+  in.remove_prefix(8);
+  uint32_t masked_crc = 0;
+  uint64_t len = 0;
+  GetFixed32(&in, &masked_crc);
+  GetFixed64(&in, &len);
+  if (in.size() != len) {
+    return Status::Corruption("snapshot length mismatch in " + path);
+  }
+  if (crc32c::Value(in) != crc32c::Unmask(masked_crc)) {
+    return Status::Corruption("snapshot checksum mismatch in " + path);
+  }
+  return std::string(in);
+}
+
+}  // namespace
+
+DurableStore::~DurableStore() {
+  if (wal_ != nullptr) wal_->Close();
+}
+
+std::string DurableStore::SnapName(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "SNAP-%06" PRIu64, epoch);
+  return buf;
+}
+
+std::string DurableStore::WalName(uint64_t epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "WAL-%06" PRIu64, epoch);
+  return buf;
+}
+
+bool DurableStore::Exists(Env* env, const std::string& dir) {
+  return env->FileExists(JoinPath(dir, kProjectFile));
+}
+
+Result<std::string> DurableStore::ReadMeta(Env* env, const std::string& dir) {
+  return env->ReadFileToString(JoinPath(dir, kProjectFile));
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Create(
+    Env* env, const std::string& dir, std::string_view meta,
+    std::string_view initial_snapshot, uint32_t dir_mode) {
+  if (Exists(env, dir)) {
+    return Status::AlreadyExists("a graph already exists in " + dir);
+  }
+  NEPTUNE_RETURN_IF_ERROR(env->CreateDir(dir));
+  if (dir_mode != 0) {
+    NEPTUNE_RETURN_IF_ERROR(env->SetPermissions(dir, dir_mode));
+  }
+  const uint64_t epoch = 1;
+  NEPTUNE_RETURN_IF_ERROR(env->WriteFileAtomic(
+      JoinPath(dir, SnapName(epoch)), EncodeSnapshot(initial_snapshot)));
+  NEPTUNE_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> wal_file,
+      env->NewWritableFile(JoinPath(dir, WalName(epoch)), /*truncate=*/true));
+  NEPTUNE_RETURN_IF_ERROR(
+      env->WriteFileAtomic(JoinPath(dir, kCurrentFile), SnapName(epoch)));
+  // PROJECT is written last: its presence marks a fully-formed store.
+  NEPTUNE_RETURN_IF_ERROR(
+      env->WriteFileAtomic(JoinPath(dir, kProjectFile), meta));
+  return std::unique_ptr<DurableStore>(new DurableStore(
+      env, dir, epoch, std::make_unique<LogWriter>(std::move(wal_file)),
+      /*wal_bytes=*/0));
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    Env* env, const std::string& dir, RecoveredState* state) {
+  NEPTUNE_ASSIGN_OR_RETURN(state->meta,
+                           env->ReadFileToString(JoinPath(dir, kProjectFile)));
+  NEPTUNE_ASSIGN_OR_RETURN(std::string current,
+                           env->ReadFileToString(JoinPath(dir, kCurrentFile)));
+  // CURRENT holds "SNAP-<epoch>".
+  uint64_t epoch = 0;
+  if (std::sscanf(current.c_str(), "SNAP-%" PRIu64, &epoch) != 1) {
+    return Status::Corruption("unparsable CURRENT in " + dir);
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(std::string snap_raw,
+                           env->ReadFileToString(JoinPath(dir, current)));
+  NEPTUNE_ASSIGN_OR_RETURN(state->snapshot,
+                           DecodeSnapshot(snap_raw, JoinPath(dir, current)));
+
+  const std::string wal_path = JoinPath(dir, WalName(epoch));
+  uint64_t wal_bytes = 0;
+  if (env->FileExists(wal_path)) {
+    NEPTUNE_ASSIGN_OR_RETURN(std::string wal_raw,
+                             env->ReadFileToString(wal_path));
+    NEPTUNE_ASSIGN_OR_RETURN(LogReadResult log, ReadLog(wal_raw));
+    state->wal_records = std::move(log.records);
+    state->wal_tail_truncated = log.truncated_tail;
+    wal_bytes = log.valid_bytes;
+    if (log.truncated_tail) {
+      // Drop the torn commit: rewrite the valid prefix atomically.
+      NEPTUNE_LOG(Warn) << "truncating torn WAL tail in " << wal_path << " at "
+                        << log.valid_bytes;
+      NEPTUNE_RETURN_IF_ERROR(env->WriteFileAtomic(
+          wal_path, std::string_view(wal_raw).substr(0, log.valid_bytes)));
+    }
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> wal_file,
+                           env->NewWritableFile(wal_path, /*truncate=*/false));
+  return std::unique_ptr<DurableStore>(new DurableStore(
+      env, dir, epoch, std::make_unique<LogWriter>(std::move(wal_file)),
+      wal_bytes));
+}
+
+Status DurableStore::Destroy(Env* env, const std::string& dir) {
+  if (!Exists(env, dir)) {
+    return Status::NotFound("no graph in " + dir);
+  }
+  return env->RemoveDirRecursive(dir);
+}
+
+Status DurableStore::AppendRecord(std::string_view record, bool sync) {
+  NEPTUNE_RETURN_IF_ERROR(wal_->AddRecord(record, sync));
+  wal_bytes_ += 8 + record.size();
+  return Status::OK();
+}
+
+Status DurableStore::Checkpoint(std::string_view snapshot) {
+  const uint64_t next = epoch_ + 1;
+  NEPTUNE_RETURN_IF_ERROR(env_->WriteFileAtomic(JoinPath(dir_, SnapName(next)),
+                                                EncodeSnapshot(snapshot)));
+  NEPTUNE_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> wal_file,
+      env_->NewWritableFile(JoinPath(dir_, WalName(next)), /*truncate=*/true));
+  // The CURRENT flip is the commit point of the checkpoint.
+  NEPTUNE_RETURN_IF_ERROR(
+      env_->WriteFileAtomic(JoinPath(dir_, kCurrentFile), SnapName(next)));
+  NEPTUNE_RETURN_IF_ERROR(wal_->Close());
+  wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+  // Best-effort removal of the superseded generation.
+  env_->RemoveFile(JoinPath(dir_, SnapName(epoch_)));
+  env_->RemoveFile(JoinPath(dir_, WalName(epoch_)));
+  epoch_ = next;
+  wal_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace neptune

@@ -1,0 +1,103 @@
+// DurableStore: the on-disk layout of one HAM graph database.
+//
+// A graph lives in its own directory (exactly as the 1986 HAM's
+// createGraph took a Directory operand):
+//
+//   PROJECT        immutable metadata (project id, creation time,
+//                  protections) written once at create time
+//   CURRENT        name of the live snapshot, updated atomically
+//   SNAP-<epoch>   full serialized graph state at checkpoint <epoch>
+//   WAL-<epoch>    redo records committed after that checkpoint
+//
+// Commit path: serialize the transaction, AppendRecord() (optionally
+// fsync), then apply in memory. Recovery: load SNAP, replay WAL; a
+// torn WAL tail (crash mid-commit) is detected by CRC and truncated,
+// which is precisely "complete recovery from any aborted transaction".
+// Checkpoint(): write SNAP-<epoch+1> + empty WAL, flip CURRENT, delete
+// the old generation.
+
+#ifndef NEPTUNE_STORAGE_DURABLE_STORE_H_
+#define NEPTUNE_STORAGE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/wal.h"
+
+namespace neptune {
+
+// Everything recovery learned from disk.
+struct RecoveredState {
+  std::string meta;                       // PROJECT contents
+  std::string snapshot;                   // live snapshot blob
+  std::vector<std::string> wal_records;   // committed records after it
+  bool wal_tail_truncated = false;        // a torn commit was dropped
+};
+
+class DurableStore {
+ public:
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+  ~DurableStore();
+
+  // Creates the directory and the initial generation. Fails with
+  // AlreadyExists if the directory already holds a store. `dir_mode`
+  // is applied to the directory (HAM Protections).
+  static Result<std::unique_ptr<DurableStore>> Create(
+      Env* env, const std::string& dir, std::string_view meta,
+      std::string_view initial_snapshot, uint32_t dir_mode);
+
+  // Opens an existing store, running recovery; the recovered state is
+  // written to `*state`.
+  static Result<std::unique_ptr<DurableStore>> Open(Env* env,
+                                                    const std::string& dir,
+                                                    RecoveredState* state);
+
+  // Removes the store directory and everything in it.
+  static Status Destroy(Env* env, const std::string& dir);
+
+  // True iff `dir` looks like a store (has a PROJECT file).
+  static bool Exists(Env* env, const std::string& dir);
+
+  // Reads just the PROJECT metadata without opening the store.
+  static Result<std::string> ReadMeta(Env* env, const std::string& dir);
+
+  // Appends one committed-transaction record to the live WAL.
+  Status AppendRecord(std::string_view record, bool sync);
+
+  // Starts a new generation whose snapshot is `snapshot` and whose WAL
+  // is empty, then removes the previous generation.
+  Status Checkpoint(std::string_view snapshot);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t wal_bytes() const { return wal_bytes_; }
+
+ private:
+  DurableStore(Env* env, std::string dir, uint64_t epoch,
+               std::unique_ptr<LogWriter> wal, uint64_t wal_bytes)
+      : env_(env),
+        dir_(std::move(dir)),
+        epoch_(epoch),
+        wal_(std::move(wal)),
+        wal_bytes_(wal_bytes) {}
+
+  static std::string SnapName(uint64_t epoch);
+  static std::string WalName(uint64_t epoch);
+
+  Env* env_;
+  std::string dir_;
+  uint64_t epoch_;
+  std::unique_ptr<LogWriter> wal_;
+  uint64_t wal_bytes_;
+};
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_STORAGE_DURABLE_STORE_H_

@@ -1,0 +1,184 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace neptune {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status ErrnoStatus(std::string_view op, const std::string& path, int err) {
+  std::string msg;
+  msg.append(op);
+  msg.append(" ");
+  msg.append(path);
+  msg.append(": ");
+  msg.append(std::strerror(err));
+  if (err == ENOENT) return Status::NotFound(msg);
+  if (err == EACCES || err == EPERM) return Status::PermissionDenied(msg);
+  if (err == EEXIST) return Status::AlreadyExists(msg);
+  return Status::IOError(msg);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return ErrnoStatus("close", path_, errno);
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override {
+    const std::string tmp = path + ".tmp";
+    {
+      NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                               NewWritableFile(tmp, /*truncate=*/true));
+      NEPTUNE_RETURN_IF_ERROR(file->Append(data));
+      NEPTUNE_RETURN_IF_ERROR(file->Sync());
+      NEPTUNE_RETURN_IF_ERROR(file->Close());
+    }
+    return RenameFile(tmp, path);
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursive(const std::string& path) override {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    if (ec) return Status::IOError("rm -r " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from, errno);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> GetChildren(const std::string& dir) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (auto it = fs::directory_iterator(dir, ec);
+         !ec && it != fs::directory_iterator(); it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) return Status::IOError("readdir " + dir + ": " + ec.message());
+    return names;
+  }
+
+  Status SetPermissions(const std::string& path, uint32_t mode) override {
+    if (::chmod(path.c_str(), static_cast<mode_t>(mode)) != 0) {
+      return ErrnoStatus("chmod", path, errno);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // Intentionally leaked singleton.
+  return env;
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (!out.empty() && out.back() != '/') out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+}  // namespace neptune

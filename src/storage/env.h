@@ -1,0 +1,68 @@
+// Env: the filesystem abstraction under the HAM's durable storage.
+// A production deployment uses PosixEnv; tests that inject faults or
+// count syncs wrap it (see tests/storage). The interface is the small
+// slice of a LevelDB/RocksDB-style Env that Neptune actually needs.
+
+#ifndef NEPTUNE_STORAGE_ENV_H_
+#define NEPTUNE_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace neptune {
+
+// A file opened for appending. Writes are buffered by the OS; Sync()
+// makes them durable.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Shared process-wide POSIX environment.
+  static Env* Default();
+
+  // Opens `path` for writing. If `truncate` the file is emptied,
+  // otherwise writes append to existing contents.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  // Writes `data` to `path` atomically (temp file + fsync + rename) so
+  // a crash never leaves a half-written file visible under `path`.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view data) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status CreateDir(const std::string& path) = 0;        // mkdir -p
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RemoveDirRecursive(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  // Names (not paths) of entries directly inside `dir`.
+  virtual Result<std::vector<std::string>> GetChildren(
+      const std::string& dir) = 0;
+  // chmod-style permission bits; used to honour HAM Protections.
+  virtual Status SetPermissions(const std::string& path, uint32_t mode) = 0;
+};
+
+// Joins a directory and a file name with exactly one separator.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_STORAGE_ENV_H_

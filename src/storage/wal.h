@@ -1,0 +1,65 @@
+// Write-ahead log. Each committed HAM transaction is serialized into
+// one record and appended here before it is applied to the in-memory
+// graph; recovery replays the log on top of the latest snapshot.
+//
+// On-disk frame (per record):
+//     masked_crc32c : fixed32   over the payload
+//     length        : fixed32   payload byte count
+//     payload       : length bytes
+//
+// A torn write at the tail (short header, short payload, or CRC
+// mismatch) terminates reading: the reader reports how many bytes were
+// consumed by valid records so the caller can truncate the tail. A CRC
+// mismatch *before* the last record is reported as Corruption.
+
+#ifndef NEPTUNE_STORAGE_WAL_H_
+#define NEPTUNE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace neptune {
+
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  // Appends one framed record. If `sync`, the record is durable when
+  // this returns.
+  Status AddRecord(std::string_view payload, bool sync);
+
+  Status Close() { return file_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+// Parses a fully-read log file image.
+struct LogReadResult {
+  std::vector<std::string> records;
+  // Offset of the first byte not covered by a valid record. Equal to
+  // the file size when the log is clean; smaller when a torn tail was
+  // dropped.
+  uint64_t valid_bytes = 0;
+  // True when trailing bytes were dropped (crash mid-append).
+  bool truncated_tail = false;
+};
+
+// Decodes all records in `data`. Returns Corruption only for damage
+// that cannot be explained as a torn tail.
+Result<LogReadResult> ReadLog(std::string_view data);
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_STORAGE_WAL_H_

@@ -1,0 +1,254 @@
+// The UI layer: text-mode reproductions of the paper's Figures 1–3
+// (graph browser, document browser, node browser + differences
+// browser) plus the version/attribute/demon browsers.
+
+#include <gtest/gtest.h>
+
+#include "app/browsers/canvas.h"
+#include "app/browsers/document_browser.h"
+#include "app/browsers/graph_browser.h"
+#include "app/browsers/inspect_browsers.h"
+#include "app/browsers/node_browser.h"
+#include "app/document.h"
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace app {
+namespace {
+
+TEST(TextCanvasTest, PutGrowsAndToStringTrims) {
+  TextCanvas canvas;
+  canvas.Put(3, 1, 'x');
+  canvas.DrawText(0, 0, "ab");
+  std::string out = canvas.ToString();
+  EXPECT_EQ(out, "ab\n   x\n");
+}
+
+TEST(TextCanvasTest, BoxShape) {
+  TextCanvas canvas;
+  int w = canvas.DrawBox(0, 0, "Spec");
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(canvas.ToString(), "+------+\n| Spec |\n+------+\n");
+}
+
+TEST(TextCanvasTest, LinesAndNegativeCoordinatesIgnored) {
+  TextCanvas canvas;
+  canvas.DrawHLine(0, 4, 0, '-');
+  canvas.DrawVLine(0, 0, 2, '|');
+  canvas.Put(-1, -5, 'x');  // must not crash or draw
+  std::string out = canvas.ToString();
+  EXPECT_EQ(out.substr(0, 5), "|----");
+}
+
+class BrowsersTest : public ham::HamTestBase {
+ protected:
+  void SetUp() override {
+    ham::HamTestBase::SetUp();
+    model_ = std::make_unique<DocumentModel>(ham_.get(), ctx_);
+    ASSERT_TRUE(model_->Init().ok());
+    root_ = *model_->CreateDocument("paper", "SIGMOD Paper");
+    spec_ = *model_->AddSection(root_, "paper", "Spec",
+                                "The specification text.\n", 0);
+    design_ = *model_->AddSection(root_, "paper", "Design",
+                                  "The design text.\n", 10);
+    detail_ = *model_->AddSection(spec_, "paper", "Detail",
+                                  "Nested detail.\n", 0);
+  }
+
+  std::unique_ptr<DocumentModel> model_;
+  ham::NodeIndex root_ = 0, spec_ = 0, design_ = 0, detail_ = 0;
+};
+
+TEST_F(BrowsersTest, GraphBrowserDrawsBoxesAndEdges) {
+  GraphBrowser browser(ham_.get(), ctx_);
+  GraphBrowserOptions options;
+  auto out = browser.Render(options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Every node appears as a named box (Figure 1's icons).
+  EXPECT_NE(out->find("| SIGMOD Paper |"), std::string::npos);
+  EXPECT_NE(out->find("| Spec |"), std::string::npos);
+  EXPECT_NE(out->find("| Design |"), std::string::npos);
+  EXPECT_NE(out->find("| Detail |"), std::string::npos);
+  // Edges are drawn with arrowheads.
+  EXPECT_NE(out->find('>'), std::string::npos);
+  // The visibility-predicate panes are shown.
+  EXPECT_NE(out->find("node visibility: true"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, GraphBrowserHonoursVisibilityPredicates) {
+  // Tag one node differently and filter it out.
+  auto status_attr = Attr("status");
+  ASSERT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, design_, status_attr, "draft").ok());
+  GraphBrowser browser(ham_.get(), ctx_);
+  GraphBrowserOptions options;
+  options.node_predicate = "!(status = draft)";
+  auto out = browser.Render(options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("| Spec |"), std::string::npos);
+  EXPECT_EQ(out->find("| Design |"), std::string::npos);
+  EXPECT_NE(out->find("node visibility: !(status = draft)"),
+            std::string::npos);
+}
+
+TEST_F(BrowsersTest, GraphBrowserHandlesCycles) {
+  ASSERT_TRUE(model_->AddReference(detail_, 0, root_).ok());
+  GraphBrowser browser(ham_.get(), ctx_);
+  auto out = browser.Render(GraphBrowserOptions{});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("| SIGMOD Paper |"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, DocumentBrowserShowsPanesAndDrillsDown) {
+  DocumentBrowser browser(ham_.get(), ctx_);
+  DocumentBrowserOptions options;
+  options.query_predicate = "document = paper";
+  options.selection = {0, 0};  // select root, then its first child
+  auto out = browser.Render(options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Pane 1 lists the query result; pane 2 the root's children in
+  // offset order; pane 3 Spec's children.
+  EXPECT_NE(out->find(">SIGMOD Paper"), std::string::npos);
+  EXPECT_NE(out->find(">Spec"), std::string::npos);
+  EXPECT_NE(out->find("Design"), std::string::npos);
+  EXPECT_NE(out->find("Detail"), std::string::npos);
+  // Lower pane: node browser on the selected node (Spec).
+  EXPECT_NE(out->find("Node Browser - Spec"), std::string::npos);
+  EXPECT_NE(out->find("The specification text."), std::string::npos);
+}
+
+TEST_F(BrowsersTest, DocumentBrowserPaneShiftingViewsDeepHierarchies) {
+  // Extend the hierarchy to depth 5: root > Spec > Detail > Deeper > Deepest.
+  ham::NodeIndex deeper =
+      *model_->AddSection(detail_, "paper", "Deeper", "..\n", 0);
+  ASSERT_TRUE(model_->AddSection(deeper, "paper", "Deepest", ".\n", 0).ok());
+
+  DocumentBrowser browser(ham_.get(), ctx_);
+  DocumentBrowserOptions options;
+  options.query_predicate = "icon = 'SIGMOD Paper'";
+  options.selection = {0, 0, 0, 0};  // root > Spec > Detail > Deeper
+  // Unshifted: the deepest visible pane shows Detail's children.
+  auto unshifted = browser.Render(options);
+  ASSERT_TRUE(unshifted.ok());
+  EXPECT_NE(unshifted->find(">SIGMOD Paper"), std::string::npos);
+  // Deepest is one level beyond the last visible pane (it only shows
+  // up as an inline link icon in the node-browser pane below).
+  EXPECT_EQ(unshifted->find("| Deepest"), std::string::npos);
+  // "Commands are available to shift the panes": shifting by one
+  // scrolls the root pane out and brings Deepest into a list pane.
+  options.pane_offset = 1;
+  auto shifted = browser.Render(options);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_NE(shifted->find("<<shifted 1>>"), std::string::npos);
+  EXPECT_NE(shifted->find("| Deepest"), std::string::npos);
+  EXPECT_NE(shifted->find(">Spec"), std::string::npos);
+  EXPECT_EQ(shifted->find(">SIGMOD Paper"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, DocumentBrowserWithNoSelectionShowsOnlyQueryPane) {
+  DocumentBrowser browser(ham_.get(), ctx_);
+  DocumentBrowserOptions options;
+  options.query_predicate = "document = paper";
+  auto out = browser.Render(options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("SIGMOD Paper"), std::string::npos);
+  EXPECT_EQ(out->find("Node Browser"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, NodeBrowserShowsInlineLinkIcons) {
+  // Figure 3: "Within a node browser, a link appears as an icon".
+  NodeBrowser browser(ham_.get(), ctx_);
+  auto out = browser.Render(spec_, 0);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("Node Browser - Spec"), std::string::npos);
+  // The isPartOf link to Detail attaches at offset 0: its icon appears
+  // inline at the start of the contents.
+  EXPECT_NE(out->find("[>Detail]The specification text."),
+            std::string::npos);
+  // The links table shows both directions.
+  EXPECT_NE(out->find("-> isPartOf Detail"), std::string::npos);
+  EXPECT_NE(out->find("<- isPartOf SIGMOD Paper"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, NodeDifferencesBrowserHighlightsChanges) {
+  const ham::Time t1 = *ham_->GetNodeTimeStamp(ctx_, design_);
+  ASSERT_TRUE(
+      model_->EditSection(design_, "The improved design text.\n", "v2").ok());
+  const ham::Time t2 = *ham_->GetNodeTimeStamp(ctx_, design_);
+
+  NodeDifferencesBrowser browser(ham_.get(), ctx_);
+  auto out = browser.Render(design_, t1, t2);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("Node Differences Browser"), std::string::npos);
+  // The replacement line is flagged with '~' and both versions shown
+  // side by side.
+  EXPECT_NE(out->find("~ The design text."), std::string::npos);
+  EXPECT_NE(out->find("| The improved design text."), std::string::npos);
+
+  auto same = browser.Render(design_, t2, t2);
+  ASSERT_TRUE(same.ok());
+  EXPECT_NE(same->find("(versions are identical)"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, VersionBrowserListsMajorAndMinor) {
+  ASSERT_TRUE(model_->EditSection(spec_, "Spec v2\n", "second draft").ok());
+  VersionBrowser browser(ham_.get(), ctx_);
+  auto out = browser.Render(spec_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("major versions"), std::string::npos);
+  EXPECT_NE(out->find("second draft"), std::string::npos);
+  EXPECT_NE(out->find("minor versions"), std::string::npos);
+  EXPECT_NE(out->find("addLink"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, AttributeBrowserShowsGraphNodeAndLinkViews) {
+  AttributeBrowser browser(ham_.get(), ctx_);
+  auto graph_view = browser.RenderGraph(0);
+  ASSERT_TRUE(graph_view.ok()) << graph_view.status().ToString();
+  EXPECT_NE(graph_view->find("document"), std::string::npos);
+  EXPECT_NE(graph_view->find("'paper'"), std::string::npos);
+
+  auto node_view = browser.RenderNode(spec_, 0);
+  ASSERT_TRUE(node_view.ok());
+  EXPECT_NE(node_view->find("icon = 'Spec'"), std::string::npos);
+
+  auto opened = ham_->OpenNode(ctx_, detail_, 0, {});
+  ASSERT_TRUE(opened.ok());
+  ASSERT_FALSE(opened->attachments.empty());
+  auto link_view = browser.RenderLink(opened->attachments[0].link, 0);
+  ASSERT_TRUE(link_view.ok());
+  EXPECT_NE(link_view->find("relation = 'isPartOf'"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, DemonBrowserListsBindings) {
+  ASSERT_TRUE(
+      ham_->SetGraphDemonValue(ctx_, ham::Event::kAddNode, "audit-log").ok());
+  ASSERT_TRUE(ham_->SetNodeDemon(ctx_, spec_, ham::Event::kModifyNode,
+                                 "notify-owner")
+                  .ok());
+  DemonBrowser browser(ham_.get(), ctx_);
+  auto out = browser.Render(spec_, 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("on addNode: 'audit-log'"), std::string::npos);
+  EXPECT_NE(out->find("on modifyNode: 'notify-owner'"), std::string::npos);
+
+  auto graph_only = browser.Render(0, 0);
+  ASSERT_TRUE(graph_only.ok());
+  EXPECT_EQ(graph_only->find("notify-owner"), std::string::npos);
+}
+
+TEST_F(BrowsersTest, BrowsersCanViewThePast) {
+  const ham::Time before = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(model_->EditSection(spec_, "changed!\n", "").ok());
+  NodeBrowser browser(ham_.get(), ctx_);
+  auto past = browser.Render(spec_, before);
+  ASSERT_TRUE(past.ok());
+  EXPECT_NE(past->find("The specification text."), std::string::npos);
+  auto now = browser.Render(spec_, 0);
+  ASSERT_TRUE(now.ok());
+  EXPECT_NE(now->find("changed!"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,164 @@
+// The CASE application layer (paper §4.2): Modula-2-style structure,
+// imports, the simulated incremental compiler, and the §5
+// auto-recompile demon.
+
+#include "app/case_model.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace app {
+namespace {
+
+class CaseModelTest : public ham::HamTestBase {
+ protected:
+  void SetUp() override {
+    ham::HamTestBase::SetUp();
+    model_ = std::make_unique<CaseModel>(ham_.get(), ctx_);
+    ASSERT_TRUE(model_->Init().ok());
+  }
+
+  std::unique_ptr<CaseModel> model_;
+};
+
+TEST_F(CaseModelTest, ModulesCarryTheConventionAttributes) {
+  auto def = model_->AddModule("Lists", CaseConventions::kDefinitionModule,
+                               "DEFINITION MODULE Lists;\nEND Lists.\n");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  auto content_type = ham_->GetNodeAttributeValue(
+      ctx_, *def, model_->content_type_attr(), 0);
+  ASSERT_TRUE(content_type.ok());
+  EXPECT_EQ(*content_type, CaseConventions::kSourceType);
+  auto code_type =
+      ham_->GetNodeAttributeValue(ctx_, *def, model_->code_type_attr(), 0);
+  ASSERT_TRUE(code_type.ok());
+  EXPECT_EQ(*code_type, CaseConventions::kDefinitionModule);
+}
+
+TEST_F(CaseModelTest, BadCodeTypeRejected) {
+  EXPECT_TRUE(model_->AddModule("X", "subroutine", "...")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CaseModelTest, ProceduresNestInModules) {
+  auto impl = model_->AddModule("Lists", CaseConventions::kImplementationModule,
+                                "IMPLEMENTATION MODULE Lists;\n");
+  ASSERT_TRUE(impl.ok());
+  auto append = model_->AddProcedure(*impl, "Append",
+                                     "PROCEDURE Append(...);\n", 10);
+  auto remove = model_->AddProcedure(*impl, "Remove",
+                                     "PROCEDURE Remove(...);\n", 5);
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(remove.ok());
+  auto procedures = model_->ProceduresOf(*impl);
+  ASSERT_TRUE(procedures.ok());
+  // Ordered by link offset: Remove (5) before Append (10).
+  EXPECT_EQ(*procedures,
+            (std::vector<ham::NodeIndex>{*remove, *append}));
+}
+
+TEST_F(CaseModelTest, ImportsFormTheModuleGraph) {
+  auto lists = model_->AddModule("Lists", CaseConventions::kDefinitionModule,
+                                 "DEFINITION MODULE Lists;\n");
+  auto queue = model_->AddModule("Queues", CaseConventions::kImplementationModule,
+                                 "IMPLEMENTATION MODULE Queues;\nIMPORT Lists;\n");
+  auto stack = model_->AddModule("Stacks", CaseConventions::kImplementationModule,
+                                 "IMPLEMENTATION MODULE Stacks;\nIMPORT Lists;\n");
+  ASSERT_TRUE(lists.ok());
+  ASSERT_TRUE(queue.ok());
+  ASSERT_TRUE(stack.ok());
+  ASSERT_TRUE(model_->AddImport(*queue, *lists, 35).ok());
+  ASSERT_TRUE(model_->AddImport(*stack, *lists, 35).ok());
+  auto importers = model_->ImportersOf(*lists);
+  ASSERT_TRUE(importers.ok());
+  EXPECT_EQ(importers->size(), 2u);
+}
+
+TEST_F(CaseModelTest, CompileCreatesObjectNodeAndLink) {
+  auto module = model_->AddModule("M", CaseConventions::kImplementationModule,
+                                  "IMPLEMENTATION MODULE M;\nEND M.\n");
+  ASSERT_TRUE(module.ok());
+  EXPECT_TRUE(*model_->NeedsRecompile(*module));
+  auto object = model_->Compile(*module);
+  ASSERT_TRUE(object.ok()) << object.status().ToString();
+  EXPECT_FALSE(*model_->NeedsRecompile(*module));
+  EXPECT_EQ(*model_->ObjectCodeOf(*module), *object);
+  // Object contents are the deterministic digest of the source.
+  EXPECT_EQ(ReadNode(*object),
+            CaseModel::FakeObjectCode("IMPLEMENTATION MODULE M;\nEND M.\n"));
+  auto content_type = ham_->GetNodeAttributeValue(
+      ctx_, *object, model_->content_type_attr(), 0);
+  ASSERT_TRUE(content_type.ok());
+  EXPECT_EQ(*content_type, CaseConventions::kObjectType);
+}
+
+TEST_F(CaseModelTest, CompileAllIsIncremental) {
+  auto a = model_->AddModule("A", CaseConventions::kImplementationModule,
+                             "MODULE A;\n");
+  auto b = model_->AddModule("B", CaseConventions::kImplementationModule,
+                             "MODULE B;\n");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto first = model_->CompileAll();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->compiled, 2u);
+  EXPECT_EQ(first->up_to_date, 0u);
+
+  auto second = model_->CompileAll();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->compiled, 0u);
+  EXPECT_EQ(second->up_to_date, 2u);
+
+  // Edit one module: exactly that one recompiles.
+  ASSERT_TRUE(model_->EditSource(*a, "MODULE A; (* changed *)\n").ok());
+  auto third = model_->CompileAll();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->compiled, 1u);
+  EXPECT_EQ(third->up_to_date, 1u);
+  EXPECT_EQ(ReadNode(*model_->ObjectCodeOf(*a)),
+            CaseModel::FakeObjectCode("MODULE A; (* changed *)\n"));
+}
+
+TEST_F(CaseModelTest, RecompileKeepsObjectHistory) {
+  auto m = model_->AddModule("M", CaseConventions::kImplementationModule,
+                             "v1\n");
+  ASSERT_TRUE(m.ok());
+  auto object = model_->Compile(*m);
+  ASSERT_TRUE(object.ok());
+  const ham::Time old_obj_time = *ham_->GetNodeTimeStamp(ctx_, *object);
+  ASSERT_TRUE(model_->EditSource(*m, "v2\n").ok());
+  ASSERT_TRUE(model_->Compile(*m).ok());
+  // Old object code is still reachable at its version time.
+  EXPECT_EQ(ReadNode(*object, old_obj_time), CaseModel::FakeObjectCode("v1\n"));
+  EXPECT_EQ(ReadNode(*object), CaseModel::FakeObjectCode("v2\n"));
+}
+
+TEST_F(CaseModelTest, AutoCompileDemonRecompilesOnModify) {
+  // Paper §5: "invoking an incremental compiler when a node which
+  // contains code is modified."
+  model_->InstallCompileDemonHandler(&ham_->demons());
+  auto m = model_->AddModule("Hot", CaseConventions::kImplementationModule,
+                             "original\n");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(model_->Compile(*m).ok());
+  ASSERT_TRUE(model_->EnableAutoCompile(*m).ok());
+
+  ASSERT_TRUE(model_->EditSource(*m, "hot-reloaded\n").ok());
+  // The demon fired synchronously after commit and recompiled.
+  EXPECT_FALSE(*model_->NeedsRecompile(*m));
+  EXPECT_EQ(ReadNode(*model_->ObjectCodeOf(*m)),
+            CaseModel::FakeObjectCode("hot-reloaded\n"));
+}
+
+TEST_F(CaseModelTest, FakeObjectCodeIsDeterministicAndContentSensitive) {
+  EXPECT_EQ(CaseModel::FakeObjectCode("abc"), CaseModel::FakeObjectCode("abc"));
+  EXPECT_NE(CaseModel::FakeObjectCode("abc"), CaseModel::FakeObjectCode("abd"));
+}
+
+}  // namespace
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,162 @@
+// The documentation application layer: hierarchy building, annotate
+// bundles, outlines and hardcopy extraction (paper §4.1).
+
+#include "app/document.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace app {
+namespace {
+
+class DocumentModelTest : public ham::HamTestBase {
+ protected:
+  void SetUp() override {
+    ham::HamTestBase::SetUp();
+    model_ = std::make_unique<DocumentModel>(ham_.get(), ctx_);
+    ASSERT_TRUE(model_->Init().ok());
+  }
+
+  // The running example: this paper as a hyperdocument.
+  ham::NodeIndex BuildPaper() {
+    auto root = model_->CreateDocument("sigmod-paper", "SIGMOD Paper");
+    EXPECT_TRUE(root.ok());
+    root_ = *root;
+    intro_ = *model_->AddSection(root_, "sigmod-paper", "Introduction",
+                                 "Traditional databases have certain "
+                                 "weaknesses...\n",
+                                 0);
+    hypertext_ = *model_->AddSection(root_, "sigmod-paper", "Hypertext",
+                                     "Hypertext in its essence is non-linear "
+                                     "text.\n",
+                                     10);
+    existing_ = *model_->AddSection(hypertext_, "sigmod-paper",
+                                    "Existing Systems",
+                                    "Memex, Augment, Xanadu, ZOG...\n", 0);
+    overview_ = *model_->AddSection(root_, "sigmod-paper", "Neptune Overview",
+                                    "Neptune is a layered architecture.\n",
+                                    20);
+    return root_;
+  }
+
+  std::unique_ptr<DocumentModel> model_;
+  ham::NodeIndex root_ = 0, intro_ = 0, hypertext_ = 0, existing_ = 0,
+                 overview_ = 0;
+};
+
+TEST_F(DocumentModelTest, OutlineOrderAndNumbering) {
+  BuildPaper();
+  auto outline = model_->Outline(root_, 0);
+  ASSERT_TRUE(outline.ok()) << outline.status().ToString();
+  ASSERT_EQ(outline->size(), 5u);
+  EXPECT_EQ((*outline)[0].title, "SIGMOD Paper");
+  EXPECT_EQ((*outline)[0].depth, 0);
+  EXPECT_EQ((*outline)[1].title, "Introduction");
+  EXPECT_EQ((*outline)[1].number, "1");
+  EXPECT_EQ((*outline)[2].title, "Hypertext");
+  EXPECT_EQ((*outline)[2].number, "2");
+  EXPECT_EQ((*outline)[3].title, "Existing Systems");
+  EXPECT_EQ((*outline)[3].number, "2.1");
+  EXPECT_EQ((*outline)[3].depth, 2);
+  EXPECT_EQ((*outline)[4].number, "3");
+}
+
+TEST_F(DocumentModelTest, HardcopyExtraction) {
+  BuildPaper();
+  auto hardcopy = model_->ExtractHardcopy(root_, 0);
+  ASSERT_TRUE(hardcopy.ok()) << hardcopy.status().ToString();
+  // Sections appear in order, with headings and body text.
+  const std::string& text = *hardcopy;
+  size_t p_intro = text.find("## 1 Introduction");
+  size_t p_hyper = text.find("## 2 Hypertext");
+  size_t p_existing = text.find("### 2.1 Existing Systems");
+  size_t p_overview = text.find("## 3 Neptune Overview");
+  EXPECT_NE(p_intro, std::string::npos);
+  EXPECT_NE(p_existing, std::string::npos);
+  EXPECT_LT(p_intro, p_hyper);
+  EXPECT_LT(p_hyper, p_existing);
+  EXPECT_LT(p_existing, p_overview);
+  EXPECT_NE(text.find("non-linear"), std::string::npos);
+}
+
+TEST_F(DocumentModelTest, AnnotateIsOneAtomicBundle) {
+  BuildPaper();
+  auto note = model_->Annotate(intro_, 12, "citation needed");
+  ASSERT_TRUE(note.ok()) << note.status().ToString();
+
+  auto annotations = model_->AnnotationsOf(intro_, 0);
+  ASSERT_TRUE(annotations.ok());
+  ASSERT_EQ(annotations->size(), 1u);
+  EXPECT_EQ((*annotations)[0], *note);
+  EXPECT_EQ(ReadNode(*note), "citation needed");
+  // The annotation node is tagged so queries can exclude/select it.
+  auto query = ham_->GetGraphQuery(ctx_, 0, "document = annotations", "",
+                                   {}, {});
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->nodes.size(), 1u);
+  EXPECT_EQ(query->nodes[0].node, *note);
+}
+
+TEST_F(DocumentModelTest, AnnotationsDontPolluteTheOutline) {
+  BuildPaper();
+  ASSERT_TRUE(model_->Annotate(hypertext_, 0, "is it though?").ok());
+  auto outline = model_->Outline(root_, 0);
+  ASSERT_TRUE(outline.ok());
+  EXPECT_EQ(outline->size(), 5u);  // annotation is not an isPartOf child
+}
+
+TEST_F(DocumentModelTest, ReferencesLinkAcrossDocuments) {
+  BuildPaper();
+  auto other_root = model_->CreateDocument("design-doc", "Design");
+  ASSERT_TRUE(other_root.ok());
+  auto ref = model_->AddReference(intro_, 5, *other_root);
+  ASSERT_TRUE(ref.ok());
+  auto relation = ham_->GetLinkAttributeValue(ctx_, *ref,
+                                              model_->relation_attr(), 0);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(*relation, Conventions::kReferences);
+}
+
+TEST_F(DocumentModelTest, EditSectionPreservesHistoryAndOutlinePast) {
+  BuildPaper();
+  const ham::Time before = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(model_->EditSection(intro_, "Rewritten intro.\n", "rewrite").ok());
+  EXPECT_EQ(ReadNode(intro_), "Rewritten intro.\n");
+  // The old hardcopy is still extractable at the old time.
+  auto old_hardcopy = model_->ExtractHardcopy(root_, before);
+  ASSERT_TRUE(old_hardcopy.ok());
+  EXPECT_NE(old_hardcopy->find("Traditional databases"), std::string::npos);
+  auto new_hardcopy = model_->ExtractHardcopy(root_, 0);
+  ASSERT_TRUE(new_hardcopy.ok());
+  EXPECT_NE(new_hardcopy->find("Rewritten intro."), std::string::npos);
+  EXPECT_EQ(new_hardcopy->find("Traditional databases"), std::string::npos);
+}
+
+TEST_F(DocumentModelTest, TitleFallsBackToIndex) {
+  BuildPaper();
+  auto untitled = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(untitled.ok());
+  EXPECT_EQ(model_->TitleOf(untitled->node, 0),
+            "#" + std::to_string(untitled->node));
+  EXPECT_EQ(model_->TitleOf(intro_, 0), "Introduction");
+}
+
+TEST_F(DocumentModelTest, OutlineAtOldTimeOmitsLaterSections) {
+  BuildPaper();
+  const ham::Time before = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(model_->AddSection(root_, "sigmod-paper", "Conclusions",
+                                 "We have shown...\n", 30)
+                  .ok());
+  auto now = model_->Outline(root_, 0);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->size(), 6u);
+  auto past = model_->Outline(root_, before);
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(past->size(), 5u);
+}
+
+}  // namespace
+}  // namespace app
+}  // namespace neptune

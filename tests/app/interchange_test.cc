@@ -1,0 +1,140 @@
+// Interchange: exporting one version of a hyperdocument and importing
+// it into another graph, preserving structure, contents, attributes
+// and attachment offsets.
+
+#include "app/interchange.h"
+
+#include <gtest/gtest.h>
+
+#include "app/document.h"
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace app {
+namespace {
+
+class InterchangeTest : public ham::HamTestBase {
+ protected:
+  void SetUp() override {
+    ham::HamTestBase::SetUp();
+    doc_ = std::make_unique<DocumentModel>(ham_.get(), ctx_);
+    ASSERT_TRUE(doc_->Init().ok());
+    root_ = *doc_->CreateDocument("manual", "User Manual");
+    install_ = *doc_->AddSection(root_, "manual", "Install",
+                                 "Run cmake.\n", 0);
+    usage_ = *doc_->AddSection(root_, "manual", "Usage",
+                               "Link things together.\n", 10);
+  }
+
+  // A second, empty graph to import into.
+  ham::Context SecondGraph() {
+    const std::string dir2 = dir_ + "_target";
+    env_->RemoveDirRecursive(dir2);
+    auto created = ham_->CreateGraph(dir2, 0755);
+    EXPECT_TRUE(created.ok());
+    auto ctx = ham_->OpenGraph(created->project, "local", dir2);
+    EXPECT_TRUE(ctx.ok());
+    return *ctx;
+  }
+
+  std::unique_ptr<DocumentModel> doc_;
+  ham::NodeIndex root_ = 0, install_ = 0, usage_ = 0;
+};
+
+TEST_F(InterchangeTest, ExportImportRoundTrip) {
+  auto exported = ExportGraph(ham_.get(), ctx_, 0);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  EXPECT_NE(exported->find("NEPTUNE-INTERCHANGE 1"), std::string::npos);
+
+  ham::Context target = SecondGraph();
+  auto report = ImportGraph(ham_.get(), target, *exported);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->nodes, 3u);
+  EXPECT_EQ(report->links, 2u);
+  EXPECT_GE(report->attributes, 3u);  // icon, document, relation
+
+  // The imported document reads identically through the app layer.
+  DocumentModel target_doc(ham_.get(), target);
+  ASSERT_TRUE(target_doc.Init().ok());
+  const ham::NodeIndex new_root = report->node_mapping.at(root_);
+  auto hardcopy_src = doc_->ExtractHardcopy(root_, 0);
+  auto hardcopy_dst = target_doc.ExtractHardcopy(new_root, 0);
+  ASSERT_TRUE(hardcopy_src.ok());
+  ASSERT_TRUE(hardcopy_dst.ok());
+  EXPECT_EQ(*hardcopy_src, *hardcopy_dst);
+  ASSERT_TRUE(ham_->CloseGraph(target).ok());
+}
+
+TEST_F(InterchangeTest, ExportsTheRequestedVersion) {
+  const ham::Time before = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(doc_->EditSection(install_, "Run ninja instead.\n", "").ok());
+  auto old_export = ExportGraph(ham_.get(), ctx_, before);
+  auto new_export = ExportGraph(ham_.get(), ctx_, 0);
+  ASSERT_TRUE(old_export.ok());
+  ASSERT_TRUE(new_export.ok());
+  EXPECT_NE(old_export->find("Run cmake."), std::string::npos);
+  EXPECT_EQ(old_export->find("Run ninja"), std::string::npos);
+  EXPECT_NE(new_export->find("Run ninja instead."), std::string::npos);
+}
+
+TEST_F(InterchangeTest, BinaryContentsSurvive) {
+  auto node = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(node.ok());
+  std::string binary("\x00\x01\xff\nraw\nbytes\x7f", 15);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, node->node, node->creation_time, binary,
+                               {}, "")
+                  .ok());
+  auto exported = ExportGraph(ham_.get(), ctx_, 0);
+  ASSERT_TRUE(exported.ok());
+  ham::Context target = SecondGraph();
+  auto report = ImportGraph(ham_.get(), target, *exported);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto imported = ham_->OpenNode(target, report->node_mapping.at(node->node),
+                                 0, {});
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported->contents, binary);
+  ASSERT_TRUE(ham_->CloseGraph(target).ok());
+}
+
+TEST_F(InterchangeTest, ImportIsAtomic) {
+  auto exported = ExportGraph(ham_.get(), ctx_, 0);
+  ASSERT_TRUE(exported.ok());
+  // Truncate mid-stream: nothing may be imported.
+  std::string broken = exported->substr(0, exported->size() / 2);
+  ham::Context target = SecondGraph();
+  auto report = ImportGraph(ham_.get(), target, broken);
+  EXPECT_FALSE(report.ok());
+  auto stats = ham_->GetStats(target);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->node_count, 0u);
+  ASSERT_TRUE(ham_->CloseGraph(target).ok());
+}
+
+TEST_F(InterchangeTest, RejectsForeignFormats) {
+  ham::Context target = SecondGraph();
+  EXPECT_TRUE(ImportGraph(ham_.get(), target, "some random text")
+                  .status()
+                  .IsInvalidArgument());
+  ASSERT_TRUE(ham_->CloseGraph(target).ok());
+}
+
+TEST_F(InterchangeTest, AttachmentOffsetsArePreserved) {
+  auto exported = ExportGraph(ham_.get(), ctx_, 0);
+  ASSERT_TRUE(exported.ok());
+  ham::Context target = SecondGraph();
+  auto report = ImportGraph(ham_.get(), target, *exported);
+  ASSERT_TRUE(report.ok());
+  auto opened = ham_->OpenNode(target, report->node_mapping.at(root_), 0, {});
+  ASSERT_TRUE(opened.ok());
+  std::vector<uint64_t> positions;
+  for (const auto& att : opened->attachments) {
+    if (att.is_source_end) positions.push_back(att.position);
+  }
+  std::sort(positions.begin(), positions.end());
+  EXPECT_EQ(positions, (std::vector<uint64_t>{0, 10}));
+  ASSERT_TRUE(ham_->CloseGraph(target).ok());
+}
+
+}  // namespace
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,114 @@
+// Trails (paper §2.2's memex feature): recording, replay, resume, and
+// their hypertext representation.
+
+#include "app/trail.h"
+
+#include <gtest/gtest.h>
+
+#include "app/document.h"
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace app {
+namespace {
+
+class TrailTest : public ham::HamTestBase {
+ protected:
+  void SetUp() override {
+    ham::HamTestBase::SetUp();
+    doc_ = std::make_unique<DocumentModel>(ham_.get(), ctx_);
+    ASSERT_TRUE(doc_->Init().ok());
+    recorder_ = std::make_unique<TrailRecorder>(ham_.get(), ctx_);
+    ASSERT_TRUE(recorder_->Init().ok());
+    root_ = *doc_->CreateDocument("book", "Book");
+    ch1_ = *doc_->AddSection(root_, "book", "Chapter 1", "...\n", 0);
+    ch2_ = *doc_->AddSection(root_, "book", "Chapter 2", "...\n", 10);
+    note_ = *doc_->Annotate(ch1_, 0, "a diversion");
+  }
+
+  std::unique_ptr<DocumentModel> doc_;
+  std::unique_ptr<TrailRecorder> recorder_;
+  ham::NodeIndex root_ = 0, ch1_ = 0, ch2_ = 0, note_ = 0;
+};
+
+TEST_F(TrailTest, RecordAndReplay) {
+  auto trail = recorder_->StartTrail("my reading");
+  ASSERT_TRUE(trail.ok()) << trail.status().ToString();
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{root_, 0}).ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch1_, 1}).ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{note_, 7}).ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch2_, 2}).ok());
+
+  auto steps = recorder_->Replay(*trail, 0);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 4u);
+  EXPECT_EQ((*steps)[0].node, root_);
+  EXPECT_EQ((*steps)[2].node, note_);
+  EXPECT_EQ((*steps)[2].via, 7u);
+  EXPECT_EQ((*steps)[3].node, ch2_);
+}
+
+TEST_F(TrailTest, ResumeReturnsLastStep) {
+  auto trail = recorder_->StartTrail("resume me");
+  ASSERT_TRUE(trail.ok());
+  EXPECT_TRUE(recorder_->Resume(*trail).status().IsNotFound());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch1_, 0}).ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch2_, 0}).ok());
+  auto resume = recorder_->Resume(*trail);
+  ASSERT_TRUE(resume.ok());
+  EXPECT_EQ(resume->node, ch2_);
+}
+
+TEST_F(TrailTest, TrailsAreVersionedLikeEverythingElse) {
+  auto trail = recorder_->StartTrail("versioned");
+  ASSERT_TRUE(trail.ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{root_, 0}).ok());
+  const ham::Time after_one = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch1_, 0}).ok());
+  // The trail as another reader saw it earlier.
+  auto old_steps = recorder_->Replay(*trail, after_one);
+  ASSERT_TRUE(old_steps.ok());
+  EXPECT_EQ(old_steps->size(), 1u);
+  auto new_steps = recorder_->Replay(*trail, 0);
+  ASSERT_TRUE(new_steps.ok());
+  EXPECT_EQ(new_steps->size(), 2u);
+}
+
+TEST_F(TrailTest, TrailIsRealHypertext) {
+  auto trail = recorder_->StartTrail("linked");
+  ASSERT_TRUE(trail.ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch1_, 0}).ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch2_, 0}).ok());
+  // The trail node carries followsTrail links to the visited nodes.
+  auto opened = ham_->OpenNode(ctx_, *trail, 0, {});
+  ASSERT_TRUE(opened.ok());
+  size_t outgoing = 0;
+  for (const auto& att : opened->attachments) {
+    if (att.is_source_end) ++outgoing;
+  }
+  EXPECT_EQ(outgoing, 2u);
+  // And it is queryable via the trails document tag.
+  auto trails = recorder_->ListTrails();
+  ASSERT_TRUE(trails.ok());
+  EXPECT_EQ(*trails, std::vector<ham::NodeIndex>{*trail});
+}
+
+TEST_F(TrailTest, ReplayRejectsNonTrailNodes) {
+  EXPECT_TRUE(recorder_->Replay(ch1_, 0).status().IsInvalidArgument());
+}
+
+TEST_F(TrailTest, RenderShowsTitlesInOrder) {
+  auto trail = recorder_->StartTrail("render me");
+  ASSERT_TRUE(trail.ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{root_, 0}).ok());
+  ASSERT_TRUE(recorder_->RecordStep(*trail, TrailStep{ch2_, 4}).ok());
+  auto out = recorder_->Render(*trail, 0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("Trail - render me"), std::string::npos);
+  EXPECT_NE(out->find("1. Book"), std::string::npos);
+  EXPECT_NE(out->find("2. Chapter 2  (via link 4)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace app
+}  // namespace neptune

@@ -1,0 +1,157 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+
+namespace neptune {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xFFu, 0x12345678u, 0xFFFFFFFFu}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    ASSERT_EQ(buf.size(), 4u);
+    std::string_view in = buf;
+    uint32_t out = 0;
+    ASSERT_TRUE(GetFixed32(&in, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xDEADBEEF},
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    ASSERT_EQ(buf.size(), 8u);
+    std::string_view in = buf;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetFixed64(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  for (uint32_t v = 0; v <= 0xFFFF; v += 257) {
+    std::string buf;
+    PutFixed16(&buf, static_cast<uint16_t>(v));
+    std::string_view in = buf;
+    uint16_t out = 0;
+    ASSERT_TRUE(GetFixed16(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, FixedIsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  // Every power-of-two boundary where the encoded length changes.
+  std::vector<uint64_t> values = {0, 1};
+  for (int shift = 7; shift < 64; shift += 7) {
+    values.push_back((1ull << shift) - 1);
+    values.push_back(1ull << shift);
+  }
+  values.push_back(std::numeric_limits<uint64_t>::max());
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v)) << v;
+    std::string_view in = buf;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{1} << 33);
+  std::string_view in = buf;
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(&in, &out)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'z'));
+  std::string_view in = buf;
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(300, 'z'));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedBodyFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  std::string_view in(buf.data(), buf.size() - 1);
+  std::string_view out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(CodingTest, MixedStreamRandomized) {
+  Random rng(20260705);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> ints;
+    std::vector<std::string> strs;
+    std::string buf;
+    for (int i = 0; i < 20; ++i) {
+      uint64_t v = rng.Next() >> rng.Uniform(64);
+      std::string s = rng.NextBytes(rng.Uniform(100));
+      ints.push_back(v);
+      strs.push_back(s);
+      PutVarint64(&buf, v);
+      PutLengthPrefixed(&buf, s);
+    }
+    std::string_view in = buf;
+    for (int i = 0; i < 20; ++i) {
+      uint64_t v = 0;
+      std::string_view s;
+      ASSERT_TRUE(GetVarint64(&in, &v));
+      ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+      EXPECT_EQ(v, ints[i]);
+      EXPECT_EQ(s, strs[i]);
+    }
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, EncodeDecodeFixedRawBuffers) {
+  char buf8[8];
+  EncodeFixed64(buf8, 0x1122334455667788ull);
+  EXPECT_EQ(DecodeFixed64(buf8), 0x1122334455667788ull);
+  char buf4[4];
+  EncodeFixed32(buf4, 0xA1B2C3D4u);
+  EXPECT_EQ(DecodeFixed32(buf4), 0xA1B2C3D4u);
+}
+
+}  // namespace
+}  // namespace neptune

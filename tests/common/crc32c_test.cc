@@ -1,0 +1,43 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace neptune {
+namespace crc32c {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / standard CRC32C test vectors.
+  EXPECT_EQ(Value(""), 0x00000000u);
+  EXPECT_EQ(Value("a"), 0xC1D04330u);
+  EXPECT_EQ(Value("123456789"), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Value(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendMatchesWhole) {
+  const std::string data = "hello world, this is neptune";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = Value(std::string_view(data).substr(0, split));
+    uint32_t full = Extend(partial, std::string_view(data).substr(split));
+    EXPECT_EQ(full, Value(data)) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Value("abc"), Value("abd"));
+  EXPECT_NE(Value("abc"), Value(std::string_view("abc\0", 4)));
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, Value("x")}) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc);  // masking must change the value
+  }
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace neptune

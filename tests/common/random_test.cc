@@ -1,0 +1,70 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace neptune {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, StringsHaveRequestedLengthAndAlphabet) {
+  Random rng(3);
+  std::string s = rng.NextString(256);
+  EXPECT_EQ(s.size(), 256u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RandomTest, BytesCoverFullRangeEventually) {
+  Random rng(11);
+  std::set<unsigned char> seen;
+  std::string bytes = rng.NextBytes(20000);
+  for (char c : bytes) seen.insert(static_cast<unsigned char>(c));
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(RandomTest, ZeroSeedStillWorks) {
+  Random rng(0);
+  uint64_t first = rng.Next();
+  uint64_t second = rng.Next();
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace neptune

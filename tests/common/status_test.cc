@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace neptune {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::NetworkError("x").IsNetworkError());
+}
+
+TEST(StatusTest, MessageAndToString) {
+  Status s = Status::NotFound("node 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "node 7");
+  EXPECT_EQ(s.ToString(), "NotFound: node 7");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad crc");
+  Status t = s;  // copy ctor
+  EXPECT_TRUE(t.IsCorruption());
+  EXPECT_EQ(t.message(), "bad crc");
+  Status u;
+  u = t;  // copy assign
+  EXPECT_TRUE(u.IsCorruption());
+  // Self-independence: mutating the source must not alias.
+  t = Status::OK();
+  EXPECT_TRUE(u.IsCorruption());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::IOError("disk");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsIOError());
+  s = Status::NotFound("later");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, FromCode) {
+  EXPECT_TRUE(Status::FromCode(StatusCode::kOk, "ignored").ok());
+  Status s = Status::FromCode(StatusCode::kAborted, "why");
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.message(), "why");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::NotFound("inner"); };
+  auto outer = [&]() -> Status {
+    NEPTUNE_RETURN_IF_ERROR(fails());
+    return Status::InvalidArgument("unreached");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string(1000, 'x');
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto get = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::Aborted("no");
+  };
+  auto doubled = [&](bool ok) -> Result<int> {
+    NEPTUNE_ASSIGN_OR_RETURN(int v, get(ok));
+    return v * 2;
+  };
+  ASSERT_TRUE(doubled(true).ok());
+  EXPECT_EQ(*doubled(true), 10);
+  EXPECT_TRUE(doubled(false).status().IsAborted());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace neptune

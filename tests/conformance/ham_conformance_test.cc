@@ -1,0 +1,356 @@
+// HamInterface conformance suite: every test here runs twice — once
+// against the local engine and once against a RemoteHam talking to a
+// real TCP server — asserting that the two implementations of the
+// abstract machine are observationally identical (the property the
+// paper's layered architecture depends on).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+
+namespace neptune {
+namespace ham {
+namespace {
+
+enum class BackendKind { kLocal, kRemote };
+
+class Backend {
+ public:
+  explicit Backend(BackendKind kind, const std::string& dir) {
+    engine_ = std::make_unique<Ham>(Env::Default(), [] {
+      HamOptions options;
+      options.sync_commits = false;
+      return options;
+    }());
+    if (kind == BackendKind::kRemote) {
+      server_ = std::make_unique<rpc::Server>(engine_.get());
+      auto port = server_->Start(0);
+      EXPECT_TRUE(port.ok());
+      auto client = rpc::RemoteHam::Connect("localhost", *port);
+      EXPECT_TRUE(client.ok());
+      client_ = std::move(*client);
+    }
+    auto created = ham()->CreateGraph(dir, 0755);
+    EXPECT_TRUE(created.ok());
+    project_ = created->project;
+    auto ctx = ham()->OpenGraph(project_, "localhost", dir);
+    EXPECT_TRUE(ctx.ok());
+    ctx_ = *ctx;
+  }
+
+  ~Backend() {
+    client_.reset();
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  HamInterface* ham() {
+    return client_ != nullptr ? static_cast<HamInterface*>(client_.get())
+                              : engine_.get();
+  }
+  Context ctx() const { return ctx_; }
+  ProjectId project() const { return project_; }
+
+ private:
+  std::unique_ptr<Ham> engine_;
+  std::unique_ptr<rpc::Server> server_;
+  std::unique_ptr<rpc::RemoteHam> client_;
+  ProjectId project_ = 0;
+  Context ctx_;
+};
+
+class ConformanceTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_conf_" + name))
+               .string();
+    Env::Default()->RemoveDirRecursive(dir_);
+    backend_ = std::make_unique<Backend>(GetParam(), dir_);
+    ham_ = backend_->ham();
+    ctx_ = backend_->ctx();
+  }
+
+  void TearDown() override {
+    backend_.reset();
+    Env::Default()->RemoveDirRecursive(dir_);
+  }
+
+  NodeIndex MakeNode(const std::string& text) {
+    auto added = ham_->AddNode(ctx_, true);
+    EXPECT_TRUE(added.ok());
+    EXPECT_TRUE(
+        ham_->ModifyNode(ctx_, added->node, added->creation_time, text, {},
+                         "init")
+            .ok());
+    return added->node;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Backend> backend_;
+  HamInterface* ham_ = nullptr;
+  Context ctx_;
+};
+
+TEST_P(ConformanceTest, NodeContentsRoundTrip) {
+  NodeIndex n = MakeNode("some contents");
+  auto opened = ham_->OpenNode(ctx_, n, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->contents, "some contents");
+  EXPECT_TRUE(ham_->OpenNode(ctx_, 999, 0, {}).status().IsNotFound());
+}
+
+TEST_P(ConformanceTest, OptimisticModifyConflict) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(
+      ham_->ModifyNode(ctx_, added->node, added->creation_time, "v1", {}, "")
+          .ok());
+  EXPECT_TRUE(
+      ham_->ModifyNode(ctx_, added->node, added->creation_time, "v2", {}, "")
+          .IsConflict());
+}
+
+TEST_P(ConformanceTest, VersionHistoryAndTimeTravel) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  Time expected = added->creation_time;
+  std::vector<Time> times;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ham_->ModifyNode(ctx_, added->node, expected,
+                                 "v" + std::to_string(i), {},
+                                 "e" + std::to_string(i))
+                    .ok());
+    expected = *ham_->GetNodeTimeStamp(ctx_, added->node);
+    times.push_back(expected);
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto opened = ham_->OpenNode(ctx_, added->node, times[i], {});
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(opened->contents, "v" + std::to_string(i));
+  }
+  auto versions = ham_->GetNodeVersions(ctx_, added->node);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->major.size(), 6u);
+  EXPECT_EQ(versions->major[3].explanation, "e2");
+}
+
+TEST_P(ConformanceTest, LinkEndsAndCopyLink) {
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  NodeIndex c = MakeNode("c");
+  auto link =
+      ham_->AddLink(ctx_, LinkPt{a, 5, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(ham_->GetFromNode(ctx_, link->link, 0)->node, a);
+  EXPECT_EQ(ham_->GetToNode(ctx_, link->link, 0)->node, b);
+  auto copy = ham_->CopyLink(ctx_, link->link, 0, true, LinkPt{c, 9, 0, true});
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(ham_->GetFromNode(ctx_, copy->link, 0)->node, a);
+  EXPECT_EQ(ham_->GetToNode(ctx_, copy->link, 0)->node, c);
+  ASSERT_TRUE(ham_->DeleteLink(ctx_, copy->link).ok());
+  EXPECT_TRUE(ham_->GetToNode(ctx_, copy->link, 0).status().IsNotFound());
+}
+
+TEST_P(ConformanceTest, AttachmentOffsetsThroughOpenNode) {
+  NodeIndex a = MakeNode("0123456789");
+  NodeIndex b = MakeNode("target");
+  auto link =
+      ham_->AddLink(ctx_, LinkPt{a, 7, 0, true}, LinkPt{b, 2, 0, true});
+  ASSERT_TRUE(link.ok());
+  auto opened = ham_->OpenNode(ctx_, a, 0, {});
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened->attachments.size(), 1u);
+  EXPECT_EQ(opened->attachments[0].position, 7u);
+  EXPECT_TRUE(opened->attachments[0].is_source_end);
+  auto opened_b = ham_->OpenNode(ctx_, b, 0, {});
+  ASSERT_TRUE(opened_b.ok());
+  ASSERT_EQ(opened_b->attachments.size(), 1u);
+  EXPECT_EQ(opened_b->attachments[0].position, 2u);
+}
+
+TEST_P(ConformanceTest, AttributeLifecycle) {
+  auto attr = ham_->GetAttributeIndex(ctx_, "status");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(*ham_->GetAttributeIndex(ctx_, "status"), *attr);
+  NodeIndex n = MakeNode("x");
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, *attr, "draft").ok());
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, *attr, 0), "draft");
+  auto all = ham_->GetNodeAttributes(ctx_, n, 0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0].name, "status");
+  auto values = ham_->GetAttributeValues(ctx_, *attr, 0);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, std::vector<std::string>{"draft"});
+  ASSERT_TRUE(ham_->DeleteNodeAttribute(ctx_, n, *attr).ok());
+  EXPECT_TRUE(
+      ham_->GetNodeAttributeValue(ctx_, n, *attr, 0).status().IsNotFound());
+  auto attrs = ham_->GetAttributes(ctx_, 0);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->back().name, "status");
+}
+
+TEST_P(ConformanceTest, LinkAttributes) {
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  auto link = ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+  auto rel = ham_->GetAttributeIndex(ctx_, "relation");
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(
+      ham_->SetLinkAttributeValue(ctx_, link->link, *rel, "references").ok());
+  EXPECT_EQ(*ham_->GetLinkAttributeValue(ctx_, link->link, *rel, 0),
+            "references");
+  auto all = ham_->GetLinkAttributes(ctx_, link->link, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);
+  ASSERT_TRUE(ham_->DeleteLinkAttribute(ctx_, link->link, *rel).ok());
+  EXPECT_TRUE(ham_->GetLinkAttributeValue(ctx_, link->link, *rel, 0)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_P(ConformanceTest, QueriesAndPredicates) {
+  auto kind = ham_->GetAttributeIndex(ctx_, "kind");
+  ASSERT_TRUE(kind.ok());
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  NodeIndex c = MakeNode("c");
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, a, *kind, "x").ok());
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, b, *kind, "x").ok());
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, c, *kind, "y").ok());
+  ASSERT_TRUE(
+      ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{b, 0, 0, true}).ok());
+  auto result = ham_->GetGraphQuery(ctx_, 0, "kind = x", "", {*kind}, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->nodes.size(), 2u);
+  EXPECT_EQ(*result->nodes[0].attribute_values[0], "x");
+  EXPECT_EQ(result->links.size(), 1u);
+  auto lin = ham_->LinearizeGraph(ctx_, a, 0, "", "", {}, {});
+  ASSERT_TRUE(lin.ok());
+  EXPECT_EQ(lin->nodes.size(), 2u);
+}
+
+TEST_P(ConformanceTest, TransactionsCommitAndAbort) {
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto staged = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(staged.ok());
+  ASSERT_TRUE(ham_->AbortTransaction(ctx_).ok());
+  EXPECT_TRUE(ham_->OpenNode(ctx_, staged->node, 0, {}).status().IsNotFound());
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto kept = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(ham_->CommitTransaction(ctx_).ok());
+  EXPECT_TRUE(ham_->OpenNode(ctx_, kept->node, 0, {}).ok());
+  EXPECT_TRUE(ham_->CommitTransaction(ctx_).IsFailedPrecondition());
+}
+
+TEST_P(ConformanceTest, ProtectionsAndDifferences) {
+  NodeIndex n = MakeNode("line1\nline2\n");
+  ASSERT_TRUE(ham_->ChangeNodeProtection(ctx_, n, 0200).ok());
+  EXPECT_TRUE(ham_->OpenNode(ctx_, n, 0, {}).status().IsPermissionDenied());
+  ASSERT_TRUE(ham_->ChangeNodeProtection(ctx_, n, 0644).ok());
+  auto t1 = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, *t1, "line1\nlineTWO\n", {}, "").ok());
+  auto t2 = ham_->GetNodeTimeStamp(ctx_, n);
+  auto diffs = ham_->GetNodeDifferences(ctx_, n, *t1, *t2);
+  ASSERT_TRUE(diffs.ok());
+  ASSERT_EQ(diffs->size(), 1u);
+  EXPECT_EQ((*diffs)[0].kind, delta::DifferenceKind::kReplacement);
+  EXPECT_EQ((*diffs)[0].old_lines, std::vector<std::string>{"line2"});
+}
+
+TEST_P(ConformanceTest, DemonsBindingsVisible) {
+  NodeIndex n = MakeNode("watched");
+  ASSERT_TRUE(
+      ham_->SetGraphDemonValue(ctx_, Event::kAddNode, "graph-demon").ok());
+  ASSERT_TRUE(
+      ham_->SetNodeDemon(ctx_, n, Event::kModifyNode, "node-demon").ok());
+  auto graph_demons = ham_->GetGraphDemons(ctx_, 0);
+  ASSERT_TRUE(graph_demons.ok());
+  ASSERT_EQ(graph_demons->size(), 1u);
+  EXPECT_EQ((*graph_demons)[0].demon, "graph-demon");
+  auto node_demons = ham_->GetNodeDemons(ctx_, n, 0);
+  ASSERT_TRUE(node_demons.ok());
+  ASSERT_EQ(node_demons->size(), 1u);
+  EXPECT_EQ((*node_demons)[0].event, Event::kModifyNode);
+}
+
+TEST_P(ConformanceTest, ContextsBranchAndMerge) {
+  NodeIndex shared = MakeNode("base");
+  auto info = ham_->CreateContext(ctx_, "world");
+  ASSERT_TRUE(info.ok());
+  auto branch = ham_->OpenContext(ctx_, info->thread);
+  ASSERT_TRUE(branch.ok());
+  EXPECT_EQ(*ham_->ContextThread(*branch), info->thread);
+  auto ts = ham_->GetNodeTimeStamp(*branch, shared);
+  ASSERT_TRUE(
+      ham_->ModifyNode(*branch, shared, *ts, "branched", {}, "").ok());
+  EXPECT_EQ(ham_->OpenNode(ctx_, shared, 0, {})->contents, "base");
+  ASSERT_TRUE(ham_->MergeContext(ctx_, info->thread, false).ok());
+  EXPECT_EQ(ham_->OpenNode(ctx_, shared, 0, {})->contents, "branched");
+  auto contexts = ham_->ListContexts(ctx_);
+  ASSERT_TRUE(contexts.ok());
+  EXPECT_EQ(contexts->size(), 2u);
+  ASSERT_TRUE(ham_->CloseGraph(*branch).ok());
+}
+
+TEST_P(ConformanceTest, StatsAndCheckpoint) {
+  MakeNode("one");
+  MakeNode("two");
+  auto stats = ham_->GetStats(ctx_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->node_count, 2u);
+  EXPECT_GT(stats->wal_bytes, 0u);
+  ASSERT_TRUE(ham_->Checkpoint(ctx_).ok());
+  EXPECT_EQ(ham_->GetStats(ctx_)->wal_bytes, 0u);
+}
+
+TEST_P(ConformanceTest, DeleteNodeCascades) {
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  auto link = ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, b).ok());
+  EXPECT_TRUE(ham_->OpenNode(ctx_, b, 0, {}).status().IsNotFound());
+  EXPECT_TRUE(ham_->GetToNode(ctx_, link->link, 0).status().IsNotFound());
+  // Historical reads still see both.
+  EXPECT_TRUE(ham_->OpenNode(ctx_, b, link->creation_time, {}).ok());
+}
+
+TEST_P(ConformanceTest, BinaryContentsAreUninterpreted) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, added->node, added->creation_time,
+                               binary, {}, "")
+                  .ok());
+  auto opened = ham_->OpenNode(ctx_, added->node, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->contents, binary);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ConformanceTest,
+                         ::testing::Values(BackendKind::kLocal,
+                                           BackendKind::kRemote),
+                         [](const auto& info) {
+                           return info.param == BackendKind::kLocal
+                                      ? "Local"
+                                      : "Remote";
+                         });
+
+}  // namespace
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,244 @@
+#include "delta/version_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace neptune {
+namespace delta {
+namespace {
+
+TEST(VersionChainTest, EmptyChainHasNoVersions) {
+  VersionChain chain;
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.CurrentTime(), 0u);
+  EXPECT_TRUE(chain.Get(0).status().IsNotFound());
+}
+
+TEST(VersionChainTest, SingleVersion) {
+  VersionChain chain;
+  ASSERT_TRUE(chain.Append(5, "contents v1", "created").ok());
+  EXPECT_EQ(chain.version_count(), 1u);
+  EXPECT_EQ(chain.CurrentTime(), 5u);
+  EXPECT_EQ(*chain.Get(0), "contents v1");
+  EXPECT_EQ(*chain.Get(5), "contents v1");
+  EXPECT_EQ(*chain.Get(100), "contents v1");  // still in effect later
+  EXPECT_TRUE(chain.Get(4).status().IsNotFound());  // predates creation
+}
+
+TEST(VersionChainTest, TimeZeroIsReserved) {
+  VersionChain chain;
+  EXPECT_TRUE(chain.Append(0, "x", "").IsInvalidArgument());
+}
+
+TEST(VersionChainTest, TimesMustStrictlyIncrease) {
+  VersionChain chain;
+  ASSERT_TRUE(chain.Append(10, "a", "").ok());
+  EXPECT_TRUE(chain.Append(10, "b", "").IsInvalidArgument());
+  EXPECT_TRUE(chain.Append(9, "b", "").IsInvalidArgument());
+  ASSERT_TRUE(chain.Append(11, "b", "").ok());
+}
+
+TEST(VersionChainTest, EveryHistoricalVersionIsReconstructible) {
+  VersionChain chain;
+  std::vector<std::string> texts;
+  std::string text = "The quick brown fox\njumps over the lazy dog\n";
+  for (uint64_t t = 1; t <= 50; ++t) {
+    text += "edit at time " + std::to_string(t) + "\n";
+    if (t % 7 == 0) text.erase(0, 10);
+    texts.push_back(text);
+    ASSERT_TRUE(chain.Append(t, text, "edit " + std::to_string(t)).ok());
+  }
+  for (uint64_t t = 1; t <= 50; ++t) {
+    auto got = chain.Get(t);
+    ASSERT_TRUE(got.ok()) << t;
+    EXPECT_EQ(*got, texts[t - 1]) << t;
+  }
+  EXPECT_EQ(*chain.Get(0), texts.back());
+}
+
+TEST(VersionChainTest, GetBetweenVersionTimesReturnsVersionInEffect) {
+  VersionChain chain;
+  ASSERT_TRUE(chain.Append(10, "ten", "").ok());
+  ASSERT_TRUE(chain.Append(20, "twenty", "").ok());
+  EXPECT_EQ(*chain.Get(15), "ten");
+  EXPECT_EQ(*chain.Get(20), "twenty");
+  EXPECT_EQ(*chain.Get(19), "ten");
+}
+
+TEST(VersionChainTest, VersionMetadataKeepsExplanations) {
+  VersionChain chain;
+  ASSERT_TRUE(chain.Append(1, "a", "first write").ok());
+  ASSERT_TRUE(chain.Append(2, "b", "second write").ok());
+  ASSERT_EQ(chain.versions().size(), 2u);
+  EXPECT_EQ(chain.versions()[0].time, 1u);
+  EXPECT_EQ(chain.versions()[0].explanation, "first write");
+  EXPECT_EQ(chain.versions()[1].explanation, "second write");
+}
+
+TEST(VersionChainTest, BackwardDeltaStoresLessThanFullCopy) {
+  Random rng(9);
+  std::string text = rng.NextString(20000);
+  VersionChain delta_chain(ChainMode::kBackwardDelta);
+  VersionChain copy_chain(ChainMode::kFullCopy);
+  for (uint64_t t = 1; t <= 20; ++t) {
+    text.insert(rng.Uniform(text.size()), "small edit");
+    ASSERT_TRUE(delta_chain.Append(t, text, "").ok());
+    ASSERT_TRUE(copy_chain.Append(t, text, "").ok());
+  }
+  // Both agree on every version...
+  for (uint64_t t = 1; t <= 20; ++t) {
+    EXPECT_EQ(*delta_chain.Get(t), *copy_chain.Get(t));
+  }
+  // ...but deltas take far less space (paper §3's design rationale).
+  EXPECT_LT(delta_chain.StoredBytes(), copy_chain.StoredBytes() / 5);
+}
+
+TEST(VersionChainTest, CurrentOnlyModeKeepsNoHistory) {
+  VersionChain chain(ChainMode::kCurrentOnly);
+  ASSERT_TRUE(chain.Append(1, "v1", "").ok());
+  ASSERT_TRUE(chain.Append(2, "v2", "").ok());
+  EXPECT_EQ(chain.version_count(), 1u);  // only the latest remains
+  EXPECT_EQ(*chain.Get(0), "v2");
+  // File nodes ignore Time on reads.
+  EXPECT_EQ(*chain.Get(1), "v2");
+  EXPECT_EQ(chain.StoredBytes(), 2u);
+}
+
+TEST(VersionChainTest, ForwardDeltaReconstructsEveryVersion) {
+  VersionChain chain(ChainMode::kForwardDelta);
+  std::vector<std::string> texts;
+  std::string text = "base contents\n";
+  for (uint64_t t = 1; t <= 30; ++t) {
+    text += "edit " + std::to_string(t) + "\n";
+    if (t % 5 == 0) text.erase(0, 7);
+    texts.push_back(text);
+    ASSERT_TRUE(chain.Append(t, text, "").ok());
+  }
+  EXPECT_EQ(chain.Current(), texts.back());
+  EXPECT_EQ(*chain.Get(0), texts.back());
+  for (uint64_t t = 1; t <= 30; ++t) {
+    EXPECT_EQ(*chain.Get(t), texts[t - 1]) << t;
+  }
+}
+
+TEST(VersionChainTest, ForwardDeltaStoresCompactly) {
+  Random rng(21);
+  std::string text = rng.NextString(20000);
+  VersionChain forward(ChainMode::kForwardDelta);
+  VersionChain copies(ChainMode::kFullCopy);
+  for (uint64_t t = 1; t <= 20; ++t) {
+    text.insert(rng.Uniform(text.size()), "tiny edit");
+    ASSERT_TRUE(forward.Append(t, text, "").ok());
+    ASSERT_TRUE(copies.Append(t, text, "").ok());
+  }
+  EXPECT_LT(forward.StoredBytes(), copies.StoredBytes() / 5);
+}
+
+TEST(VersionChainTest, ForwardDeltaPruneRebases) {
+  VersionChain chain(ChainMode::kForwardDelta);
+  std::vector<std::string> texts;
+  std::string text;
+  for (uint64_t t = 1; t <= 10; ++t) {
+    text += "line " + std::to_string(t) + "\n";
+    texts.push_back(text);
+    ASSERT_TRUE(chain.Append(t, text, "").ok());
+  }
+  EXPECT_GT(chain.PruneBefore(6), 0u);
+  EXPECT_EQ(chain.version_count(), 5u);
+  for (uint64_t t = 6; t <= 10; ++t) {
+    EXPECT_EQ(*chain.Get(t), texts[t - 1]) << t;
+  }
+  EXPECT_TRUE(chain.Get(3).status().IsNotFound());
+  EXPECT_EQ(*chain.Get(0), texts.back());
+}
+
+TEST(VersionChainTest, EncodeDecodeRoundTrip) {
+  for (ChainMode mode : {ChainMode::kBackwardDelta, ChainMode::kFullCopy,
+                         ChainMode::kCurrentOnly, ChainMode::kForwardDelta}) {
+    VersionChain chain(mode);
+    std::string text = "base\n";
+    for (uint64_t t = 1; t <= 10; ++t) {
+      text += "line " + std::to_string(t) + "\n";
+      ASSERT_TRUE(chain.Append(t, text, "e" + std::to_string(t)).ok());
+    }
+    std::string encoded;
+    chain.EncodeTo(&encoded);
+    std::string_view in = encoded;
+    auto decoded = VersionChain::DecodeFrom(&in);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(in.empty());
+    EXPECT_EQ(decoded->mode(), mode);
+    EXPECT_EQ(decoded->version_count(), chain.version_count());
+    EXPECT_EQ(*decoded->Get(0), *chain.Get(0));
+    if (mode != ChainMode::kCurrentOnly) {
+      for (uint64_t t = 1; t <= 10; ++t) {
+        EXPECT_EQ(*decoded->Get(t), *chain.Get(t));
+      }
+    }
+  }
+}
+
+TEST(VersionChainTest, DecodeRejectsTruncation) {
+  VersionChain chain;
+  ASSERT_TRUE(chain.Append(1, "some contents here", "why").ok());
+  ASSERT_TRUE(chain.Append(2, "more contents here", "why2").ok());
+  std::string encoded;
+  chain.EncodeTo(&encoded);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    std::string_view in(encoded.data(), cut);
+    auto decoded = VersionChain::DecodeFrom(&in);
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(VersionChainTest, DecodeRejectsBadMode) {
+  std::string encoded;
+  encoded.push_back('\x09');
+  std::string_view in = encoded;
+  auto decoded = VersionChain::DecodeFrom(&in);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+// Property sweep: random edit histories reconstruct exactly under all
+// storage modes, including after a codec round trip.
+class VersionChainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VersionChainPropertyTest, RandomHistoriesReconstruct) {
+  Random rng(31337 + GetParam());
+  const ChainMode modes[] = {ChainMode::kBackwardDelta, ChainMode::kFullCopy,
+                             ChainMode::kForwardDelta};
+  const ChainMode mode = modes[GetParam() % 3];
+  VersionChain chain(mode);
+  std::vector<std::pair<uint64_t, std::string>> history;
+  std::string text = rng.NextBytes(rng.Uniform(2000));
+  uint64_t t = 0;
+  const int versions = 2 + static_cast<int>(rng.Uniform(30));
+  for (int v = 0; v < versions; ++v) {
+    t += 1 + rng.Uniform(5);
+    if (!text.empty() && rng.OneIn(3)) {
+      text.erase(rng.Uniform(text.size()),
+                 std::min<size_t>(rng.Uniform(200), text.size()));
+    }
+    text.insert(text.empty() ? 0 : rng.Uniform(text.size()),
+                rng.NextBytes(rng.Uniform(300)));
+    history.emplace_back(t, text);
+    ASSERT_TRUE(chain.Append(t, text, "").ok());
+  }
+  // Codec round trip first.
+  std::string encoded;
+  chain.EncodeTo(&encoded);
+  std::string_view in = encoded;
+  auto decoded = VersionChain::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok());
+  for (const auto& [time, contents] : history) {
+    EXPECT_EQ(*decoded->Get(time), contents) << "t=" << time;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VersionChainPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace delta
+}  // namespace neptune

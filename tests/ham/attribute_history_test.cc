@@ -1,0 +1,133 @@
+#include "ham/attribute_history.h"
+
+#include <gtest/gtest.h>
+
+namespace neptune {
+namespace ham {
+namespace {
+
+TEST(AttributeHistoryTest, EmptyHistory) {
+  AttributeHistory h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Get(1, 0).has_value());
+  EXPECT_TRUE(h.GetAll(0).empty());
+  EXPECT_EQ(h.LastTime(), 0u);
+}
+
+TEST(AttributeHistoryTest, SetAndGetCurrent) {
+  AttributeHistory h;
+  h.Set(1, 10, "alpha", true);
+  EXPECT_EQ(*h.Get(1, 0), "alpha");
+  EXPECT_EQ(h.LastTime(), 10u);
+}
+
+TEST(AttributeHistoryTest, VersionedHistoryIsTimeTravelable) {
+  AttributeHistory h;
+  h.Set(1, 10, "v1", true);
+  h.Set(1, 20, "v2", true);
+  h.Set(1, 30, "v3", true);
+  EXPECT_FALSE(h.Get(1, 9).has_value());
+  EXPECT_EQ(*h.Get(1, 10), "v1");
+  EXPECT_EQ(*h.Get(1, 15), "v1");
+  EXPECT_EQ(*h.Get(1, 20), "v2");
+  EXPECT_EQ(*h.Get(1, 29), "v2");
+  EXPECT_EQ(*h.Get(1, 30), "v3");
+  EXPECT_EQ(*h.Get(1, 1000), "v3");
+  EXPECT_EQ(*h.Get(1, 0), "v3");
+}
+
+TEST(AttributeHistoryTest, DeleteLeavesTombstoneWhenVersioned) {
+  AttributeHistory h;
+  h.Set(1, 10, "v1", true);
+  h.Delete(1, 20, true);
+  EXPECT_FALSE(h.Get(1, 0).has_value());
+  EXPECT_FALSE(h.Get(1, 25).has_value());
+  EXPECT_EQ(*h.Get(1, 15), "v1");  // pre-deletion reads still work
+}
+
+TEST(AttributeHistoryTest, ReattachAfterDelete) {
+  AttributeHistory h;
+  h.Set(1, 10, "v1", true);
+  h.Delete(1, 20, true);
+  h.Set(1, 30, "v2", true);
+  EXPECT_EQ(*h.Get(1, 0), "v2");
+  EXPECT_FALSE(h.Get(1, 25).has_value());
+  EXPECT_EQ(*h.Get(1, 12), "v1");
+}
+
+TEST(AttributeHistoryTest, UnversionedKeepsOnlyLatest) {
+  AttributeHistory h;
+  h.Set(1, 10, "v1", false);
+  h.Set(1, 20, "v2", false);
+  EXPECT_EQ(h.entry_count(), 1u);
+  EXPECT_EQ(*h.Get(1, 0), "v2");
+  h.Delete(1, 30, false);
+  EXPECT_FALSE(h.Get(1, 0).has_value());
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(AttributeHistoryTest, SameTimeSetOverwrites) {
+  AttributeHistory h;
+  h.Set(1, 10, "first", true);
+  h.Set(1, 10, "second", true);
+  EXPECT_EQ(h.entry_count(), 1u);
+  EXPECT_EQ(*h.Get(1, 10), "second");
+}
+
+TEST(AttributeHistoryTest, DeleteNonexistentIsNoop) {
+  AttributeHistory h;
+  h.Delete(42, 10, true);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(AttributeHistoryTest, MultipleAttributesIndependent) {
+  AttributeHistory h;
+  h.Set(1, 10, "one", true);
+  h.Set(2, 20, "two", true);
+  h.Set(3, 30, "three", true);
+  h.Delete(2, 40, true);
+  auto all_35 = h.GetAll(35);
+  ASSERT_EQ(all_35.size(), 3u);
+  auto all_now = h.GetAll(0);
+  ASSERT_EQ(all_now.size(), 2u);
+  EXPECT_EQ(all_now[0].first, 1u);
+  EXPECT_EQ(all_now[0].second, "one");
+  EXPECT_EQ(all_now[1].first, 3u);
+  auto all_early = h.GetAll(15);
+  ASSERT_EQ(all_early.size(), 1u);
+}
+
+TEST(AttributeHistoryTest, CodecRoundTrip) {
+  AttributeHistory h;
+  h.Set(1, 10, "v1", true);
+  h.Set(1, 20, "v2", true);
+  h.Delete(1, 30, true);
+  h.Set(7, 15, std::string("\0binary\xff", 8), true);
+  std::string encoded;
+  h.EncodeTo(&encoded);
+  std::string_view in = encoded;
+  auto decoded = AttributeHistory::DecodeFrom(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(*decoded->Get(1, 12), "v1");
+  EXPECT_EQ(*decoded->Get(1, 25), "v2");
+  EXPECT_FALSE(decoded->Get(1, 0).has_value());
+  EXPECT_EQ(*decoded->Get(7, 0), std::string("\0binary\xff", 8));
+  EXPECT_EQ(decoded->LastTime(), 30u);
+}
+
+TEST(AttributeHistoryTest, CodecRejectsTruncation) {
+  AttributeHistory h;
+  h.Set(1, 10, "some value", true);
+  h.Set(2, 20, "other", true);
+  std::string encoded;
+  h.EncodeTo(&encoded);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    std::string_view in(encoded.data(), cut);
+    EXPECT_FALSE(AttributeHistory::DecodeFrom(&in).ok()) << cut;
+  }
+}
+
+}  // namespace
+}  // namespace ham
+}  // namespace neptune

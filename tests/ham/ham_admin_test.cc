@@ -1,0 +1,158 @@
+// Local administration: graph integrity checking (fsck) and history
+// pruning, plus the §5 mail-notification demon built on them.
+
+#include <gtest/gtest.h>
+
+#include "app/notify.h"
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace ham {
+namespace {
+
+class HamAdminTest : public HamTestBase {};
+
+TEST_F(HamAdminTest, FreshGraphIsClean) {
+  auto problems = ham_->VerifyGraph(ctx_);
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty());
+}
+
+TEST_F(HamAdminTest, BusyGraphStaysClean) {
+  AttributeIndex doc = Attr("document");
+  std::vector<NodeIndex> nodes;
+  for (int i = 0; i < 10; ++i) {
+    NodeIndex n = MakeNode("node " + std::to_string(i));
+    ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, doc, "x").ok());
+    nodes.push_back(n);
+  }
+  for (int i = 1; i < 10; ++i) {
+    ASSERT_TRUE(ham_->AddLink(ctx_, LinkPt{nodes[0], uint64_t(i), 0, true},
+                              LinkPt{nodes[i], 0, 0, true})
+                    .ok());
+  }
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, nodes[5]).ok());
+  auto info = ham_->CreateContext(ctx_, "w");
+  ASSERT_TRUE(info.ok());
+  auto problems = ham_->VerifyGraph(ctx_);
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty()) << (*problems)[0];
+  Reopen();  // clean after recovery too
+  problems = ham_->VerifyGraph(ctx_);
+  ASSERT_TRUE(problems.ok());
+  EXPECT_TRUE(problems->empty());
+}
+
+TEST_F(HamAdminTest, PruneHistoryDropsOldVersionsOnly) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  const NodeIndex n = added->node;
+  Time expected = added->creation_time;
+  std::vector<Time> times;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ham_->ModifyNode(ctx_, n, expected,
+                                 "v" + std::to_string(i), {}, "")
+                    .ok());
+    expected = *ham_->GetNodeTimeStamp(ctx_, n);
+    times.push_back(expected);
+  }
+  // Prune everything before version 5.
+  auto pruned = ham_->PruneHistory(ctx_, times[5]);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+
+  // Versions >= the horizon still read back exactly.
+  for (int i = 5; i < 10; ++i) {
+    EXPECT_EQ(ReadNode(n, times[i]), "v" + std::to_string(i)) << i;
+  }
+  // Earlier versions are gone.
+  EXPECT_TRUE(ham_->OpenNode(ctx_, n, times[2], {}).status().IsNotFound());
+  auto versions = ham_->GetNodeVersions(ctx_, n);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->major.size(), 5u);
+  // The graph is still structurally sound and recoverable.
+  EXPECT_TRUE(ham_->VerifyGraph(ctx_)->empty());
+  Reopen();
+  EXPECT_EQ(ReadNode(n, times[7]), "v7");
+  EXPECT_EQ(ReadNode(n), "v9");
+}
+
+TEST_F(HamAdminTest, PruneShrinksStorage) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  Time expected = added->creation_time;
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "line " + std::to_string(i) + "\n";
+    ASSERT_TRUE(ham_->ModifyNode(ctx_, added->node, expected, text, {}, "")
+                    .ok());
+    expected = *ham_->GetNodeTimeStamp(ctx_, added->node);
+  }
+  ASSERT_TRUE(ham_->Checkpoint(ctx_).ok());
+  auto full = ham_->PruneHistory(ctx_, 1);  // prunes nothing (horizon = t1)
+  ASSERT_TRUE(full.ok());
+  auto slim = ham_->PruneHistory(ctx_, expected);  // keep only current
+  ASSERT_TRUE(slim.ok());
+  EXPECT_LT(*slim, *full);
+}
+
+TEST_F(HamAdminTest, PruneAlsoTrimsAttributeHistories) {
+  NodeIndex n = MakeNode("x");
+  AttributeIndex status = Attr("status");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, status,
+                                            "v" + std::to_string(i))
+                    .ok());
+  }
+  const Time horizon = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(ham_->PruneHistory(ctx_, horizon).ok());
+  // The current value survives; history before the horizon is gone
+  // but the in-effect entry still answers reads at the horizon.
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, status, 0), "v4");
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, status, horizon), "v4");
+}
+
+TEST_F(HamAdminTest, PruneRejectedInsideTransactionAndAtTimeZero) {
+  EXPECT_TRUE(ham_->PruneHistory(ctx_, 0).status().IsInvalidArgument());
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  EXPECT_TRUE(ham_->PruneHistory(ctx_, 1).status().IsFailedPrecondition());
+  ASSERT_TRUE(ham_->AbortTransaction(ctx_).ok());
+}
+
+TEST_F(HamAdminTest, MailDemonNotifiesResponsiblePerson) {
+  // Paper §5: "sending mail to the person responsible for a node when
+  // someone other than that person modifies the node."
+  app::NotificationCenter mayer(ham_.get(), ctx_, "mayer");
+  ASSERT_TRUE(mayer.Init().ok());
+  mayer.Install(&ham_->demons());
+
+  NodeIndex n = MakeNode("norm's design notes");
+  ASSERT_TRUE(mayer.SetResponsible(n, "norm").ok());
+  ASSERT_TRUE(mayer.Watch(n).ok());
+
+  // mayer (not the responsible person) modifies the node.
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, *ts, "mayer was here", {}, "").ok());
+
+  auto mail = mayer.MessagesFor("norm");
+  ASSERT_EQ(mail.size(), 1u);
+  EXPECT_EQ(mail[0].modified_by, "mayer");
+  EXPECT_EQ(mail[0].invocation.node, n);
+  EXPECT_EQ(mail[0].invocation.event, Event::kModifyNode);
+  EXPECT_GT(mail[0].invocation.timestamp, 0u);
+}
+
+TEST_F(HamAdminTest, MailDemonSilentWhenOwnerModifies) {
+  app::NotificationCenter norm(ham_.get(), ctx_, "norm");
+  ASSERT_TRUE(norm.Init().ok());
+  norm.Install(&ham_->demons());
+  NodeIndex n = MakeNode("own notes");
+  ASSERT_TRUE(norm.SetResponsible(n, "norm").ok());
+  ASSERT_TRUE(norm.Watch(n).ok());
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, *ts, "self edit", {}, "").ok());
+  EXPECT_EQ(norm.TotalMessages(), 0u);
+}
+
+}  // namespace
+}  // namespace ham
+}  // namespace neptune

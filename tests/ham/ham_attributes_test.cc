@@ -1,0 +1,173 @@
+// A.4 attribute operations end-to-end, including the versioned
+// attribute semantics and the CASE-style conventions from paper §4.2.
+
+#include <gtest/gtest.h>
+
+#include "ham/ham.h"
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace ham {
+namespace {
+
+using HamAttributeTest = HamTestBase;
+
+TEST_F(HamAttributeTest, GetAttributeIndexInternsOnce) {
+  AttributeIndex a = Attr("contentType");
+  AttributeIndex b = Attr("relation");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(Attr("contentType"), a);  // idempotent
+}
+
+TEST_F(HamAttributeTest, SetAndGetNodeAttribute) {
+  NodeIndex n = MakeNode("procedure foo;");
+  AttributeIndex content_type = Attr("contentType");
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, content_type,
+                                          "Modula-2 source")
+                  .ok());
+  auto value = ham_->GetNodeAttributeValue(ctx_, n, content_type, 0);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "Modula-2 source");
+}
+
+TEST_F(HamAttributeTest, SetWithUndefinedAttributeIndexFails) {
+  NodeIndex n = MakeNode("x");
+  EXPECT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, n, 999, "v").IsNotFound());
+}
+
+TEST_F(HamAttributeTest, AttributeValuesAreVersionedOnArchives) {
+  NodeIndex n = MakeNode("doc");
+  AttributeIndex status = Attr("status");
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, status, "draft").ok());
+  auto stats1 = ham_->GetStats(ctx_);
+  const Time t_draft = stats1->current_time;
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, status, "reviewed").ok());
+
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, status, 0), "reviewed");
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, status, t_draft), "draft");
+}
+
+TEST_F(HamAttributeTest, DeleteAttributeDetachesNowNotHistorically) {
+  NodeIndex n = MakeNode("doc");
+  AttributeIndex status = Attr("status");
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, status, "draft").ok());
+  const Time t_set = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(ham_->DeleteNodeAttribute(ctx_, n, status).ok());
+  EXPECT_TRUE(
+      ham_->GetNodeAttributeValue(ctx_, n, status, 0).status().IsNotFound());
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, status, t_set), "draft");
+}
+
+TEST_F(HamAttributeTest, GetNodeAttributesReturnsNamesAndValues) {
+  NodeIndex n = MakeNode("module M;");
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, Attr("contentType"),
+                                          "Modula-2 source")
+                  .ok());
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, Attr("codeType"),
+                                          "implementationModule")
+                  .ok());
+  auto all = ham_->GetNodeAttributes(ctx_, n, 0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[0].name, "contentType");
+  EXPECT_EQ((*all)[0].value, "Modula-2 source");
+  EXPECT_EQ((*all)[1].name, "codeType");
+}
+
+TEST_F(HamAttributeTest, LinkAttributesWork) {
+  NodeIndex a = MakeNode("module A");
+  NodeIndex b = MakeNode("module B");
+  auto link = ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+  AttributeIndex relation = Attr("relation");
+  ASSERT_TRUE(
+      ham_->SetLinkAttributeValue(ctx_, link->link, relation, "imports").ok());
+  EXPECT_EQ(*ham_->GetLinkAttributeValue(ctx_, link->link, relation, 0),
+            "imports");
+  auto all = ham_->GetLinkAttributes(ctx_, link->link, 0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ((*all)[0].name, "relation");
+  EXPECT_EQ((*all)[0].value, "imports");
+
+  // Versioned because both endpoints are archives.
+  const Time t1 = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(
+      ham_->SetLinkAttributeValue(ctx_, link->link, relation, "isPartOf")
+          .ok());
+  EXPECT_EQ(*ham_->GetLinkAttributeValue(ctx_, link->link, relation, t1),
+            "imports");
+  EXPECT_EQ(*ham_->GetLinkAttributeValue(ctx_, link->link, relation, 0),
+            "isPartOf");
+
+  ASSERT_TRUE(ham_->DeleteLinkAttribute(ctx_, link->link, relation).ok());
+  EXPECT_TRUE(ham_->GetLinkAttributeValue(ctx_, link->link, relation, 0)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(HamAttributeTest, GetAttributesListsDefinitionsAtTime) {
+  auto before = ham_->GetAttributes(ctx_, 0);
+  ASSERT_TRUE(before.ok());
+  const size_t initial = before->size();
+  Attr("first");
+  const Time t_first = ham_->GetStats(ctx_)->current_time;
+  Attr("second");
+  auto at_first = ham_->GetAttributes(ctx_, t_first);
+  ASSERT_TRUE(at_first.ok());
+  EXPECT_EQ(at_first->size(), initial + 1);
+  auto now = ham_->GetAttributes(ctx_, 0);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->size(), initial + 2);
+  EXPECT_EQ(now->back().name, "second");
+}
+
+TEST_F(HamAttributeTest, GetAttributeValuesCollectsDistinctValues) {
+  AttributeIndex document = Attr("document");
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  NodeIndex c = MakeNode("c");
+  ASSERT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, a, document, "requirements").ok());
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, b, document, "design").ok());
+  ASSERT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, c, document, "design").ok());
+  auto values = ham_->GetAttributeValues(ctx_, document, 0);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values,
+            (std::vector<std::string>{"design", "requirements"}));  // sorted
+
+  EXPECT_TRUE(ham_->GetAttributeValues(ctx_, 999, 0).status().IsNotFound());
+}
+
+TEST_F(HamAttributeTest, FileNodeAttributesAreUnversioned) {
+  auto added = ham_->AddNode(ctx_, /*keep_history=*/false);
+  ASSERT_TRUE(added.ok());
+  AttributeIndex status = Attr("status");
+  ASSERT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, added->node, status, "v1").ok());
+  const Time t1 = ham_->GetStats(ctx_)->current_time;
+  ASSERT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, added->node, status, "v2").ok());
+  // No history is kept: "v1" is unrecoverable — a read at the time it
+  // was current finds nothing (only the later, unversioned entry
+  // exists), and the current read sees "v2".
+  EXPECT_TRUE(ham_->GetNodeAttributeValue(ctx_, added->node, status, t1)
+                  .status()
+                  .IsNotFound());
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, added->node, status, 0), "v2");
+}
+
+TEST_F(HamAttributeTest, AttributesOnDeletedNodeFail) {
+  NodeIndex n = MakeNode("bye");
+  AttributeIndex a = Attr("x");
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, n).ok());
+  EXPECT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, a, "v").IsNotFound());
+}
+
+}  // namespace
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,145 @@
+// Edge cases the main suites don't isolate: self-loops, emptied
+// contents, large values, and ordering guarantees.
+
+#include <gtest/gtest.h>
+
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace ham {
+namespace {
+
+using HamEdgeCaseTest = HamTestBase;
+
+TEST_F(HamEdgeCaseTest, SelfLoopLink) {
+  NodeIndex n = MakeNode("0123456789");
+  auto loop = ham_->AddLink(ctx_, LinkPt{n, 2, 0, true}, LinkPt{n, 8, 0, true});
+  ASSERT_TRUE(loop.ok()) << loop.status().ToString();
+  auto opened = ham_->OpenNode(ctx_, n, 0, {});
+  ASSERT_TRUE(opened.ok());
+  // Both ends attach to the same node: two attachments.
+  ASSERT_EQ(opened->attachments.size(), 2u);
+  EXPECT_EQ(ham_->GetFromNode(ctx_, loop->link, 0)->node, n);
+  EXPECT_EQ(ham_->GetToNode(ctx_, loop->link, 0)->node, n);
+  // A modify must carry a LinkPt for each end.
+  Status missing = ham_->ModifyNode(ctx_, n, opened->current_version_time,
+                                    "new", {{loop->link, true, 1}}, "");
+  EXPECT_TRUE(missing.IsInvalidArgument());
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, opened->current_version_time, "new",
+                               {{loop->link, true, 1}, {loop->link, false, 2}},
+                               "")
+                  .ok());
+  // Deleting the node deletes the loop exactly once.
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, n).ok());
+  EXPECT_TRUE(ham_->GetToNode(ctx_, loop->link, 0).status().IsNotFound());
+}
+
+TEST_F(HamEdgeCaseTest, EmptyingANode) {
+  NodeIndex n = MakeNode("something");
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, *ts, "", {}, "cleared").ok());
+  EXPECT_EQ(ReadNode(n), "");
+  EXPECT_EQ(ReadNode(n, *ts), "something");
+}
+
+TEST_F(HamEdgeCaseTest, LargeAttributeValue) {
+  NodeIndex n = MakeNode("x");
+  AttributeIndex attr = Attr("blob");
+  std::string big(1 << 20, 'b');
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, attr, big).ok());
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, attr, 0), big);
+  Reopen();
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, attr, 0), big);
+}
+
+TEST_F(HamEdgeCaseTest, AttributeValueWithEmbeddedNulBytes) {
+  NodeIndex n = MakeNode("x");
+  AttributeIndex attr = Attr("raw");
+  std::string raw("\x00mid\x00nul", 8);
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, attr, raw).ok());
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, attr, 0), raw);
+}
+
+TEST_F(HamEdgeCaseTest, GetNodeVersionsOnDeletedNodeStillWorks) {
+  NodeIndex n = MakeNode("v1");
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, *ts, "v2", {}, "second").ok());
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, n).ok());
+  auto versions = ham_->GetNodeVersions(ctx_, n);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->major.size(), 3u);
+  EXPECT_EQ(versions->major.back().explanation, "second");
+}
+
+TEST_F(HamEdgeCaseTest, QueryResultsAreOrderedByNodeIndex) {
+  AttributeIndex kind = Attr("kind");
+  std::vector<NodeIndex> nodes;
+  for (int i = 0; i < 12; ++i) {
+    NodeIndex n = MakeNode("n");
+    ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, kind, "t").ok());
+    nodes.push_back(n);
+  }
+  auto result = ham_->GetGraphQuery(ctx_, 0, "kind = t", "", {}, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->nodes.size(), nodes.size());
+  for (size_t i = 1; i < result->nodes.size(); ++i) {
+    EXPECT_LT(result->nodes[i - 1].node, result->nodes[i].node);
+  }
+}
+
+TEST_F(HamEdgeCaseTest, ParallelLinksBetweenSameNodes) {
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  auto l1 = ham_->AddLink(ctx_, LinkPt{a, 1, 0, true}, LinkPt{b, 0, 0, true});
+  auto l2 = ham_->AddLink(ctx_, LinkPt{a, 2, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_NE(l1->link, l2->link);
+  auto result = ham_->GetGraphQuery(ctx_, 0, "", "", {}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->links.size(), 2u);
+  // Deleting one leaves the other.
+  ASSERT_TRUE(ham_->DeleteLink(ctx_, l1->link).ok());
+  EXPECT_TRUE(ham_->GetToNode(ctx_, l2->link, 0).ok());
+}
+
+TEST_F(HamEdgeCaseTest, LinearizeSingleNodeGraph) {
+  NodeIndex n = MakeNode("alone");
+  auto result = ham_->LinearizeGraph(ctx_, n, 0, "", "", {}, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->nodes.size(), 1u);
+  EXPECT_TRUE(result->links.empty());
+}
+
+TEST_F(HamEdgeCaseTest, ManyAttributesOnOneNode) {
+  NodeIndex n = MakeNode("x");
+  for (int i = 0; i < 64; ++i) {
+    AttributeIndex attr = Attr("a" + std::to_string(i));
+    ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, attr,
+                                            std::to_string(i))
+                    .ok());
+  }
+  auto all = ham_->GetNodeAttributes(ctx_, n, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 64u);
+  Reopen();
+  all = ham_->GetNodeAttributes(ctx_, n, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 64u);
+}
+
+TEST_F(HamEdgeCaseTest, ReuseOfContextAfterManyContextCreations) {
+  for (int i = 0; i < 20; ++i) {
+    auto info = ham_->CreateContext(ctx_, "w" + std::to_string(i));
+    ASSERT_TRUE(info.ok());
+  }
+  auto contexts = ham_->ListContexts(ctx_);
+  ASSERT_TRUE(contexts.ok());
+  EXPECT_EQ(contexts->size(), 21u);
+  Reopen();
+  EXPECT_EQ(ham_->ListContexts(ctx_)->size(), 21u);
+}
+
+}  // namespace
+}  // namespace ham
+}  // namespace neptune

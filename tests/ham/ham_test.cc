@@ -1,0 +1,351 @@
+// End-to-end tests of the A.1/A.2/A.3 operations on the local engine.
+
+#include "ham/ham.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace ham {
+namespace {
+
+using HamGraphTest = HamTestBase;
+
+TEST_F(HamGraphTest, CreateGraphAssignsUniqueProjects) {
+  auto second = ham_->CreateGraph(dir_ + "_b", 0755);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->project, project_);
+  EXPECT_GE(second->creation_time, 1u);
+  EXPECT_TRUE(ham_->DestroyGraph(second->project, dir_ + "_b").ok());
+}
+
+TEST_F(HamGraphTest, CreateGraphTwiceFails) {
+  EXPECT_TRUE(ham_->CreateGraph(dir_, 0755).status().IsAlreadyExists());
+}
+
+TEST_F(HamGraphTest, OpenGraphValidatesProjectId) {
+  auto bad = ham_->OpenGraph(project_ + 1, "local", dir_);
+  EXPECT_TRUE(bad.status().IsPermissionDenied());
+}
+
+TEST_F(HamGraphTest, OpenMissingGraphIsNotFound) {
+  auto bad = ham_->OpenGraph(project_, "local", dir_ + "_missing");
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST_F(HamGraphTest, DestroyRequiresMatchingProjectAndNoSessions) {
+  EXPECT_TRUE(ham_->DestroyGraph(project_, dir_).IsFailedPrecondition());
+  ASSERT_TRUE(ham_->CloseGraph(ctx_).ok());
+  EXPECT_TRUE(ham_->DestroyGraph(project_ + 1, dir_).IsPermissionDenied());
+  EXPECT_TRUE(ham_->DestroyGraph(project_, dir_).ok());
+  EXPECT_FALSE(env_->FileExists(dir_));
+}
+
+TEST_F(HamGraphTest, ClosedContextIsRejected) {
+  ASSERT_TRUE(ham_->CloseGraph(ctx_).ok());
+  EXPECT_TRUE(ham_->AddNode(ctx_, true).status().IsInvalidArgument());
+  EXPECT_TRUE(ham_->CloseGraph(ctx_).IsInvalidArgument());
+}
+
+using HamNodeTest = HamTestBase;
+
+TEST_F(HamNodeTest, AddAndOpenEmptyNode) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  EXPECT_GE(added->node, 1u);
+  EXPECT_GT(added->creation_time, 0u);
+
+  auto opened = ham_->OpenNode(ctx_, added->node, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->contents, "");
+  EXPECT_TRUE(opened->attachments.empty());
+  EXPECT_EQ(opened->current_version_time, added->creation_time);
+}
+
+TEST_F(HamNodeTest, NodeIndicesAreUnique) {
+  auto a = ham_->AddNode(ctx_, true);
+  auto b = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->node, b->node);
+}
+
+TEST_F(HamNodeTest, ModifyCreatesVersionsAndTimeTravelWorks) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  const NodeIndex n = added->node;
+  Time t0 = added->creation_time;
+
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, t0, "version one", {}, "first").ok());
+  auto ts1 = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ts1.ok());
+  ASSERT_TRUE(
+      ham_->ModifyNode(ctx_, n, *ts1, "version two", {}, "second").ok());
+  auto ts2 = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ts2.ok());
+  EXPECT_GT(*ts2, *ts1);
+
+  EXPECT_EQ(ReadNode(n, 0), "version two");
+  EXPECT_EQ(ReadNode(n, *ts1), "version one");
+  EXPECT_EQ(ReadNode(n, *ts2), "version two");
+  EXPECT_EQ(ReadNode(n, t0), "");
+
+  auto versions = ham_->GetNodeVersions(ctx_, n);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->major.size(), 3u);  // created + 2 edits
+  EXPECT_EQ(versions->major[1].explanation, "first");
+  EXPECT_EQ(versions->major[2].explanation, "second");
+}
+
+TEST_F(HamNodeTest, ModifyWithStaleTimeIsConflict) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, added->node, added->creation_time, "v1",
+                               {}, "")
+                  .ok());
+  // Re-using the creation time must now fail: someone else checked in.
+  Status stale = ham_->ModifyNode(ctx_, added->node, added->creation_time,
+                                  "v2", {}, "");
+  EXPECT_TRUE(stale.IsConflict()) << stale.ToString();
+  EXPECT_EQ(ReadNode(added->node), "v1");
+}
+
+TEST_F(HamNodeTest, FileNodesKeepNoHistory) {
+  auto added = ham_->AddNode(ctx_, /*keep_history=*/false);
+  ASSERT_TRUE(added.ok());
+  const NodeIndex n = added->node;
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, added->creation_time, "v1", {}, "")
+                  .ok());
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, *ts, "v2", {}, "").ok());
+  // Any requested time returns the current contents for a file node.
+  EXPECT_EQ(ReadNode(n, 0), "v2");
+  EXPECT_EQ(ReadNode(n, *ts), "v2");
+  auto versions = ham_->GetNodeVersions(ctx_, n);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->major.size(), 1u);
+}
+
+TEST_F(HamNodeTest, DeleteNodeHidesItNowButNotHistorically) {
+  NodeIndex n = MakeNode("doomed");
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ts.ok());
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, n).ok());
+  EXPECT_TRUE(ham_->OpenNode(ctx_, n, 0, {}).status().IsNotFound());
+  EXPECT_TRUE(ham_->GetNodeTimeStamp(ctx_, n).status().IsNotFound());
+  // "it is possible to see any version of the hyperdocument back to
+  // its beginning":
+  auto historical = ham_->OpenNode(ctx_, n, *ts, {});
+  ASSERT_TRUE(historical.ok()) << historical.status().ToString();
+  EXPECT_EQ(historical->contents, "doomed");
+  EXPECT_TRUE(ham_->DeleteNode(ctx_, n).IsNotFound());
+}
+
+TEST_F(HamNodeTest, GetNodeDifferences) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  const NodeIndex n = added->node;
+  ASSERT_TRUE(
+      ham_->ModifyNode(ctx_, n, added->creation_time, "a\nb\nc\n", {}, "")
+          .ok());
+  auto t1 = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, *t1, "a\nB!\nc\nd\n", {}, "").ok());
+  auto t2 = ham_->GetNodeTimeStamp(ctx_, n);
+
+  auto diffs = ham_->GetNodeDifferences(ctx_, n, *t1, *t2);
+  ASSERT_TRUE(diffs.ok());
+  ASSERT_EQ(diffs->size(), 2u);
+  EXPECT_EQ((*diffs)[0].kind, delta::DifferenceKind::kReplacement);
+  EXPECT_EQ((*diffs)[0].old_lines, std::vector<std::string>{"b"});
+  EXPECT_EQ((*diffs)[0].new_lines, std::vector<std::string>{"B!"});
+  EXPECT_EQ((*diffs)[1].kind, delta::DifferenceKind::kInsertion);
+
+  // Same version on both sides: no differences.
+  auto none = ham_->GetNodeDifferences(ctx_, n, *t2, *t2);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(HamNodeTest, ProtectionsAreEnforced) {
+  NodeIndex n = MakeNode("secret");
+  ASSERT_TRUE(ham_->ChangeNodeProtection(ctx_, n, 0200).ok());  // write-only
+  EXPECT_TRUE(ham_->OpenNode(ctx_, n, 0, {}).status().IsPermissionDenied());
+  ASSERT_TRUE(ham_->ChangeNodeProtection(ctx_, n, 0400).ok());  // read-only
+  EXPECT_EQ(ReadNode(n), "secret");
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  EXPECT_TRUE(ham_->ModifyNode(ctx_, n, *ts, "nope", {}, "")
+                  .IsPermissionDenied());
+  ASSERT_TRUE(ham_->ChangeNodeProtection(ctx_, n, 0644).ok());
+  EXPECT_TRUE(ham_->ModifyNode(ctx_, n, *ts, "yes", {}, "").ok());
+}
+
+using HamLinkTest = HamTestBase;
+
+TEST_F(HamLinkTest, AddLinkAndTraverseEnds) {
+  NodeIndex a = MakeNode("source node");
+  NodeIndex b = MakeNode("destination node");
+  auto link = ham_->AddLink(ctx_, LinkPt{a, 7, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok()) << link.status().ToString();
+
+  auto to = ham_->GetToNode(ctx_, link->link, 0);
+  ASSERT_TRUE(to.ok());
+  EXPECT_EQ(to->node, b);
+  auto from = ham_->GetFromNode(ctx_, link->link, 0);
+  ASSERT_TRUE(from.ok());
+  EXPECT_EQ(from->node, a);
+
+  auto opened = ham_->OpenNode(ctx_, a, 0, {});
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened->attachments.size(), 1u);
+  EXPECT_EQ(opened->attachments[0].link, link->link);
+  EXPECT_TRUE(opened->attachments[0].is_source_end);
+  EXPECT_EQ(opened->attachments[0].position, 7u);
+  EXPECT_TRUE(opened->attachments[0].track_current);
+
+  auto opened_b = ham_->OpenNode(ctx_, b, 0, {});
+  ASSERT_TRUE(opened_b.ok());
+  ASSERT_EQ(opened_b->attachments.size(), 1u);
+  EXPECT_FALSE(opened_b->attachments[0].is_source_end);
+}
+
+TEST_F(HamLinkTest, AddLinkToMissingNodeFails) {
+  NodeIndex a = MakeNode("x");
+  auto bad =
+      ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{9999, 0, 0, true});
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST_F(HamLinkTest, PinnedEndRefersToSpecificVersion) {
+  NodeIndex a = MakeNode("anchor");
+  NodeIndex b = MakeNode("target v1");
+  auto tb = ham_->GetNodeTimeStamp(ctx_, b);
+  ASSERT_TRUE(tb.ok());
+  // Pin the destination to b's current version.
+  auto link =
+      ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{b, 0, *tb, false});
+  ASSERT_TRUE(link.ok());
+  // b moves on.
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, b, *tb, "target v2", {}, "").ok());
+  auto to = ham_->GetToNode(ctx_, link->link, 0);
+  ASSERT_TRUE(to.ok());
+  EXPECT_EQ(to->node, b);
+  EXPECT_EQ(to->version_time, *tb);  // still the pinned version
+  // A tracking link would report the current version instead.
+  auto tracking =
+      ham_->AddLink(ctx_, LinkPt{a, 1, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(tracking.ok());
+  auto to2 = ham_->GetToNode(ctx_, tracking->link, 0);
+  ASSERT_TRUE(to2.ok());
+  EXPECT_EQ(to2->version_time, *ham_->GetNodeTimeStamp(ctx_, b));
+}
+
+TEST_F(HamLinkTest, ModifyNodeUpdatesAttachmentOffsets) {
+  NodeIndex a = MakeNode("0123456789");
+  NodeIndex b = MakeNode("elsewhere");
+  auto link = ham_->AddLink(ctx_, LinkPt{a, 5, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+
+  auto ts = ham_->GetNodeTimeStamp(ctx_, a);
+  // Text grew in front of the attachment: offset 5 -> 12.
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, a, *ts, "PREFIXED 0123456789",
+                               {{link->link, true, 12}}, "grew")
+                  .ok());
+  auto now = ham_->OpenNode(ctx_, a, 0, {});
+  ASSERT_TRUE(now.ok());
+  ASSERT_EQ(now->attachments.size(), 1u);
+  EXPECT_EQ(now->attachments[0].position, 12u);
+  // "a history of link attachment offsets is saved": the old version
+  // (as of the link's creation, before the edit) shows the old offset.
+  auto then = ham_->OpenNode(ctx_, a, link->creation_time, {});
+  ASSERT_TRUE(then.ok());
+  ASSERT_EQ(then->attachments.size(), 1u);
+  EXPECT_EQ(then->attachments[0].position, 5u);
+}
+
+TEST_F(HamLinkTest, ModifyNodeRequiresAllAttachments) {
+  NodeIndex a = MakeNode("has links");
+  NodeIndex b = MakeNode("other");
+  ASSERT_TRUE(
+      ham_->AddLink(ctx_, LinkPt{a, 3, 0, true}, LinkPt{b, 0, 0, true}).ok());
+  auto ts = ham_->GetNodeTimeStamp(ctx_, a);
+  // "There must be a LinkPt for each link associated with the current
+  // version of the node."
+  Status missing = ham_->ModifyNode(ctx_, a, *ts, "new", {}, "");
+  EXPECT_TRUE(missing.IsInvalidArgument()) << missing.ToString();
+}
+
+TEST_F(HamLinkTest, CopyLinkCopiesChosenEnd) {
+  NodeIndex a = MakeNode("from");
+  NodeIndex b = MakeNode("to");
+  NodeIndex c = MakeNode("third");
+  auto original =
+      ham_->AddLink(ctx_, LinkPt{a, 11, 0, true}, LinkPt{b, 22, 0, true});
+  ASSERT_TRUE(original.ok());
+
+  // Copy the source end; destination becomes c.
+  auto copy = ham_->CopyLink(ctx_, original->link, 0, /*copy_source=*/true,
+                             LinkPt{c, 33, 0, true});
+  ASSERT_TRUE(copy.ok());
+  EXPECT_NE(copy->link, original->link);
+  auto from = ham_->GetFromNode(ctx_, copy->link, 0);
+  ASSERT_TRUE(from.ok());
+  EXPECT_EQ(from->node, a);
+  auto to = ham_->GetToNode(ctx_, copy->link, 0);
+  ASSERT_TRUE(to.ok());
+  EXPECT_EQ(to->node, c);
+
+  // Copy the destination end; source becomes c.
+  auto copy2 = ham_->CopyLink(ctx_, original->link, 0, /*copy_source=*/false,
+                              LinkPt{c, 44, 0, true});
+  ASSERT_TRUE(copy2.ok());
+  EXPECT_EQ(ham_->GetFromNode(ctx_, copy2->link, 0)->node, c);
+  EXPECT_EQ(ham_->GetToNode(ctx_, copy2->link, 0)->node, b);
+}
+
+TEST_F(HamLinkTest, DeleteLinkRemovesAttachment) {
+  NodeIndex a = MakeNode("one");
+  NodeIndex b = MakeNode("two");
+  auto link = ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(ham_->DeleteLink(ctx_, link->link).ok());
+  EXPECT_TRUE(ham_->GetToNode(ctx_, link->link, 0).status().IsNotFound());
+  auto opened = ham_->OpenNode(ctx_, a, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->attachments.empty());
+  EXPECT_TRUE(ham_->DeleteLink(ctx_, link->link).IsNotFound());
+}
+
+TEST_F(HamLinkTest, DeleteNodeCascadesToLinks) {
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  NodeIndex c = MakeNode("c");
+  auto ab = ham_->AddLink(ctx_, LinkPt{a, 0, 0, true}, LinkPt{b, 0, 0, true});
+  auto cb = ham_->AddLink(ctx_, LinkPt{c, 0, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, b).ok());
+  // "All links into or out of the node are deleted."
+  EXPECT_TRUE(ham_->GetToNode(ctx_, ab->link, 0).status().IsNotFound());
+  EXPECT_TRUE(ham_->GetToNode(ctx_, cb->link, 0).status().IsNotFound());
+  auto opened = ham_->OpenNode(ctx_, a, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->attachments.empty());
+}
+
+TEST_F(HamLinkTest, HistoricalOpenShowsDeletedLinks) {
+  NodeIndex a = MakeNode("a");
+  NodeIndex b = MakeNode("b");
+  auto link = ham_->AddLink(ctx_, LinkPt{a, 4, 0, true}, LinkPt{b, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+  const Time before_delete = link->creation_time;
+  ASSERT_TRUE(ham_->DeleteLink(ctx_, link->link).ok());
+  auto then = ham_->OpenNode(ctx_, a, before_delete, {});
+  ASSERT_TRUE(then.ok());
+  ASSERT_EQ(then->attachments.size(), 1u);
+  EXPECT_EQ(then->attachments[0].link, link->link);
+}
+
+}  // namespace
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,97 @@
+// Shared fixture for HAM end-to-end tests: a scratch directory, a Ham
+// engine, and one open graph/session.
+
+#ifndef NEPTUNE_TESTS_HAM_HAM_TEST_UTIL_H_
+#define NEPTUNE_TESTS_HAM_HAM_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "ham/ham.h"
+
+namespace neptune {
+namespace ham {
+
+class HamTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
+    const std::string suite = ::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->test_suite_name();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_ham_" + suite + "_" + name))
+               .string();
+    env_->RemoveDirRecursive(dir_);
+    ham_ = std::make_unique<Ham>(env_, MakeOptions());
+    auto created = ham_->CreateGraph(dir_, 0755);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    project_ = created->project;
+    auto ctx = ham_->OpenGraph(project_, "local", dir_);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = *ctx;
+  }
+
+  void TearDown() override {
+    ham_.reset();
+    env_->RemoveDirRecursive(dir_);
+  }
+
+  virtual HamOptions MakeOptions() {
+    HamOptions options;
+    options.sync_commits = false;  // fast tests; recovery tests override
+    return options;
+  }
+
+  // Reopens the engine from disk, as after a process restart.
+  void Reopen() {
+    ham_ = std::make_unique<Ham>(env_, MakeOptions());
+    auto ctx = ham_->OpenGraph(project_, "local", dir_);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = *ctx;
+  }
+
+  // Creates an archive node whose current contents are `text`.
+  NodeIndex MakeNode(const std::string& text, bool archive = true) {
+    auto added = ham_->AddNode(ctx_, archive);
+    EXPECT_TRUE(added.ok()) << added.status().ToString();
+    Status st = ham_->ModifyNode(ctx_, added->node, added->creation_time,
+                                 text, {}, "initial");
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return added->node;
+  }
+
+  // Current contents of a node.
+  std::string ReadNode(NodeIndex node, Time time = 0) {
+    auto opened = ham_->OpenNode(ctx_, node, time, {});
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    return opened.ok() ? opened->contents : std::string();
+  }
+
+  // Interned attribute index.
+  AttributeIndex Attr(const std::string& name) {
+    auto attr = ham_->GetAttributeIndex(ctx_, name);
+    EXPECT_TRUE(attr.ok()) << attr.status().ToString();
+    return attr.ok() ? *attr : 0;
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  std::unique_ptr<Ham> ham_;
+  ProjectId project_ = 0;
+  Context ctx_;
+};
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_TESTS_HAM_HAM_TEST_UTIL_H_

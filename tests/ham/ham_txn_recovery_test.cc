@@ -1,0 +1,273 @@
+// Transactions, durability and crash recovery end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ham/ham.h"
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace ham {
+namespace {
+
+class HamTxnTest : public HamTestBase {
+ protected:
+  HamOptions MakeOptions() override {
+    HamOptions options;
+    options.sync_commits = true;  // durability matters in these tests
+    return options;
+  }
+};
+
+TEST_F(HamTxnTest, CommitBundlesOperations) {
+  // The paper's "annotate" command: several primitive operations in a
+  // single transaction.
+  NodeIndex target = MakeNode("the annotated text");
+  AttributeIndex relation = Attr("relation");
+
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto note = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(note.ok());
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, note->node, note->creation_time,
+                               "this needs a citation", {}, "annotation")
+                  .ok());
+  auto link = ham_->AddLink(ctx_, LinkPt{target, 4, 0, true},
+                            LinkPt{note->node, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(
+      ham_->SetLinkAttributeValue(ctx_, link->link, relation, "annotates")
+          .ok());
+  ASSERT_TRUE(ham_->CommitTransaction(ctx_).ok());
+
+  EXPECT_EQ(ReadNode(note->node), "this needs a citation");
+  EXPECT_EQ(*ham_->GetLinkAttributeValue(ctx_, link->link, relation, 0),
+            "annotates");
+}
+
+TEST_F(HamTxnTest, AbortDiscardsEverything) {
+  NodeIndex survivor = MakeNode("pre-existing");
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto doomed = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, survivor).ok());
+  // Inside the transaction, its own effects are visible.
+  EXPECT_TRUE(ham_->OpenNode(ctx_, survivor, 0, {}).status().IsNotFound());
+  EXPECT_TRUE(ham_->OpenNode(ctx_, doomed->node, 0, {}).ok());
+
+  ASSERT_TRUE(ham_->AbortTransaction(ctx_).ok());
+  // "complete recovery from any aborted transaction"
+  EXPECT_EQ(ReadNode(survivor), "pre-existing");
+  EXPECT_TRUE(ham_->OpenNode(ctx_, doomed->node, 0, {}).status().IsNotFound());
+}
+
+TEST_F(HamTxnTest, UncommittedChangesInvisibleToOtherSessions) {
+  auto other = ham_->OpenGraph(project_, "local", dir_);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto staged = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(staged.ok());
+  // The second session must not see the staged node.
+  EXPECT_TRUE(
+      ham_->OpenNode(*other, staged->node, 0, {}).status().IsNotFound());
+  ASSERT_TRUE(ham_->CommitTransaction(ctx_).ok());
+  EXPECT_TRUE(ham_->OpenNode(*other, staged->node, 0, {}).ok());
+  ASSERT_TRUE(ham_->CloseGraph(*other).ok());
+}
+
+TEST_F(HamTxnTest, SecondWriterBlocksUntilCommit) {
+  auto other = ham_->OpenGraph(project_, "local", dir_);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto mine = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(mine.ok());
+
+  std::atomic<bool> other_done{false};
+  NodeIndex other_node = 0;
+  std::thread writer([&] {
+    auto added = ham_->AddNode(*other, true);  // implicit txn: must wait
+    ASSERT_TRUE(added.ok());
+    other_node = added->node;
+    other_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(other_done) << "writer should be blocked by the open txn";
+  ASSERT_TRUE(ham_->CommitTransaction(ctx_).ok());
+  writer.join();
+  EXPECT_TRUE(other_done);
+  EXPECT_TRUE(ham_->OpenNode(ctx_, other_node, 0, {}).ok());
+  ASSERT_TRUE(ham_->CloseGraph(*other).ok());
+}
+
+TEST_F(HamTxnTest, BeginTwiceFails) {
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  EXPECT_TRUE(ham_->BeginTransaction(ctx_).IsFailedPrecondition());
+  EXPECT_TRUE(ham_->CommitTransaction(ctx_).ok());
+  EXPECT_TRUE(ham_->CommitTransaction(ctx_).IsFailedPrecondition());
+  EXPECT_TRUE(ham_->AbortTransaction(ctx_).IsFailedPrecondition());
+}
+
+TEST_F(HamTxnTest, FailedOpInsideTransactionLeavesItUsable) {
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto node = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(node.ok());
+  // This op fails (missing endpoint) but the transaction survives.
+  EXPECT_TRUE(ham_->AddLink(ctx_, LinkPt{node->node, 0, 0, true},
+                            LinkPt{424242, 0, 0, true})
+                  .status()
+                  .IsNotFound());
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, node->node, node->creation_time,
+                               "still fine", {}, "")
+                  .ok());
+  ASSERT_TRUE(ham_->CommitTransaction(ctx_).ok());
+  EXPECT_EQ(ReadNode(node->node), "still fine");
+}
+
+TEST_F(HamTxnTest, CloseGraphAbortsOpenTransaction) {
+  auto other = ham_->OpenGraph(project_, "local", dir_);
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(ham_->BeginTransaction(*other).ok());
+  auto staged = ham_->AddNode(*other, true);
+  ASSERT_TRUE(staged.ok());
+  ASSERT_TRUE(ham_->CloseGraph(*other).ok());
+  // The staged node is gone and the writer slot is free again.
+  EXPECT_TRUE(ham_->OpenNode(ctx_, staged->node, 0, {}).status().IsNotFound());
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  ASSERT_TRUE(ham_->AbortTransaction(ctx_).ok());
+}
+
+class HamRecoveryTest : public HamTxnTest {};
+
+TEST_F(HamRecoveryTest, CommittedStateSurvivesReopen) {
+  NodeIndex n = MakeNode("durable contents");
+  AttributeIndex attr = Attr("document");
+  ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, n, attr, "spec").ok());
+  NodeIndex m = MakeNode("second node");
+  auto link = ham_->AddLink(ctx_, LinkPt{n, 3, 0, true}, LinkPt{m, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+
+  Reopen();  // drop the engine, recover from snapshot + WAL
+
+  EXPECT_EQ(ReadNode(n), "durable contents");
+  EXPECT_EQ(*ham_->GetNodeAttributeValue(ctx_, n, attr, 0), "spec");
+  auto to = ham_->GetToNode(ctx_, link->link, 0);
+  ASSERT_TRUE(to.ok());
+  EXPECT_EQ(to->node, m);
+  // Attribute names survive too.
+  EXPECT_EQ(Attr("document"), attr);
+}
+
+TEST_F(HamRecoveryTest, VersionHistorySurvivesReopen) {
+  auto added = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  const NodeIndex n = added->node;
+  std::vector<Time> times{added->creation_time};
+  std::string text;
+  for (int i = 0; i < 10; ++i) {
+    text += "line " + std::to_string(i) + "\n";
+    ASSERT_TRUE(ham_->ModifyNode(ctx_, n, times.back(), text, {},
+                                 "edit " + std::to_string(i))
+                    .ok());
+    times.push_back(*ham_->GetNodeTimeStamp(ctx_, n));
+  }
+  Reopen();
+  for (size_t v = 1; v < times.size(); ++v) {
+    std::string expected;
+    for (size_t i = 0; i < v; ++i) {
+      expected += "line " + std::to_string(i) + "\n";
+    }
+    EXPECT_EQ(ReadNode(n, times[v]), expected) << v;
+  }
+}
+
+TEST_F(HamRecoveryTest, AbortedTransactionLeavesNoTraceAfterReopen) {
+  NodeIndex keep = MakeNode("keep");
+  ASSERT_TRUE(ham_->BeginTransaction(ctx_).ok());
+  auto staged = ham_->AddNode(ctx_, true);
+  ASSERT_TRUE(staged.ok());
+  ASSERT_TRUE(ham_->AbortTransaction(ctx_).ok());
+  const NodeIndex staged_index = staged->node;
+
+  Reopen();
+  EXPECT_EQ(ReadNode(keep), "keep");
+  EXPECT_TRUE(
+      ham_->OpenNode(ctx_, staged_index, 0, {}).status().IsNotFound());
+}
+
+TEST_F(HamRecoveryTest, TornWalTailIsDroppedCleanly) {
+  NodeIndex n = MakeNode("committed before crash");
+  // Simulate a crash mid-commit: append garbage to the live WAL.
+  ham_.reset();
+  std::string wal_path;
+  auto children = env_->GetChildren(dir_);
+  ASSERT_TRUE(children.ok());
+  for (const auto& name : *children) {
+    if (name.rfind("WAL-", 0) == 0) wal_path = JoinPath(dir_, name);
+  }
+  ASSERT_FALSE(wal_path.empty());
+  {
+    auto f = env_->NewWritableFile(wal_path, /*truncate=*/false);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("\xde\xad\xbe\xef garbage tail").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  Reopen();
+  EXPECT_EQ(ReadNode(n), "committed before crash");
+  // And the engine keeps working after the repair.
+  NodeIndex m = MakeNode("post-recovery");
+  EXPECT_EQ(ReadNode(m), "post-recovery");
+}
+
+TEST_F(HamRecoveryTest, CheckpointThenRecover) {
+  std::vector<NodeIndex> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(MakeNode("node " + std::to_string(i)));
+  }
+  ASSERT_TRUE(ham_->Checkpoint(ctx_).ok());
+  // Post-checkpoint mutations land in the fresh WAL.
+  NodeIndex after = MakeNode("after checkpoint");
+  auto stats = ham_->GetStats(ctx_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->wal_bytes, 0u);
+
+  Reopen();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ReadNode(nodes[i]), "node " + std::to_string(i));
+  }
+  EXPECT_EQ(ReadNode(after), "after checkpoint");
+}
+
+TEST_F(HamRecoveryTest, AutoCheckpointKeepsWalBounded) {
+  ham_.reset();
+  HamOptions options;
+  options.sync_commits = false;
+  options.checkpoint_wal_bytes = 4096;  // tiny threshold
+  ham_ = std::make_unique<Ham>(env_, options);
+  auto ctx = ham_->OpenGraph(project_, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  ctx_ = *ctx;
+  for (int i = 0; i < 50; ++i) {
+    MakeNode(std::string(512, 'x'));
+  }
+  auto stats = ham_->GetStats(ctx_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->wal_bytes, 64u * 1024u)
+      << "auto-checkpoint should have rotated the WAL";
+  Reopen();
+  EXPECT_EQ(ham_->GetStats(ctx_)->node_count, 50u);
+}
+
+TEST_F(HamRecoveryTest, TimestampsContinueAfterReopen) {
+  NodeIndex n = MakeNode("v1");
+  const Time before = *ham_->GetNodeTimeStamp(ctx_, n);
+  Reopen();
+  auto ts = ham_->GetNodeTimeStamp(ctx_, n);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, before);
+  ASSERT_TRUE(ham_->ModifyNode(ctx_, n, before, "v2", {}, "").ok());
+  EXPECT_GT(*ham_->GetNodeTimeStamp(ctx_, n), before);
+}
+
+}  // namespace
+}  // namespace ham
+}  // namespace neptune

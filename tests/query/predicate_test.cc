@@ -1,0 +1,220 @@
+#include "query/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace neptune {
+namespace query {
+namespace {
+
+MapAttributeSource CaseNode() {
+  return MapAttributeSource{{"contentType", "Modula-2 source"},
+                            {"codeType", "procedure"},
+                            {"document", "design"},
+                            {"version", "12"},
+                            {"author", "delisle"}};
+}
+
+bool Eval(std::string_view text, const AttributeSource& attrs) {
+  auto p = Predicate::Parse(text);
+  EXPECT_TRUE(p.ok()) << text << " -> " << p.status().ToString();
+  return p.ok() && p->Evaluate(attrs);
+}
+
+TEST(PredicateParseTest, EmptyIsTrue) {
+  auto p = Predicate::Parse("");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsTriviallyTrue());
+  EXPECT_TRUE(p->Evaluate(MapAttributeSource{}));
+  auto blank = Predicate::Parse("   \t\n ");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_TRUE(blank->IsTriviallyTrue());
+}
+
+TEST(PredicateParseTest, Literals) {
+  EXPECT_TRUE(Eval("true", MapAttributeSource{}));
+  EXPECT_FALSE(Eval("false", MapAttributeSource{}));
+}
+
+TEST(PredicateTest, PaperExampleDocumentEqualsRequirements) {
+  // The exact example from paper §3.
+  MapAttributeSource node{{"document", "requirements"}};
+  EXPECT_TRUE(Eval("document = requirements", node));
+  EXPECT_FALSE(Eval("document = design", node));
+}
+
+TEST(PredicateTest, Equality) {
+  auto node = CaseNode();
+  EXPECT_TRUE(Eval("codeType = procedure", node));
+  EXPECT_FALSE(Eval("codeType = definitionModule", node));
+  EXPECT_TRUE(Eval("contentType = 'Modula-2 source'", node));
+  EXPECT_TRUE(Eval("contentType = \"Modula-2 source\"", node));
+}
+
+TEST(PredicateTest, Inequality) {
+  auto node = CaseNode();
+  EXPECT_TRUE(Eval("codeType != module", node));
+  EXPECT_FALSE(Eval("codeType != procedure", node));
+}
+
+TEST(PredicateTest, AbsentAttributeMatchesNothing) {
+  auto node = CaseNode();
+  EXPECT_FALSE(Eval("missing = x", node));
+  EXPECT_FALSE(Eval("missing != x", node));
+  EXPECT_FALSE(Eval("missing < x", node));
+  EXPECT_FALSE(Eval("missing ~ x", node));
+  EXPECT_TRUE(Eval("!(missing = x)", node));
+}
+
+TEST(PredicateTest, Exists) {
+  auto node = CaseNode();
+  EXPECT_TRUE(Eval("exists codeType", node));
+  EXPECT_FALSE(Eval("exists missing", node));
+  EXPECT_TRUE(Eval("!exists missing", node));
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  auto node = CaseNode();  // version = 12
+  EXPECT_TRUE(Eval("version < 100", node));   // numeric, not lexicographic
+  EXPECT_FALSE(Eval("version > 100", node));
+  EXPECT_TRUE(Eval("version >= 12", node));
+  EXPECT_TRUE(Eval("version <= 12", node));
+  EXPECT_TRUE(Eval("version > 9", node));  // "12" < "9" lexicographically
+}
+
+TEST(PredicateTest, LexicographicComparisons) {
+  MapAttributeSource node{{"name", "beta"}};
+  EXPECT_TRUE(Eval("name > alpha", node));
+  EXPECT_TRUE(Eval("name < gamma", node));
+}
+
+TEST(PredicateTest, ContainsOperator) {
+  auto node = CaseNode();
+  EXPECT_TRUE(Eval("contentType ~ 'Modula'", node));
+  EXPECT_TRUE(Eval("contentType ~ source", node));
+  EXPECT_FALSE(Eval("contentType ~ Pascal", node));
+}
+
+TEST(PredicateTest, BooleanCombinators) {
+  auto node = CaseNode();
+  EXPECT_TRUE(Eval("codeType = procedure & document = design", node));
+  EXPECT_FALSE(Eval("codeType = procedure & document = spec", node));
+  EXPECT_TRUE(Eval("codeType = module | document = design", node));
+  EXPECT_FALSE(Eval("codeType = module | document = spec", node));
+  EXPECT_TRUE(Eval("!(codeType = module)", node));
+  EXPECT_TRUE(Eval("codeType = procedure and document = design", node));
+  EXPECT_TRUE(Eval("codeType = module or document = design", node));
+  EXPECT_TRUE(Eval("not codeType = module", node));
+}
+
+TEST(PredicateTest, PrecedenceAndBindsTighterThanOr) {
+  // a | b & c  ==  a | (b & c)
+  MapAttributeSource node{{"a", "0"}, {"b", "1"}, {"c", "1"}};
+  EXPECT_TRUE(Eval("a = 1 | b = 1 & c = 1", node));
+  MapAttributeSource node2{{"a", "0"}, {"b", "1"}, {"c", "0"}};
+  EXPECT_FALSE(Eval("a = 1 | b = 1 & c = 0", CaseNode()));
+  EXPECT_FALSE(Eval("a = 1 | b = 1 & c = 1", node2));
+}
+
+TEST(PredicateTest, ParenthesesOverridePrecedence) {
+  MapAttributeSource node{{"a", "1"}, {"b", "0"}, {"c", "1"}};
+  EXPECT_TRUE(Eval("(a = 1 | b = 1) & c = 1", node));
+  MapAttributeSource node2{{"a", "1"}, {"b", "0"}, {"c", "0"}};
+  EXPECT_FALSE(Eval("(a = 1 | b = 1) & c = 1", node2));
+}
+
+TEST(PredicateTest, QuotedStringsWithEscapes) {
+  MapAttributeSource node{{"title", "it's \"quoted\""}};
+  EXPECT_TRUE(Eval("title = 'it\\'s \"quoted\"'", node));
+  EXPECT_TRUE(Eval("title ~ \"\\\"quoted\\\"\"", node));
+}
+
+TEST(PredicateTest, EmptyValueRequiresQuotes) {
+  MapAttributeSource node{{"note", ""}};
+  EXPECT_TRUE(Eval("note = ''", node));
+  EXPECT_TRUE(Eval("exists note", node));
+}
+
+TEST(PredicateParseTest, SyntaxErrors) {
+  for (const char* bad : {"=", "a =", "a = (", "(a = b", "a = b)", "a ? b",
+                          "a = b extra", "& a = b", "exists", "'unterminated",
+                          "a = b | ", "!", "a < "}) {
+    auto p = Predicate::Parse(bad);
+    EXPECT_FALSE(p.ok()) << "should reject: " << bad;
+    EXPECT_TRUE(p.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(PredicateParseTest, ErrorsCarryPosition) {
+  auto p = Predicate::Parse("document = requirements ^ x");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("position"), std::string_view::npos);
+}
+
+TEST(PredicateTest, ReferencedAttributes) {
+  auto p = Predicate::Parse(
+      "document = spec & (codeType = procedure | document = design) & "
+      "exists author");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ReferencedAttributes(),
+            (std::vector<std::string>{"document", "codeType", "author"}));
+  EXPECT_TRUE(Predicate::True().ReferencedAttributes().empty());
+}
+
+TEST(PredicateTest, ToStringRoundTripsSemantics) {
+  const char* inputs[] = {
+      "document = requirements",
+      "a = 1 | b = 2 & c = 3",
+      "!(x ~ 'we ird')",
+      "exists author & version >= 10",
+      "title = 'it\\'s'",
+      "true",
+  };
+  MapAttributeSource sources[] = {
+      CaseNode(),
+      MapAttributeSource{{"a", "1"}},
+      MapAttributeSource{{"x", "we ird stuff"}},
+      MapAttributeSource{{"author", "x"}, {"version", "11"}},
+      MapAttributeSource{{"title", "it's"}},
+      MapAttributeSource{},
+  };
+  for (const char* text : inputs) {
+    auto p = Predicate::Parse(text);
+    ASSERT_TRUE(p.ok()) << text;
+    auto reparsed = Predicate::Parse(p->ToString());
+    ASSERT_TRUE(reparsed.ok()) << p->ToString();
+    for (const auto& src : sources) {
+      EXPECT_EQ(p->Evaluate(src), reparsed->Evaluate(src))
+          << text << " vs " << p->ToString();
+    }
+  }
+}
+
+TEST(PredicateTest, CopyAndMoveSemantics) {
+  auto p = Predicate::Parse("a = 1");
+  ASSERT_TRUE(p.ok());
+  Predicate copy = *p;
+  Predicate moved = std::move(*p);
+  MapAttributeSource yes{{"a", "1"}};
+  MapAttributeSource no{{"a", "2"}};
+  EXPECT_TRUE(copy.Evaluate(yes));
+  EXPECT_TRUE(moved.Evaluate(yes));
+  EXPECT_FALSE(copy.Evaluate(no));
+}
+
+TEST(PredicateTest, AttributeNamesWithDotsAndDashes) {
+  MapAttributeSource node{{"project.owner", "mayer"}, {"x-flag", "on"}};
+  EXPECT_TRUE(Eval("project.owner = mayer", node));
+  EXPECT_TRUE(Eval("x-flag = on", node));
+}
+
+TEST(MapAttributeSourceTest, SetOverwrites) {
+  MapAttributeSource src;
+  src.Set("k", "v1");
+  src.Set("k", "v2");
+  EXPECT_EQ(*src.GetAttribute("k"), "v2");
+  EXPECT_FALSE(src.GetAttribute("other").has_value());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace neptune

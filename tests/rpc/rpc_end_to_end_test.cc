@@ -1,0 +1,271 @@
+// Client/server integration: a RemoteHam driving a real Ham through a
+// real TCP connection on localhost. The point is that the full
+// HamInterface behaves identically across the wire (the paper's RPC
+// architecture), including transactions and multi-client access.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+
+namespace neptune {
+namespace rpc {
+namespace {
+
+using ham::AttachmentUpdate;
+using ham::Context;
+using ham::LinkPt;
+
+class RpcEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    dir_ = (std::filesystem::temp_directory_path() / ("neptune_rpc_" + name))
+               .string();
+    env_->RemoveDirRecursive(dir_);
+    ham::HamOptions options;
+    options.sync_commits = false;
+    engine_ = std::make_unique<ham::Ham>(env_, options);
+    server_ = std::make_unique<Server>(engine_.get());
+    auto port = server_->Start(0);
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = *port;
+    auto client = RemoteHam::Connect("localhost", port_);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    client_ = std::move(*client);
+
+    auto created = client_->CreateGraph(dir_, 0755);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    project_ = created->project;
+    auto ctx = client_->OpenGraph(project_, "localhost", dir_);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = *ctx;
+  }
+
+  void TearDown() override {
+    client_.reset();
+    server_->Stop();
+    server_.reset();
+    engine_.reset();
+    env_->RemoveDirRecursive(dir_);
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  std::unique_ptr<ham::Ham> engine_;
+  std::unique_ptr<Server> server_;
+  uint16_t port_ = 0;
+  std::unique_ptr<RemoteHam> client_;
+  ham::ProjectId project_ = 0;
+  Context ctx_;
+};
+
+TEST_F(RpcEndToEndTest, PingWorks) { EXPECT_TRUE(client_->Ping().ok()); }
+
+TEST_F(RpcEndToEndTest, NodeLifecycleOverTheWire) {
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_TRUE(client_->ModifyNode(ctx_, added->node, added->creation_time,
+                                  "remote contents", {}, "via rpc")
+                  .ok());
+  auto opened = client_->OpenNode(ctx_, added->node, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->contents, "remote contents");
+
+  auto versions = client_->GetNodeVersions(ctx_, added->node);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->major.size(), 2u);
+  EXPECT_EQ(versions->major[1].explanation, "via rpc");
+
+  ASSERT_TRUE(client_->DeleteNode(ctx_, added->node).ok());
+  EXPECT_TRUE(
+      client_->OpenNode(ctx_, added->node, 0, {}).status().IsNotFound());
+}
+
+TEST_F(RpcEndToEndTest, ErrorStatusesCrossTheWireIntact) {
+  EXPECT_TRUE(client_->OpenNode(ctx_, 12345, 0, {}).status().IsNotFound());
+  EXPECT_TRUE(client_->OpenGraph(project_ + 1, "localhost", dir_)
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(client_->GetGraphQuery(ctx_, 0, "bad =", "", {}, {})
+                  .status()
+                  .IsInvalidArgument());
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(client_->ModifyNode(ctx_, added->node, added->creation_time,
+                                  "v1", {}, "")
+                  .ok());
+  EXPECT_TRUE(client_->ModifyNode(ctx_, added->node, added->creation_time,
+                                  "v2", {}, "")
+                  .IsConflict());
+}
+
+TEST_F(RpcEndToEndTest, LinksAttributesAndQueries) {
+  auto document = client_->GetAttributeIndex(ctx_, "document");
+  ASSERT_TRUE(document.ok());
+  auto a = client_->AddNode(ctx_, true);
+  auto b = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(
+      client_->SetNodeAttributeValue(ctx_, a->node, *document, "spec").ok());
+  ASSERT_TRUE(
+      client_->SetNodeAttributeValue(ctx_, b->node, *document, "spec").ok());
+  auto link = client_->AddLink(ctx_, LinkPt{a->node, 3, 0, true},
+                               LinkPt{b->node, 0, 0, true});
+  ASSERT_TRUE(link.ok());
+
+  auto query = client_->GetGraphQuery(ctx_, 0, "document = spec", "",
+                                      {*document}, {});
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->nodes.size(), 2u);
+  EXPECT_EQ(*query->nodes[0].attribute_values[0], "spec");
+  ASSERT_EQ(query->links.size(), 1u);
+  EXPECT_EQ(query->links[0].link, link->link);
+
+  auto linearized =
+      client_->LinearizeGraph(ctx_, a->node, 0, "", "", {}, {});
+  ASSERT_TRUE(linearized.ok());
+  EXPECT_EQ(linearized->nodes.size(), 2u);
+
+  auto values = client_->GetAttributeValues(ctx_, *document, 0);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(*values, std::vector<std::string>{"spec"});
+
+  auto to = client_->GetToNode(ctx_, link->link, 0);
+  ASSERT_TRUE(to.ok());
+  EXPECT_EQ(to->node, b->node);
+}
+
+TEST_F(RpcEndToEndTest, TransactionsOverTheWire) {
+  ASSERT_TRUE(client_->BeginTransaction(ctx_).ok());
+  auto staged = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(staged.ok());
+  ASSERT_TRUE(client_->AbortTransaction(ctx_).ok());
+  EXPECT_TRUE(
+      client_->OpenNode(ctx_, staged->node, 0, {}).status().IsNotFound());
+
+  ASSERT_TRUE(client_->BeginTransaction(ctx_).ok());
+  auto kept = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(client_->CommitTransaction(ctx_).ok());
+  EXPECT_TRUE(client_->OpenNode(ctx_, kept->node, 0, {}).ok());
+}
+
+TEST_F(RpcEndToEndTest, TwoClientsShareOneGraph) {
+  auto client2 = RemoteHam::Connect("localhost", port_);
+  ASSERT_TRUE(client2.ok());
+  auto ctx2 = (*client2)->OpenGraph(project_, "localhost", dir_);
+  ASSERT_TRUE(ctx2.ok());
+
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(client_->ModifyNode(ctx_, added->node, added->creation_time,
+                                  "written by client 1", {}, "")
+                  .ok());
+  auto seen = (*client2)->OpenNode(*ctx2, added->node, 0, {});
+  ASSERT_TRUE(seen.ok());
+  EXPECT_EQ(seen->contents, "written by client 1");
+  ASSERT_TRUE((*client2)->CloseGraph(*ctx2).ok());
+}
+
+TEST_F(RpcEndToEndTest, DisconnectAbortsOpenTransaction) {
+  auto client2 = RemoteHam::Connect("localhost", port_);
+  ASSERT_TRUE(client2.ok());
+  auto ctx2 = (*client2)->OpenGraph(project_, "localhost", dir_);
+  ASSERT_TRUE(ctx2.ok());
+  ASSERT_TRUE((*client2)->BeginTransaction(*ctx2).ok());
+  auto staged = (*client2)->AddNode(*ctx2, true);
+  ASSERT_TRUE(staged.ok());
+  // Client 2 "crashes" (drops the connection mid-transaction).
+  client2->reset();
+  // Give the server thread a moment to clean up the session.
+  for (int i = 0; i < 100; ++i) {
+    if (client_->OpenNode(ctx_, staged->node, 0, {}).status().IsNotFound() &&
+        client_->BeginTransaction(ctx_).ok()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // The staged node is gone and the writer slot was released.
+  EXPECT_TRUE(
+      client_->OpenNode(ctx_, staged->node, 0, {}).status().IsNotFound());
+  EXPECT_TRUE(client_->AbortTransaction(ctx_).ok());
+}
+
+TEST_F(RpcEndToEndTest, ContextsAndDemonsOverTheWire) {
+  auto info = client_->CreateContext(ctx_, "remote-world");
+  ASSERT_TRUE(info.ok());
+  auto branch = client_->OpenContext(ctx_, info->thread);
+  ASSERT_TRUE(branch.ok());
+  EXPECT_EQ(*client_->ContextThread(*branch), info->thread);
+  auto contexts = client_->ListContexts(ctx_);
+  ASSERT_TRUE(contexts.ok());
+  EXPECT_EQ(contexts->size(), 2u);
+
+  auto n = client_->AddNode(*branch, true);
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(client_->OpenNode(ctx_, n->node, 0, {}).status().IsNotFound());
+  ASSERT_TRUE(client_->MergeContext(ctx_, info->thread, false).ok());
+  EXPECT_TRUE(client_->OpenNode(ctx_, n->node, 0, {}).ok());
+
+  // Demon bindings round-trip (execution happens server-side).
+  ASSERT_TRUE(client_->SetGraphDemonValue(ctx_, ham::Event::kAddNode,
+                                          "notify-lead")
+                  .ok());
+  auto demons = client_->GetGraphDemons(ctx_, 0);
+  ASSERT_TRUE(demons.ok());
+  ASSERT_EQ(demons->size(), 1u);
+  EXPECT_EQ((*demons)[0].demon, "notify-lead");
+}
+
+TEST_F(RpcEndToEndTest, DifferencesAndStatsOverTheWire) {
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(client_->ModifyNode(ctx_, added->node, added->creation_time,
+                                  "a\nb\n", {}, "")
+                  .ok());
+  auto t1 = client_->GetNodeTimeStamp(ctx_, added->node);
+  ASSERT_TRUE(client_->ModifyNode(ctx_, added->node, *t1, "a\nc\n", {}, "")
+                  .ok());
+  auto t2 = client_->GetNodeTimeStamp(ctx_, added->node);
+  auto diffs = client_->GetNodeDifferences(ctx_, added->node, *t1, *t2);
+  ASSERT_TRUE(diffs.ok());
+  ASSERT_EQ(diffs->size(), 1u);
+  EXPECT_EQ((*diffs)[0].kind, delta::DifferenceKind::kReplacement);
+
+  auto stats = client_->GetStats(ctx_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->node_count, 1u);
+  EXPECT_TRUE(client_->Checkpoint(ctx_).ok());
+  EXPECT_EQ(client_->GetStats(ctx_)->wal_bytes, 0u);
+}
+
+TEST_F(RpcEndToEndTest, LargeContentsCrossTheWire) {
+  std::string big(3 << 20, 'z');
+  for (size_t i = 0; i < big.size(); i += 11) big[i] = char('a' + i % 26);
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(
+      client_->ModifyNode(ctx_, added->node, added->creation_time, big, {}, "")
+          .ok());
+  auto opened = client_->OpenNode(ctx_, added->node, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->contents, big);
+}
+
+TEST_F(RpcEndToEndTest, ConnectToClosedPortFails) {
+  auto bad = RemoteHam::Connect("localhost", 1);  // nothing listens there
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace neptune

@@ -1,0 +1,127 @@
+// Server robustness: malformed requests and wire garbage must never
+// take the server down or corrupt other clients' sessions.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+
+namespace neptune {
+namespace rpc {
+namespace {
+
+class ServerRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_robust_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name())))
+               .string();
+    Env::Default()->RemoveDirRecursive(dir_);
+    ham::HamOptions options;
+    options.sync_commits = false;
+    engine_ = std::make_unique<ham::Ham>(Env::Default(), options);
+    server_ = std::make_unique<Server>(engine_.get());
+    auto port = server_->Start(0);
+    ASSERT_TRUE(port.ok());
+    port_ = *port;
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    server_.reset();
+    engine_.reset();
+    Env::Default()->RemoveDirRecursive(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<ham::Ham> engine_;
+  std::unique_ptr<Server> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(ServerRobustnessTest, UnknownMethodGetsErrorReplyConnectionSurvives) {
+  auto stream = FrameStream::Connect("localhost", port_);
+  ASSERT_TRUE(stream.ok());
+  std::string request;
+  request.push_back('\xEE');  // no such method
+  ASSERT_TRUE((*stream)->SendFrame(request).ok());
+  auto reply = (*stream)->RecvFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  std::string_view in = *reply;
+  Status status;
+  ASSERT_TRUE(DecodeStatusFrom(&in, &status));
+  EXPECT_TRUE(status.IsCorruption());
+
+  // The same connection still answers a valid ping.
+  std::string ping;
+  ping.push_back(static_cast<char>(Method::kPing));
+  ping += "ok?";
+  ASSERT_TRUE((*stream)->SendFrame(ping).ok());
+  auto pong = (*stream)->RecvFrame();
+  ASSERT_TRUE(pong.ok());
+}
+
+TEST_F(ServerRobustnessTest, TruncatedRequestBodyGetsErrorReply) {
+  auto stream = FrameStream::Connect("localhost", port_);
+  ASSERT_TRUE(stream.ok());
+  std::string request;
+  request.push_back(static_cast<char>(Method::kOpenNode));
+  request.push_back('\x05');  // a lone varint where 4 fields belong
+  ASSERT_TRUE((*stream)->SendFrame(request).ok());
+  auto reply = (*stream)->RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  std::string_view in = *reply;
+  Status status;
+  ASSERT_TRUE(DecodeStatusFrom(&in, &status));
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST_F(ServerRobustnessTest, WireGarbageDropsThatClientOnly) {
+  // Client A misbehaves: raw garbage that fails the frame CRC.
+  auto bad = FrameStream::Connect("localhost", port_);
+  ASSERT_TRUE(bad.ok());
+  std::string garbage = "this is definitely not a frame";
+  ASSERT_TRUE((*bad)->SendFrame(std::string(1, char(Method::kPing))).ok());
+  auto first = (*bad)->RecvFrame();
+  ASSERT_TRUE(first.ok());
+  // Now poison the stream.
+  ASSERT_TRUE((*bad)->SendFrame(garbage).ok());  // valid frame, bad method
+  auto second = (*bad)->RecvFrame();
+  ASSERT_TRUE(second.ok());  // server replies with an error status
+
+  // Meanwhile client B does real work unharmed.
+  auto good = RemoteHam::Connect("localhost", port_);
+  ASSERT_TRUE(good.ok());
+  auto created = (*good)->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = (*good)->OpenGraph(created->project, "localhost", dir_);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_TRUE((*good)->AddNode(*ctx, true).ok());
+  EXPECT_TRUE((*good)->CloseGraph(*ctx).ok());
+}
+
+TEST_F(ServerRobustnessTest, ManySequentialConnections) {
+  for (int i = 0; i < 25; ++i) {
+    auto client = RemoteHam::Connect("localhost", port_);
+    ASSERT_TRUE(client.ok()) << i;
+    EXPECT_TRUE((*client)->Ping().ok()) << i;
+  }
+}
+
+TEST_F(ServerRobustnessTest, StopUnblocksAndRejectsFurtherWork) {
+  auto client = RemoteHam::Connect("localhost", port_);
+  ASSERT_TRUE(client.ok());
+  server_->Stop();
+  // After stop, the client sees a network error rather than a hang.
+  Status st = (*client)->Ping();
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace neptune

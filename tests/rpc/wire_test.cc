@@ -1,0 +1,204 @@
+#include "rpc/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace neptune {
+namespace rpc {
+namespace {
+
+TEST(FrameTest, RoundTripSingleFrame) {
+  std::string framed = FramePayload("hello neptune");
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  ASSERT_TRUE(decoder.Feed(framed, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "hello neptune");
+}
+
+TEST(FrameTest, MultipleFramesInOneFeed) {
+  std::string bytes = FramePayload("one") + FramePayload("two") +
+                      FramePayload(std::string(1000, 'x'));
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  ASSERT_TRUE(decoder.Feed(bytes, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], "two");
+  EXPECT_EQ(out[2].size(), 1000u);
+}
+
+TEST(FrameTest, ByteAtATimeFeed) {
+  std::string bytes = FramePayload("drip-fed payload");
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  for (char c : bytes) {
+    ASSERT_TRUE(decoder.Feed(std::string_view(&c, 1), &out).ok());
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "drip-fed payload");
+}
+
+TEST(FrameTest, EmptyPayloadIsLegal) {
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  ASSERT_TRUE(decoder.Feed(FramePayload(""), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "");
+}
+
+TEST(FrameTest, CorruptCrcIsRejected) {
+  std::string bytes = FramePayload("payload");
+  bytes.back() ^= 0x01;
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  EXPECT_TRUE(decoder.Feed(bytes, &out).IsCorruption());
+}
+
+TEST(FrameTest, OversizedLengthIsRejected) {
+  std::string bytes(8, '\xff');  // length = 0xffffffff
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  EXPECT_TRUE(decoder.Feed(bytes, &out).IsCorruption());
+}
+
+TEST(WireValueTest, StatusRoundTrip) {
+  for (const Status& s :
+       {Status::OK(), Status::NotFound("node 3"),
+        Status::Conflict("stale"), Status::NetworkError("down")}) {
+    std::string buf;
+    EncodeStatusTo(s, &buf);
+    std::string_view in = buf;
+    Status decoded;
+    ASSERT_TRUE(DecodeStatusFrom(&in, &decoded));
+    EXPECT_EQ(decoded.code(), s.code());
+    EXPECT_EQ(decoded.message(), s.message());
+  }
+}
+
+TEST(WireValueTest, SubGraphRoundTrip) {
+  ham::SubGraph graph;
+  graph.nodes.push_back(ham::SubGraphNode{
+      7, {std::optional<std::string>("value"), std::nullopt}});
+  graph.nodes.push_back(ham::SubGraphNode{9, {}});
+  graph.links.push_back(
+      ham::SubGraphLink{3, 7, 9, {std::optional<std::string>("isPartOf")}});
+  std::string buf;
+  EncodeSubGraphTo(graph, &buf);
+  std::string_view in = buf;
+  ham::SubGraph out;
+  ASSERT_TRUE(DecodeSubGraphFrom(&in, &out));
+  EXPECT_TRUE(in.empty());
+  ASSERT_EQ(out.nodes.size(), 2u);
+  EXPECT_EQ(out.nodes[0].node, 7u);
+  ASSERT_EQ(out.nodes[0].attribute_values.size(), 2u);
+  EXPECT_EQ(*out.nodes[0].attribute_values[0], "value");
+  EXPECT_FALSE(out.nodes[0].attribute_values[1].has_value());
+  ASSERT_EQ(out.links.size(), 1u);
+  EXPECT_EQ(out.links[0].from, 7u);
+  EXPECT_EQ(*out.links[0].attribute_values[0], "isPartOf");
+}
+
+TEST(WireValueTest, OpenNodeResultRoundTrip) {
+  ham::OpenNodeResult r;
+  r.contents = std::string("binary\0contents", 15);
+  r.attachments.push_back(ham::Attachment{4, true, 120, true});
+  r.attachments.push_back(ham::Attachment{5, false, 0, false});
+  r.attribute_values = {std::optional<std::string>("x"), std::nullopt};
+  r.current_version_time = 99;
+  std::string buf;
+  EncodeOpenNodeResultTo(r, &buf);
+  std::string_view in = buf;
+  ham::OpenNodeResult out;
+  ASSERT_TRUE(DecodeOpenNodeResultFrom(&in, &out));
+  EXPECT_EQ(out.contents, r.contents);
+  ASSERT_EQ(out.attachments.size(), 2u);
+  EXPECT_TRUE(out.attachments[0].is_source_end);
+  EXPECT_EQ(out.attachments[0].position, 120u);
+  EXPECT_FALSE(out.attachments[1].track_current);
+  EXPECT_EQ(out.current_version_time, 99u);
+}
+
+TEST(WireValueTest, DifferencesRoundTrip) {
+  std::vector<delta::Difference> diffs = delta::DiffLines(
+      "line a\nline b\nline c\n", "line a\nCHANGED\nline c\nADDED\n");
+  std::string buf;
+  EncodeDifferencesTo(diffs, &buf);
+  std::string_view in = buf;
+  std::vector<delta::Difference> out;
+  ASSERT_TRUE(DecodeDifferencesFrom(&in, &out));
+  ASSERT_EQ(out.size(), diffs.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].kind, diffs[i].kind);
+    EXPECT_EQ(out[i].old_lines, diffs[i].old_lines);
+    EXPECT_EQ(out[i].new_lines, diffs[i].new_lines);
+    EXPECT_EQ(out[i].old_begin, diffs[i].old_begin);
+  }
+}
+
+TEST(WireValueTest, EntryListsRoundTrip) {
+  std::vector<ham::AttributeEntry> attrs = {{"contentType", 1},
+                                            {"relation", 2}};
+  std::vector<ham::AttributeValueEntry> values = {
+      {"contentType", 1, "text"}};
+  std::vector<ham::DemonEntry> demons = {
+      {ham::Event::kModifyNode, "recompile"}};
+  std::vector<ham::ContextInfo> contexts = {{0, "main", 0}, {3, "fork", 55}};
+
+  std::string buf;
+  EncodeAttributeEntriesTo(attrs, &buf);
+  EncodeAttributeValueEntriesTo(values, &buf);
+  EncodeDemonEntriesTo(demons, &buf);
+  EncodeContextInfosTo(contexts, &buf);
+
+  std::string_view in = buf;
+  std::vector<ham::AttributeEntry> attrs_out;
+  std::vector<ham::AttributeValueEntry> values_out;
+  std::vector<ham::DemonEntry> demons_out;
+  std::vector<ham::ContextInfo> contexts_out;
+  ASSERT_TRUE(DecodeAttributeEntriesFrom(&in, &attrs_out));
+  ASSERT_TRUE(DecodeAttributeValueEntriesFrom(&in, &values_out));
+  ASSERT_TRUE(DecodeDemonEntriesFrom(&in, &demons_out));
+  ASSERT_TRUE(DecodeContextInfosFrom(&in, &contexts_out));
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(attrs_out[1].name, "relation");
+  EXPECT_EQ(values_out[0].value, "text");
+  EXPECT_EQ(demons_out[0].demon, "recompile");
+  EXPECT_EQ(contexts_out[1].branched_at, 55u);
+}
+
+TEST(WireValueTest, StatsRoundTrip) {
+  ham::GraphStats stats;
+  stats.node_count = 1;
+  stats.link_count = 2;
+  stats.total_node_records = 3;
+  stats.total_link_records = 4;
+  stats.thread_count = 5;
+  stats.attribute_count = 6;
+  stats.wal_bytes = 7;
+  stats.current_time = 8;
+  std::string buf;
+  EncodeStatsTo(stats, &buf);
+  std::string_view in = buf;
+  ham::GraphStats out;
+  ASSERT_TRUE(DecodeStatsFrom(&in, &out));
+  EXPECT_EQ(out.node_count, 1u);
+  EXPECT_EQ(out.current_time, 8u);
+}
+
+TEST(WireValueTest, DecodersRejectTruncation) {
+  ham::SubGraph graph;
+  graph.nodes.push_back(ham::SubGraphNode{1, {std::optional<std::string>("v")}});
+  graph.links.push_back(ham::SubGraphLink{2, 1, 1, {}});
+  std::string buf;
+  EncodeSubGraphTo(graph, &buf);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    ham::SubGraph out;
+    EXPECT_FALSE(DecodeSubGraphFrom(&in, &out)) << cut;
+  }
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace neptune

@@ -1,0 +1,154 @@
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+namespace neptune {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_env_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    ASSERT_TRUE(env_->CreateDir(dir_).ok());
+  }
+
+  void TearDown() override { env_->RemoveDirRecursive(dir_); }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  const std::string path = JoinPath(dir_, "file.txt");
+  auto file = env_->NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto contents = env_->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world");
+  auto size = env_->GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+}
+
+TEST_F(EnvTest, AppendModePreservesExisting) {
+  const std::string path = JoinPath(dir_, "log");
+  {
+    auto f = env_->NewWritableFile(path, true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("abc").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  {
+    auto f = env_->NewWritableFile(path, /*truncate=*/false);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("def").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  EXPECT_EQ(*env_->ReadFileToString(path), "abcdef");
+}
+
+TEST_F(EnvTest, TruncateModeDiscardsExisting) {
+  const std::string path = JoinPath(dir_, "log");
+  {
+    auto f = env_->NewWritableFile(path, true);
+    ASSERT_TRUE((*f)->Append("abcdef").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  {
+    auto f = env_->NewWritableFile(path, true);
+    ASSERT_TRUE((*f)->Append("xy").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  EXPECT_EQ(*env_->ReadFileToString(path), "xy");
+}
+
+TEST_F(EnvTest, ReadMissingFileIsNotFound) {
+  auto r = env_->ReadFileToString(JoinPath(dir_, "nope"));
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(EnvTest, WriteFileAtomicReplaces) {
+  const std::string path = JoinPath(dir_, "CURRENT");
+  ASSERT_TRUE(env_->WriteFileAtomic(path, "SNAP-000001").ok());
+  EXPECT_EQ(*env_->ReadFileToString(path), "SNAP-000001");
+  ASSERT_TRUE(env_->WriteFileAtomic(path, "SNAP-000002").ok());
+  EXPECT_EQ(*env_->ReadFileToString(path), "SNAP-000002");
+  // No stray temp file left behind.
+  auto children = env_->GetChildren(dir_);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 1u);
+}
+
+TEST_F(EnvTest, FileExistsAndRemove) {
+  const std::string path = JoinPath(dir_, "f");
+  EXPECT_FALSE(env_->FileExists(path));
+  ASSERT_TRUE(env_->WriteFileAtomic(path, "x").ok());
+  EXPECT_TRUE(env_->FileExists(path));
+  ASSERT_TRUE(env_->RemoveFile(path).ok());
+  EXPECT_FALSE(env_->FileExists(path));
+  EXPECT_TRUE(env_->RemoveFile(path).IsNotFound());
+}
+
+TEST_F(EnvTest, RenameMovesContents) {
+  const std::string a = JoinPath(dir_, "a");
+  const std::string b = JoinPath(dir_, "b");
+  ASSERT_TRUE(env_->WriteFileAtomic(a, "payload").ok());
+  ASSERT_TRUE(env_->RenameFile(a, b).ok());
+  EXPECT_FALSE(env_->FileExists(a));
+  EXPECT_EQ(*env_->ReadFileToString(b), "payload");
+}
+
+TEST_F(EnvTest, GetChildrenListsNamesOnly) {
+  ASSERT_TRUE(env_->WriteFileAtomic(JoinPath(dir_, "one"), "1").ok());
+  ASSERT_TRUE(env_->WriteFileAtomic(JoinPath(dir_, "two"), "2").ok());
+  auto children = env_->GetChildren(dir_);
+  ASSERT_TRUE(children.ok());
+  std::vector<std::string> names = *children;
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(EnvTest, CreateDirIsRecursiveAndIdempotent) {
+  const std::string nested = JoinPath(dir_, "a/b/c");
+  ASSERT_TRUE(env_->CreateDir(nested).ok());
+  ASSERT_TRUE(env_->CreateDir(nested).ok());
+  EXPECT_TRUE(env_->FileExists(nested));
+}
+
+TEST_F(EnvTest, RemoveDirRecursive) {
+  const std::string nested = JoinPath(dir_, "x/y");
+  ASSERT_TRUE(env_->CreateDir(nested).ok());
+  ASSERT_TRUE(env_->WriteFileAtomic(JoinPath(nested, "f"), "data").ok());
+  ASSERT_TRUE(env_->RemoveDirRecursive(JoinPath(dir_, "x")).ok());
+  EXPECT_FALSE(env_->FileExists(JoinPath(dir_, "x")));
+}
+
+TEST_F(EnvTest, SetPermissions) {
+  const std::string path = JoinPath(dir_, "locked");
+  ASSERT_TRUE(env_->WriteFileAtomic(path, "secret").ok());
+  EXPECT_TRUE(env_->SetPermissions(path, 0600).ok());
+}
+
+TEST(JoinPathTest, HandlesTrailingSlash) {
+  EXPECT_EQ(JoinPath("/a/b", "c"), "/a/b/c");
+  EXPECT_EQ(JoinPath("/a/b/", "c"), "/a/b/c");
+  EXPECT_EQ(JoinPath("", "c"), "c");
+}
+
+}  // namespace
+}  // namespace neptune

@@ -1,0 +1,110 @@
+// FaultEnv: an Env decorator for the fault-injection tests — counts
+// appends/syncs and can be armed to fail writes after N successes,
+// simulating a full disk or dying device at a precise point.
+
+#ifndef NEPTUNE_TESTS_STORAGE_FAULT_ENV_H_
+#define NEPTUNE_TESTS_STORAGE_FAULT_ENV_H_
+
+#include <atomic>
+#include <limits>
+#include <memory>
+
+#include "storage/env.h"
+
+namespace neptune {
+
+class FaultEnv : public Env {
+ public:
+  explicit FaultEnv(Env* base) : base_(base) {}
+
+  // Counters.
+  std::atomic<uint64_t> appends{0};
+  std::atomic<uint64_t> syncs{0};
+
+  // Fault arming: the Nth append (0-based) and all later ones fail.
+  std::atomic<uint64_t> fail_appends_after{
+      std::numeric_limits<uint64_t>::max()};
+  std::atomic<bool> fail_atomic_writes{false};
+
+  void Heal() {
+    fail_appends_after = std::numeric_limits<uint64_t>::max();
+    fail_atomic_writes = false;
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                             base_->NewWritableFile(path, truncate));
+    return std::unique_ptr<WritableFile>(
+        new CountingFile(this, std::move(file)));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override {
+    if (fail_atomic_writes) {
+      return Status::IOError("injected atomic-write failure for " + path);
+    }
+    return base_->WriteFileAtomic(path, data);
+  }
+
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_->GetFileSize(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+  Status RemoveDirRecursive(const std::string& path) override {
+    return base_->RemoveDirRecursive(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Result<std::vector<std::string>> GetChildren(const std::string& dir) override {
+    return base_->GetChildren(dir);
+  }
+  Status SetPermissions(const std::string& path, uint32_t mode) override {
+    return base_->SetPermissions(path, mode);
+  }
+
+ private:
+  class CountingFile : public WritableFile {
+   public:
+    CountingFile(FaultEnv* env, std::unique_ptr<WritableFile> base)
+        : env_(env), base_(std::move(base)) {}
+
+    Status Append(std::string_view data) override {
+      const uint64_t n = env_->appends.fetch_add(1);
+      if (n >= env_->fail_appends_after) {
+        return Status::IOError("injected append failure");
+      }
+      return base_->Append(data);
+    }
+
+    Status Sync() override {
+      env_->syncs.fetch_add(1);
+      return base_->Sync();
+    }
+
+    Status Close() override { return base_->Close(); }
+
+   private:
+    FaultEnv* env_;
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  Env* base_;
+};
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_TESTS_STORAGE_FAULT_ENV_H_

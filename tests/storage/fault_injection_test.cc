@@ -1,0 +1,163 @@
+// Fault injection: sync discipline and write-failure handling through
+// the whole stack (Env -> DurableStore -> Ham).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "ham/ham.h"
+#include "tests/storage/fault_env.h"
+
+namespace neptune {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault_env_ = std::make_unique<FaultEnv>(Env::Default());
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_fault_" + std::string(::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name())))
+               .string();
+    Env::Default()->RemoveDirRecursive(dir_);
+  }
+
+  void TearDown() override { Env::Default()->RemoveDirRecursive(dir_); }
+
+  std::unique_ptr<ham::Ham> MakeHam(bool sync_commits) {
+    ham::HamOptions options;
+    options.sync_commits = sync_commits;
+    return std::make_unique<ham::Ham>(fault_env_.get(), options);
+  }
+
+  std::unique_ptr<FaultEnv> fault_env_;
+  std::string dir_;
+};
+
+TEST_F(FaultInjectionTest, SyncedCommitsActuallySync) {
+  auto engine = MakeHam(/*sync_commits=*/true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+
+  const uint64_t syncs_before = fault_env_->syncs;
+  ASSERT_TRUE(engine->AddNode(*ctx, true).ok());
+  EXPECT_GT(fault_env_->syncs, syncs_before)
+      << "a synced commit must fsync the WAL";
+}
+
+TEST_F(FaultInjectionTest, UnsyncedCommitsSkipFsync) {
+  auto engine = MakeHam(/*sync_commits=*/false);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+
+  const uint64_t syncs_before = fault_env_->syncs;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine->AddNode(*ctx, true).ok());
+  }
+  EXPECT_EQ(fault_env_->syncs, syncs_before)
+      << "nosync commits must not fsync per commit";
+}
+
+TEST_F(FaultInjectionTest, FailedWalAppendAbortsTheTransaction) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  auto survivor = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(survivor.ok());
+
+  // Disk dies: the very next WAL append fails.
+  fault_env_->fail_appends_after = fault_env_->appends.load();
+  auto doomed = engine->AddNode(*ctx, true);
+  EXPECT_FALSE(doomed.ok());
+  EXPECT_TRUE(doomed.status().IsIOError()) << doomed.status().ToString();
+
+  // The engine stays consistent: the failed commit left no trace.
+  fault_env_->Heal();
+  EXPECT_TRUE(engine->OpenNode(*ctx, survivor->node, 0, {}).ok());
+  auto stats = engine->GetStats(*ctx);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->node_count, 1u);
+  // And accepts new writes after the disk heals.
+  auto recovered = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(engine->GetStats(*ctx)->node_count, 2u);
+}
+
+TEST_F(FaultInjectionTest, FailedExplicitCommitReportsAndAborts) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+
+  ASSERT_TRUE(engine->BeginTransaction(*ctx).ok());
+  auto staged = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(staged.ok());
+  fault_env_->fail_appends_after = fault_env_->appends.load();
+  Status commit = engine->CommitTransaction(*ctx);
+  EXPECT_TRUE(commit.IsIOError()) << commit.ToString();
+  fault_env_->Heal();
+  // Nothing of the failed transaction is visible.
+  EXPECT_TRUE(
+      engine->OpenNode(*ctx, staged->node, 0, {}).status().IsNotFound());
+  // The writer slot was released: a new transaction can begin.
+  ASSERT_TRUE(engine->BeginTransaction(*ctx).ok());
+  ASSERT_TRUE(engine->AbortTransaction(*ctx).ok());
+}
+
+TEST_F(FaultInjectionTest, FailedCheckpointLeavesStoreUsable) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  auto node = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(node.ok());
+
+  fault_env_->fail_atomic_writes = true;
+  EXPECT_FALSE(engine->Checkpoint(*ctx).ok());
+  fault_env_->Heal();
+
+  // The old generation is intact; data still reads and writes.
+  EXPECT_TRUE(engine->OpenNode(*ctx, node->node, 0, {}).ok());
+  EXPECT_TRUE(engine->AddNode(*ctx, true).ok());
+  EXPECT_TRUE(engine->Checkpoint(*ctx).ok());
+
+  // And after a restart everything is there.
+  engine.reset();
+  engine = MakeHam(true);
+  auto ctx2 = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx2.ok()) << ctx2.status().ToString();
+  EXPECT_EQ(engine->GetStats(*ctx2)->node_count, 2u);
+}
+
+TEST_F(FaultInjectionTest, CommitsDurableAcrossCrashWithSync) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  auto node = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE(engine->ModifyNode(*ctx, node->node, node->creation_time,
+                                 "must survive", {}, "")
+                  .ok());
+  // Hard crash: drop the engine without CloseGraph.
+  engine.reset();
+  engine = MakeHam(true);
+  auto ctx2 = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx2.ok());
+  auto opened = engine->OpenNode(*ctx2, node->node, 0, {});
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->contents, "must survive");
+}
+
+}  // namespace
+}  // namespace neptune

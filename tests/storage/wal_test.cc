@@ -1,0 +1,183 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+
+namespace neptune {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    for (char& c : name) {
+      if (c == '/') c = '_';  // parameterized test names contain '/'
+    }
+    path_ = (std::filesystem::temp_directory_path() /
+             ("neptune_wal_test_" + name))
+                .string();
+    env_->RemoveFile(path_);
+  }
+
+  void TearDown() override { env_->RemoveFile(path_); }
+
+  std::unique_ptr<LogWriter> NewWriter(bool truncate = true) {
+    auto file = env_->NewWritableFile(path_, truncate);
+    EXPECT_TRUE(file.ok());
+    return std::make_unique<LogWriter>(std::move(*file));
+  }
+
+  std::string FileImage() { return *env_->ReadFileToString(path_); }
+
+  Env* env_ = nullptr;
+  std::string path_;
+};
+
+TEST_F(WalTest, WriteThenReadBack) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("first", false).ok());
+  ASSERT_TRUE(writer->AddRecord("second record", false).ok());
+  ASSERT_TRUE(writer->AddRecord("", false).ok());  // empty records are legal
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto result = ReadLog(FileImage());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->truncated_tail);
+  ASSERT_EQ(result->records.size(), 3u);
+  EXPECT_EQ(result->records[0], "first");
+  EXPECT_EQ(result->records[1], "second record");
+  EXPECT_EQ(result->records[2], "");
+  EXPECT_EQ(result->valid_bytes, FileImage().size());
+}
+
+TEST_F(WalTest, EmptyLogIsClean) {
+  auto result = ReadLog("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->records.empty());
+  EXPECT_FALSE(result->truncated_tail);
+}
+
+TEST_F(WalTest, TornHeaderAtTailIsTruncated) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("keep me", false).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string image = FileImage();
+  const uint64_t good = image.size();
+  image += "\x01\x02\x03";  // 3 stray bytes: shorter than a header
+
+  auto result = ReadLog(image);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated_tail);
+  ASSERT_EQ(result->records.size(), 1u);
+  EXPECT_EQ(result->records[0], "keep me");
+  EXPECT_EQ(result->valid_bytes, good);
+}
+
+TEST_F(WalTest, TornPayloadAtTailIsTruncated) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("alpha", false).ok());
+  ASSERT_TRUE(writer->AddRecord("beta-beta-beta", false).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string image = FileImage();
+  // Chop the middle of the second record's payload.
+  auto shortened = image.substr(0, image.size() - 5);
+
+  auto result = ReadLog(shortened);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated_tail);
+  ASSERT_EQ(result->records.size(), 1u);
+  EXPECT_EQ(result->records[0], "alpha");
+}
+
+TEST_F(WalTest, CorruptFinalCrcIsTreatedAsTornTail) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("alpha", false).ok());
+  ASSERT_TRUE(writer->AddRecord("beta", false).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string image = FileImage();
+  image.back() ^= 0x40;  // flip a bit in the final payload
+
+  auto result = ReadLog(image);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated_tail);
+  ASSERT_EQ(result->records.size(), 1u);
+}
+
+TEST_F(WalTest, CorruptMiddleRecordIsCorruption) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("alpha", false).ok());
+  ASSERT_TRUE(writer->AddRecord("beta", false).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string image = FileImage();
+  image[8] ^= 0x01;  // flip a bit inside the *first* payload
+
+  auto result = ReadLog(image);
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(WalTest, SyncedRecordsSurviveReopen) {
+  {
+    auto writer = NewWriter();
+    ASSERT_TRUE(writer->AddRecord("durable", /*sync=*/true).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  {
+    auto writer = NewWriter(/*truncate=*/false);
+    ASSERT_TRUE(writer->AddRecord("appended later", true).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto result = ReadLog(FileImage());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), 2u);
+  EXPECT_EQ(result->records[0], "durable");
+  EXPECT_EQ(result->records[1], "appended later");
+}
+
+TEST_F(WalTest, ManyRandomRecordsRoundTrip) {
+  Random rng(1234);
+  std::vector<std::string> originals;
+  auto writer = NewWriter();
+  for (int i = 0; i < 200; ++i) {
+    originals.push_back(rng.NextBytes(rng.Uniform(2000)));
+    ASSERT_TRUE(writer->AddRecord(originals.back(), false).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  auto result = ReadLog(FileImage());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->records.size(), originals.size());
+  for (size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(result->records[i], originals[i]) << i;
+  }
+}
+
+// Property sweep: cutting a valid log at *any* byte must never be
+// reported as Corruption — only as a (possibly empty) torn tail.
+class WalCutPointTest : public WalTest,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(WalCutPointTest, AnyPrefixIsRecoverable) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("rec-one", false).ok());
+  ASSERT_TRUE(writer->AddRecord("rec-two!", false).ok());
+  ASSERT_TRUE(writer->AddRecord("rec-three??", false).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  std::string image = FileImage();
+  const size_t cut =
+      std::min(image.size(), static_cast<size_t>(GetParam()));
+  auto result = ReadLog(std::string_view(image).substr(0, cut));
+  ASSERT_TRUE(result.ok()) << "cut=" << cut;
+  EXPECT_LE(result->records.size(), 3u);
+  EXPECT_LE(result->valid_bytes, cut);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCutPoints, WalCutPointTest,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace neptune
