@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attributes.dir/bench_attributes.cc.o"
+  "CMakeFiles/bench_attributes.dir/bench_attributes.cc.o.d"
+  "bench_attributes"
+  "bench_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contexts.dir/bench_contexts.cc.o"
+  "CMakeFiles/bench_contexts.dir/bench_contexts.cc.o.d"
+  "bench_contexts"
+  "bench_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

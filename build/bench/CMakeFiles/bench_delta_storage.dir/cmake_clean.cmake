@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delta_storage.dir/bench_delta_storage.cc.o"
+  "CMakeFiles/bench_delta_storage.dir/bench_delta_storage.cc.o.d"
+  "bench_delta_storage"
+  "bench_delta_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delta_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpc.dir/bench_rpc.cc.o"
+  "CMakeFiles/bench_rpc.dir/bench_rpc.cc.o.d"
+  "bench_rpc"
+  "bench_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transactions.dir/bench_transactions.cc.o"
+  "CMakeFiles/bench_transactions.dir/bench_transactions.cc.o.d"
+  "bench_transactions"
+  "bench_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

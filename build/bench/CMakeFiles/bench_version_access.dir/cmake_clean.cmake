@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_version_access.dir/bench_version_access.cc.o"
+  "CMakeFiles/bench_version_access.dir/bench_version_access.cc.o.d"
+  "bench_version_access"
+  "bench_version_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_version_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

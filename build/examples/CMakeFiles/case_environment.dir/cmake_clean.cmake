@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_environment.dir/case_environment.cpp.o"
+  "CMakeFiles/case_environment.dir/case_environment.cpp.o.d"
+  "case_environment"
+  "case_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

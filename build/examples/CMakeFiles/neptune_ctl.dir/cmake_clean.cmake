@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_ctl.dir/neptune_ctl.cpp.o"
+  "CMakeFiles/neptune_ctl.dir/neptune_ctl.cpp.o.d"
+  "neptune_ctl"
+  "neptune_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

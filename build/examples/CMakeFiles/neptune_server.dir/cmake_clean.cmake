@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neptune_server.dir/neptune_server.cpp.o"
+  "CMakeFiles/neptune_server.dir/neptune_server.cpp.o.d"
+  "neptune_server"
+  "neptune_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neptune_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

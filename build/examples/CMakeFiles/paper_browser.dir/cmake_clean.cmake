@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_browser.dir/paper_browser.cpp.o"
+  "CMakeFiles/paper_browser.dir/paper_browser.cpp.o.d"
+  "paper_browser"
+  "paper_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_explorer.dir/version_explorer.cpp.o"
+  "CMakeFiles/version_explorer.dir/version_explorer.cpp.o.d"
+  "version_explorer"
+  "version_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/browsers/canvas.cc" "src/CMakeFiles/neptune.dir/app/browsers/canvas.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/browsers/canvas.cc.o.d"
+  "/root/repo/src/app/browsers/document_browser.cc" "src/CMakeFiles/neptune.dir/app/browsers/document_browser.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/browsers/document_browser.cc.o.d"
+  "/root/repo/src/app/browsers/graph_browser.cc" "src/CMakeFiles/neptune.dir/app/browsers/graph_browser.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/browsers/graph_browser.cc.o.d"
+  "/root/repo/src/app/browsers/inspect_browsers.cc" "src/CMakeFiles/neptune.dir/app/browsers/inspect_browsers.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/browsers/inspect_browsers.cc.o.d"
+  "/root/repo/src/app/browsers/node_browser.cc" "src/CMakeFiles/neptune.dir/app/browsers/node_browser.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/browsers/node_browser.cc.o.d"
+  "/root/repo/src/app/case_model.cc" "src/CMakeFiles/neptune.dir/app/case_model.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/case_model.cc.o.d"
+  "/root/repo/src/app/document.cc" "src/CMakeFiles/neptune.dir/app/document.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/document.cc.o.d"
+  "/root/repo/src/app/interchange.cc" "src/CMakeFiles/neptune.dir/app/interchange.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/interchange.cc.o.d"
+  "/root/repo/src/app/notify.cc" "src/CMakeFiles/neptune.dir/app/notify.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/notify.cc.o.d"
+  "/root/repo/src/app/trail.cc" "src/CMakeFiles/neptune.dir/app/trail.cc.o" "gcc" "src/CMakeFiles/neptune.dir/app/trail.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/neptune.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/neptune.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/neptune.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/neptune.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/neptune.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/neptune.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/neptune.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/neptune.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/neptune.dir/common/status.cc.o" "gcc" "src/CMakeFiles/neptune.dir/common/status.cc.o.d"
+  "/root/repo/src/delta/byte_delta.cc" "src/CMakeFiles/neptune.dir/delta/byte_delta.cc.o" "gcc" "src/CMakeFiles/neptune.dir/delta/byte_delta.cc.o.d"
+  "/root/repo/src/delta/text_diff.cc" "src/CMakeFiles/neptune.dir/delta/text_diff.cc.o" "gcc" "src/CMakeFiles/neptune.dir/delta/text_diff.cc.o.d"
+  "/root/repo/src/delta/version_chain.cc" "src/CMakeFiles/neptune.dir/delta/version_chain.cc.o" "gcc" "src/CMakeFiles/neptune.dir/delta/version_chain.cc.o.d"
+  "/root/repo/src/ham/attribute_history.cc" "src/CMakeFiles/neptune.dir/ham/attribute_history.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/attribute_history.cc.o.d"
+  "/root/repo/src/ham/attribute_index.cc" "src/CMakeFiles/neptune.dir/ham/attribute_index.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/attribute_index.cc.o.d"
+  "/root/repo/src/ham/attribute_table.cc" "src/CMakeFiles/neptune.dir/ham/attribute_table.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/attribute_table.cc.o.d"
+  "/root/repo/src/ham/graph_state.cc" "src/CMakeFiles/neptune.dir/ham/graph_state.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/graph_state.cc.o.d"
+  "/root/repo/src/ham/ham.cc" "src/CMakeFiles/neptune.dir/ham/ham.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/ham.cc.o.d"
+  "/root/repo/src/ham/ham_operations.cc" "src/CMakeFiles/neptune.dir/ham/ham_operations.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/ham_operations.cc.o.d"
+  "/root/repo/src/ham/ops.cc" "src/CMakeFiles/neptune.dir/ham/ops.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/ops.cc.o.d"
+  "/root/repo/src/ham/records.cc" "src/CMakeFiles/neptune.dir/ham/records.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/records.cc.o.d"
+  "/root/repo/src/ham/types.cc" "src/CMakeFiles/neptune.dir/ham/types.cc.o" "gcc" "src/CMakeFiles/neptune.dir/ham/types.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/neptune.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/neptune.dir/query/predicate.cc.o.d"
+  "/root/repo/src/rpc/remote_ham.cc" "src/CMakeFiles/neptune.dir/rpc/remote_ham.cc.o" "gcc" "src/CMakeFiles/neptune.dir/rpc/remote_ham.cc.o.d"
+  "/root/repo/src/rpc/server.cc" "src/CMakeFiles/neptune.dir/rpc/server.cc.o" "gcc" "src/CMakeFiles/neptune.dir/rpc/server.cc.o.d"
+  "/root/repo/src/rpc/socket.cc" "src/CMakeFiles/neptune.dir/rpc/socket.cc.o" "gcc" "src/CMakeFiles/neptune.dir/rpc/socket.cc.o.d"
+  "/root/repo/src/rpc/wire.cc" "src/CMakeFiles/neptune.dir/rpc/wire.cc.o" "gcc" "src/CMakeFiles/neptune.dir/rpc/wire.cc.o.d"
+  "/root/repo/src/storage/durable_store.cc" "src/CMakeFiles/neptune.dir/storage/durable_store.cc.o" "gcc" "src/CMakeFiles/neptune.dir/storage/durable_store.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/CMakeFiles/neptune.dir/storage/env.cc.o" "gcc" "src/CMakeFiles/neptune.dir/storage/env.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/neptune.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/neptune.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

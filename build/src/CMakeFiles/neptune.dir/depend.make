@@ -1,0 +1,2 @@
+# Empty dependencies file for neptune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/browsers_test.cc" "tests/CMakeFiles/app_test.dir/app/browsers_test.cc.o" "gcc" "tests/CMakeFiles/app_test.dir/app/browsers_test.cc.o.d"
+  "/root/repo/tests/app/case_model_test.cc" "tests/CMakeFiles/app_test.dir/app/case_model_test.cc.o" "gcc" "tests/CMakeFiles/app_test.dir/app/case_model_test.cc.o.d"
+  "/root/repo/tests/app/document_test.cc" "tests/CMakeFiles/app_test.dir/app/document_test.cc.o" "gcc" "tests/CMakeFiles/app_test.dir/app/document_test.cc.o.d"
+  "/root/repo/tests/app/interchange_test.cc" "tests/CMakeFiles/app_test.dir/app/interchange_test.cc.o" "gcc" "tests/CMakeFiles/app_test.dir/app/interchange_test.cc.o.d"
+  "/root/repo/tests/app/trail_test.cc" "tests/CMakeFiles/app_test.dir/app/trail_test.cc.o" "gcc" "tests/CMakeFiles/app_test.dir/app/trail_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neptune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_test.dir/app/browsers_test.cc.o"
+  "CMakeFiles/app_test.dir/app/browsers_test.cc.o.d"
+  "CMakeFiles/app_test.dir/app/case_model_test.cc.o"
+  "CMakeFiles/app_test.dir/app/case_model_test.cc.o.d"
+  "CMakeFiles/app_test.dir/app/document_test.cc.o"
+  "CMakeFiles/app_test.dir/app/document_test.cc.o.d"
+  "CMakeFiles/app_test.dir/app/interchange_test.cc.o"
+  "CMakeFiles/app_test.dir/app/interchange_test.cc.o.d"
+  "CMakeFiles/app_test.dir/app/trail_test.cc.o"
+  "CMakeFiles/app_test.dir/app/trail_test.cc.o.d"
+  "app_test"
+  "app_test.pdb"
+  "app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

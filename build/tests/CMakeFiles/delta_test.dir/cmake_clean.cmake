@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_test.dir/delta/byte_delta_test.cc.o"
+  "CMakeFiles/delta_test.dir/delta/byte_delta_test.cc.o.d"
+  "CMakeFiles/delta_test.dir/delta/text_diff_test.cc.o"
+  "CMakeFiles/delta_test.dir/delta/text_diff_test.cc.o.d"
+  "CMakeFiles/delta_test.dir/delta/version_chain_test.cc.o"
+  "CMakeFiles/delta_test.dir/delta/version_chain_test.cc.o.d"
+  "delta_test"
+  "delta_test.pdb"
+  "delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

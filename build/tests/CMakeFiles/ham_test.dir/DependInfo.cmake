@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ham/attribute_history_test.cc" "tests/CMakeFiles/ham_test.dir/ham/attribute_history_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/attribute_history_test.cc.o.d"
+  "/root/repo/tests/ham/attribute_index_test.cc" "tests/CMakeFiles/ham_test.dir/ham/attribute_index_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/attribute_index_test.cc.o.d"
+  "/root/repo/tests/ham/ham_admin_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_admin_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_admin_test.cc.o.d"
+  "/root/repo/tests/ham/ham_attributes_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_attributes_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_attributes_test.cc.o.d"
+  "/root/repo/tests/ham/ham_concurrency_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_concurrency_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_concurrency_test.cc.o.d"
+  "/root/repo/tests/ham/ham_contexts_demons_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_contexts_demons_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_contexts_demons_test.cc.o.d"
+  "/root/repo/tests/ham/ham_edge_cases_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_edge_cases_test.cc.o.d"
+  "/root/repo/tests/ham/ham_model_fuzz_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_model_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_model_fuzz_test.cc.o.d"
+  "/root/repo/tests/ham/ham_query_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_query_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_query_test.cc.o.d"
+  "/root/repo/tests/ham/ham_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_test.cc.o.d"
+  "/root/repo/tests/ham/ham_txn_recovery_test.cc" "tests/CMakeFiles/ham_test.dir/ham/ham_txn_recovery_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/ham_txn_recovery_test.cc.o.d"
+  "/root/repo/tests/ham/records_test.cc" "tests/CMakeFiles/ham_test.dir/ham/records_test.cc.o" "gcc" "tests/CMakeFiles/ham_test.dir/ham/records_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neptune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

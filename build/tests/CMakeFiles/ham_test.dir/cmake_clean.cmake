@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_test.dir/ham/attribute_history_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/attribute_history_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/attribute_index_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/attribute_index_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_admin_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_admin_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_attributes_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_attributes_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_concurrency_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_concurrency_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_contexts_demons_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_contexts_demons_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_edge_cases_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_edge_cases_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_model_fuzz_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_model_fuzz_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_query_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_query_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/ham_txn_recovery_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/ham_txn_recovery_test.cc.o.d"
+  "CMakeFiles/ham_test.dir/ham/records_test.cc.o"
+  "CMakeFiles/ham_test.dir/ham/records_test.cc.o.d"
+  "ham_test"
+  "ham_test.pdb"
+  "ham_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_test.dir/rpc/rpc_end_to_end_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/rpc_end_to_end_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/server_robustness_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/server_robustness_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/wire_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/wire_test.cc.o.d"
+  "rpc_test"
+  "rpc_test.pdb"
+  "rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

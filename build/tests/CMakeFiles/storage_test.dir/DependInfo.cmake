@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/durable_store_test.cc" "tests/CMakeFiles/storage_test.dir/storage/durable_store_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/durable_store_test.cc.o.d"
+  "/root/repo/tests/storage/env_test.cc" "tests/CMakeFiles/storage_test.dir/storage/env_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/env_test.cc.o.d"
+  "/root/repo/tests/storage/fault_injection_test.cc" "tests/CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o.d"
+  "/root/repo/tests/storage/wal_test.cc" "tests/CMakeFiles/storage_test.dir/storage/wal_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/neptune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

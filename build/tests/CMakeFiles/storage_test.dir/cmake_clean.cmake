@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/durable_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/durable_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/env_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/env_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/fault_injection_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/wal_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/wal_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
