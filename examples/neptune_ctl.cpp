@@ -2,7 +2,8 @@
 // the kind of utility a team adopting the HAM actually drives it with.
 //
 //   neptune_ctl create <dir>
-//   neptune_ctl stats <dir>
+//   neptune_ctl stats <dir | host:port>
+//   neptune_ctl workload <host:port> <server-side-dir>
 //   neptune_ctl ls <dir> [node-predicate]
 //   neptune_ctl cat <dir> <node> [time]
 //   neptune_ctl new <dir> [title]            (contents from stdin)
@@ -17,7 +18,10 @@
 //   neptune_ctl destroy <dir>
 //
 // All commands address the graph by directory; the ProjectId is read
-// from the PROJECT file.
+// from the PROJECT file. When the target is spelled host:port instead
+// of a directory, `stats` asks a running neptune_server for its
+// process-wide metrics, and `workload` drives a short burst of remote
+// traffic against it (so a fresh server has nonzero counters to show).
 
 #include <cinttypes>
 #include <cstdio>
@@ -30,6 +34,7 @@
 #include "app/interchange.h"
 #include "delta/text_diff.h"
 #include "ham/ham.h"
+#include "rpc/remote_ham.h"
 
 using namespace neptune;
 
@@ -66,8 +71,81 @@ int Usage() {
   std::fprintf(stderr,
                "usage: neptune_ctl "
                "create|stats|ls|cat|new|put|link|versions|diff|fsck|prune|"
-               "export|import|destroy <dir> [args...]\n");
+               "export|import|destroy <dir> [args...]\n"
+               "       neptune_ctl stats <host:port>\n"
+               "       neptune_ctl workload <host:port> <server-side-dir>\n");
   return 2;
+}
+
+// Splits "host:port"; returns false if `target` has no colon (it is a
+// directory, not a server address).
+bool ParseHostPort(const std::string& target, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = target.substr(0, colon);
+  *port = static_cast<uint16_t>(
+      std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  return true;
+}
+
+std::unique_ptr<rpc::RemoteHam> ConnectTo(const std::string& host,
+                                          uint16_t port) {
+  return Unwrap(rpc::RemoteHam::Connect(host, port));
+}
+
+// Remote `stats`: the server's process-wide metrics snapshot.
+int RemoteStats(const std::string& host, uint16_t port) {
+  auto client = ConnectTo(host, port);
+  MetricsSnapshot snapshot = Unwrap(client->GetServerStatistics());
+  std::fputs(snapshot.ToTable().c_str(), stdout);
+  return 0;
+}
+
+// Remote `workload`: a short burst of representative traffic so every
+// metric family on the server moves. Creates (and destroys) a scratch
+// graph under `dir` on the server's filesystem.
+int RemoteWorkload(const std::string& host, uint16_t port,
+                   const std::string& dir) {
+  auto client = ConnectTo(host, port);
+  auto created = Unwrap(client->CreateGraph(dir, 0755));
+  ham::Context ctx =
+      Unwrap(client->OpenGraph(created.project, "neptune_ctl", dir));
+
+  Check(client->BeginTransaction(ctx));
+  auto a = Unwrap(client->AddNode(ctx, true));
+  auto b = Unwrap(client->AddNode(ctx, true));
+  Check(client->ModifyNode(ctx, a.node, a.creation_time,
+                           "workload: node a, version 1\n", {}, "v1"));
+  Check(client->ModifyNode(ctx, b.node, b.creation_time,
+                           "workload: node b\n", {}, "v1"));
+  auto link = Unwrap(client->AddLink(ctx, ham::LinkPt{a.node, 3, 0, true},
+                                     ham::LinkPt{b.node, 0, 0, true}));
+  Check(client->CommitTransaction(ctx));
+
+  // Another version of node a, so the delta layer does real work.
+  auto reopened = Unwrap(client->OpenNode(ctx, a.node, 0, {}));
+  std::vector<ham::AttachmentUpdate> updates;
+  for (const auto& att : reopened.attachments) {
+    updates.push_back({att.link, att.is_source_end, att.position});
+  }
+  Check(client->ModifyNode(ctx, a.node, reopened.current_version_time,
+                           "workload: node a, version 2\n", updates, "v2"));
+
+  auto relation = Unwrap(client->GetAttributeIndex(ctx, "relation"));
+  Check(client->SetLinkAttributeValue(ctx, link.link, relation, "comment"));
+  Check(client->SetNodeAttributeValue(ctx, a.node, relation, "document"));
+
+  (void)Unwrap(client->GetGraphQuery(ctx, 0, "", "", {}, {}));
+  (void)Unwrap(client->GetNodeVersions(ctx, a.node));
+  (void)Unwrap(client->GetToNode(ctx, link.link, 0));
+  Check(client->Checkpoint(ctx));
+
+  Check(client->CloseGraph(ctx));
+  Check(client->DestroyGraph(created.project, dir));
+  std::printf("workload complete against %s:%u (scratch graph %s)\n",
+              host.empty() ? "localhost" : host.c_str(), port, dir.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -76,6 +154,24 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   const std::string dir = argv[2];
+
+  std::string host;
+  uint16_t port = 0;
+  if (ParseHostPort(dir, &host, &port)) {
+    if (command == "stats") return RemoteStats(host, port);
+    if (command == "workload") {
+      if (argc < 4) return Usage();
+      return RemoteWorkload(host, port, argv[3]);
+    }
+    std::fprintf(stderr,
+                 "neptune_ctl: only stats and workload accept host:port\n");
+    return 2;
+  }
+  if (command == "workload") {
+    std::fprintf(stderr, "neptune_ctl: workload needs a host:port target\n");
+    return 2;
+  }
+
   ham::Ham engine(Env::Default(), ham::HamOptions());
 
   if (command == "create") {

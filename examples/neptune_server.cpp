@@ -3,18 +3,22 @@
 // network from a variety of workstations."
 //
 // Modes:
-//   ./neptune_server serve <data-dir> [port]
-//       Runs a HAM server (port 0 = pick one) until killed.
+//   ./neptune_server serve <data-dir> [port] [stats-interval-sec]
+//       Runs a HAM server (port 0 = pick one) until killed. A nonzero
+//       stats interval logs a one-line metrics summary periodically.
 //   ./neptune_server demo [data-dir]
 //       Starts an in-process server on an ephemeral port, connects a
 //       RemoteHam client over real TCP, and runs a workstation session
 //       against it — the zero-setup way to see the RPC layer work.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "ham/ham.h"
 #include "rpc/remote_ham.h"
 #include "rpc/server.h"
@@ -39,7 +43,7 @@ using neptune::rpc::Server;
 
 namespace {
 
-int RunServe(const std::string& dir, uint16_t port) {
+int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval) {
   neptune::SetLogLevel(LogLevel::kInfo);
   Env::Default()->CreateDir(dir);
   Ham ham(Env::Default(), HamOptions());
@@ -53,6 +57,16 @@ int RunServe(const std::string& dir, uint16_t port) {
   std::printf("neptune server on 127.0.0.1:%u, data under %s\n", *bound,
               dir.c_str());
   std::printf("press Ctrl-C to stop\n");
+  if (stats_interval > 0) {
+    // Detached: the process only exits via signal anyway.
+    std::thread([stats_interval] {
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::seconds(stats_interval));
+        NEPTUNE_LOG(Info)
+            << neptune::MetricsRegistry::Instance().Snapshot().ToLogLine();
+      }
+    }).detach();
+  }
   for (;;) pause();
 }
 
@@ -127,17 +141,23 @@ int main(int argc, char** argv) {
   const std::string mode = argc > 1 ? argv[1] : "demo";
   if (mode == "serve") {
     if (argc < 3) {
-      std::fprintf(stderr, "usage: %s serve <data-dir> [port]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s serve <data-dir> [port] [stats-interval-sec]\n",
+                   argv[0]);
       return 2;
     }
     const uint16_t port =
         argc > 3 ? static_cast<uint16_t>(std::atoi(argv[3])) : 0;
-    return RunServe(argv[2], port);
+    const unsigned stats_interval =
+        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 0;
+    return RunServe(argv[2], port, stats_interval);
   }
   if (mode == "demo") {
     return RunDemo(argc > 2 ? argv[2] : "/tmp/neptune_server_demo");
   }
-  std::fprintf(stderr, "usage: %s serve <data-dir> [port] | demo [dir]\n",
+  std::fprintf(stderr,
+               "usage: %s serve <data-dir> [port] [stats-interval-sec] | "
+               "demo [dir]\n",
                argv[0]);
   return 2;
 }

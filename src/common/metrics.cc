@@ -1,0 +1,248 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace neptune {
+
+void Histogram::Record(uint64_t micros) {
+  // Branch-light bucket search: bounds roughly double, so a linear
+  // scan over 24 entries is at most a few dozen predictable compares
+  // and typically exits in the first few (most ops are fast).
+  size_t bucket = kNumBuckets - 1;
+  for (size_t i = 0; i < kNumBuckets - 1; ++i) {
+    if (micros < kBucketBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_.compare_exchange_weak(seen, micros, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t HistogramSnapshot::QuantileMicros(double q) const {
+  if (count == 0) return 0;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      return i < Histogram::kNumBuckets - 1 ? Histogram::kBucketBounds[i]
+                                            : max;
+    }
+  }
+  return max;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+// ------------------------------------------------------------ registry
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    out.counters[name] = counter.Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges[name] = gauge.Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot snap;
+    snap.buckets.reserve(Histogram::kNumBuckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      snap.buckets.push_back(hist.buckets_[i].load(std::memory_order_relaxed));
+    }
+    snap.count = hist.count_.load(std::memory_order_relaxed);
+    snap.sum = hist.sum_.load(std::memory_order_relaxed);
+    snap.max = hist.max_.load(std::memory_order_relaxed);
+    out.histograms[name] = std::move(snap);
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter.Add(0 - counter.Value());
+  }
+  for (auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge.Set(0);
+  }
+  for (auto& [name, hist] : histograms_) {
+    (void)name;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      hist.buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    hist.count_.store(0, std::memory_order_relaxed);
+    hist.sum_.store(0, std::memory_order_relaxed);
+    hist.max_.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------- wire codec
+
+void MetricsSnapshot::EncodeTo(std::string* out) const {
+  PutVarint64(out, counters.size());
+  for (const auto& [name, value] : counters) {
+    PutLengthPrefixed(out, name);
+    PutVarint64(out, value);
+  }
+  PutVarint64(out, gauges.size());
+  for (const auto& [name, value] : gauges) {
+    PutLengthPrefixed(out, name);
+    PutVarint64(out, static_cast<uint64_t>(value));
+  }
+  PutVarint64(out, histograms.size());
+  for (const auto& [name, hist] : histograms) {
+    PutLengthPrefixed(out, name);
+    PutVarint64(out, hist.count);
+    PutVarint64(out, hist.sum);
+    PutVarint64(out, hist.max);
+    PutVarint64(out, hist.buckets.size());
+    for (uint64_t b : hist.buckets) PutVarint64(out, b);
+  }
+}
+
+bool MetricsSnapshot::DecodeFrom(std::string_view* in, MetricsSnapshot* out) {
+  uint64_t n = 0;
+  if (!GetVarint64(in, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view name;
+    uint64_t value = 0;
+    if (!GetLengthPrefixed(in, &name) || !GetVarint64(in, &value)) return false;
+    out->counters[std::string(name)] = value;
+  }
+  if (!GetVarint64(in, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view name;
+    uint64_t value = 0;
+    if (!GetLengthPrefixed(in, &name) || !GetVarint64(in, &value)) return false;
+    out->gauges[std::string(name)] = static_cast<int64_t>(value);
+  }
+  if (!GetVarint64(in, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view name;
+    HistogramSnapshot hist;
+    uint64_t buckets = 0;
+    if (!GetLengthPrefixed(in, &name) || !GetVarint64(in, &hist.count) ||
+        !GetVarint64(in, &hist.sum) || !GetVarint64(in, &hist.max) ||
+        !GetVarint64(in, &buckets) || buckets > Histogram::kNumBuckets) {
+      return false;
+    }
+    hist.buckets.reserve(buckets);
+    for (uint64_t b = 0; b < buckets; ++b) {
+      uint64_t v = 0;
+      if (!GetVarint64(in, &v)) return false;
+      hist.buckets.push_back(v);
+    }
+    out->histograms[std::string(name)] = std::move(hist);
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ rendering
+
+namespace {
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  if (!counters.empty()) {
+    out.append("counters:\n");
+    for (const auto& [name, value] : counters) {
+      AppendLine(&out, "  %-44s %12" PRIu64 "\n", name.c_str(), value);
+    }
+  }
+  if (!gauges.empty()) {
+    out.append("gauges:\n");
+    for (const auto& [name, value] : gauges) {
+      AppendLine(&out, "  %-44s %12" PRId64 "\n", name.c_str(), value);
+    }
+  }
+  if (!histograms.empty()) {
+    out.append("latency (us):\n");
+    AppendLine(&out, "  %-44s %10s %8s %8s %8s %8s\n", "", "count", "mean",
+               "p50", "p99", "max");
+    for (const auto& [name, hist] : histograms) {
+      AppendLine(&out, "  %-44s %10" PRIu64 " %8.1f %8" PRIu64 " %8" PRIu64
+                       " %8" PRIu64 "\n",
+                 name.c_str(), hist.count, hist.MeanMicros(),
+                 hist.QuantileMicros(0.50), hist.QuantileMicros(0.99),
+                 hist.max);
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToLogLine() const {
+  std::string out = "stats:";
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    out += " " + name + "=" + std::to_string(value);
+  }
+  for (const auto& [name, value] : gauges) {
+    if (value == 0) continue;
+    out += " " + name + "=" + std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace neptune

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/metrics.h"
 #include "delta/byte_delta.h"
 
 namespace neptune {
@@ -35,6 +36,10 @@ Status VersionChain::Append(uint64_t time, std::string_view contents,
   if (!versions_.empty()) {
     if (mode_ == ChainMode::kBackwardDelta) {
       backward_.push_back(EncodeDelta(/*base=*/contents, /*target=*/current_));
+      // Measures the paper's storage claim: what a full copy of the
+      // displaced version would have cost vs. the delta we kept.
+      NEPTUNE_METRIC_COUNT("delta.bytes.raw", current_.size());
+      NEPTUNE_METRIC_COUNT("delta.bytes.stored", backward_.back().size());
     } else {
       backward_.push_back(current_);
     }
@@ -65,6 +70,8 @@ Result<std::string> VersionChain::Get(uint64_t time) const {
   if (mode_ == ChainMode::kForwardDelta) {
     if (index == versions_.size() - 1) return tip_;
     // Walk forward deltas up from the oldest version to `index`.
+    NEPTUNE_METRIC_COUNT("delta.chain.reconstructions", 1);
+    NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied", index);
     std::string contents = current_;
     for (size_t i = 0; i < index; ++i) {
       NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));
@@ -74,6 +81,9 @@ Result<std::string> VersionChain::Get(uint64_t time) const {
   if (index == versions_.size() - 1) return current_;
   if (mode_ == ChainMode::kFullCopy) return backward_[index];
   // Walk backward deltas from the current version down to `index`.
+  NEPTUNE_METRIC_COUNT("delta.chain.reconstructions", 1);
+  NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied",
+                       versions_.size() - 1 - index);
   std::string contents = current_;
   for (size_t i = versions_.size() - 1; i-- > index;) {
     NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));

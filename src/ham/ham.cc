@@ -5,6 +5,7 @@
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/random.h"
 
 namespace neptune {
@@ -13,10 +14,6 @@ namespace ham {
 namespace {
 
 constexpr char kMetaMagic[] = "NEPMETA1";  // 8 bytes
-
-// Read permission: any read bit; write permission: any write bit.
-bool CanRead(uint32_t protections) { return (protections & 0444) != 0; }
-bool CanWrite(uint32_t protections) { return (protections & 0222) != 0; }
 
 // First whitespace-delimited word of a demon value — the registry key.
 std::string DemonCallbackName(const std::string& demon) {
@@ -84,6 +81,7 @@ bool DemonRegistry::Fire(const DemonInvocation& invocation) const {
     if (it == callbacks_.end()) return false;
     callback = it->second;
   }
+  NEPTUNE_METRIC_COUNT("ham.demons.fired", 1);
   callback(invocation);
   return true;
 }
@@ -124,6 +122,7 @@ Result<ProjectId> Ham::ReadProjectId(Env* env, const std::string& dir) {
 
 Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
                                            uint32_t protections) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   // A fresh graph: logical time 1 is its creation instant.
   GraphState state;
   const Time creation = state.clock().Tick();
@@ -149,6 +148,7 @@ Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
 }
 
 Status Ham::DestroyGraph(ProjectId project, const std::string& directory) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     auto it = graphs_.find(directory);
@@ -224,6 +224,7 @@ Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
 
 Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
                                const std::string& directory) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   (void)machine;  // addressing is the RPC layer's concern
   NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<GraphHandle> graph,
                            LoadGraph(directory));
@@ -252,6 +253,7 @@ Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
 }
 
 Status Ham::CloseGraph(Context ctx) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   std::unique_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -299,6 +301,7 @@ void Ham::ReleaseWriter(GraphHandle* graph, uint64_t session) {
 // ----------------------------------------------------------- transactions
 
 Status Ham::BeginTransaction(Context ctx) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition("a transaction is already open");
@@ -307,6 +310,7 @@ Status Ham::BeginTransaction(Context ctx) {
   session->in_txn = true;
   session->overlay = GraphState::TxnOverlay();
   session->ops.clear();
+  NEPTUNE_METRIC_COUNT("ham.txn.begun", 1);
   return Status::OK();
 }
 
@@ -335,6 +339,7 @@ Status Ham::CommitLocked(GraphHandle* graph, Session* session) {
 }
 
 Status Ham::CommitTransaction(Context ctx) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   if (!session->in_txn) {
     return Status::FailedPrecondition("no transaction is open");
@@ -350,6 +355,11 @@ Status Ham::CommitTransaction(Context ctx) {
   }
   session->in_txn = false;
   ReleaseWriter(graph, ctx.session);
+  if (status.ok()) {
+    NEPTUNE_METRIC_COUNT("ham.txn.committed", 1);
+  } else {
+    NEPTUNE_METRIC_COUNT("ham.txn.aborted", 1);
+  }
   if (status.ok() && !committed.empty()) {
     FireDemons(graph, session->thread, committed);
   }
@@ -357,6 +367,7 @@ Status Ham::CommitTransaction(Context ctx) {
 }
 
 Status Ham::AbortTransaction(Context ctx) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   if (!session->in_txn) {
     return Status::FailedPrecondition("no transaction is open");
@@ -365,6 +376,7 @@ Status Ham::AbortTransaction(Context ctx) {
   session->ops.clear();
   session->in_txn = false;
   ReleaseWriter(session->graph.get(), ctx.session);
+  NEPTUNE_METRIC_COUNT("ham.txn.aborted", 1);
   return Status::OK();
 }
 
@@ -402,6 +414,8 @@ Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
     committed = std::move(session->ops);
     session->ops.clear();
   }
+  NEPTUNE_METRIC_COUNT("ham.txn.implicit", 1);
+  NEPTUNE_METRIC_COUNT("ham.txn.committed", 1);
   FireDemons(graph, session->thread, committed);
   return Status::OK();
 }

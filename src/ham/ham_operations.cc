@@ -7,6 +7,8 @@
 
 #include "ham/ham.h"
 
+#include "common/metrics.h"
+
 namespace neptune {
 namespace ham {
 
@@ -38,6 +40,7 @@ LinkPt Normalize(LinkPt pt) {
 // ----------------------------------------------------- A.1 structure
 
 Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   Op op;
@@ -52,6 +55,7 @@ Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
 }
 
 Status Ham::DeleteNode(Context ctx, NodeIndex node) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteNode;
@@ -61,6 +65,7 @@ Status Ham::DeleteNode(Context ctx, NodeIndex node) {
 
 Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
                                    const LinkPt& to) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   Op op;
@@ -77,6 +82,7 @@ Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
 
 Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
                                     bool copy_source, const LinkPt& other) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   LinkPt copied;
@@ -106,6 +112,7 @@ Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
 }
 
 Status Ham::DeleteLink(Context ctx, LinkIndex link) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteLink;
@@ -120,6 +127,7 @@ Result<SubGraph> Ham::LinearizeGraph(
     const std::string& link_pred,
     const std::vector<AttributeIndex>& node_attrs,
     const std::vector<AttributeIndex>& link_attrs) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.query");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
@@ -140,6 +148,7 @@ Result<SubGraph> Ham::GetGraphQuery(
     const std::string& link_pred,
     const std::vector<AttributeIndex>& node_attrs,
     const std::vector<AttributeIndex>& link_attrs) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.query");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
@@ -160,6 +169,7 @@ Result<SubGraph> Ham::GetGraphQuery(
 Result<OpenNodeResult> Ham::OpenNode(
     Context ctx, NodeIndex node, Time time,
     const std::vector<AttributeIndex>& attrs) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   OpenNodeResult out;
@@ -208,6 +218,7 @@ Status Ham::ModifyNode(Context ctx, NodeIndex node, Time expected_time,
                        const std::string& contents,
                        const std::vector<AttachmentUpdate>& attachments,
                        const std::string& explanation) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kModifyNode;
@@ -229,6 +240,7 @@ Status Ham::ModifyNode(Context ctx, NodeIndex node, Time expected_time,
 }
 
 Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -245,6 +257,7 @@ Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
 
 Status Ham::ChangeNodeProtection(Context ctx, NodeIndex node,
                                  uint32_t protections) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kChangeNodeProtection;
@@ -254,6 +267,7 @@ Status Ham::ChangeNodeProtection(Context ctx, NodeIndex node,
 }
 
 Result<NodeVersions> Ham::GetNodeVersions(Context ctx, NodeIndex node) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -296,6 +310,7 @@ Result<std::vector<delta::Difference>> Ham::GetNodeDifferences(Context ctx,
 // --------------------------------------------------------- A.3 links
 
 Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -322,6 +337,7 @@ Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
 
 Result<LinkEndResult> Ham::GetFromNode(Context ctx, LinkIndex link,
                                        Time time) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -373,6 +389,7 @@ Result<std::vector<std::string>> Ham::GetAttributeValues(Context ctx,
 
 Result<AttributeIndex> Ham::GetAttributeIndex(Context ctx,
                                               const std::string& name) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -396,6 +413,7 @@ Result<AttributeIndex> Ham::GetAttributeIndex(Context ctx,
 Status Ham::SetNodeAttributeValue(Context ctx, NodeIndex node,
                                   AttributeIndex attr,
                                   const std::string& value) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kSetNodeAttribute;
@@ -407,6 +425,7 @@ Status Ham::SetNodeAttributeValue(Context ctx, NodeIndex node,
 
 Status Ham::DeleteNodeAttribute(Context ctx, NodeIndex node,
                                 AttributeIndex attr) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteNodeAttribute;
@@ -418,6 +437,7 @@ Status Ham::DeleteNodeAttribute(Context ctx, NodeIndex node,
 Result<std::string> Ham::GetNodeAttributeValue(Context ctx, NodeIndex node,
                                                AttributeIndex attr,
                                                Time time) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -464,6 +484,7 @@ Result<std::vector<AttributeValueEntry>> Ham::GetNodeAttributes(
 Status Ham::SetLinkAttributeValue(Context ctx, LinkIndex link,
                                   AttributeIndex attr,
                                   const std::string& value) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kSetLinkAttribute;
@@ -475,6 +496,7 @@ Status Ham::SetLinkAttributeValue(Context ctx, LinkIndex link,
 
 Status Ham::DeleteLinkAttribute(Context ctx, LinkIndex link,
                                 AttributeIndex attr) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteLinkAttribute;
@@ -486,6 +508,7 @@ Status Ham::DeleteLinkAttribute(Context ctx, LinkIndex link,
 Result<std::string> Ham::GetLinkAttributeValue(Context ctx, LinkIndex link,
                                                AttributeIndex attr,
                                                Time time) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -533,6 +556,7 @@ Result<std::vector<AttributeValueEntry>> Ham::GetLinkAttributes(
 
 Status Ham::SetGraphDemonValue(Context ctx, Event event,
                                const std::string& demon) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.demon");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kSetGraphDemon;
@@ -552,6 +576,7 @@ Result<std::vector<DemonEntry>> Ham::GetGraphDemons(Context ctx, Time time) {
 
 Status Ham::SetNodeDemon(Context ctx, NodeIndex node, Event event,
                          const std::string& demon) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.demon");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kSetNodeDemon;
@@ -581,6 +606,7 @@ Result<std::vector<DemonEntry>> Ham::GetNodeDemons(Context ctx,
 // -------------------------------------- §5 extensions: contexts etc.
 
 Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -598,6 +624,7 @@ Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
 }
 
 Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   if (thread != kMainThread) {
@@ -618,6 +645,7 @@ Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
 }
 
 Status Ham::MergeContext(Context ctx, ThreadId source, bool force) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition(
@@ -638,6 +666,7 @@ Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
 }
 
 Status Ham::Checkpoint(Context ctx) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -647,6 +676,7 @@ Status Ham::Checkpoint(Context ctx) {
 }
 
 Result<GraphStats> Ham::GetStats(Context ctx) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::mutex> lock(graph->mu);
@@ -664,6 +694,7 @@ Result<GraphStats> Ham::GetStats(Context ctx) {
 }
 
 Result<ThreadId> Ham::ContextThread(Context ctx) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   return session->thread;
 }
@@ -678,6 +709,7 @@ Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
 }
 
 Result<uint64_t> Ham::PruneHistory(Context ctx, Time before) {
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition(

@@ -54,6 +54,17 @@ Status RemoteHam::Ping() {
   return Status::OK();
 }
 
+Result<MetricsSnapshot> RemoteHam::GetServerStatistics() {
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetServerStatistics, ""));
+  std::string_view in = reply;
+  MetricsSnapshot out;
+  if (!MetricsSnapshot::DecodeFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
 Result<ham::CreateGraphResult> RemoteHam::CreateGraph(
     const std::string& directory, uint32_t protections) {
   std::string args;

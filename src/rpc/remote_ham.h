@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/metrics.h"
 #include "ham/ham_interface.h"
 #include "rpc/socket.h"
 #include "rpc/wire.h"
@@ -30,6 +31,11 @@ class RemoteHam final : public ham::HamInterface {
 
   // Round-trip liveness probe.
   Status Ping();
+
+  // Fetches the server's process-wide metrics snapshot (RPC-only; not
+  // part of HamInterface because a local Ham reads the registry
+  // directly).
+  Result<MetricsSnapshot> GetServerStatistics();
 
   // HamInterface (see ham/ham_interface.h for contracts) -------------
   Result<ham::CreateGraphResult> CreateGraph(const std::string& directory,

@@ -1,7 +1,10 @@
 #include "rpc/server.h"
 
+#include <array>
+
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace neptune {
 namespace rpc {
@@ -9,6 +12,21 @@ namespace rpc {
 namespace {
 
 using ham::Context;
+
+// Per-method request counters, resolved once for all 256 method bytes
+// so the per-request path never takes the registry lock. Unknown bytes
+// all share the "rpc.request.unknown" counter.
+Counter* MethodCounter(Method method) {
+  static std::array<Counter*, 256>* counters = [] {
+    auto* table = new std::array<Counter*, 256>();
+    for (int i = 0; i < 256; ++i) {
+      (*table)[i] = MetricsRegistry::Instance().GetCounter(
+          std::string("rpc.request.") + MethodName(static_cast<Method>(i)));
+    }
+    return table;
+  }();
+  return (*counters)[static_cast<uint8_t>(method)];
+}
 
 // Decode helpers that fail by returning false; the dispatcher turns
 // that into a Corruption reply.
@@ -108,13 +126,20 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(FrameStream* stream) {
+  NEPTUNE_METRIC_COUNT("rpc.connections.accepted", 1);
+  static Gauge* active =
+      MetricsRegistry::Instance().GetGauge("rpc.connections.active");
+  active->Increment();
   std::set<uint64_t> sessions;
   while (!stopping_) {
     Result<std::string> request = stream->RecvFrame();
     if (!request.ok()) break;  // disconnect or corruption: drop client
+    NEPTUNE_METRIC_COUNT("rpc.bytes_in", request->size());
     std::string reply = HandleRequest(*request, &sessions);
+    NEPTUNE_METRIC_COUNT("rpc.bytes_out", reply.size());
     if (!stream->SendFrame(reply).ok()) break;
   }
+  active->Decrement();
   // A vanished client releases everything it held (crash recovery for
   // its open transaction happens via CloseGraph's abort path).
   for (uint64_t session : sessions) {
@@ -127,6 +152,9 @@ std::string Server::HandleRequest(std::string_view in,
   if (in.empty()) return BadRequest("empty");
   const Method method = static_cast<Method>(in.front());
   in.remove_prefix(1);
+  NEPTUNE_METRIC_TIMED(timer, "rpc.request_latency");
+  NEPTUNE_METRIC_COUNT("rpc.requests", 1);
+  MethodCounter(method)->Increment();
 
   Context ctx;
   switch (method) {
@@ -532,6 +560,14 @@ std::string Server::HandleRequest(std::string_view in,
                          [](const ham::ThreadId& t, std::string* out) {
                            PutVarint64(out, t);
                          });
+    }
+
+    case Method::kGetServerStatistics: {
+      // Server-wide, so no Context: any client may ask, even before it
+      // has opened a graph.
+      std::string reply = StatusReply(Status::OK());
+      MetricsRegistry::Instance().Snapshot().EncodeTo(&reply);
+      return reply;
     }
   }
   return BadRequest("unknown method " +

@@ -20,14 +20,15 @@ Status SockError(std::string_view op, int err) {
 
 }  // namespace
 
-FrameStream::~FrameStream() { Close(); }
+FrameStream::~FrameStream() {
+  Close();
+  ::close(fd_);
+}
 
 void FrameStream::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // shutdown() (not close()) so another thread blocked in recv/send on
+  // this fd wakes up without racing on the descriptor's lifetime.
+  if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
 }
 
 Result<std::unique_ptr<FrameStream>> FrameStream::Connect(
@@ -56,7 +57,7 @@ Result<std::unique_ptr<FrameStream>> FrameStream::Connect(
 }
 
 Status FrameStream::SendFrame(std::string_view payload) {
-  if (fd_ < 0) return Status::NetworkError("stream is closed");
+  if (closed_.load()) return Status::NetworkError("stream is closed");
   std::string frame = FramePayload(payload);
   std::string_view rest = frame;
   while (!rest.empty()) {
@@ -72,7 +73,7 @@ Status FrameStream::SendFrame(std::string_view payload) {
 
 Result<std::string> FrameStream::RecvFrame() {
   while (pending_.empty()) {
-    if (fd_ < 0) return Status::NetworkError("stream is closed");
+    if (closed_.load()) return Status::NetworkError("stream is closed");
     char buf[1 << 16];
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) {
@@ -89,7 +90,10 @@ Result<std::string> FrameStream::RecvFrame() {
   return frame;
 }
 
-Listener::~Listener() { Shutdown(); }
+Listener::~Listener() {
+  Shutdown();
+  ::close(fd_);
+}
 
 Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -120,7 +124,7 @@ Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
 }
 
 Result<std::unique_ptr<FrameStream>> Listener::Accept() {
-  if (fd_ < 0) return Status::NetworkError("listener is shut down");
+  if (shut_down_.load()) return Status::NetworkError("listener is shut down");
   int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) {
     return SockError("accept", errno);
@@ -131,11 +135,9 @@ Result<std::unique_ptr<FrameStream>> Listener::Accept() {
 }
 
 void Listener::Shutdown() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // As in FrameStream::Close: shutdown() unblocks a concurrent
+  // accept(); the fd stays valid until the destructor.
+  if (!shut_down_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
 }
 
 }  // namespace rpc

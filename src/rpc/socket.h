@@ -4,6 +4,7 @@
 #ifndef NEPTUNE_RPC_SOCKET_H_
 #define NEPTUNE_RPC_SOCKET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -34,10 +35,14 @@ class FrameStream {
   // closed") on orderly EOF between frames.
   Result<std::string> RecvFrame();
 
+  // Shuts the connection down, unblocking a send/recv in progress on
+  // another thread. The fd itself is released by the destructor, which
+  // must not run until those threads are done with the stream.
   void Close();
 
  private:
-  int fd_;
+  const int fd_;
+  std::atomic<bool> closed_{false};
   FrameDecoder decoder_;
   std::vector<std::string> pending_;
 };
@@ -57,13 +62,15 @@ class Listener {
   // Blocks for the next connection; NetworkError after Shutdown().
   Result<std::unique_ptr<FrameStream>> Accept();
 
-  // Unblocks Accept() and closes the listening socket.
+  // Unblocks Accept(); the socket is closed by the destructor, which
+  // must not run until the accepting thread is done.
   void Shutdown();
 
  private:
   Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_;
+  const int fd_;
+  std::atomic<bool> shut_down_{false};
   uint16_t port_;
 };
 

@@ -6,6 +6,58 @@
 namespace neptune {
 namespace rpc {
 
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kCreateGraph: return "createGraph";
+    case Method::kDestroyGraph: return "destroyGraph";
+    case Method::kOpenGraph: return "openGraph";
+    case Method::kCloseGraph: return "closeGraph";
+    case Method::kBeginTransaction: return "beginTransaction";
+    case Method::kCommitTransaction: return "commitTransaction";
+    case Method::kAbortTransaction: return "abortTransaction";
+    case Method::kAddNode: return "addNode";
+    case Method::kDeleteNode: return "deleteNode";
+    case Method::kAddLink: return "addLink";
+    case Method::kCopyLink: return "copyLink";
+    case Method::kDeleteLink: return "deleteLink";
+    case Method::kLinearizeGraph: return "linearizeGraph";
+    case Method::kGetGraphQuery: return "getGraphQuery";
+    case Method::kOpenNode: return "openNode";
+    case Method::kModifyNode: return "modifyNode";
+    case Method::kGetNodeTimeStamp: return "getNodeTimeStamp";
+    case Method::kChangeNodeProtection: return "changeNodeProtection";
+    case Method::kGetNodeVersions: return "getNodeVersions";
+    case Method::kGetNodeDifferences: return "getNodeDifferences";
+    case Method::kGetToNode: return "getToNode";
+    case Method::kGetFromNode: return "getFromNode";
+    case Method::kGetAttributes: return "getAttributes";
+    case Method::kGetAttributeValues: return "getAttributeValues";
+    case Method::kGetAttributeIndex: return "getAttributeIndex";
+    case Method::kSetNodeAttributeValue: return "setNodeAttributeValue";
+    case Method::kDeleteNodeAttribute: return "deleteNodeAttribute";
+    case Method::kGetNodeAttributeValue: return "getNodeAttributeValue";
+    case Method::kGetNodeAttributes: return "getNodeAttributes";
+    case Method::kSetLinkAttributeValue: return "setLinkAttributeValue";
+    case Method::kDeleteLinkAttribute: return "deleteLinkAttribute";
+    case Method::kGetLinkAttributeValue: return "getLinkAttributeValue";
+    case Method::kGetLinkAttributes: return "getLinkAttributes";
+    case Method::kSetGraphDemonValue: return "setGraphDemonValue";
+    case Method::kGetGraphDemons: return "getGraphDemons";
+    case Method::kSetNodeDemon: return "setNodeDemon";
+    case Method::kGetNodeDemons: return "getNodeDemons";
+    case Method::kCreateContext: return "createContext";
+    case Method::kOpenContext: return "openContext";
+    case Method::kMergeContext: return "mergeContext";
+    case Method::kListContexts: return "listContexts";
+    case Method::kCheckpoint: return "checkpoint";
+    case Method::kGetStats: return "getStats";
+    case Method::kContextThread: return "contextThread";
+    case Method::kPing: return "ping";
+    case Method::kGetServerStatistics: return "getServerStatistics";
+  }
+  return "unknown";
+}
+
 // ------------------------------------------------------------- framing
 
 std::string FramePayload(std::string_view payload) {

@@ -78,7 +78,13 @@ enum class Method : uint8_t {
   kGetStats = 43,
   kContextThread = 44,
   kPing = 45,
+  kGetServerStatistics = 46,
 };
+
+// Stable lower-camel-case name for a method ("createGraph", "ping");
+// "unknown" for bytes outside the enum. Used for per-method metrics
+// and diagnostics.
+const char* MethodName(Method method);
 
 // ------------------------------------------------------------- framing
 

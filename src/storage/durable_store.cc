@@ -6,6 +6,7 @@
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace neptune {
 
@@ -113,6 +114,8 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
                            env->ReadFileToString(JoinPath(dir, current)));
   NEPTUNE_ASSIGN_OR_RETURN(state->snapshot,
                            DecodeSnapshot(snap_raw, JoinPath(dir, current)));
+  NEPTUNE_METRIC_COUNT("storage.snapshot.loads", 1);
+  NEPTUNE_METRIC_COUNT("storage.snapshot.bytes_loaded", state->snapshot.size());
 
   const std::string wal_path = JoinPath(dir, WalName(epoch));
   uint64_t wal_bytes = 0;
@@ -152,6 +155,8 @@ Status DurableStore::AppendRecord(std::string_view record, bool sync) {
 }
 
 Status DurableStore::Checkpoint(std::string_view snapshot) {
+  NEPTUNE_METRIC_TIMED(timer, "storage.checkpoint");
+  NEPTUNE_METRIC_COUNT("storage.checkpoint.bytes", snapshot.size());
   const uint64_t next = epoch_ + 1;
   NEPTUNE_RETURN_IF_ERROR(env_->WriteFileAtomic(JoinPath(dir_, SnapName(next)),
                                                 EncodeSnapshot(snapshot)));

@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "common/metrics.h"
 
 namespace neptune {
 
@@ -21,7 +22,12 @@ Status LogWriter::AddRecord(std::string_view payload, bool sync) {
   frame.append(header, kHeaderSize);
   frame.append(payload);
   NEPTUNE_RETURN_IF_ERROR(file_->Append(frame));
-  if (sync) return file_->Sync();
+  NEPTUNE_METRIC_COUNT("storage.wal.appends", 1);
+  NEPTUNE_METRIC_COUNT("storage.wal.bytes", frame.size());
+  if (sync) {
+    NEPTUNE_METRIC_TIMED(timer, "storage.wal.fsync");
+    return file_->Sync();
+  }
   return Status::OK();
 }
 

@@ -266,6 +266,45 @@ TEST_F(RpcEndToEndTest, ConnectToClosedPortFails) {
   EXPECT_FALSE(bad.ok());
 }
 
+TEST_F(RpcEndToEndTest, ServerStatisticsAdvanceAcrossRequests) {
+  // Metrics are process-wide, so assert on deltas between snapshots
+  // rather than absolute values.
+  auto before = client_->GetServerStatistics();
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  // The fixture itself already issued ping/createGraph/openGraph.
+  EXPECT_GT(before->CounterValue("rpc.requests"), 0u);
+  EXPECT_GT(before->CounterValue("rpc.request.createGraph"), 0u);
+
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_TRUE(client_->ModifyNode(ctx_, added->node, added->creation_time,
+                                  "counted contents", {}, "metrics test")
+                  .ok());
+
+  auto after = client_->GetServerStatistics();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->CounterValue("rpc.request.addNode"),
+            before->CounterValue("rpc.request.addNode") + 1);
+  EXPECT_EQ(after->CounterValue("rpc.request.modifyNode"),
+            before->CounterValue("rpc.request.modifyNode") + 1);
+  // addNode + modifyNode + the second getServerStatistics itself.
+  EXPECT_GE(after->CounterValue("rpc.requests"),
+            before->CounterValue("rpc.requests") + 3);
+  EXPECT_GT(after->CounterValue("rpc.bytes_in"),
+            before->CounterValue("rpc.bytes_in"));
+  EXPECT_GT(after->CounterValue("rpc.bytes_out"),
+            before->CounterValue("rpc.bytes_out"));
+  // The instrumented HAM layer underneath moved too.
+  EXPECT_GE(after->CounterValue("ham.op.structure.count"),
+            before->CounterValue("ham.op.structure.count") + 1);
+  EXPECT_GE(after->CounterValue("ham.op.node.count"),
+            before->CounterValue("ham.op.node.count") + 1);
+  ASSERT_TRUE(after->histograms.count("rpc.request_latency"));
+  EXPECT_GT(after->histograms.at("rpc.request_latency").count,
+            before->histograms.at("rpc.request_latency").count);
+  EXPECT_GT(after->gauges.at("rpc.connections.active"), 0);
+}
+
 }  // namespace
 }  // namespace rpc
 }  // namespace neptune
