@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "delta/recon_cache.h"
 #include "delta/version_chain.h"
 
 namespace neptune {
@@ -22,10 +23,28 @@ namespace {
 using delta::ChainMode;
 using delta::VersionChain;
 
+// Repeated Get() of the same version would otherwise be served by the
+// process-global reconstruction cache after the first iteration,
+// hiding the delta-walk cost these benchmarks measure.
+class ScopedCacheOff {
+ public:
+  ScopedCacheOff()
+      : saved_(delta::ReconstructionCache::Instance().capacity_bytes()) {
+    delta::ReconstructionCache::Instance().set_capacity_bytes(0);
+  }
+  ~ScopedCacheOff() {
+    delta::ReconstructionCache::Instance().set_capacity_bytes(saved_);
+  }
+
+ private:
+  size_t saved_;
+};
+
 // Args: {total_versions, depth_from_current}.
 void BM_ChainGetAtDepth(benchmark::State& state, ChainMode mode) {
   const int versions = static_cast<int>(state.range(0));
   const int depth = static_cast<int>(state.range(1));
+  ScopedCacheOff cache_off;
   Random rng(3);
   std::string text = rng.NextString(16 << 10);
   VersionChain chain(mode);
@@ -61,11 +80,69 @@ BENCHMARK_CAPTURE(BM_ChainGetAtDepth, forward_delta,
                   ChainMode::kForwardDelta)
     ->Apply(DepthArgs);
 
+// Keyframe ablation: reading the OLDEST version of a deep backward
+// chain is the worst case (the walk starts at the current version).
+// With a keyframe every K versions the walk is bounded by K delta
+// applies regardless of chain length; with keyframes off it applies
+// one delta per version of depth. Arg: keyframe interval (0 = off).
+void BM_ChainGetOldestKeyframeAblation(benchmark::State& state) {
+  const int versions = 256;
+  const uint32_t interval = static_cast<uint32_t>(state.range(0));
+  ScopedCacheOff cache_off;
+  Random rng(3);
+  std::string text = rng.NextString(16 << 10);
+  VersionChain chain(ChainMode::kBackwardDelta);
+  chain.set_keyframe_interval(interval);
+  uint64_t t = 0;
+  uint64_t oldest = 0;
+  for (int v = 0; v < versions; ++v) {
+    bench::RandomEdit(&rng, &text, 64);
+    chain.Append(++t, text, "");
+    if (v == 0) oldest = t;
+  }
+  for (auto _ : state) {
+    auto contents = chain.Get(oldest);
+    benchmark::DoNotOptimize(contents);
+  }
+  state.counters["keyframe_interval"] = interval;
+  state.counters["stored_bytes"] =
+      static_cast<double>(chain.StoredBytes());
+}
+
+BENCHMARK(BM_ChainGetOldestKeyframeAblation)->Arg(0)->Arg(16);
+
+// The cache path the ablation above deliberately bypasses: repeated
+// reads of the same historical version are served from the
+// reconstruction cache without applying any deltas.
+void BM_ChainGetOldestCached(benchmark::State& state) {
+  const int versions = 256;
+  Random rng(3);
+  std::string text = rng.NextString(16 << 10);
+  VersionChain chain(ChainMode::kBackwardDelta);
+  uint64_t t = 0;
+  uint64_t oldest = 0;
+  for (int v = 0; v < versions; ++v) {
+    bench::RandomEdit(&rng, &text, 64);
+    chain.Append(++t, text, "");
+    if (v == 0) oldest = t;
+  }
+  delta::ReconstructionCache::Instance().Clear();
+  for (auto _ : state) {
+    auto contents = chain.Get(oldest);
+    benchmark::DoNotOptimize(contents);
+  }
+}
+
+BENCHMARK(BM_ChainGetOldestCached);
+
 // The same sweep through the full HAM: openNode at a historical time.
 void BM_HamOpenNodeAtDepth(benchmark::State& state) {
   const int versions = 200;
   const int depth = static_cast<int>(state.range(0));
   bench::ScratchGraph graph("b2_open");
+  // After graph construction: the Ham constructor sets the cache
+  // capacity from its options, which would undo an earlier override.
+  ScopedCacheOff cache_off;  // measure the walk (bounded by keyframes)
   Random rng(5);
   std::string text = rng.NextString(16 << 10);
   auto added = graph.ham()->AddNode(graph.ctx(), true);

@@ -132,6 +132,13 @@ int RemoteWorkload(const std::string& host, uint16_t port,
   Check(client->ModifyNode(ctx, a.node, reopened.current_version_time,
                            "workload: node a, version 2\n", updates, "v2"));
 
+  // Read version 1 back now that version 2 is current: the first read
+  // reconstructs through the delta chain (delta.cache.miss), the
+  // second is served from the reconstruction cache (delta.cache.hit).
+  const ham::Time v1_time = reopened.current_version_time;
+  (void)Unwrap(client->OpenNode(ctx, a.node, v1_time, {}));
+  (void)Unwrap(client->OpenNode(ctx, a.node, v1_time, {}));
+
   auto relation = Unwrap(client->GetAttributeIndex(ctx, "relation"));
   Check(client->SetLinkAttributeValue(ctx, link.link, relation, "comment"));
   Check(client->SetNodeAttributeValue(ctx, a.node, relation, "document"));

@@ -1,0 +1,98 @@
+#include "delta/recon_cache.h"
+
+#include "common/metrics.h"
+
+namespace neptune {
+namespace delta {
+
+ReconstructionCache& ReconstructionCache::Instance() {
+  static ReconstructionCache* cache = new ReconstructionCache();
+  return *cache;
+}
+
+bool ReconstructionCache::Lookup(uint64_t chain_id, uint64_t version_time,
+                                 std::string* out) {
+  Shard& shard = ShardFor(chain_id, version_time);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find({chain_id, version_time});
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      out->assign(it->second->contents);
+      NEPTUNE_METRIC_COUNT("delta.cache.hit", 1);
+      return true;
+    }
+  }
+  NEPTUNE_METRIC_COUNT("delta.cache.miss", 1);
+  return false;
+}
+
+void ReconstructionCache::Insert(uint64_t chain_id, uint64_t version_time,
+                                 const std::string& contents) {
+  const size_t budget = shard_capacity_.load(std::memory_order_relaxed);
+  if (contents.size() > budget) return;  // would evict the whole shard
+  Shard& shard = ShardFor(chain_id, version_time);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find({chain_id, version_time});
+  if (it != shard.map.end()) {
+    // (id, canonical time) names immutable contents, so a re-insert
+    // can only be a refresh of the same bytes.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  EvictToFit(&shard, budget - contents.size());
+  shard.lru.push_front(Entry{chain_id, version_time, contents});
+  shard.map.emplace(std::make_pair(chain_id, version_time),
+                    shard.lru.begin());
+  shard.bytes += contents.size();
+  NEPTUNE_METRIC_COUNT("delta.cache.inserted", 1);
+}
+
+void ReconstructionCache::EvictToFit(Shard* shard, size_t budget) {
+  while (shard->bytes > budget && !shard->lru.empty()) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.contents.size();
+    shard->map.erase({victim.chain_id, victim.version_time});
+    shard->lru.pop_back();
+    NEPTUNE_METRIC_COUNT("delta.cache.evicted", 1);
+  }
+}
+
+void ReconstructionCache::set_capacity_bytes(size_t bytes) {
+  const size_t per_shard = bytes / kShards;
+  shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictToFit(&shard, per_shard);
+  }
+}
+
+size_t ReconstructionCache::SizeBytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+size_t ReconstructionCache::EntryCount() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void ReconstructionCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace delta
+}  // namespace neptune

@@ -1,0 +1,107 @@
+// ReconstructionCache: a process-wide sharded LRU cache of historical
+// version reconstructions, keyed by (chain id, canonical version
+// time). Walking a delta chain is the one read the HAM cannot serve in
+// O(1); with many concurrent readers revisiting the same historical
+// versions (version browsers, diffs, trails) the same walk repeats.
+// The cache remembers the result so only the first reader pays.
+//
+// Keying. Every VersionChain gets a process-unique id at construction;
+// copies (transaction/context copy-on-write) share the id. That is
+// safe because the key's time component is the *canonical* version
+// time (versions_[index].time after resolving the requested time), a
+// graph-wide logical timestamp assigned exactly once — a given
+// (id, canonical time) pair can only ever name one contents value.
+// PruneBefore re-ids the chain, dropping its entries wholesale.
+//
+// Concurrency. Shards are guarded by per-shard mutexes, so readers
+// holding only a shared graph lock may probe and fill concurrently.
+// Hits/misses/evictions are reported as `delta.cache.*` metrics.
+
+#ifndef NEPTUNE_DELTA_RECON_CACHE_H_
+#define NEPTUNE_DELTA_RECON_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace neptune {
+namespace delta {
+
+class ReconstructionCache {
+ public:
+  static ReconstructionCache& Instance();
+
+  // Copies the cached contents into `*out` and returns true on a hit.
+  // Bumps delta.cache.hit / delta.cache.miss.
+  bool Lookup(uint64_t chain_id, uint64_t version_time, std::string* out);
+
+  // Inserts (or refreshes) an entry, evicting least-recently-used
+  // entries from the shard until it fits. Entries larger than a
+  // shard's capacity are not cached.
+  void Insert(uint64_t chain_id, uint64_t version_time,
+              const std::string& contents);
+
+  // Total capacity in bytes across all shards; 0 disables the cache
+  // (lookups miss, inserts drop). Existing entries are evicted to fit.
+  void set_capacity_bytes(size_t bytes);
+  size_t capacity_bytes() const {
+    return shard_capacity_.load(std::memory_order_relaxed) * kShards;
+  }
+
+  // Current totals, for tests and stats.
+  size_t SizeBytes() const;
+  size_t EntryCount() const;
+
+  // Drops every entry (tests).
+  void Clear();
+
+ private:
+  ReconstructionCache() = default;
+
+  static constexpr size_t kShards = 8;  // power of two
+
+  struct Entry {
+    uint64_t chain_id;
+    uint64_t version_time;
+    std::string contents;
+  };
+  using Lru = std::list<Entry>;
+
+  struct KeyHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& k) const {
+      // 64-bit mix of both halves (splitmix64 finalizer).
+      uint64_t x = k.first * 0x9e3779b97f4a7c15ull + k.second;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebull;
+      x ^= x >> 31;
+      return static_cast<size_t>(x);
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    Lru lru;  // front = most recently used
+    std::unordered_map<std::pair<uint64_t, uint64_t>, Lru::iterator, KeyHash>
+        map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t chain_id, uint64_t version_time) {
+    return shards_[KeyHash()({chain_id, version_time}) & (kShards - 1)];
+  }
+  // Caller holds shard.mu.
+  void EvictToFit(Shard* shard, size_t budget);
+
+  std::atomic<size_t> shard_capacity_{(8ull << 20) / kShards};
+  Shard shards_[kShards];
+};
+
+}  // namespace delta
+}  // namespace neptune
+
+#endif  // NEPTUNE_DELTA_RECON_CACHE_H_

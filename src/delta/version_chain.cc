@@ -1,13 +1,28 @@
 #include "delta/version_chain.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/coding.h"
 #include "common/metrics.h"
 #include "delta/byte_delta.h"
+#include "delta/recon_cache.h"
 
 namespace neptune {
 namespace delta {
+
+namespace {
+
+// New-format chains set this bit on the mode byte; legacy blobs
+// (mode byte 0..3) decode unchanged.
+constexpr uint8_t kKeyframeFlag = 0x80;
+
+}  // namespace
+
+uint64_t VersionChain::NewChainId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Status VersionChain::Append(uint64_t time, std::string_view contents,
                             std::string_view explanation) {
@@ -28,6 +43,15 @@ Status VersionChain::Append(uint64_t time, std::string_view contents,
       current_.assign(contents);  // the oldest version is the base
     } else {
       backward_.push_back(EncodeDelta(/*base=*/tip_, /*target=*/contents));
+      // What a full copy of the new version would have cost vs. the
+      // delta we kept — same storage claim as the backward mode.
+      NEPTUNE_METRIC_COUNT("delta.bytes.raw", contents.size());
+      NEPTUNE_METRIC_COUNT("delta.bytes.stored", backward_.back().size());
+      // Keyframe the new version (index = its position) every K-th.
+      const size_t index = versions_.size();
+      if (keyframe_interval_ > 0 && index % keyframe_interval_ == 0) {
+        keyframes_.push_back(Keyframe{index, std::string(contents)});
+      }
     }
     tip_.assign(contents);
     versions_.push_back(VersionInfo{time, std::string(explanation)});
@@ -40,6 +64,11 @@ Status VersionChain::Append(uint64_t time, std::string_view contents,
       // displaced version would have cost vs. the delta we kept.
       NEPTUNE_METRIC_COUNT("delta.bytes.raw", current_.size());
       NEPTUNE_METRIC_COUNT("delta.bytes.stored", backward_.back().size());
+      // Keyframe the displaced version (we hold it whole right now).
+      const size_t displaced = versions_.size() - 1;
+      if (keyframe_interval_ > 0 && displaced % keyframe_interval_ == 0) {
+        keyframes_.push_back(Keyframe{displaced, current_});
+      }
     } else {
       backward_.push_back(current_);
     }
@@ -69,25 +98,60 @@ Result<std::string> VersionChain::Get(uint64_t time) const {
   NEPTUNE_ASSIGN_OR_RETURN(size_t index, VersionIndexAt(time));
   if (mode_ == ChainMode::kForwardDelta) {
     if (index == versions_.size() - 1) return tip_;
-    // Walk forward deltas up from the oldest version to `index`.
+    const uint64_t canonical = versions_[index].time;
+    std::string cached;
+    if (ReconstructionCache::Instance().Lookup(chain_id_, canonical,
+                                               &cached)) {
+      return cached;
+    }
+    // Walk forward deltas up from the nearest keyframe at or below
+    // `index` (or the oldest version) to `index`.
+    size_t start = 0;
+    const std::string* base = &current_;
+    auto kf = std::upper_bound(
+        keyframes_.begin(), keyframes_.end(), index,
+        [](size_t i, const Keyframe& k) { return i < k.index; });
+    if (kf != keyframes_.begin()) {
+      --kf;
+      if (kf->index > start) {
+        start = static_cast<size_t>(kf->index);
+        base = &kf->contents;
+      }
+    }
     NEPTUNE_METRIC_COUNT("delta.chain.reconstructions", 1);
-    NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied", index);
-    std::string contents = current_;
-    for (size_t i = 0; i < index; ++i) {
+    NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied", index - start);
+    std::string contents = *base;
+    for (size_t i = start; i < index; ++i) {
       NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));
     }
+    ReconstructionCache::Instance().Insert(chain_id_, canonical, contents);
     return contents;
   }
   if (index == versions_.size() - 1) return current_;
   if (mode_ == ChainMode::kFullCopy) return backward_[index];
-  // Walk backward deltas from the current version down to `index`.
+  const uint64_t canonical = versions_[index].time;
+  std::string cached;
+  if (ReconstructionCache::Instance().Lookup(chain_id_, canonical, &cached)) {
+    return cached;
+  }
+  // Walk backward deltas down to `index` from the nearest keyframe at
+  // or above it (or the current version).
+  size_t start = versions_.size() - 1;
+  const std::string* base = &current_;
+  auto kf = std::lower_bound(
+      keyframes_.begin(), keyframes_.end(), index,
+      [](const Keyframe& k, size_t i) { return k.index < i; });
+  if (kf != keyframes_.end() && static_cast<size_t>(kf->index) < start) {
+    start = static_cast<size_t>(kf->index);
+    base = &kf->contents;
+  }
   NEPTUNE_METRIC_COUNT("delta.chain.reconstructions", 1);
-  NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied",
-                       versions_.size() - 1 - index);
-  std::string contents = current_;
-  for (size_t i = versions_.size() - 1; i-- > index;) {
+  NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied", start - index);
+  std::string contents = *base;
+  for (size_t i = start; i-- > index;) {
     NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));
   }
+  ReconstructionCache::Instance().Insert(chain_id_, canonical, contents);
   return contents;
 }
 
@@ -108,17 +172,40 @@ size_t VersionChain::PruneBefore(uint64_t before) {
                   versions_.begin() + static_cast<ptrdiff_t>(drop));
   backward_.erase(backward_.begin(),
                   backward_.begin() + static_cast<ptrdiff_t>(drop));
+  // Keyframes below the horizon go; survivors shift with the indices.
+  keyframes_.erase(
+      std::remove_if(keyframes_.begin(), keyframes_.end(),
+                     [&](const Keyframe& k) { return k.index < drop; }),
+      keyframes_.end());
+  for (Keyframe& k : keyframes_) k.index -= drop;
+  // Re-id so stale reconstruction-cache entries can never be served
+  // (they were keyed under the old id) and age out of the LRU.
+  chain_id_ = NewChainId();
   return drop;
 }
 
 size_t VersionChain::StoredBytes() const {
   size_t total = current_.size();
   for (const auto& d : backward_) total += d.size();
+  for (const auto& k : keyframes_) total += k.contents.size();
   return total;
 }
 
 void VersionChain::EncodeTo(std::string* out) const {
-  out->push_back(static_cast<char>(mode_));
+  // Chains that never saw a keyframe encode byte-identically to the
+  // legacy format, so pre-keyframe readers of such snapshots and all
+  // existing codec tests are unaffected.
+  const bool keyframed = keyframe_interval_ > 0 || !keyframes_.empty();
+  out->push_back(static_cast<char>(static_cast<uint8_t>(mode_) |
+                                   (keyframed ? kKeyframeFlag : 0)));
+  if (keyframed) {
+    PutVarint32(out, keyframe_interval_);
+    PutVarint64(out, keyframes_.size());
+    for (const Keyframe& k : keyframes_) {
+      PutVarint64(out, k.index);
+      PutLengthPrefixed(out, k.contents);
+    }
+  }
   PutLengthPrefixed(out, current_);
   PutVarint64(out, versions_.size());
   for (const auto& v : versions_) {
@@ -133,12 +220,35 @@ void VersionChain::EncodeTo(std::string* out) const {
 
 Result<VersionChain> VersionChain::DecodeFrom(std::string_view* in) {
   if (in->empty()) return Status::Corruption("version chain: empty input");
-  const uint8_t mode_byte = static_cast<uint8_t>(in->front());
+  const uint8_t first = static_cast<uint8_t>(in->front());
   in->remove_prefix(1);
+  const bool keyframed = (first & kKeyframeFlag) != 0;
+  const uint8_t mode_byte = first & ~kKeyframeFlag;
   if (mode_byte > static_cast<uint8_t>(ChainMode::kForwardDelta)) {
     return Status::Corruption("version chain: bad mode");
   }
   VersionChain chain(static_cast<ChainMode>(mode_byte));
+  if (keyframed) {
+    uint64_t nk = 0;
+    if (!GetVarint32(in, &chain.keyframe_interval_) || !GetVarint64(in, &nk)) {
+      return Status::Corruption("version chain: truncated keyframe header");
+    }
+    chain.keyframes_.reserve(nk);
+    uint64_t prev_index = 0;
+    for (uint64_t i = 0; i < nk; ++i) {
+      Keyframe k;
+      std::string_view contents;
+      if (!GetVarint64(in, &k.index) || !GetLengthPrefixed(in, &contents)) {
+        return Status::Corruption("version chain: truncated keyframe");
+      }
+      if (i > 0 && k.index <= prev_index) {
+        return Status::Corruption("version chain: keyframes out of order");
+      }
+      prev_index = k.index;
+      k.contents.assign(contents);
+      chain.keyframes_.push_back(std::move(k));
+    }
+  }
   std::string_view current;
   if (!GetLengthPrefixed(in, &current)) {
     return Status::Corruption("version chain: truncated contents");
@@ -166,6 +276,9 @@ Result<VersionChain> VersionChain::DecodeFrom(std::string_view* in) {
       nd + 1 != n && !(nd == 0 && n == 0)) {
     return Status::Corruption("version chain: delta/version count mismatch");
   }
+  if (!chain.keyframes_.empty() && chain.keyframes_.back().index >= n) {
+    return Status::Corruption("version chain: keyframe index out of range");
+  }
   chain.backward_.reserve(nd);
   for (uint64_t i = 0; i < nd; ++i) {
     std::string_view d;
@@ -175,10 +288,16 @@ Result<VersionChain> VersionChain::DecodeFrom(std::string_view* in) {
     chain.backward_.emplace_back(d);
   }
   if (chain.mode_ == ChainMode::kForwardDelta && !chain.versions_.empty()) {
-    // Rebuild the in-memory tip cache by replaying the chain.
+    // Rebuild the in-memory tip cache by replaying the chain — from
+    // the last keyframe when one exists, else the whole chain.
+    size_t start = 0;
     std::string tip = chain.current_;
-    for (const std::string& d : chain.backward_) {
-      NEPTUNE_ASSIGN_OR_RETURN(tip, ApplyDelta(tip, d));
+    if (!chain.keyframes_.empty()) {
+      start = static_cast<size_t>(chain.keyframes_.back().index);
+      tip = chain.keyframes_.back().contents;
+    }
+    for (size_t i = start; i < chain.backward_.size(); ++i) {
+      NEPTUNE_ASSIGN_OR_RETURN(tip, ApplyDelta(tip, chain.backward_[i]));
     }
     chain.tip_ = std::move(tip);
   }

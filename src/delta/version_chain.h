@@ -18,6 +18,18 @@
 //                   read — costs O(history). Kept as the ablation that
 //                   justifies the paper's RCS-style choice (B1/B2).
 //
+// Keyframes. A plain delta chain makes a historical read cost
+// O(distance to the stored-whole end). With a keyframe interval K > 0
+// the chain additionally stores a full copy of every K-th version, so
+// a reconstruction starts from the nearest keyframe and applies at
+// most ~K deltas — the RCS layout with SCCS-free random access,
+// trading (StoredBytes/K-th) extra storage for a hard latency bound.
+// Keyframes apply to both delta modes and are captured at Append time.
+//
+// Reconstructions are additionally memoized in the process-wide
+// ReconstructionCache (see recon_cache.h), keyed by the chain's
+// process-unique id and the canonical version time.
+//
 // Timestamps are the per-graph logical HAM Time; Get(0) means the
 // current version, Get(t) the version in effect at time t.
 
@@ -55,6 +67,19 @@ class VersionChain {
   bool empty() const { return versions_.empty(); }
   size_t version_count() const { return versions_.size(); }
 
+  // Keyframe interval: store a full copy of every `k`-th version so a
+  // reconstruction applies at most ~k deltas. 0 (the default) disables
+  // keyframes. Takes effect for subsequent Appends; existing versions
+  // are not re-keyframed.
+  void set_keyframe_interval(uint32_t k) { keyframe_interval_ = k; }
+  uint32_t keyframe_interval() const { return keyframe_interval_; }
+  size_t keyframe_count() const { return keyframes_.size(); }
+
+  // Process-unique identity used as the reconstruction-cache key.
+  // Copies share the id (safe: a canonical version time names one
+  // immutable contents value); PruneBefore assigns a fresh id.
+  uint64_t chain_id() const { return chain_id_; }
+
   // Records `contents` as the new current version at `time`, which
   // must be strictly greater than the previous version's time.
   Status Append(uint64_t time, std::string_view contents,
@@ -81,20 +106,30 @@ class VersionChain {
   const std::vector<VersionInfo>& versions() const { return versions_; }
 
   // Bytes held by this chain (current contents + stored deltas or
-  // copies); the quantity benchmark B1 measures.
+  // copies + keyframes); the quantity benchmark B1 measures.
   size_t StoredBytes() const;
 
   // Reclaims storage: drops every version strictly older than the one
   // in effect at `before`. Reads at or after `before` still work;
   // earlier times become NotFound. No-op for kCurrentOnly chains,
   // before == 0, or when nothing predates `before`. Returns the number
-  // of versions dropped.
+  // of versions dropped. Re-ids the chain, invalidating its
+  // reconstruction-cache entries.
   size_t PruneBefore(uint64_t before);
 
   void EncodeTo(std::string* out) const;
   static Result<VersionChain> DecodeFrom(std::string_view* in);
 
  private:
+  // A stored-whole historical version; `index` is its position in
+  // versions_ (kept ascending by index).
+  struct Keyframe {
+    uint64_t index = 0;
+    std::string contents;
+  };
+
+  static uint64_t NewChainId();
+
   ChainMode mode_;
   // kForwardDelta: the OLDEST version's contents; otherwise the newest.
   std::string current_;
@@ -108,6 +143,11 @@ class VersionChain {
   // kForwardDelta only: in-memory cache of the newest contents (not
   // serialized; rebuilt on decode) so appends don't replay the chain.
   std::string tip_;
+
+  uint32_t keyframe_interval_ = 0;
+  std::vector<Keyframe> keyframes_;  // ascending by index
+
+  uint64_t chain_id_ = NewChainId();
 };
 
 }  // namespace delta

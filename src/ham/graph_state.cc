@@ -335,6 +335,7 @@ Status GraphState::ApplyAddNode(const Op& op, TxnOverlay* txn) {
   node.contents = delta::VersionChain(op.flag
                                           ? delta::ChainMode::kBackwardDelta
                                           : delta::ChainMode::kCurrentOnly);
+  node.contents.set_keyframe_interval(keyframe_interval_);
   // Seed the initial (empty) version so getNodeTimeStamp and the
   // modifyNode optimistic check are uniform from birth.
   NEPTUNE_RETURN_IF_ERROR(node.contents.Append(op.time, "", "created"));
@@ -491,6 +492,9 @@ Status GraphState::ApplyModifyNode(const Op& op, TxnOverlay* txn) {
           " does not reference node " + std::to_string(op.node));
     }
   }
+  // Stamp the engine's interval every modify so chains from snapshots
+  // that predate the keyframe option pick it up too.
+  node->contents.set_keyframe_interval(keyframe_interval_);
   NEPTUNE_RETURN_IF_ERROR(node->contents.Append(op.time, op.value, op.extra));
   for (const LinkPt& att : op.attachments) {
     NEPTUNE_ASSIGN_OR_RETURN(LinkRecord * link,
@@ -673,6 +677,9 @@ Result<SubGraph> GraphState::Query(ThreadId thread, const TxnOverlay* txn,
   const std::vector<NodeIndex>* candidates = nullptr;
   if (attribute_index_enabled_ && thread == kMainThread && txn == nullptr &&
       time == 0) {
+    // Concurrent readers race on the lazy rebuild; the candidate
+    // references remain usable after unlock (see node_index_mu_).
+    std::lock_guard<std::mutex> index_lock(*node_index_mu_);
     std::pair<AttributeIndex, std::string> best{0, ""};
     size_t best_cardinality = 0;
     for (const auto& [name, value] : node_pred.EqualityConjuncts()) {

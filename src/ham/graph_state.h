@@ -26,6 +26,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -150,6 +151,11 @@ class GraphState {
     return node_index_.rebuild_count();
   }
 
+  // Keyframe interval stamped onto node version chains as ops touch
+  // them (HamOptions::keyframe_interval; see delta/version_chain.h).
+  void set_keyframe_interval(uint32_t k) { keyframe_interval_ = k; }
+  uint32_t keyframe_interval() const { return keyframe_interval_; }
+
   // getAttributeValues: every distinct value of `attr` attached to any
   // node or link at `time`, sorted.
   std::vector<std::string> AttributeValuesAt(ThreadId thread,
@@ -236,11 +242,19 @@ class GraphState {
   RecordSet base_;
   std::map<ThreadId, ThreadState> threads_;  // non-main threads only
 
-  // getGraphQuery fast path. The engine serializes all GraphState
-  // access under the graph lock, so the mutable lazy index needs no
-  // further synchronization.
+  uint32_t keyframe_interval_ = 0;
+
+  // getGraphQuery fast path. Mutations are serialized under the
+  // exclusive graph lock, but queries now run concurrently under
+  // shared locks, so the lazy rebuild is serialized by its own mutex
+  // (behind a unique_ptr because GraphState is movable and std::mutex
+  // is not). Candidate references handed out by the index stay valid
+  // for the duration of a shared graph lock: the index only rebuilds
+  // when mutation_epoch_ moved, and the epoch only moves under the
+  // exclusive lock.
   bool attribute_index_enabled_ = true;
   uint64_t mutation_epoch_ = 0;  // bumped by every Apply/CommitOverlay
+  std::unique_ptr<std::mutex> node_index_mu_ = std::make_unique<std::mutex>();
   mutable AttributeValueIndex node_index_;
 };
 

@@ -1,12 +1,14 @@
 #include "ham/ham.h"
 
 #include <algorithm>
+#include <shared_mutex>
 
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "delta/recon_cache.h"
 
 namespace neptune {
 namespace ham {
@@ -89,7 +91,12 @@ bool DemonRegistry::Fire(const DemonInvocation& invocation) const {
 // ------------------------------------------------------------- lifecycle
 
 Ham::Ham(Env* env, HamOptions options)
-    : env_(env), options_(std::move(options)) {}
+    : env_(env), options_(std::move(options)) {
+  // The reconstruction cache is process-wide; the most recently
+  // constructed engine's option wins (they normally agree).
+  delta::ReconstructionCache::Instance().set_capacity_bytes(
+      options_.recon_cache_bytes);
+}
 
 Ham::~Ham() = default;
 
@@ -194,6 +201,7 @@ Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
   NEPTUNE_ASSIGN_OR_RETURN(handle->state,
                            GraphState::DecodeFrom(recovered.snapshot));
   handle->state.set_attribute_index_enabled(options_.use_attribute_index);
+  handle->state.set_keyframe_interval(options_.keyframe_interval);
   // Redo every committed transaction.
   for (const std::string& record : recovered.wal_records) {
     NEPTUNE_ASSIGN_OR_RETURN(std::vector<Op> ops, DecodeTransaction(record));
@@ -245,7 +253,7 @@ Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
   // "This operation can trigger a demon."
   Time now = 0;
   {
-    std::lock_guard<std::mutex> lock(handle->mu);
+    std::shared_lock<std::shared_mutex> lock(handle->mu);
     now = handle->state.clock().Last();
   }
   FireEventDemons(handle, kMainThread, Event::kOpenGraph, 0, 0, now);
@@ -285,14 +293,14 @@ Result<Ham::Session*> Ham::FindSession(Context ctx) {
 // ----------------------------------------------------------- writer slot
 
 void Ham::AcquireWriter(GraphHandle* graph, uint64_t session) {
-  std::unique_lock<std::mutex> lock(graph->mu);
+  std::unique_lock<std::shared_mutex> lock(graph->mu);
   graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
   graph->writer_session = session;
 }
 
 void Ham::ReleaseWriter(GraphHandle* graph, uint64_t session) {
   {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    std::lock_guard<std::shared_mutex> lock(graph->mu);
     if (graph->writer_session == session) graph->writer_session = 0;
   }
   graph->writer_cv.notify_all();
@@ -348,7 +356,7 @@ Status Ham::CommitTransaction(Context ctx) {
   std::vector<Op> committed;
   Status status;
   {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    std::lock_guard<std::shared_mutex> lock(graph->mu);
     status = CommitLocked(graph, session);
     if (status.ok()) committed = std::move(session->ops);
     session->ops.clear();
@@ -384,7 +392,7 @@ Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
   GraphHandle* graph = session->graph.get();
   op->thread = session->thread;
   if (session->in_txn) {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    std::lock_guard<std::shared_mutex> lock(graph->mu);
     op->time = graph->state.clock().Tick();
     NEPTUNE_RETURN_IF_ERROR(graph->state.Apply(*op, &session->overlay));
     session->ops.push_back(*op);
@@ -394,7 +402,7 @@ Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
   // but only once the writer slot is free.
   std::vector<Op> committed;
   {
-    std::unique_lock<std::mutex> lock(graph->mu);
+    std::unique_lock<std::shared_mutex> lock(graph->mu);
     graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
     (void)session_id;
     op->time = graph->state.clock().Tick();
@@ -426,7 +434,7 @@ void Ham::FireEventDemons(GraphHandle* graph, ThreadId thread, Event event,
                           NodeIndex node, LinkIndex link, Time time) {
   std::vector<DemonInvocation> to_fire;
   {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    std::shared_lock<std::shared_mutex> lock(graph->mu);
     std::string graph_demon = graph->state.GraphDemons(nullptr).Get(event, 0);
     if (!graph_demon.empty()) {
       to_fire.push_back(DemonInvocation{event, time, graph->project, thread,

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,13 @@ struct HamOptions {
   // attribute index (see ham/attribute_index.h). Off = always scan
   // (the B3 ablation baseline).
   bool use_attribute_index = true;
+  // Store a full copy of every K-th node version so a historical read
+  // applies at most ~K deltas instead of walking the whole chain
+  // (see delta/version_chain.h). 0 disables keyframes.
+  uint32_t keyframe_interval = 16;
+  // Capacity of the process-wide version-reconstruction cache
+  // (delta/recon_cache.h); applied at Ham construction. 0 disables.
+  size_t recon_cache_bytes = 8ull << 20;
 };
 
 // Process-wide registry binding demon values to callables — the
@@ -188,8 +196,13 @@ class Ham final : public HamInterface {
     std::unique_ptr<DurableStore> store;
     GraphState state;
 
-    std::mutex mu;               // guards state + store
-    std::condition_variable writer_cv;
+    // Guards state + store. Read-only operations take it shared and
+    // run in parallel across server threads; anything that mutates
+    // state, ticks the clock, or writes the store takes it exclusive.
+    std::shared_mutex mu;
+    // Writer-slot waiters (condition_variable_any: it must wait on the
+    // shared_mutex).
+    std::condition_variable_any writer_cv;
     uint64_t writer_session = 0;  // session holding the writer slot
     int open_sessions = 0;
   };

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <shared_mutex>
 
 #include "ham/ham.h"
 
@@ -13,6 +14,20 @@ namespace neptune {
 namespace ham {
 
 namespace {
+
+// Shared (reader) acquisition of the per-graph lock: read-only
+// operations run in parallel across server threads, while Execute,
+// commits, checkpoints and other mutators still take the mutex
+// exclusively. Counted so deployments can see read concurrency.
+class SharedReadLock {
+ public:
+  explicit SharedReadLock(std::shared_mutex& mu) : lock_(mu) {
+    NEPTUNE_METRIC_COUNT("ham.read.shared_lock", 1);
+  }
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
 
 bool NodeCanRead(uint32_t protections) { return (protections & 0444) != 0; }
 
@@ -47,7 +62,7 @@ Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
   op.kind = OpKind::kAddNode;
   op.flag = keep_history;
   {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    std::lock_guard<std::shared_mutex> lock(graph->mu);
     op.node = graph->state.AllocateNodeIndex();
   }
   NEPTUNE_RETURN_IF_ERROR(Execute(session, ctx.session, &op));
@@ -73,7 +88,7 @@ Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
   op.from = Normalize(from);
   op.to = Normalize(to);
   {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    std::lock_guard<std::shared_mutex> lock(graph->mu);
     op.link = graph->state.AllocateLinkIndex();
   }
   NEPTUNE_RETURN_IF_ERROR(Execute(session, ctx.session, &op));
@@ -87,7 +102,7 @@ Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
   GraphHandle* graph = session->graph.get();
   LinkPt copied;
   {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    SharedReadLock lock(graph->mu);
     const GraphState::TxnOverlay* overlay =
         session->in_txn ? &session->overlay : nullptr;
     const LinkRecord* record =
@@ -132,7 +147,7 @@ Result<SubGraph> Ham::LinearizeGraph(
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   NEPTUNE_RETURN_IF_ERROR(
       ValidateAttrRequest(graph->state.attributes(), node_attrs));
   NEPTUNE_RETURN_IF_ERROR(
@@ -153,7 +168,7 @@ Result<SubGraph> Ham::GetGraphQuery(
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   NEPTUNE_RETURN_IF_ERROR(
       ValidateAttrRequest(graph->state.attributes(), node_attrs));
   NEPTUNE_RETURN_IF_ERROR(
@@ -174,7 +189,7 @@ Result<OpenNodeResult> Ham::OpenNode(
   GraphHandle* graph = session->graph.get();
   OpenNodeResult out;
   {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    SharedReadLock lock(graph->mu);
     NEPTUNE_RETURN_IF_ERROR(
         ValidateAttrRequest(graph->state.attributes(), attrs));
     const GraphState::TxnOverlay* overlay =
@@ -243,7 +258,7 @@ Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const NodeRecord* record =
@@ -270,7 +285,7 @@ Result<NodeVersions> Ham::GetNodeVersions(Context ctx, NodeIndex node) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const NodeRecord* record =
@@ -293,7 +308,7 @@ Result<std::vector<delta::Difference>> Ham::GetNodeDifferences(Context ctx,
                                                                Time t2) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const NodeRecord* record =
@@ -313,7 +328,7 @@ Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const LinkRecord* record =
@@ -340,7 +355,7 @@ Result<LinkEndResult> Ham::GetFromNode(Context ctx, LinkIndex link,
   NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const LinkRecord* record =
@@ -368,7 +383,7 @@ Result<std::vector<AttributeEntry>> Ham::GetAttributes(Context ctx,
                                                        Time time) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   return graph->state.attributes().AllAt(time);
 }
 
@@ -377,7 +392,7 @@ Result<std::vector<std::string>> Ham::GetAttributeValues(Context ctx,
                                                          Time time) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   if (!graph->state.attributes().ExistedAt(attr, time)) {
     return Status::NotFound("attribute index " + std::to_string(attr) +
                             " did not exist at time " + std::to_string(time));
@@ -392,7 +407,15 @@ Result<AttributeIndex> Ham::GetAttributeIndex(Context ctx,
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  {
+    // Fast path: the attribute already exists (the common case after
+    // warm-up), served under a shared lock.
+    SharedReadLock lock(graph->mu);
+    Result<AttributeIndex> fast = graph->state.attributes().Lookup(name);
+    if (fast.ok()) return fast;
+  }
+  std::lock_guard<std::shared_mutex> lock(graph->mu);
+  // Re-check: another session may have interned it between the locks.
   Result<AttributeIndex> existing = graph->state.attributes().Lookup(name);
   if (existing.ok()) return existing;
   // "If no attribute exists, then creates one." Interning commits
@@ -440,7 +463,7 @@ Result<std::string> Ham::GetNodeAttributeValue(Context ctx, NodeIndex node,
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const NodeRecord* record =
@@ -463,7 +486,7 @@ Result<std::vector<AttributeValueEntry>> Ham::GetNodeAttributes(
     Context ctx, NodeIndex node, Time time) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const NodeRecord* record =
@@ -511,7 +534,7 @@ Result<std::string> Ham::GetLinkAttributeValue(Context ctx, LinkIndex link,
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const LinkRecord* record =
@@ -534,7 +557,7 @@ Result<std::vector<AttributeValueEntry>> Ham::GetLinkAttributes(
     Context ctx, LinkIndex link, Time time) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const LinkRecord* record =
@@ -568,7 +591,7 @@ Status Ham::SetGraphDemonValue(Context ctx, Event event,
 Result<std::vector<DemonEntry>> Ham::GetGraphDemons(Context ctx, Time time) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   return graph->state.GraphDemons(overlay).GetAll(time);
@@ -591,7 +614,7 @@ Result<std::vector<DemonEntry>> Ham::GetNodeDemons(Context ctx,
                                                    Time time) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
   const NodeRecord* record =
@@ -609,7 +632,7 @@ Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  std::lock_guard<std::shared_mutex> lock(graph->mu);
   Op op;
   op.kind = OpKind::kCreateContext;
   op.arg = graph->state.AllocateThreadId();
@@ -628,7 +651,7 @@ Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   if (thread != kMainThread) {
-    std::lock_guard<std::mutex> lock(graph->mu);
+    SharedReadLock lock(graph->mu);
     if (graph->state.FindThread(thread) == nullptr) {
       return Status::NotFound("version thread " + std::to_string(thread) +
                               " does not exist");
@@ -661,7 +684,7 @@ Status Ham::MergeContext(Context ctx, ThreadId source, bool force) {
 Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   return graph->state.ListThreads();
 }
 
@@ -669,7 +692,7 @@ Status Ham::Checkpoint(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  std::lock_guard<std::shared_mutex> lock(graph->mu);
   std::string snapshot;
   graph->state.EncodeTo(&snapshot);
   return graph->store->Checkpoint(snapshot);
@@ -679,7 +702,7 @@ Result<GraphStats> Ham::GetStats(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   GraphState::Stats stats = graph->state.ComputeStats();
   GraphStats out;
   out.node_count = stats.node_count;
@@ -704,7 +727,7 @@ Result<ThreadId> Ham::ContextThread(Context ctx) {
 Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
   NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::mutex> lock(graph->mu);
+  SharedReadLock lock(graph->mu);
   return graph->state.CheckIntegrity();
 }
 
@@ -719,7 +742,7 @@ Result<uint64_t> Ham::PruneHistory(Context ctx, Time before) {
     return Status::InvalidArgument("prune horizon must be a concrete time");
   }
   GraphHandle* graph = session->graph.get();
-  std::unique_lock<std::mutex> lock(graph->mu);
+  std::unique_lock<std::shared_mutex> lock(graph->mu);
   graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
   Op op;
   op.kind = OpKind::kPruneHistory;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/random.h"
+#include "delta/recon_cache.h"
 
 namespace neptune {
 namespace delta {
@@ -198,6 +200,274 @@ TEST(VersionChainTest, DecodeRejectsBadMode) {
   std::string_view in = encoded;
   auto decoded = VersionChain::DecodeFrom(&in);
   EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+// ------------------------------------------------------- keyframes
+
+uint64_t DeltasAppliedCounter() {
+  return MetricsRegistry::Instance()
+      .GetCounter("delta.chain.deltas_applied")
+      ->Value();
+}
+
+// Builds a chain of `n` versions at times 1..n with distinct contents.
+VersionChain BuildChain(ChainMode mode, uint32_t interval, int n,
+                        std::vector<std::string>* texts = nullptr) {
+  VersionChain chain(mode);
+  chain.set_keyframe_interval(interval);
+  std::string text = "seed contents\n";
+  for (int t = 1; t <= n; ++t) {
+    text += "edit " + std::to_string(t) + "\n";
+    if (t % 9 == 0) text.erase(0, 5);
+    if (texts != nullptr) texts->push_back(text);
+    EXPECT_TRUE(chain.Append(t, text, "").ok());
+  }
+  return chain;
+}
+
+TEST(VersionChainKeyframeTest, BackwardWalkIsBoundedByInterval) {
+  ReconstructionCache::Instance().Clear();
+  std::vector<std::string> texts;
+  VersionChain chain = BuildChain(ChainMode::kBackwardDelta, 16, 256, &texts);
+  EXPECT_GT(chain.keyframe_count(), 10u);  // ~ one per 16 versions
+  for (uint64_t t = 1; t <= 256; ++t) {
+    ReconstructionCache::Instance().Clear();  // force real reconstructions
+    const uint64_t before = DeltasAppliedCounter();
+    auto got = chain.Get(t);
+    ASSERT_TRUE(got.ok()) << t;
+    EXPECT_EQ(*got, texts[t - 1]) << t;
+    EXPECT_LE(DeltasAppliedCounter() - before, 16u) << t;
+  }
+}
+
+TEST(VersionChainKeyframeTest, ForwardWalkIsBoundedByInterval) {
+  ReconstructionCache::Instance().Clear();
+  std::vector<std::string> texts;
+  VersionChain chain = BuildChain(ChainMode::kForwardDelta, 16, 256, &texts);
+  EXPECT_GT(chain.keyframe_count(), 10u);
+  for (uint64_t t = 1; t <= 256; ++t) {
+    ReconstructionCache::Instance().Clear();
+    const uint64_t before = DeltasAppliedCounter();
+    auto got = chain.Get(t);
+    ASSERT_TRUE(got.ok()) << t;
+    EXPECT_EQ(*got, texts[t - 1]) << t;
+    EXPECT_LE(DeltasAppliedCounter() - before, 16u) << t;
+  }
+}
+
+TEST(VersionChainKeyframeTest, IntervalChangeMidChainStaysCorrect) {
+  std::vector<std::string> texts;
+  VersionChain chain(ChainMode::kBackwardDelta);
+  std::string text = "x";
+  for (uint64_t t = 1; t <= 60; ++t) {
+    if (t == 20) chain.set_keyframe_interval(8);
+    if (t == 40) chain.set_keyframe_interval(0);  // stop keyframing
+    text += " v" + std::to_string(t);
+    texts.push_back(text);
+    ASSERT_TRUE(chain.Append(t, text, "").ok());
+  }
+  for (uint64_t t = 1; t <= 60; ++t) {
+    ReconstructionCache::Instance().Clear();
+    EXPECT_EQ(*chain.Get(t), texts[t - 1]) << t;
+  }
+}
+
+TEST(VersionChainKeyframeTest, EncodeDecodeRoundTripKeepsKeyframes) {
+  for (ChainMode mode :
+       {ChainMode::kBackwardDelta, ChainMode::kForwardDelta}) {
+    std::vector<std::string> texts;
+    VersionChain chain = BuildChain(mode, 4, 20, &texts);
+    ASSERT_GT(chain.keyframe_count(), 0u);
+    std::string encoded;
+    chain.EncodeTo(&encoded);
+    // New-format blobs carry the keyframe flag bit on the mode byte.
+    EXPECT_NE(static_cast<uint8_t>(encoded[0]) & 0x80, 0);
+    std::string_view in = encoded;
+    auto decoded = VersionChain::DecodeFrom(&in);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(in.empty());
+    EXPECT_EQ(decoded->keyframe_interval(), 4u);
+    EXPECT_EQ(decoded->keyframe_count(), chain.keyframe_count());
+    for (uint64_t t = 1; t <= 20; ++t) {
+      ReconstructionCache::Instance().Clear();
+      EXPECT_EQ(*decoded->Get(t), texts[t - 1]) << t;
+    }
+  }
+}
+
+TEST(VersionChainKeyframeTest, ChainsWithoutKeyframesEncodeLegacyFormat) {
+  VersionChain chain;  // interval 0, no keyframes
+  ASSERT_TRUE(chain.Append(1, "a", "").ok());
+  ASSERT_TRUE(chain.Append(2, "b", "").ok());
+  std::string encoded;
+  chain.EncodeTo(&encoded);
+  EXPECT_EQ(static_cast<uint8_t>(encoded[0]),
+            static_cast<uint8_t>(ChainMode::kBackwardDelta));
+}
+
+TEST(VersionChainKeyframeTest, DecodeRejectsTruncatedKeyframeFormat) {
+  VersionChain chain = BuildChain(ChainMode::kBackwardDelta, 4, 12);
+  std::string encoded;
+  chain.EncodeTo(&encoded);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    std::string_view in(encoded.data(), cut);
+    auto decoded = VersionChain::DecodeFrom(&in);
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(VersionChainKeyframeTest, DecodeRejectsOutOfRangeKeyframeIndex) {
+  VersionChain chain = BuildChain(ChainMode::kBackwardDelta, 4, 12);
+  std::string encoded;
+  chain.EncodeTo(&encoded);
+  // Corrupt: claim an interval/keyframe section on a chain whose last
+  // keyframe index exceeds the version count. Easiest to synthesize
+  // from a legit blob by chopping versions is fiddly; instead encode a
+  // tiny chain and splice a bogus keyframe header in front.
+  std::string bogus;
+  bogus.push_back(static_cast<char>(0x80));  // kBackwardDelta | flag
+  bogus.push_back(4);                        // interval
+  bogus.push_back(1);                        // one keyframe
+  bogus.push_back(99);                       // index 99 (out of range)
+  bogus.push_back(1);                        // contents length 1
+  bogus.push_back('k');
+  VersionChain small;
+  ASSERT_TRUE(small.Append(1, "a", "").ok());
+  std::string tail;
+  small.EncodeTo(&tail);
+  bogus.append(tail.substr(1));  // drop the legacy mode byte
+  std::string_view in = bogus;
+  auto decoded = VersionChain::DecodeFrom(&in);
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+// ------------------------------------------------- reconstruction cache
+
+TEST(ReconCacheTest, SecondReadOfSameVersionHits) {
+  ReconstructionCache& cache = ReconstructionCache::Instance();
+  cache.Clear();
+  std::vector<std::string> texts;
+  VersionChain chain = BuildChain(ChainMode::kBackwardDelta, 0, 50, &texts);
+  Counter* hits = MetricsRegistry::Instance().GetCounter("delta.cache.hit");
+  const uint64_t hits_before = hits->Value();
+  EXPECT_EQ(*chain.Get(10), texts[9]);  // miss + insert
+  EXPECT_GT(cache.EntryCount(), 0u);
+  EXPECT_EQ(*chain.Get(10), texts[9]);  // hit
+  EXPECT_GT(hits->Value(), hits_before);
+  // The cached copy must be keyed by canonical time: asking for an
+  // intermediate timestamp that resolves to version 10 also hits.
+  std::string out;
+  EXPECT_TRUE(cache.Lookup(chain.chain_id(), 10, &out));
+  EXPECT_EQ(out, texts[9]);
+}
+
+TEST(ReconCacheTest, CurrentReadsBypassTheCache) {
+  ReconstructionCache& cache = ReconstructionCache::Instance();
+  cache.Clear();
+  VersionChain chain = BuildChain(ChainMode::kBackwardDelta, 0, 10);
+  EXPECT_TRUE(chain.Get(0).ok());
+  EXPECT_TRUE(chain.Get(10).ok());  // newest version: served directly
+  EXPECT_EQ(cache.EntryCount(), 0u);
+}
+
+TEST(ReconCacheTest, ZeroCapacityDisablesCaching) {
+  ReconstructionCache& cache = ReconstructionCache::Instance();
+  const size_t restore = cache.capacity_bytes();
+  cache.set_capacity_bytes(0);
+  cache.Clear();
+  std::vector<std::string> texts;
+  VersionChain chain = BuildChain(ChainMode::kBackwardDelta, 0, 20, &texts);
+  EXPECT_EQ(*chain.Get(5), texts[4]);
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  cache.set_capacity_bytes(restore);
+}
+
+TEST(ReconCacheTest, EvictsLeastRecentlyUsedUnderPressure) {
+  ReconstructionCache& cache = ReconstructionCache::Instance();
+  const size_t restore = cache.capacity_bytes();
+  cache.set_capacity_bytes(1 << 12);  // 512 bytes per shard
+  cache.Clear();
+  Random rng(7);
+  for (uint64_t i = 1; i <= 200; ++i) {
+    cache.Insert(/*chain_id=*/1000 + i, /*version_time=*/1,
+                 rng.NextString(100));
+  }
+  EXPECT_LE(cache.SizeBytes(), size_t{1} << 12);
+  EXPECT_LT(cache.EntryCount(), 200u);
+  cache.set_capacity_bytes(restore);
+  cache.Clear();
+}
+
+// ----------------------------------------------------------- pruning
+
+TEST(VersionChainPruneTest, PruneAcrossAllModesWithKeyframes) {
+  for (ChainMode mode : {ChainMode::kBackwardDelta, ChainMode::kFullCopy,
+                         ChainMode::kForwardDelta}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    std::vector<std::string> texts;
+    VersionChain chain = BuildChain(mode, 8, 64, &texts);
+    const uint64_t id_before = chain.chain_id();
+    const size_t stored_before = chain.StoredBytes();
+    EXPECT_EQ(chain.PruneBefore(40), 39u);
+    EXPECT_EQ(chain.version_count(), 25u);
+    // Pruning re-ids the chain so stale cache entries cannot serve.
+    EXPECT_NE(chain.chain_id(), id_before);
+    EXPECT_LT(chain.StoredBytes(), stored_before);
+    for (uint64_t t = 40; t <= 64; ++t) {
+      ReconstructionCache::Instance().Clear();
+      auto got = chain.Get(t);
+      ASSERT_TRUE(got.ok()) << t;
+      EXPECT_EQ(*got, texts[t - 1]) << t;
+    }
+    EXPECT_TRUE(chain.Get(39).status().IsNotFound());
+    EXPECT_EQ(*chain.Get(0), texts.back());
+    // Survivor keyframes were reindexed: appends and reads still agree.
+    std::string text = texts.back();
+    for (uint64_t t = 65; t <= 80; ++t) {
+      text += " post-prune " + std::to_string(t);
+      ASSERT_TRUE(chain.Append(t, text, "").ok());
+      EXPECT_EQ(*chain.Get(t), text);
+    }
+    EXPECT_EQ(*chain.Get(40), texts[39]);
+  }
+}
+
+TEST(VersionChainPruneTest, CurrentOnlyPruneIsNoOp) {
+  VersionChain chain(ChainMode::kCurrentOnly);
+  ASSERT_TRUE(chain.Append(1, "v1", "").ok());
+  ASSERT_TRUE(chain.Append(2, "v2", "").ok());
+  EXPECT_EQ(chain.PruneBefore(2), 0u);
+  EXPECT_EQ(*chain.Get(0), "v2");
+}
+
+TEST(VersionChainPruneTest, StaleCacheEntriesNotServedAfterPrune) {
+  ReconstructionCache& cache = ReconstructionCache::Instance();
+  cache.Clear();
+  std::vector<std::string> texts;
+  VersionChain chain = BuildChain(ChainMode::kBackwardDelta, 0, 30, &texts);
+  EXPECT_EQ(*chain.Get(10), texts[9]);  // populates (old_id, 10)
+  const uint64_t old_id = chain.chain_id();
+  ASSERT_GT(chain.PruneBefore(20), 0u);
+  // The pruned version is gone even though a stale entry exists for
+  // the old id.
+  std::string out;
+  EXPECT_TRUE(cache.Lookup(old_id, 10, &out));  // stale entry, stale key
+  EXPECT_TRUE(chain.Get(10).status().IsNotFound());
+  // Fresh id has no entries until the next reconstruction.
+  EXPECT_FALSE(cache.Lookup(chain.chain_id(), 10, &out));
+}
+
+TEST(VersionChainPruneTest, ForwardDeltaRebaseKeepsKeyframeReadsExact) {
+  std::vector<std::string> texts;
+  VersionChain chain = BuildChain(ChainMode::kForwardDelta, 4, 40, &texts);
+  ASSERT_GT(chain.PruneBefore(25), 0u);
+  for (uint64_t t = 25; t <= 40; ++t) {
+    ReconstructionCache::Instance().Clear();
+    auto got = chain.Get(t);
+    ASSERT_TRUE(got.ok()) << t;
+    EXPECT_EQ(*got, texts[t - 1]) << t;
+  }
+  EXPECT_EQ(chain.Current(), texts.back());
 }
 
 // Property sweep: random edit histories reconstruct exactly under all
