@@ -4,6 +4,8 @@
 //   neptune_ctl create <dir>
 //   neptune_ctl stats <dir | host:port>
 //   neptune_ctl workload <host:port> <server-side-dir>
+//                [--deadline-ms <n>] [--retries <n>]
+//   neptune_ctl recover <dir>
 //   neptune_ctl ls <dir> [node-predicate]
 //   neptune_ctl cat <dir> <node> [time]
 //   neptune_ctl new <dir> [title]            (contents from stdin)
@@ -35,6 +37,7 @@
 #include "delta/text_diff.h"
 #include "ham/ham.h"
 #include "rpc/remote_ham.h"
+#include "storage/durable_store.h"
 
 using namespace neptune;
 
@@ -70,10 +73,11 @@ ham::Context OpenByDir(ham::Ham* engine, const std::string& dir) {
 int Usage() {
   std::fprintf(stderr,
                "usage: neptune_ctl "
-               "create|stats|ls|cat|new|put|link|versions|diff|fsck|prune|"
-               "export|import|destroy <dir> [args...]\n"
+               "create|stats|recover|ls|cat|new|put|link|versions|diff|fsck|"
+               "prune|export|import|destroy <dir> [args...]\n"
                "       neptune_ctl stats <host:port>\n"
-               "       neptune_ctl workload <host:port> <server-side-dir>\n");
+               "       neptune_ctl workload <host:port> <server-side-dir>"
+               " [--deadline-ms <n>] [--retries <n>]\n");
   return 2;
 }
 
@@ -94,6 +98,38 @@ std::unique_ptr<rpc::RemoteHam> ConnectTo(const std::string& host,
   return Unwrap(rpc::RemoteHam::Connect(host, port));
 }
 
+// Runs crash recovery on `dir` and reports what it found, then
+// cross-checks the recovered graph with the fsck pass. This is the
+// operator's "is my database OK after the machine died?" command.
+int Recover(const std::string& dir) {
+  RecoveredState state;
+  {
+    auto store = DurableStore::Open(Env::Default(), dir, &state);
+    if (!store.ok()) Die(store.status());
+  }
+  std::printf("%s\n", state.report.ToString().c_str());
+  std::printf("snapshot    : %zu bytes (epoch %" PRIu64 ")\n",
+              state.snapshot.size(), state.report.snapshot_epoch);
+  std::printf("wal records : %zu replayed\n", state.wal_records.size());
+
+  ham::Ham engine(Env::Default(), ham::HamOptions());
+  ham::Context ctx = OpenByDir(&engine, dir);
+  auto problems = Unwrap(engine.VerifyGraph(ctx));
+  for (const auto& problem : problems) {
+    std::printf("PROBLEM: %s\n", problem.c_str());
+  }
+  auto stats = Unwrap(engine.GetStats(ctx));
+  Check(engine.CloseGraph(ctx));
+  std::printf("graph       : %" PRIu64 " nodes, %" PRIu64
+              " links, %s\n",
+              stats.node_count, stats.link_count,
+              problems.empty() ? "consistent" : "INCONSISTENT");
+  if (!problems.empty()) return 1;
+  std::printf(state.report.Clean() ? "store was clean\n"
+                                   : "store recovered\n");
+  return 0;
+}
+
 // Remote `stats`: the server's process-wide metrics snapshot.
 int RemoteStats(const std::string& host, uint16_t port) {
   auto client = ConnectTo(host, port);
@@ -106,8 +142,9 @@ int RemoteStats(const std::string& host, uint16_t port) {
 // metric family on the server moves. Creates (and destroys) a scratch
 // graph under `dir` on the server's filesystem.
 int RemoteWorkload(const std::string& host, uint16_t port,
-                   const std::string& dir) {
-  auto client = ConnectTo(host, port);
+                   const std::string& dir,
+                   const rpc::RemoteHam::Options& options) {
+  auto client = Unwrap(rpc::RemoteHam::Connect(host, port, options));
   auto created = Unwrap(client->CreateGraph(dir, 0755));
   ham::Context ctx =
       Unwrap(client->OpenGraph(created.project, "neptune_ctl", dir));
@@ -168,7 +205,21 @@ int main(int argc, char** argv) {
     if (command == "stats") return RemoteStats(host, port);
     if (command == "workload") {
       if (argc < 4) return Usage();
-      return RemoteWorkload(host, port, argv[3]);
+      rpc::RemoteHam::Options options;
+      for (int i = 4; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const int value = std::atoi(argv[i + 1]);
+        if (flag == "--deadline-ms") {
+          options.connect_timeout_ms = value;
+          options.send_timeout_ms = value;
+          options.recv_timeout_ms = value;
+        } else if (flag == "--retries") {
+          options.max_retries = static_cast<uint32_t>(value);
+        } else {
+          return Usage();
+        }
+      }
+      return RemoteWorkload(host, port, argv[3], options);
     }
     std::fprintf(stderr,
                  "neptune_ctl: only stats and workload accept host:port\n");
@@ -178,6 +229,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "neptune_ctl: workload needs a host:port target\n");
     return 2;
   }
+
+  if (command == "recover") return Recover(dir);
 
   ham::Ham engine(Env::Default(), ham::HamOptions());
 

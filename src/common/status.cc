@@ -28,6 +28,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kNetworkError:
       return "NetworkError";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -32,6 +32,9 @@ enum class StatusCode : int {
   kPermissionDenied = 9,
   kUnimplemented = 10,
   kNetworkError = 11,
+  kReadOnly = 12,
+  kDeadlineExceeded = 13,
+  kUnavailable = 14,
 };
 
 // Returns the canonical lower-level name ("NotFound", ...) for a code.
@@ -88,6 +91,15 @@ class Status {
   static Status NetworkError(std::string_view msg) {
     return Status(StatusCode::kNetworkError, msg);
   }
+  static Status ReadOnly(std::string_view msg) {
+    return Status(StatusCode::kReadOnly, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
   static Status FromCode(StatusCode code, std::string_view msg) {
     return code == StatusCode::kOk ? OK() : Status(code, msg);
   }
@@ -115,6 +127,11 @@ class Status {
   }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+  bool IsReadOnly() const { return code() == StatusCode::kReadOnly; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -214,9 +214,12 @@ Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
       }
     }
   }
-  if (recovered.wal_tail_truncated) {
-    NEPTUNE_LOG(Warn) << "graph " << directory
-                      << ": dropped a torn transaction at the WAL tail";
+  if (!recovered.report.Clean()) {
+    NEPTUNE_LOG(Warn) << "graph " << directory << ": "
+                      << recovered.report.ToString();
+  } else {
+    NEPTUNE_LOG(Info) << "graph " << directory << ": "
+                      << recovered.report.ToString();
   }
 
   std::lock_guard<std::mutex> lock(registry_mu_);

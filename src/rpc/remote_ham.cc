@@ -1,5 +1,9 @@
 #include "rpc/remote_ham.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/coding.h"
 
 namespace neptune {
@@ -17,15 +21,47 @@ void PutContext(std::string* out, Context ctx) {
 
 void PutBool(std::string* out, bool v) { out->push_back(v ? 1 : 0); }
 
+// Failures of the pipe itself, as opposed to answers from the server.
+bool IsTransportError(const Status& status) {
+  return status.IsNetworkError() || status.IsUnavailable() ||
+         status.IsDeadlineExceeded();
+}
+
 }  // namespace
+
+RemoteHam::RemoteHam(std::string host, uint16_t port, const Options& options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      rng_(options.retry_seed != 0
+               ? options.retry_seed
+               : static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this))) {}
 
 Result<std::unique_ptr<RemoteHam>> RemoteHam::Connect(const std::string& host,
                                                       uint16_t port) {
-  NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<FrameStream> stream,
-                           FrameStream::Connect(host, port));
-  auto client = std::unique_ptr<RemoteHam>(new RemoteHam(std::move(stream)));
+  return Connect(host, port, Options());
+}
+
+Result<std::unique_ptr<RemoteHam>> RemoteHam::Connect(const std::string& host,
+                                                      uint16_t port,
+                                                      const Options& options) {
+  auto client =
+      std::unique_ptr<RemoteHam>(new RemoteHam(host, port, options));
+  // The ping both verifies liveness and performs the initial connect
+  // (with the same retry/backoff policy every later call gets).
   NEPTUNE_RETURN_IF_ERROR(client->Ping());
   return client;
+}
+
+Status RemoteHam::ReconnectLocked() {
+  NEPTUNE_ASSIGN_OR_RETURN(
+      std::unique_ptr<FrameStream> stream,
+      FrameStream::Connect(host_, port_, options_.connect_timeout_ms));
+  NEPTUNE_RETURN_IF_ERROR(
+      stream->SetTimeouts(options_.send_timeout_ms, options_.recv_timeout_ms));
+  stream_ = std::move(stream);
+  NEPTUNE_METRIC_COUNT("rpc.client.reconnects", 1);
+  return Status::OK();
 }
 
 Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
@@ -33,16 +69,57 @@ Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
   request.reserve(1 + args.size());
   request.push_back(static_cast<char>(method));
   request.append(args);
+
   std::lock_guard<std::mutex> lock(mu_);
-  NEPTUNE_RETURN_IF_ERROR(stream_->SendFrame(request));
-  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, stream_->RecvFrame());
-  std::string_view in = reply;
-  Status status;
-  if (!DecodeStatusFrom(&in, &status)) {
-    return Status::Corruption("malformed reply status");
+  Status last;
+  for (uint32_t attempt = 0;; ++attempt) {
+    // `sent` distinguishes "the pipe broke before the request left"
+    // (always safe to retry) from "the request may have executed"
+    // (safe only for idempotent methods).
+    bool sent = false;
+    if (stream_ == nullptr) {
+      last = ReconnectLocked();
+    } else {
+      last = Status::OK();
+    }
+    if (last.ok()) {
+      sent = true;
+      last = stream_->SendFrame(request);
+      if (last.ok()) {
+        Result<std::string> reply = stream_->RecvFrame();
+        if (reply.ok()) {
+          std::string_view in = *reply;
+          Status status;
+          if (!DecodeStatusFrom(&in, &status)) {
+            return Status::Corruption("malformed reply status");
+          }
+          NEPTUNE_RETURN_IF_ERROR(status);
+          return std::string(in);
+        }
+        last = reply.status();
+      }
+      // The connection is no longer in a known state (a partial frame
+      // may be stranded in either direction): drop it.
+      stream_.reset();
+    }
+    if (last.IsDeadlineExceeded()) {
+      NEPTUNE_METRIC_COUNT("rpc.client.deadline_exceeded", 1);
+    }
+    if (!IsTransportError(last)) return last;
+    if (sent && !IsIdempotent(method)) return last;
+    if (attempt >= options_.max_retries) return last;
+    NEPTUNE_METRIC_COUNT("rpc.client.retries", 1);
+    uint64_t delay = options_.backoff_initial_ms;
+    for (uint32_t i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
+      delay *= 2;
+    }
+    delay = std::min<uint64_t>(delay, options_.backoff_max_ms);
+    if (delay > 0) {
+      // Full jitter in [delay/2, delay] keeps reconnect storms spread out.
+      delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
   }
-  NEPTUNE_RETURN_IF_ERROR(status);
-  return std::string(in);
 }
 
 Status RemoteHam::Ping() {

@@ -7,11 +7,13 @@
 #ifndef NEPTUNE_RPC_REMOTE_HAM_H_
 #define NEPTUNE_RPC_REMOTE_HAM_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/random.h"
 #include "ham/ham_interface.h"
 #include "rpc/socket.h"
 #include "rpc/wire.h"
@@ -21,10 +23,29 @@ namespace rpc {
 
 class RemoteHam final : public ham::HamInterface {
  public:
+  // Client-side resilience knobs. The defaults favour "fail loudly but
+  // not forever": every call is bounded by the socket deadlines, and
+  // transient transport errors are retried with jittered exponential
+  // backoff — but a request is only ever *re-sent* for idempotent
+  // methods (IsIdempotent in wire.h), because a mutation whose reply
+  // was lost may have committed.
+  struct Options {
+    int connect_timeout_ms = 5000;
+    int send_timeout_ms = 30000;   // 0 = no deadline
+    int recv_timeout_ms = 30000;   // 0 = no deadline
+    uint32_t max_retries = 3;      // extra attempts after the first
+    uint32_t backoff_initial_ms = 10;
+    uint32_t backoff_max_ms = 1000;
+    uint64_t retry_seed = 0;       // 0 = derive per client
+  };
+
   // Connects to a running server; host "" or "localhost" means
   // 127.0.0.1.
   static Result<std::unique_ptr<RemoteHam>> Connect(const std::string& host,
                                                     uint16_t port);
+  static Result<std::unique_ptr<RemoteHam>> Connect(const std::string& host,
+                                                    uint16_t port,
+                                                    const Options& options);
 
   RemoteHam(const RemoteHam&) = delete;
   RemoteHam& operator=(const RemoteHam&) = delete;
@@ -148,15 +169,29 @@ class RemoteHam final : public ham::HamInterface {
   Result<ham::ThreadId> ContextThread(ham::Context ctx) override;
 
  private:
-  explicit RemoteHam(std::unique_ptr<FrameStream> stream)
-      : stream_(std::move(stream)) {}
+  RemoteHam(std::string host, uint16_t port, const Options& options);
 
   // Sends one request and returns the reply's result payload (after
   // the status header); non-OK replies become that Status.
+  //
+  // Transport failures (kNetworkError / kUnavailable /
+  // kDeadlineExceeded) kill the cached stream. Reconnecting and
+  // re-sending happens automatically — always when the failure struck
+  // before anything was sent, but after a send only for idempotent
+  // methods — up to options_.max_retries extra attempts with jittered
+  // exponential backoff.
   Result<std::string> Call(Method method, std::string_view args);
 
+  // Re-establishes stream_ (with deadlines armed). Caller holds mu_.
+  Status ReconnectLocked();
+
+  const std::string host_;
+  const uint16_t port_;
+  const Options options_;
+
   std::mutex mu_;  // one request in flight per connection
-  std::unique_ptr<FrameStream> stream_;
+  std::unique_ptr<FrameStream> stream_;  // null between connections
+  Random rng_;  // backoff jitter; guarded by mu_
 };
 
 }  // namespace rpc

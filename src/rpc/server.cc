@@ -93,10 +93,14 @@ Result<uint16_t> Server::Start(uint16_t port) {
 void Server::Stop() {
   if (stopping_.exchange(true)) return;
   if (listener_ != nullptr) listener_->Shutdown();
+  // Graceful drain: half-close every connection so a blocked RecvFrame
+  // sees EOF and no new request can arrive, while a request already
+  // being handled still gets its reply sent before the thread exits.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& stream : streams_) stream->Close();
+    for (auto& stream : streams_) stream->CloseRead();
   }
+  NEPTUNE_METRIC_COUNT("rpc.server.drains", 1);
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
@@ -106,6 +110,10 @@ void Server::Stop() {
   for (auto& t : threads) {
     if (t.joinable()) t.join();
   }
+  // Every connection thread is done; now the fds can be fully closed.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& stream : streams_) stream->Close();
+  streams_.clear();
 }
 
 void Server::AcceptLoop() {
@@ -131,9 +139,12 @@ void Server::ServeConnection(FrameStream* stream) {
       MetricsRegistry::Instance().GetGauge("rpc.connections.active");
   active->Increment();
   std::set<uint64_t> sessions;
-  while (!stopping_) {
+  // No stopping_ gate here: Stop() half-closes the stream, so the next
+  // RecvFrame returns EOF — but a request already received is finished
+  // and its reply sent first (graceful drain).
+  while (true) {
     Result<std::string> request = stream->RecvFrame();
-    if (!request.ok()) break;  // disconnect or corruption: drop client
+    if (!request.ok()) break;  // disconnect, drain, or corruption
     NEPTUNE_METRIC_COUNT("rpc.bytes_in", request->size());
     std::string reply = HandleRequest(*request, &sessions);
     NEPTUNE_METRIC_COUNT("rpc.bytes_out", reply.size());

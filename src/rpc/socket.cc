@@ -1,9 +1,12 @@
 #include "rpc/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,8 +17,20 @@ namespace rpc {
 
 namespace {
 
+// Classifies an errno so callers can tell "took too long" (retry the
+// same stream? no — but the op may be retried) from "the peer is gone"
+// (reconnect) from "something else broke".
 Status SockError(std::string_view op, int err) {
-  return Status::NetworkError(std::string(op) + ": " + std::strerror(err));
+  const std::string msg = std::string(op) + ": " + std::strerror(err);
+  if (err == EAGAIN || err == EWOULDBLOCK) {
+    return Status::DeadlineExceeded(msg);
+  }
+  if (err == ECONNREFUSED || err == ECONNRESET || err == EPIPE ||
+      err == ENOTCONN || err == ETIMEDOUT || err == EHOSTUNREACH ||
+      err == ENETUNREACH) {
+    return Status::Unavailable(msg);
+  }
+  return Status::NetworkError(msg);
 }
 
 }  // namespace
@@ -31,8 +46,26 @@ void FrameStream::Close() {
   if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
 }
 
+void FrameStream::CloseRead() {
+  if (!closed_.load()) ::shutdown(fd_, SHUT_RD);
+}
+
+Status FrameStream::SetTimeouts(int send_timeout_ms, int recv_timeout_ms) {
+  const auto arm = [this](int option, int ms) -> Status {
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+    if (::setsockopt(fd_, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+      return SockError("setsockopt", errno);
+    }
+    return Status::OK();
+  };
+  NEPTUNE_RETURN_IF_ERROR(arm(SO_SNDTIMEO, send_timeout_ms));
+  return arm(SO_RCVTIMEO, recv_timeout_ms);
+}
+
 Result<std::unique_ptr<FrameStream>> FrameStream::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, int connect_timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return SockError("socket", errno);
   sockaddr_in addr{};
@@ -46,11 +79,44 @@ Result<std::unique_ptr<FrameStream>> FrameStream::Connect(
     return Status::InvalidArgument("unresolvable host '" + host +
                                    "' (IPv4 literals only)");
   }
+  const std::string where = ip + ":" + std::to_string(port);
+  // Connect in non-blocking mode and poll for the result: this bounds
+  // the wait to connect_timeout_ms and rides out EINTR (a blocking
+  // connect interrupted by a signal cannot simply be retried).
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    int err = errno;
-    ::close(fd);
-    return SockError("connect " + ip + ":" + std::to_string(port), err);
+    if (errno != EINPROGRESS && errno != EINTR) {
+      int err = errno;
+      ::close(fd);
+      return SockError("connect " + where, err);
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout = connect_timeout_ms > 0 ? connect_timeout_ms : -1;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, timeout);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      int err = errno;
+      ::close(fd);
+      return SockError("connect " + where, err);
+    }
+    if (ready == 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect " + where + ": timed out after " +
+                                      std::to_string(connect_timeout_ms) +
+                                      "ms");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) {
+      ::close(fd);
+      return SockError("connect " + where, soerr);
+    }
   }
+  ::fcntl(fd, F_SETFL, fl);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::unique_ptr<FrameStream>(new FrameStream(fd));
@@ -80,7 +146,7 @@ Result<std::string> FrameStream::RecvFrame() {
       if (errno == EINTR) continue;
       return SockError("recv", errno);
     }
-    if (n == 0) return Status::NetworkError("connection closed");
+    if (n == 0) return Status::Unavailable("connection closed");
     NEPTUNE_RETURN_IF_ERROR(
         decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)),
                       &pending_));
@@ -124,8 +190,13 @@ Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
 }
 
 Result<std::unique_ptr<FrameStream>> Listener::Accept() {
-  if (shut_down_.load()) return Status::NetworkError("listener is shut down");
-  int client = ::accept(fd_, nullptr, nullptr);
+  int client;
+  do {
+    if (shut_down_.load()) {
+      return Status::NetworkError("listener is shut down");
+    }
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && (errno == EINTR || errno == ECONNABORTED));
   if (client < 0) {
     return SockError("accept", errno);
   }

@@ -24,21 +24,35 @@ class FrameStream {
   FrameStream(const FrameStream&) = delete;
   FrameStream& operator=(const FrameStream&) = delete;
 
-  // Connects to host:port (IPv4 dotted quad or "localhost").
-  static Result<std::unique_ptr<FrameStream>> Connect(const std::string& host,
-                                                      uint16_t port);
+  // Connects to host:port (IPv4 dotted quad or "localhost"). With
+  // `connect_timeout_ms` > 0 the attempt fails with kDeadlineExceeded
+  // once the budget is spent instead of waiting for the kernel's.
+  static Result<std::unique_ptr<FrameStream>> Connect(
+      const std::string& host, uint16_t port, int connect_timeout_ms = 0);
+
+  // Arms SO_SNDTIMEO/SO_RCVTIMEO so a send/recv stuck longer than the
+  // budget fails with kDeadlineExceeded (0 = block forever). A deadline
+  // expiry can strand a partial frame on the wire, so the caller must
+  // treat the stream as dead afterwards.
+  Status SetTimeouts(int send_timeout_ms, int recv_timeout_ms);
 
   // Sends one framed payload.
   Status SendFrame(std::string_view payload);
 
-  // Blocks for the next complete frame. NetworkError("connection
-  // closed") on orderly EOF between frames.
+  // Blocks for the next complete frame. Unavailable("connection
+  // closed") on orderly EOF between frames; kDeadlineExceeded when a
+  // recv timeout is armed and expires.
   Result<std::string> RecvFrame();
 
   // Shuts the connection down, unblocking a send/recv in progress on
   // another thread. The fd itself is released by the destructor, which
   // must not run until those threads are done with the stream.
   void Close();
+
+  // Half-close: stops reads (a blocked RecvFrame sees EOF, and the peer
+  // eventually notices we stopped consuming) while replies in flight
+  // can still be sent. This is how the server drains connections.
+  void CloseRead();
 
  private:
   const int fd_;

@@ -58,6 +58,36 @@ const char* MethodName(Method method) {
   return "unknown";
 }
 
+bool IsIdempotent(Method method) {
+  switch (method) {
+    case Method::kPing:
+    case Method::kGetServerStatistics:
+    case Method::kLinearizeGraph:
+    case Method::kGetGraphQuery:
+    case Method::kOpenNode:
+    case Method::kGetNodeTimeStamp:
+    case Method::kGetNodeVersions:
+    case Method::kGetNodeDifferences:
+    case Method::kGetToNode:
+    case Method::kGetFromNode:
+    case Method::kGetAttributes:
+    case Method::kGetAttributeValues:
+    case Method::kGetAttributeIndex:
+    case Method::kGetNodeAttributeValue:
+    case Method::kGetNodeAttributes:
+    case Method::kGetLinkAttributeValue:
+    case Method::kGetLinkAttributes:
+    case Method::kGetGraphDemons:
+    case Method::kGetNodeDemons:
+    case Method::kListContexts:
+    case Method::kGetStats:
+    case Method::kContextThread:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // ------------------------------------------------------------- framing
 
 std::string FramePayload(std::string_view payload) {
@@ -106,7 +136,7 @@ bool DecodeStatusFrom(std::string_view* in, Status* status) {
   in->remove_prefix(1);
   std::string_view message;
   if (!GetLengthPrefixed(in, &message)) return false;
-  if (code > static_cast<uint8_t>(StatusCode::kNetworkError)) return false;
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) return false;
   *status = Status::FromCode(static_cast<StatusCode>(code), message);
   return true;
 }

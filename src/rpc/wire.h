@@ -86,6 +86,12 @@ enum class Method : uint8_t {
 // and diagnostics.
 const char* MethodName(Method method);
 
+// True for methods a client may safely re-send after a transport
+// failure without knowing whether the lost request was executed:
+// ping and every read-only operation. Mutations are excluded — the
+// original may have committed before the connection died.
+bool IsIdempotent(Method method);
+
 // ------------------------------------------------------------- framing
 
 // Wraps a payload in a length+crc frame.

@@ -1,7 +1,10 @@
 #include "storage/durable_store.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <set>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
@@ -47,7 +50,41 @@ Result<std::string> DecodeSnapshot(std::string_view data,
   return std::string(in);
 }
 
+// Epoch of a "SNAP-<n>"/"WAL-<n>" file name; 0 when `name` is neither.
+uint64_t ParseEpoch(const std::string& name, const char* prefix) {
+  const size_t prefix_len = std::strlen(prefix);
+  if (name.compare(0, prefix_len, prefix) != 0) return 0;
+  uint64_t epoch = 0;
+  for (size_t i = prefix_len; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    epoch = epoch * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return name.size() > prefix_len ? epoch : 0;
+}
+
+bool IsTmpName(const std::string& name) {
+  return name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+}
+
 }  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::string out = "recovery: snapshot_epoch=" + std::to_string(snapshot_epoch)
+      + " wal_epoch=" + std::to_string(wal_epoch)
+      + " wal_files_replayed=" + std::to_string(wal_files_replayed)
+      + " records_replayed=" + std::to_string(records_replayed)
+      + " bytes_truncated=" + std::to_string(bytes_truncated);
+  out += wal_tail_truncated ? " wal_tail_truncated=true"
+                            : " wal_tail_truncated=false";
+  out += mid_log_corruption ? " mid_log_corruption=true"
+                            : " mid_log_corruption=false";
+  out += snapshot_fallback ? " snapshot_fallback=true"
+                           : " snapshot_fallback=false";
+  out += current_rewritten ? " current_rewritten=true"
+                           : " current_rewritten=false";
+  out += " orphans_removed=" + std::to_string(orphans_removed);
+  return out;
+}
 
 DurableStore::~DurableStore() {
   if (wal_ != nullptr) wal_->Close();
@@ -103,42 +140,158 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
     Env* env, const std::string& dir, RecoveredState* state) {
   NEPTUNE_ASSIGN_OR_RETURN(state->meta,
                            env->ReadFileToString(JoinPath(dir, kProjectFile)));
-  NEPTUNE_ASSIGN_OR_RETURN(std::string current,
-                           env->ReadFileToString(JoinPath(dir, kCurrentFile)));
-  // CURRENT holds "SNAP-<epoch>".
-  uint64_t epoch = 0;
-  if (std::sscanf(current.c_str(), "SNAP-%" PRIu64, &epoch) != 1) {
-    return Status::Corruption("unparsable CURRENT in " + dir);
+  RecoveryReport& report = state->report;
+
+  // Inventory the directory: which generations are actually on disk?
+  NEPTUNE_ASSIGN_OR_RETURN(std::vector<std::string> children,
+                           env->GetChildren(dir));
+  std::set<uint64_t> snap_epochs;
+  std::set<uint64_t> wal_epochs;
+  std::vector<std::string> tmp_names;
+  for (const std::string& name : children) {
+    if (IsTmpName(name)) {
+      tmp_names.push_back(name);
+      continue;
+    }
+    if (uint64_t e = ParseEpoch(name, "SNAP-")) snap_epochs.insert(e);
+    if (uint64_t e = ParseEpoch(name, "WAL-")) wal_epochs.insert(e);
   }
-  NEPTUNE_ASSIGN_OR_RETURN(std::string snap_raw,
-                           env->ReadFileToString(JoinPath(dir, current)));
-  NEPTUNE_ASSIGN_OR_RETURN(state->snapshot,
-                           DecodeSnapshot(snap_raw, JoinPath(dir, current)));
+
+  // CURRENT holds "SNAP-<epoch>". A missing or unparsable CURRENT is
+  // survivable as long as some snapshot is: fall back to the newest one.
+  uint64_t target = 0;  // the committed generation
+  bool current_ok = false;
+  if (auto current = env->ReadFileToString(JoinPath(dir, kCurrentFile));
+      current.ok()) {
+    current_ok = std::sscanf(current->c_str(), "SNAP-%" PRIu64, &target) == 1;
+  }
+  if (!current_ok) {
+    if (snap_epochs.empty()) {
+      return Status::Corruption("no CURRENT and no snapshot in " + dir);
+    }
+    target = *snap_epochs.rbegin();
+    NEPTUNE_LOG(Warn) << "missing/unparsable CURRENT in " << dir
+                      << "; assuming epoch " << target;
+  }
+
+  // Load the newest decodable snapshot at or below the committed
+  // generation. Epochs above `target` are uncommitted checkpoint debris
+  // and must not be trusted.
+  uint64_t snap_epoch = 0;
+  Status first_snap_error;
+  std::vector<uint64_t> candidates;
+  candidates.push_back(target);
+  for (auto it = snap_epochs.rbegin(); it != snap_epochs.rend(); ++it) {
+    if (*it < target) candidates.push_back(*it);
+  }
+  for (uint64_t e : candidates) {
+    const std::string snap_path = JoinPath(dir, SnapName(e));
+    auto snap_raw = env->ReadFileToString(snap_path);
+    Result<std::string> decoded =
+        snap_raw.ok() ? DecodeSnapshot(*snap_raw, snap_path)
+                      : Result<std::string>(snap_raw.status());
+    if (decoded.ok()) {
+      state->snapshot = std::move(*decoded);
+      snap_epoch = e;
+      break;
+    }
+    if (first_snap_error.ok()) first_snap_error = decoded.status();
+    NEPTUNE_LOG(Warn) << "snapshot epoch " << e << " unusable in " << dir
+                      << ": " << decoded.status().ToString();
+  }
+  if (snap_epoch == 0) {
+    return Status::Corruption("no usable snapshot in " + dir + " (" +
+                              std::string(first_snap_error.message()) + ")");
+  }
+  report.snapshot_epoch = snap_epoch;
+  report.wal_epoch = target;
+  report.snapshot_fallback = snap_epoch != target || !current_ok;
   NEPTUNE_METRIC_COUNT("storage.snapshot.loads", 1);
   NEPTUNE_METRIC_COUNT("storage.snapshot.bytes_loaded", state->snapshot.size());
 
-  const std::string wal_path = JoinPath(dir, WalName(epoch));
-  uint64_t wal_bytes = 0;
-  if (env->FileExists(wal_path)) {
+  // Replay every WAL from the snapshot's generation up to the committed
+  // one. In the common case that is just WAL-<target>; after a snapshot
+  // fallback the older logs bridge the gap, since checkpoint `e+1`
+  // folded exactly SNAP-<e> + WAL-<e> into its snapshot.
+  uint64_t live_wal_bytes = 0;
+  for (uint64_t e = snap_epoch; e <= target; ++e) {
+    const std::string wal_path = JoinPath(dir, WalName(e));
+    if (!env->FileExists(wal_path)) continue;
     NEPTUNE_ASSIGN_OR_RETURN(std::string wal_raw,
                              env->ReadFileToString(wal_path));
     NEPTUNE_ASSIGN_OR_RETURN(LogReadResult log, ReadLog(wal_raw));
-    state->wal_records = std::move(log.records);
-    state->wal_tail_truncated = log.truncated_tail;
-    wal_bytes = log.valid_bytes;
-    if (log.truncated_tail) {
-      // Drop the torn commit: rewrite the valid prefix atomically.
-      NEPTUNE_LOG(Warn) << "truncating torn WAL tail in " << wal_path << " at "
-                        << log.valid_bytes;
-      NEPTUNE_RETURN_IF_ERROR(env->WriteFileAtomic(
-          wal_path, std::string_view(wal_raw).substr(0, log.valid_bytes)));
+    report.wal_files_replayed++;
+    report.records_replayed += log.records.size();
+    report.bytes_truncated += log.dropped_bytes;
+    report.mid_log_corruption |= log.mid_log_corruption;
+    for (std::string& record : log.records) {
+      state->wal_records.push_back(std::move(record));
+    }
+    if (e == target) {
+      report.wal_tail_truncated = log.truncated_tail;
+      live_wal_bytes = log.valid_bytes;
+      if (log.truncated_tail) {
+        // Drop the torn/corrupt suffix on disk so new commits append
+        // right after the last good record.
+        NEPTUNE_LOG(Warn) << "truncating damaged WAL tail in " << wal_path
+                          << " at " << log.valid_bytes << " ("
+                          << log.dropped_bytes << " bytes dropped)";
+        NEPTUNE_RETURN_IF_ERROR(env->TruncateFile(wal_path, log.valid_bytes));
+      }
     }
   }
+  state->wal_tail_truncated = report.wal_tail_truncated;
+
+  if (report.snapshot_fallback) {
+    // Leave the directory untouched: a second recovery must see the
+    // same inputs and reach the same state (and an operator may want
+    // the corrupt snapshot for forensics). Heal CURRENT only when it
+    // points nowhere and the newest snapshot is the one we used.
+    if (!current_ok && snap_epoch == target) {
+      if (env->WriteFileAtomic(JoinPath(dir, kCurrentFile), SnapName(target))
+              .ok()) {
+        report.current_rewritten = true;
+      }
+    }
+  } else {
+    // Healthy recovery: sweep debris — tmp files from interrupted
+    // atomic writes and generations other than the committed one.
+    for (const std::string& name : tmp_names) {
+      if (env->RemoveFile(JoinPath(dir, name)).ok()) report.orphans_removed++;
+    }
+    for (uint64_t e : snap_epochs) {
+      if (e != target && env->RemoveFile(JoinPath(dir, SnapName(e))).ok()) {
+        report.orphans_removed++;
+      }
+    }
+    for (uint64_t e : wal_epochs) {
+      if (e != target && env->RemoveFile(JoinPath(dir, WalName(e))).ok()) {
+        report.orphans_removed++;
+      }
+    }
+  }
+
+  NEPTUNE_METRIC_COUNT("wal.recovery.count", 1);
+  NEPTUNE_METRIC_COUNT("wal.recovery.records_replayed",
+                       report.records_replayed);
+  NEPTUNE_METRIC_COUNT("wal.recovery.bytes_truncated", report.bytes_truncated);
+  if (report.wal_tail_truncated) {
+    NEPTUNE_METRIC_COUNT("wal.recovery.tail_truncated", 1);
+  }
+  if (report.mid_log_corruption) {
+    NEPTUNE_METRIC_COUNT("wal.recovery.mid_log_corruption", 1);
+  }
+  if (report.snapshot_fallback) {
+    NEPTUNE_METRIC_COUNT("wal.recovery.snapshot_fallback", 1);
+  }
+  NEPTUNE_METRIC_COUNT("wal.recovery.orphans_removed", report.orphans_removed);
+
+  const std::string wal_path = JoinPath(dir, WalName(target));
   NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> wal_file,
                            env->NewWritableFile(wal_path, /*truncate=*/false));
   return std::unique_ptr<DurableStore>(new DurableStore(
-      env, dir, epoch, std::make_unique<LogWriter>(std::move(wal_file)),
-      wal_bytes));
+      env, dir, target, std::make_unique<LogWriter>(std::move(wal_file)),
+      live_wal_bytes));
 }
 
 Status DurableStore::Destroy(Env* env, const std::string& dir) {
@@ -149,8 +302,48 @@ Status DurableStore::Destroy(Env* env, const std::string& dir) {
 }
 
 Status DurableStore::AppendRecord(std::string_view record, bool sync) {
-  NEPTUNE_RETURN_IF_ERROR(wal_->AddRecord(record, sync));
+  if (degraded_) {
+    Status repaired = RepairWal();
+    if (!repaired.ok()) {
+      NEPTUNE_METRIC_COUNT("storage.wal.readonly_rejects", 1);
+      return Status::ReadOnly("WAL unwritable, store is read-only (" +
+                              std::string(repaired.message()) + ")");
+    }
+  }
+  Status status = wal_->AddRecord(record, sync);
+  if (!status.ok()) {
+    // The failed commit may have left half-written or unsynced bytes
+    // past the last good record; stop trusting the writer until a
+    // repair truncates back to wal_bytes_. The caller still sees the
+    // original failure, not kReadOnly — only *later* commits do, and
+    // only if the repair keeps failing too.
+    degraded_ = true;
+    NEPTUNE_METRIC_COUNT("wal.recovery.degraded_entered", 1);
+    return status;
+  }
   wal_bytes_ += 8 + record.size();
+  return status;
+}
+
+Status DurableStore::RepairWal() {
+  if (wal_ != nullptr) {
+    wal_->Close();  // Best effort: the handle is already suspect.
+    wal_ = nullptr;
+  }
+  const std::string wal_path = JoinPath(dir_, WalName(epoch_));
+  if (env_->FileExists(wal_path)) {
+    NEPTUNE_ASSIGN_OR_RETURN(uint64_t size, env_->GetFileSize(wal_path));
+    if (size > wal_bytes_) {
+      NEPTUNE_RETURN_IF_ERROR(env_->TruncateFile(wal_path, wal_bytes_));
+    }
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> wal_file,
+                           env_->NewWritableFile(wal_path, /*truncate=*/false));
+  wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+  degraded_ = false;
+  NEPTUNE_METRIC_COUNT("wal.recovery.repaired", 1);
+  NEPTUNE_LOG(Warn) << "repaired WAL " << wal_path << " after write failure"
+                    << " (truncated to " << wal_bytes_ << " bytes)";
   return Status::OK();
 }
 
@@ -158,16 +351,30 @@ Status DurableStore::Checkpoint(std::string_view snapshot) {
   NEPTUNE_METRIC_TIMED(timer, "storage.checkpoint");
   NEPTUNE_METRIC_COUNT("storage.checkpoint.bytes", snapshot.size());
   const uint64_t next = epoch_ + 1;
-  NEPTUNE_RETURN_IF_ERROR(env_->WriteFileAtomic(JoinPath(dir_, SnapName(next)),
-                                                EncodeSnapshot(snapshot)));
-  NEPTUNE_ASSIGN_OR_RETURN(
-      std::unique_ptr<WritableFile> wal_file,
-      env_->NewWritableFile(JoinPath(dir_, WalName(next)), /*truncate=*/true));
-  // The CURRENT flip is the commit point of the checkpoint.
+  const std::string next_snap = JoinPath(dir_, SnapName(next));
+  const std::string next_wal = JoinPath(dir_, WalName(next));
   NEPTUNE_RETURN_IF_ERROR(
-      env_->WriteFileAtomic(JoinPath(dir_, kCurrentFile), SnapName(next)));
-  NEPTUNE_RETURN_IF_ERROR(wal_->Close());
-  wal_ = std::make_unique<LogWriter>(std::move(wal_file));
+      env_->WriteFileAtomic(next_snap, EncodeSnapshot(snapshot)));
+  auto wal_file = env_->NewWritableFile(next_wal, /*truncate=*/true);
+  if (!wal_file.ok()) {
+    env_->RemoveFile(next_snap);
+    return wal_file.status();
+  }
+  // The CURRENT flip is the commit point of the checkpoint.
+  Status flip = env_->WriteFileAtomic(JoinPath(dir_, kCurrentFile),
+                                      SnapName(next));
+  if (!flip.ok()) {
+    // The next generation never became live: remove what was staged so
+    // a later crash-recovery can't mistake it for anything.
+    (*wal_file)->Close();
+    env_->RemoveFile(next_wal);
+    env_->RemoveFile(next_snap);
+    NEPTUNE_METRIC_COUNT("storage.checkpoint.aborted", 1);
+    return flip;
+  }
+  if (wal_ != nullptr) wal_->Close();
+  wal_ = std::make_unique<LogWriter>(*std::move(wal_file));
+  degraded_ = false;  // A fresh, empty WAL is trustworthy again.
   // Best-effort removal of the superseded generation.
   env_->RemoveFile(JoinPath(dir_, SnapName(epoch_)));
   env_->RemoveFile(JoinPath(dir_, WalName(epoch_)));

@@ -32,12 +32,37 @@
 
 namespace neptune {
 
+// Structured account of what recovery had to do. Always populated by
+// Open(); every field is zero/false for a clean shutdown-and-reopen.
+struct RecoveryReport {
+  uint64_t snapshot_epoch = 0;    // epoch whose SNAP seeded the state
+  uint64_t wal_epoch = 0;         // live generation new commits go to
+  uint64_t wal_files_replayed = 0;
+  uint64_t records_replayed = 0;
+  uint64_t bytes_truncated = 0;   // torn/corrupt WAL bytes dropped
+  bool wal_tail_truncated = false;
+  // Damage before the live WAL's last record — more than a torn append.
+  bool mid_log_corruption = false;
+  // CURRENT's snapshot was unusable; an older epoch seeded recovery.
+  bool snapshot_fallback = false;
+  // CURRENT itself was missing/unparsable and has been rewritten.
+  bool current_rewritten = false;
+  uint64_t orphans_removed = 0;   // stale generations + tmp files deleted
+
+  bool Clean() const {
+    return !wal_tail_truncated && !mid_log_corruption && !snapshot_fallback &&
+           !current_rewritten && bytes_truncated == 0 && orphans_removed == 0;
+  }
+  std::string ToString() const;
+};
+
 // Everything recovery learned from disk.
 struct RecoveredState {
   std::string meta;                       // PROJECT contents
   std::string snapshot;                   // live snapshot blob
   std::vector<std::string> wal_records;   // committed records after it
   bool wal_tail_truncated = false;        // a torn commit was dropped
+  RecoveryReport report;
 };
 
 class DurableStore {
@@ -69,15 +94,28 @@ class DurableStore {
   static Result<std::string> ReadMeta(Env* env, const std::string& dir);
 
   // Appends one committed-transaction record to the live WAL.
+  //
+  // The first append/fsync failure puts the store into a degraded mode:
+  // the failed commit's bytes may linger unsynced past the last good
+  // offset, so the writer is no longer trusted. Each later append first
+  // tries to repair the WAL (truncate back to the last durable record
+  // and reopen); if the repair itself fails the append is rejected with
+  // kReadOnly — reads keep working — until a repair or Checkpoint()
+  // succeeds.
   Status AppendRecord(std::string_view record, bool sync);
 
   // Starts a new generation whose snapshot is `snapshot` and whose WAL
-  // is empty, then removes the previous generation.
+  // is empty, then removes the previous generation. On failure any
+  // half-created next-generation files are removed and the store keeps
+  // running on the old generation.
   Status Checkpoint(std::string_view snapshot);
 
   const std::string& dir() const { return dir_; }
   uint64_t epoch() const { return epoch_; }
   uint64_t wal_bytes() const { return wal_bytes_; }
+  // True while commits are being rejected with kReadOnly (see
+  // AppendRecord); reads are unaffected.
+  bool degraded() const { return degraded_; }
 
  private:
   DurableStore(Env* env, std::string dir, uint64_t epoch,
@@ -91,11 +129,16 @@ class DurableStore {
   static std::string SnapName(uint64_t epoch);
   static std::string WalName(uint64_t epoch);
 
+  // Truncates the live WAL back to wal_bytes_ (the last good record
+  // boundary) and reopens the writer. Clears degraded_ on success.
+  Status RepairWal();
+
   Env* env_;
   std::string dir_;
   uint64_t epoch_;
-  std::unique_ptr<LogWriter> wal_;
+  std::unique_ptr<LogWriter> wal_;  // null only while degraded_
   uint64_t wal_bytes_;
+  bool degraded_ = false;
 };
 
 }  // namespace neptune

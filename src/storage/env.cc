@@ -101,14 +101,17 @@ class PosixEnv : public Env {
   Status WriteFileAtomic(const std::string& path,
                          std::string_view data) override {
     const std::string tmp = path + ".tmp";
-    {
-      NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                               NewWritableFile(tmp, /*truncate=*/true));
-      NEPTUNE_RETURN_IF_ERROR(file->Append(data));
-      NEPTUNE_RETURN_IF_ERROR(file->Sync());
-      NEPTUNE_RETURN_IF_ERROR(file->Close());
+    Status status = WriteTmpFile(tmp, data);
+    if (status.ok()) status = RenameFile(tmp, path);
+    if (!status.ok()) ::unlink(tmp.c_str());  // Don't leave orphans behind.
+    return status;
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path, errno);
     }
-    return RenameFile(tmp, path);
+    return Status::OK();
   }
 
   bool FileExists(const std::string& path) override {
@@ -157,6 +160,14 @@ class PosixEnv : public Env {
     }
     if (ec) return Status::IOError("readdir " + dir + ": " + ec.message());
     return names;
+  }
+
+  Status WriteTmpFile(const std::string& tmp, std::string_view data) {
+    NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                             NewWritableFile(tmp, /*truncate=*/true));
+    NEPTUNE_RETURN_IF_ERROR(file->Append(data));
+    NEPTUNE_RETURN_IF_ERROR(file->Sync());
+    return file->Close();
   }
 
   Status SetPermissions(const std::string& path, uint32_t mode) override {

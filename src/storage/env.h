@@ -46,6 +46,10 @@ class Env {
   virtual Status WriteFileAtomic(const std::string& path,
                                  std::string_view data) = 0;
 
+  // Truncates (or extends with zeroes) `path` to exactly `size` bytes.
+  // Used by recovery to chop a torn record off the WAL tail.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
   virtual bool FileExists(const std::string& path) = 0;
   virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
   virtual Status CreateDir(const std::string& path) = 0;        // mkdir -p

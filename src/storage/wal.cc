@@ -45,14 +45,13 @@ Result<LogReadResult> ReadLog(std::string_view data) {
     }
     std::string_view payload = data.substr(offset + kHeaderSize, length);
     if (crc32c::Value(payload) != expected_crc) {
-      // A bad CRC on the final frame is a torn tail; anywhere earlier
-      // it means the log body itself is damaged.
-      if (offset + kHeaderSize + length == data.size()) {
-        out.truncated_tail = true;
-        break;
-      }
-      return Status::Corruption("WAL record checksum mismatch at offset " +
-                                std::to_string(offset));
+      // A bad CRC on the final frame is an ordinary torn tail; anywhere
+      // earlier the log body itself is damaged. Either way the valid
+      // prefix is what recovery gets — availability over completeness —
+      // and the caller decides how loudly to report it.
+      out.truncated_tail = true;
+      out.mid_log_corruption = offset + kHeaderSize + length < data.size();
+      break;
     }
     out.records.emplace_back(payload);
     offset += kHeaderSize + length;
@@ -62,6 +61,7 @@ Result<LogReadResult> ReadLog(std::string_view data) {
     out.truncated_tail = true;
   }
   out.valid_bytes = offset;
+  out.dropped_bytes = data.size() - offset;
   return out;
 }
 

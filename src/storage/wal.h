@@ -7,10 +7,13 @@
 //     length        : fixed32   payload byte count
 //     payload       : length bytes
 //
-// A torn write at the tail (short header, short payload, or CRC
-// mismatch) terminates reading: the reader reports how many bytes were
-// consumed by valid records so the caller can truncate the tail. A CRC
-// mismatch *before* the last record is reported as Corruption.
+// Any bad record (short header, short payload, or CRC mismatch)
+// terminates reading: the reader keeps every record up to the first bad
+// one and reports how many bytes they cover so the caller can truncate
+// the tail. Damage before the last record additionally sets
+// `mid_log_corruption` — it cannot be explained by a single torn append,
+// so callers should surface it loudly — but recovery still salvages the
+// valid prefix instead of failing outright.
 
 #ifndef NEPTUNE_STORAGE_WAL_H_
 #define NEPTUNE_STORAGE_WAL_H_
@@ -54,10 +57,17 @@ struct LogReadResult {
   uint64_t valid_bytes = 0;
   // True when trailing bytes were dropped (crash mid-append).
   bool truncated_tail = false;
+  // Bytes between valid_bytes and the end of the file (0 for a clean log).
+  uint64_t dropped_bytes = 0;
+  // True when the first bad record was not the last one in the file —
+  // i.e. data after it parsed as further frames, which a torn append
+  // cannot produce. The prefix is still returned.
+  bool mid_log_corruption = false;
 };
 
-// Decodes all records in `data`. Returns Corruption only for damage
-// that cannot be explained as a torn tail.
+// Decodes the longest valid prefix of `data`. Never fails: damage of
+// any shape truncates at the first bad record and is reported through
+// the result flags. (The Result wrapper is kept for call-site symmetry.)
 Result<LogReadResult> ReadLog(std::string_view data);
 
 }  // namespace neptune

@@ -27,6 +27,9 @@ TEST(StatusTest, EachFactoryProducesItsCode) {
   EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::NetworkError("x").IsNetworkError());
+  EXPECT_TRUE(Status::ReadOnly("x").IsReadOnly());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
 }
 
 TEST(StatusTest, MessageAndToString) {

@@ -1,0 +1,233 @@
+// Client/server resilience: per-call deadlines, fail-fast against dead
+// peers, transparent reconnect for idempotent calls, and graceful
+// server drain. Everything here is bounded — a hung test IS the bug.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "common/metrics.h"
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+#include "storage/env.h"
+
+namespace neptune {
+namespace rpc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t MillisSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+class RpcResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_resil_" + std::string(::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name())))
+               .string();
+    Env::Default()->RemoveDirRecursive(dir_);
+    ham::HamOptions options;
+    options.sync_commits = false;
+    engine_ = std::make_unique<ham::Ham>(Env::Default(), options);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    server_.reset();
+    engine_.reset();
+    Env::Default()->RemoveDirRecursive(dir_);
+  }
+
+  void StartServer(uint16_t port = 0) {
+    server_ = std::make_unique<Server>(engine_.get());
+    auto bound = server_->Start(port);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    port_ = *bound;
+  }
+
+  std::string dir_;
+  std::unique_ptr<ham::Ham> engine_;
+  std::unique_ptr<Server> server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(RpcResilienceTest, KilledServerFailsFastNotForever) {
+  StartServer();
+  RemoteHam::Options options;
+  options.send_timeout_ms = 500;
+  options.recv_timeout_ms = 500;
+  options.connect_timeout_ms = 500;
+  options.max_retries = 2;
+  options.backoff_initial_ms = 5;
+  options.backoff_max_ms = 20;
+  auto client = RemoteHam::Connect("localhost", port_, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE((*client)->Ping().ok());
+
+  // Kill the server out from under the client.
+  server_->Stop();
+  server_.reset();
+
+  const auto start = Clock::now();
+  Status st = (*client)->Ping();
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable() || st.IsDeadlineExceeded())
+      << st.ToString();
+  // Bounded: deadlines + capped backoff, not a hang.
+  EXPECT_LT(MillisSince(start), 3000) << st.ToString();
+}
+
+TEST_F(RpcResilienceTest, SilentPeerTripsTheRecvDeadline) {
+  // A listener that accepts (the kernel completes the handshake for
+  // the backlog) but never serves: the classic hung server.
+  auto listener = Listener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+
+  RemoteHam::Options options;
+  options.recv_timeout_ms = 200;
+  options.max_retries = 0;  // isolate the deadline itself
+  const auto start = Clock::now();
+  auto client = RemoteHam::Connect("localhost", (*listener)->port(), options);
+  // Connect() pings, so the deadline already fired during Connect.
+  ASSERT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsDeadlineExceeded())
+      << client.status().ToString();
+  EXPECT_LT(MillisSince(start), 2000);
+}
+
+TEST_F(RpcResilienceTest, IdempotentCallsReconnectAcrossServerRestart) {
+  StartServer();
+  const uint16_t fixed_port = port_;
+  RemoteHam::Options options;
+  options.max_retries = 5;
+  options.backoff_initial_ms = 20;
+  options.backoff_max_ms = 200;
+  auto client = RemoteHam::Connect("localhost", fixed_port, options);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Ping().ok());
+  const uint64_t reconnects_before =
+      MetricsRegistry::Instance().Snapshot().CounterValue(
+          "rpc.client.reconnects");
+
+  // Bounce the server on the same port.
+  server_->Stop();
+  server_.reset();
+  StartServer(fixed_port);
+
+  // Ping is idempotent: the stale connection dies, the client quietly
+  // dials again and the call succeeds — no error escapes to the caller.
+  Status st = (*client)->Ping();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(MetricsRegistry::Instance().Snapshot().CounterValue(
+                "rpc.client.reconnects"),
+            reconnects_before);
+}
+
+TEST_F(RpcResilienceTest, MutationsAreNeverResentAfterTheWireDies) {
+  StartServer();
+  auto client = RemoteHam::Connect("localhost", port_);
+  ASSERT_TRUE(client.ok());
+  auto created = (*client)->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = (*client)->OpenGraph(created->project, "localhost", dir_);
+  ASSERT_TRUE(ctx.ok());
+
+  server_->Stop();
+  server_.reset();
+  StartServer(port_);
+
+  // AddNode is a mutation: after the old connection's reply is lost the
+  // client must surface the transport error, not re-send (the first
+  // send may have committed server-side).
+  auto added = (*client)->AddNode(*ctx, true);
+  ASSERT_FALSE(added.ok());
+  EXPECT_TRUE(added.status().IsUnavailable() ||
+              added.status().IsNetworkError())
+      << added.status().ToString();
+}
+
+// An Env whose atomic writes dawdle, making a CreateGraph slow enough
+// to be reliably in flight when Stop() lands.
+class SlowWriteEnv final : public Env {
+ public:
+  explicit SlowWriteEnv(Env* base) : base_(base) {}
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    return base_->NewWritableFile(path, truncate);
+  }
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    return base_->WriteFileAtomic(path, data);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return base_->TruncateFile(path, size);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_->GetFileSize(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+  Status RemoveDirRecursive(const std::string& path) override {
+    return base_->RemoveDirRecursive(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Result<std::vector<std::string>> GetChildren(const std::string& dir) override {
+    return base_->GetChildren(dir);
+  }
+  Status SetPermissions(const std::string& path, uint32_t mode) override {
+    return base_->SetPermissions(path, mode);
+  }
+
+ private:
+  Env* base_;
+};
+
+TEST_F(RpcResilienceTest, StopDrainsTheInFlightRequest) {
+  SlowWriteEnv slow_env(Env::Default());
+  ham::HamOptions options;
+  options.sync_commits = false;
+  ham::Ham slow_engine(&slow_env, options);
+  auto server = std::make_unique<Server>(&slow_engine);
+  auto port = server->Start(0);
+  ASSERT_TRUE(port.ok());
+
+  auto client = RemoteHam::Connect("localhost", *port);
+  ASSERT_TRUE(client.ok());
+
+  // CreateGraph does several atomic writes => several hundred ms on the
+  // slow env. Fire it, give the server time to pick it up, then Stop().
+  Result<ham::CreateGraphResult> created = Status::NetworkError("not run");
+  std::thread in_flight([&] { created = (*client)->CreateGraph(dir_, 0755); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server->Stop();  // must block until the reply is out
+
+  in_flight.join();
+  EXPECT_TRUE(created.ok()) << created.status().ToString()
+                            << " — Stop() dropped an in-flight request";
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace neptune

@@ -64,8 +64,10 @@ TEST(FrameTest, OversizedLengthIsRejected) {
 
 TEST(WireValueTest, StatusRoundTrip) {
   for (const Status& s :
-       {Status::OK(), Status::NotFound("node 3"),
-        Status::Conflict("stale"), Status::NetworkError("down")}) {
+       {Status::OK(), Status::NotFound("node 3"), Status::Conflict("stale"),
+        Status::NetworkError("down"), Status::ReadOnly("degraded"),
+        Status::DeadlineExceeded("too slow"),
+        Status::Unavailable("peer gone")}) {
     std::string buf;
     EncodeStatusTo(s, &buf);
     std::string_view in = buf;

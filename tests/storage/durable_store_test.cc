@@ -144,6 +144,8 @@ TEST_F(DurableStoreTest, CheckpointRotatesGenerations) {
 }
 
 TEST_F(DurableStoreTest, CorruptSnapshotIsDetected) {
+  // With a single generation there is no older epoch to fall back to,
+  // so a corrupt snapshot is still a hard error.
   ASSERT_TRUE(DurableStore::Create(env_, dir_, "m", "snapshot-data", 0).ok());
   const std::string snap_path = JoinPath(dir_, "SNAP-000001");
   std::string image = *env_->ReadFileToString(snap_path);
@@ -153,6 +155,118 @@ TEST_F(DurableStoreTest, CorruptSnapshotIsDetected) {
   RecoveredState state;
   auto store = DurableStore::Open(env_, dir_, &state);
   EXPECT_TRUE(store.status().IsCorruption());
+}
+
+TEST_F(DurableStoreTest, CorruptLatestSnapshotFallsBackToPreviousEpoch) {
+  ASSERT_TRUE(DurableStore::Create(env_, dir_, "m", "gen1", 0).ok());
+  RecoveredState opened;
+  auto store = DurableStore::Open(env_, dir_, &opened);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->AppendRecord("pre-checkpoint", true).ok());
+  // Keep images of generation 1 so we can undo the checkpoint's cleanup
+  // and simulate "the old generation was still on disk".
+  const std::string snap1 = *env_->ReadFileToString(JoinPath(dir_, "SNAP-000001"));
+  const std::string wal1 = *env_->ReadFileToString(JoinPath(dir_, "WAL-000001"));
+  ASSERT_TRUE((*store)->Checkpoint("gen2").ok());
+  ASSERT_TRUE((*store)->AppendRecord("post-checkpoint", true).ok());
+  store->reset();
+  ASSERT_TRUE(env_->WriteFileAtomic(JoinPath(dir_, "SNAP-000001"), snap1).ok());
+  {
+    auto f = env_->NewWritableFile(JoinPath(dir_, "WAL-000001"), true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(wal1).ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  // Rot the live snapshot.
+  std::string image = *env_->ReadFileToString(JoinPath(dir_, "SNAP-000002"));
+  image[image.size() / 2] ^= 0x01;
+  ASSERT_TRUE(env_->WriteFileAtomic(JoinPath(dir_, "SNAP-000002"), image).ok());
+
+  // Recovery seeds from SNAP-000001 and replays WAL-1 then WAL-2 —
+  // which reproduces exactly the state SNAP-000002 + WAL-2 held,
+  // because checkpoint 2 folded SNAP-1 + WAL-1.
+  RecoveredState state;
+  auto reopened = DurableStore::Open(env_, dir_, &state);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(state.snapshot, "gen1");
+  ASSERT_EQ(state.wal_records.size(), 2u);
+  EXPECT_EQ(state.wal_records[0], "pre-checkpoint");
+  EXPECT_EQ(state.wal_records[1], "post-checkpoint");
+  EXPECT_TRUE(state.report.snapshot_fallback);
+  EXPECT_EQ(state.report.snapshot_epoch, 1u);
+  EXPECT_EQ(state.report.wal_epoch, 2u);
+  EXPECT_EQ(state.report.wal_files_replayed, 2u);
+  EXPECT_EQ((*reopened)->epoch(), 2u);
+  reopened->reset();
+
+  // Degraded recovery must not destroy evidence: a second recovery sees
+  // the same world (double-recovery idempotence).
+  RecoveredState state2;
+  auto again = DurableStore::Open(env_, dir_, &state2);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(state2.report.snapshot_fallback);
+  EXPECT_EQ(state2.snapshot, "gen1");
+  EXPECT_EQ(state2.wal_records.size(), 2u);
+}
+
+TEST_F(DurableStoreTest, MissingCurrentIsRebuiltFromNewestSnapshot) {
+  {
+    auto store = DurableStore::Create(env_, dir_, "m", "snap", 0);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRecord("rec", true).ok());
+  }
+  ASSERT_TRUE(env_->RemoveFile(JoinPath(dir_, "CURRENT")).ok());
+
+  RecoveredState state;
+  {
+    auto store = DurableStore::Open(env_, dir_, &state);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE(state.report.current_rewritten);
+    EXPECT_EQ(state.snapshot, "snap");
+    ASSERT_EQ(state.wal_records.size(), 1u);
+  }
+  // CURRENT is back; the next recovery is clean.
+  EXPECT_TRUE(env_->FileExists(JoinPath(dir_, "CURRENT")));
+  RecoveredState state2;
+  auto store2 = DurableStore::Open(env_, dir_, &state2);
+  ASSERT_TRUE(store2.ok());
+  EXPECT_TRUE(state2.report.Clean()) << state2.report.ToString();
+}
+
+TEST_F(DurableStoreTest, MidWalCorruptionDropsSuffixAndReports) {
+  {
+    auto store = DurableStore::Create(env_, dir_, "m", "s", 0);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AppendRecord("first", true).ok());
+    ASSERT_TRUE((*store)->AppendRecord("second", true).ok());
+  }
+  const std::string wal_path = JoinPath(dir_, "WAL-000001");
+  std::string image = *env_->ReadFileToString(wal_path);
+  image[8] ^= 0x01;  // corrupt the *first* record's payload
+  {
+    auto f = env_->NewWritableFile(wal_path, true);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(image).ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+
+  RecoveredState state;
+  {
+    auto store = DurableStore::Open(env_, dir_, &state);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE(state.report.mid_log_corruption);
+    EXPECT_TRUE(state.report.wal_tail_truncated);
+    EXPECT_EQ(state.report.bytes_truncated, image.size());
+    EXPECT_EQ(state.wal_records.size(), 0u);
+  }
+  // The damaged bytes were truncated away on disk: recovery number two
+  // is clean and sees the same (empty) log.
+  RecoveredState state2;
+  auto store2 = DurableStore::Open(env_, dir_, &state2);
+  ASSERT_TRUE(store2.ok());
+  EXPECT_FALSE(state2.report.mid_log_corruption);
+  EXPECT_FALSE(state2.report.wal_tail_truncated);
+  EXPECT_EQ(state2.wal_records.size(), 0u);
 }
 
 TEST_F(DurableStoreTest, DestroyRemovesEverything) {

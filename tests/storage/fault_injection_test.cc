@@ -1,12 +1,14 @@
-// Fault injection: sync discipline and write-failure handling through
-// the whole stack (Env -> DurableStore -> Ham).
+// Fault injection: sync discipline, write-failure handling, degraded
+// read-only mode and checkpoint crash-consistency through the whole
+// stack (FaultInjectionEnv -> DurableStore -> Ham).
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
 #include "ham/ham.h"
-#include "tests/storage/fault_env.h"
+#include "storage/durable_store.h"
+#include "storage/fault_injection_env.h"
 
 namespace neptune {
 namespace {
@@ -14,7 +16,7 @@ namespace {
 class FaultInjectionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    fault_env_ = std::make_unique<FaultEnv>(Env::Default());
+    fault_env_ = std::make_unique<FaultInjectionEnv>(Env::Default());
     dir_ = (std::filesystem::temp_directory_path() /
             ("neptune_fault_" + std::string(::testing::UnitTest::GetInstance()
                                                 ->current_test_info()
@@ -31,7 +33,7 @@ class FaultInjectionTest : public ::testing::Test {
     return std::make_unique<ham::Ham>(fault_env_.get(), options);
   }
 
-  std::unique_ptr<FaultEnv> fault_env_;
+  std::unique_ptr<FaultInjectionEnv> fault_env_;
   std::string dir_;
 };
 
@@ -42,9 +44,9 @@ TEST_F(FaultInjectionTest, SyncedCommitsActuallySync) {
   auto ctx = engine->OpenGraph(created->project, "local", dir_);
   ASSERT_TRUE(ctx.ok());
 
-  const uint64_t syncs_before = fault_env_->syncs;
+  const uint64_t syncs_before = fault_env_->syncs();
   ASSERT_TRUE(engine->AddNode(*ctx, true).ok());
-  EXPECT_GT(fault_env_->syncs, syncs_before)
+  EXPECT_GT(fault_env_->syncs(), syncs_before)
       << "a synced commit must fsync the WAL";
 }
 
@@ -55,11 +57,11 @@ TEST_F(FaultInjectionTest, UnsyncedCommitsSkipFsync) {
   auto ctx = engine->OpenGraph(created->project, "local", dir_);
   ASSERT_TRUE(ctx.ok());
 
-  const uint64_t syncs_before = fault_env_->syncs;
+  const uint64_t syncs_before = fault_env_->syncs();
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(engine->AddNode(*ctx, true).ok());
   }
-  EXPECT_EQ(fault_env_->syncs, syncs_before)
+  EXPECT_EQ(fault_env_->syncs(), syncs_before)
       << "nosync commits must not fsync per commit";
 }
 
@@ -73,7 +75,7 @@ TEST_F(FaultInjectionTest, FailedWalAppendAbortsTheTransaction) {
   ASSERT_TRUE(survivor.ok());
 
   // Disk dies: the very next WAL append fails.
-  fault_env_->fail_appends_after = fault_env_->appends.load();
+  fault_env_->FailAppendsAfter(fault_env_->appends());
   auto doomed = engine->AddNode(*ctx, true);
   EXPECT_FALSE(doomed.ok());
   EXPECT_TRUE(doomed.status().IsIOError()) << doomed.status().ToString();
@@ -84,7 +86,7 @@ TEST_F(FaultInjectionTest, FailedWalAppendAbortsTheTransaction) {
   auto stats = engine->GetStats(*ctx);
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->node_count, 1u);
-  // And accepts new writes after the disk heals.
+  // And accepts new writes after the disk heals (the WAL self-repairs).
   auto recovered = engine->AddNode(*ctx, true);
   ASSERT_TRUE(recovered.ok());
   EXPECT_EQ(engine->GetStats(*ctx)->node_count, 2u);
@@ -100,7 +102,7 @@ TEST_F(FaultInjectionTest, FailedExplicitCommitReportsAndAborts) {
   ASSERT_TRUE(engine->BeginTransaction(*ctx).ok());
   auto staged = engine->AddNode(*ctx, true);
   ASSERT_TRUE(staged.ok());
-  fault_env_->fail_appends_after = fault_env_->appends.load();
+  fault_env_->FailAppendsAfter(fault_env_->appends());
   Status commit = engine->CommitTransaction(*ctx);
   EXPECT_TRUE(commit.IsIOError()) << commit.ToString();
   fault_env_->Heal();
@@ -121,7 +123,7 @@ TEST_F(FaultInjectionTest, FailedCheckpointLeavesStoreUsable) {
   auto node = engine->AddNode(*ctx, true);
   ASSERT_TRUE(node.ok());
 
-  fault_env_->fail_atomic_writes = true;
+  fault_env_->FailAtomicWritesAfter(fault_env_->atomic_writes());
   EXPECT_FALSE(engine->Checkpoint(*ctx).ok());
   fault_env_->Heal();
 
@@ -157,6 +159,115 @@ TEST_F(FaultInjectionTest, CommitsDurableAcrossCrashWithSync) {
   auto opened = engine->OpenNode(*ctx2, node->node, 0, {});
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(opened->contents, "must survive");
+}
+
+// A failed fsync leaves the record's bytes in the WAL file but the
+// commit is reported failed. The store must truncate those orphan bytes
+// before the next commit, or a restart would resurrect the aborted
+// transaction.
+TEST_F(FaultInjectionTest, FailedFsyncOrphanIsTruncatedBeforeNextCommit) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  auto survivor = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(survivor.ok());
+
+  fault_env_->FailSyncsAfter(fault_env_->syncs());
+  auto doomed = engine->AddNode(*ctx, true);
+  EXPECT_FALSE(doomed.ok());
+  EXPECT_TRUE(doomed.status().IsIOError()) << doomed.status().ToString();
+
+  fault_env_->Heal();
+  auto after = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  // Restart: the failed commit must not come back.
+  engine.reset();
+  engine = MakeHam(true);
+  auto ctx2 = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx2.ok()) << ctx2.status().ToString();
+  EXPECT_EQ(engine->GetStats(*ctx2)->node_count, 2u)
+      << "the fsync-failed commit resurrected";
+  EXPECT_TRUE(
+      engine->OpenNode(*ctx2, doomed.ok() ? doomed->node : 2, 0, {})
+          .status()
+          .IsNotFound());
+}
+
+// When the WAL cannot even be repaired, later commits are rejected with
+// kReadOnly while reads keep working; once the disk heals, the next
+// commit repairs the log and goes through.
+TEST_F(FaultInjectionTest, UnrepairableWalDegradesToReadOnly) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  auto survivor = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(survivor.ok());
+
+  // Break fsync (leaving orphan bytes) *and* truncate, so the repair
+  // path cannot clean them up.
+  fault_env_->FailSyncsAfter(fault_env_->syncs());
+  fault_env_->FailTruncatesAfter(fault_env_->truncates());
+
+  auto first = engine->AddNode(*ctx, true);
+  EXPECT_TRUE(first.status().IsIOError()) << first.status().ToString();
+  auto second = engine->AddNode(*ctx, true);
+  EXPECT_TRUE(second.status().IsReadOnly()) << second.status().ToString();
+
+  // Reads are unaffected in degraded mode.
+  EXPECT_TRUE(engine->OpenNode(*ctx, survivor->node, 0, {}).ok());
+  EXPECT_EQ(engine->GetStats(*ctx)->node_count, 1u);
+
+  fault_env_->Heal();
+  auto healed = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(engine->GetStats(*ctx)->node_count, 2u);
+}
+
+// Power cut between the SNAP-<n+1> write and the CURRENT flip: the new
+// generation never became live, so recovery must come up on the old
+// epoch with every committed transaction and sweep the debris.
+TEST_F(FaultInjectionTest, CheckpointCrashBeforeCurrentFlipRecoversOldEpoch) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(engine->AddNode(*ctx, true).ok());
+  ASSERT_TRUE(engine->AddNode(*ctx, true).ok());
+
+  // Checkpoint syncs: #0 = SNAP-000002 tmp, #1 = CURRENT tmp. Cut the
+  // power during the CURRENT write — SNAP-000002 is on disk, the flip
+  // never happened.
+  fault_env_->PowerCutAtSync(fault_env_->syncs() + 1);
+  Status checkpoint = engine->Checkpoint(*ctx);
+  EXPECT_FALSE(checkpoint.ok());
+  EXPECT_TRUE(fault_env_->down());
+
+  engine.reset();
+  fault_env_->Restart();
+  fault_env_->Heal();
+
+  // Inspect recovery directly for the report.
+  RecoveredState state;
+  auto store = DurableStore::Open(fault_env_.get(), dir_, &state);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->epoch(), 1u) << "must come back on the old epoch";
+  EXPECT_FALSE(state.report.snapshot_fallback);
+  EXPECT_GT(state.report.orphans_removed, 0u)
+      << "SNAP-000002 (and tmp debris) should have been swept";
+  EXPECT_EQ(state.wal_records.size(), 2u);
+  store->reset();
+
+  // And the engine agrees.
+  engine = MakeHam(true);
+  auto ctx2 = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx2.ok()) << ctx2.status().ToString();
+  EXPECT_EQ(engine->GetStats(*ctx2)->node_count, 2u);
 }
 
 }  // namespace

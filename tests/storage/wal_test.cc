@@ -74,6 +74,8 @@ TEST_F(WalTest, TornHeaderAtTailIsTruncated) {
   auto result = ReadLog(image);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->truncated_tail);
+  EXPECT_FALSE(result->mid_log_corruption);
+  EXPECT_EQ(result->dropped_bytes, 3u);
   ASSERT_EQ(result->records.size(), 1u);
   EXPECT_EQ(result->records[0], "keep me");
   EXPECT_EQ(result->valid_bytes, good);
@@ -91,6 +93,8 @@ TEST_F(WalTest, TornPayloadAtTailIsTruncated) {
   auto result = ReadLog(shortened);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->truncated_tail);
+  EXPECT_FALSE(result->mid_log_corruption);
+  EXPECT_EQ(result->dropped_bytes, shortened.size() - result->valid_bytes);
   ASSERT_EQ(result->records.size(), 1u);
   EXPECT_EQ(result->records[0], "alpha");
 }
@@ -106,10 +110,11 @@ TEST_F(WalTest, CorruptFinalCrcIsTreatedAsTornTail) {
   auto result = ReadLog(image);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->truncated_tail);
+  EXPECT_FALSE(result->mid_log_corruption);
   ASSERT_EQ(result->records.size(), 1u);
 }
 
-TEST_F(WalTest, CorruptMiddleRecordIsCorruption) {
+TEST_F(WalTest, CorruptMiddleRecordTruncatesAndFlagsIt) {
   auto writer = NewWriter();
   ASSERT_TRUE(writer->AddRecord("alpha", false).ok());
   ASSERT_TRUE(writer->AddRecord("beta", false).ok());
@@ -117,8 +122,16 @@ TEST_F(WalTest, CorruptMiddleRecordIsCorruption) {
   std::string image = FileImage();
   image[8] ^= 0x01;  // flip a bit inside the *first* payload
 
+  // Damage before the tail is more than a torn append: everything from
+  // the bad record on is dropped, and mid_log_corruption says a later,
+  // intact-looking record ("beta") went down with it.
   auto result = ReadLog(image);
-  EXPECT_TRUE(result.status().IsCorruption());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->truncated_tail);
+  EXPECT_TRUE(result->mid_log_corruption);
+  EXPECT_EQ(result->records.size(), 0u);
+  EXPECT_EQ(result->valid_bytes, 0u);
+  EXPECT_EQ(result->dropped_bytes, image.size());
 }
 
 TEST_F(WalTest, SyncedRecordsSurviveReopen) {
