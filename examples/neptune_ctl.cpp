@@ -4,7 +4,7 @@
 //   neptune_ctl create <dir>
 //   neptune_ctl stats <dir | host:port>
 //   neptune_ctl workload <host:port> <server-side-dir>
-//                [--deadline-ms <n>] [--retries <n>]
+//                [--deadline-ms <n>] [--retries <n>] [--clients <n>]
 //   neptune_ctl recover <dir>
 //   neptune_ctl ls <dir> [node-predicate]
 //   neptune_ctl cat <dir> <node> [time]
@@ -31,6 +31,8 @@
 #include <iostream>
 #include <iterator>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "app/document.h"
 #include "app/interchange.h"
@@ -77,7 +79,7 @@ int Usage() {
                "prune|export|import|destroy <dir> [args...]\n"
                "       neptune_ctl stats <host:port>\n"
                "       neptune_ctl workload <host:port> <server-side-dir>"
-               " [--deadline-ms <n>] [--retries <n>]\n");
+               " [--deadline-ms <n>] [--retries <n>] [--clients <n>]\n");
   return 2;
 }
 
@@ -138,12 +140,12 @@ int RemoteStats(const std::string& host, uint16_t port) {
   return 0;
 }
 
-// Remote `workload`: a short burst of representative traffic so every
-// metric family on the server moves. Creates (and destroys) a scratch
-// graph under `dir` on the server's filesystem.
-int RemoteWorkload(const std::string& host, uint16_t port,
-                   const std::string& dir,
-                   const rpc::RemoteHam::Options& options) {
+// One client's worth of representative traffic so every metric family
+// on the server moves. Creates (and destroys) a scratch graph under
+// `dir` on the server's filesystem.
+void RunOneWorkload(const std::string& host, uint16_t port,
+                    const std::string& dir,
+                    const rpc::RemoteHam::Options& options) {
   auto client = Unwrap(rpc::RemoteHam::Connect(host, port, options));
   auto created = Unwrap(client->CreateGraph(dir, 0755));
   ham::Context ctx =
@@ -187,8 +189,33 @@ int RemoteWorkload(const std::string& host, uint16_t port,
 
   Check(client->CloseGraph(ctx));
   Check(client->DestroyGraph(created.project, dir));
-  std::printf("workload complete against %s:%u (scratch graph %s)\n",
-              host.empty() ? "localhost" : host.c_str(), port, dir.c_str());
+}
+
+// Remote `workload`: with --clients N, N concurrent connections each
+// drive the burst against their own scratch graph (`dir-0`, `dir-1`,
+// ...) — a quick way to exercise the server's admission control and
+// session cleanup from the command line.
+int RemoteWorkload(const std::string& host, uint16_t port,
+                   const std::string& dir,
+                   const rpc::RemoteHam::Options& options, int clients) {
+  if (clients <= 1) {
+    RunOneWorkload(host, port, dir, options);
+    std::printf("workload complete against %s:%u (scratch graph %s)\n",
+                host.empty() ? "localhost" : host.c_str(), port, dir.c_str());
+    return 0;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      RunOneWorkload(host, port, dir + "-" + std::to_string(i), options);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::printf("workload complete against %s:%u (%d clients, scratch graphs "
+              "%s-0..%s-%d)\n",
+              host.empty() ? "localhost" : host.c_str(), port, clients,
+              dir.c_str(), dir.c_str(), clients - 1);
   return 0;
 }
 
@@ -206,6 +233,7 @@ int main(int argc, char** argv) {
     if (command == "workload") {
       if (argc < 4) return Usage();
       rpc::RemoteHam::Options options;
+      int clients = 1;
       for (int i = 4; i + 1 < argc; i += 2) {
         const std::string flag = argv[i];
         const int value = std::atoi(argv[i + 1]);
@@ -215,11 +243,13 @@ int main(int argc, char** argv) {
           options.recv_timeout_ms = value;
         } else if (flag == "--retries") {
           options.max_retries = static_cast<uint32_t>(value);
+        } else if (flag == "--clients") {
+          clients = value;
         } else {
           return Usage();
         }
       }
-      return RemoteWorkload(host, port, argv[3], options);
+      return RemoteWorkload(host, port, argv[3], options, clients);
     }
     std::fprintf(stderr,
                  "neptune_ctl: only stats and workload accept host:port\n");

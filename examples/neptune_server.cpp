@@ -4,8 +4,12 @@
 //
 // Modes:
 //   ./neptune_server serve <data-dir> [port] [stats-interval-sec]
+//                    [txn-lease-ms] [idle-timeout-ms]
 //       Runs a HAM server (port 0 = pick one) until killed. A nonzero
 //       stats interval logs a one-line metrics summary periodically.
+//       txn-lease-ms > 0 arms the transaction-lease watchdog (silent
+//       transactions are aborted and their writer slot reclaimed);
+//       idle-timeout-ms > 0 reaps connections that go quiet.
 //   ./neptune_server demo [data-dir]
 //       Starts an in-process server on an ephemeral port, connects a
 //       RemoteHam client over real TCP, and runs a workstation session
@@ -43,11 +47,16 @@ using neptune::rpc::Server;
 
 namespace {
 
-int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval) {
+int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
+             unsigned txn_lease_ms, unsigned idle_timeout_ms) {
   neptune::SetLogLevel(LogLevel::kInfo);
   Env::Default()->CreateDir(dir);
-  Ham ham(Env::Default(), HamOptions());
-  Server server(&ham);
+  HamOptions ham_options;
+  ham_options.txn_lease_ms = txn_lease_ms;
+  Ham ham(Env::Default(), ham_options);
+  Server::Options server_options;
+  server_options.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
+  Server server(&ham, server_options);
   auto bound = server.Start(port);
   if (!bound.ok()) {
     std::fprintf(stderr, "cannot start: %s\n",
@@ -56,6 +65,12 @@ int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval) {
   }
   std::printf("neptune server on 127.0.0.1:%u, data under %s\n", *bound,
               dir.c_str());
+  if (txn_lease_ms > 0) {
+    std::printf("transaction lease: %ums\n", txn_lease_ms);
+  }
+  if (idle_timeout_ms > 0) {
+    std::printf("idle connection timeout: %ums\n", idle_timeout_ms);
+  }
   std::printf("press Ctrl-C to stop\n");
   if (stats_interval > 0) {
     // Detached: the process only exits via signal anyway.
@@ -142,7 +157,8 @@ int main(int argc, char** argv) {
   if (mode == "serve") {
     if (argc < 3) {
       std::fprintf(stderr,
-                   "usage: %s serve <data-dir> [port] [stats-interval-sec]\n",
+                   "usage: %s serve <data-dir> [port] [stats-interval-sec]"
+                   " [txn-lease-ms] [idle-timeout-ms]\n",
                    argv[0]);
       return 2;
     }
@@ -150,14 +166,19 @@ int main(int argc, char** argv) {
         argc > 3 ? static_cast<uint16_t>(std::atoi(argv[3])) : 0;
     const unsigned stats_interval =
         argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 0;
-    return RunServe(argv[2], port, stats_interval);
+    const unsigned txn_lease_ms =
+        argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
+    const unsigned idle_timeout_ms =
+        argc > 6 ? static_cast<unsigned>(std::atoi(argv[6])) : 0;
+    return RunServe(argv[2], port, stats_interval, txn_lease_ms,
+                    idle_timeout_ms);
   }
   if (mode == "demo") {
     return RunDemo(argc > 2 ? argv[2] : "/tmp/neptune_server_demo");
   }
   std::fprintf(stderr,
-               "usage: %s serve <data-dir> [port] [stats-interval-sec] | "
-               "demo [dir]\n",
+               "usage: %s serve <data-dir> [port] [stats-interval-sec]"
+               " [txn-lease-ms] [idle-timeout-ms] | demo [dir]\n",
                argv[0]);
   return 2;
 }

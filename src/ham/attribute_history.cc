@@ -67,6 +67,15 @@ std::vector<std::pair<AttributeIndex, std::string>> AttributeHistory::GetAll(
   return out;
 }
 
+size_t AttributeHistory::CountAt(Time t) const {
+  size_t n = 0;
+  for (const auto& [attr, history] : entries_) {
+    (void)history;
+    if (Get(attr, t).has_value()) ++n;
+  }
+  return n;
+}
+
 size_t AttributeHistory::PruneBefore(Time before) {
   if (before == 0) return 0;
   size_t dropped = 0;

@@ -37,6 +37,10 @@ class AttributeHistory {
   // All (attribute, value) pairs in effect at `t`, ascending by index.
   std::vector<std::pair<AttributeIndex, std::string>> GetAll(Time t) const;
 
+  // Number of attributes attached (non-tombstone) at `t`, without
+  // copying any values — what the per-entity attribute cap checks.
+  size_t CountAt(Time t) const;
+
   // True if no attribute was ever attached.
   bool empty() const { return entries_.empty(); }
 

@@ -1,6 +1,7 @@
 #include "ham/ham.h"
 
 #include <algorithm>
+#include <chrono>
 #include <shared_mutex>
 
 #include "common/clock.h"
@@ -96,9 +97,97 @@ Ham::Ham(Env* env, HamOptions options)
   // constructed engine's option wins (they normally agree).
   delta::ReconstructionCache::Instance().set_capacity_bytes(
       options_.recon_cache_bytes);
+  // Pre-register the self-protection metrics so operator tooling
+  // (neptune_ctl stats) shows the rows even before they first fire.
+  MetricsRegistry::Instance().GetGauge("server.sessions.active");
+  MetricsRegistry::Instance().GetCounter("ham.txn.aborted_by_lease");
+  MetricsRegistry::Instance().GetCounter("ham.limits.rejected");
+  if (options_.txn_lease_ms > 0) {
+    lease_watchdog_ = std::thread([this] { LeaseWatchdogLoop(); });
+  }
 }
 
-Ham::~Ham() = default;
+Ham::~Ham() {
+  if (lease_watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    lease_watchdog_.join();
+  }
+}
+
+// ------------------------------------------------------- lease watchdog
+
+Ham::LockedSession::LockedSession(std::shared_ptr<Session> session)
+    : session_(std::move(session)), lock_(session_->op_mu) {
+  session_->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
+}
+
+Ham::LockedSession::~LockedSession() {
+  // Renew on exit too: a long-running op must not leave the lease
+  // looking stale the moment it finishes.
+  if (session_ != nullptr) {
+    session_->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
+  }
+}
+
+void Ham::LeaseWatchdogLoop() {
+  const uint64_t lease_us = options_.txn_lease_ms * 1000;
+  const auto period = std::chrono::milliseconds(
+      std::max<uint64_t>(options_.txn_lease_ms / 4, 5));
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, period);
+    if (watchdog_stop_) break;
+    lock.unlock();
+    SweepExpiredLeases(lease_us);
+    lock.lock();
+  }
+}
+
+void Ham::SweepExpiredLeases(uint64_t lease_us) {
+  // Collect candidates under the registry lock, then abort each under
+  // its own op_mu with the registry lock released — the reverse order
+  // (waiting for op_mu while holding registry_mu_) could deadlock with
+  // openContext, which registers a session while inside an op.
+  std::vector<std::shared_ptr<Session>> candidates;
+  {
+    const uint64_t now = NowMicros();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [id, session] : sessions_) {
+      if (session->in_txn.load(std::memory_order_relaxed) &&
+          now - session->last_touch_us.load(std::memory_order_relaxed) >
+              lease_us) {
+        candidates.push_back(session);
+      }
+    }
+  }
+  for (const std::shared_ptr<Session>& session : candidates) {
+    // try_lock: if the session's thread is mid-op it is plainly not
+    // abandoned, and the op renews the lease on exit anyway.
+    std::unique_lock<std::recursive_mutex> op_lock(session->op_mu,
+                                                   std::try_to_lock);
+    if (!op_lock.owns_lock()) continue;
+    if (!session->in_txn.load(std::memory_order_relaxed)) continue;
+    if (NowMicros() -
+            session->last_touch_us.load(std::memory_order_relaxed) <=
+        lease_us) {
+      continue;  // renewed while we were collecting
+    }
+    session->overlay = GraphState::TxnOverlay();
+    session->ops.clear();
+    session->in_txn.store(false, std::memory_order_relaxed);
+    session->lease_aborted = true;
+    ReleaseWriter(session->graph.get(), session->id);
+    NEPTUNE_METRIC_COUNT("ham.txn.aborted_by_lease", 1);
+    NEPTUNE_METRIC_COUNT("ham.txn.aborted", 1);
+    NEPTUNE_LOG(Warn) << "session " << session->id
+                      << ": transaction lease of " << options_.txn_lease_ms
+                      << "ms expired; aborting and releasing the writer slot";
+  }
+}
 
 std::string Ham::EncodeMeta(ProjectId project, uint32_t protections) {
   std::string out(kMetaMagic, 8);
@@ -243,16 +332,19 @@ Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
     return Status::PermissionDenied("ProjectId does not match the graph in " +
                                     directory);
   }
-  auto session = std::make_unique<Session>();
+  auto session = std::make_shared<Session>();
   session->graph = graph;
+  session->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
   GraphHandle* handle = graph.get();
   uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     id = next_session_++;
+    session->id = id;
     sessions_[id] = std::move(session);
     handle->open_sessions++;
   }
+  MetricsRegistry::Instance().GetGauge("server.sessions.active")->Increment();
   // "This operation can trigger a demon."
   Time now = 0;
   {
@@ -265,7 +357,7 @@ Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
 
 Status Ham::CloseGraph(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
-  std::unique_ptr<Session> session;
+  std::shared_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     auto it = sessions_.find(ctx.session);
@@ -276,21 +368,34 @@ Status Ham::CloseGraph(Context ctx) {
     sessions_.erase(it);
     session->graph->open_sessions--;
   }
+  MetricsRegistry::Instance().GetGauge("server.sessions.active")->Decrement();
+  // Serialize with the lease watchdog: it may hold a candidate
+  // reference to this session and must observe the abort below.
+  std::lock_guard<std::recursive_mutex> op_lock(session->op_mu);
   if (session->in_txn) {
     // Abort: staged state evaporates; free the writer slot.
+    session->overlay = GraphState::TxnOverlay();
+    session->ops.clear();
+    session->in_txn = false;
     ReleaseWriter(session->graph.get(), ctx.session);
   }
   return Status::OK();
 }
 
-Result<Ham::Session*> Ham::FindSession(Context ctx) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  auto it = sessions_.find(ctx.session);
-  if (it == sessions_.end()) {
-    return Status::InvalidArgument("invalid context handle " +
-                                   std::to_string(ctx.session));
+Result<Ham::LockedSession> Ham::FindSession(Context ctx) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = sessions_.find(ctx.session);
+    if (it == sessions_.end()) {
+      return Status::InvalidArgument("invalid context handle " +
+                                     std::to_string(ctx.session));
+    }
+    session = it->second;
   }
-  return it->second.get();
+  // op_mu is taken after registry_mu_ is released; see SweepExpiredLeases
+  // for why the orders must never interleave.
+  return LockedSession(std::move(session));
 }
 
 // ----------------------------------------------------------- writer slot
@@ -313,10 +418,11 @@ void Ham::ReleaseWriter(GraphHandle* graph, uint64_t session) {
 
 Status Ham::BeginTransaction(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition("a transaction is already open");
   }
+  session->lease_aborted = false;  // a fresh transaction gets a fresh lease
   AcquireWriter(session->graph.get(), ctx.session);
   session->in_txn = true;
   session->overlay = GraphState::TxnOverlay();
@@ -351,7 +457,12 @@ Status Ham::CommitLocked(GraphHandle* graph, Session* session) {
 
 Status Ham::CommitTransaction(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
+  if (session->lease_aborted) {
+    session->lease_aborted = false;
+    return Status::Aborted(
+        "transaction was aborted by lease expiry; nothing was committed");
+  }
   if (!session->in_txn) {
     return Status::FailedPrecondition("no transaction is open");
   }
@@ -360,7 +471,7 @@ Status Ham::CommitTransaction(Context ctx) {
   Status status;
   {
     std::lock_guard<std::shared_mutex> lock(graph->mu);
-    status = CommitLocked(graph, session);
+    status = CommitLocked(graph, session.get());
     if (status.ok()) committed = std::move(session->ops);
     session->ops.clear();
   }
@@ -379,7 +490,12 @@ Status Ham::CommitTransaction(Context ctx) {
 
 Status Ham::AbortTransaction(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
+  if (session->lease_aborted) {
+    // The watchdog already did the work; the client's abort succeeds.
+    session->lease_aborted = false;
+    return Status::OK();
+  }
   if (!session->in_txn) {
     return Status::FailedPrecondition("no transaction is open");
   }
@@ -392,6 +508,13 @@ Status Ham::AbortTransaction(Context ctx) {
 }
 
 Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
+  if (session->lease_aborted) {
+    // Refuse to silently fold what the client believes is transaction
+    // work into an implicit commit; it must abort (or commit, and get
+    // told) before continuing.
+    return Status::Aborted(
+        "transaction was aborted by lease expiry; call abortTransaction");
+  }
   GraphHandle* graph = session->graph.get();
   op->thread = session->thread;
   if (session->in_txn) {

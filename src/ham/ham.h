@@ -6,12 +6,14 @@
 #ifndef NEPTUNE_HAM_HAM_H_
 #define NEPTUNE_HAM_HAM_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +44,23 @@ struct HamOptions {
   // Capacity of the process-wide version-reconstruction cache
   // (delta/recon_cache.h); applied at Ham construction. 0 disables.
   size_t recon_cache_bytes = 8ull << 20;
+
+  // Server self-protection ------------------------------------------
+  // A session that holds an open transaction but has been silent (no
+  // operation on its context) for longer than this is force-aborted by
+  // a watchdog thread, releasing the graph's writer slot so a hung or
+  // abandoned editor never wedges the graph for every other author.
+  // Every operation on the context renews the lease. 0 disables the
+  // watchdog (the library-embedding default; the server turns it on).
+  uint64_t txn_lease_ms = 0;
+  // Caps below reject oversized inputs with kInvalidArgument before
+  // any WAL write. They apply at the public API boundary only — WAL
+  // replay is exempt, so shrinking a cap never makes an existing graph
+  // unrecoverable. 0 = unlimited.
+  size_t max_node_content_bytes = 16ull << 20;
+  size_t max_attribute_name_bytes = 4096;
+  size_t max_attribute_value_bytes = 1ull << 20;
+  size_t max_attrs_per_entity = 4096;
 };
 
 // Process-wide registry binding demon values to callables — the
@@ -207,16 +226,55 @@ class Ham final : public HamInterface {
     int open_sessions = 0;
   };
 
-  // A session created by OpenGraph/OpenContext.
+  // A session created by OpenGraph/OpenContext. Transaction state
+  // (in_txn/overlay/ops/lease_aborted) is guarded by op_mu: normally
+  // only the session's connection thread touches it, but the lease
+  // watchdog may abort an expired transaction from its own thread.
+  // op_mu is recursive because some operations call others on the same
+  // context (copyLink invokes addLink).
   struct Session {
+    uint64_t id = 0;
     std::shared_ptr<GraphHandle> graph;
     ThreadId thread = kMainThread;
-    bool in_txn = false;
+
+    std::recursive_mutex op_mu;
+    std::atomic<bool> in_txn{false};
     GraphState::TxnOverlay overlay;
     std::vector<Op> ops;
+    // Set by the watchdog when it aborts the session's transaction;
+    // tells the session's next commit/abort/mutation what happened.
+    bool lease_aborted = false;
+    // Lease renewal stamp (NowMicros), updated on operation entry and
+    // exit so a long-running op is not mistaken for a silent session.
+    std::atomic<uint64_t> last_touch_us{0};
   };
 
-  Result<Session*> FindSession(Context ctx);
+  // FindSession's return value: the session plus its held op_mu. The
+  // lock is taken *after* registry_mu_ is released (never the other
+  // way around) and renews the lease on both acquisition and release.
+  class LockedSession {
+   public:
+    explicit LockedSession(std::shared_ptr<Session> session);
+    ~LockedSession();
+    LockedSession(LockedSession&&) = default;
+    LockedSession& operator=(LockedSession&&) = default;
+    LockedSession(const LockedSession&) = delete;
+    LockedSession& operator=(const LockedSession&) = delete;
+
+    Session* operator->() const { return session_.get(); }
+    Session* get() const { return session_.get(); }
+
+   private:
+    std::shared_ptr<Session> session_;
+    std::unique_lock<std::recursive_mutex> lock_;
+  };
+
+  Result<LockedSession> FindSession(Context ctx);
+
+  // Lease watchdog: periodically force-aborts transactions whose
+  // session lease expired (see HamOptions::txn_lease_ms).
+  void LeaseWatchdogLoop();
+  void SweepExpiredLeases(uint64_t lease_us);
 
   // Loads or creates the shared handle for a directory.
   Result<std::shared_ptr<GraphHandle>> LoadGraph(const std::string& directory);
@@ -251,8 +309,15 @@ class Ham final : public HamInterface {
 
   std::mutex registry_mu_;  // guards graphs_ and sessions_
   std::map<std::string, std::weak_ptr<GraphHandle>> graphs_;
-  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  // shared_ptr so the watchdog can hold a candidate across the
+  // registry lock's release without racing session destruction.
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_session_ = 1;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread lease_watchdog_;
 };
 
 }  // namespace ham

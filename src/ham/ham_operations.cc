@@ -50,13 +50,21 @@ LinkPt Normalize(LinkPt pt) {
   return pt;
 }
 
+// All HamOptions cap rejections funnel through here so operators can
+// watch ham.limits.rejected for hostile or misconfigured clients. The
+// checks run before Execute, i.e. before any WAL write.
+Status LimitExceeded(std::string what) {
+  NEPTUNE_METRIC_COUNT("ham.limits.rejected", 1);
+  return Status::InvalidArgument(std::move(what));
+}
+
 }  // namespace
 
 // ----------------------------------------------------- A.1 structure
 
 Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   Op op;
   op.kind = OpKind::kAddNode;
@@ -65,23 +73,23 @@ Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
     std::lock_guard<std::shared_mutex> lock(graph->mu);
     op.node = graph->state.AllocateNodeIndex();
   }
-  NEPTUNE_RETURN_IF_ERROR(Execute(session, ctx.session, &op));
+  NEPTUNE_RETURN_IF_ERROR(Execute(session.get(), ctx.session, &op));
   return AddNodeResult{op.node, op.time};
 }
 
 Status Ham::DeleteNode(Context ctx, NodeIndex node) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteNode;
   op.node = node;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
                                    const LinkPt& to) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   Op op;
   op.kind = OpKind::kAddLink;
@@ -91,14 +99,14 @@ Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
     std::lock_guard<std::shared_mutex> lock(graph->mu);
     op.link = graph->state.AllocateLinkIndex();
   }
-  NEPTUNE_RETURN_IF_ERROR(Execute(session, ctx.session, &op));
+  NEPTUNE_RETURN_IF_ERROR(Execute(session.get(), ctx.session, &op));
   return AddLinkResult{op.link, op.time};
 }
 
 Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
                                     bool copy_source, const LinkPt& other) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   LinkPt copied;
   {
@@ -128,11 +136,11 @@ Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
 
 Status Ham::DeleteLink(Context ctx, LinkIndex link) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteLink;
   op.link = link;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 // -------------------------------------------------------- A.1 queries
@@ -143,7 +151,7 @@ Result<SubGraph> Ham::LinearizeGraph(
     const std::vector<AttributeIndex>& node_attrs,
     const std::vector<AttributeIndex>& link_attrs) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.query");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
   GraphHandle* graph = session->graph.get();
@@ -164,7 +172,7 @@ Result<SubGraph> Ham::GetGraphQuery(
     const std::vector<AttributeIndex>& node_attrs,
     const std::vector<AttributeIndex>& link_attrs) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.query");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
   GraphHandle* graph = session->graph.get();
@@ -185,7 +193,7 @@ Result<OpenNodeResult> Ham::OpenNode(
     Context ctx, NodeIndex node, Time time,
     const std::vector<AttributeIndex>& attrs) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   OpenNodeResult out;
   {
@@ -234,7 +242,14 @@ Status Ham::ModifyNode(Context ctx, NodeIndex node, Time expected_time,
                        const std::vector<AttachmentUpdate>& attachments,
                        const std::string& explanation) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (options_.max_node_content_bytes > 0 &&
+      contents.size() > options_.max_node_content_bytes) {
+    return LimitExceeded(
+        "node contents of " + std::to_string(contents.size()) +
+        " bytes exceed max_node_content_bytes=" +
+        std::to_string(options_.max_node_content_bytes));
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kModifyNode;
   op.node = node;
@@ -251,12 +266,12 @@ Status Ham::ModifyNode(Context ctx, NodeIndex node, Time expected_time,
     pt.position = att.position;
     op.attachments.push_back(pt);
   }
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -273,17 +288,17 @@ Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
 Status Ham::ChangeNodeProtection(Context ctx, NodeIndex node,
                                  uint32_t protections) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kChangeNodeProtection;
   op.node = node;
   op.arg = protections;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<NodeVersions> Ham::GetNodeVersions(Context ctx, NodeIndex node) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -306,7 +321,7 @@ Result<std::vector<delta::Difference>> Ham::GetNodeDifferences(Context ctx,
                                                                NodeIndex node,
                                                                Time t1,
                                                                Time t2) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -326,7 +341,7 @@ Result<std::vector<delta::Difference>> Ham::GetNodeDifferences(Context ctx,
 
 Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -353,7 +368,7 @@ Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
 Result<LinkEndResult> Ham::GetFromNode(Context ctx, LinkIndex link,
                                        Time time) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -381,7 +396,7 @@ Result<LinkEndResult> Ham::GetFromNode(Context ctx, LinkIndex link,
 
 Result<std::vector<AttributeEntry>> Ham::GetAttributes(Context ctx,
                                                        Time time) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   return graph->state.attributes().AllAt(time);
@@ -390,7 +405,7 @@ Result<std::vector<AttributeEntry>> Ham::GetAttributes(Context ctx,
 Result<std::vector<std::string>> Ham::GetAttributeValues(Context ctx,
                                                          AttributeIndex attr,
                                                          Time time) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   if (!graph->state.attributes().ExistedAt(attr, time)) {
@@ -405,7 +420,16 @@ Result<std::vector<std::string>> Ham::GetAttributeValues(Context ctx,
 Result<AttributeIndex> Ham::GetAttributeIndex(Context ctx,
                                               const std::string& name) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  // Interning commits immediately and is append-only, so an oversized
+  // name would be a permanent blemish — check before anything else.
+  if (options_.max_attribute_name_bytes > 0 &&
+      name.size() > options_.max_attribute_name_bytes) {
+    return LimitExceeded(
+        "attribute name of " + std::to_string(name.size()) +
+        " bytes exceeds max_attribute_name_bytes=" +
+        std::to_string(options_.max_attribute_name_bytes));
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   {
     // Fast path: the attribute already exists (the common case after
@@ -437,31 +461,56 @@ Status Ham::SetNodeAttributeValue(Context ctx, NodeIndex node,
                                   AttributeIndex attr,
                                   const std::string& value) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (options_.max_attribute_value_bytes > 0 &&
+      value.size() > options_.max_attribute_value_bytes) {
+    return LimitExceeded(
+        "attribute value of " + std::to_string(value.size()) +
+        " bytes exceeds max_attribute_value_bytes=" +
+        std::to_string(options_.max_attribute_value_bytes));
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
+  if (options_.max_attrs_per_entity > 0) {
+    GraphHandle* graph = session->graph.get();
+    SharedReadLock lock(graph->mu);
+    const GraphState::TxnOverlay* overlay =
+        session->in_txn ? &session->overlay : nullptr;
+    const NodeRecord* record =
+        graph->state.FindNode(session->thread, overlay, node);
+    // Replacing an attached attribute is always allowed; only growth
+    // past the cap is refused. A missing node falls through to Execute
+    // for the canonical NotFound.
+    if (record != nullptr && !record->attributes.Get(attr, 0).has_value() &&
+        record->attributes.CountAt(0) >= options_.max_attrs_per_entity) {
+      return LimitExceeded(
+          "node " + std::to_string(node) + " already carries " +
+          std::to_string(options_.max_attrs_per_entity) +
+          " attributes (max_attrs_per_entity)");
+    }
+  }
   Op op;
   op.kind = OpKind::kSetNodeAttribute;
   op.node = node;
   op.attr = attr;
   op.value = value;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Status Ham::DeleteNodeAttribute(Context ctx, NodeIndex node,
                                 AttributeIndex attr) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteNodeAttribute;
   op.node = node;
   op.attr = attr;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<std::string> Ham::GetNodeAttributeValue(Context ctx, NodeIndex node,
                                                AttributeIndex attr,
                                                Time time) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -484,7 +533,7 @@ Result<std::string> Ham::GetNodeAttributeValue(Context ctx, NodeIndex node,
 
 Result<std::vector<AttributeValueEntry>> Ham::GetNodeAttributes(
     Context ctx, NodeIndex node, Time time) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -508,31 +557,53 @@ Status Ham::SetLinkAttributeValue(Context ctx, LinkIndex link,
                                   AttributeIndex attr,
                                   const std::string& value) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  if (options_.max_attribute_value_bytes > 0 &&
+      value.size() > options_.max_attribute_value_bytes) {
+    return LimitExceeded(
+        "attribute value of " + std::to_string(value.size()) +
+        " bytes exceeds max_attribute_value_bytes=" +
+        std::to_string(options_.max_attribute_value_bytes));
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
+  if (options_.max_attrs_per_entity > 0) {
+    GraphHandle* graph = session->graph.get();
+    SharedReadLock lock(graph->mu);
+    const GraphState::TxnOverlay* overlay =
+        session->in_txn ? &session->overlay : nullptr;
+    const LinkRecord* record =
+        graph->state.FindLink(session->thread, overlay, link);
+    if (record != nullptr && !record->attributes.Get(attr, 0).has_value() &&
+        record->attributes.CountAt(0) >= options_.max_attrs_per_entity) {
+      return LimitExceeded(
+          "link " + std::to_string(link) + " already carries " +
+          std::to_string(options_.max_attrs_per_entity) +
+          " attributes (max_attrs_per_entity)");
+    }
+  }
   Op op;
   op.kind = OpKind::kSetLinkAttribute;
   op.link = link;
   op.attr = attr;
   op.value = value;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Status Ham::DeleteLinkAttribute(Context ctx, LinkIndex link,
                                 AttributeIndex attr) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kDeleteLinkAttribute;
   op.link = link;
   op.attr = attr;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<std::string> Ham::GetLinkAttributeValue(Context ctx, LinkIndex link,
                                                AttributeIndex attr,
                                                Time time) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -555,7 +626,7 @@ Result<std::string> Ham::GetLinkAttributeValue(Context ctx, LinkIndex link,
 
 Result<std::vector<AttributeValueEntry>> Ham::GetLinkAttributes(
     Context ctx, LinkIndex link, Time time) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -580,16 +651,16 @@ Result<std::vector<AttributeValueEntry>> Ham::GetLinkAttributes(
 Status Ham::SetGraphDemonValue(Context ctx, Event event,
                                const std::string& demon) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.demon");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kSetGraphDemon;
   op.event = event;
   op.value = demon;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<std::vector<DemonEntry>> Ham::GetGraphDemons(Context ctx, Time time) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -600,19 +671,19 @@ Result<std::vector<DemonEntry>> Ham::GetGraphDemons(Context ctx, Time time) {
 Status Ham::SetNodeDemon(Context ctx, NodeIndex node, Event event,
                          const std::string& demon) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.demon");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
   op.kind = OpKind::kSetNodeDemon;
   op.node = node;
   op.event = event;
   op.value = demon;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<std::vector<DemonEntry>> Ham::GetNodeDemons(Context ctx,
                                                    NodeIndex node,
                                                    Time time) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   const GraphState::TxnOverlay* overlay =
@@ -630,7 +701,7 @@ Result<std::vector<DemonEntry>> Ham::GetNodeDemons(Context ctx,
 
 Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::shared_mutex> lock(graph->mu);
   Op op;
@@ -648,7 +719,7 @@ Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
 
 Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   if (thread != kMainThread) {
     SharedReadLock lock(graph->mu);
@@ -657,19 +728,25 @@ Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
                               " does not exist");
     }
   }
-  auto new_session = std::make_unique<Session>();
+  auto new_session = std::make_shared<Session>();
   new_session->graph = session->graph;
   new_session->thread = thread;
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  const uint64_t id = next_session_++;
-  sessions_[id] = std::move(new_session);
-  graph->open_sessions++;
+  new_session->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    id = next_session_++;
+    new_session->id = id;
+    sessions_[id] = std::move(new_session);
+    graph->open_sessions++;
+  }
+  MetricsRegistry::Instance().GetGauge("server.sessions.active")->Increment();
   return Context{id};
 }
 
 Status Ham::MergeContext(Context ctx, ThreadId source, bool force) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition(
         "mergeContext must run outside an open transaction");
@@ -678,11 +755,11 @@ Status Ham::MergeContext(Context ctx, ThreadId source, bool force) {
   op.kind = OpKind::kMergeContext;
   op.arg = source;
   op.flag = force;
-  return Execute(session, ctx.session, &op);
+  return Execute(session.get(), ctx.session, &op);
 }
 
 Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   return graph->state.ListThreads();
@@ -690,7 +767,7 @@ Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
 
 Status Ham::Checkpoint(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   std::lock_guard<std::shared_mutex> lock(graph->mu);
   std::string snapshot;
@@ -700,7 +777,7 @@ Status Ham::Checkpoint(Context ctx) {
 
 Result<GraphStats> Ham::GetStats(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   GraphState::Stats stats = graph->state.ComputeStats();
@@ -718,14 +795,14 @@ Result<GraphStats> Ham::GetStats(Context ctx) {
 
 Result<ThreadId> Ham::ContextThread(Context ctx) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   return session->thread;
 }
 
 // ----------------------------------------------- local administration
 
 Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
   return graph->state.CheckIntegrity();
@@ -733,7 +810,7 @@ Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
 
 Result<uint64_t> Ham::PruneHistory(Context ctx, Time before) {
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
-  NEPTUNE_ASSIGN_OR_RETURN(Session * session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition(
         "pruneHistory must run outside an open transaction");

@@ -93,6 +93,23 @@ Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
           if (!DecodeStatusFrom(&in, &status)) {
             return Status::Corruption("malformed reply status");
           }
+          // An Unavailable reply carrying a varint body is the
+          // server's load-shed refusal with a retry-after-ms hint. The
+          // request was rejected *before* execution, so re-sending is
+          // safe even for mutations — the stream stays up and the
+          // retry waits at least the hinted backoff.
+          uint32_t retry_after_ms = 0;
+          if (status.IsUnavailable() && !in.empty() &&
+              GetVarint32(&in, &retry_after_ms)) {
+            if (attempt >= options_.max_retries) return status;
+            NEPTUNE_METRIC_COUNT("rpc.client.shed_retries", 1);
+            uint64_t delay = std::max<uint64_t>(retry_after_ms, 1);
+            // Full jitter in [delay/2, delay] spreads the herd of shed
+            // clients back out.
+            delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+            continue;
+          }
           NEPTUNE_RETURN_IF_ERROR(status);
           return std::string(in);
         }

@@ -83,6 +83,10 @@ std::string ResultReply(const Result<T>& result, Encoder encode) {
 Server::~Server() { Stop(); }
 
 Result<uint16_t> Server::Start(uint16_t port) {
+  // Pre-register the overload metrics so stats show the rows at zero.
+  MetricsRegistry::Instance().GetGauge("server.inflight");
+  MetricsRegistry::Instance().GetCounter("server.shed");
+  MetricsRegistry::Instance().GetCounter("server.connections.reaped");
   NEPTUNE_ASSIGN_OR_RETURN(listener_, Listener::Bind(port));
   port_ = listener_->port();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -117,6 +121,10 @@ void Server::Stop() {
 }
 
 void Server::AcceptLoop() {
+  // Listener::Accept rides out EINTR/ECONNABORTED and fd exhaustion
+  // itself (the same taxonomy the PR 3 client loops use), so a hostile
+  // connection flood cannot permanently kill this loop; any error that
+  // does surface here is fatal (or Shutdown()).
   while (!stopping_) {
     auto stream = listener_->Accept();
     if (!stream.ok()) {
@@ -124,6 +132,16 @@ void Server::AcceptLoop() {
         NEPTUNE_LOG(Warn) << "accept failed: " << stream.status().ToString();
       }
       return;
+    }
+    const size_t buffered =
+        options_.max_conn_buffered_bytes > 0
+            ? options_.max_conn_buffered_bytes
+            : static_cast<size_t>(options_.max_frame_bytes) + (64u << 10);
+    (*stream)->SetLimits(options_.max_frame_bytes, buffered);
+    if (options_.idle_timeout_ms > 0) {
+      // An expired recv deadline is how idle connections are detected
+      // and reaped in ServeConnection.
+      (*stream)->SetTimeouts(0, options_.idle_timeout_ms);
     }
     FrameStream* raw = stream->get();
     std::lock_guard<std::mutex> lock(mu_);
@@ -133,10 +151,33 @@ void Server::AcceptLoop() {
   }
 }
 
+bool Server::ShouldShed(Method method, int inflight) const {
+  if (inflight <= options_.shed_inflight_requests) return false;
+  // Always admitted: operations that shrink the server's obligations
+  // (finishing or abandoning a transaction, closing a session) and the
+  // two diagnostics an operator needs during an overload event.
+  switch (method) {
+    case Method::kCommitTransaction:
+    case Method::kAbortTransaction:
+    case Method::kCloseGraph:
+    case Method::kPing:
+    case Method::kGetServerStatistics:
+      return false;
+    default:
+      break;
+  }
+  if (inflight > options_.max_inflight_requests) return true;  // hard cap
+  // Between the high-water mark and the cap: shed only the
+  // non-transactional read traffic; writers keep their progress.
+  return IsIdempotent(method);
+}
+
 void Server::ServeConnection(FrameStream* stream) {
   NEPTUNE_METRIC_COUNT("rpc.connections.accepted", 1);
   static Gauge* active =
       MetricsRegistry::Instance().GetGauge("rpc.connections.active");
+  static Gauge* inflight_gauge =
+      MetricsRegistry::Instance().GetGauge("server.inflight");
   active->Increment();
   std::set<uint64_t> sessions;
   // No stopping_ gate here: Stop() half-closes the stream, so the next
@@ -144,9 +185,44 @@ void Server::ServeConnection(FrameStream* stream) {
   // and its reply sent first (graceful drain).
   while (true) {
     Result<std::string> request = stream->RecvFrame();
-    if (!request.ok()) break;  // disconnect, drain, or corruption
+    if (!request.ok()) {
+      const Status& status = request.status();
+      if (status.IsDeadlineExceeded() && options_.idle_timeout_ms > 0) {
+        // The connection sat silent past the idle budget: reap it.
+        // Sessions (and any open transaction) are cleaned up below
+        // exactly as for a disconnect.
+        NEPTUNE_METRIC_COUNT("server.connections.reaped", 1);
+        NEPTUNE_LOG(Info) << "reaping connection idle for more than "
+                          << options_.idle_timeout_ms << "ms";
+      } else if (status.IsInvalidArgument() || status.IsCorruption()) {
+        // Protocol abuse (oversized length prefix, CRC mismatch): tell
+        // the peer why before hanging up. Framing may be out of sync,
+        // so the connection itself cannot survive.
+        (void)stream->SendFrame(StatusReply(status));
+      }
+      break;  // disconnect, drain, reap, or corruption
+    }
     NEPTUNE_METRIC_COUNT("rpc.bytes_in", request->size());
-    std::string reply = HandleRequest(*request, &sessions);
+    const int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    inflight_gauge->Increment();
+    std::string reply;
+    const Method method =
+        request->empty() ? Method{0} : static_cast<Method>(request->front());
+    if (ShouldShed(method, inflight)) {
+      NEPTUNE_METRIC_COUNT("server.shed", 1);
+      // The request was refused before execution, so the client may
+      // re-send ANY method safely; the varint after the status header
+      // is the suggested backoff (RemoteHam honors it).
+      EncodeStatusTo(Status::Unavailable("server overloaded (" +
+                                         std::to_string(inflight) +
+                                         " requests in flight); retry"),
+                     &reply);
+      PutVarint32(&reply, options_.retry_after_ms);
+    } else {
+      reply = HandleRequest(*request, &sessions);
+    }
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    inflight_gauge->Decrement();
     NEPTUNE_METRIC_COUNT("rpc.bytes_out", reply.size());
     if (!stream->SendFrame(reply).ok()) break;
   }
@@ -155,6 +231,19 @@ void Server::ServeConnection(FrameStream* stream) {
   // its open transaction happens via CloseGraph's abort path).
   for (uint64_t session : sessions) {
     ham_->CloseGraph(Context{session});
+  }
+  // Hang up and release the fd now, not at Stop(): when the server
+  // initiated the break (protocol abuse, idle reap) the peer is still
+  // waiting and must see FIN, and a long-lived server must not hold a
+  // descriptor per client it ever served. Close() is idempotent, so
+  // the Stop() drain racing us is harmless.
+  stream->Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->get() == stream) {
+      streams_.erase(it);
+      break;
+    }
   }
 }
 

@@ -24,7 +24,34 @@ namespace rpc {
 
 class Server {
  public:
-  explicit Server(ham::HamInterface* ham) : ham_(ham) {}
+  // Self-protection knobs; the defaults keep a lightly loaded server
+  // indistinguishable from the pre-limit behavior.
+  struct Options {
+    // Largest request/reply payload accepted on a connection; a
+    // hostile length prefix beyond this is rejected without allocating
+    // (see FrameDecoder::set_limits). Clamped to kMaxFrameBytes.
+    uint32_t max_frame_bytes = kMaxFrameBytes;
+    // Bytes buffered per connection for an incomplete inbound frame.
+    // 0 derives max_frame_bytes + 64KiB of slack.
+    size_t max_conn_buffered_bytes = 0;
+    // Load shedding: above `shed_inflight_requests` concurrently
+    // handled requests, non-transactional reads are refused with
+    // kUnavailable plus a retry-after-ms hint; above
+    // `max_inflight_requests` everything except abort/commit/close/
+    // ping/stats is refused (those reduce load or are needed to see
+    // what is happening).
+    int max_inflight_requests = 256;
+    int shed_inflight_requests = 192;
+    uint32_t retry_after_ms = 50;
+    // Connections silent for longer than this are reaped — their
+    // sessions closed (aborting any open transaction) and the socket
+    // dropped. 0 disables reaping.
+    int idle_timeout_ms = 0;
+  };
+
+  explicit Server(ham::HamInterface* ham) : Server(ham, Options()) {}
+  Server(ham::HamInterface* ham, Options options)
+      : ham_(ham), options_(options) {}
   ~Server();
 
   Server(const Server&) = delete;
@@ -43,6 +70,10 @@ class Server {
   void AcceptLoop();
   void ServeConnection(FrameStream* stream);
 
+  // Admission control: non-zero means "refuse this method right now";
+  // the value distinguishes soft (reads only) from hard shedding.
+  bool ShouldShed(Method method, int inflight) const;
+
   // Handles one request payload; returns the reply payload.
   // Context handles opened/closed by this connection are tracked in
   // `sessions` so disconnects can clean up.
@@ -50,9 +81,11 @@ class Server {
                             std::set<uint64_t>* sessions);
 
   ham::HamInterface* ham_;
+  Options options_;
   std::unique_ptr<Listener> listener_;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_{0};
 
   std::mutex mu_;  // guards streams_ and threads_
   std::vector<std::unique_ptr<FrameStream>> streams_;

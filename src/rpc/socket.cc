@@ -9,6 +9,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -122,8 +123,23 @@ Result<std::unique_ptr<FrameStream>> FrameStream::Connect(
   return std::unique_ptr<FrameStream>(new FrameStream(fd));
 }
 
+void FrameStream::SetLimits(uint32_t max_frame_bytes,
+                            size_t max_buffered_bytes) {
+  if (max_frame_bytes > 0) {
+    max_frame_bytes_ = std::min(max_frame_bytes, kMaxFrameBytes);
+  }
+  decoder_.set_limits(max_frame_bytes, max_buffered_bytes);
+}
+
 Status FrameStream::SendFrame(std::string_view payload) {
   if (closed_.load()) return Status::NetworkError("stream is closed");
+  // Symmetric with the decode-side limit: refuse before FramePayload
+  // copies the oversized payload into a frame buffer.
+  if (payload.size() > max_frame_bytes_) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds limit of " + std::to_string(max_frame_bytes_));
+  }
   std::string frame = FramePayload(payload);
   std::string_view rest = frame;
   while (!rest.empty()) {
@@ -190,14 +206,25 @@ Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
 }
 
 Result<std::unique_ptr<FrameStream>> Listener::Accept() {
+  // EINTR/ECONNABORTED handling mirrors the client-side recv/connect
+  // loops: both are transient and must never tear down the listener.
+  // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) is also
+  // transient under a connection flood — a misbehaving client that
+  // burns every fd must not permanently kill the accept loop, so back
+  // off briefly and retry until Shutdown().
   int client;
-  do {
+  for (;;) {
     if (shut_down_.load()) {
       return Status::NetworkError("listener is shut down");
     }
     client = ::accept(fd_, nullptr, nullptr);
-  } while (client < 0 && (errno == EINTR || errno == ECONNABORTED));
-  if (client < 0) {
+    if (client >= 0) break;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      ::poll(nullptr, 0, 10);  // let connections close, then retry
+      continue;
+    }
     return SockError("accept", errno);
   }
   int one = 1;

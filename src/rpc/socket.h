@@ -36,7 +36,13 @@ class FrameStream {
   // treat the stream as dead afterwards.
   Status SetTimeouts(int send_timeout_ms, int recv_timeout_ms);
 
-  // Sends one framed payload.
+  // Caps the accepted frame size (both directions) and the bytes this
+  // stream will buffer for an incomplete inbound frame. 0 keeps the
+  // process-wide kMaxFrameBytes default.
+  void SetLimits(uint32_t max_frame_bytes, size_t max_buffered_bytes);
+
+  // Sends one framed payload; kInvalidArgument (without sending
+  // anything) if the payload exceeds the frame limit.
   Status SendFrame(std::string_view payload);
 
   // Blocks for the next complete frame. Unavailable("connection
@@ -57,6 +63,7 @@ class FrameStream {
  private:
   const int fd_;
   std::atomic<bool> closed_{false};
+  uint32_t max_frame_bytes_ = kMaxFrameBytes;
   FrameDecoder decoder_;
   std::vector<std::string> pending_;
 };

@@ -1,5 +1,7 @@
 #include "rpc/wire.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "common/crc32c.h"
 
@@ -99,8 +101,29 @@ std::string FramePayload(std::string_view payload) {
   return out;
 }
 
+void FrameDecoder::set_limits(uint32_t max_frame_bytes,
+                              size_t max_buffered_bytes) {
+  if (max_frame_bytes > 0) {
+    max_frame_bytes_ = std::min(max_frame_bytes, kMaxFrameBytes);
+  }
+  if (max_buffered_bytes > 0) {
+    // Never below one max-sized frame plus its header, or legal frames
+    // could no longer complete.
+    max_buffered_bytes_ =
+        std::max(max_buffered_bytes, 8 + static_cast<size_t>(max_frame_bytes_));
+  }
+}
+
 Status FrameDecoder::Feed(std::string_view bytes,
                           std::vector<std::string>* out) {
+  // Checking the length prefix before buffering the body is what keeps
+  // memory use proportional to bytes actually received, not to what a
+  // hostile prefix claims.
+  if (buffer_.size() + bytes.size() > max_buffered_bytes_) {
+    return Status::InvalidArgument(
+        "peer exceeded per-connection buffer limit of " +
+        std::to_string(max_buffered_bytes_) + " bytes");
+  }
   buffer_.append(bytes);
   while (buffer_.size() >= 8) {
     std::string_view view = buffer_;
@@ -108,9 +131,10 @@ Status FrameDecoder::Feed(std::string_view bytes,
     uint32_t masked_crc = 0;
     GetFixed32(&view, &length);
     GetFixed32(&view, &masked_crc);
-    if (length > kMaxFrameBytes) {
-      return Status::Corruption("frame length " + std::to_string(length) +
-                                " exceeds limit");
+    if (length > max_frame_bytes_) {
+      return Status::InvalidArgument(
+          "frame length " + std::to_string(length) + " exceeds limit of " +
+          std::to_string(max_frame_bytes_) + " bytes");
     }
     if (view.size() < length) break;  // incomplete frame, wait for more
     std::string_view payload = view.substr(0, length);

@@ -100,11 +100,22 @@ std::string FramePayload(std::string_view payload);
 // Incremental frame splitter for a byte stream.
 class FrameDecoder {
  public:
+  // Tightens the limits below the process-wide kMaxFrameBytes ceiling.
+  // `max_frame_bytes` bounds a single payload; `max_buffered_bytes`
+  // bounds the bytes the decoder will hold while waiting for a frame to
+  // complete, so a peer drip-feeding an enormous frame cannot pin
+  // memory. Values of 0 keep the previous limit.
+  void set_limits(uint32_t max_frame_bytes, size_t max_buffered_bytes);
+
   // Feeds received bytes; complete payloads are appended to `out`.
-  // Corruption (bad CRC, oversized length) is returned as a Status.
+  // A length prefix beyond the frame limit fails with kInvalidArgument
+  // *before* the claimed bytes are buffered (a hostile 4GB prefix never
+  // allocates 4GB); a bad CRC fails with kCorruption.
   Status Feed(std::string_view bytes, std::vector<std::string>* out);
 
  private:
+  uint32_t max_frame_bytes_ = kMaxFrameBytes;
+  size_t max_buffered_bytes_ = 8 + static_cast<size_t>(kMaxFrameBytes);
   std::string buffer_;
 };
 

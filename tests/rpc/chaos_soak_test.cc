@@ -1,0 +1,364 @@
+// Multi-client chaos soak: one well-behaved client makes steady
+// progress while hostile peers flood, stall and vanish around it. The
+// test asserts the server's self-protection story end to end:
+//
+//  * the well-behaved client completes 100% of its operations,
+//  * abandoned transactions are reclaimed by the lease watchdog
+//    (ham.txn.aborted_by_lease > 0),
+//  * every chaos session is gone afterwards (server.sessions.active
+//    returns to zero before the verification session opens),
+//  * the graph passes a structural fsck.
+//
+// Runs in its own binary so it can ResetForTest() the process-global
+// metrics registry per seed without disturbing other suites.
+//
+// Environment knobs (used by the CI soak step):
+//   NEPTUNE_CHAOS_SECONDS  wall-clock per seed (default 2)
+//   NEPTUNE_CHAOS_SEEDS    comma-separated seed list (default "1")
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+
+namespace neptune {
+namespace rpc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ChaosSeconds() {
+  const char* s = std::getenv("NEPTUNE_CHAOS_SECONDS");
+  int v = (s != nullptr) ? std::atoi(s) : 0;
+  return v > 0 ? v : 2;
+}
+
+std::vector<uint64_t> ChaosSeeds() {
+  std::vector<uint64_t> seeds;
+  const char* s = std::getenv("NEPTUNE_CHAOS_SEEDS");
+  if (s != nullptr) {
+    uint64_t cur = 0;
+    bool in_number = false;
+    for (const char* p = s;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        cur = cur * 10 + static_cast<uint64_t>(*p - '0');
+        in_number = true;
+      } else {
+        if (in_number) seeds.push_back(cur);
+        cur = 0;
+        in_number = false;
+        if (*p == '\0') break;
+      }
+    }
+  }
+  if (seeds.empty()) seeds.push_back(1);
+  return seeds;
+}
+
+uint64_t CounterNow(const std::string& name) {
+  return MetricsRegistry::Instance().Snapshot().CounterValue(name);
+}
+
+int64_t GaugeNow(const std::string& name) {
+  auto snapshot = MetricsRegistry::Instance().Snapshot();
+  auto it = snapshot.gauges.find(name);
+  return it == snapshot.gauges.end() ? 0 : it->second;
+}
+
+// The well-behaved citizen: transactional writes plus reads, all of
+// which must succeed no matter what the other clients are doing.
+void WellBehavedLoop(uint16_t port, ham::ProjectId project,
+                     const std::string& dir, uint64_t seed,
+                     std::atomic<bool>* stop, std::atomic<uint64_t>* ops,
+                     std::atomic<uint64_t>* failures,
+                     std::string* first_failure) {
+  RemoteHam::Options options;
+  options.max_retries = 8;
+  options.recv_timeout_ms = 20000;  // rides out writer-slot waits
+  options.retry_seed = seed + 1;
+  auto client = RemoteHam::Connect("localhost", port, options);
+  if (!client.ok()) {
+    failures->fetch_add(1);
+    *first_failure = "connect: " + client.status().ToString();
+    return;
+  }
+  auto check = [&](const Status& status, const char* what) {
+    if (status.ok()) {
+      ops->fetch_add(1);
+      return true;
+    }
+    if (failures->fetch_add(1) == 0) {
+      *first_failure = std::string(what) + ": " + status.ToString();
+    }
+    return false;
+  };
+  auto ctx = (*client)->OpenGraph(project, "localhost", dir);
+  if (!check(ctx.status(), "openGraph")) return;
+  auto attr = (*client)->GetAttributeIndex(*ctx, "chaos");
+  if (!check(attr.status(), "getAttributeIndex")) return;
+  Random rng(seed + 17);
+  while (!stop->load(std::memory_order_relaxed)) {
+    if (!check((*client)->BeginTransaction(*ctx), "begin")) break;
+    auto node = (*client)->AddNode(*ctx, true);
+    if (!check(node.status(), "addNode")) break;
+    if (!check((*client)->SetNodeAttributeValue(*ctx, node->node, *attr,
+                                                "v" + std::to_string(rng.Next())),
+               "setAttr")) {
+      break;
+    }
+    if (!check((*client)->CommitTransaction(*ctx), "commit")) break;
+    if (!check((*client)->GetNodeTimeStamp(*ctx, node->node).status(),
+               "timestamp")) {
+      break;
+    }
+    if (rng.OneIn(4) &&
+        !check((*client)->GetStats(*ctx).status(), "getStats")) {
+      break;
+    }
+  }
+  check((*client)->CloseGraph(*ctx), "closeGraph");
+}
+
+// Sends `bytes` on a bare TCP connection — wire abuse the FrameStream
+// client would refuse to produce — and drains whatever comes back.
+void RawBlast(uint16_t port, std::string_view bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    timeval tv{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::send(fd, bytes.data(), bytes.size(), 0);
+    char buf[1024];
+    while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+    }
+  }
+  ::close(fd);
+}
+
+// The flooder: hostile length prefixes, CRC garbage and ping storms on
+// fresh connections, as fast as the server will take them.
+void FlooderLoop(uint16_t port, uint64_t seed, std::atomic<bool>* stop) {
+  Random rng(seed + 31);
+  while (!stop->load(std::memory_order_relaxed)) {
+    switch (rng.Uniform(4)) {
+      case 0: {
+        // Hostile length prefix claiming a 1 GiB body.
+        std::string header;
+        PutFixed32(&header, 1u << 30);
+        PutFixed32(&header, 0);
+        RawBlast(port, header);
+        continue;
+      }
+      case 1: {
+        // Raw garbage that never parses as a frame header + body.
+        RawBlast(port, rng.NextBytes(64));
+        continue;
+      }
+      default:
+        break;
+    }
+    auto stream = FrameStream::Connect("localhost", port);
+    if (!stream.ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    (*stream)->SetTimeouts(1000, 1000);
+    if (rng.OneIn(2)) {
+      std::string ping;
+      ping.push_back(static_cast<char>(Method::kPing));
+      ping += "flood";
+      for (int i = 0; i < 16 && !stop->load(); ++i) {
+        if (!(*stream)->SendFrame(ping).ok()) break;
+        if (!(*stream)->RecvFrame().ok()) break;
+      }
+    } else {
+      // Truncated request body for a real method.
+      std::string request;
+      request.push_back(static_cast<char>(Method::kOpenNode));
+      request.push_back('\x02');
+      (void)(*stream)->SendFrame(request);
+      (void)(*stream)->RecvFrame();
+    }
+    // Half the time vanish without closing politely.
+    if (rng.OneIn(2)) (*stream)->Close();
+  }
+}
+
+// The staller: opens a transaction and goes silent past the lease, so
+// the watchdog must reclaim the writer slot.
+void StallerLoop(uint16_t port, ham::ProjectId project,
+                 const std::string& dir, uint64_t seed,
+                 std::atomic<bool>* stop, int hold_ms) {
+  Random rng(seed + 47);
+  while (!stop->load(std::memory_order_relaxed)) {
+    RemoteHam::Options options;
+    options.recv_timeout_ms = 5000;
+    options.max_retries = 0;
+    options.retry_seed = seed + 53;
+    auto client = RemoteHam::Connect("localhost", port, options);
+    if (client.ok()) {
+      auto ctx = (*client)->OpenGraph(project, "localhost", dir);
+      if (ctx.ok() && (*client)->BeginTransaction(*ctx).ok()) {
+        (void)(*client)->AddNode(*ctx, true);
+        // Silence. The lease watchdog must abort this transaction and
+        // free the writer slot long before hold_ms elapses.
+        for (int waited = 0; waited < hold_ms && !stop->load(); waited += 20) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        // Whatever happens now is fine — commit is refused with
+        // kAborted, or the connection was already reaped.
+        (void)(*client)->CommitTransaction(*ctx);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(rng.Uniform(30)));
+  }
+}
+
+// The vanisher: starts real transactional work, then disappears
+// abruptly mid-transaction.
+void VanisherLoop(uint16_t port, ham::ProjectId project,
+                  const std::string& dir, uint64_t seed,
+                  std::atomic<bool>* stop) {
+  Random rng(seed + 71);
+  while (!stop->load(std::memory_order_relaxed)) {
+    RemoteHam::Options options;
+    options.recv_timeout_ms = 5000;
+    options.max_retries = 0;
+    options.retry_seed = seed + 83;
+    auto client = RemoteHam::Connect("localhost", port, options);
+    if (client.ok()) {
+      auto ctx = (*client)->OpenGraph(project, "localhost", dir);
+      if (ctx.ok() && (*client)->BeginTransaction(*ctx).ok()) {
+        (void)(*client)->AddNode(*ctx, true);
+      }
+      // Drop the stub — no abort, no closeGraph, no FIN courtesy.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(rng.Uniform(50)));
+  }
+}
+
+TEST(ChaosSoakTest, WellBehavedClientSurvivesHostileLoad) {
+  const int seconds = ChaosSeconds();
+  for (uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    MetricsRegistry::Instance().ResetForTest();
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("neptune_chaos_" + std::to_string(seed)))
+            .string();
+    Env::Default()->RemoveDirRecursive(dir);
+
+    ham::HamOptions ham_options;
+    ham_options.sync_commits = false;
+    ham_options.txn_lease_ms = 250;
+    auto engine = std::make_unique<ham::Ham>(Env::Default(), ham_options);
+
+    Server::Options server_options;
+    server_options.max_frame_bytes = 1u << 20;
+    server_options.idle_timeout_ms = 600;
+    auto server = std::make_unique<Server>(engine.get(), server_options);
+    auto port = server->Start(0);
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+    auto created = engine->CreateGraph(dir, 0755);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    const ham::ProjectId project = created->project;
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> good_ops{0};
+    std::atomic<uint64_t> good_failures{0};
+    std::string first_failure;
+    std::vector<std::thread> chaos;
+    chaos.emplace_back(WellBehavedLoop, *port, project, dir, seed, &stop,
+                       &good_ops, &good_failures, &first_failure);
+    chaos.emplace_back(FlooderLoop, *port, seed, &stop);
+    chaos.emplace_back(StallerLoop, *port, project, dir, seed, &stop,
+                       /*hold_ms=*/700);
+    chaos.emplace_back(VanisherLoop, *port, project, dir, seed, &stop);
+    chaos.emplace_back(VanisherLoop, *port, project, dir, seed + 1000, &stop);
+
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    stop.store(true);
+    for (auto& t : chaos) t.join();
+
+    // The well-behaved client completed every operation it attempted.
+    EXPECT_EQ(good_failures.load(), 0u) << first_failure;
+    EXPECT_GT(good_ops.load(), 0u);
+
+    // The stallers guaranteed at least one lease-reclaimed transaction.
+    EXPECT_GE(CounterNow("ham.txn.aborted_by_lease"), 1u);
+
+    // Every chaos session must drain: vanished connections get their
+    // sessions closed, reaped connections likewise. Poll briefly — the
+    // last EOFs are still being processed when join() returns.
+    const auto deadline = Clock::now() + std::chrono::seconds(20);
+    while ((GaugeNow("server.sessions.active") != 0 ||
+            GaugeNow("rpc.connections.active") != 0) &&
+           Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(GaugeNow("rpc.connections.active"), 0);
+    EXPECT_EQ(GaugeNow("server.sessions.active"), 0);
+
+    // Structural fsck over everything the melee committed; with the
+    // verification session open, exactly one session is active.
+    auto ctx = engine->OpenGraph(project, "localhost", dir);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    EXPECT_EQ(GaugeNow("server.sessions.active"), 1);
+    auto problems = engine->VerifyGraph(*ctx);
+    ASSERT_TRUE(problems.ok()) << problems.status().ToString();
+    EXPECT_TRUE(problems->empty())
+        << problems->size() << " problems, first: " << problems->front();
+    auto stats = engine->GetStats(*ctx);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE(engine->CloseGraph(*ctx).ok());
+
+    auto snapshot = MetricsRegistry::Instance().Snapshot();
+    std::printf(
+        "[chaos] seed=%llu seconds=%d good_ops=%llu nodes=%llu "
+        "lease_aborts=%llu shed=%llu reaped=%llu limit_rejections=%llu "
+        "accepted=%llu\n",
+        static_cast<unsigned long long>(seed), seconds,
+        static_cast<unsigned long long>(good_ops.load()),
+        static_cast<unsigned long long>(stats->node_count),
+        static_cast<unsigned long long>(
+            snapshot.CounterValue("ham.txn.aborted_by_lease")),
+        static_cast<unsigned long long>(snapshot.CounterValue("server.shed")),
+        static_cast<unsigned long long>(
+            snapshot.CounterValue("server.connections.reaped")),
+        static_cast<unsigned long long>(
+            snapshot.CounterValue("ham.limits.rejected")),
+        static_cast<unsigned long long>(
+            snapshot.CounterValue("rpc.connections.accepted")));
+
+    server->Stop();
+    server.reset();
+    engine.reset();
+    Env::Default()->RemoveDirRecursive(dir);
+  }
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace neptune

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/coding.h"
 #include "common/random.h"
 
 namespace neptune {
@@ -56,10 +57,37 @@ TEST(FrameTest, CorruptCrcIsRejected) {
 }
 
 TEST(FrameTest, OversizedLengthIsRejected) {
+  // A hostile length prefix is a policy violation (kInvalidArgument),
+  // distinct from a CRC mismatch (kCorruption) — and must be detected
+  // from the 8-byte header alone, before any body bytes arrive.
   std::string bytes(8, '\xff');  // length = 0xffffffff
   FrameDecoder decoder;
   std::vector<std::string> out;
-  EXPECT_TRUE(decoder.Feed(bytes, &out).IsCorruption());
+  EXPECT_TRUE(decoder.Feed(bytes, &out).IsInvalidArgument());
+}
+
+TEST(FrameTest, TightenedFrameLimitApplies) {
+  FrameDecoder decoder;
+  decoder.set_limits(/*max_frame_bytes=*/64, /*max_buffered_bytes=*/0);
+  std::vector<std::string> out;
+  ASSERT_TRUE(decoder.Feed(FramePayload(std::string(64, 'x')), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(
+      decoder.Feed(FramePayload(std::string(65, 'x')), &out).IsInvalidArgument());
+}
+
+TEST(FrameTest, BufferedBytesAreBounded) {
+  FrameDecoder decoder;
+  decoder.set_limits(/*max_frame_bytes=*/1024, /*max_buffered_bytes=*/2048);
+  std::vector<std::string> out;
+  // Drip-feeding garbage that never completes a frame must trip the
+  // buffer cap instead of accumulating forever.
+  std::string header;
+  PutFixed32(&header, 1024);  // legal length, but the body never comes
+  PutFixed32(&header, 0);
+  ASSERT_TRUE(decoder.Feed(header, &out).ok());
+  std::string drip(4096, 'z');
+  EXPECT_TRUE(decoder.Feed(drip, &out).IsInvalidArgument());
 }
 
 TEST(WireValueTest, StatusRoundTrip) {
