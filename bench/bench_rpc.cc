@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/trace.h"
 #include "rpc/remote_ham.h"
 #include "rpc/server.h"
 
@@ -89,6 +90,36 @@ void BM_PingRoundTrip(benchmark::State& state) {
 }
 
 BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// Tracing cost. The plain remote benches above run with tracing
+// disabled (trace_sample_n = 0, the default) — the disabled path is a
+// single relaxed atomic load per would-be span. These variants turn on
+// sampling around the same remote openNode so BENCH json carries the
+// traced-vs-untraced comparison directly: _Traced records every
+// request (client span + server span + op/lock/reconstruct children),
+// _Sampled1in64 is the recommended production setting.
+void BM_OpenNodeRemoteTraced(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  Tracer::Instance().Configure(/*sample_n=*/1, /*slow_us=*/0);
+  for (auto _ : state) {
+    auto opened = f->client->OpenNode(f->remote_ctx, f->nodes[0], 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  Tracer::Instance().Configure(0, 0);
+}
+
+void BM_OpenNodeRemoteSampled1in64(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  Tracer::Instance().Configure(/*sample_n=*/64, /*slow_us=*/0);
+  for (auto _ : state) {
+    auto opened = f->client->OpenNode(f->remote_ctx, f->nodes[0], 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  Tracer::Instance().Configure(0, 0);
+}
+
+BENCHMARK(BM_OpenNodeRemoteTraced)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OpenNodeRemoteSampled1in64)->Unit(benchmark::kMicrosecond);
 
 void BM_LargeReadRemote(benchmark::State& state) {
   RpcFixture* f = Fixture();

@@ -2,7 +2,9 @@
 // the kind of utility a team adopting the HAM actually drives it with.
 //
 //   neptune_ctl create <dir>
-//   neptune_ctl stats <dir | host:port>
+//   neptune_ctl stats <dir | host:port> [--json]
+//   neptune_ctl trace <host:port> [--chrome <out.json>]
+//   neptune_ctl slowops <host:port>
 //   neptune_ctl workload <host:port> <server-side-dir>
 //                [--deadline-ms <n>] [--retries <n>] [--clients <n>]
 //   neptune_ctl recover <dir>
@@ -22,8 +24,10 @@
 // All commands address the graph by directory; the ProjectId is read
 // from the PROJECT file. When the target is spelled host:port instead
 // of a directory, `stats` asks a running neptune_server for its
-// process-wide metrics, and `workload` drives a short burst of remote
-// traffic against it (so a fresh server has nonzero counters to show).
+// process-wide metrics, `trace` fetches its recent-trace ring (and can
+// export it as Chrome about:tracing JSON), `slowops` dumps its slow-op
+// ring, and `workload` drives a short burst of remote traffic against
+// it (so a fresh server has nonzero counters and traces to show).
 
 #include <cinttypes>
 #include <cstdio>
@@ -36,6 +40,7 @@
 
 #include "app/document.h"
 #include "app/interchange.h"
+#include "common/trace.h"
 #include "delta/text_diff.h"
 #include "ham/ham.h"
 #include "rpc/remote_ham.h"
@@ -77,7 +82,9 @@ int Usage() {
                "usage: neptune_ctl "
                "create|stats|recover|ls|cat|new|put|link|versions|diff|fsck|"
                "prune|export|import|destroy <dir> [args...]\n"
-               "       neptune_ctl stats <host:port>\n"
+               "       neptune_ctl stats <host:port> [--json]\n"
+               "       neptune_ctl trace <host:port> [--chrome <out.json>]\n"
+               "       neptune_ctl slowops <host:port>\n"
                "       neptune_ctl workload <host:port> <server-side-dir>"
                " [--deadline-ms <n>] [--retries <n>] [--clients <n>]\n");
   return 2;
@@ -132,11 +139,70 @@ int Recover(const std::string& dir) {
   return 0;
 }
 
-// Remote `stats`: the server's process-wide metrics snapshot.
-int RemoteStats(const std::string& host, uint16_t port) {
+// Remote `stats`: the server's process-wide metrics snapshot, as a
+// human-readable table or (--json) one machine-readable object.
+int RemoteStats(const std::string& host, uint16_t port, bool json) {
   auto client = ConnectTo(host, port);
   MetricsSnapshot snapshot = Unwrap(client->GetServerStatistics());
-  std::fputs(snapshot.ToTable().c_str(), stdout);
+  if (json) {
+    std::printf("%s\n", snapshot.ToJson().c_str());
+  } else {
+    std::fputs(snapshot.ToTable().c_str(), stdout);
+  }
+  return 0;
+}
+
+// Remote `trace`: the server's recent-trace ring. Default output is a
+// per-trace span tree; --chrome <file> writes Chrome about:tracing
+// JSON (chrome://tracing or https://ui.perfetto.dev) instead.
+int RemoteTrace(const std::string& host, uint16_t port,
+                const std::string& chrome_out) {
+  auto client = ConnectTo(host, port);
+  std::vector<Trace> traces = Unwrap(client->GetRecentTraces());
+  if (!chrome_out.empty()) {
+    const std::string json = TracesToChromeJson(traces);
+    std::FILE* f = std::fopen(chrome_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "neptune_ctl: cannot write %s\n",
+                   chrome_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    size_t spans = 0;
+    for (const auto& trace : traces) spans += trace.spans.size();
+    std::printf("wrote %zu trace(s), %zu span(s) to %s\n", traces.size(),
+                spans, chrome_out.c_str());
+    return 0;
+  }
+  for (const auto& trace : traces) {
+    std::printf("trace %016" PRIx64 " (%zu spans)\n", trace.trace_id,
+                trace.spans.size());
+    for (const auto& span : trace.spans) {
+      std::printf("  [%016" PRIx64 " <- %016" PRIx64 "] %-28s %8" PRIu64
+                  " us%s%s\n",
+                  span.span_id, span.parent_id, span.name.c_str(),
+                  span.duration_us, span.annotation.empty() ? "" : "  ",
+                  span.annotation.c_str());
+    }
+  }
+  std::printf("(%zu traces)\n", traces.size());
+  return 0;
+}
+
+// Remote `slowops`: the server's slow-op ring — every span that
+// overran trace_slow_us, kept even when its trace was not sampled.
+int RemoteSlowOps(const std::string& host, uint16_t port) {
+  auto client = ConnectTo(host, port);
+  std::vector<Span> ops = Unwrap(client->GetSlowOps());
+  for (const auto& span : ops) {
+    std::printf("%-28s %8" PRIu64 " us  trace=%016" PRIx64
+                " span=%016" PRIx64 "%s%s\n",
+                span.name.c_str(), span.duration_us, span.trace_id,
+                span.span_id, span.annotation.empty() ? "" : "  ",
+                span.annotation.c_str());
+  }
+  std::printf("(%zu slow ops)\n", ops.size());
   return 0;
 }
 
@@ -229,7 +295,19 @@ int main(int argc, char** argv) {
   std::string host;
   uint16_t port = 0;
   if (ParseHostPort(dir, &host, &port)) {
-    if (command == "stats") return RemoteStats(host, port);
+    if (command == "stats") {
+      const bool json = argc > 3 && std::string(argv[3]) == "--json";
+      return RemoteStats(host, port, json);
+    }
+    if (command == "trace") {
+      std::string chrome_out;
+      if (argc > 3) {
+        if (argc < 5 || std::string(argv[3]) != "--chrome") return Usage();
+        chrome_out = argv[4];
+      }
+      return RemoteTrace(host, port, chrome_out);
+    }
+    if (command == "slowops") return RemoteSlowOps(host, port);
     if (command == "workload") {
       if (argc < 4) return Usage();
       rpc::RemoteHam::Options options;
@@ -252,11 +330,13 @@ int main(int argc, char** argv) {
       return RemoteWorkload(host, port, argv[3], options, clients);
     }
     std::fprintf(stderr,
-                 "neptune_ctl: only stats and workload accept host:port\n");
+                 "neptune_ctl: only stats, trace, slowops and workload "
+                 "accept host:port\n");
     return 2;
   }
-  if (command == "workload") {
-    std::fprintf(stderr, "neptune_ctl: workload needs a host:port target\n");
+  if (command == "workload" || command == "trace" || command == "slowops") {
+    std::fprintf(stderr, "neptune_ctl: %s needs a host:port target\n",
+                 command.c_str());
     return 2;
   }
 

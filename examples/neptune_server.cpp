@@ -5,11 +5,15 @@
 // Modes:
 //   ./neptune_server serve <data-dir> [port] [stats-interval-sec]
 //                    [txn-lease-ms] [idle-timeout-ms]
+//                    [trace-sample-n] [trace-slow-us]
 //       Runs a HAM server (port 0 = pick one) until killed. A nonzero
 //       stats interval logs a one-line metrics summary periodically.
 //       txn-lease-ms > 0 arms the transaction-lease watchdog (silent
 //       transactions are aborted and their writer slot reclaimed);
-//       idle-timeout-ms > 0 reaps connections that go quiet.
+//       idle-timeout-ms > 0 reaps connections that go quiet;
+//       trace-sample-n > 0 records 1-in-N request traces (1 = all,
+//       see `neptune_ctl trace`); trace-slow-us > 0 always logs and
+//       keeps spans slower than that many microseconds.
 //   ./neptune_server demo [data-dir]
 //       Starts an in-process server on an ephemeral port, connects a
 //       RemoteHam client over real TCP, and runs a workstation session
@@ -48,11 +52,14 @@ using neptune::rpc::Server;
 namespace {
 
 int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
-             unsigned txn_lease_ms, unsigned idle_timeout_ms) {
+             unsigned txn_lease_ms, unsigned idle_timeout_ms,
+             unsigned trace_sample_n, unsigned trace_slow_us) {
   neptune::SetLogLevel(LogLevel::kInfo);
   Env::Default()->CreateDir(dir);
   HamOptions ham_options;
   ham_options.txn_lease_ms = txn_lease_ms;
+  ham_options.trace_sample_n = trace_sample_n;
+  ham_options.trace_slow_us = trace_slow_us;
   Ham ham(Env::Default(), ham_options);
   Server::Options server_options;
   server_options.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
@@ -70,6 +77,12 @@ int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
   }
   if (idle_timeout_ms > 0) {
     std::printf("idle connection timeout: %ums\n", idle_timeout_ms);
+  }
+  if (trace_sample_n > 0) {
+    std::printf("tracing: 1 in %u requests\n", trace_sample_n);
+  }
+  if (trace_slow_us > 0) {
+    std::printf("slow-op threshold: %uus\n", trace_slow_us);
   }
   std::printf("press Ctrl-C to stop\n");
   if (stats_interval > 0) {
@@ -158,7 +171,8 @@ int main(int argc, char** argv) {
     if (argc < 3) {
       std::fprintf(stderr,
                    "usage: %s serve <data-dir> [port] [stats-interval-sec]"
-                   " [txn-lease-ms] [idle-timeout-ms]\n",
+                   " [txn-lease-ms] [idle-timeout-ms]"
+                   " [trace-sample-n] [trace-slow-us]\n",
                    argv[0]);
       return 2;
     }
@@ -170,15 +184,20 @@ int main(int argc, char** argv) {
         argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
     const unsigned idle_timeout_ms =
         argc > 6 ? static_cast<unsigned>(std::atoi(argv[6])) : 0;
+    const unsigned trace_sample_n =
+        argc > 7 ? static_cast<unsigned>(std::atoi(argv[7])) : 0;
+    const unsigned trace_slow_us =
+        argc > 8 ? static_cast<unsigned>(std::atoi(argv[8])) : 0;
     return RunServe(argv[2], port, stats_interval, txn_lease_ms,
-                    idle_timeout_ms);
+                    idle_timeout_ms, trace_sample_n, trace_slow_us);
   }
   if (mode == "demo") {
     return RunDemo(argc > 2 ? argv[2] : "/tmp/neptune_server_demo");
   }
   std::fprintf(stderr,
                "usage: %s serve <data-dir> [port] [stats-interval-sec]"
-               " [txn-lease-ms] [idle-timeout-ms] | demo [dir]\n",
+               " [txn-lease-ms] [idle-timeout-ms]"
+               " [trace-sample-n] [trace-slow-us] | demo [dir]\n",
                argv[0]);
   return 2;
 }

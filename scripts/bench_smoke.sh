@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Bench smoke runner: runs every bench binary briefly and merges the
+# per-binary google-benchmark JSON into one BENCH_<n>.json at the repo
+# root, so the perf trajectory is diffable PR over PR.
+#
+#   scripts/bench_smoke.sh [build-dir] [out-json] [min-time]
+#
+# Also available as `cmake --build <build-dir> --target bench_smoke`.
+# The merged document has three top-level keys:
+#   headlines  B1..B9 -> suite name + representative numbers (B6 also
+#              carries the tracing overhead comparison)
+#   suites     suite name -> full google-benchmark "benchmarks" array
+#   context    host/toolchain context from the first suite run
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_5.json}
+MIN_TIME=${3:-0.01}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name" >&2
+  "$bench" --benchmark_min_time="$MIN_TIME" \
+           --benchmark_out="$TMP/$name.json" \
+           --benchmark_out_format=json > /dev/null
+done
+
+python3 - "$OUT" "$TMP"/*.json <<'PYEOF'
+import json, os, sys
+
+B_SERIES = {
+    "bench_delta_storage": "B1",
+    "bench_version_access": "B2",
+    "bench_query": "B3",
+    "bench_traversal": "B4",
+    "bench_transactions": "B5",
+    "bench_rpc": "B6",
+    "bench_attributes": "B7",
+    "bench_contexts": "B8",
+    "bench_concurrency": "B9",
+}
+
+out_path, inputs = sys.argv[1], sys.argv[2:]
+suites, context = {}, {}
+for path in inputs:
+    with open(path) as f:
+        doc = json.load(f)
+    name = os.path.splitext(os.path.basename(path))[0]
+    suites[name] = doc.get("benchmarks", [])
+    if not context:
+        context = doc.get("context", {})
+
+TO_US = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}
+
+def real_us(suite, bench_name):
+    for b in suites.get(suite, []):
+        if b.get("name") == bench_name:
+            return round(b["real_time"] * TO_US.get(b.get("time_unit"), 1e-3),
+                         3)
+    return None
+
+headlines = {}
+for suite, bn in sorted(B_SERIES.items(), key=lambda kv: int(kv[1][1:])):
+    benches = suites.get(suite, [])
+    if not benches:
+        continue
+    first = benches[0]
+    headlines[bn] = {
+        "suite": suite,
+        "benchmarks": len(benches),
+        "headline": first.get("name"),
+        "headline_real_time_us": real_us(suite, first.get("name")),
+    }
+
+# B6 carries the tracing-overhead comparison: the same remote openNode
+# with tracing disabled (the default), sampling every request, and the
+# recommended 1-in-64 production sampling.
+base = real_us("bench_rpc", "BM_OpenNodeRemote")
+traced = real_us("bench_rpc", "BM_OpenNodeRemoteTraced")
+sampled = real_us("bench_rpc", "BM_OpenNodeRemoteSampled1in64")
+if "B6" in headlines and base:
+    headlines["B6"]["tracing"] = {
+        "open_node_remote_untraced_us": base,
+        "open_node_remote_traced_us": traced,
+        "open_node_remote_sampled_1in64_us": sampled,
+        "traced_overhead_pct":
+            round((traced - base) / base * 100, 1) if traced else None,
+        "sampled_1in64_overhead_pct":
+            round((sampled - base) / base * 100, 1) if sampled else None,
+    }
+
+with open(out_path, "w") as f:
+    json.dump({"headlines": headlines, "suites": suites,
+               "context": context}, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(suites)} suites)")
+PYEOF

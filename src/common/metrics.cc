@@ -245,4 +245,40 @@ std::string MetricsSnapshot::ToLogLine() const {
   return out;
 }
 
+std::string MetricsSnapshot::ToJson() const {
+  // Metric names are interned identifiers ([a-z._] by convention), so
+  // they need no escaping.
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": {\"count\": %" PRIu64 ", \"mean_us\": %.1f"
+                  ", \"p50_us\": %" PRIu64 ", \"p99_us\": %" PRIu64
+                  ", \"max_us\": %" PRIu64 "}",
+                  name.c_str(), hist.count, hist.MeanMicros(),
+                  hist.QuantileMicros(0.50), hist.QuantileMicros(0.99),
+                  hist.max);
+    out += buf;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
 }  // namespace neptune

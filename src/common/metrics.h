@@ -114,6 +114,10 @@ struct MetricsSnapshot {
   std::string ToTable() const;
   // One compact line for periodic logging.
   std::string ToLogLine() const;
+  // Machine-readable export (neptune_ctl stats --json): counters and
+  // gauges as numbers, histograms as {count, mean_us, p50_us, p99_us,
+  // max_us}.
+  std::string ToJson() const;
 };
 
 // The process-wide registry. Lookup interns the name; the returned

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "delta/byte_delta.h"
 #include "delta/recon_cache.h"
 
@@ -99,9 +100,11 @@ Result<std::string> VersionChain::Get(uint64_t time) const {
   if (mode_ == ChainMode::kForwardDelta) {
     if (index == versions_.size() - 1) return tip_;
     const uint64_t canonical = versions_[index].time;
+    NEPTUNE_TRACE_SPAN(span, "delta.reconstruct");
     std::string cached;
     if (ReconstructionCache::Instance().Lookup(chain_id_, canonical,
                                                &cached)) {
+      if (span.active()) span.Annotate("cache=hit");
       return cached;
     }
     // Walk forward deltas up from the nearest keyframe at or below
@@ -120,6 +123,9 @@ Result<std::string> VersionChain::Get(uint64_t time) const {
     }
     NEPTUNE_METRIC_COUNT("delta.chain.reconstructions", 1);
     NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied", index - start);
+    if (span.active()) {
+      span.Annotate("cache=miss deltas=" + std::to_string(index - start));
+    }
     std::string contents = *base;
     for (size_t i = start; i < index; ++i) {
       NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));
@@ -130,8 +136,10 @@ Result<std::string> VersionChain::Get(uint64_t time) const {
   if (index == versions_.size() - 1) return current_;
   if (mode_ == ChainMode::kFullCopy) return backward_[index];
   const uint64_t canonical = versions_[index].time;
+  NEPTUNE_TRACE_SPAN(span, "delta.reconstruct");
   std::string cached;
   if (ReconstructionCache::Instance().Lookup(chain_id_, canonical, &cached)) {
+    if (span.active()) span.Annotate("cache=hit");
     return cached;
   }
   // Walk backward deltas down to `index` from the nearest keyframe at
@@ -147,6 +155,9 @@ Result<std::string> VersionChain::Get(uint64_t time) const {
   }
   NEPTUNE_METRIC_COUNT("delta.chain.reconstructions", 1);
   NEPTUNE_METRIC_COUNT("delta.chain.deltas_applied", start - index);
+  if (span.active()) {
+    span.Annotate("cache=miss deltas=" + std::to_string(start - index));
+  }
   std::string contents = *base;
   for (size_t i = start; i-- > index;) {
     NEPTUNE_ASSIGN_OR_RETURN(contents, ApplyDelta(contents, backward_[i]));

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "delta/recon_cache.h"
 
 namespace neptune {
@@ -97,11 +98,17 @@ Ham::Ham(Env* env, HamOptions options)
   // constructed engine's option wins (they normally agree).
   delta::ReconstructionCache::Instance().set_capacity_bytes(
       options_.recon_cache_bytes);
+  // The tracer is process-wide too; same most-recent-engine-wins rule.
+  Tracer::Instance().Configure(options_.trace_sample_n,
+                               options_.trace_slow_us);
   // Pre-register the self-protection metrics so operator tooling
   // (neptune_ctl stats) shows the rows even before they first fire.
   MetricsRegistry::Instance().GetGauge("server.sessions.active");
   MetricsRegistry::Instance().GetCounter("ham.txn.aborted_by_lease");
   MetricsRegistry::Instance().GetCounter("ham.limits.rejected");
+  MetricsRegistry::Instance().GetCounter("trace.spans.recorded");
+  MetricsRegistry::Instance().GetCounter("trace.spans.dropped");
+  MetricsRegistry::Instance().GetCounter("trace.slow_ops");
   if (options_.txn_lease_ms > 0) {
     lease_watchdog_ = std::thread([this] { LeaseWatchdogLoop(); });
   }
@@ -176,6 +183,11 @@ void Ham::SweepExpiredLeases(uint64_t lease_us) {
         lease_us) {
       continue;  // renewed while we were collecting
     }
+    NEPTUNE_TRACE_SPAN(span, "ham.txn.leaseAbort");
+    if (span.active()) {
+      span.Annotate("session=" + std::to_string(session->id) + " lease_ms=" +
+                    std::to_string(options_.txn_lease_ms));
+    }
     session->overlay = GraphState::TxnOverlay();
     session->ops.clear();
     session->in_txn.store(false, std::memory_order_relaxed);
@@ -183,9 +195,9 @@ void Ham::SweepExpiredLeases(uint64_t lease_us) {
     ReleaseWriter(session->graph.get(), session->id);
     NEPTUNE_METRIC_COUNT("ham.txn.aborted_by_lease", 1);
     NEPTUNE_METRIC_COUNT("ham.txn.aborted", 1);
-    NEPTUNE_LOG(Warn) << "session " << session->id
-                      << ": transaction lease of " << options_.txn_lease_ms
-                      << "ms expired; aborting and releasing the writer slot";
+    NEPTUNE_LOG(Warn) << "event=lease_expired session=" << session->id
+                      << " lease_ms=" << options_.txn_lease_ms
+                      << " action=abort_and_release_writer";
   }
 }
 
@@ -218,6 +230,7 @@ Result<ProjectId> Ham::ReadProjectId(Env* env, const std::string& dir) {
 
 Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
                                            uint32_t protections) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.createGraph");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   // A fresh graph: logical time 1 is its creation instant.
   GraphState state;
@@ -244,6 +257,7 @@ Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
 }
 
 Status Ham::DestroyGraph(ProjectId project, const std::string& directory) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.destroyGraph");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -304,10 +318,10 @@ Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
     }
   }
   if (!recovered.report.Clean()) {
-    NEPTUNE_LOG(Warn) << "graph " << directory << ": "
+    NEPTUNE_LOG(Warn) << "event=graph_recovered dir=" << directory << " "
                       << recovered.report.ToString();
   } else {
-    NEPTUNE_LOG(Info) << "graph " << directory << ": "
+    NEPTUNE_LOG(Info) << "event=graph_recovered dir=" << directory << " "
                       << recovered.report.ToString();
   }
 
@@ -324,6 +338,7 @@ Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
 
 Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
                                const std::string& directory) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.openGraph");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   (void)machine;  // addressing is the RPC layer's concern
   NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<GraphHandle> graph,
@@ -356,6 +371,7 @@ Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
 }
 
 Status Ham::CloseGraph(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.closeGraph");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
   std::shared_ptr<Session> session;
   {
@@ -401,8 +417,14 @@ Result<Ham::LockedSession> Ham::FindSession(Context ctx) {
 // ----------------------------------------------------------- writer slot
 
 void Ham::AcquireWriter(GraphHandle* graph, uint64_t session) {
-  std::unique_lock<std::shared_mutex> lock(graph->mu);
-  graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
+  std::unique_lock<std::shared_mutex> lock(graph->mu, std::defer_lock);
+  {
+    // The writer-slot wait is where a contended graph spends its time;
+    // give it its own span so traces attribute it correctly.
+    NEPTUNE_TRACE_SPAN(span, "ham.lock.writer_wait");
+    lock.lock();
+    graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
+  }
   graph->writer_session = session;
 }
 
@@ -417,6 +439,7 @@ void Ham::ReleaseWriter(GraphHandle* graph, uint64_t session) {
 // ----------------------------------------------------------- transactions
 
 Status Ham::BeginTransaction(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.beginTransaction");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {
@@ -434,6 +457,11 @@ Status Ham::BeginTransaction(Context ctx) {
 Status Ham::CommitLocked(GraphHandle* graph, Session* session) {
   if (session->ops.empty()) return Status::OK();
   const std::string record = EncodeTransaction(session->ops);
+  NEPTUNE_TRACE_SPAN(span, "ham.txn.commit");
+  if (span.active()) {
+    span.Annotate("ops=" + std::to_string(session->ops.size()) +
+                  " bytes=" + std::to_string(record.size()));
+  }
   Status status = graph->store->AppendRecord(record, options_.sync_commits);
   if (!status.ok()) {
     // The transaction did not become durable; treat as aborted.
@@ -448,14 +476,17 @@ Status Ham::CommitLocked(GraphHandle* graph, Session* session) {
     graph->state.EncodeTo(&snapshot);
     Status checkpoint_status = graph->store->Checkpoint(snapshot);
     if (!checkpoint_status.ok()) {
-      NEPTUNE_LOG(Warn) << "auto-checkpoint failed: "
-                        << checkpoint_status.ToString();
+      NEPTUNE_LOG(Warn) << "event=auto_checkpoint_failed code="
+                        << StatusCodeToString(checkpoint_status.code())
+                        << " detail=\"" << checkpoint_status.message()
+                        << "\"";
     }
   }
   return Status::OK();
 }
 
 Status Ham::CommitTransaction(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.commitTransaction");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->lease_aborted) {
@@ -470,7 +501,11 @@ Status Ham::CommitTransaction(Context ctx) {
   std::vector<Op> committed;
   Status status;
   {
-    std::lock_guard<std::shared_mutex> lock(graph->mu);
+    std::unique_lock<std::shared_mutex> lock(graph->mu, std::defer_lock);
+    {
+      NEPTUNE_TRACE_SPAN(lock_span, "ham.lock.exclusive_wait");
+      lock.lock();
+    }
     status = CommitLocked(graph, session.get());
     if (status.ok()) committed = std::move(session->ops);
     session->ops.clear();
@@ -489,6 +524,7 @@ Status Ham::CommitTransaction(Context ctx) {
 }
 
 Status Ham::AbortTransaction(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.abortTransaction");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->lease_aborted) {
@@ -518,7 +554,11 @@ Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
   GraphHandle* graph = session->graph.get();
   op->thread = session->thread;
   if (session->in_txn) {
-    std::lock_guard<std::shared_mutex> lock(graph->mu);
+    std::unique_lock<std::shared_mutex> lock(graph->mu, std::defer_lock);
+    {
+      NEPTUNE_TRACE_SPAN(lock_span, "ham.lock.exclusive_wait");
+      lock.lock();
+    }
     op->time = graph->state.clock().Tick();
     NEPTUNE_RETURN_IF_ERROR(graph->state.Apply(*op, &session->overlay));
     session->ops.push_back(*op);
@@ -528,8 +568,12 @@ Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
   // but only once the writer slot is free.
   std::vector<Op> committed;
   {
-    std::unique_lock<std::shared_mutex> lock(graph->mu);
-    graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
+    std::unique_lock<std::shared_mutex> lock(graph->mu, std::defer_lock);
+    {
+      NEPTUNE_TRACE_SPAN(lock_span, "ham.lock.exclusive_wait");
+      lock.lock();
+      graph->writer_cv.wait(lock, [&] { return graph->writer_session == 0; });
+    }
     (void)session_id;
     op->time = graph->state.clock().Tick();
     Status apply_status = graph->state.Apply(*op, &session->overlay);

@@ -61,6 +61,15 @@ struct HamOptions {
   size_t max_attribute_name_bytes = 4096;
   size_t max_attribute_value_bytes = 1ull << 20;
   size_t max_attrs_per_entity = 4096;
+
+  // Request tracing (common/trace.h) --------------------------------
+  // Keep 1-in-N traces (0 disables tracing; 1 keeps every trace).
+  // Applied process-wide at Ham construction, like recon_cache_bytes.
+  uint32_t trace_sample_n = 0;
+  // A span lasting at least this long is always kept, logged as a
+  // JSON slow-op line, and retained in the slow-op ring regardless of
+  // sampling. 0 disables the slow path.
+  uint64_t trace_slow_us = 0;
 };
 
 // Process-wide registry binding demon values to callables — the

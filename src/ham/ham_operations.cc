@@ -9,6 +9,7 @@
 #include "ham/ham.h"
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace neptune {
 namespace ham {
@@ -21,7 +22,12 @@ namespace {
 // exclusively. Counted so deployments can see read concurrency.
 class SharedReadLock {
  public:
-  explicit SharedReadLock(std::shared_mutex& mu) : lock_(mu) {
+  explicit SharedReadLock(std::shared_mutex& mu)
+      : lock_(mu, std::defer_lock) {
+    // The wait (if any) gets its own span so a read stalled behind a
+    // writer shows up as lock time, not op time.
+    NEPTUNE_TRACE_SPAN(span, "ham.lock.shared_wait");
+    lock_.lock();
     NEPTUNE_METRIC_COUNT("ham.read.shared_lock", 1);
   }
 
@@ -63,6 +69,7 @@ Status LimitExceeded(std::string what) {
 // ----------------------------------------------------- A.1 structure
 
 Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.addNode");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -78,6 +85,7 @@ Result<AddNodeResult> Ham::AddNode(Context ctx, bool keep_history) {
 }
 
 Status Ham::DeleteNode(Context ctx, NodeIndex node) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.deleteNode");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
@@ -88,6 +96,7 @@ Status Ham::DeleteNode(Context ctx, NodeIndex node) {
 
 Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
                                    const LinkPt& to) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.addLink");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -105,6 +114,7 @@ Result<AddLinkResult> Ham::AddLink(Context ctx, const LinkPt& from,
 
 Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
                                     bool copy_source, const LinkPt& other) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.copyLink");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -135,6 +145,7 @@ Result<AddLinkResult> Ham::CopyLink(Context ctx, LinkIndex link, Time time,
 }
 
 Status Ham::DeleteLink(Context ctx, LinkIndex link) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.deleteLink");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.structure");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
@@ -150,6 +161,11 @@ Result<SubGraph> Ham::LinearizeGraph(
     const std::string& link_pred,
     const std::vector<AttributeIndex>& node_attrs,
     const std::vector<AttributeIndex>& link_attrs) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.linearizeGraph");
+  if (op_span.active()) {
+    op_span.Annotate("start=" + std::to_string(start) +
+                     " time=" + std::to_string(time));
+  }
   NEPTUNE_METRIC_TIMED(timer, "ham.op.query");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
@@ -171,6 +187,7 @@ Result<SubGraph> Ham::GetGraphQuery(
     const std::string& link_pred,
     const std::vector<AttributeIndex>& node_attrs,
     const std::vector<AttributeIndex>& link_attrs) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getGraphQuery");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.query");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
@@ -192,6 +209,11 @@ Result<SubGraph> Ham::GetGraphQuery(
 Result<OpenNodeResult> Ham::OpenNode(
     Context ctx, NodeIndex node, Time time,
     const std::vector<AttributeIndex>& attrs) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.openNode");
+  if (op_span.active()) {
+    op_span.Annotate("node=" + std::to_string(node) +
+                     " time=" + std::to_string(time));
+  }
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -241,6 +263,11 @@ Status Ham::ModifyNode(Context ctx, NodeIndex node, Time expected_time,
                        const std::string& contents,
                        const std::vector<AttachmentUpdate>& attachments,
                        const std::string& explanation) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.modifyNode");
+  if (op_span.active()) {
+    op_span.Annotate("node=" + std::to_string(node) +
+                     " bytes=" + std::to_string(contents.size()));
+  }
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   if (options_.max_node_content_bytes > 0 &&
       contents.size() > options_.max_node_content_bytes) {
@@ -270,6 +297,7 @@ Status Ham::ModifyNode(Context ctx, NodeIndex node, Time expected_time,
 }
 
 Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getNodeTimeStamp");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -287,6 +315,7 @@ Result<Time> Ham::GetNodeTimeStamp(Context ctx, NodeIndex node) {
 
 Status Ham::ChangeNodeProtection(Context ctx, NodeIndex node,
                                  uint32_t protections) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.changeNodeProtection");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
@@ -297,6 +326,7 @@ Status Ham::ChangeNodeProtection(Context ctx, NodeIndex node,
 }
 
 Result<NodeVersions> Ham::GetNodeVersions(Context ctx, NodeIndex node) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getNodeVersions");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.node");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -321,6 +351,7 @@ Result<std::vector<delta::Difference>> Ham::GetNodeDifferences(Context ctx,
                                                                NodeIndex node,
                                                                Time t1,
                                                                Time t2) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getNodeDifferences");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -340,6 +371,7 @@ Result<std::vector<delta::Difference>> Ham::GetNodeDifferences(Context ctx,
 // --------------------------------------------------------- A.3 links
 
 Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getToNode");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -367,6 +399,7 @@ Result<LinkEndResult> Ham::GetToNode(Context ctx, LinkIndex link, Time time) {
 
 Result<LinkEndResult> Ham::GetFromNode(Context ctx, LinkIndex link,
                                        Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getFromNode");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.link");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -396,6 +429,7 @@ Result<LinkEndResult> Ham::GetFromNode(Context ctx, LinkIndex link,
 
 Result<std::vector<AttributeEntry>> Ham::GetAttributes(Context ctx,
                                                        Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getAttributes");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -405,6 +439,7 @@ Result<std::vector<AttributeEntry>> Ham::GetAttributes(Context ctx,
 Result<std::vector<std::string>> Ham::GetAttributeValues(Context ctx,
                                                          AttributeIndex attr,
                                                          Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getAttributeValues");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -419,6 +454,7 @@ Result<std::vector<std::string>> Ham::GetAttributeValues(Context ctx,
 
 Result<AttributeIndex> Ham::GetAttributeIndex(Context ctx,
                                               const std::string& name) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getAttributeIndex");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   // Interning commits immediately and is append-only, so an oversized
   // name would be a permanent blemish — check before anything else.
@@ -460,6 +496,7 @@ Result<AttributeIndex> Ham::GetAttributeIndex(Context ctx,
 Status Ham::SetNodeAttributeValue(Context ctx, NodeIndex node,
                                   AttributeIndex attr,
                                   const std::string& value) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.setNodeAttributeValue");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   if (options_.max_attribute_value_bytes > 0 &&
       value.size() > options_.max_attribute_value_bytes) {
@@ -497,6 +534,7 @@ Status Ham::SetNodeAttributeValue(Context ctx, NodeIndex node,
 
 Status Ham::DeleteNodeAttribute(Context ctx, NodeIndex node,
                                 AttributeIndex attr) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.deleteNodeAttribute");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
@@ -509,6 +547,7 @@ Status Ham::DeleteNodeAttribute(Context ctx, NodeIndex node,
 Result<std::string> Ham::GetNodeAttributeValue(Context ctx, NodeIndex node,
                                                AttributeIndex attr,
                                                Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getNodeAttributeValue");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -533,6 +572,7 @@ Result<std::string> Ham::GetNodeAttributeValue(Context ctx, NodeIndex node,
 
 Result<std::vector<AttributeValueEntry>> Ham::GetNodeAttributes(
     Context ctx, NodeIndex node, Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getNodeAttributes");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -556,6 +596,7 @@ Result<std::vector<AttributeValueEntry>> Ham::GetNodeAttributes(
 Status Ham::SetLinkAttributeValue(Context ctx, LinkIndex link,
                                   AttributeIndex attr,
                                   const std::string& value) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.setLinkAttributeValue");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   if (options_.max_attribute_value_bytes > 0 &&
       value.size() > options_.max_attribute_value_bytes) {
@@ -590,6 +631,7 @@ Status Ham::SetLinkAttributeValue(Context ctx, LinkIndex link,
 
 Status Ham::DeleteLinkAttribute(Context ctx, LinkIndex link,
                                 AttributeIndex attr) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.deleteLinkAttribute");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
@@ -602,6 +644,7 @@ Status Ham::DeleteLinkAttribute(Context ctx, LinkIndex link,
 Result<std::string> Ham::GetLinkAttributeValue(Context ctx, LinkIndex link,
                                                AttributeIndex attr,
                                                Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getLinkAttributeValue");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.attribute");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -626,6 +669,7 @@ Result<std::string> Ham::GetLinkAttributeValue(Context ctx, LinkIndex link,
 
 Result<std::vector<AttributeValueEntry>> Ham::GetLinkAttributes(
     Context ctx, LinkIndex link, Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getLinkAttributes");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -650,6 +694,7 @@ Result<std::vector<AttributeValueEntry>> Ham::GetLinkAttributes(
 
 Status Ham::SetGraphDemonValue(Context ctx, Event event,
                                const std::string& demon) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.setGraphDemonValue");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.demon");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
@@ -660,6 +705,7 @@ Status Ham::SetGraphDemonValue(Context ctx, Event event,
 }
 
 Result<std::vector<DemonEntry>> Ham::GetGraphDemons(Context ctx, Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getGraphDemons");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -670,6 +716,7 @@ Result<std::vector<DemonEntry>> Ham::GetGraphDemons(Context ctx, Time time) {
 
 Status Ham::SetNodeDemon(Context ctx, NodeIndex node, Event event,
                          const std::string& demon) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.setNodeDemon");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.demon");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   Op op;
@@ -683,6 +730,7 @@ Status Ham::SetNodeDemon(Context ctx, NodeIndex node, Event event,
 Result<std::vector<DemonEntry>> Ham::GetNodeDemons(Context ctx,
                                                    NodeIndex node,
                                                    Time time) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getNodeDemons");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -700,6 +748,7 @@ Result<std::vector<DemonEntry>> Ham::GetNodeDemons(Context ctx,
 // -------------------------------------- §5 extensions: contexts etc.
 
 Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.createContext");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -718,6 +767,7 @@ Result<ContextInfo> Ham::CreateContext(Context ctx, const std::string& name) {
 }
 
 Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.openContext");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -745,6 +795,7 @@ Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
 }
 
 Status Ham::MergeContext(Context ctx, ThreadId source, bool force) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.mergeContext");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {
@@ -759,6 +810,7 @@ Status Ham::MergeContext(Context ctx, ThreadId source, bool force) {
 }
 
 Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.listContexts");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -766,6 +818,7 @@ Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
 }
 
 Status Ham::Checkpoint(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.checkpoint");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -776,6 +829,7 @@ Status Ham::Checkpoint(Context ctx) {
 }
 
 Result<GraphStats> Ham::GetStats(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getStats");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
@@ -794,6 +848,7 @@ Result<GraphStats> Ham::GetStats(Context ctx) {
 }
 
 Result<ThreadId> Ham::ContextThread(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.contextThread");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.context");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   return session->thread;
@@ -802,6 +857,7 @@ Result<ThreadId> Ham::ContextThread(Context ctx) {
 // ----------------------------------------------- local administration
 
 Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.verifyGraph");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
   SharedReadLock lock(graph->mu);
@@ -809,6 +865,7 @@ Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
 }
 
 Result<uint64_t> Ham::PruneHistory(Context ctx, Time before) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.pruneHistory");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {

@@ -1,10 +1,12 @@
 #include "rpc/remote_ham.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <thread>
 
 #include "common/coding.h"
+#include "common/trace.h"
 
 namespace neptune {
 namespace rpc {
@@ -25,6 +27,28 @@ void PutBool(std::string* out, bool v) { out->push_back(v ? 1 : 0); }
 bool IsTransportError(const Status& status) {
   return status.IsNetworkError() || status.IsUnavailable() ||
          status.IsDeadlineExceeded();
+}
+
+// Per-method client span names ("rpc.client.openNode"), pre-interned
+// for all 256 method bytes (same idiom as the server's MethodCounter).
+uint32_t ClientSpanNameId(Method method) {
+  static std::array<uint32_t, 256>* names = [] {
+    auto* table = new std::array<uint32_t, 256>();
+    for (int i = 0; i < 256; ++i) {
+      (*table)[i] = Tracer::Instance().InternName(
+          std::string("rpc.client.") + MethodName(static_cast<Method>(i)));
+    }
+    return table;
+  }();
+  return (*names)[static_cast<uint8_t>(method)];
+}
+
+// A pre-tracing server answers a trace-flagged method byte with this
+// Corruption message (see Server::HandleRequest's default case); the
+// request was never executed, so the client may downgrade and re-send.
+bool IsUnknownMethodReply(const Status& status) {
+  return status.IsCorruption() &&
+         status.message().rfind("malformed request: unknown method", 0) == 0;
 }
 
 }  // namespace
@@ -65,12 +89,34 @@ Status RemoteHam::ReconnectLocked() {
 }
 
 Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
+  // The client half of the request's trace: the server parents its
+  // spans under this one via the propagated context, so the gap
+  // between this span and the server's is wire + queueing time.
+  ScopedSpan span(ClientSpanNameId(method));
+
   std::string request;
   request.reserve(1 + args.size());
   request.push_back(static_cast<char>(method));
   request.append(args);
 
   std::lock_guard<std::mutex> lock(mu_);
+  // Prepend the trace-context extension when this call is being
+  // traced and the server is not known to predate the extension.
+  bool flagged = false;
+  if (span.active() && trace_wire_ok_.load(std::memory_order_relaxed)) {
+    const TraceContext ctx = ScopedSpan::CurrentContext();
+    if (ctx.valid()) {
+      std::string ext;
+      ext.reserve(1 + 17 + args.size());
+      ext.push_back(static_cast<char>(static_cast<uint8_t>(method) |
+                                      kTraceContextFlag));
+      EncodeTraceContextTo(ctx, &ext);
+      ext.append(args);
+      request = std::move(ext);
+      flagged = true;
+    }
+  }
+
   Status last;
   for (uint32_t attempt = 0;; ++attempt) {
     // `sent` distinguishes "the pipe broke before the request left"
@@ -103,11 +149,26 @@ Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
               GetVarint32(&in, &retry_after_ms)) {
             if (attempt >= options_.max_retries) return status;
             NEPTUNE_METRIC_COUNT("rpc.client.shed_retries", 1);
+            span.Annotate("shed_retry=1");
             uint64_t delay = std::max<uint64_t>(retry_after_ms, 1);
             // Full jitter in [delay/2, delay] spreads the herd of shed
             // clients back out.
             delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
             std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+            continue;
+          }
+          if (flagged && IsUnknownMethodReply(status)) {
+            // A pre-tracing server balked at the flagged method byte;
+            // the request never executed, so re-sending plain is safe
+            // (even for mutations). Remember the downgrade so every
+            // later call on this client skips the extension.
+            trace_wire_ok_.store(false, std::memory_order_relaxed);
+            NEPTUNE_METRIC_COUNT("rpc.client.trace_downgrades", 1);
+            span.Annotate("trace_wire=downgraded");
+            request.clear();
+            request.push_back(static_cast<char>(method));
+            request.append(args);
+            flagged = false;
             continue;
           }
           NEPTUNE_RETURN_IF_ERROR(status);
@@ -126,6 +187,7 @@ Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
     if (sent && !IsIdempotent(method)) return last;
     if (attempt >= options_.max_retries) return last;
     NEPTUNE_METRIC_COUNT("rpc.client.retries", 1);
+    span.Annotate("retry=" + std::to_string(attempt + 1));
     uint64_t delay = options_.backoff_initial_ms;
     for (uint32_t i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
       delay *= 2;
@@ -154,6 +216,27 @@ Result<MetricsSnapshot> RemoteHam::GetServerStatistics() {
   std::string_view in = reply;
   MetricsSnapshot out;
   if (!MetricsSnapshot::DecodeFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<std::vector<Trace>> RemoteHam::GetRecentTraces() {
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetRecentTraces, ""));
+  std::string_view in = reply;
+  std::vector<Trace> out;
+  if (!DecodeTracesFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<std::vector<Span>> RemoteHam::GetSlowOps() {
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kGetSlowOps, ""));
+  std::string_view in = reply;
+  std::vector<Span> out;
+  if (!DecodeSpansFrom(&in, &out)) {
     return Status::Corruption(kTruncatedReply);
   }
   return out;

@@ -7,6 +7,7 @@
 #ifndef NEPTUNE_RPC_REMOTE_HAM_H_
 #define NEPTUNE_RPC_REMOTE_HAM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,11 @@ class RemoteHam final : public ham::HamInterface {
   // part of HamInterface because a local Ham reads the registry
   // directly).
   Result<MetricsSnapshot> GetServerStatistics();
+
+  // Fetches the server's recent-trace ring / slow-op ring (RPC-only,
+  // like GetServerStatistics; a local Ham reads the Tracer directly).
+  Result<std::vector<Trace>> GetRecentTraces();
+  Result<std::vector<Span>> GetSlowOps();
 
   // HamInterface (see ham/ham_interface.h for contracts) -------------
   Result<ham::CreateGraphResult> CreateGraph(const std::string& directory,
@@ -192,6 +198,10 @@ class RemoteHam final : public ham::HamInterface {
   std::mutex mu_;  // one request in flight per connection
   std::unique_ptr<FrameStream> stream_;  // null between connections
   Random rng_;  // backoff jitter; guarded by mu_
+  // Cleared the first time the server answers a trace-flagged request
+  // with "unknown method" (a pre-tracing build): later requests are
+  // sent plain, so one old server costs one extra round trip, ever.
+  std::atomic<bool> trace_wire_ok_{true};
 };
 
 }  // namespace rpc

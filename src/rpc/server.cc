@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace neptune {
 namespace rpc {
@@ -26,6 +27,20 @@ Counter* MethodCounter(Method method) {
     return table;
   }();
   return (*counters)[static_cast<uint8_t>(method)];
+}
+
+// Per-method server span names ("rpc.server.openNode"), pre-interned
+// for all 256 method bytes like MethodCounter above.
+uint32_t ServerSpanNameId(Method method) {
+  static std::array<uint32_t, 256>* names = [] {
+    auto* table = new std::array<uint32_t, 256>();
+    for (int i = 0; i < 256; ++i) {
+      (*table)[i] = Tracer::Instance().InternName(
+          std::string("rpc.server.") + MethodName(static_cast<Method>(i)));
+    }
+    return table;
+  }();
+  return (*names)[static_cast<uint8_t>(method)];
 }
 
 // Decode helpers that fail by returning false; the dispatcher turns
@@ -90,7 +105,7 @@ Result<uint16_t> Server::Start(uint16_t port) {
   NEPTUNE_ASSIGN_OR_RETURN(listener_, Listener::Bind(port));
   port_ = listener_->port();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
-  NEPTUNE_LOG(Info) << "neptune server listening on 127.0.0.1:" << port_;
+  NEPTUNE_LOG(Info) << "event=listening addr=127.0.0.1:" << port_;
   return port_;
 }
 
@@ -129,7 +144,9 @@ void Server::AcceptLoop() {
     auto stream = listener_->Accept();
     if (!stream.ok()) {
       if (!stopping_) {
-        NEPTUNE_LOG(Warn) << "accept failed: " << stream.status().ToString();
+        NEPTUNE_LOG(Warn) << "event=accept_failed code="
+                          << StatusCodeToString(stream.status().code())
+                          << " detail=\"" << stream.status().message() << "\"";
       }
       return;
     }
@@ -162,6 +179,8 @@ bool Server::ShouldShed(Method method, int inflight) const {
     case Method::kCloseGraph:
     case Method::kPing:
     case Method::kGetServerStatistics:
+    case Method::kGetRecentTraces:
+    case Method::kGetSlowOps:
       return false;
     default:
       break;
@@ -192,37 +211,82 @@ void Server::ServeConnection(FrameStream* stream) {
         // Sessions (and any open transaction) are cleaned up below
         // exactly as for a disconnect.
         NEPTUNE_METRIC_COUNT("server.connections.reaped", 1);
-        NEPTUNE_LOG(Info) << "reaping connection idle for more than "
-                          << options_.idle_timeout_ms << "ms";
+        NEPTUNE_LOG(Info) << "event=connection_reaped idle_ms="
+                          << options_.idle_timeout_ms;
       } else if (status.IsInvalidArgument() || status.IsCorruption()) {
         // Protocol abuse (oversized length prefix, CRC mismatch): tell
         // the peer why before hanging up. Framing may be out of sync,
         // so the connection itself cannot survive.
+        NEPTUNE_LOG(Warn) << "event=protocol_error code="
+                          << StatusCodeToString(status.code())
+                          << " detail=\"" << status.message() << "\"";
         (void)stream->SendFrame(StatusReply(status));
       }
       break;  // disconnect, drain, reap, or corruption
     }
     NEPTUNE_METRIC_COUNT("rpc.bytes_in", request->size());
-    const int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
-    inflight_gauge->Increment();
+    // Trace-context extension: a flagged method byte is followed by the
+    // caller's trace context; strip both so HandleRequest sees the
+    // plain encoding. A server configured like a pre-tracing build
+    // answers exactly as one would: "unknown method <flagged byte>".
+    TraceContext remote_ctx;
     std::string reply;
-    const Method method =
-        request->empty() ? Method{0} : static_cast<Method>(request->front());
-    if (ShouldShed(method, inflight)) {
-      NEPTUNE_METRIC_COUNT("server.shed", 1);
-      // The request was refused before execution, so the client may
-      // re-send ANY method safely; the varint after the status header
-      // is the suggested backoff (RemoteHam honors it).
-      EncodeStatusTo(Status::Unavailable("server overloaded (" +
-                                         std::to_string(inflight) +
-                                         " requests in flight); retry"),
-                     &reply);
-      PutVarint32(&reply, options_.retry_after_ms);
-    } else {
-      reply = HandleRequest(*request, &sessions);
+    bool malformed = false;
+    if (!request->empty() &&
+        (static_cast<uint8_t>(request->front()) & kTraceContextFlag) != 0) {
+      const int flagged = static_cast<uint8_t>(request->front());
+      if (!options_.accept_trace_context) {
+        reply = BadRequest("unknown method " + std::to_string(flagged));
+        malformed = true;
+      } else {
+        std::string_view rest(*request);
+        rest.remove_prefix(1);
+        if (!DecodeTraceContextFrom(&rest, &remote_ctx)) {
+          reply = BadRequest("trace context");
+          malformed = true;
+        } else {
+          std::string stripped;
+          stripped.reserve(1 + rest.size());
+          stripped.push_back(
+              static_cast<char>(flagged & ~kTraceContextFlag));
+          stripped.append(rest);
+          *request = std::move(stripped);
+        }
+      }
     }
-    inflight_.fetch_sub(1, std::memory_order_relaxed);
-    inflight_gauge->Decrement();
+    if (!malformed) {
+      const int inflight =
+          inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+      inflight_gauge->Increment();
+      const Method method =
+          request->empty() ? Method{0} : static_cast<Method>(request->front());
+      // Root span for this request's server-side work. It adopts the
+      // client's context when one arrived, self-roots otherwise.
+      ScopedSpan span(ServerSpanNameId(method), remote_ctx);
+      bool shed;
+      {
+        NEPTUNE_TRACE_SPAN(admission, "rpc.server.admission");
+        shed = ShouldShed(method, inflight);
+      }
+      if (shed) {
+        NEPTUNE_METRIC_COUNT("server.shed", 1);
+        if (span.active()) {
+          span.Annotate("shed=1 inflight=" + std::to_string(inflight));
+        }
+        // The request was refused before execution, so the client may
+        // re-send ANY method safely; the varint after the status header
+        // is the suggested backoff (RemoteHam honors it).
+        EncodeStatusTo(Status::Unavailable("server overloaded (" +
+                                           std::to_string(inflight) +
+                                           " requests in flight); retry"),
+                       &reply);
+        PutVarint32(&reply, options_.retry_after_ms);
+      } else {
+        reply = HandleRequest(*request, &sessions);
+      }
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      inflight_gauge->Decrement();
+    }
     NEPTUNE_METRIC_COUNT("rpc.bytes_out", reply.size());
     if (!stream->SendFrame(reply).ok()) break;
   }
@@ -667,6 +731,17 @@ std::string Server::HandleRequest(std::string_view in,
       // has opened a graph.
       std::string reply = StatusReply(Status::OK());
       MetricsRegistry::Instance().Snapshot().EncodeTo(&reply);
+      return reply;
+    }
+    case Method::kGetRecentTraces: {
+      // Server-wide like getServerStatistics.
+      std::string reply = StatusReply(Status::OK());
+      EncodeTracesTo(Tracer::Instance().RecentTraces(), &reply);
+      return reply;
+    }
+    case Method::kGetSlowOps: {
+      std::string reply = StatusReply(Status::OK());
+      EncodeSpansTo(Tracer::Instance().SlowOps(), &reply);
       return reply;
     }
   }

@@ -47,6 +47,11 @@ class Server {
     // sessions closed (aborting any open transaction) and the socket
     // dropped. 0 disables reaping.
     int idle_timeout_ms = 0;
+    // Accept the kTraceContextFlag request extension (common/trace.h).
+    // false makes this server answer flagged requests exactly like a
+    // pre-tracing build ("unknown method"), which tests use to prove
+    // the client's downgrade path works against old servers.
+    bool accept_trace_context = true;
   };
 
   explicit Server(ham::HamInterface* ham) : Server(ham, Options()) {}

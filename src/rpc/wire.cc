@@ -56,6 +56,8 @@ const char* MethodName(Method method) {
     case Method::kContextThread: return "contextThread";
     case Method::kPing: return "ping";
     case Method::kGetServerStatistics: return "getServerStatistics";
+    case Method::kGetRecentTraces: return "getRecentTraces";
+    case Method::kGetSlowOps: return "getSlowOps";
   }
   return "unknown";
 }
@@ -64,6 +66,8 @@ bool IsIdempotent(Method method) {
   switch (method) {
     case Method::kPing:
     case Method::kGetServerStatistics:
+    case Method::kGetRecentTraces:
+    case Method::kGetSlowOps:
     case Method::kLinearizeGraph:
     case Method::kGetGraphQuery:
     case Method::kOpenNode:
@@ -88,6 +92,24 @@ bool IsIdempotent(Method method) {
     default:
       return false;
   }
+}
+
+// ------------------------------------------------- trace-context codec
+
+void EncodeTraceContextTo(const TraceContext& ctx, std::string* out) {
+  PutFixed64(out, ctx.trace_id);
+  PutFixed64(out, ctx.parent_span_id);
+  out->push_back(ctx.sampled ? '\x01' : '\x00');
+}
+
+bool DecodeTraceContextFrom(std::string_view* in, TraceContext* ctx) {
+  if (!GetFixed64(in, &ctx->trace_id) ||
+      !GetFixed64(in, &ctx->parent_span_id) || in->empty()) {
+    return false;
+  }
+  ctx->sampled = ((*in)[0] & 1) != 0;
+  in->remove_prefix(1);
+  return true;
 }
 
 // ------------------------------------------------------------- framing

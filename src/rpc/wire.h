@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "delta/text_diff.h"
 #include "ham/ham_interface.h"
 #include "ham/types.h"
@@ -79,7 +80,23 @@ enum class Method : uint8_t {
   kContextThread = 44,
   kPing = 45,
   kGetServerStatistics = 46,
+  kGetRecentTraces = 47,
+  kGetSlowOps = 48,
 };
+
+// Trace-context frame extension. A request whose method byte carries
+// this flag is followed by a trace context (EncodeTraceContextTo)
+// before the method fields, letting the server parent its spans under
+// the client's (common/trace.h). The same trick as the keyframe flag
+// in the version-chain encoding: old peers see an unknown method byte
+// (>= 0x80 is outside the enum) and answer "malformed request: unknown
+// method", which a new client treats as "downgrade and re-send plain".
+constexpr uint8_t kTraceContextFlag = 0x80;
+
+// Encodes/decodes the propagated trace context (common/trace.h):
+//   fixed64 trace_id | fixed64 parent_span_id | u8 flags (bit0 sampled)
+void EncodeTraceContextTo(const TraceContext& ctx, std::string* out);
+bool DecodeTraceContextFrom(std::string_view* in, TraceContext* ctx);
 
 // Stable lower-camel-case name for a method ("createGraph", "ping");
 // "unknown" for bytes outside the enum. Used for per-method metrics

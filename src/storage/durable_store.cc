@@ -10,6 +10,7 @@
 #include "common/crc32c.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace neptune {
 
@@ -170,8 +171,8 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
       return Status::Corruption("no CURRENT and no snapshot in " + dir);
     }
     target = *snap_epochs.rbegin();
-    NEPTUNE_LOG(Warn) << "missing/unparsable CURRENT in " << dir
-                      << "; assuming epoch " << target;
+    NEPTUNE_LOG(Warn) << "event=current_missing dir=" << dir
+                      << " assumed_epoch=" << target;
   }
 
   // Load the newest decodable snapshot at or below the committed
@@ -196,8 +197,10 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
       break;
     }
     if (first_snap_error.ok()) first_snap_error = decoded.status();
-    NEPTUNE_LOG(Warn) << "snapshot epoch " << e << " unusable in " << dir
-                      << ": " << decoded.status().ToString();
+    NEPTUNE_LOG(Warn) << "event=snapshot_unusable dir=" << dir << " epoch="
+                      << e << " code="
+                      << StatusCodeToString(decoded.status().code())
+                      << " detail=\"" << decoded.status().message() << "\"";
   }
   if (snap_epoch == 0) {
     return Status::Corruption("no usable snapshot in " + dir + " (" +
@@ -233,9 +236,9 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
       if (log.truncated_tail) {
         // Drop the torn/corrupt suffix on disk so new commits append
         // right after the last good record.
-        NEPTUNE_LOG(Warn) << "truncating damaged WAL tail in " << wal_path
-                          << " at " << log.valid_bytes << " ("
-                          << log.dropped_bytes << " bytes dropped)";
+        NEPTUNE_LOG(Warn) << "event=wal_tail_truncated path=" << wal_path
+                          << " valid_bytes=" << log.valid_bytes
+                          << " dropped_bytes=" << log.dropped_bytes;
         NEPTUNE_RETURN_IF_ERROR(env->TruncateFile(wal_path, log.valid_bytes));
       }
     }
@@ -302,6 +305,11 @@ Status DurableStore::Destroy(Env* env, const std::string& dir) {
 }
 
 Status DurableStore::AppendRecord(std::string_view record, bool sync) {
+  NEPTUNE_TRACE_SPAN(span, "storage.wal.append");
+  if (span.active()) {
+    span.Annotate("bytes=" + std::to_string(record.size()) +
+                  (sync ? " sync=1" : " sync=0"));
+  }
   if (degraded_) {
     Status repaired = RepairWal();
     if (!repaired.ok()) {
@@ -342,12 +350,16 @@ Status DurableStore::RepairWal() {
   wal_ = std::make_unique<LogWriter>(std::move(wal_file));
   degraded_ = false;
   NEPTUNE_METRIC_COUNT("wal.recovery.repaired", 1);
-  NEPTUNE_LOG(Warn) << "repaired WAL " << wal_path << " after write failure"
-                    << " (truncated to " << wal_bytes_ << " bytes)";
+  NEPTUNE_LOG(Warn) << "event=wal_repaired path=" << wal_path
+                    << " truncated_to_bytes=" << wal_bytes_;
   return Status::OK();
 }
 
 Status DurableStore::Checkpoint(std::string_view snapshot) {
+  NEPTUNE_TRACE_SPAN(span, "storage.checkpoint");
+  if (span.active()) {
+    span.Annotate("bytes=" + std::to_string(snapshot.size()));
+  }
   NEPTUNE_METRIC_TIMED(timer, "storage.checkpoint");
   NEPTUNE_METRIC_COUNT("storage.checkpoint.bytes", snapshot.size());
   const uint64_t next = epoch_ + 1;
