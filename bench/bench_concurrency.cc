@@ -4,7 +4,8 @@
 //
 // Measures aggregate ops/sec of openNode and getGraphQuery at 1..8
 // reader threads, through the in-process engine and through the RPC
-// server (one connection — and so one server thread — per reader).
+// server — one connection per reader, and (since PR 6) all readers
+// multiplexed onto a single pipelined connection.
 //
 // Expected shape: near-linear scaling of reader throughput with
 // threads while the (throttled) writer keeps taking the exclusive
@@ -40,15 +41,24 @@ struct ConcurrencyFixture {
     }
     server = std::make_unique<rpc::Server>(graph.ham());
     port = *server->Start(0);
+    rpc::RemoteHam::Options pipeline_options;
+    pipeline_options.pipeline = true;
+    pipelined = std::move(
+        *rpc::RemoteHam::Connect("localhost", port, pipeline_options));
   }
 
-  ~ConcurrencyFixture() { server->Stop(); }
+  ~ConcurrencyFixture() {
+    pipelined.reset();
+    server->Stop();
+  }
 
   bench::ScratchGraph graph;
   ham::AttributeIndex kind = 0;
   std::vector<ham::NodeIndex> nodes;
   std::unique_ptr<rpc::Server> server;
   uint16_t port = 0;
+  // One pipelined connection shared by every reader thread.
+  std::unique_ptr<rpc::RemoteHam> pipelined;
 };
 
 ConcurrencyFixture* Fixture() {
@@ -130,8 +140,9 @@ BENCHMARK(BM_LocalOpenNode)->Apply(ReaderThreads);
 BENCHMARK(BM_LocalGraphQuery)->Apply(ReaderThreads);
 
 // The same workloads through the RPC server. Each reader thread holds
-// its own connection, so the server dedicates a thread per reader and
-// the shared lock is what decides whether they actually overlap.
+// its own connection — the event loop multiplexes them, the worker
+// pool runs them, and the shared lock is what decides whether they
+// actually overlap.
 void BM_RemoteOpenNode(benchmark::State& state) {
   ConcurrencyFixture* f = Fixture();
   auto client = std::move(*rpc::RemoteHam::Connect("localhost", f->port));
@@ -163,6 +174,25 @@ void BM_RemoteGraphQuery(benchmark::State& state) {
 
 BENCHMARK(BM_RemoteOpenNode)->Apply(ReaderThreads);
 BENCHMARK(BM_RemoteGraphQuery)->Apply(ReaderThreads);
+
+// All readers share ONE pipelined connection (PR 6): the requests
+// interleave on a single socket with ids, completing out of order, so
+// N threads need neither N connections nor N server-side readers.
+void BM_RemoteOpenNodeSharedPipelined(benchmark::State& state) {
+  ConcurrencyFixture* f = Fixture();
+  auto ctx = f->pipelined->OpenGraph(f->graph.project(), "localhost",
+                                     f->graph.dir());
+  Random rng(300 + state.thread_index());
+  for (auto _ : state) {
+    auto opened = f->pipelined->OpenNode(
+        *ctx, f->nodes[rng.Uniform(f->nodes.size())], 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetItemsProcessed(state.iterations());
+  f->pipelined->CloseGraph(*ctx);
+}
+
+BENCHMARK(BM_RemoteOpenNodeSharedPipelined)->Apply(ReaderThreads);
 
 }  // namespace
 }  // namespace neptune

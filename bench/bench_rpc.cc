@@ -14,7 +14,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
+
 #include "bench/bench_util.h"
+#include "common/coding.h"
 #include "common/trace.h"
 #include "rpc/remote_ham.h"
 #include "rpc/server.h"
@@ -28,6 +31,12 @@ struct RpcFixture {
     server = std::make_unique<rpc::Server>(graph.ham());
     port = *server->Start(0);
     client = std::move(*rpc::RemoteHam::Connect("localhost", port));
+    rpc::RemoteHam::Options pipeline_options;
+    pipeline_options.pipeline = true;
+    // Room for 8 bench threads with an 8-deep window each.
+    pipeline_options.max_inflight = 128;
+    pipelined = std::move(
+        *rpc::RemoteHam::Connect("localhost", port, pipeline_options));
     remote_ctx =
         *client->OpenGraph(graph.project(), "localhost", graph.dir());
     // A chain of 100 nodes with contents for traversal benches.
@@ -45,6 +54,7 @@ struct RpcFixture {
   }
 
   ~RpcFixture() {
+    pipelined.reset();
     client.reset();
     server->Stop();
   }
@@ -53,6 +63,7 @@ struct RpcFixture {
   std::unique_ptr<rpc::Server> server;
   uint16_t port = 0;
   std::unique_ptr<rpc::RemoteHam> client;
+  std::unique_ptr<rpc::RemoteHam> pipelined;
   ham::Context remote_ctx;
   std::vector<ham::NodeIndex> nodes;
   ham::NodeIndex big_node = 0;
@@ -90,6 +101,104 @@ void BM_PingRoundTrip(benchmark::State& state) {
 }
 
 BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// Pipelining (PR 6). The acceptance pair: 8 threads sharing ONE
+// connection. The classic client admits a single request in flight
+// (its mutex covers send + recv), so 8 threads serialize — that is the
+// one-in-flight baseline. The pipelined client tags requests with ids
+// and completes them out of order, so all 8 ride the wire at once.
+void BM_OpenNodeRemoteShared1InFlight(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto opened = f->client->OpenNode(f->remote_ctx, f->nodes[0], 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_OpenNodeRemoteSharedPipelined(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto opened = f->pipelined->OpenNode(f->remote_ctx, f->nodes[0], 0, {});
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_OpenNodeRemoteShared1InFlight)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OpenNodeRemoteSharedPipelined)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// One thread keeping a window of N async openNode calls in flight —
+// pipelining without any client-side thread fan-out. The window depth
+// is the argument; 8 matches the acceptance setup of 8 concurrent
+// requests on one connection.
+void BM_OpenNodeRemotePipelinedWindow(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  const size_t depth = static_cast<size_t>(state.range(0));
+  std::string args;
+  PutVarint64(&args, f->remote_ctx.session);
+  PutVarint64(&args, f->nodes[0]);
+  PutVarint64(&args, 0);                  // time
+  rpc::EncodeIndexVecTo({}, &args);       // no attributes
+  std::deque<rpc::RemoteHam::PendingCall> window;
+  for (auto _ : state) {
+    while (window.size() < depth) {
+      window.push_back(f->pipelined->CallAsync(rpc::Method::kOpenNode, args));
+    }
+    auto reply = window.front().Wait();
+    window.pop_front();
+    benchmark::DoNotOptimize(reply);
+  }
+  while (!window.empty()) {
+    window.front().Wait();
+    window.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_OpenNodeRemotePipelinedWindow)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// The full acceptance shape: 8 concurrent clients, each keeping its
+// own 8-deep window of async openNode calls on the ONE shared
+// pipelined connection. Compare with the same 8 threads on the
+// one-in-flight client above.
+void BM_OpenNodeRemoteSharedPipelinedWindow8(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  std::string args;
+  PutVarint64(&args, f->remote_ctx.session);
+  PutVarint64(&args, f->nodes[0]);
+  PutVarint64(&args, 0);                  // time
+  rpc::EncodeIndexVecTo({}, &args);       // no attributes
+  std::deque<rpc::RemoteHam::PendingCall> window;
+  for (auto _ : state) {
+    while (window.size() < 8) {
+      window.push_back(f->pipelined->CallAsync(rpc::Method::kOpenNode, args));
+    }
+    auto reply = window.front().Wait();
+    window.pop_front();
+    benchmark::DoNotOptimize(reply);
+  }
+  while (!window.empty()) {
+    window.front().Wait();
+    window.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_OpenNodeRemoteSharedPipelinedWindow8)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 // Tracing cost. The plain remote benches above run with tracing
 // disabled (trace_sample_n = 0, the default) — the disabled path is a
@@ -170,8 +279,31 @@ void BM_ChainFetchBatchedRemote(benchmark::State& state) {
   state.counters["nodes"] = static_cast<double>(f->nodes.size());
 }
 
+// The batch wire ops (PR 6): the same 100-node fetch as one openNodes
+// call, and structure + contents in one linearizeAndFetch round trip.
+void BM_ChainFetchOpenNodesBatch(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto batch = f->client->OpenNodes(f->remote_ctx, f->nodes, 0, {});
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["nodes"] = static_cast<double>(f->nodes.size());
+}
+
+void BM_LinearizeAndFetchRemote(benchmark::State& state) {
+  RpcFixture* f = Fixture();
+  for (auto _ : state) {
+    auto result = f->client->LinearizeAndFetch(f->remote_ctx, f->nodes[0], 0,
+                                               "", "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes"] = static_cast<double>(f->nodes.size());
+}
+
 BENCHMARK(BM_ChainFetchPerNodeRemote)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ChainFetchBatchedRemote)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChainFetchOpenNodesBatch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearizeAndFetchRemote)->Unit(benchmark::kMicrosecond);
 
 void BM_TransactionRemote(benchmark::State& state) {
   RpcFixture* f = Fixture();

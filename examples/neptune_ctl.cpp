@@ -86,7 +86,8 @@ int Usage() {
                "       neptune_ctl trace <host:port> [--chrome <out.json>]\n"
                "       neptune_ctl slowops <host:port>\n"
                "       neptune_ctl workload <host:port> <server-side-dir>"
-               " [--deadline-ms <n>] [--retries <n>] [--clients <n>]\n");
+               " [--deadline-ms <n>] [--retries <n>] [--clients <n>]"
+               " [--pipeline <0|1>]\n");
   return 2;
 }
 
@@ -323,6 +324,10 @@ int main(int argc, char** argv) {
           options.max_retries = static_cast<uint32_t>(value);
         } else if (flag == "--clients") {
           clients = value;
+        } else if (flag == "--pipeline") {
+          // Multiplex the workload's requests on one tagged connection
+          // (degrades to classic one-in-flight against older servers).
+          options.pipeline = value != 0;
         } else {
           return Usage();
         }

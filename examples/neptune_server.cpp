@@ -6,6 +6,7 @@
 //   ./neptune_server serve <data-dir> [port] [stats-interval-sec]
 //                    [txn-lease-ms] [idle-timeout-ms]
 //                    [trace-sample-n] [trace-slow-us]
+//                    [--io-threads=N] [--workers=N]
 //       Runs a HAM server (port 0 = pick one) until killed. A nonzero
 //       stats interval logs a one-line metrics summary periodically.
 //       txn-lease-ms > 0 arms the transaction-lease watchdog (silent
@@ -14,6 +15,8 @@
 //       trace-sample-n > 0 records 1-in-N request traces (1 = all,
 //       see `neptune_ctl trace`); trace-slow-us > 0 always logs and
 //       keeps spans slower than that many microseconds.
+//       --io-threads / --workers size the event loop and the request
+//       worker pool (defaults: 1 IO thread, 4 workers).
 //   ./neptune_server demo [data-dir]
 //       Starts an in-process server on an ephemeral port, connects a
 //       RemoteHam client over real TCP, and runs a workstation session
@@ -24,6 +27,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -53,7 +57,8 @@ namespace {
 
 int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
              unsigned txn_lease_ms, unsigned idle_timeout_ms,
-             unsigned trace_sample_n, unsigned trace_slow_us) {
+             unsigned trace_sample_n, unsigned trace_slow_us, int io_threads,
+             int workers) {
   neptune::SetLogLevel(LogLevel::kInfo);
   Env::Default()->CreateDir(dir);
   HamOptions ham_options;
@@ -63,6 +68,8 @@ int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
   Ham ham(Env::Default(), ham_options);
   Server::Options server_options;
   server_options.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
+  if (io_threads > 0) server_options.io_threads = io_threads;
+  if (workers > 0) server_options.worker_threads = workers;
   Server server(&ham, server_options);
   auto bound = server.Start(port);
   if (!bound.ok()) {
@@ -166,38 +173,57 @@ int RunDemo(const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string mode = argc > 1 ? argv[1] : "demo";
+  // Event-loop sizing flags may appear anywhere; the positional args
+  // keep their historical order, so existing invocations still work.
+  int io_threads = 0;
+  int workers = 0;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--io-threads=", 0) == 0) {
+      io_threads = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::atoi(arg.c_str() + 10);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int nargs = static_cast<int>(args.size());
+  const std::string mode = nargs > 1 ? args[1] : "demo";
   if (mode == "serve") {
-    if (argc < 3) {
+    if (nargs < 3) {
       std::fprintf(stderr,
                    "usage: %s serve <data-dir> [port] [stats-interval-sec]"
                    " [txn-lease-ms] [idle-timeout-ms]"
-                   " [trace-sample-n] [trace-slow-us]\n",
-                   argv[0]);
+                   " [trace-sample-n] [trace-slow-us]"
+                   " [--io-threads=N] [--workers=N]\n",
+                   args[0]);
       return 2;
     }
     const uint16_t port =
-        argc > 3 ? static_cast<uint16_t>(std::atoi(argv[3])) : 0;
+        nargs > 3 ? static_cast<uint16_t>(std::atoi(args[3])) : 0;
     const unsigned stats_interval =
-        argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 0;
+        nargs > 4 ? static_cast<unsigned>(std::atoi(args[4])) : 0;
     const unsigned txn_lease_ms =
-        argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
+        nargs > 5 ? static_cast<unsigned>(std::atoi(args[5])) : 0;
     const unsigned idle_timeout_ms =
-        argc > 6 ? static_cast<unsigned>(std::atoi(argv[6])) : 0;
+        nargs > 6 ? static_cast<unsigned>(std::atoi(args[6])) : 0;
     const unsigned trace_sample_n =
-        argc > 7 ? static_cast<unsigned>(std::atoi(argv[7])) : 0;
+        nargs > 7 ? static_cast<unsigned>(std::atoi(args[7])) : 0;
     const unsigned trace_slow_us =
-        argc > 8 ? static_cast<unsigned>(std::atoi(argv[8])) : 0;
-    return RunServe(argv[2], port, stats_interval, txn_lease_ms,
-                    idle_timeout_ms, trace_sample_n, trace_slow_us);
+        nargs > 8 ? static_cast<unsigned>(std::atoi(args[8])) : 0;
+    return RunServe(args[2], port, stats_interval, txn_lease_ms,
+                    idle_timeout_ms, trace_sample_n, trace_slow_us, io_threads,
+                    workers);
   }
   if (mode == "demo") {
-    return RunDemo(argc > 2 ? argv[2] : "/tmp/neptune_server_demo");
+    return RunDemo(nargs > 2 ? args[2] : "/tmp/neptune_server_demo");
   }
   std::fprintf(stderr,
                "usage: %s serve <data-dir> [port] [stats-interval-sec]"
                " [txn-lease-ms] [idle-timeout-ms]"
-               " [trace-sample-n] [trace-slow-us] | demo [dir]\n",
+               " [trace-sample-n] [trace-slow-us]"
+               " [--io-threads=N] [--workers=N] | demo [dir]\n",
                argv[0]);
   return 2;
 }

@@ -14,7 +14,7 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_5.json}
+OUT=${2:-BENCH_6.json}
 MIN_TIME=${3:-0.01}
 
 TMP=$(mktemp -d)
@@ -91,6 +91,32 @@ if "B6" in headlines and base:
             round((traced - base) / base * 100, 1) if traced else None,
         "sampled_1in64_overhead_pct":
             round((sampled - base) / base * 100, 1) if sampled else None,
+    }
+
+# B6 also carries the pipelining comparison (PR 6): remote openNode
+# throughput on one shared connection at 8 concurrent clients — the
+# classic one-in-flight client vs pipelined mode (each client keeping
+# an 8-deep async window). The sync-pipelined and single-thread-window
+# variants bracket where the win comes from.
+one_in_flight = real_us("bench_rpc",
+                        "BM_OpenNodeRemoteShared1InFlight/real_time/threads:8")
+pipelined_sync = real_us(
+    "bench_rpc", "BM_OpenNodeRemoteSharedPipelined/real_time/threads:8")
+window8 = real_us("bench_rpc", "BM_OpenNodeRemotePipelinedWindow/8/real_time")
+pipelined_8c = real_us(
+    "bench_rpc",
+    "BM_OpenNodeRemoteSharedPipelinedWindow8/real_time/threads:8")
+if "B6" in headlines and one_in_flight:
+    headlines["B6"]["pipelining"] = {
+        "one_in_flight_shared_8t_us": one_in_flight,
+        "pipelined_sync_shared_8t_us": pipelined_sync,
+        "pipelined_window8_1t_us": window8,
+        "pipelined_window8_8t_us": pipelined_8c,
+        # Per-op real time is 1/throughput here, so the throughput
+        # speedup of pipelined mode over the one-in-flight baseline is
+        # the ratio of the per-op times.
+        "pipelined_speedup_x":
+            round(one_in_flight / pipelined_8c, 2) if pipelined_8c else None,
     }
 
 with open(out_path, "w") as f:

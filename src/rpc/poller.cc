@@ -1,0 +1,153 @@
+#include "rpc/poller.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace neptune {
+namespace rpc {
+
+namespace {
+
+// poll(2) backend: an interest map rebuilt into a pollfd vector per
+// wait. O(n) per wakeup, but perfectly portable and obviously correct
+// — the reference the epoll backend is tested against.
+class PollPoller final : public Poller {
+ public:
+  const char* name() const override { return "poll"; }
+
+  Status Add(int fd, bool want_write) override {
+    interest_[fd] = want_write;
+    return Status::OK();
+  }
+
+  Status Update(int fd, bool want_write) override {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) {
+      return Status::InvalidArgument("poller: update of unregistered fd");
+    }
+    it->second = want_write;
+    return Status::OK();
+  }
+
+  void Remove(int fd) override { interest_.erase(fd); }
+
+  Result<int> Wait(int timeout_ms, std::vector<Event>* out) override {
+    out->clear();
+    pfds_.clear();
+    pfds_.reserve(interest_.size());
+    for (const auto& [fd, want_write] : interest_) {
+      pfds_.push_back(
+          pollfd{fd, static_cast<short>(POLLIN | (want_write ? POLLOUT : 0)),
+                 0});
+    }
+    int ready;
+    do {
+      ready = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      return Status::NetworkError(std::string("poll: ") +
+                                  std::strerror(errno));
+    }
+    for (const pollfd& p : pfds_) {
+      if (p.revents == 0) continue;
+      Event ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out->push_back(ev);
+    }
+    return static_cast<int>(out->size());
+  }
+
+ private:
+  std::unordered_map<int, bool> interest_;  // fd -> want_write
+  std::vector<pollfd> pfds_;                // scratch, reused across waits
+};
+
+#ifdef __linux__
+// epoll backend: O(ready) per wakeup. Level-triggered, which matches
+// the server's "drain what you can, come back for the rest" read and
+// write paths with no risk of a lost edge.
+class EpollPoller final : public Poller {
+ public:
+  explicit EpollPoller(int epfd) : epfd_(epfd) {}
+  ~EpollPoller() override { ::close(epfd_); }
+
+  const char* name() const override { return "epoll"; }
+
+  Status Add(int fd, bool want_write) override {
+    return Control(EPOLL_CTL_ADD, fd, want_write);
+  }
+
+  Status Update(int fd, bool want_write) override {
+    return Control(EPOLL_CTL_MOD, fd, want_write);
+  }
+
+  void Remove(int fd) override {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  Result<int> Wait(int timeout_ms, std::vector<Event>* out) override {
+    out->clear();
+    epoll_event evs[128];
+    int ready;
+    do {
+      ready = ::epoll_wait(epfd_, evs, 128, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) {
+      return Status::NetworkError(std::string("epoll_wait: ") +
+                                  std::strerror(errno));
+    }
+    for (int i = 0; i < ready; ++i) {
+      Event ev;
+      ev.fd = evs[i].data.fd;
+      ev.readable = (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      ev.writable = (evs[i].events & EPOLLOUT) != 0;
+      ev.error = (evs[i].events & EPOLLERR) != 0;
+      out->push_back(ev);
+    }
+    return ready;
+  }
+
+ private:
+  Status Control(int op, int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &ev) != 0) {
+      return Status::NetworkError(std::string("epoll_ctl: ") +
+                                  std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  const int epfd_;
+};
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create() {
+#ifdef __linux__
+  const char* force = std::getenv("NEPTUNE_RPC_FORCE_POLL");
+  if (force == nullptr || force[0] == '\0' || force[0] == '0') {
+    int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd >= 0) return std::make_unique<EpollPoller>(epfd);
+  }
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace rpc
+}  // namespace neptune

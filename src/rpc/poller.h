@@ -1,0 +1,60 @@
+// Readiness notification for the RPC event loop: a thin portable
+// abstraction over epoll(7) with a poll(2) fallback, in the spirit of
+// the nonblocking-socket event loops CAD-era servers were built on.
+// Every registered fd is always watched for readability; writability
+// is opted in per fd while a connection has buffered output.
+//
+// The epoll backend is used on Linux; the poll backend everywhere
+// else, and on Linux when NEPTUNE_RPC_FORCE_POLL is set in the
+// environment (so tests exercise the fallback on any platform).
+
+#ifndef NEPTUNE_RPC_POLLER_H_
+#define NEPTUNE_RPC_POLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+
+namespace neptune {
+namespace rpc {
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    // Error/hangup on the fd; the owner should read until failure and
+    // tear the connection down.
+    bool error = false;
+  };
+
+  // Picks the best backend for this platform (see file comment).
+  static std::unique_ptr<Poller> Create();
+
+  virtual ~Poller() = default;
+
+  // "epoll" or "poll", for logs and tests.
+  virtual const char* name() const = 0;
+
+  // Registers `fd` for readability (always) and, when `want_write`,
+  // writability. An fd must be added at most once.
+  virtual Status Add(int fd, bool want_write) = 0;
+
+  // Changes the writability interest of a registered fd.
+  virtual Status Update(int fd, bool want_write) = 0;
+
+  // Deregisters the fd. Safe to call for an fd that was never added.
+  virtual void Remove(int fd) = 0;
+
+  // Waits up to `timeout_ms` (-1 = forever) and appends ready fds to
+  // `out` (which is cleared first). Returns the number of events; 0 on
+  // timeout. EINTR is ridden out internally.
+  virtual Result<int> Wait(int timeout_ms, std::vector<Event>* out) = 0;
+};
+
+}  // namespace rpc
+}  // namespace neptune
+
+#endif  // NEPTUNE_RPC_POLLER_H_

@@ -89,6 +89,14 @@ Status RemoteHam::ReconnectLocked() {
 }
 
 Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
+  if (options_.pipeline &&
+      pipeline_wire_ok_.load(std::memory_order_relaxed)) {
+    return CallPipelined(method, args);
+  }
+  return CallSync(method, args);
+}
+
+Result<std::string> RemoteHam::CallSync(Method method, std::string_view args) {
   // The client half of the request's trace: the server parents its
   // spans under this one via the propagated context, so the gap
   // between this span and the server's is wire + queueing time.
@@ -201,6 +209,342 @@ Result<std::string> RemoteHam::Call(Method method, std::string_view args) {
   }
 }
 
+// ---------------------------------------------------------- pipeline
+
+struct RemoteHam::PendingCall::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;      // transport/decode failure, or OK
+  std::string reply;  // the reply payload (id stripped) when OK
+
+  void Fulfill(Status s, std::string r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (done) return;
+      done = true;
+      status = std::move(s);
+      reply = std::move(r);
+    }
+    cv.notify_all();
+  }
+
+  // Blocks for the reply frame; returns it with the status header
+  // still in place.
+  Result<std::string> WaitRaw() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+    if (!status.ok()) return status;
+    return std::move(reply);
+  }
+};
+
+Result<std::string> RemoteHam::PendingCall::Wait() {
+  if (state_ == nullptr) {
+    return Status::InvalidArgument("PendingCall already waited on");
+  }
+  auto state = std::move(state_);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string raw, state->WaitRaw());
+  std::string_view in = raw;
+  Status status;
+  if (!DecodeStatusFrom(&in, &status)) {
+    return Status::Corruption("malformed reply status");
+  }
+  NEPTUNE_RETURN_IF_ERROR(status);
+  return std::string(in);
+}
+
+// One connection generation. Writers serialize on `mu` (SendFrame is
+// not otherwise thread-safe); the receiver thread takes `mu` only
+// briefly to match a reply to its id. A transport failure marks the
+// generation broken; the next call builds a fresh one.
+struct RemoteHam::PipelineConn {
+  std::mutex mu;
+  std::condition_variable cv;  // slot free / probe settled / broken
+  std::unique_ptr<FrameStream> stream;
+  bool confirmed = false;  // a tagged reply has been parsed
+  bool broken = false;
+  Status error;
+  uint64_t next_id = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall::State>> inflight;
+  // Framed requests waiting for the sender thread. Appending here
+  // under mu (same hold as the id registration) keeps the wire order
+  // equal to the registration order.
+  std::string outbuf;
+  std::condition_variable send_cv;
+  bool sender_stop = false;
+
+  // Caller holds mu. Fails everything in flight, wakes everyone.
+  void BreakLocked(const Status& status) {
+    if (!broken) {
+      broken = true;
+      error = status;
+      if (stream != nullptr) stream->Close();
+    }
+    auto failed = std::move(inflight);
+    inflight.clear();
+    cv.notify_all();
+    send_cv.notify_all();
+    mu.unlock();  // Fulfill takes per-pending locks; drop ours first
+    for (auto& [id, pending] : failed) {
+      pending->Fulfill(status, "");
+    }
+    mu.lock();
+  }
+};
+
+RemoteHam::~RemoteHam() {
+  {
+    std::lock_guard<std::mutex> lock(pmu_);
+    if (pconn_ != nullptr) {
+      std::lock_guard<std::mutex> clock(pconn_->mu);
+      pconn_->sender_stop = true;
+      pconn_->send_cv.notify_all();
+      if (pconn_->stream != nullptr) pconn_->stream->Close();
+    }
+  }
+  if (receiver_.joinable()) receiver_.join();
+  if (sender_.joinable()) sender_.join();
+}
+
+void RemoteHam::SenderMain(std::shared_ptr<PipelineConn> conn) {
+  std::string out;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->send_cv.wait(lock, [&] {
+        return conn->sender_stop || conn->broken || !conn->outbuf.empty();
+      });
+      if (conn->sender_stop || conn->broken) return;
+      out.clear();
+      out.swap(conn->outbuf);
+    }
+    Status sent = conn->stream->SendBytes(out);
+    if (!sent.ok()) {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      if (!conn->broken) conn->BreakLocked(sent);
+      return;
+    }
+  }
+}
+
+void RemoteHam::ReceiverMain(std::shared_ptr<PipelineConn> conn) {
+  for (;;) {
+    Result<std::string> frame = conn->stream->RecvFrame();
+    std::unique_lock<std::mutex> lock(conn->mu);
+    if (!frame.ok()) {
+      conn->BreakLocked(frame.status());
+      return;
+    }
+    std::string_view in = *frame;
+    if (!conn->confirmed) {
+      // Probe phase: an old server answers the tagged probe with an
+      // UNtagged "unknown method" error. Only that exact shape
+      // triggers the downgrade; anything else must be a tagged reply.
+      std::string_view untagged = *frame;
+      Status status;
+      if (DecodeStatusFrom(&untagged, &status) &&
+          IsUnknownMethodReply(status)) {
+        pipeline_wire_ok_.store(false, std::memory_order_relaxed);
+        NEPTUNE_METRIC_COUNT("rpc.client.pipeline_downgrades", 1);
+        conn->BreakLocked(status);
+        return;
+      }
+    }
+    uint64_t id = 0;
+    if (!GetVarint64(&in, &id)) {
+      conn->BreakLocked(Status::Corruption("malformed reply id"));
+      return;
+    }
+    conn->confirmed = true;
+    std::shared_ptr<PendingCall::State> pending;
+    auto it = conn->inflight.find(id);
+    if (it != conn->inflight.end()) {
+      pending = std::move(it->second);
+      conn->inflight.erase(it);
+    }
+    conn->cv.notify_all();  // a slot freed; the probe may have settled
+    lock.unlock();
+    // A reply for an unknown id (already failed locally) is dropped.
+    if (pending != nullptr) pending->Fulfill(Status::OK(), std::string(in));
+  }
+}
+
+Result<std::shared_ptr<RemoteHam::PendingCall::State>>
+RemoteHam::EnqueueTagged(Method method, std::string_view args, bool* sent) {
+  *sent = false;
+  std::shared_ptr<PipelineConn> conn;
+  {
+    std::lock_guard<std::mutex> lock(pmu_);
+    bool need_fresh = pconn_ == nullptr;
+    if (!need_fresh) {
+      std::lock_guard<std::mutex> clock(pconn_->mu);
+      need_fresh = pconn_->broken;
+    }
+    if (need_fresh) {
+      // The previous generation's receiver and sender exit as soon as
+      // its stream breaks (BreakLocked wakes both); neither touches
+      // pmu_, so joining under it is safe.
+      if (receiver_.joinable()) receiver_.join();
+      if (sender_.joinable()) sender_.join();
+      auto fresh = std::make_shared<PipelineConn>();
+      NEPTUNE_ASSIGN_OR_RETURN(
+          fresh->stream,
+          FrameStream::Connect(host_, port_, options_.connect_timeout_ms));
+      NEPTUNE_RETURN_IF_ERROR(fresh->stream->SetTimeouts(
+          options_.send_timeout_ms, options_.recv_timeout_ms));
+      if (pconn_ != nullptr) NEPTUNE_METRIC_COUNT("rpc.client.reconnects", 1);
+      pconn_ = fresh;
+      receiver_ = std::thread([this, fresh] { ReceiverMain(fresh); });
+      sender_ = std::thread([this, fresh] { SenderMain(fresh); });
+    }
+    conn = pconn_;
+  }
+
+  const uint32_t max_inflight = std::max<uint32_t>(options_.max_inflight, 1);
+  std::unique_lock<std::mutex> lock(conn->mu);
+  // Until the probe's reply proves the server understands request ids,
+  // exactly one request rides the connection.
+  conn->cv.wait(lock, [&] {
+    if (conn->broken) return true;
+    if (!conn->confirmed) return conn->inflight.empty();
+    return conn->inflight.size() < max_inflight;
+  });
+  if (conn->broken) return conn->error;
+
+  uint64_t id;
+  const uint64_t override_id =
+      next_id_override_.exchange(0, std::memory_order_relaxed);
+  if (override_id != 0) conn->next_id = override_id;
+  do {
+    id = conn->next_id++;
+    if (conn->next_id == 0) conn->next_id = 1;  // ids wrap, skipping 0
+  } while (id == 0 || conn->inflight.count(id) != 0);
+
+  std::string request;
+  uint8_t flags = static_cast<uint8_t>(method) | kRequestIdFlag;
+  TraceContext trace_ctx = ScopedSpan::CurrentContext();
+  const bool traced =
+      trace_ctx.valid() && trace_wire_ok_.load(std::memory_order_relaxed);
+  if (traced) flags |= kTraceContextFlag;
+  request.reserve(1 + 17 + 10 + args.size());
+  request.push_back(static_cast<char>(flags));
+  if (traced) EncodeTraceContextTo(trace_ctx, &request);
+  PutVarint64(&request, id);
+  request.append(args);
+
+  if (request.size() > conn->stream->max_frame_bytes()) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(request.size()) +
+        " bytes exceeds limit of " +
+        std::to_string(conn->stream->max_frame_bytes()));
+  }
+  auto pending = std::make_shared<PendingCall::State>();
+  conn->inflight.emplace(id, pending);
+  *sent = true;
+  // Hand the framed request to the sender thread: a burst of calls
+  // coalesces into one send() syscall, and a send failure surfaces as
+  // BreakLocked failing every pending call (this one included).
+  AppendFrame("", request, &conn->outbuf);
+  conn->send_cv.notify_one();
+  return pending;
+}
+
+Result<std::string> RemoteHam::CallPipelined(Method method,
+                                             std::string_view args) {
+  ScopedSpan span(ClientSpanNameId(method));
+  Status last;
+  for (uint32_t attempt = 0;; ++attempt) {
+    bool sent = false;
+    auto pending = EnqueueTagged(method, args, &sent);
+    Result<std::string> raw =
+        pending.ok() ? (*pending)->WaitRaw() : pending.status();
+    if (raw.ok()) {
+      std::string_view in = *raw;
+      Status status;
+      if (!DecodeStatusFrom(&in, &status)) {
+        return Status::Corruption("malformed reply status");
+      }
+      // Load-shed refusal: rejected before execution, so re-send after
+      // the hinted backoff (same as the sync path).
+      uint32_t retry_after_ms = 0;
+      if (status.IsUnavailable() && !in.empty() &&
+          GetVarint32(&in, &retry_after_ms)) {
+        if (attempt >= options_.max_retries) return status;
+        NEPTUNE_METRIC_COUNT("rpc.client.shed_retries", 1);
+        span.Annotate("shed_retry=1");
+        uint64_t delay = std::max<uint64_t>(retry_after_ms, 1);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        continue;
+      }
+      NEPTUNE_RETURN_IF_ERROR(status);
+      return std::string(in);
+    }
+    last = raw.status();
+    if (IsUnknownMethodReply(last) &&
+        !pipeline_wire_ok_.load(std::memory_order_relaxed)) {
+      // The probe met a pre-pipelining server; the request never
+      // executed, so re-sending one-in-flight is safe for any method.
+      span.Annotate("pipeline=downgraded");
+      return CallSync(method, args);
+    }
+    if (last.IsDeadlineExceeded()) {
+      NEPTUNE_METRIC_COUNT("rpc.client.deadline_exceeded", 1);
+    }
+    if (!IsTransportError(last)) return last;
+    if (sent && !IsIdempotent(method)) return last;
+    if (attempt >= options_.max_retries) return last;
+    NEPTUNE_METRIC_COUNT("rpc.client.retries", 1);
+    span.Annotate("retry=" + std::to_string(attempt + 1));
+    uint64_t delay = options_.backoff_initial_ms;
+    for (uint32_t i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
+      delay *= 2;
+    }
+    delay = std::min<uint64_t>(delay, options_.backoff_max_ms);
+    if (delay > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+}
+
+RemoteHam::PendingCall RemoteHam::CallAsync(Method method,
+                                            std::string_view args) {
+  PendingCall call;
+  call.state_ = std::make_shared<PendingCall::State>();
+  if (options_.pipeline &&
+      pipeline_wire_ok_.load(std::memory_order_relaxed)) {
+    bool sent = false;
+    auto pending = EnqueueTagged(method, args, &sent);
+    if (pending.ok()) {
+      call.state_ = *pending;
+      return call;
+    }
+    call.state_->Fulfill(pending.status(), "");
+    return call;
+  }
+  // No pipeline: execute synchronously and hand back the answer,
+  // re-framing it the way a tagged reply would look (status + body) so
+  // Wait() decodes both shapes identically.
+  Result<std::string> reply = CallSync(method, args);
+  if (!reply.ok()) {
+    call.state_->Fulfill(reply.status(), "");
+  } else {
+    std::string framed;
+    EncodeStatusTo(Status::OK(), &framed);
+    framed.append(*reply);
+    call.state_->Fulfill(Status::OK(), std::move(framed));
+  }
+  return call;
+}
+
 Status RemoteHam::Ping() {
   Result<std::string> reply = Call(Method::kPing, "neptune");
   if (!reply.ok()) return reply.status();
@@ -238,6 +582,108 @@ Result<std::vector<Span>> RemoteHam::GetSlowOps() {
   std::vector<Span> out;
   if (!DecodeSpansFrom(&in, &out)) {
     return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<std::vector<RemoteHam::OpenNodeItem>> RemoteHam::OpenNodes(
+    Context ctx, const std::vector<ham::NodeIndex>& nodes, ham::Time time,
+    const std::vector<ham::AttributeIndex>& attrs) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, time);
+  EncodeIndexVecTo(attrs, &args);
+  EncodeIndexVecTo(nodes, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kOpenNodes, args));
+  std::string_view in = reply;
+  uint64_t count = 0;
+  if (!GetVarint64(&in, &count) || count != nodes.size()) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  std::vector<OpenNodeItem> out(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!DecodeStatusFrom(&in, &out[i].status)) {
+      return Status::Corruption(kTruncatedReply);
+    }
+    if (out[i].status.ok() &&
+        !DecodeOpenNodeResultFrom(&in, &out[i].result)) {
+      return Status::Corruption(kTruncatedReply);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RemoteHam::AttributeFetchItem>>
+RemoteHam::GetAttributeValuesBatch(Context ctx, ham::Time time,
+                                   const std::vector<AttributeFetch>& fetches) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, time);
+  PutVarint64(&args, fetches.size());
+  for (const AttributeFetch& f : fetches) {
+    PutBool(&args, f.is_link);
+    PutVarint64(&args, f.entity);
+    PutVarint64(&args, f.attr);
+  }
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetAttributeValuesBatch, args));
+  std::string_view in = reply;
+  uint64_t count = 0;
+  if (!GetVarint64(&in, &count) || count != fetches.size()) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  std::vector<AttributeFetchItem> out(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!DecodeStatusFrom(&in, &out[i].status)) {
+      return Status::Corruption(kTruncatedReply);
+    }
+    if (out[i].status.ok()) {
+      std::string_view value;
+      if (!GetLengthPrefixed(&in, &value)) {
+        return Status::Corruption(kTruncatedReply);
+      }
+      out[i].value.assign(value);
+    }
+  }
+  return out;
+}
+
+Result<RemoteHam::LinearizeAndFetchResult> RemoteHam::LinearizeAndFetch(
+    Context ctx, ham::NodeIndex start, ham::Time time,
+    const std::string& node_pred, const std::string& link_pred,
+    const std::vector<ham::AttributeIndex>& node_attrs,
+    const std::vector<ham::AttributeIndex>& link_attrs) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, start);
+  PutVarint64(&args, time);
+  PutLengthPrefixed(&args, node_pred);
+  PutLengthPrefixed(&args, link_pred);
+  EncodeIndexVecTo(node_attrs, &args);
+  EncodeIndexVecTo(link_attrs, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kLinearizeAndFetch, args));
+  std::string_view in = reply;
+  LinearizeAndFetchResult out;
+  uint64_t count = 0;
+  if (!DecodeSubGraphFrom(&in, &out.graph) || !GetVarint64(&in, &count) ||
+      count != out.graph.nodes.size()) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  out.contents.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    NodeContentsItem& item = out.contents[i];
+    if (!DecodeStatusFrom(&in, &item.status)) {
+      return Status::Corruption(kTruncatedReply);
+    }
+    if (item.status.ok()) {
+      std::string_view contents;
+      if (!GetLengthPrefixed(&in, &contents) ||
+          !GetVarint64(&in, &item.version_time)) {
+        return Status::Corruption(kTruncatedReply);
+      }
+      item.contents.assign(contents);
+    }
   }
   return out;
 }

@@ -8,10 +8,13 @@
 #define NEPTUNE_RPC_REMOTE_HAM_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 
 #include "common/metrics.h"
 #include "common/random.h"
@@ -38,6 +41,32 @@ class RemoteHam final : public ham::HamInterface {
     uint32_t backoff_initial_ms = 10;
     uint32_t backoff_max_ms = 1000;
     uint64_t retry_seed = 0;       // 0 = derive per client
+    // Pipelined mode: requests carry the kRequestIdFlag extension and
+    // up to max_inflight of them ride the connection concurrently,
+    // completing out of order. The first request on each connection is
+    // a capability probe (sent alone); a server that answers it with
+    // "unknown method" predates the extension and the client falls
+    // back to one-in-flight sync calls permanently (one extra round
+    // trip, ever — same discipline as the trace-context downgrade).
+    bool pipeline = false;
+    uint32_t max_inflight = 64;  // clamped to >= 1
+  };
+
+  // A tagged request in flight; Wait() blocks for the reply. Obtained
+  // from CallAsync. Handles are one-shot single-owner values: Wait()
+  // may be called once, from any thread.
+  class PendingCall {
+   public:
+    // Returns the reply's result payload (after the status header);
+    // non-OK replies and transport failures become that Status. Unlike
+    // the sync API this does not retry or honor shed hints — callers
+    // wanting those semantics use the sync methods.
+    Result<std::string> Wait();
+
+   private:
+    friend class RemoteHam;
+    struct State;
+    std::shared_ptr<State> state_;
   };
 
   // Connects to a running server; host "" or "localhost" means
@@ -51,8 +80,66 @@ class RemoteHam final : public ham::HamInterface {
   RemoteHam(const RemoteHam&) = delete;
   RemoteHam& operator=(const RemoteHam&) = delete;
 
+  ~RemoteHam() override;
+
   // Round-trip liveness probe.
   Status Ping();
+
+  // Issues one request without waiting for the reply. In pipelined
+  // mode (Options::pipeline, against a server that understands request
+  // ids) many of these ride the connection concurrently; otherwise the
+  // call executes synchronously before returning, so the handle is
+  // merely pre-resolved. `args` is the encoded argument block exactly
+  // as the typed sync wrappers build it.
+  PendingCall CallAsync(Method method, std::string_view args);
+
+  // Batch operations (one round trip each; all idempotent). ----------
+
+  // openNodes: per-item status so one missing node cannot fail its
+  // siblings.
+  struct OpenNodeItem {
+    Status status;
+    ham::OpenNodeResult result;  // meaningful only when status.ok()
+  };
+  Result<std::vector<OpenNodeItem>> OpenNodes(
+      ham::Context ctx, const std::vector<ham::NodeIndex>& nodes,
+      ham::Time time, const std::vector<ham::AttributeIndex>& attrs);
+
+  // Multi-attribute read across nodes and links.
+  struct AttributeFetch {
+    bool is_link = false;
+    uint64_t entity = 0;  // NodeIndex or LinkIndex per is_link
+    ham::AttributeIndex attr = 0;
+  };
+  struct AttributeFetchItem {
+    Status status;
+    std::string value;  // meaningful only when status.ok()
+  };
+  Result<std::vector<AttributeFetchItem>> GetAttributeValuesBatch(
+      ham::Context ctx, ham::Time time,
+      const std::vector<AttributeFetch>& fetches);
+
+  // linearizeGraph plus the contents of every node it returns, in one
+  // round trip (a SubGraph carries structure, not contents).
+  struct NodeContentsItem {
+    Status status;
+    std::string contents;        // meaningful only when status.ok()
+    ham::Time version_time = 0;  // ditto
+  };
+  struct LinearizeAndFetchResult {
+    ham::SubGraph graph;
+    std::vector<NodeContentsItem> contents;  // parallel to graph.nodes
+  };
+  Result<LinearizeAndFetchResult> LinearizeAndFetch(
+      ham::Context ctx, ham::NodeIndex start, ham::Time time,
+      const std::string& node_pred, const std::string& link_pred,
+      const std::vector<ham::AttributeIndex>& node_attrs,
+      const std::vector<ham::AttributeIndex>& link_attrs);
+
+  // Forces the next tagged request to use this id (wraparound tests).
+  void set_next_request_id_for_test(uint64_t id) {
+    next_id_override_.store(id, std::memory_order_relaxed);
+  }
 
   // Fetches the server's process-wide metrics snapshot (RPC-only; not
   // part of HamInterface because a local Ham reads the registry
@@ -188,8 +275,35 @@ class RemoteHam final : public ham::HamInterface {
   // exponential backoff.
   Result<std::string> Call(Method method, std::string_view args);
 
+  // The classic one-in-flight path (also the pipelining fallback).
+  Result<std::string> CallSync(Method method, std::string_view args);
+
   // Re-establishes stream_ (with deadlines armed). Caller holds mu_.
   Status ReconnectLocked();
+
+  // Pipelined path ---------------------------------------------------
+
+  // One connection generation shared by callers and the receiver
+  // thread; replaced wholesale on transport failure.
+  struct PipelineConn;
+
+  // Sync call over the pipeline: tagged send, out-of-order completion,
+  // same retry/shed/backoff discipline as CallSync.
+  Result<std::string> CallPipelined(Method method, std::string_view args);
+
+  // Registers an id, sends the tagged request, returns the pending
+  // state. `*sent` reports whether bytes may have reached the server
+  // (governs idempotent-only resends).
+  Result<std::shared_ptr<PendingCall::State>> EnqueueTagged(
+      Method method, std::string_view args, bool* sent);
+
+  // Drains replies for one connection generation; exits when the
+  // stream dies, failing everything still in flight.
+  void ReceiverMain(std::shared_ptr<PipelineConn> conn);
+  // Drains the generation's outbound buffer to the socket. Batching
+  // the writes here means a burst of pipelined calls costs one send()
+  // instead of one per request.
+  void SenderMain(std::shared_ptr<PipelineConn> conn);
 
   const std::string host_;
   const uint16_t port_;
@@ -202,6 +316,15 @@ class RemoteHam final : public ham::HamInterface {
   // with "unknown method" (a pre-tracing build): later requests are
   // sent plain, so one old server costs one extra round trip, ever.
   std::atomic<bool> trace_wire_ok_{true};
+  // Cleared when the pipelining probe meets the same answer; calls
+  // then take the sync path above.
+  std::atomic<bool> pipeline_wire_ok_{true};
+  std::atomic<uint64_t> next_id_override_{0};
+
+  std::mutex pmu_;  // guards pconn_ swaps and thread lifecycles
+  std::shared_ptr<PipelineConn> pconn_;
+  std::thread receiver_;
+  std::thread sender_;
 };
 
 }  // namespace rpc

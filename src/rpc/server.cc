@@ -1,6 +1,16 @@
 #include "rpc/server.h"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -13,6 +23,12 @@ namespace rpc {
 namespace {
 
 using ham::Context;
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Per-method request counters, resolved once for all 256 method bytes
 // so the per-request path never takes the registry lock. Unknown bytes
@@ -95,6 +111,96 @@ std::string ResultReply(const Result<T>& result, Encoder encode) {
 
 }  // namespace
 
+// ------------------------------------------------------------ sessions
+
+void Server::SessionSet::Insert(uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.insert(session);
+}
+
+void Server::SessionSet::Erase(uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session);
+}
+
+std::vector<uint64_t> Server::SessionSet::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out(sessions_.begin(), sessions_.end());
+  sessions_.clear();
+  return out;
+}
+
+// -------------------------------------------------- connection + loop
+
+// One connection, shared between its IO loop (reads, writes, lifetime)
+// and the workers executing its requests (reply queueing, sessions).
+// Fields below the mutex are guarded by it; `destroyed`/`read_closed`
+// are only ever touched by the owning IO thread.
+struct Server::Conn {
+  Conn(int fd, IoLoop* loop) : fd(fd), loop(loop) {}
+  ~Conn() { ::close(fd); }
+
+  const int fd;
+  IoLoop* const loop;
+  FrameDecoder decoder;  // fed by the IO thread only
+  SessionSet sessions;
+  std::atomic<int64_t> last_active_us{0};
+  // Requests decoded but not yet replied (includes the ordered
+  // backlog). The IO loop only destroys a connection at zero.
+  std::atomic<int> inflight{0};
+  // Set when a worker must kill the connection but cannot touch the
+  // poller (e.g. a reply that exceeds the frame limit).
+  std::atomic<bool> kill{false};
+
+  std::mutex mu;
+  std::string outbuf;   // framed reply bytes not yet written
+  size_t out_off = 0;   // bytes of outbuf already written
+  bool ordered_busy = false;
+  std::deque<Work> ordered_backlog;  // plain requests awaiting their turn
+
+  // IO-thread-only state.
+  bool read_closed = false;
+  bool want_write = false;
+  bool destroyed = false;
+};
+
+struct Server::IoLoop {
+  std::unique_ptr<Poller> poller;
+  int wake_r = -1;
+  int wake_w = -1;
+  bool has_listener = false;
+  std::thread thread;
+
+  std::mutex mu;  // guards conns, adds, flushes
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  std::vector<std::shared_ptr<Conn>> adds;
+  std::vector<int> flushes;
+
+  // True while a wake byte is in the pipe (or the loop is about to
+  // re-check its queues): lets workers skip the write() syscall when
+  // the loop is already scheduled to wake — under pipelined load that
+  // is one syscall saved per reply.
+  std::atomic<bool> wake_pending{false};
+
+  ~IoLoop() {
+    if (wake_r >= 0) ::close(wake_r);
+    if (wake_w >= 0) ::close(wake_w);
+  }
+
+  void Wake() {
+    if (wake_pending.exchange(true, std::memory_order_acq_rel)) return;
+    char b = 1;
+    ssize_t ignored = ::write(wake_w, &b, 1);  // EAGAIN = already pending
+    (void)ignored;
+  }
+};
+
+Server::Server(ham::HamInterface* ham, Options options)
+    : ham_(ham), options_(options) {
+  options_.io_threads = std::max(1, options_.io_threads);
+  options_.worker_threads = std::max(1, options_.worker_threads);
+}
+
 Server::~Server() { Stop(); }
 
 Result<uint16_t> Server::Start(uint16_t port) {
@@ -102,69 +208,120 @@ Result<uint16_t> Server::Start(uint16_t port) {
   MetricsRegistry::Instance().GetGauge("server.inflight");
   MetricsRegistry::Instance().GetCounter("server.shed");
   MetricsRegistry::Instance().GetCounter("server.connections.reaped");
+  MetricsRegistry::Instance().GetCounter("rpc.server.pipelined");
+  MetricsRegistry::Instance().GetCounter("rpc.server.batch_items");
   NEPTUNE_ASSIGN_OR_RETURN(listener_, Listener::Bind(port));
+  NEPTUNE_RETURN_IF_ERROR(listener_->SetNonblocking());
   port_ = listener_->port();
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  NEPTUNE_LOG(Info) << "event=listening addr=127.0.0.1:" << port_;
+
+  for (int i = 0; i < options_.io_threads; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->poller = Poller::Create();
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      return Status::NetworkError(std::string("pipe: ") +
+                                  std::strerror(errno));
+    }
+    for (int fd : {pipefd[0], pipefd[1]}) {
+      const int fl = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    }
+    loop->wake_r = pipefd[0];
+    loop->wake_w = pipefd[1];
+    NEPTUNE_RETURN_IF_ERROR(loop->poller->Add(loop->wake_r, false));
+    if (i == 0) {
+      loop->has_listener = true;
+      NEPTUNE_RETURN_IF_ERROR(loop->poller->Add(listener_->fd(), false));
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) {
+    IoLoop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { IoLoopMain(raw); });
+  }
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  NEPTUNE_LOG(Info) << "event=listening addr=127.0.0.1:" << port_
+                    << " poller=" << loops_[0]->poller->name()
+                    << " io_threads=" << options_.io_threads
+                    << " workers=" << options_.worker_threads;
   return port_;
 }
 
 void Server::Stop() {
   if (stopping_.exchange(true)) return;
+  drain_deadline_us_.store(
+      NowMicros() + static_cast<int64_t>(options_.drain_timeout_ms) * 1000);
   if (listener_ != nullptr) listener_->Shutdown();
-  // Graceful drain: half-close every connection so a blocked RecvFrame
-  // sees EOF and no new request can arrive, while a request already
-  // being handled still gets its reply sent before the thread exits.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& stream : streams_) stream->CloseRead();
-  }
   NEPTUNE_METRIC_COUNT("rpc.server.drains", 1);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
+  // The IO loops own the graceful drain: on waking they half-close
+  // every connection (no new requests), keep flushing replies for work
+  // already in flight, and exit once every connection is gone.
+  for (auto& loop : loops_) loop->Wake();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  // All requests are done and every disconnect-cleanup job is queued;
+  // let the workers drain the queue, then stop them.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(threads_);
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_stop_ = true;
   }
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
   }
-  // Every connection thread is done; now the fds can be fully closed.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& stream : streams_) stream->Close();
-  streams_.clear();
+  workers_.clear();
+  loops_.clear();
 }
 
-void Server::AcceptLoop() {
-  // Listener::Accept rides out EINTR/ECONNABORTED and fd exhaustion
-  // itself (the same taxonomy the PR 3 client loops use), so a hostile
-  // connection flood cannot permanently kill this loop; any error that
-  // does surface here is fatal (or Shutdown()).
-  while (!stopping_) {
-    auto stream = listener_->Accept();
-    if (!stream.ok()) {
-      if (!stopping_) {
-        NEPTUNE_LOG(Warn) << "event=accept_failed code="
-                          << StatusCodeToString(stream.status().code())
-                          << " detail=\"" << stream.status().message() << "\"";
+void Server::EnqueueWork(Work work) {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_queue_.push_back(std::move(work));
+  }
+  work_cv_.notify_one();
+}
+
+void Server::EnqueueWorkBatch(std::vector<Work>* works) {
+  if (works->empty()) return;
+  const bool several = works->size() > 1;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    for (Work& w : *works) work_queue_.push_back(std::move(w));
+  }
+  if (several) {
+    work_cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
+  works->clear();
+}
+
+void Server::WorkerMain() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock,
+                    [this] { return workers_stop_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) {
+        if (workers_stop_) return;
+        continue;
       }
-      return;
+      work = std::move(work_queue_.front());
+      work_queue_.pop_front();
     }
-    const size_t buffered =
-        options_.max_conn_buffered_bytes > 0
-            ? options_.max_conn_buffered_bytes
-            : static_cast<size_t>(options_.max_frame_bytes) + (64u << 10);
-    (*stream)->SetLimits(options_.max_frame_bytes, buffered);
-    if (options_.idle_timeout_ms > 0) {
-      // An expired recv deadline is how idle connections are detected
-      // and reaped in ServeConnection.
-      (*stream)->SetTimeouts(0, options_.idle_timeout_ms);
+    if (work.is_cleanup) {
+      // A vanished client releases everything it held (crash recovery
+      // for its open transaction happens via CloseGraph's abort path).
+      for (uint64_t session : work.cleanup_sessions) {
+        ham_->CloseGraph(Context{session});
+      }
+      continue;
     }
-    FrameStream* raw = stream->get();
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return;
-    streams_.push_back(std::move(*stream));
-    threads_.emplace_back([this, raw] { ServeConnection(raw); });
+    ExecuteRequest(&work);
   }
 }
 
@@ -191,128 +348,519 @@ bool Server::ShouldShed(Method method, int inflight) const {
   return IsIdempotent(method);
 }
 
-void Server::ServeConnection(FrameStream* stream) {
-  NEPTUNE_METRIC_COUNT("rpc.connections.accepted", 1);
-  static Gauge* active =
-      MetricsRegistry::Instance().GetGauge("rpc.connections.active");
+void Server::ExecuteRequest(Work* work) {
   static Gauge* inflight_gauge =
       MetricsRegistry::Instance().GetGauge("server.inflight");
-  active->Increment();
-  std::set<uint64_t> sessions;
-  // No stopping_ gate here: Stop() half-closes the stream, so the next
-  // RecvFrame returns EOF — but a request already received is finished
-  // and its reply sent first (graceful drain).
-  while (true) {
-    Result<std::string> request = stream->RecvFrame();
-    if (!request.ok()) {
-      const Status& status = request.status();
-      if (status.IsDeadlineExceeded() && options_.idle_timeout_ms > 0) {
-        // The connection sat silent past the idle budget: reap it.
-        // Sessions (and any open transaction) are cleaned up below
-        // exactly as for a disconnect.
-        NEPTUNE_METRIC_COUNT("server.connections.reaped", 1);
-        NEPTUNE_LOG(Info) << "event=connection_reaped idle_ms="
-                          << options_.idle_timeout_ms;
-      } else if (status.IsInvalidArgument() || status.IsCorruption()) {
-        // Protocol abuse (oversized length prefix, CRC mismatch): tell
-        // the peer why before hanging up. Framing may be out of sync,
-        // so the connection itself cannot survive.
-        NEPTUNE_LOG(Warn) << "event=protocol_error code="
-                          << StatusCodeToString(status.code())
-                          << " detail=\"" << status.message() << "\"";
-        (void)stream->SendFrame(StatusReply(status));
-      }
-      break;  // disconnect, drain, reap, or corruption
+  const std::shared_ptr<Conn>& conn = work->conn;
+  const std::string_view request =
+      std::string_view(work->request).substr(work->request_off);
+  const Method method =
+      request.empty()
+          ? Method{0}
+          : static_cast<Method>(static_cast<uint8_t>(request.front()));
+  std::string reply;
+  {
+    // Root span for this request's server-side work. It adopts the
+    // client's context when one arrived, self-roots otherwise.
+    ScopedSpan span(ServerSpanNameId(method), work->remote_ctx);
+    const int inflight = inflight_.load(std::memory_order_relaxed);
+    bool shed;
+    {
+      NEPTUNE_TRACE_SPAN(admission, "rpc.server.admission");
+      shed = ShouldShed(method, inflight);
     }
-    NEPTUNE_METRIC_COUNT("rpc.bytes_in", request->size());
-    // Trace-context extension: a flagged method byte is followed by the
-    // caller's trace context; strip both so HandleRequest sees the
-    // plain encoding. A server configured like a pre-tracing build
-    // answers exactly as one would: "unknown method <flagged byte>".
-    TraceContext remote_ctx;
-    std::string reply;
-    bool malformed = false;
-    if (!request->empty() &&
-        (static_cast<uint8_t>(request->front()) & kTraceContextFlag) != 0) {
-      const int flagged = static_cast<uint8_t>(request->front());
-      if (!options_.accept_trace_context) {
-        reply = BadRequest("unknown method " + std::to_string(flagged));
-        malformed = true;
+    if (shed) {
+      NEPTUNE_METRIC_COUNT("server.shed", 1);
+      if (span.active()) {
+        span.Annotate("shed=1 inflight=" + std::to_string(inflight));
+      }
+      // The request was refused before execution, so the client may
+      // re-send ANY method safely; the varint after the status header
+      // is the suggested backoff (RemoteHam honors it).
+      EncodeStatusTo(Status::Unavailable("server overloaded (" +
+                                         std::to_string(inflight) +
+                                         " requests in flight); retry"),
+                     &reply);
+      PutVarint32(&reply, options_.retry_after_ms);
+    } else {
+      reply = HandleRequest(request, &conn->sessions);
+    }
+  }
+  // Tagged replies echo the request id ahead of the status so the
+  // pipelined client can match them out of order. The single wake
+  // below (after the inflight decrement) covers the flush too.
+  std::string id_prefix;
+  if (work->tagged) PutVarint64(&id_prefix, work->request_id);
+  QueueReply(conn, reply, id_prefix, /*notify=*/false);
+  if (!work->tagged) {
+    // Plain requests keep the historical in-order contract: the next
+    // one for this connection runs only now that our reply is queued.
+    Work next;
+    bool have_next = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->ordered_backlog.empty()) {
+        next = std::move(conn->ordered_backlog.front());
+        conn->ordered_backlog.pop_front();
+        next.conn = conn;
+        have_next = true;
       } else {
-        std::string_view rest(*request);
-        rest.remove_prefix(1);
-        if (!DecodeTraceContextFrom(&rest, &remote_ctx)) {
-          reply = BadRequest("trace context");
-          malformed = true;
-        } else {
-          std::string stripped;
-          stripped.reserve(1 + rest.size());
-          stripped.push_back(
-              static_cast<char>(flagged & ~kTraceContextFlag));
-          stripped.append(rest);
-          *request = std::move(stripped);
-        }
+        conn->ordered_busy = false;
       }
     }
-    if (!malformed) {
-      const int inflight =
-          inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
-      inflight_gauge->Increment();
-      const Method method =
-          request->empty() ? Method{0} : static_cast<Method>(request->front());
-      // Root span for this request's server-side work. It adopts the
-      // client's context when one arrived, self-roots otherwise.
-      ScopedSpan span(ServerSpanNameId(method), remote_ctx);
-      bool shed;
+    if (have_next) EnqueueWork(std::move(next));
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  inflight_gauge->Decrement();
+  conn->inflight.fetch_sub(1, std::memory_order_release);
+  // Re-wake the loop now that inflight is down: if the connection is
+  // draining, this is what lets the IO thread finally destroy it.
+  {
+    std::lock_guard<std::mutex> lock(conn->loop->mu);
+    conn->loop->flushes.push_back(conn->fd);
+  }
+  conn->loop->Wake();
+}
+
+void Server::QueueReply(const std::shared_ptr<Conn>& conn,
+                        std::string_view payload, std::string_view id_prefix,
+                        bool notify) {
+  const size_t total = id_prefix.size() + payload.size();
+  NEPTUNE_METRIC_COUNT("rpc.bytes_out", total);
+  if (total > options_.max_frame_bytes) {
+    // Mirrors FrameStream::SendFrame on the thread-per-connection
+    // server: a reply that cannot be framed kills the connection.
+    NEPTUNE_LOG(Warn) << "event=reply_overflow bytes=" << total
+                      << " limit=" << options_.max_frame_bytes;
+    conn->kill.store(true, std::memory_order_release);
+  } else {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    AppendFrame(id_prefix, payload, &conn->outbuf);
+  }
+  conn->last_active_us.store(NowMicros(), std::memory_order_relaxed);
+  if (!notify) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->loop->mu);
+    conn->loop->flushes.push_back(conn->fd);
+  }
+  conn->loop->Wake();
+}
+
+// ----------------------------------------------------------- IO loops
+
+void Server::IoLoopMain(IoLoop* loop) {
+  std::vector<Poller::Event> events;
+  bool drain_swept = false;
+  int64_t next_reap_us =
+      options_.idle_timeout_ms > 0
+          ? NowMicros() + static_cast<int64_t>(options_.idle_timeout_ms) * 500
+          : 0;
+  for (;;) {
+    // Adopt connections handed over by the accept path and flush
+    // connections the workers have written replies for. The
+    // wake_pending reset must come first: a Wake() that skipped its
+    // write() did so before this reset, so its queue entry is already
+    // visible to the swap below; one after the reset writes the pipe
+    // and the next Wait() returns immediately.
+    loop->wake_pending.store(false, std::memory_order_seq_cst);
+    std::vector<std::shared_ptr<Conn>> adds;
+    std::vector<int> flushes;
+    {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      adds.swap(loop->adds);
+      flushes.swap(loop->flushes);
+    }
+    for (auto& conn : adds) {
       {
-        NEPTUNE_TRACE_SPAN(admission, "rpc.server.admission");
-        shed = ShouldShed(method, inflight);
+        std::lock_guard<std::mutex> lock(loop->mu);
+        loop->conns[conn->fd] = conn;
       }
-      if (shed) {
-        NEPTUNE_METRIC_COUNT("server.shed", 1);
-        if (span.active()) {
-          span.Annotate("shed=1 inflight=" + std::to_string(inflight));
-        }
-        // The request was refused before execution, so the client may
-        // re-send ANY method safely; the varint after the status header
-        // is the suggested backoff (RemoteHam honors it).
-        EncodeStatusTo(Status::Unavailable("server overloaded (" +
-                                           std::to_string(inflight) +
-                                           " requests in flight); retry"),
-                       &reply);
-        PutVarint32(&reply, options_.retry_after_ms);
-      } else {
-        reply = HandleRequest(*request, &sessions);
+      if (!loop->poller->Add(conn->fd, false).ok()) {
+        DestroyConn(loop, conn, /*discard_output=*/true);
       }
-      inflight_.fetch_sub(1, std::memory_order_relaxed);
-      inflight_gauge->Decrement();
     }
-    NEPTUNE_METRIC_COUNT("rpc.bytes_out", reply.size());
-    if (!stream->SendFrame(reply).ok()) break;
-  }
-  active->Decrement();
-  // A vanished client releases everything it held (crash recovery for
-  // its open transaction happens via CloseGraph's abort path).
-  for (uint64_t session : sessions) {
-    ham_->CloseGraph(Context{session});
-  }
-  // Hang up and release the fd now, not at Stop(): when the server
-  // initiated the break (protocol abuse, idle reap) the peer is still
-  // waiting and must see FIN, and a long-lived server must not hold a
-  // descriptor per client it ever served. Close() is idempotent, so
-  // the Stop() drain racing us is harmless.
-  stream->Close();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
-    if (it->get() == stream) {
-      streams_.erase(it);
-      break;
+    for (int fd : flushes) {
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(loop->mu);
+        auto it = loop->conns.find(fd);
+        if (it != loop->conns.end()) conn = it->second;
+      }
+      if (conn != nullptr) FlushConn(loop, conn);
+    }
+
+    if (stopping_.load(std::memory_order_acquire)) {
+      std::vector<std::shared_ptr<Conn>> conns;
+      {
+        std::lock_guard<std::mutex> lock(loop->mu);
+        conns.reserve(loop->conns.size());
+        for (auto& [fd, c] : loop->conns) conns.push_back(c);
+      }
+      if (!drain_swept) {
+        drain_swept = true;
+        if (loop->has_listener) loop->poller->Remove(listener_->fd());
+        // Half-close every connection: no request can arrive anymore,
+        // but replies for requests already in flight still go out.
+        for (auto& conn : conns) {
+          if (!conn->read_closed) {
+            conn->read_closed = true;
+            ::shutdown(conn->fd, SHUT_RD);
+          }
+          MaybeDestroyConn(loop, conn);
+        }
+      } else if (NowMicros() >
+                 drain_deadline_us_.load(std::memory_order_relaxed)) {
+        // Peers that stopped reading do not get to hold Stop() hostage
+        // past the drain budget; in-flight requests still finish.
+        for (auto& conn : conns) {
+          if (conn->inflight.load(std::memory_order_acquire) == 0) {
+            DestroyConn(loop, conn, /*discard_output=*/true);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(loop->mu);
+      if (loop->conns.empty()) break;
+    }
+
+    int timeout_ms = -1;
+    if (stopping_.load(std::memory_order_relaxed)) {
+      timeout_ms = 20;
+    } else if (options_.idle_timeout_ms > 0) {
+      timeout_ms = std::clamp(options_.idle_timeout_ms / 2, 10, 500);
+    }
+    auto waited = loop->poller->Wait(timeout_ms, &events);
+    if (!waited.ok()) {
+      NEPTUNE_LOG(Warn) << "event=poller_error detail=\""
+                        << waited.status().message() << "\"";
+      ::poll(nullptr, 0, 10);
+      continue;
+    }
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == loop->wake_r) {
+        char buf[256];
+        while (::read(loop->wake_r, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (loop->has_listener && ev.fd == listener_->fd()) {
+        if (!stopping_.load(std::memory_order_relaxed)) AcceptReady(loop);
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(loop->mu);
+        auto it = loop->conns.find(ev.fd);
+        if (it != loop->conns.end()) conn = it->second;
+      }
+      if (conn == nullptr) continue;
+      if (conn->kill.load(std::memory_order_acquire)) {
+        if (conn->inflight.load(std::memory_order_acquire) == 0) {
+          DestroyConn(loop, conn, /*discard_output=*/true);
+        }
+        continue;
+      }
+      if (ev.writable) FlushConn(loop, conn);
+      if (ev.readable || ev.error) ReadReady(loop, conn);
+    }
+    // Kill-flagged connections may have been marked by a worker rather
+    // than an event; sweep them on flush notifications too.
+    if (options_.idle_timeout_ms > 0 && NowMicros() >= next_reap_us) {
+      ReapIdleConns(loop);
+      next_reap_us =
+          NowMicros() + static_cast<int64_t>(options_.idle_timeout_ms) * 500;
     }
   }
 }
 
-std::string Server::HandleRequest(std::string_view in,
-                                  std::set<uint64_t>* sessions) {
+void Server::AcceptReady(IoLoop* loop) {
+  static Gauge* active =
+      MetricsRegistry::Instance().GetGauge("rpc.connections.active");
+  for (;;) {
+    auto accepted = listener_->AcceptFd();
+    if (!accepted.ok()) return;  // would-block, exhaustion backoff, or stop
+    IoLoop* target =
+        loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+               loops_.size()]
+            .get();
+    auto conn = std::make_shared<Conn>(*accepted, target);
+    const size_t buffered =
+        options_.max_conn_buffered_bytes > 0
+            ? options_.max_conn_buffered_bytes
+            : static_cast<size_t>(options_.max_frame_bytes) + (64u << 10);
+    conn->decoder.set_limits(options_.max_frame_bytes, buffered);
+    conn->last_active_us.store(NowMicros(), std::memory_order_relaxed);
+    NEPTUNE_METRIC_COUNT("rpc.connections.accepted", 1);
+    active->Increment();
+    if (target == loop) {
+      {
+        std::lock_guard<std::mutex> lock(loop->mu);
+        loop->conns[conn->fd] = conn;
+      }
+      if (!loop->poller->Add(conn->fd, false).ok()) {
+        DestroyConn(loop, conn, /*discard_output=*/true);
+      }
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target->mu);
+        target->adds.push_back(std::move(conn));
+      }
+      target->Wake();
+    }
+  }
+}
+
+void Server::ReadReady(IoLoop* loop, const std::shared_ptr<Conn>& conn) {
+  if (conn->destroyed) return;
+  char buf[1 << 16];
+  size_t budget = 256u << 10;  // per-event fairness cap
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Hard transport error (ECONNRESET and friends): the peer is
+      // gone, nothing we buffered can be delivered.
+      conn->read_closed = true;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->out_off = conn->outbuf.size();
+      }
+      MaybeDestroyConn(loop, conn);
+      return;
+    }
+    if (n == 0) {
+      // EOF (peer closed, or our own drain half-close): no further
+      // requests; finish what is in flight, flush, then destroy.
+      conn->read_closed = true;
+      MaybeDestroyConn(loop, conn);
+      return;
+    }
+    conn->last_active_us.store(NowMicros(), std::memory_order_relaxed);
+    if (conn->read_closed) {
+      // Already poisoned (protocol error): discard whatever the peer
+      // keeps sending so a level-triggered poller does not spin.
+      continue;
+    }
+    std::vector<std::string> payloads;
+    Status fed =
+        conn->decoder.Feed(std::string_view(buf, static_cast<size_t>(n)),
+                           &payloads);
+    std::vector<Work> ready;
+    for (std::string& payload : payloads) {
+      DispatchRequest(loop, conn, std::move(payload), &ready);
+    }
+    // One lock + one notify for everything this read produced.
+    EnqueueWorkBatch(&ready);
+    if (!fed.ok()) {
+      // Protocol abuse (oversized length prefix, CRC mismatch): tell
+      // the peer why before hanging up. Framing may be out of sync,
+      // so the connection itself cannot survive.
+      NEPTUNE_LOG(Warn) << "event=protocol_error code="
+                        << StatusCodeToString(fed.code()) << " detail=\""
+                        << fed.message() << "\"";
+      conn->read_closed = true;
+      ::shutdown(conn->fd, SHUT_RD);
+      {
+        std::string frame = FramePayload(StatusReply(fed));
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->outbuf.append(frame);
+      }
+      FlushConn(loop, conn);
+      return;
+    }
+    if (budget <= static_cast<size_t>(n)) return;
+    budget -= static_cast<size_t>(n);
+  }
+}
+
+void Server::DispatchRequest(IoLoop* loop, const std::shared_ptr<Conn>& conn,
+                             std::string payload, std::vector<Work>* ready) {
+  static Gauge* inflight_gauge =
+      MetricsRegistry::Instance().GetGauge("server.inflight");
+  NEPTUNE_METRIC_COUNT("rpc.bytes_in", payload.size());
+  (void)loop;
+  Work work;
+  work.conn = conn;
+  // Frame extensions: a flagged method byte is followed by the trace
+  // context and/or a request id; strip them so HandleRequest sees the
+  // plain encoding. A server configured like an older build answers
+  // flagged requests exactly as one would: "unknown method <byte>".
+  if (!payload.empty()) {
+    uint8_t first = static_cast<uint8_t>(payload.front());
+    std::string_view rest(payload);
+    rest.remove_prefix(1);
+    if ((first & kTraceContextFlag) != 0) {
+      if (!options_.accept_trace_context) {
+        QueueReply(conn, BadRequest("unknown method " + std::to_string(first)));
+        return;
+      }
+      if (!DecodeTraceContextFrom(&rest, &work.remote_ctx)) {
+        QueueReply(conn, BadRequest("trace context"));
+        return;
+      }
+      first &= static_cast<uint8_t>(~kTraceContextFlag);
+    }
+    if ((first & kRequestIdFlag) != 0) {
+      if (!options_.accept_request_ids) {
+        QueueReply(conn, BadRequest("unknown method " + std::to_string(first)));
+        return;
+      }
+      if (!GetVarint64(&rest, &work.request_id) || work.request_id == 0) {
+        QueueReply(conn, BadRequest("request id"));
+        return;
+      }
+      first &= static_cast<uint8_t>(~kRequestIdFlag);
+      work.tagged = true;
+      NEPTUNE_METRIC_COUNT("rpc.server.pipelined", 1);
+    }
+    if (first != static_cast<uint8_t>(payload.front())) {
+      // Rewrite the plain method byte in place, directly in front of
+      // the args — the extension bytes before it are dead, so the
+      // payload needs no copy, just an offset.
+      const size_t off = payload.size() - rest.size() - 1;
+      payload[off] = static_cast<char>(first);
+      work.request_off = off;
+    }
+  }
+  work.request = std::move(payload);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  inflight_gauge->Increment();
+  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+  if (work.tagged) {
+    // Tagged requests may complete out of order: dispatch freely.
+    ready->push_back(std::move(work));
+    return;
+  }
+  // Plain requests serialize per connection, preserving the historical
+  // one-reply-per-request-in-order contract.
+  bool dispatch_now = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->ordered_busy) {
+      work.conn.reset();  // backlog entries must not own the Conn (cycle)
+      conn->ordered_backlog.push_back(std::move(work));
+    } else {
+      conn->ordered_busy = true;
+      dispatch_now = true;
+    }
+  }
+  if (dispatch_now) ready->push_back(std::move(work));
+}
+
+void Server::FlushConn(IoLoop* loop, const std::shared_ptr<Conn>& conn) {
+  if (conn->destroyed) return;
+  if (conn->kill.load(std::memory_order_acquire)) {
+    if (conn->inflight.load(std::memory_order_acquire) == 0) {
+      DestroyConn(loop, conn, /*discard_output=*/true);
+    }
+    return;
+  }
+  bool dead = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (conn->out_off < conn->outbuf.size()) {
+      ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                         conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!conn->want_write) {
+            conn->want_write = true;
+            loop->poller->Update(conn->fd, true);
+          }
+          return;
+        }
+        // Peer gone mid-write: nothing left to deliver.
+        conn->out_off = conn->outbuf.size();
+        dead = true;
+        break;
+      }
+      conn->out_off += static_cast<size_t>(n);
+    }
+    conn->outbuf.clear();
+    conn->out_off = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      loop->poller->Update(conn->fd, false);
+    }
+  }
+  if (dead) conn->read_closed = true;
+  MaybeDestroyConn(loop, conn);
+}
+
+void Server::MaybeDestroyConn(IoLoop* loop,
+                              const std::shared_ptr<Conn>& conn) {
+  if (conn->destroyed || !conn->read_closed) return;
+  if (conn->inflight.load(std::memory_order_acquire) != 0) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->out_off < conn->outbuf.size()) return;  // still flushing
+  }
+  DestroyConn(loop, conn, /*discard_output=*/false);
+}
+
+void Server::DestroyConn(IoLoop* loop, const std::shared_ptr<Conn>& conn,
+                         bool discard_output) {
+  if (conn->destroyed) return;
+  conn->destroyed = true;
+  static Gauge* active =
+      MetricsRegistry::Instance().GetGauge("rpc.connections.active");
+  if (discard_output) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->outbuf.clear();
+    conn->out_off = 0;
+  }
+  loop->poller->Remove(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->conns.erase(conn->fd);
+  }
+  active->Decrement();
+  // Ensure the peer sees FIN promptly even while other references keep
+  // the fd alive for a moment.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  std::vector<uint64_t> sessions = conn->sessions.Drain();
+  if (!sessions.empty()) {
+    // Session teardown calls into the HAM (possibly aborting a
+    // transaction); do it on a worker so one dead client cannot stall
+    // every live connection on this loop.
+    Work cleanup;
+    cleanup.is_cleanup = true;
+    cleanup.cleanup_sessions = std::move(sessions);
+    EnqueueWork(std::move(cleanup));
+  }
+}
+
+void Server::ReapIdleConns(IoLoop* loop) {
+  const int64_t cutoff_us =
+      NowMicros() - static_cast<int64_t>(options_.idle_timeout_ms) * 1000;
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    conns.reserve(loop->conns.size());
+    for (auto& [fd, c] : loop->conns) conns.push_back(c);
+  }
+  for (auto& conn : conns) {
+    if (conn->destroyed || conn->read_closed) continue;
+    if (conn->inflight.load(std::memory_order_acquire) != 0) continue;
+    if (conn->last_active_us.load(std::memory_order_relaxed) > cutoff_us) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->out_off < conn->outbuf.size()) continue;
+    }
+    // The connection sat silent past the idle budget: reap it.
+    // Sessions (and any open transaction) are cleaned up exactly as
+    // for a disconnect.
+    NEPTUNE_METRIC_COUNT("server.connections.reaped", 1);
+    NEPTUNE_LOG(Info) << "event=connection_reaped idle_ms="
+                      << options_.idle_timeout_ms;
+    DestroyConn(loop, conn, /*discard_output=*/false);
+  }
+}
+
+std::string Server::HandleRequest(std::string_view in, SessionSet* sessions) {
   if (in.empty()) return BadRequest("empty");
   const Method method = static_cast<Method>(in.front());
   in.remove_prefix(1);
@@ -357,7 +905,7 @@ std::string Server::HandleRequest(std::string_view in,
         return BadRequest("openGraph");
       }
       Result<Context> opened = ham_->OpenGraph(project, machine, directory);
-      if (opened.ok()) sessions->insert(opened->session);
+      if (opened.ok()) sessions->Insert(opened->session);
       return ResultReply(opened, [](const Context& c, std::string* out) {
         PutVarint64(out, c.session);
       });
@@ -365,7 +913,7 @@ std::string Server::HandleRequest(std::string_view in,
     case Method::kCloseGraph: {
       if (!GetContext(&in, &ctx)) return BadRequest("closeGraph");
       Status status = ham_->CloseGraph(ctx);
-      if (status.ok()) sessions->erase(ctx.session);
+      if (status.ok()) sessions->Erase(ctx.session);
       return StatusReply(status);
     }
 
@@ -691,7 +1239,7 @@ std::string Server::HandleRequest(std::string_view in,
         return BadRequest("openContext");
       }
       Result<Context> opened = ham_->OpenContext(ctx, thread);
-      if (opened.ok()) sessions->insert(opened->session);
+      if (opened.ok()) sessions->Insert(opened->session);
       return ResultReply(opened, [](const Context& c, std::string* out) {
         PutVarint64(out, c.session);
       });
@@ -742,6 +1290,92 @@ std::string Server::HandleRequest(std::string_view in,
     case Method::kGetSlowOps: {
       std::string reply = StatusReply(Status::OK());
       EncodeSpansTo(Tracer::Instance().SlowOps(), &reply);
+      return reply;
+    }
+
+    case Method::kOpenNodes: {
+      // Batch openNode: one round trip, per-item status — one missing
+      // node must not fail its siblings.
+      uint64_t time = 0;
+      std::vector<uint64_t> attrs;
+      std::vector<uint64_t> nodes;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &time) ||
+          !DecodeIndexVecFrom(&in, &attrs) ||
+          !DecodeIndexVecFrom(&in, &nodes)) {
+        return BadRequest("openNodes");
+      }
+      NEPTUNE_METRIC_COUNT("rpc.server.batch_items", nodes.size());
+      std::string reply = StatusReply(Status::OK());
+      PutVarint64(&reply, nodes.size());
+      for (uint64_t node : nodes) {
+        Result<ham::OpenNodeResult> r = ham_->OpenNode(ctx, node, time, attrs);
+        EncodeStatusTo(r.ok() ? Status::OK() : r.status(), &reply);
+        if (r.ok()) EncodeOpenNodeResultTo(*r, &reply);
+      }
+      return reply;
+    }
+    case Method::kGetAttributeValuesBatch: {
+      // Batch attribute read over mixed node/link targets:
+      //   ctx | time | count | { u8 is_link | entity | attr }*
+      // Reply: count | { status | value-if-ok }*
+      uint64_t time = 0;
+      uint64_t count = 0;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &time) ||
+          !GetVarint64(&in, &count) || count > in.size()) {
+        return BadRequest("getAttributeValuesBatch");
+      }
+      NEPTUNE_METRIC_COUNT("rpc.server.batch_items", count);
+      std::string reply = StatusReply(Status::OK());
+      PutVarint64(&reply, count);
+      for (uint64_t i = 0; i < count; ++i) {
+        bool is_link = false;
+        uint64_t entity = 0;
+        uint64_t attr = 0;
+        if (!GetBool(&in, &is_link) || !GetVarint64(&in, &entity) ||
+            !GetVarint64(&in, &attr)) {
+          return BadRequest("getAttributeValuesBatch item");
+        }
+        Result<std::string> r =
+            is_link ? ham_->GetLinkAttributeValue(ctx, entity, attr, time)
+                    : ham_->GetNodeAttributeValue(ctx, entity, attr, time);
+        EncodeStatusTo(r.ok() ? Status::OK() : r.status(), &reply);
+        if (r.ok()) PutLengthPrefixed(&reply, *r);
+      }
+      return reply;
+    }
+    case Method::kLinearizeAndFetch: {
+      // linearizeGraph plus the contents of every node it returns, in
+      // one round trip — the SubGraph carries structure and attributes
+      // but not contents, so a browser prefetching a document would
+      // otherwise pay one openNode round trip per node.
+      uint64_t start = 0;
+      uint64_t time = 0;
+      std::string node_pred;
+      std::string link_pred;
+      std::vector<uint64_t> node_attrs;
+      std::vector<uint64_t> link_attrs;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &start) ||
+          !GetVarint64(&in, &time) || !GetString(&in, &node_pred) ||
+          !GetString(&in, &link_pred) ||
+          !DecodeIndexVecFrom(&in, &node_attrs) ||
+          !DecodeIndexVecFrom(&in, &link_attrs)) {
+        return BadRequest("linearizeAndFetch");
+      }
+      Result<ham::SubGraph> graph = ham_->LinearizeGraph(
+          ctx, start, time, node_pred, link_pred, node_attrs, link_attrs);
+      if (!graph.ok()) return StatusReply(graph.status());
+      NEPTUNE_METRIC_COUNT("rpc.server.batch_items", graph->nodes.size());
+      std::string reply = StatusReply(Status::OK());
+      EncodeSubGraphTo(*graph, &reply);
+      PutVarint64(&reply, graph->nodes.size());
+      for (const ham::SubGraphNode& n : graph->nodes) {
+        Result<ham::OpenNodeResult> r = ham_->OpenNode(ctx, n.node, time, {});
+        EncodeStatusTo(r.ok() ? Status::OK() : r.status(), &reply);
+        if (r.ok()) {
+          PutLengthPrefixed(&reply, r->contents);
+          PutVarint64(&reply, r->current_version_time);
+        }
+      }
       return reply;
     }
   }

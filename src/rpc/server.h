@@ -1,14 +1,25 @@
 // The Neptune HAM server: accepts TCP connections on localhost and
 // serves the wire protocol against a HamInterface (normally the local
-// ham::Ham engine). One thread per connection; requests on a
-// connection are answered in order. Sessions opened by a connection
-// are closed automatically when it disconnects — a crashed client
-// aborts its open transaction, which the HAM recovers from completely.
+// ham::Ham engine).
+//
+// Since PR 6 the server is event-driven: a small set of IO loops
+// (epoll on Linux, poll elsewhere — rpc/poller.h) do nonblocking reads
+// into per-connection FrameDecoder buffers and nonblocking writes from
+// per-connection outbound queues, while a fixed worker pool executes
+// the decoded requests against the HAM. Requests carrying the
+// kRequestIdFlag extension may complete out of order — that is how a
+// pipelined client keeps N requests in flight on one connection —
+// while plain requests keep the historical one-at-a-time, in-order
+// contract. Sessions opened by a connection are closed automatically
+// when it disconnects — a crashed client aborts its open transaction,
+// which the HAM recovers from completely.
 
 #ifndef NEPTUNE_RPC_SERVER_H_
 #define NEPTUNE_RPC_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -16,7 +27,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "ham/ham_interface.h"
+#include "rpc/poller.h"
 #include "rpc/socket.h"
 
 namespace neptune {
@@ -39,7 +52,7 @@ class Server {
     // kUnavailable plus a retry-after-ms hint; above
     // `max_inflight_requests` everything except abort/commit/close/
     // ping/stats is refused (those reduce load or are needed to see
-    // what is happening).
+    // what is happening). Queued-but-not-yet-executing requests count.
     int max_inflight_requests = 256;
     int shed_inflight_requests = 192;
     uint32_t retry_after_ms = 50;
@@ -52,11 +65,22 @@ class Server {
     // pre-tracing build ("unknown method"), which tests use to prove
     // the client's downgrade path works against old servers.
     bool accept_trace_context = true;
+    // Accept the kRequestIdFlag request extension (pipelining). false
+    // emulates a pre-pipelining server the same way, proving a
+    // pipelined client degrades to one request in flight.
+    bool accept_request_ids = true;
+    // Event-loop sizing: IO loops multiplex connections; workers
+    // execute requests. Values < 1 are clamped to 1.
+    int io_threads = 1;
+    int worker_threads = 4;
+    // On Stop(), how long to keep flushing replies to peers that have
+    // stopped reading before force-closing them. In-flight requests
+    // are always run to completion regardless.
+    int drain_timeout_ms = 5000;
   };
 
   explicit Server(ham::HamInterface* ham) : Server(ham, Options()) {}
-  Server(ham::HamInterface* ham, Options options)
-      : ham_(ham), options_(options) {}
+  Server(ham::HamInterface* ham, Options options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -66,14 +90,73 @@ class Server {
   // Returns the bound port.
   Result<uint16_t> Start(uint16_t port);
 
-  // Stops accepting, disconnects all clients, joins all threads.
+  // Stops accepting, drains in-flight requests (their replies are
+  // flushed, bounded by drain_timeout_ms for unresponsive peers),
+  // disconnects all clients, joins all threads.
   void Stop();
 
   uint16_t port() const { return port_; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(FrameStream* stream);
+  struct Conn;
+  struct IoLoop;
+
+  // The sessions a connection has opened, shared by the worker threads
+  // that may be executing its requests concurrently.
+  class SessionSet {
+   public:
+    void Insert(uint64_t session);
+    void Erase(uint64_t session);
+    // Empties the set, returning what it held (disconnect cleanup).
+    std::vector<uint64_t> Drain();
+
+   private:
+    std::mutex mu_;
+    std::set<uint64_t> sessions_;
+  };
+
+  // One unit for the worker pool: either a decoded request or the
+  // disconnect cleanup for a connection that is gone.
+  struct Work {
+    std::shared_ptr<Conn> conn;
+    std::string request;      // received payload, extensions rewritten
+    size_t request_off = 0;   // plain request starts here (method byte)
+    bool tagged = false;
+    uint64_t request_id = 0;
+    TraceContext remote_ctx;  // zeroed when the request came plain
+    std::vector<uint64_t> cleanup_sessions;
+    bool is_cleanup = false;
+  };
+
+  void IoLoopMain(IoLoop* loop);
+  void WorkerMain();
+
+  // IO-thread helpers (each runs on `loop`'s thread only).
+  void AcceptReady(IoLoop* loop);
+  void ReadReady(IoLoop* loop, const std::shared_ptr<Conn>& conn);
+  void FlushConn(IoLoop* loop, const std::shared_ptr<Conn>& conn);
+  void DestroyConn(IoLoop* loop, const std::shared_ptr<Conn>& conn,
+                   bool discard_output);
+  void MaybeDestroyConn(IoLoop* loop, const std::shared_ptr<Conn>& conn);
+  void ReapIdleConns(IoLoop* loop);
+
+  // Parses the request extensions and either appends the decoded work
+  // to `ready` (enqueued in one batch per read) or writes an immediate
+  // error reply.
+  void DispatchRequest(IoLoop* loop, const std::shared_ptr<Conn>& conn,
+                       std::string payload, std::vector<Work>* ready);
+
+  // Appends a framed reply (id_prefix + payload) to the connection's
+  // outbound queue. May be called from any thread. When `notify` is
+  // false the caller is responsible for waking the owning IO loop.
+  void QueueReply(const std::shared_ptr<Conn>& conn, std::string_view payload,
+                  std::string_view id_prefix = {}, bool notify = true);
+
+  void EnqueueWork(Work work);
+  // Single-lock enqueue of several requests decoded from one read.
+  void EnqueueWorkBatch(std::vector<Work>* works);
+  // Executes one decoded request (worker thread).
+  void ExecuteRequest(Work* work);
 
   // Admission control: non-zero means "refuse this method right now";
   // the value distinguishes soft (reads only) from hard shedding.
@@ -82,8 +165,7 @@ class Server {
   // Handles one request payload; returns the reply payload.
   // Context handles opened/closed by this connection are tracked in
   // `sessions` so disconnects can clean up.
-  std::string HandleRequest(std::string_view request,
-                            std::set<uint64_t>* sessions);
+  std::string HandleRequest(std::string_view request, SessionSet* sessions);
 
   ham::HamInterface* ham_;
   Options options_;
@@ -91,11 +173,17 @@ class Server {
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<int> inflight_{0};
+  std::atomic<size_t> next_loop_{0};
+  std::atomic<int64_t> drain_deadline_us_{0};
 
-  std::mutex mu_;  // guards streams_ and threads_
-  std::vector<std::unique_ptr<FrameStream>> streams_;
-  std::vector<std::thread> threads_;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+
+  // Worker pool: a shared queue drained by worker_threads threads.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Work> work_queue_;
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace rpc

@@ -141,7 +141,12 @@ Status FrameStream::SendFrame(std::string_view payload) {
         " bytes exceeds limit of " + std::to_string(max_frame_bytes_));
   }
   std::string frame = FramePayload(payload);
-  std::string_view rest = frame;
+  return SendBytes(frame);
+}
+
+Status FrameStream::SendBytes(std::string_view bytes) {
+  if (closed_.load()) return Status::NetworkError("stream is closed");
+  std::string_view rest = bytes;
   while (!rest.empty()) {
     ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
     if (n < 0) {
@@ -203,6 +208,43 @@ Result<std::unique_ptr<Listener>> Listener::Bind(uint16_t port) {
     return SockError("getsockname", err);
   }
   return std::unique_ptr<Listener>(new Listener(fd, ntohs(addr.sin_port)));
+}
+
+Status Listener::SetNonblocking() {
+  const int fl = ::fcntl(fd_, F_GETFL, 0);
+  if (fl < 0 || ::fcntl(fd_, F_SETFL, fl | O_NONBLOCK) != 0) {
+    return SockError("fcntl", errno);
+  }
+  return Status::OK();
+}
+
+Result<int> Listener::AcceptFd() {
+  for (;;) {
+    if (shut_down_.load()) {
+      return Status::NetworkError("listener is shut down");
+    }
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const int fl = ::fcntl(client, F_GETFL, 0);
+      ::fcntl(client, F_SETFL, fl | O_NONBLOCK);
+      return client;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("accept: no connection pending");
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      // Resource exhaustion is transient under a connection flood; back
+      // off briefly so a level-triggered readiness loop does not spin,
+      // then let it retry.
+      ::poll(nullptr, 0, 10);
+      return Status::DeadlineExceeded("accept: out of descriptors");
+    }
+    return SockError("accept", errno);
+  }
 }
 
 Result<std::unique_ptr<FrameStream>> Listener::Accept() {

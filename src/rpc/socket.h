@@ -45,6 +45,12 @@ class FrameStream {
   // anything) if the payload exceeds the frame limit.
   Status SendFrame(std::string_view payload);
 
+  // Sends bytes that are already framed (see AppendFrame) — one write
+  // path for a batch of frames, so a pipelined burst costs one syscall.
+  Status SendBytes(std::string_view bytes);
+
+  uint32_t max_frame_bytes() const { return max_frame_bytes_; }
+
   // Blocks for the next complete frame. Unavailable("connection
   // closed") on orderly EOF between frames; kDeadlineExceeded when a
   // recv timeout is armed and expires.
@@ -79,6 +85,20 @@ class Listener {
   static Result<std::unique_ptr<Listener>> Bind(uint16_t port);
 
   uint16_t port() const { return port_; }
+
+  // The listening descriptor, so an event loop can wait for readiness.
+  int fd() const { return fd_; }
+
+  // Puts the listening socket in nonblocking mode; AcceptFd() then
+  // returns kDeadlineExceeded instead of blocking when no connection
+  // is pending.
+  Status SetNonblocking();
+
+  // Accepts one connection and returns its raw fd, already nonblocking
+  // and TCP_NODELAY. kDeadlineExceeded means "nothing pending right
+  // now (or transient resource exhaustion) — wait for readiness and
+  // try again"; NetworkError after Shutdown(). The caller owns the fd.
+  Result<int> AcceptFd();
 
   // Blocks for the next connection; NetworkError after Shutdown().
   Result<std::unique_ptr<FrameStream>> Accept();

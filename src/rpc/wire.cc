@@ -58,6 +58,9 @@ const char* MethodName(Method method) {
     case Method::kGetServerStatistics: return "getServerStatistics";
     case Method::kGetRecentTraces: return "getRecentTraces";
     case Method::kGetSlowOps: return "getSlowOps";
+    case Method::kOpenNodes: return "openNodes";
+    case Method::kGetAttributeValuesBatch: return "getAttributeValuesBatch";
+    case Method::kLinearizeAndFetch: return "linearizeAndFetch";
   }
   return "unknown";
 }
@@ -88,6 +91,9 @@ bool IsIdempotent(Method method) {
     case Method::kListContexts:
     case Method::kGetStats:
     case Method::kContextThread:
+    case Method::kOpenNodes:
+    case Method::kGetAttributeValuesBatch:
+    case Method::kLinearizeAndFetch:
       return true;
     default:
       return false;
@@ -121,6 +127,16 @@ std::string FramePayload(std::string_view payload) {
   PutFixed32(&out, crc32c::Mask(crc32c::Value(payload)));
   out.append(payload);
   return out;
+}
+
+void AppendFrame(std::string_view prefix, std::string_view payload,
+                 std::string* out) {
+  out->reserve(out->size() + 8 + prefix.size() + payload.size());
+  PutFixed32(out, static_cast<uint32_t>(prefix.size() + payload.size()));
+  PutFixed32(out,
+             crc32c::Mask(crc32c::Extend(crc32c::Value(prefix), payload)));
+  out->append(prefix);
+  out->append(payload);
 }
 
 void FrameDecoder::set_limits(uint32_t max_frame_bytes,

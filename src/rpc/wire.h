@@ -82,6 +82,12 @@ enum class Method : uint8_t {
   kGetServerStatistics = 46,
   kGetRecentTraces = 47,
   kGetSlowOps = 48,
+  // Batch operations: several logical HAM calls answered in one round
+  // trip. Each carries per-item status in the reply, so one bad item
+  // does not fail its siblings.
+  kOpenNodes = 49,
+  kGetAttributeValuesBatch = 50,
+  kLinearizeAndFetch = 51,
 };
 
 // Trace-context frame extension. A request whose method byte carries
@@ -92,6 +98,28 @@ enum class Method : uint8_t {
 // (>= 0x80 is outside the enum) and answer "malformed request: unknown
 // method", which a new client treats as "downgrade and re-send plain".
 constexpr uint8_t kTraceContextFlag = 0x80;
+
+// Request-id frame extension, the pipelining handshake. A request
+// whose method byte carries this flag is followed by a varint request
+// id (after the trace context, when both flags are set) and its reply
+// comes back *tagged* — `varint request_id | status | fields` instead
+// of `status | fields` — which frees the server to complete requests
+// on one connection out of order. Same discipline as the trace flag:
+// an old server sees an unknown method byte (0x40 | m is outside the
+// enum for every real method) and answers "malformed request: unknown
+// method", which a new client treats as "this server cannot pipeline —
+// downgrade to one request in flight and re-send plain".
+//
+// Request ids are per-connection, chosen by the client, non-zero, and
+// must be unique among the requests currently in flight; they may wrap
+// and be reused once the earlier reply has arrived.
+constexpr uint8_t kRequestIdFlag = 0x40;
+
+// Methods must stay below kRequestIdFlag so the two flag bits are
+// unambiguous.
+static_assert(static_cast<uint8_t>(Method::kLinearizeAndFetch) <
+                  kRequestIdFlag,
+              "method values collide with the request-id flag bit");
 
 // Encodes/decodes the propagated trace context (common/trace.h):
 //   fixed64 trace_id | fixed64 parent_span_id | u8 flags (bit0 sampled)
@@ -113,6 +141,12 @@ bool IsIdempotent(Method method);
 
 // Wraps a payload in a length+crc frame.
 std::string FramePayload(std::string_view payload);
+
+// Appends a frame carrying `prefix + payload` directly to *out,
+// without materializing the concatenated payload. The prefix carries a
+// reply's request-id tag; pass "" for untagged frames.
+void AppendFrame(std::string_view prefix, std::string_view payload,
+                 std::string* out);
 
 // Incremental frame splitter for a byte stream.
 class FrameDecoder {

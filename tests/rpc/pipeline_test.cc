@@ -1,0 +1,560 @@
+// Pipelining: many requests in flight on one connection, completing
+// out of order via the kRequestIdFlag extension. Covers the raw wire
+// contract (tagged replies echo their id), the RemoteHam pipelined
+// mode (a slow call does not head-of-line-block a fast one), id
+// wraparound, the batch operations' per-item statuses, the downgrade
+// against a pre-pipelining server, and the poll(2) poller fallback.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "common/coding.h"
+#include "common/metrics.h"
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+#include "rpc/server.h"
+#include "rpc/wire.h"
+
+namespace neptune {
+namespace rpc {
+namespace {
+
+using ham::Context;
+
+// Forwards everything to a real Ham, with an adjustable delay injected
+// into GetNodeTimeStamp — the "slow op" the pipelining tests race
+// against a fast OpenNode.
+class SlowTimeStampHam final : public ham::HamInterface {
+ public:
+  explicit SlowTimeStampHam(ham::HamInterface* base) : base_(base) {}
+
+  std::atomic<int> time_stamp_delay_ms{0};
+
+  Result<ham::CreateGraphResult> CreateGraph(const std::string& directory,
+                                             uint32_t protections) override {
+    return base_->CreateGraph(directory, protections);
+  }
+  Status DestroyGraph(ham::ProjectId project,
+                      const std::string& directory) override {
+    return base_->DestroyGraph(project, directory);
+  }
+  Result<Context> OpenGraph(ham::ProjectId project, const std::string& machine,
+                            const std::string& directory) override {
+    return base_->OpenGraph(project, machine, directory);
+  }
+  Status CloseGraph(Context ctx) override { return base_->CloseGraph(ctx); }
+
+  Status BeginTransaction(Context ctx) override {
+    return base_->BeginTransaction(ctx);
+  }
+  Status CommitTransaction(Context ctx) override {
+    return base_->CommitTransaction(ctx);
+  }
+  Status AbortTransaction(Context ctx) override {
+    return base_->AbortTransaction(ctx);
+  }
+
+  Result<ham::AddNodeResult> AddNode(Context ctx, bool keep_history) override {
+    return base_->AddNode(ctx, keep_history);
+  }
+  Status DeleteNode(Context ctx, ham::NodeIndex node) override {
+    return base_->DeleteNode(ctx, node);
+  }
+  Result<ham::AddLinkResult> AddLink(Context ctx, const ham::LinkPt& from,
+                                     const ham::LinkPt& to) override {
+    return base_->AddLink(ctx, from, to);
+  }
+  Result<ham::AddLinkResult> CopyLink(Context ctx, ham::LinkIndex link,
+                                      ham::Time time, bool copy_source,
+                                      const ham::LinkPt& other) override {
+    return base_->CopyLink(ctx, link, time, copy_source, other);
+  }
+  Status DeleteLink(Context ctx, ham::LinkIndex link) override {
+    return base_->DeleteLink(ctx, link);
+  }
+
+  Result<ham::SubGraph> LinearizeGraph(
+      Context ctx, ham::NodeIndex start, ham::Time time,
+      const std::string& node_pred, const std::string& link_pred,
+      const std::vector<ham::AttributeIndex>& node_attrs,
+      const std::vector<ham::AttributeIndex>& link_attrs) override {
+    return base_->LinearizeGraph(ctx, start, time, node_pred, link_pred,
+                                 node_attrs, link_attrs);
+  }
+  Result<ham::SubGraph> GetGraphQuery(
+      Context ctx, ham::Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<ham::AttributeIndex>& node_attrs,
+      const std::vector<ham::AttributeIndex>& link_attrs) override {
+    return base_->GetGraphQuery(ctx, time, node_pred, link_pred, node_attrs,
+                                link_attrs);
+  }
+
+  Result<ham::OpenNodeResult> OpenNode(
+      Context ctx, ham::NodeIndex node, ham::Time time,
+      const std::vector<ham::AttributeIndex>& attrs) override {
+    return base_->OpenNode(ctx, node, time, attrs);
+  }
+  Status ModifyNode(Context ctx, ham::NodeIndex node, ham::Time expected_time,
+                    const std::string& contents,
+                    const std::vector<ham::AttachmentUpdate>& attachments,
+                    const std::string& explanation) override {
+    return base_->ModifyNode(ctx, node, expected_time, contents, attachments,
+                             explanation);
+  }
+  Result<ham::Time> GetNodeTimeStamp(Context ctx,
+                                     ham::NodeIndex node) override {
+    const int delay = time_stamp_delay_ms.load();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    return base_->GetNodeTimeStamp(ctx, node);
+  }
+  Status ChangeNodeProtection(Context ctx, ham::NodeIndex node,
+                              uint32_t protections) override {
+    return base_->ChangeNodeProtection(ctx, node, protections);
+  }
+  Result<ham::NodeVersions> GetNodeVersions(Context ctx,
+                                            ham::NodeIndex node) override {
+    return base_->GetNodeVersions(ctx, node);
+  }
+  Result<std::vector<delta::Difference>> GetNodeDifferences(
+      Context ctx, ham::NodeIndex node, ham::Time t1, ham::Time t2) override {
+    return base_->GetNodeDifferences(ctx, node, t1, t2);
+  }
+
+  Result<ham::LinkEndResult> GetToNode(Context ctx, ham::LinkIndex link,
+                                       ham::Time time) override {
+    return base_->GetToNode(ctx, link, time);
+  }
+  Result<ham::LinkEndResult> GetFromNode(Context ctx, ham::LinkIndex link,
+                                         ham::Time time) override {
+    return base_->GetFromNode(ctx, link, time);
+  }
+
+  Result<std::vector<ham::AttributeEntry>> GetAttributes(
+      Context ctx, ham::Time time) override {
+    return base_->GetAttributes(ctx, time);
+  }
+  Result<std::vector<std::string>> GetAttributeValues(
+      Context ctx, ham::AttributeIndex attr, ham::Time time) override {
+    return base_->GetAttributeValues(ctx, attr, time);
+  }
+  Result<ham::AttributeIndex> GetAttributeIndex(
+      Context ctx, const std::string& name) override {
+    return base_->GetAttributeIndex(ctx, name);
+  }
+
+  Status SetNodeAttributeValue(Context ctx, ham::NodeIndex node,
+                               ham::AttributeIndex attr,
+                               const std::string& value) override {
+    return base_->SetNodeAttributeValue(ctx, node, attr, value);
+  }
+  Status DeleteNodeAttribute(Context ctx, ham::NodeIndex node,
+                             ham::AttributeIndex attr) override {
+    return base_->DeleteNodeAttribute(ctx, node, attr);
+  }
+  Result<std::string> GetNodeAttributeValue(Context ctx, ham::NodeIndex node,
+                                            ham::AttributeIndex attr,
+                                            ham::Time time) override {
+    return base_->GetNodeAttributeValue(ctx, node, attr, time);
+  }
+  Result<std::vector<ham::AttributeValueEntry>> GetNodeAttributes(
+      Context ctx, ham::NodeIndex node, ham::Time time) override {
+    return base_->GetNodeAttributes(ctx, node, time);
+  }
+
+  Status SetLinkAttributeValue(Context ctx, ham::LinkIndex link,
+                               ham::AttributeIndex attr,
+                               const std::string& value) override {
+    return base_->SetLinkAttributeValue(ctx, link, attr, value);
+  }
+  Status DeleteLinkAttribute(Context ctx, ham::LinkIndex link,
+                             ham::AttributeIndex attr) override {
+    return base_->DeleteLinkAttribute(ctx, link, attr);
+  }
+  Result<std::string> GetLinkAttributeValue(Context ctx, ham::LinkIndex link,
+                                            ham::AttributeIndex attr,
+                                            ham::Time time) override {
+    return base_->GetLinkAttributeValue(ctx, link, attr, time);
+  }
+  Result<std::vector<ham::AttributeValueEntry>> GetLinkAttributes(
+      Context ctx, ham::LinkIndex link, ham::Time time) override {
+    return base_->GetLinkAttributes(ctx, link, time);
+  }
+
+  Status SetGraphDemonValue(Context ctx, ham::Event event,
+                            const std::string& demon) override {
+    return base_->SetGraphDemonValue(ctx, event, demon);
+  }
+  Result<std::vector<ham::DemonEntry>> GetGraphDemons(
+      Context ctx, ham::Time time) override {
+    return base_->GetGraphDemons(ctx, time);
+  }
+  Status SetNodeDemon(Context ctx, ham::NodeIndex node, ham::Event event,
+                      const std::string& demon) override {
+    return base_->SetNodeDemon(ctx, node, event, demon);
+  }
+  Result<std::vector<ham::DemonEntry>> GetNodeDemons(
+      Context ctx, ham::NodeIndex node, ham::Time time) override {
+    return base_->GetNodeDemons(ctx, node, time);
+  }
+
+  Result<ham::ContextInfo> CreateContext(Context ctx,
+                                         const std::string& name) override {
+    return base_->CreateContext(ctx, name);
+  }
+  Result<Context> OpenContext(Context ctx, ham::ThreadId thread) override {
+    return base_->OpenContext(ctx, thread);
+  }
+  Status MergeContext(Context ctx, ham::ThreadId source, bool force) override {
+    return base_->MergeContext(ctx, source, force);
+  }
+  Result<std::vector<ham::ContextInfo>> ListContexts(Context ctx) override {
+    return base_->ListContexts(ctx);
+  }
+
+  Status Checkpoint(Context ctx) override { return base_->Checkpoint(ctx); }
+  Result<ham::GraphStats> GetStats(Context ctx) override {
+    return base_->GetStats(ctx);
+  }
+  Result<ham::ThreadId> ContextThread(Context ctx) override {
+    return base_->ContextThread(ctx);
+  }
+
+ private:
+  ham::HamInterface* base_;
+};
+
+class RpcPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = Env::Default();
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("neptune_pipeline_" + name))
+               .string();
+    env_->RemoveDirRecursive(dir_);
+    ham::HamOptions options;
+    options.sync_commits = false;
+    engine_ = std::make_unique<ham::Ham>(env_, options);
+    slow_ = std::make_unique<SlowTimeStampHam>(engine_.get());
+  }
+
+  void StartServer(Server::Options options) {
+    server_ = std::make_unique<Server>(slow_.get(), options);
+    auto port = server_->Start(0);
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = *port;
+  }
+
+  // Connects a pipelined RemoteHam and opens a graph.
+  void ConnectPipelined(uint32_t max_inflight = 64) {
+    RemoteHam::Options options;
+    options.pipeline = true;
+    options.max_inflight = max_inflight;
+    auto client = RemoteHam::Connect("localhost", port_, options);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    client_ = std::move(*client);
+    auto created = client_->CreateGraph(dir_, 0755);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto ctx = client_->OpenGraph(created->project, "localhost", dir_);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    ctx_ = *ctx;
+  }
+
+  void TearDown() override {
+    client_.reset();
+    if (server_ != nullptr) server_->Stop();
+    server_.reset();
+    slow_.reset();
+    engine_.reset();
+    env_->RemoveDirRecursive(dir_);
+  }
+
+  uint64_t CounterValue(const std::string& name) {
+    return MetricsRegistry::Instance().GetCounter(name)->Value();
+  }
+
+  Env* env_ = nullptr;
+  std::string dir_;
+  std::unique_ptr<ham::Ham> engine_;
+  std::unique_ptr<SlowTimeStampHam> slow_;
+  std::unique_ptr<Server> server_;
+  uint16_t port_ = 0;
+  std::unique_ptr<RemoteHam> client_;
+  Context ctx_;
+};
+
+// Raw wire: two tagged pings with chosen ids; both replies come back
+// carrying their ids.
+TEST_F(RpcPipelineTest, TaggedRepliesEchoTheirRequestIds) {
+  StartServer(Server::Options());
+  auto stream = FrameStream::Connect("localhost", port_, 2000);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  for (uint64_t id : {7u, 9u}) {
+    std::string request;
+    request.push_back(static_cast<char>(
+        static_cast<uint8_t>(Method::kPing) | kRequestIdFlag));
+    PutVarint64(&request, id);
+    request += "echo-" + std::to_string(id);
+    ASSERT_TRUE((*stream)->SendFrame(request).ok());
+  }
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2; ++i) {
+    auto reply = (*stream)->RecvFrame();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    std::string_view in = *reply;
+    uint64_t id = 0;
+    ASSERT_TRUE(GetVarint64(&in, &id));
+    Status status;
+    ASSERT_TRUE(DecodeStatusFrom(&in, &status));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(in, "echo-" + std::to_string(id));
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen, (std::set<uint64_t>{7, 9}));
+}
+
+// Raw wire: a zero request id is malformed, answered with a framed
+// (untagged) error.
+TEST_F(RpcPipelineTest, ZeroRequestIdIsRejected) {
+  StartServer(Server::Options());
+  auto stream = FrameStream::Connect("localhost", port_, 2000);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  std::string request;
+  request.push_back(static_cast<char>(
+      static_cast<uint8_t>(Method::kPing) | kRequestIdFlag));
+  PutVarint64(&request, 0);
+  ASSERT_TRUE((*stream)->SendFrame(request).ok());
+  auto reply = (*stream)->RecvFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  std::string_view in = *reply;
+  Status status;
+  ASSERT_TRUE(DecodeStatusFrom(&in, &status));
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+// A slow tagged request must not delay a fast tagged request sent
+// after it on the same connection: replies complete out of order.
+TEST_F(RpcPipelineTest, SlowOpDoesNotHeadOfLineBlockFastOp) {
+  Server::Options options;
+  options.worker_threads = 4;
+  StartServer(options);
+  ConnectPipelined();
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+
+  slow_->time_stamp_delay_ms.store(300);
+  std::atomic<int64_t> slow_done_us{0};
+  std::atomic<int64_t> fast_done_us{0};
+  const auto now_us = [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  std::thread slow_call([&] {
+    auto r = client_->GetNodeTimeStamp(ctx_, added->node);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    slow_done_us.store(now_us());
+  });
+  // Give the slow call time to be enqueued first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto fast = client_->OpenNode(ctx_, added->node, 0, {});
+  fast_done_us.store(now_us());
+  EXPECT_TRUE(fast.ok()) << fast.status().ToString();
+  slow_call.join();
+  ASSERT_GT(slow_done_us.load(), 0);
+  ASSERT_GT(fast_done_us.load(), 0);
+  EXPECT_LT(fast_done_us.load(), slow_done_us.load())
+      << "fast op waited behind the slow op on the same connection";
+}
+
+// CallAsync keeps several requests in flight at once; all complete.
+TEST_F(RpcPipelineTest, ManyAsyncCallsInFlight) {
+  StartServer(Server::Options());
+  ConnectPipelined();
+  std::vector<RemoteHam::PendingCall> calls;
+  for (int i = 0; i < 32; ++i) {
+    std::string args = "burst-" + std::to_string(i);
+    calls.push_back(client_->CallAsync(Method::kPing, args));
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto reply = calls[i].Wait();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(*reply, "burst-" + std::to_string(i));
+  }
+  EXPECT_GE(CounterValue("rpc.server.pipelined"), 32u);
+}
+
+// Ids wrap around 2^64 (skipping 0) without confusing completion.
+TEST_F(RpcPipelineTest, RequestIdWraparound) {
+  StartServer(Server::Options());
+  ConnectPipelined();
+  client_->set_next_request_id_for_test(~uint64_t{0});
+  for (int i = 0; i < 4; ++i) {
+    std::string args = "wrap-" + std::to_string(i);
+    auto reply = client_->CallAsync(Method::kPing, args).Wait();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(*reply, args);
+  }
+}
+
+// openNodes: one bad node in the batch fails only its own slot.
+TEST_F(RpcPipelineTest, OpenNodesReportsPerItemStatus) {
+  StartServer(Server::Options());
+  ConnectPipelined();
+  auto a = client_->AddNode(ctx_, true);
+  auto b = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(client_->ModifyNode(ctx_, a->node, a->creation_time, "alpha", {},
+                                  "init")
+                  .ok());
+  ASSERT_TRUE(client_->ModifyNode(ctx_, b->node, b->creation_time, "beta", {},
+                                  "init")
+                  .ok());
+
+  auto batch = client_->OpenNodes(ctx_, {a->node, 999999, b->node}, 0, {});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_TRUE((*batch)[0].status.ok());
+  EXPECT_EQ((*batch)[0].result.contents, "alpha");
+  EXPECT_FALSE((*batch)[1].status.ok());
+  EXPECT_TRUE((*batch)[2].status.ok());
+  EXPECT_EQ((*batch)[2].result.contents, "beta");
+}
+
+// getAttributeValuesBatch mixes node and link targets in one trip.
+TEST_F(RpcPipelineTest, AttributeValuesBatchMixesNodesAndLinks) {
+  StartServer(Server::Options());
+  ConnectPipelined();
+  auto node = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(node.ok());
+  auto attr = client_->GetAttributeIndex(ctx_, "color");
+  ASSERT_TRUE(attr.ok());
+  ASSERT_TRUE(
+      client_->SetNodeAttributeValue(ctx_, node->node, *attr, "teal").ok());
+
+  std::vector<RemoteHam::AttributeFetch> fetches(2);
+  fetches[0] = {/*is_link=*/false, node->node, *attr};
+  fetches[1] = {/*is_link=*/false, 424242, *attr};  // absent node
+  auto batch = client_->GetAttributeValuesBatch(ctx_, 0, fetches);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_TRUE((*batch)[0].status.ok());
+  EXPECT_EQ((*batch)[0].value, "teal");
+  EXPECT_FALSE((*batch)[1].status.ok());
+}
+
+// linearizeAndFetch returns the subgraph plus every node's contents.
+TEST_F(RpcPipelineTest, LinearizeAndFetchReturnsContents) {
+  StartServer(Server::Options());
+  ConnectPipelined();
+  auto a = client_->AddNode(ctx_, true);
+  auto b = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(client_->ModifyNode(ctx_, a->node, a->creation_time, "root", {},
+                                  "init")
+                  .ok());
+  ASSERT_TRUE(client_->ModifyNode(ctx_, b->node, b->creation_time, "leaf", {},
+                                  "init")
+                  .ok());
+  auto link = client_->AddLink(ctx_, ham::LinkPt{a->node, 0},
+                               ham::LinkPt{b->node, 0});
+  ASSERT_TRUE(link.ok()) << link.status().ToString();
+
+  auto fetched = client_->LinearizeAndFetch(ctx_, a->node, 0, "", "", {}, {});
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  ASSERT_EQ(fetched->graph.nodes.size(), fetched->contents.size());
+  ASSERT_GE(fetched->graph.nodes.size(), 2u);
+  std::set<std::string> contents;
+  for (size_t i = 0; i < fetched->contents.size(); ++i) {
+    ASSERT_TRUE(fetched->contents[i].status.ok())
+        << fetched->contents[i].status.ToString();
+    contents.insert(fetched->contents[i].contents);
+  }
+  EXPECT_TRUE(contents.count("root"));
+  EXPECT_TRUE(contents.count("leaf"));
+}
+
+// Against a server that predates request ids, the pipelined client
+// downgrades to one-in-flight sync calls — and everything still works,
+// including mutations.
+TEST_F(RpcPipelineTest, DowngradesAgainstPrePipeliningServer) {
+  Server::Options options;
+  options.accept_request_ids = false;
+  StartServer(options);
+  const uint64_t downgrades_before =
+      CounterValue("rpc.client.pipeline_downgrades");
+  ConnectPipelined();
+  EXPECT_GE(CounterValue("rpc.client.pipeline_downgrades"),
+            downgrades_before + 1);
+  // The fixture already created a graph and opened it (mutations
+  // through the downgraded path); prove reads work too.
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  auto opened = client_->OpenNode(ctx_, added->node, 0, {});
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+}
+
+// The whole stack works over the poll(2) fallback poller.
+TEST_F(RpcPipelineTest, PollBackendServesPipelinedClients) {
+  ::setenv("NEPTUNE_RPC_FORCE_POLL", "1", 1);
+  Server::Options options;
+  options.io_threads = 2;
+  StartServer(options);
+  ::unsetenv("NEPTUNE_RPC_FORCE_POLL");
+  ConnectPipelined();
+  std::vector<RemoteHam::PendingCall> calls;
+  for (int i = 0; i < 16; ++i) {
+    calls.push_back(client_->CallAsync(Method::kPing, "poll"));
+  }
+  for (auto& call : calls) {
+    auto reply = call.Wait();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(*reply, "poll");
+  }
+}
+
+// Several pipelined clients against a multi-loop, multi-worker server;
+// plain (untagged) clients mix in on the same server.
+TEST_F(RpcPipelineTest, MixedClientsOnMultiLoopServer) {
+  Server::Options options;
+  options.io_threads = 2;
+  options.worker_threads = 4;
+  StartServer(options);
+  ConnectPipelined();
+  auto added = client_->AddNode(ctx_, true);
+  ASSERT_TRUE(added.ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      RemoteHam::Options copts;
+      copts.pipeline = (t % 2 == 0);
+      auto client = RemoteHam::Connect("localhost", port_, copts);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        auto r = (*client)->OpenNode(ctx_, added->node, 0, {});
+        if (!r.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace rpc
+}  // namespace neptune
