@@ -155,8 +155,9 @@ BENCHMARK(BM_QueryIndexAblation)
     ->ArgNames({"nodes", "index"})
     ->Unit(benchmark::kMicrosecond);
 
-// Write-then-query: each iteration dirties the graph, forcing an index
-// rebuild — the index's worst case.
+// Write-then-query: each iteration dirties the graph. With incremental
+// maintenance the next query applies the staged delta instead of
+// rebuilding, so this measures the planner's steady write/read mix.
 void BM_QueryIndexWriteHeavy(benchmark::State& state) {
   const bool use_index = state.range(0) != 0;
   bench::ScratchGraph graph(std::string("b3_writeheavy") +
@@ -184,12 +185,98 @@ void BM_QueryIndexWriteHeavy(benchmark::State& state) {
     auto result = engine.GetGraphQuery(ctx, 0, "kind = special", "", {}, {});
     benchmark::DoNotOptimize(result);
   }
-  state.SetLabel(use_index ? "attribute index (rebuild per query)"
-                           : "full scan");
+  state.SetLabel(use_index ? "attribute index (incremental)" : "full scan");
 }
 
 BENCHMARK(BM_QueryIndexWriteHeavy)->Arg(0)->Arg(1)->Unit(
     benchmark::kMicrosecond);
+
+// Equality conjunctions over 5000 nodes at three joint selectivities:
+// the planner probes a posting list per conjunct and intersects. The
+// scan arm (index:0) is the ablation baseline.
+void BM_QueryConjunctionSelectivity(benchmark::State& state) {
+  const bool use_index = state.range(1) != 0;
+  bench::ScratchGraph graph(std::string("b3_conj_") +
+                            std::to_string(state.range(0)) +
+                            (use_index ? "_idx" : "_scan"));
+  auto* build_ham = graph.ham();
+  auto build_ctx = graph.ctx();
+  auto kind = *build_ham->GetAttributeIndex(build_ctx, "kind");
+  auto serial = *build_ham->GetAttributeIndex(build_ctx, "serial");
+  for (int i = 0; i < 5000; ++i) {
+    auto added = build_ham->AddNode(build_ctx, true);
+    build_ham->SetNodeAttributeValue(build_ctx, added->node, kind,
+                                     i % 100 == 0 ? "special" : "plain");
+    build_ham->SetNodeAttributeValue(build_ctx, added->node, serial,
+                                     std::to_string(i % 500));
+  }
+  ham::HamOptions options;
+  options.sync_commits = false;
+  options.use_attribute_index = use_index;
+  build_ham->CloseGraph(build_ctx);
+  ham::Ham engine(graph.env(), options);
+  auto ctx = *engine.OpenGraph(graph.project(), "local", graph.dir());
+
+  // 50 x 10-node postings -> 1 survivor; wider second conjunct -> 10.
+  const char* predicates[] = {
+      "kind = special & serial = 100",  // both selective
+      "kind = special & serial < 9999 & serial = 200",  // with residual
+  };
+  const char* predicate = predicates[state.range(0)];
+  for (auto _ : state) {
+    auto result = engine.GetGraphQuery(ctx, 0, predicate, "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::string(predicate) +
+                 (use_index ? " [intersect]" : " [scan]"));
+}
+
+BENCHMARK(BM_QueryConjunctionSelectivity)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"pred", "index"})
+    ->Unit(benchmark::kMicrosecond);
+
+// The rebuild cliff: the first query after a write. Before incremental
+// maintenance every post-write query paid a full O(nodes) rebuild;
+// now it applies the staged delta. The write itself is untimed.
+void BM_QueryPostWriteFirstQuery(benchmark::State& state) {
+  const int nodes_count = static_cast<int>(state.range(0));
+  bench::ScratchGraph graph("b3_cliff_" + std::to_string(nodes_count));
+  auto* build_ham = graph.ham();
+  auto build_ctx = graph.ctx();
+  auto kind = *build_ham->GetAttributeIndex(build_ctx, "kind");
+  std::vector<ham::NodeIndex> nodes;
+  for (int i = 0; i < nodes_count; ++i) {
+    auto added = build_ham->AddNode(build_ctx, true);
+    build_ham->SetNodeAttributeValue(build_ctx, added->node, kind,
+                                     i % 100 == 0 ? "special" : "plain");
+    nodes.push_back(added->node);
+  }
+  ham::HamOptions options;
+  options.sync_commits = false;
+  build_ham->CloseGraph(build_ctx);
+  ham::Ham engine(graph.env(), options);
+  auto ctx = *engine.OpenGraph(graph.project(), "local", graph.dir());
+  // Prime the index so only the per-write maintenance is measured.
+  (void)engine.GetGraphQuery(ctx, 0, "kind = special", "", {}, {});
+
+  size_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.SetNodeAttributeValue(ctx, nodes[i++ % nodes.size()], kind,
+                                 "touched");
+    state.ResumeTiming();
+    auto result = engine.GetGraphQuery(ctx, 0, "kind = special", "", {}, {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes"] = nodes_count;
+}
+
+BENCHMARK(BM_QueryPostWriteFirstQuery)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->ArgNames({"nodes"})
+    ->Unit(benchmark::kMicrosecond);
 
 // getAttributeValues: the value-set scan behind the document browser.
 void BM_GetAttributeValues(benchmark::State& state) {

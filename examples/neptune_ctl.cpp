@@ -9,6 +9,9 @@
 //                [--deadline-ms <n>] [--retries <n>] [--clients <n>]
 //   neptune_ctl recover <dir>
 //   neptune_ctl ls <dir> [node-predicate]
+//   neptune_ctl query <dir> <node-predicate> [--explain|--scan|--verify]
+//   neptune_ctl query <host:port> <server-side-dir> <node-predicate>
+//                [--explain|--scan|--verify]
 //   neptune_ctl cat <dir> <node> [time]
 //   neptune_ctl new <dir> [title]            (contents from stdin)
 //   neptune_ctl put <dir> <node>             (contents from stdin)
@@ -80,8 +83,10 @@ ham::Context OpenByDir(ham::Ham* engine, const std::string& dir) {
 int Usage() {
   std::fprintf(stderr,
                "usage: neptune_ctl "
-               "create|stats|recover|ls|cat|new|put|link|versions|diff|fsck|"
-               "prune|export|import|destroy <dir> [args...]\n"
+               "create|stats|recover|ls|query|cat|new|put|link|versions|diff|"
+               "fsck|prune|export|import|destroy <dir> [args...]\n"
+               "       neptune_ctl query <dir | host:port server-side-dir> "
+               "<node-predicate> [--explain] [--scan] [--verify]\n"
                "       neptune_ctl stats <host:port> [--json]\n"
                "       neptune_ctl trace <host:port> [--chrome <out.json>]\n"
                "       neptune_ctl slowops <host:port>\n"
@@ -286,6 +291,69 @@ int RemoteWorkload(const std::string& host, uint16_t port,
   return 0;
 }
 
+// `query [--explain]`: run a getGraphQuery through the planner (works
+// against a local directory or a live server) and optionally print the
+// plan the engine chose. --scan forces the scan baseline; --verify
+// cross-checks the indexed result against a scan under one lock.
+int RunQuery(ham::HamInterface* engine, ham::Context ctx,
+             const std::string& node_pred, bool explain, bool force_scan,
+             bool verify) {
+  ham::QueryOptions options;
+  options.force_scan = force_scan;
+  options.verify = verify;
+  auto result = Unwrap(
+      engine->GetGraphQueryExplained(ctx, 0, node_pred, "", {}, {}, options));
+  for (const auto& node : result.graph.nodes) {
+    std::printf("%8" PRIu64 "\n", node.node);
+  }
+  std::printf("(%zu nodes, %zu links)\n", result.graph.nodes.size(),
+              result.graph.links.size());
+  const ham::QueryPlan& plan = result.plan;
+  if (explain) {
+    std::printf("plan          : %s%s\n", ham::QueryPlanKindName(plan.kind),
+                plan.eligible ? "" : "  (view not index-eligible)");
+    std::printf("conjuncts     : %u\n", plan.conjuncts);
+    std::printf("candidates    : %" PRIu64 "\n", plan.candidates);
+    std::printf("residual evals: %" PRIu64 "\n", plan.residual_evals);
+    std::printf("index maint   : %" PRIu64 " delta(s) applied%s\n",
+                plan.applied_deltas, plan.rebuilt ? ", full rebuild" : "");
+    if (plan.verified) {
+      std::printf("verify        : %s\n",
+                  plan.verify_match ? "indexed == scan" : "MISMATCH");
+    }
+  }
+  return plan.verified && !plan.verify_match ? 1 : 0;
+}
+
+struct QueryFlags {
+  std::string predicate;
+  bool explain = false;
+  bool force_scan = false;
+  bool verify = false;
+  bool ok = false;
+};
+
+QueryFlags ParseQueryFlags(int argc, char** argv, int first) {
+  QueryFlags flags;
+  if (first >= argc) return flags;
+  flags.predicate = argv[first];
+  flags.ok = true;
+  for (int i = first + 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--explain") {
+      flags.explain = true;
+    } else if (flag == "--scan") {
+      flags.force_scan = true;
+    } else if (flag == "--verify") {
+      flags.verify = true;
+    } else {
+      flags.ok = false;
+      return flags;
+    }
+  }
+  return flags;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,6 +377,24 @@ int main(int argc, char** argv) {
       return RemoteTrace(host, port, chrome_out);
     }
     if (command == "slowops") return RemoteSlowOps(host, port);
+    if (command == "query") {
+      // The project id still comes from the PROJECT file, so the
+      // server-side directory must be readable here too (the usual
+      // localhost demo setup).
+      if (argc < 5) return Usage();
+      const std::string server_dir = argv[3];
+      QueryFlags flags = ParseQueryFlags(argc, argv, 4);
+      if (!flags.ok) return Usage();
+      ham::ProjectId project =
+          Unwrap(ham::Ham::ReadProjectId(Env::Default(), server_dir));
+      auto client = ConnectTo(host, port);
+      ham::Context ctx =
+          Unwrap(client->OpenGraph(project, "neptune_ctl", server_dir));
+      int rc = RunQuery(client.get(), ctx, flags.predicate, flags.explain,
+                        flags.force_scan, flags.verify);
+      Check(client->CloseGraph(ctx));
+      return rc;
+    }
     if (command == "workload") {
       if (argc < 4) return Usage();
       rpc::RemoteHam::Options options;
@@ -335,8 +421,8 @@ int main(int argc, char** argv) {
       return RemoteWorkload(host, port, argv[3], options, clients);
     }
     std::fprintf(stderr,
-                 "neptune_ctl: only stats, trace, slowops and workload "
-                 "accept host:port\n");
+                 "neptune_ctl: only stats, trace, slowops, query and "
+                 "workload accept host:port\n");
     return 2;
   }
   if (command == "workload" || command == "trace" || command == "slowops") {
@@ -387,6 +473,13 @@ int main(int argc, char** argv) {
     }
     std::printf("(%zu nodes, %zu links)\n", result.nodes.size(),
                 result.links.size());
+  } else if (command == "query") {
+    QueryFlags flags = ParseQueryFlags(argc, argv, 3);
+    if (!flags.ok) return Usage();
+    const int rc = RunQuery(&engine, ctx, flags.predicate, flags.explain,
+                            flags.force_scan, flags.verify);
+    Check(engine.CloseGraph(ctx));
+    return rc;
   } else if (command == "cat") {
     if (argc < 4) return Usage();
     const ham::NodeIndex node = std::strtoull(argv[3], nullptr, 10);

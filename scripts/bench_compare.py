@@ -76,6 +76,16 @@ def main():
         print(f"| {series} | `{name}` | {old_us} | {new_us} | {delta} |")
     print()
 
+    indexed = fresh.get("B3", {}).get("indexed_query")
+    if indexed:
+        print(f"B3 indexed queries over 5000 nodes: selective equality "
+              f"{indexed.get('selective_5000_stride100_us')}us, conjunction "
+              f"{indexed.get('conjunction_5000_indexed_us')}us indexed vs "
+              f"{indexed.get('conjunction_5000_scan_us')}us scanned "
+              f"({indexed.get('conjunction_speedup_x')}x); first query after "
+              f"a write {indexed.get('post_write_first_query_5000_us')}us.")
+        print()
+
     pipelining = fresh.get("B6", {}).get("pipelining")
     if pipelining:
         print(f"B6 pipelining at 8 clients on one connection: one-in-flight "

@@ -14,7 +14,7 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${2:-BENCH_6.json}
+OUT=${2:-BENCH_7.json}
 MIN_TIME=${3:-0.01}
 
 TMP=$(mktemp -d)
@@ -91,6 +91,32 @@ if "B6" in headlines and base:
             round((traced - base) / base * 100, 1) if traced else None,
         "sampled_1in64_overhead_pct":
             round((sampled - base) / base * 100, 1) if sampled else None,
+    }
+
+# B3 carries the indexed-query headlines (PR 7): the selective equality
+# and conjunction queries over 5000 nodes that the planner now serves
+# from the attribute index, and the post-write first query that used to
+# pay a full index rebuild.
+sel_5000 = real_us("bench_query",
+                   "BM_GetGraphQuerySelectivity/nodes:5000/stride:100")
+dense_5000 = real_us("bench_query",
+                     "BM_GetGraphQuerySelectivity/nodes:5000/stride:1")
+conj_idx = real_us("bench_query",
+                   "BM_QueryConjunctionSelectivity/pred:0/index:1")
+conj_scan = real_us("bench_query",
+                    "BM_QueryConjunctionSelectivity/pred:0/index:0")
+cliff = real_us("bench_query", "BM_QueryPostWriteFirstQuery/nodes:5000")
+write_heavy = real_us("bench_query", "BM_QueryIndexWriteHeavy/1")
+if "B3" in headlines and sel_5000:
+    headlines["B3"]["indexed_query"] = {
+        "selective_5000_stride100_us": sel_5000,
+        "dense_5000_stride1_us": dense_5000,
+        "conjunction_5000_indexed_us": conj_idx,
+        "conjunction_5000_scan_us": conj_scan,
+        "conjunction_speedup_x":
+            round(conj_scan / conj_idx, 2) if conj_idx else None,
+        "post_write_first_query_5000_us": cliff,
+        "write_heavy_indexed_us": write_heavy,
     }
 
 # B6 also carries the pipelining comparison (PR 6): remote openNode

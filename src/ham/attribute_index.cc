@@ -25,6 +25,30 @@ void AttributeValueIndex::Rebuild(
   ++rebuilds_;
 }
 
+void AttributeValueIndex::ApplyDelta(const AttributeIndexDelta& delta) {
+  ++applied_deltas_;
+  if (delta.old_value.has_value()) {
+    auto it = by_value_.find({delta.attr, *delta.old_value});
+    if (it != by_value_.end()) {
+      std::vector<NodeIndex>& list = it->second;
+      auto pos = std::lower_bound(list.begin(), list.end(), delta.node);
+      if (pos != list.end() && *pos == delta.node) {
+        list.erase(pos);
+        --entries_;
+      }
+      if (list.empty()) by_value_.erase(it);
+    }
+  }
+  if (delta.new_value.has_value()) {
+    std::vector<NodeIndex>& list = by_value_[{delta.attr, *delta.new_value}];
+    auto pos = std::lower_bound(list.begin(), list.end(), delta.node);
+    if (pos == list.end() || *pos != delta.node) {
+      list.insert(pos, delta.node);
+      ++entries_;
+    }
+  }
+}
+
 const std::vector<NodeIndex>& AttributeValueIndex::Lookup(
     AttributeIndex attr, const std::string& value) const {
   static const std::vector<NodeIndex> kEmpty;

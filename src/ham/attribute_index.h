@@ -3,23 +3,28 @@
 // getGraphQuery's fast path for the common predicate shape the paper
 // uses everywhere (`document = requirements & ...`).
 //
-// Design: lazily rebuilt. Every mutation of the main thread bumps the
-// graph's mutation epoch; a query that wants the index rebuilds it iff
-// its epoch is stale. This keeps the write path entirely index-free
-// (writes stay exactly as durable/fast as without the index) and makes
-// the index trivially consistent — the classic read-optimized
-// trade-off, measured as the B3 ablation in bench_query.
+// Design: built lazily on the first eligible query, then maintained
+// incrementally. Committed mutations stage (node, attr, old -> new)
+// deltas (see GraphState); the next query applies them under the
+// index mutex instead of rebuilding, so the first query after a write
+// pays O(changes), not O(graph). A full rebuild happens only when the
+// index has never been built, or after operations that restructure
+// records wholesale (context merge, history prune, recovery) where
+// per-op deltas are not tracked. The write path stays index-free:
+// staging a delta is an O(1) append, and commits stay exactly as
+// durable/fast as without the index (B3 ablation in bench_query).
 //
 // The index answers only current-time (time == 0), main-thread,
-// no-open-transaction queries; everything else scans. Correctness
-// never depends on the index: candidates it returns are still run
-// through the full predicate.
+// no-open-transaction queries — see GraphState::IndexEligible.
+// Correctness never depends on the index: candidates it returns are
+// still run through the full predicate.
 
 #ifndef NEPTUNE_HAM_ATTRIBUTE_INDEX_H_
 #define NEPTUNE_HAM_ATTRIBUTE_INDEX_H_
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,14 +34,33 @@
 namespace neptune {
 namespace ham {
 
+// One committed attribute change, staged by GraphState at commit time
+// and folded into the index on the next query.
+struct AttributeIndexDelta {
+  NodeIndex node = 0;
+  AttributeIndex attr = 0;
+  std::optional<std::string> old_value;  // posting removed, when set
+  std::optional<std::string> new_value;  // posting added, when set
+};
+
 class AttributeValueIndex {
  public:
   // True iff the index matches `epoch` and can serve lookups.
   bool FreshAt(uint64_t epoch) const { return built_ && epoch_ == epoch; }
 
+  bool built() const { return built_; }
+
   // Rebuilds from `nodes` (live main-thread records only are indexed).
   void Rebuild(const std::unordered_map<NodeIndex, NodeRecord>& nodes,
                uint64_t epoch);
+
+  // Folds one committed change into the posting lists. Precondition:
+  // built(); the caller serializes calls (GraphState's index mutex).
+  void ApplyDelta(const AttributeIndexDelta& delta);
+
+  // Declares the delta-maintained index consistent with `epoch` after
+  // the pending queue has been drained.
+  void MarkFresh(uint64_t epoch) { epoch_ = epoch; }
 
   // Node indices whose current value of `attr` equals `value`,
   // ascending. Precondition: FreshAt(current epoch).
@@ -50,12 +74,14 @@ class AttributeValueIndex {
 
   size_t entry_count() const { return entries_; }
   uint64_t rebuild_count() const { return rebuilds_; }
+  uint64_t applied_delta_count() const { return applied_deltas_; }
 
  private:
   bool built_ = false;
   uint64_t epoch_ = 0;
   size_t entries_ = 0;
   uint64_t rebuilds_ = 0;
+  uint64_t applied_deltas_ = 0;
   std::map<std::pair<AttributeIndex, std::string>, std::vector<NodeIndex>>
       by_value_;
 };

@@ -1,0 +1,81 @@
+#include "ham/demon_index.h"
+
+#include "ham/graph_state.h"
+
+namespace neptune {
+namespace ham {
+
+void DemonIndex::Rebuild(const GraphState& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  graph_demons_.clear();
+  node_demons_.clear();
+  for (const DemonEntry& entry : state.GraphDemons(nullptr).GetAll(0)) {
+    if (!entry.demon.empty()) {
+      graph_demons_[static_cast<uint32_t>(entry.event)] = entry.demon;
+    }
+  }
+  state.ForEachNode(kMainThread, nullptr, [&](const NodeRecord& node) {
+    for (const DemonEntry& entry : node.demons.GetAll(0)) {
+      if (!entry.demon.empty()) {
+        node_demons_[NodeKey(node.index, entry.event)] = entry.demon;
+      }
+    }
+  });
+  built_ = true;
+}
+
+void DemonIndex::ApplyCommitted(const Op& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!built_) return;
+  switch (op.kind) {
+    case OpKind::kSetGraphDemon:
+      // Graph demons are thread-global; an empty value disarms.
+      if (op.value.empty()) {
+        graph_demons_.erase(static_cast<uint32_t>(op.event));
+      } else {
+        graph_demons_[static_cast<uint32_t>(op.event)] = op.value;
+      }
+      break;
+    case OpKind::kSetNodeDemon:
+      if (op.thread != kMainThread) break;
+      if (op.value.empty()) {
+        node_demons_.erase(NodeKey(op.node, op.event));
+      } else {
+        node_demons_[NodeKey(op.node, op.event)] = op.value;
+      }
+      break;
+    case OpKind::kMergeContext:
+    case OpKind::kPruneHistory:
+      built_ = false;
+      graph_demons_.clear();
+      node_demons_.clear();
+      break;
+    default:
+      break;
+  }
+}
+
+bool DemonIndex::Lookup(Event event, NodeIndex node, std::string* graph_demon,
+                        std::string* node_demon) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!built_) return false;
+  graph_demon->clear();
+  node_demon->clear();
+  auto git = graph_demons_.find(static_cast<uint32_t>(event));
+  if (git != graph_demons_.end()) *graph_demon = git->second;
+  if (node != 0) {
+    auto nit = node_demons_.find(NodeKey(node, event));
+    if (nit != node_demons_.end()) *node_demon = nit->second;
+  }
+  return true;
+}
+
+void DemonIndex::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  built_ = false;
+  graph_demons_.clear();
+  node_demons_.clear();
+}
+
+}  // namespace ham
+}  // namespace neptune

@@ -1,0 +1,77 @@
+// Indexed demon dispatch. FireEventDemons used to take the graph's
+// shared lock on every committed op and walk DemonHistory / FindNode to
+// discover whether any demon is armed — almost always to find none.
+// DemonIndex keeps a flat (event, scope) -> demon-value map for the
+// main thread's *current* demon set, maintained from committed ops, so
+// the per-op check is two hash probes under a private mutex.
+//
+// Scope rules mirror the read path in Ham::FireEventDemons:
+//   - graph demons are thread-global (GraphDemons ignores the thread),
+//     so any thread's kSetGraphDemon updates the index;
+//   - node demons resolve through the version-thread overlay, so only
+//     main-thread kSetNodeDemon ops touch the index and the fast path
+//     only serves main-thread dispatch;
+//   - demons survive node deletion (FindNode returns tombstoned
+//     records), so kDeleteNode leaves the index alone;
+//   - kMergeContext folds a thread's records into the base wholesale
+//     and kPruneHistory rewrites histories, so both invalidate; the
+//     next dispatch rebuilds from GraphState under the graph lock.
+
+#ifndef NEPTUNE_HAM_DEMON_INDEX_H_
+#define NEPTUNE_HAM_DEMON_INDEX_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ham/ops.h"
+#include "ham/types.h"
+
+namespace neptune {
+namespace ham {
+
+class GraphState;
+
+class DemonIndex {
+ public:
+  // Rebuilds the map from the main thread's current demon set. The
+  // caller must hold the graph lock (shared is enough: this only reads
+  // GraphState).
+  void Rebuild(const GraphState& state);
+
+  // Folds one committed op into the map. The caller must hold the
+  // graph lock exclusively (it is called from the commit path). No-op
+  // while the index is unbuilt.
+  void ApplyCommitted(const Op& op);
+
+  // Looks up the armed demons for (event, node) on the main thread.
+  // Returns false when the index is not built (caller falls back to
+  // the locked slow path); on true, *graph_demon / *node_demon hold
+  // the demon values, empty meaning "none armed".
+  bool Lookup(Event event, NodeIndex node, std::string* graph_demon,
+              std::string* node_demon) const;
+
+  void Invalidate();
+
+  bool built() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return built_;
+  }
+
+ private:
+  // Event fits in 4 bits (11 values); pack (node, event) into one key.
+  static uint64_t NodeKey(NodeIndex node, Event event) {
+    return (node << 4) | static_cast<uint64_t>(event);
+  }
+
+  mutable std::mutex mu_;
+  bool built_ = false;
+  std::unordered_map<uint32_t, std::string> graph_demons_;
+  std::unordered_map<uint64_t, std::string> node_demons_;
+};
+
+}  // namespace ham
+}  // namespace neptune
+
+#endif  // NEPTUNE_HAM_DEMON_INDEX_H_

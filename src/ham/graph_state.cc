@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 #include "common/coding.h"
 
@@ -9,6 +10,12 @@ namespace neptune {
 namespace ham {
 
 namespace {
+
+// Pending attribute-index deltas beyond this force a rebuild instead:
+// past a few thousand changes, replaying them one by one stops being
+// cheaper than rebuilding, and the queue must not grow without bound
+// on a graph that is written but never queried.
+constexpr size_t kMaxPendingIndexDeltas = 4096;
 
 // Adapts a record's attribute history (at a time) to the predicate
 // evaluator, resolving attribute names through the graph's table.
@@ -30,6 +37,83 @@ class RecordAttributeSource : public query::AttributeSource {
   const AttributeHistory& attrs_;
   Time time_;
 };
+
+// Binds a compiled predicate's slots to one record at a time. Names
+// are resolved to table indices once per query, so per-record
+// evaluation is a direct attribute-history probe per referenced slot.
+class CompiledRecordSource : public query::CompiledPredicate::SlotSource {
+ public:
+  CompiledRecordSource(const AttributeTable& table,
+                       const query::CompiledPredicate& program, Time time)
+      : time_(time) {
+    ids_.reserve(program.slot_names().size());
+    for (const std::string& name : program.slot_names()) {
+      Result<AttributeIndex> index = table.Lookup(name);
+      // A name no object ever carried can never yield a value.
+      ids_.push_back(index.ok() ? *index : kUnknownAttribute);
+    }
+  }
+
+  void Bind(const AttributeHistory* attrs) { attrs_ = attrs; }
+
+  std::optional<std::string_view> GetSlot(size_t slot) const override {
+    const AttributeIndex id = ids_[slot];
+    if (id == kUnknownAttribute) return std::nullopt;
+    return attrs_->Get(id, time_);
+  }
+
+ private:
+  static constexpr AttributeIndex kUnknownAttribute = ~0ull;
+  std::vector<AttributeIndex> ids_;
+  const AttributeHistory* attrs_ = nullptr;
+  Time time_;
+};
+
+// Intersects two sorted posting lists; `a` is the smaller. When the
+// sizes are heavily skewed, gallop (exponential search) through `b`
+// instead of merging, so the cost tracks |a| log |b|, not |a| + |b|.
+std::vector<NodeIndex> IntersectPair(const std::vector<NodeIndex>& a,
+                                     const std::vector<NodeIndex>& b) {
+  std::vector<NodeIndex> out;
+  if (a.empty() || b.empty()) return out;
+  out.reserve(a.size());
+  if (b.size() / a.size() >= 8) {
+    auto from = b.begin();
+    for (NodeIndex want : a) {
+      size_t step = 1;
+      auto bound = from;
+      while (bound != b.end() && *bound < want) {
+        from = bound;
+        bound = static_cast<size_t>(b.end() - bound) > step ? bound + step
+                                                            : b.end();
+        step <<= 1;
+      }
+      from = std::lower_bound(from, bound, want);
+      if (from == b.end()) break;
+      if (*from == want) out.push_back(want);
+    }
+    return out;
+  }
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Intersects posting lists in ascending size order, so the working set
+// only shrinks.
+std::vector<NodeIndex> IntersectPostings(
+    std::vector<const std::vector<NodeIndex>*> postings) {
+  std::sort(postings.begin(), postings.end(),
+            [](const std::vector<NodeIndex>* a,
+               const std::vector<NodeIndex>* b) {
+              return a->size() < b->size();
+            });
+  std::vector<NodeIndex> out = *postings[0];
+  for (size_t i = 1; i < postings.size() && !out.empty(); ++i) {
+    out = IntersectPair(out, *postings[i]);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -213,8 +297,15 @@ Status GraphState::Apply(const Op& op, TxnOverlay* txn) {
         return Status::NotFound("attribute index " + std::to_string(op.attr) +
                                 " is not defined");
       }
+      std::optional<std::string> previous;
+      if (std::optional<std::string_view> current =
+              node->attributes.Get(op.attr, 0)) {
+        previous = std::string(*current);
+      }
       node->attributes.Set(op.attr, op.time, op.value, node->is_archive);
       AddMinorVersion(node, op.time, "setAttribute");
+      StageIndexDelta(op.thread, txn, op.node, op.attr, std::move(previous),
+                      op.value);
       break;
     }
     case OpKind::kDeleteNodeAttribute: {
@@ -224,8 +315,15 @@ Status GraphState::Apply(const Op& op, TxnOverlay* txn) {
         return Status::NotFound("node " + std::to_string(op.node) +
                                 " is deleted");
       }
+      std::optional<std::string> previous;
+      if (std::optional<std::string_view> current =
+              node->attributes.Get(op.attr, 0)) {
+        previous = std::string(*current);
+      }
       node->attributes.Delete(op.attr, op.time, node->is_archive);
       AddMinorVersion(node, op.time, "deleteAttribute");
+      StageIndexDelta(op.thread, txn, op.node, op.attr, std::move(previous),
+                      std::nullopt);
       break;
     }
     case OpKind::kSetLinkAttribute:
@@ -352,6 +450,11 @@ Status GraphState::ApplyDeleteNode(const Op& op, TxnOverlay* txn) {
                             " is already deleted");
   }
   node->deleted = op.time;
+  // The node leaves every posting list it was on.
+  for (const auto& [attr, value] : node->attributes.GetAll(0)) {
+    StageIndexDelta(op.thread, txn, op.node, attr, std::string(value),
+                    std::nullopt);
+  }
   // "All links into or out of the node are deleted."
   std::vector<LinkIndex> attached = node->out_links;
   attached.insert(attached.end(), node->in_links.begin(),
@@ -551,7 +654,42 @@ Status GraphState::ApplyMergeContext(const Op& op) {
   thread.records.nodes.clear();
   thread.records.links.clear();
   thread.branched_at = op.time;  // context continues from the merge point
+  // The merge folded whole records into the base without per-attribute
+  // deltas; the index can only recover by rebuilding.
+  index_needs_rebuild_ = true;
+  index_deltas_.clear();
   return Status::OK();
+}
+
+void GraphState::StageIndexDelta(ThreadId thread, TxnOverlay* txn,
+                                 NodeIndex node, AttributeIndex attr,
+                                 std::optional<std::string> old_value,
+                                 std::optional<std::string> new_value) {
+  // Only committed main-thread state is indexed (see IndexEligible).
+  if (!attribute_index_enabled_ || thread != kMainThread) return;
+  if (old_value == new_value) return;
+  if (txn != nullptr) {
+    if (txn->index_overflow) return;
+    if (txn->index_deltas.size() >= kMaxPendingIndexDeltas) {
+      txn->index_deltas.clear();
+      txn->index_overflow = true;
+      return;
+    }
+    txn->index_deltas.push_back(AttributeIndexDelta{
+        node, attr, std::move(old_value), std::move(new_value)});
+    return;
+  }
+  // Direct apply (WAL replay and maintenance ops): worth tracking only
+  // when a built index would otherwise go stale — an unbuilt or
+  // already-invalidated index rebuilds on the next query regardless.
+  if (!node_index_.built() || index_needs_rebuild_) return;
+  if (index_deltas_.size() >= kMaxPendingIndexDeltas) {
+    index_deltas_.clear();
+    index_needs_rebuild_ = true;
+    return;
+  }
+  index_deltas_.push_back(AttributeIndexDelta{
+      node, attr, std::move(old_value), std::move(new_value)});
 }
 
 void GraphState::CommitOverlay(ThreadId thread, TxnOverlay&& txn) {
@@ -565,6 +703,21 @@ void GraphState::CommitOverlay(ThreadId thread, TxnOverlay&& txn) {
   }
   for (auto& [index, record] : txn.records.links) {
     target.links.insert_or_assign(index, std::move(record));
+  }
+  // Hand the staged index deltas to the pending queue. An unbuilt (or
+  // already-invalidated) index needs none of this: the next query
+  // rebuilds from the post-commit base anyway.
+  if (thread == kMainThread && attribute_index_enabled_ &&
+      node_index_.built() && !index_needs_rebuild_) {
+    if (txn.index_overflow ||
+        index_deltas_.size() + txn.index_deltas.size() >
+            kMaxPendingIndexDeltas) {
+      index_deltas_.clear();
+      index_needs_rebuild_ = true;
+    } else {
+      std::move(txn.index_deltas.begin(), txn.index_deltas.end(),
+                std::back_inserter(index_deltas_));
+    }
   }
   ++mutation_epoch_;
 }
@@ -663,77 +816,163 @@ Result<SubGraph> GraphState::Linearize(ThreadId thread, const TxnOverlay* txn,
   return out;
 }
 
+void GraphState::MaintainIndexLocked(QueryPlan* plan) const {
+  if (!node_index_.built() || index_needs_rebuild_) {
+    node_index_.Rebuild(base_.nodes, mutation_epoch_);
+    index_needs_rebuild_ = false;
+    index_deltas_.clear();
+    plan->rebuilt = true;
+    return;
+  }
+  if (!index_deltas_.empty()) {
+    for (const AttributeIndexDelta& delta : index_deltas_) {
+      node_index_.ApplyDelta(delta);
+    }
+    plan->applied_deltas = index_deltas_.size();
+    index_deltas_.clear();
+  }
+  node_index_.MarkFresh(mutation_epoch_);
+}
+
 Result<SubGraph> GraphState::Query(ThreadId thread, const TxnOverlay* txn,
                                    Time time,
                                    const query::Predicate& node_pred,
                                    const query::Predicate& link_pred,
                                    const AttributeRequest& node_attrs,
-                                   const AttributeRequest& link_attrs) const {
+                                   const AttributeRequest& link_attrs,
+                                   QueryPlan* plan_out,
+                                   bool force_scan) const {
+  QueryPlan plan;
+  plan.eligible = !force_scan && attribute_index_enabled_ &&
+                  IndexEligible(thread, txn, time);
   SubGraph out;
-  std::set<NodeIndex> selected;
+  std::unordered_set<NodeIndex> selected;
 
-  // Fast path: serve candidates from the attribute index when the
-  // query shape allows it (see attribute_index.h).
+  // One compile per query; per-record evaluation is then a flat
+  // program over pre-resolved attribute slots.
+  const query::CompiledPredicate node_prog =
+      query::CompiledPredicate::Compile(node_pred);
+  const query::CompiledPredicate link_prog =
+      query::CompiledPredicate::Compile(link_pred);
+  CompiledRecordSource node_src(attributes_, node_prog, time);
+  CompiledRecordSource link_src(attributes_, link_prog, time);
+
+  // Plan: probe the index for every equality conjunct, then take one
+  // posting list or the intersection of several (see attribute_index.h
+  // for why the references stay valid after unlock).
+  bool use_index = false;
+  std::vector<NodeIndex> intersected;
   const std::vector<NodeIndex>* candidates = nullptr;
-  if (attribute_index_enabled_ && thread == kMainThread && txn == nullptr &&
-      time == 0) {
-    // Concurrent readers race on the lazy rebuild; the candidate
-    // references remain usable after unlock (see node_index_mu_).
-    std::lock_guard<std::mutex> index_lock(*node_index_mu_);
-    std::pair<AttributeIndex, std::string> best{0, ""};
-    size_t best_cardinality = 0;
-    for (const auto& [name, value] : node_pred.EqualityConjuncts()) {
-      Result<AttributeIndex> attr = attributes_.Lookup(name);
-      if (!attr.ok()) {
-        // The conjunct references an attribute no object ever carried:
-        // nothing can match the predicate.
-        return out;
+  if (plan.eligible) {
+    const auto conjuncts = node_pred.EqualityConjuncts();
+    plan.conjuncts = static_cast<uint32_t>(conjuncts.size());
+    if (!conjuncts.empty()) {
+      std::lock_guard<std::mutex> index_lock(*node_index_mu_);
+      MaintainIndexLocked(&plan);
+      use_index = true;
+      bool provably_empty = false;
+      std::vector<const std::vector<NodeIndex>*> postings;
+      postings.reserve(conjuncts.size());
+      for (const auto& [name, value] : conjuncts) {
+        Result<AttributeIndex> attr = attributes_.Lookup(name);
+        if (!attr.ok()) {
+          // The conjunct references an attribute no object ever
+          // carried: nothing can match the predicate.
+          provably_empty = true;
+          break;
+        }
+        postings.push_back(&node_index_.Lookup(*attr, value));
       }
-      if (!node_index_.FreshAt(mutation_epoch_)) {
-        node_index_.Rebuild(base_.nodes, mutation_epoch_);
+      if (provably_empty) {
+        plan.kind = conjuncts.size() > 1 ? QueryPlan::Kind::kIntersect
+                                         : QueryPlan::Kind::kIndex;
+        candidates = &intersected;  // empty
+      } else if (postings.size() == 1) {
+        plan.kind = QueryPlan::Kind::kIndex;
+        candidates = postings[0];
+      } else {
+        plan.kind = QueryPlan::Kind::kIntersect;
+        intersected = IntersectPostings(std::move(postings));
+        candidates = &intersected;
       }
-      const size_t cardinality = node_index_.Cardinality(*attr, value);
-      if (best.first == 0 || cardinality < best_cardinality) {
-        best = {*attr, value};
-        best_cardinality = cardinality;
-      }
-    }
-    if (best.first != 0) {
-      candidates = &node_index_.Lookup(best.first, best.second);
     }
   }
 
-  if (candidates != nullptr) {
+  if (use_index) {
+    plan.candidates = candidates->size();
     for (NodeIndex index : *candidates) {
       auto it = base_.nodes.find(index);
       if (it == base_.nodes.end()) continue;
       const NodeRecord& node = it->second;
       if (!node.ExistsAt(time)) continue;
-      if (!EvaluateOnNode(node, time, node_pred)) continue;
-      selected.insert(node.index);
+      // Residual check: candidates satisfy their conjuncts by index
+      // construction, but the formula may carry more than that.
+      ++plan.residual_evals;
+      node_src.Bind(&node.attributes);
+      if (!node_prog.Evaluate(node_src)) continue;
+      selected.insert(index);
       out.nodes.push_back(SubGraphNode{
-          node.index, AttributeValuesFor(node.attributes, node_attrs, time)});
+          index, AttributeValuesFor(node.attributes, node_attrs, time)});
     }
   } else {
+    plan.kind = QueryPlan::Kind::kScan;
+    const bool trivial = node_prog.IsTriviallyTrue();
     ForEachNode(thread, txn, [&](const NodeRecord& node) {
       if (!node.ExistsAt(time)) return;
-      if (!EvaluateOnNode(node, time, node_pred)) return;
+      ++plan.candidates;
+      if (!trivial) {
+        ++plan.residual_evals;
+        node_src.Bind(&node.attributes);
+        if (!node_prog.Evaluate(node_src)) return;
+      }
       selected.insert(node.index);
       out.nodes.push_back(SubGraphNode{
           node.index, AttributeValuesFor(node.attributes, node_attrs, time)});
     });
   }
-  ForEachLink(thread, txn, [&](const LinkRecord& link) {
+
+  const bool link_trivial = link_prog.IsTriviallyTrue();
+  auto emit_link = [&](const LinkRecord& link) {
     if (!link.ExistsAt(time)) return;
     if (selected.count(link.from.node) == 0 ||
         selected.count(link.to.node) == 0) {
       return;
     }
-    if (!EvaluateOnLink(link, time, link_pred)) return;
+    if (!link_trivial) {
+      link_src.Bind(&link.attributes);
+      if (!link_prog.Evaluate(link_src)) return;
+    }
     out.links.push_back(
         SubGraphLink{link.index, link.from.node, link.to.node,
                      AttributeValuesFor(link.attributes, link_attrs, time)});
-  });
+  };
+  if (use_index) {
+    // Indexed queries only need links attached to selected nodes: a
+    // qualifying link's source end is a selected node, so walking the
+    // out-link lists covers every candidate without an O(links) scan.
+    // Sorting keeps the scan path's ascending-index output order.
+    std::vector<LinkIndex> link_candidates;
+    for (const SubGraphNode& selected_node : out.nodes) {
+      auto it = base_.nodes.find(selected_node.node);
+      link_candidates.insert(link_candidates.end(),
+                             it->second.out_links.begin(),
+                             it->second.out_links.end());
+    }
+    std::sort(link_candidates.begin(), link_candidates.end());
+    link_candidates.erase(
+        std::unique(link_candidates.begin(), link_candidates.end()),
+        link_candidates.end());
+    for (LinkIndex index : link_candidates) {
+      auto it = base_.links.find(index);
+      if (it != base_.links.end()) emit_link(it->second);
+    }
+  } else {
+    ForEachLink(thread, txn, emit_link);
+  }
+
+  plan.nodes_matched = out.nodes.size();
+  plan.links_matched = out.links.size();
+  if (plan_out != nullptr) *plan_out = plan;
   return out;
 }
 
@@ -948,6 +1187,10 @@ size_t GraphState::PruneHistoryBefore(Time before) {
     }
     if (dropped > 0) ++touched;
   }
+  // Prune rewrites histories wholesale; no per-attribute deltas exist,
+  // so the index must rebuild on the next query.
+  index_needs_rebuild_ = true;
+  index_deltas_.clear();
   ++mutation_epoch_;
   return touched;
 }

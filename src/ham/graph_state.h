@@ -70,6 +70,12 @@ class GraphState {
   struct TxnOverlay {
     RecordSet records;
     std::optional<DemonHistory> graph_demons;  // copy-on-write
+    // Attribute-index deltas for the staged changes, transferred to
+    // the graph's pending queue on commit (discarded on abort). When a
+    // pathological transaction stages more than the cap, the overlay
+    // stops tracking and the commit schedules a full rebuild instead.
+    std::vector<AttributeIndexDelta> index_deltas;
+    bool index_overflow = false;
     bool empty() const {
       return records.empty() && !graph_demons.has_value();
     }
@@ -134,14 +140,34 @@ class GraphState {
 
   // getGraphQuery: all nodes at `time` satisfying `node_pred`, and all
   // links satisfying `link_pred` that connect two returned nodes.
-  // Current-time main-thread queries whose predicate carries an
-  // equality conjunct are served from the lazily-rebuilt attribute
-  // index when it is enabled; all other shapes scan.
+  //
+  // Planning: when IndexEligible holds and the node predicate carries
+  // equality conjuncts, candidates come from the attribute index —
+  // one probe (plan kind `index`) or a sorted intersection of several
+  // probes ordered by cardinality (`intersect`) — and the residual
+  // predicate runs only on those survivors; everything else scans.
+  // `plan` (optional) receives the execution report; `force_scan`
+  // bypasses the planner (explain --verify and the B3 ablation).
   Result<SubGraph> Query(ThreadId thread, const TxnOverlay* txn, Time time,
                          const query::Predicate& node_pred,
                          const query::Predicate& link_pred,
                          const AttributeRequest& node_attrs,
-                         const AttributeRequest& link_attrs) const;
+                         const AttributeRequest& link_attrs,
+                         QueryPlan* plan = nullptr,
+                         bool force_scan = false) const;
+
+  // The one eligibility rule for serving a query from the attribute
+  // index. The index models exactly the committed, current-time
+  // (time == 0) state of the main version thread:
+  //   - a historical time sees values the index no longer holds,
+  //   - a non-main thread sees its private overlay records,
+  //   - an open transaction must read its own staged writes.
+  // Any of those views must take the scan path; enablement
+  // (HamOptions::use_attribute_index) is checked separately.
+  static bool IndexEligible(ThreadId thread, const TxnOverlay* txn,
+                            Time time) {
+    return thread == kMainThread && txn == nullptr && time == 0;
+  }
 
   // Toggles the getGraphQuery attribute index (B3 ablation).
   void set_attribute_index_enabled(bool enabled) {
@@ -149,6 +175,9 @@ class GraphState {
   }
   uint64_t attribute_index_rebuilds() const {
     return node_index_.rebuild_count();
+  }
+  uint64_t attribute_index_applied_deltas() const {
+    return node_index_.applied_delta_count();
   }
 
   // Keyframe interval stamped onto node version chains as ops touch
@@ -223,6 +252,17 @@ class GraphState {
                                   LinkIndex index);
   RecordSet& LevelFor(ThreadId thread, TxnOverlay* txn);
 
+  // Stages an attribute-index delta for a committed-or-staging change
+  // of `attr` on `node` (main-thread changes only; no-op otherwise).
+  void StageIndexDelta(ThreadId thread, TxnOverlay* txn, NodeIndex node,
+                       AttributeIndex attr, std::optional<std::string> old_value,
+                       std::optional<std::string> new_value);
+
+  // Brings the index up to date under node_index_mu_: applies pending
+  // deltas, or rebuilds when the index is unbuilt/invalidated. Fills
+  // the maintenance fields of `plan`.
+  void MaintainIndexLocked(QueryPlan* plan) const;
+
   Status ApplyAddNode(const Op& op, TxnOverlay* txn);
   Status ApplyDeleteNode(const Op& op, TxnOverlay* txn);
   Status ApplyAddLink(const Op& op, TxnOverlay* txn);
@@ -245,17 +285,24 @@ class GraphState {
   uint32_t keyframe_interval_ = 0;
 
   // getGraphQuery fast path. Mutations are serialized under the
-  // exclusive graph lock, but queries now run concurrently under
-  // shared locks, so the lazy rebuild is serialized by its own mutex
-  // (behind a unique_ptr because GraphState is movable and std::mutex
-  // is not). Candidate references handed out by the index stay valid
-  // for the duration of a shared graph lock: the index only rebuilds
-  // when mutation_epoch_ moved, and the epoch only moves under the
-  // exclusive lock.
+  // exclusive graph lock, but queries run concurrently under shared
+  // locks, so index maintenance is serialized by its own mutex (behind
+  // a unique_ptr because GraphState is movable and std::mutex is not).
+  // Candidate references handed out by the index stay valid for the
+  // duration of a shared graph lock: pending deltas are only enqueued
+  // under the exclusive lock, so within one writer-free window the
+  // posting lists mutate at most once — when the first reader drains
+  // the queue — and every reader synchronizes through node_index_mu_
+  // before taking references.
   bool attribute_index_enabled_ = true;
   uint64_t mutation_epoch_ = 0;  // bumped by every Apply/CommitOverlay
   std::unique_ptr<std::mutex> node_index_mu_ = std::make_unique<std::mutex>();
   mutable AttributeValueIndex node_index_;
+  // Committed changes the index has not absorbed yet (drained by the
+  // next query), and the invalidation flag set by merge/prune/recovery
+  // or queue overflow — the cases where deltas are not tracked.
+  mutable std::vector<AttributeIndexDelta> index_deltas_;
+  mutable bool index_needs_rebuild_ = false;
 };
 
 }  // namespace ham

@@ -109,6 +109,15 @@ Ham::Ham(Env* env, HamOptions options)
   MetricsRegistry::Instance().GetCounter("trace.spans.recorded");
   MetricsRegistry::Instance().GetCounter("trace.spans.dropped");
   MetricsRegistry::Instance().GetCounter("trace.slow_ops");
+  // Query-planner and index-maintenance metrics (see graph_state.h's
+  // planner notes): registered at zero so `neptune_ctl stats` shows
+  // the taxonomy before the first query runs.
+  MetricsRegistry::Instance().GetCounter("query.plan.index");
+  MetricsRegistry::Instance().GetCounter("query.plan.intersect");
+  MetricsRegistry::Instance().GetCounter("query.plan.scan");
+  MetricsRegistry::Instance().GetCounter("query.index.applied_deltas");
+  MetricsRegistry::Instance().GetCounter("query.index.rebuilds");
+  MetricsRegistry::Instance().GetCounter("ham.demons.dispatch.indexed");
   if (options_.txn_lease_ms > 0) {
     lease_watchdog_ = std::thread([this] { LeaseWatchdogLoop(); });
   }
@@ -317,6 +326,7 @@ Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
       }
     }
   }
+  handle->demon_index.Rebuild(handle->state);
   if (!recovered.report.Clean()) {
     NEPTUNE_LOG(Warn) << "event=graph_recovered dir=" << directory << " "
                       << recovered.report.ToString();
@@ -471,6 +481,11 @@ Status Ham::CommitLocked(GraphHandle* graph, Session* session) {
   }
   graph->state.CommitOverlay(session->thread, std::move(session->overlay));
   session->overlay = GraphState::TxnOverlay();
+  // Fold demon mutations into the dispatch index while we still hold
+  // the exclusive lock, so dispatch after release sees them.
+  for (const Op& op : session->ops) {
+    graph->demon_index.ApplyCommitted(op);
+  }
   if (graph->store->wal_bytes() > options_.checkpoint_wal_bytes) {
     std::string snapshot;
     graph->state.EncodeTo(&snapshot);
@@ -602,6 +617,37 @@ Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
 
 void Ham::FireEventDemons(GraphHandle* graph, ThreadId thread, Event event,
                           NodeIndex node, LinkIndex link, Time time) {
+  // Fast path: main-thread dispatch answers from the demon index
+  // without touching the graph lock. Non-main threads resolve node
+  // demons through their overlay, so they keep the locked path.
+  if (thread == kMainThread) {
+    std::string graph_demon;
+    std::string node_demon;
+    bool served = graph->demon_index.Lookup(event, node, &graph_demon,
+                                            &node_demon);
+    if (!served) {
+      // Index was invalidated (merge/prune); rebuild under the shared
+      // lock and retry once.
+      std::shared_lock<std::shared_mutex> lock(graph->mu);
+      graph->demon_index.Rebuild(graph->state);
+      served = graph->demon_index.Lookup(event, node, &graph_demon,
+                                         &node_demon);
+    }
+    if (served) {
+      NEPTUNE_METRIC_COUNT("ham.demons.dispatch.indexed", 1);
+      if (!graph_demon.empty()) {
+        demon_registry_.Fire(DemonInvocation{event, time, graph->project,
+                                             thread, node, link,
+                                             std::move(graph_demon)});
+      }
+      if (!node_demon.empty()) {
+        demon_registry_.Fire(DemonInvocation{event, time, graph->project,
+                                             thread, node, link,
+                                             std::move(node_demon)});
+      }
+      return;
+    }
+  }
   std::vector<DemonInvocation> to_fire;
   {
     std::shared_lock<std::shared_mutex> lock(graph->mu);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "ham/demon_index.h"
 #include "ham/graph_state.h"
 #include "ham/ham_interface.h"
 #include "storage/durable_store.h"
@@ -146,6 +147,12 @@ class Ham final : public HamInterface {
       const std::string& link_pred,
       const std::vector<AttributeIndex>& node_attrs,
       const std::vector<AttributeIndex>& link_attrs) override;
+  Result<QueryExplain> GetGraphQueryExplained(
+      Context ctx, Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<AttributeIndex>& node_attrs,
+      const std::vector<AttributeIndex>& link_attrs,
+      const QueryOptions& options) override;
 
   Result<OpenNodeResult> OpenNode(
       Context ctx, NodeIndex node, Time time,
@@ -223,6 +230,10 @@ class Ham final : public HamInterface {
     uint32_t protections = 0;
     std::unique_ptr<DurableStore> store;
     GraphState state;
+    // (event, scope) -> armed-demon map for the main thread; lets the
+    // commit path skip the graph lock when no demon is armed. Built on
+    // load, folded forward from committed ops (see demon_index.h).
+    DemonIndex demon_index;
 
     // Guards state + store. Read-only operations take it shared and
     // run in parallel across server threads; anything that mutates

@@ -95,6 +95,24 @@ class HamInterface {
       const std::string& link_pred,
       const std::vector<AttributeIndex>& node_attrs,
       const std::vector<AttributeIndex>& link_attrs) = 0;
+  // getGraphQuery plus the plan the engine chose (`neptune_ctl query
+  // --explain`). The default forwards to GetGraphQuery and reports a
+  // default-constructed plan, so only engines with a real planner
+  // (Ham, RemoteHam) need to override.
+  virtual Result<QueryExplain> GetGraphQueryExplained(
+      Context ctx, Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<AttributeIndex>& node_attrs,
+      const std::vector<AttributeIndex>& link_attrs,
+      const QueryOptions& options) {
+    (void)options;
+    QueryExplain out;
+    auto result =
+        GetGraphQuery(ctx, time, node_pred, link_pred, node_attrs, link_attrs);
+    if (!result.ok()) return result.status();
+    out.graph = std::move(*result);
+    return out;
+  }
 
   // --------------------------------------------------- A.2 node ops
   virtual Result<OpenNodeResult> OpenNode(

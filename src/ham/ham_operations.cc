@@ -182,6 +182,38 @@ Result<SubGraph> Ham::LinearizeGraph(
                                 node_attrs, link_attrs);
 }
 
+namespace {
+
+// One bookkeeping path for both query entry points: bumps the
+// query.plan.* / query.index.* counters and annotates the op span
+// with the chosen plan.
+void RecordQueryPlan(const QueryPlan& plan, ScopedSpan& span) {
+  switch (plan.kind) {
+    case QueryPlan::Kind::kIndex:
+      NEPTUNE_METRIC_COUNT("query.plan.index", 1);
+      break;
+    case QueryPlan::Kind::kIntersect:
+      NEPTUNE_METRIC_COUNT("query.plan.intersect", 1);
+      break;
+    case QueryPlan::Kind::kScan:
+      NEPTUNE_METRIC_COUNT("query.plan.scan", 1);
+      break;
+  }
+  if (plan.applied_deltas > 0) {
+    NEPTUNE_METRIC_COUNT("query.index.applied_deltas", plan.applied_deltas);
+  }
+  if (plan.rebuilt) {
+    NEPTUNE_METRIC_COUNT("query.index.rebuilds", 1);
+  }
+  if (span.active()) {
+    span.Annotate("query.plan=" + std::string(QueryPlanKindName(plan.kind)) +
+                  " candidates=" + std::to_string(plan.candidates) +
+                  " residual=" + std::to_string(plan.residual_evals));
+  }
+}
+
+}  // namespace
+
 Result<SubGraph> Ham::GetGraphQuery(
     Context ctx, Time time, const std::string& node_pred,
     const std::string& link_pred,
@@ -200,8 +232,66 @@ Result<SubGraph> Ham::GetGraphQuery(
       ValidateAttrRequest(graph->state.attributes(), link_attrs));
   const GraphState::TxnOverlay* overlay =
       session->in_txn ? &session->overlay : nullptr;
-  return graph->state.Query(session->thread, overlay, time, np, lp,
-                            node_attrs, link_attrs);
+  QueryPlan plan;
+  auto result = graph->state.Query(session->thread, overlay, time, np, lp,
+                                   node_attrs, link_attrs, &plan);
+  if (result.ok()) RecordQueryPlan(plan, op_span);
+  return result;
+}
+
+Result<QueryExplain> Ham::GetGraphQueryExplained(
+    Context ctx, Time time, const std::string& node_pred,
+    const std::string& link_pred,
+    const std::vector<AttributeIndex>& node_attrs,
+    const std::vector<AttributeIndex>& link_attrs,
+    const QueryOptions& options) {
+  NEPTUNE_TRACE_SPAN(op_span, "ham.getGraphQuery");
+  NEPTUNE_METRIC_TIMED(timer, "ham.op.query");
+  NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
+  NEPTUNE_ASSIGN_OR_RETURN(query::Predicate np, query::Predicate::Parse(node_pred));
+  NEPTUNE_ASSIGN_OR_RETURN(query::Predicate lp, query::Predicate::Parse(link_pred));
+  GraphHandle* graph = session->graph.get();
+  SharedReadLock lock(graph->mu);
+  NEPTUNE_RETURN_IF_ERROR(
+      ValidateAttrRequest(graph->state.attributes(), node_attrs));
+  NEPTUNE_RETURN_IF_ERROR(
+      ValidateAttrRequest(graph->state.attributes(), link_attrs));
+  const GraphState::TxnOverlay* overlay =
+      session->in_txn ? &session->overlay : nullptr;
+  QueryExplain out;
+  NEPTUNE_ASSIGN_OR_RETURN(
+      out.graph,
+      graph->state.Query(session->thread, overlay, time, np, lp, node_attrs,
+                         link_attrs, &out.plan, options.force_scan));
+  if (options.verify && !options.force_scan) {
+    // Re-run as a scan under the SAME shared lock — no writer can
+    // commit in between, so any divergence is an index bug, not a
+    // race with a concurrent mutation.
+    NEPTUNE_ASSIGN_OR_RETURN(
+        SubGraph scanned,
+        graph->state.Query(session->thread, overlay, time, np, lp, node_attrs,
+                           link_attrs, nullptr, /*force_scan=*/true));
+    out.plan.verified = true;
+    out.plan.verify_match =
+        scanned.nodes.size() == out.graph.nodes.size() &&
+        scanned.links.size() == out.graph.links.size();
+    if (out.plan.verify_match) {
+      for (size_t i = 0; i < scanned.nodes.size(); ++i) {
+        if (scanned.nodes[i].node != out.graph.nodes[i].node) {
+          out.plan.verify_match = false;
+          break;
+        }
+      }
+      for (size_t i = 0; out.plan.verify_match && i < scanned.links.size();
+           ++i) {
+        if (scanned.links[i].link != out.graph.links[i].link) {
+          out.plan.verify_match = false;
+        }
+      }
+    }
+  }
+  RecordQueryPlan(out.plan, op_span);
+  return out;
 }
 
 // --------------------------------------------------------- A.2 nodes

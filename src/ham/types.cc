@@ -31,5 +31,17 @@ const char* EventName(Event event) {
   return "unknown";
 }
 
+const char* QueryPlanKindName(QueryPlan::Kind kind) {
+  switch (kind) {
+    case QueryPlan::Kind::kScan:
+      return "scan";
+    case QueryPlan::Kind::kIndex:
+      return "index";
+    case QueryPlan::Kind::kIntersect:
+      return "intersect";
+  }
+  return "unknown";
+}
+
 }  // namespace ham
 }  // namespace neptune

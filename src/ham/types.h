@@ -166,6 +166,46 @@ struct SubGraph {
   std::vector<SubGraphLink> links;
 };
 
+// How one getGraphQuery call was executed — the `--explain` payload
+// and the source of the query.plan.* metrics.
+struct QueryPlan {
+  enum class Kind : uint8_t {
+    kScan = 0,       // full visible-record scan
+    kIndex = 1,      // one inverted-index probe
+    kIntersect = 2,  // several probes, posting lists intersected
+  };
+  Kind kind = Kind::kScan;
+  // Whether the view (time/thread/txn) allowed the index at all; an
+  // eligible query still scans when no equality conjunct exists.
+  bool eligible = false;
+  uint32_t conjuncts = 0;       // equality conjuncts the planner saw
+  uint64_t candidates = 0;      // nodes considered (postings or scanned)
+  uint64_t residual_evals = 0;  // full-predicate evaluations run
+  uint64_t nodes_matched = 0;
+  uint64_t links_matched = 0;
+  // Index maintenance this query performed before probing.
+  uint64_t applied_deltas = 0;
+  bool rebuilt = false;
+  // Set by explain --verify: the indexed result was re-run as a scan
+  // under the same lock and compared.
+  bool verified = false;
+  bool verify_match = false;
+};
+
+// Returns e.g. "index" for QueryPlan::Kind::kIndex.
+const char* QueryPlanKindName(QueryPlan::Kind kind);
+
+// Execution knobs for getGraphQueryExplained.
+struct QueryOptions {
+  bool force_scan = false;  // bypass the planner: always scan
+  bool verify = false;      // cross-check indexed result against a scan
+};
+
+struct QueryExplain {
+  SubGraph graph;
+  QueryPlan plan;
+};
+
 struct AttributeEntry {
   std::string name;
   AttributeIndex index = 0;

@@ -519,5 +519,137 @@ std::string Predicate::ToString() const {
   return out;
 }
 
+// ------------------------------------------------------------- compiler
+
+namespace {
+
+// Emits atoms bottom-up: CompileExpr(e, T, F) returns the entry point
+// (an atom index or a terminal) of a program that jumps to T when `e`
+// holds and to F otherwise. Compiling right subtrees first makes each
+// left subtree's fall-through target already known, so no fixups.
+class ProgramBuilder {
+ public:
+  uint32_t SlotFor(const std::string& name) {
+    for (size_t i = 0; i < slot_names_.size(); ++i) {
+      if (slot_names_[i] == name) return static_cast<uint32_t>(i);
+    }
+    slot_names_.push_back(name);
+    return static_cast<uint32_t>(slot_names_.size() - 1);
+  }
+
+  uint32_t CompileExpr(const Expr& e, uint32_t on_true, uint32_t on_false) {
+    switch (e.op) {
+      case Op::kTrue:
+        return on_true;
+      case Op::kFalse:
+        return on_false;
+      case Op::kNot:
+        return CompileExpr(*e.left, on_false, on_true);
+      case Op::kAnd: {
+        const uint32_t right = CompileExpr(*e.right, on_true, on_false);
+        return CompileExpr(*e.left, right, on_false);
+      }
+      case Op::kOr: {
+        const uint32_t right = CompileExpr(*e.right, on_true, on_false);
+        return CompileExpr(*e.left, on_true, right);
+      }
+      default:
+        break;
+    }
+    CompiledPredicate::Atom atom;
+    switch (e.op) {
+      case Op::kExists:
+        atom.op = CompiledPredicate::AtomOp::kExists;
+        break;
+      case Op::kEq:
+        atom.op = CompiledPredicate::AtomOp::kEq;
+        break;
+      case Op::kNe:
+        atom.op = CompiledPredicate::AtomOp::kNe;
+        break;
+      case Op::kLt:
+        atom.op = CompiledPredicate::AtomOp::kLt;
+        break;
+      case Op::kLe:
+        atom.op = CompiledPredicate::AtomOp::kLe;
+        break;
+      case Op::kGt:
+        atom.op = CompiledPredicate::AtomOp::kGt;
+        break;
+      case Op::kGe:
+        atom.op = CompiledPredicate::AtomOp::kGe;
+        break;
+      default:
+        atom.op = CompiledPredicate::AtomOp::kContains;
+        break;
+    }
+    atom.slot = SlotFor(e.attribute);
+    atom.value = e.value;
+    atom.on_true = on_true;
+    atom.on_false = on_false;
+    atoms_.push_back(std::move(atom));
+    return static_cast<uint32_t>(atoms_.size() - 1);
+  }
+
+  std::vector<CompiledPredicate::Atom> TakeAtoms() { return std::move(atoms_); }
+  std::vector<std::string> TakeSlotNames() { return std::move(slot_names_); }
+
+ private:
+  std::vector<CompiledPredicate::Atom> atoms_;
+  std::vector<std::string> slot_names_;
+};
+
+}  // namespace
+
+CompiledPredicate CompiledPredicate::Compile(const Predicate& pred) {
+  CompiledPredicate out;
+  if (pred.root_ == nullptr) return out;  // entry_ == kAccept
+  ProgramBuilder builder;
+  out.entry_ = builder.CompileExpr(*pred.root_, kAccept, kReject);
+  out.atoms_ = builder.TakeAtoms();
+  out.slot_names_ = builder.TakeSlotNames();
+  return out;
+}
+
+bool CompiledPredicate::Evaluate(const SlotSource& source) const {
+  uint32_t pc = entry_;
+  while (pc < atoms_.size()) {
+    const Atom& atom = atoms_[pc];
+    const std::optional<std::string_view> value = source.GetSlot(atom.slot);
+    bool hit;
+    if (atom.op == AtomOp::kExists) {
+      hit = value.has_value();
+    } else if (!value.has_value()) {
+      hit = false;  // absent attribute matches nothing
+    } else {
+      switch (atom.op) {
+        case AtomOp::kEq:
+          hit = *value == atom.value;
+          break;
+        case AtomOp::kNe:
+          hit = *value != atom.value;
+          break;
+        case AtomOp::kLt:
+          hit = CompareValues(*value, atom.value) < 0;
+          break;
+        case AtomOp::kLe:
+          hit = CompareValues(*value, atom.value) <= 0;
+          break;
+        case AtomOp::kGt:
+          hit = CompareValues(*value, atom.value) > 0;
+          break;
+        case AtomOp::kGe:
+          hit = CompareValues(*value, atom.value) >= 0;
+          break;
+        default:
+          hit = value->find(atom.value) != std::string_view::npos;
+          break;
+      }
+    }
+    pc = hit ? atom.on_true : atom.on_false;
+  }
+  return pc == kAccept;
+}
+
 }  // namespace query
 }  // namespace neptune

@@ -119,11 +119,76 @@ class Predicate {
   std::string ToString() const;
 
  private:
+  friend class CompiledPredicate;
+
   explicit Predicate(std::shared_ptr<const internal::Expr> root);
 
   // Shared immutable AST: Predicates are cheap to copy and safe to
   // evaluate concurrently.
   std::shared_ptr<const internal::Expr> root_;  // null == true
+};
+
+// A predicate flattened into a short-circuiting jump program. The AST
+// is walked once at compile time; per-record evaluation then runs a
+// flat atom array — no tree recursion, and attribute names are
+// interned into dense slots the caller resolves once (instead of a
+// name lookup per atom per record). This is what the query scan
+// fallback and the planner's residual checks run, where one formula is
+// evaluated against thousands of records.
+//
+// Control flow: each atom carries two jump targets; evaluation follows
+// on_true/on_false until it reaches a terminal, so AND/OR short-
+// circuit exactly like the tree evaluator. kTrue/kFalse and kNot
+// compile away entirely (constant-folded into the jump graph).
+class CompiledPredicate {
+ public:
+  // Where compiled evaluation reads attribute values from: slot i
+  // holds the value of slot_names()[i], or nullopt when unattached.
+  class SlotSource {
+   public:
+    virtual ~SlotSource() = default;
+    virtual std::optional<std::string_view> GetSlot(size_t slot) const = 0;
+  };
+
+  enum class AtomOp : uint8_t {
+    kExists,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kContains,
+  };
+
+  // Jump targets past the atom array: program terminals.
+  static constexpr uint32_t kAccept = 0xffffffffu;
+  static constexpr uint32_t kReject = 0xfffffffeu;
+
+  struct Atom {
+    AtomOp op = AtomOp::kExists;
+    uint32_t slot = 0;
+    std::string value;
+    uint32_t on_true = kAccept;
+    uint32_t on_false = kReject;
+  };
+
+  CompiledPredicate() = default;  // the always-true program
+  static CompiledPredicate Compile(const Predicate& pred);
+
+  bool Evaluate(const SlotSource& source) const;
+
+  bool IsTriviallyTrue() const { return entry_ == kAccept; }
+  bool IsTriviallyFalse() const { return entry_ == kReject; }
+
+  // Attribute names the program reads, one per slot, first-use order.
+  const std::vector<std::string>& slot_names() const { return slot_names_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<std::string> slot_names_;
+  uint32_t entry_ = kAccept;
 };
 
 }  // namespace query

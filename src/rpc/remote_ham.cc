@@ -856,6 +856,33 @@ Result<ham::SubGraph> RemoteHam::GetGraphQuery(
   return out;
 }
 
+Result<ham::QueryExplain> RemoteHam::GetGraphQueryExplained(
+    Context ctx, ham::Time time, const std::string& node_pred,
+    const std::string& link_pred,
+    const std::vector<ham::AttributeIndex>& node_attrs,
+    const std::vector<ham::AttributeIndex>& link_attrs,
+    const ham::QueryOptions& options) {
+  std::string args;
+  PutContext(&args, ctx);
+  PutVarint64(&args, time);
+  PutLengthPrefixed(&args, node_pred);
+  PutLengthPrefixed(&args, link_pred);
+  EncodeIndexVecTo(node_attrs, &args);
+  EncodeIndexVecTo(link_attrs, &args);
+  uint8_t flags = 0;
+  if (options.force_scan) flags |= 1;
+  if (options.verify) flags |= 2;
+  args.push_back(static_cast<char>(flags));
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetGraphQueryExplained, args));
+  std::string_view in = reply;
+  ham::QueryExplain out;
+  if (!DecodeQueryExplainFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
 Result<ham::OpenNodeResult> RemoteHam::OpenNode(
     Context ctx, ham::NodeIndex node, ham::Time time,
     const std::vector<ham::AttributeIndex>& attrs) {

@@ -185,6 +185,12 @@ class RemoteHam final : public ham::HamInterface {
       const std::string& link_pred,
       const std::vector<ham::AttributeIndex>& node_attrs,
       const std::vector<ham::AttributeIndex>& link_attrs) override;
+  Result<ham::QueryExplain> GetGraphQueryExplained(
+      ham::Context ctx, ham::Time time, const std::string& node_pred,
+      const std::string& link_pred,
+      const std::vector<ham::AttributeIndex>& node_attrs,
+      const std::vector<ham::AttributeIndex>& link_attrs,
+      const ham::QueryOptions& options) override;
 
   Result<ham::OpenNodeResult> OpenNode(
       ham::Context ctx, ham::NodeIndex node, ham::Time time,

@@ -1012,6 +1012,28 @@ std::string Server::HandleRequest(std::string_view in, SessionSet* sessions) {
       return ResultReply(result, EncodeSubGraphTo);
     }
 
+    case Method::kGetGraphQueryExplained: {
+      uint64_t time = 0;
+      std::string node_pred;
+      std::string link_pred;
+      std::vector<uint64_t> node_attrs;
+      std::vector<uint64_t> link_attrs;
+      if (!GetContext(&in, &ctx) || !GetVarint64(&in, &time) ||
+          !GetString(&in, &node_pred) || !GetString(&in, &link_pred) ||
+          !DecodeIndexVecFrom(&in, &node_attrs) ||
+          !DecodeIndexVecFrom(&in, &link_attrs) || in.empty()) {
+        return BadRequest("query explain args");
+      }
+      const uint8_t flags = static_cast<uint8_t>(in.front());
+      in.remove_prefix(1);
+      ham::QueryOptions options;
+      options.force_scan = (flags & 1) != 0;
+      options.verify = (flags & 2) != 0;
+      Result<ham::QueryExplain> result = ham_->GetGraphQueryExplained(
+          ctx, time, node_pred, link_pred, node_attrs, link_attrs, options);
+      return ResultReply(result, EncodeQueryExplainTo);
+    }
+
     case Method::kOpenNode: {
       uint64_t node = 0;
       uint64_t time = 0;

@@ -61,6 +61,7 @@ const char* MethodName(Method method) {
     case Method::kOpenNodes: return "openNodes";
     case Method::kGetAttributeValuesBatch: return "getAttributeValuesBatch";
     case Method::kLinearizeAndFetch: return "linearizeAndFetch";
+    case Method::kGetGraphQueryExplained: return "getGraphQueryExplained";
   }
   return "unknown";
 }
@@ -94,6 +95,7 @@ bool IsIdempotent(Method method) {
     case Method::kOpenNodes:
     case Method::kGetAttributeValuesBatch:
     case Method::kLinearizeAndFetch:
+    case Method::kGetGraphQueryExplained:
       return true;
     default:
       return false;
@@ -357,6 +359,52 @@ bool DecodeSubGraphFrom(std::string_view* in, ham::SubGraph* graph) {
     }
     graph->links.push_back(std::move(link));
   }
+  return true;
+}
+
+void EncodeQueryExplainTo(const ham::QueryExplain& r, std::string* out) {
+  EncodeSubGraphTo(r.graph, out);
+  const ham::QueryPlan& plan = r.plan;
+  PutVarint64(out, static_cast<uint64_t>(plan.kind));
+  uint8_t flags = 0;
+  if (plan.eligible) flags |= 1;
+  if (plan.rebuilt) flags |= 2;
+  if (plan.verified) flags |= 4;
+  if (plan.verify_match) flags |= 8;
+  out->push_back(static_cast<char>(flags));
+  PutVarint64(out, plan.conjuncts);
+  PutVarint64(out, plan.candidates);
+  PutVarint64(out, plan.residual_evals);
+  PutVarint64(out, plan.nodes_matched);
+  PutVarint64(out, plan.links_matched);
+  PutVarint64(out, plan.applied_deltas);
+}
+
+bool DecodeQueryExplainFrom(std::string_view* in, ham::QueryExplain* r) {
+  if (!DecodeSubGraphFrom(in, &r->graph)) return false;
+  uint64_t kind = 0;
+  if (!GetVarint64(in, &kind) ||
+      kind > static_cast<uint64_t>(ham::QueryPlan::Kind::kIntersect)) {
+    return false;
+  }
+  ham::QueryPlan& plan = r->plan;
+  plan.kind = static_cast<ham::QueryPlan::Kind>(kind);
+  if (in->empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>(in->front());
+  in->remove_prefix(1);
+  plan.eligible = (flags & 1) != 0;
+  plan.rebuilt = (flags & 2) != 0;
+  plan.verified = (flags & 4) != 0;
+  plan.verify_match = (flags & 8) != 0;
+  uint64_t conjuncts = 0;
+  if (!GetVarint64(in, &conjuncts) || !GetVarint64(in, &plan.candidates) ||
+      !GetVarint64(in, &plan.residual_evals) ||
+      !GetVarint64(in, &plan.nodes_matched) ||
+      !GetVarint64(in, &plan.links_matched) ||
+      !GetVarint64(in, &plan.applied_deltas)) {
+    return false;
+  }
+  plan.conjuncts = static_cast<uint32_t>(conjuncts);
   return true;
 }
 

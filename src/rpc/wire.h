@@ -88,6 +88,9 @@ enum class Method : uint8_t {
   kOpenNodes = 49,
   kGetAttributeValuesBatch = 50,
   kLinearizeAndFetch = 51,
+
+  // getGraphQuery with plan reporting (`neptune_ctl query --explain`).
+  kGetGraphQueryExplained = 52,
 };
 
 // Trace-context frame extension. A request whose method byte carries
@@ -117,7 +120,7 @@ constexpr uint8_t kRequestIdFlag = 0x40;
 
 // Methods must stay below kRequestIdFlag so the two flag bits are
 // unambiguous.
-static_assert(static_cast<uint8_t>(Method::kLinearizeAndFetch) <
+static_assert(static_cast<uint8_t>(Method::kGetGraphQueryExplained) <
                   kRequestIdFlag,
               "method values collide with the request-id flag bit");
 
@@ -190,6 +193,13 @@ bool DecodeIndexVecFrom(std::string_view* in, std::vector<uint64_t>* v);
 
 void EncodeSubGraphTo(const ham::SubGraph& graph, std::string* out);
 bool DecodeSubGraphFrom(std::string_view* in, ham::SubGraph* graph);
+
+// getGraphQueryExplained reply: the sub-graph followed by the plan —
+//   varint kind | u8 flags (eligible, rebuilt<<1, verified<<2,
+//   verify_match<<3) | varints conjuncts, candidates, residual_evals,
+//   nodes_matched, links_matched, applied_deltas
+void EncodeQueryExplainTo(const ham::QueryExplain& r, std::string* out);
+bool DecodeQueryExplainFrom(std::string_view* in, ham::QueryExplain* r);
 
 void EncodeOpenNodeResultTo(const ham::OpenNodeResult& r, std::string* out);
 bool DecodeOpenNodeResultFrom(std::string_view* in, ham::OpenNodeResult* r);

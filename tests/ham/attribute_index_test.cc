@@ -59,6 +59,59 @@ TEST(AttributeValueIndexTest, SkipsDeletedNodesAndDetachedValues) {
   EXPECT_EQ(index.Lookup(1, "x"), std::vector<NodeIndex>{1});
 }
 
+TEST(AttributeValueIndexTest, ApplyDeltaAddRemoveChange) {
+  std::unordered_map<NodeIndex, NodeRecord> nodes;
+  for (NodeIndex i = 1; i <= 4; ++i) {
+    NodeRecord node;
+    node.index = i;
+    node.created = 1;
+    node.attributes.Set(1, 2, "even", true);
+    nodes.emplace(i, std::move(node));
+  }
+  AttributeValueIndex index;
+  index.Rebuild(nodes, 1);
+  ASSERT_EQ(index.entry_count(), 4u);
+
+  // New value on a new node.
+  index.ApplyDelta({5, 1, std::nullopt, "even"});
+  EXPECT_EQ(index.Lookup(1, "even"), (std::vector<NodeIndex>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(index.entry_count(), 5u);
+
+  // Value change moves the node between posting lists.
+  index.ApplyDelta({3, 1, std::string("even"), std::string("odd")});
+  EXPECT_EQ(index.Lookup(1, "even"), (std::vector<NodeIndex>{1, 2, 4, 5}));
+  EXPECT_EQ(index.Lookup(1, "odd"), std::vector<NodeIndex>{3});
+  EXPECT_EQ(index.entry_count(), 5u);
+
+  // Removal; an emptied posting list is dropped entirely.
+  index.ApplyDelta({3, 1, std::string("odd"), std::nullopt});
+  EXPECT_TRUE(index.Lookup(1, "odd").empty());
+  EXPECT_EQ(index.entry_count(), 4u);
+  EXPECT_EQ(index.applied_delta_count(), 3u);
+}
+
+TEST(AttributeValueIndexTest, ApplyDeltaIsIdempotentAtTheEdges) {
+  std::unordered_map<NodeIndex, NodeRecord> nodes;
+  NodeRecord node;
+  node.index = 1;
+  node.created = 1;
+  node.attributes.Set(1, 2, "x", true);
+  nodes.emplace(1, std::move(node));
+  AttributeValueIndex index;
+  index.Rebuild(nodes, 1);
+
+  // Re-inserting a present entry and removing an absent one both leave
+  // the index unchanged (the dup guard in ApplyDelta).
+  index.ApplyDelta({1, 1, std::nullopt, "x"});
+  EXPECT_EQ(index.Lookup(1, "x"), std::vector<NodeIndex>{1});
+  EXPECT_EQ(index.entry_count(), 1u);
+  index.ApplyDelta({2, 1, std::string("x"), std::nullopt});
+  EXPECT_EQ(index.Lookup(1, "x"), std::vector<NodeIndex>{1});
+  EXPECT_EQ(index.entry_count(), 1u);
+  index.ApplyDelta({9, 1, std::string("no-such-value"), std::nullopt});
+  EXPECT_EQ(index.entry_count(), 1u);
+}
+
 TEST(PredicateConjunctTest, ExtractsTopLevelEqualities) {
   auto p = query::Predicate::Parse(
       "document = spec & version >= 3 & (a = 1 | b = 2) & kind = special");

@@ -285,6 +285,91 @@ TEST_F(HamSharedLockStressTest, IndexedQueriesRaceWithWriters) {
   EXPECT_EQ(failures, 0);
 }
 
+// The incremental-maintenance stress: writers keep flipping attribute
+// values (staging index deltas on every commit) while readers run
+// indexed queries in verify mode, which re-executes each query as a
+// scan under the same shared lock and compares. Any divergence is an
+// incremental-maintenance bug, not a benign race.
+TEST_F(HamSharedLockStressTest, IncrementalIndexMatchesScanUnderMutation) {
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kNodes = 24;
+  constexpr int kWriterRounds = 80;
+
+  const AttributeIndex kind = Attr("kind");
+  const AttributeIndex serial = Attr("serial");
+  std::vector<NodeIndex> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    NodeIndex n = MakeNode("node");
+    ASSERT_TRUE(
+        ham_->SetNodeAttributeValue(ctx_, n, kind, i % 2 ? "red" : "blue")
+            .ok());
+    ASSERT_TRUE(
+        ham_->SetNodeAttributeValue(ctx_, n, serial, std::to_string(i % 4))
+            .ok());
+    nodes.push_back(n);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto ctx = ham_->OpenGraph(project_, "local", dir_);
+      ASSERT_TRUE(ctx.ok());
+      Random rng(17 * (w + 1));
+      for (int round = 0; round < kWriterRounds; ++round) {
+        const NodeIndex node = nodes[rng.Uniform(kNodes)];
+        const char* value = rng.OneIn(3)   ? "green"
+                            : rng.OneIn(2) ? "red"
+                                           : "blue";
+        if (!ham_->SetNodeAttributeValue(*ctx, node, kind, value).ok()) {
+          ++failures;
+        }
+        if (rng.OneIn(4) &&
+            !ham_->DeleteNodeAttribute(*ctx, node, serial).ok()) {
+          ++failures;
+        }
+        std::this_thread::yield();
+      }
+      ham_->CloseGraph(*ctx);
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      auto ctx = ham_->OpenGraph(project_, "local", dir_);
+      ASSERT_TRUE(ctx.ok());
+      const char* preds[] = {"kind = red", "kind = blue",
+                             "kind = red & serial = 1",
+                             "kind = green & serial = 0"};
+      QueryOptions options;
+      options.verify = true;
+      int i = r;
+      while (!stop) {
+        auto result = ham_->GetGraphQueryExplained(
+            *ctx, 0, preds[i++ % 4], "", {kind}, {}, options);
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        if (!result->plan.verified || !result->plan.verify_match) {
+          ++mismatches;
+        }
+      }
+      ham_->CloseGraph(*ctx);
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(failures, 0);
+}
+
 }  // namespace
 }  // namespace ham
 }  // namespace neptune

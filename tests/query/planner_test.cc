@@ -1,0 +1,292 @@
+// Query-planner tests: the compiled predicate evaluator against the
+// tree walker, the single index-eligibility rule, and the plans the
+// engine reports through getGraphQueryExplained — including the
+// incremental index maintenance counters.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ham/graph_state.h"
+#include "query/predicate.h"
+#include "tests/ham/ham_test_util.h"
+
+namespace neptune {
+namespace query {
+namespace {
+
+// Adapts a plain map to the compiled program's slot protocol, the way
+// CompiledRecordSource adapts an AttributeHistory in graph_state.cc.
+class MapSlotSource : public CompiledPredicate::SlotSource {
+ public:
+  MapSlotSource(const CompiledPredicate& program,
+                const std::map<std::string, std::string>& values)
+      : program_(program), values_(values) {}
+
+  std::optional<std::string_view> GetSlot(size_t slot) const override {
+    auto it = values_.find(program_.slot_names()[slot]);
+    if (it == values_.end()) return std::nullopt;
+    return std::string_view(it->second);
+  }
+
+ private:
+  const CompiledPredicate& program_;
+  const std::map<std::string, std::string>& values_;
+};
+
+// Evaluates `text` both ways — tree walk and compiled program — and
+// checks they agree before returning the verdict.
+bool EvalBoth(std::string_view text,
+              const std::map<std::string, std::string>& attrs) {
+  auto parsed = Predicate::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << " -> " << parsed.status().ToString();
+  if (!parsed.ok()) return false;
+  MapAttributeSource tree_attrs;
+  for (const auto& [name, value] : attrs) tree_attrs.Set(name, value);
+  const bool tree = parsed->Evaluate(tree_attrs);
+  CompiledPredicate program = CompiledPredicate::Compile(*parsed);
+  MapSlotSource source(program, attrs);
+  const bool compiled = program.Evaluate(source);
+  EXPECT_EQ(tree, compiled) << "tree and compiled diverge on: " << text;
+  return compiled;
+}
+
+const std::map<std::string, std::string> kCaseNode = {
+    {"contentType", "Modula-2 source"},
+    {"codeType", "procedure"},
+    {"document", "design"},
+    {"version", "12"},
+    {"author", "delisle"}};
+
+TEST(CompiledPredicateTest, TrivialPrograms) {
+  auto empty = Predicate::Parse("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(CompiledPredicate::Compile(*empty).IsTriviallyTrue());
+  auto always = Predicate::Parse("true");
+  ASSERT_TRUE(always.ok());
+  EXPECT_TRUE(CompiledPredicate::Compile(*always).IsTriviallyTrue());
+  auto never = Predicate::Parse("false");
+  ASSERT_TRUE(never.ok());
+  EXPECT_TRUE(CompiledPredicate::Compile(*never).IsTriviallyFalse());
+}
+
+TEST(CompiledPredicateTest, MatchesTreeEvaluator) {
+  EXPECT_TRUE(EvalBoth("codeType = procedure", kCaseNode));
+  EXPECT_FALSE(EvalBoth("codeType = definitionModule", kCaseNode));
+  EXPECT_TRUE(EvalBoth("contentType = 'Modula-2 source'", kCaseNode));
+  EXPECT_TRUE(EvalBoth("codeType != module", kCaseNode));
+  EXPECT_FALSE(EvalBoth("codeType != procedure", kCaseNode));
+  EXPECT_TRUE(EvalBoth("exists codeType", kCaseNode));
+  EXPECT_FALSE(EvalBoth("exists missing", kCaseNode));
+  EXPECT_TRUE(EvalBoth("!exists missing", kCaseNode));
+  EXPECT_TRUE(EvalBoth("version < 100", kCaseNode));
+  EXPECT_FALSE(EvalBoth("version > 100", kCaseNode));
+  EXPECT_TRUE(EvalBoth("version >= 12", kCaseNode));
+  EXPECT_TRUE(EvalBoth("version <= 12", kCaseNode));
+  EXPECT_TRUE(EvalBoth("contentType ~ Modula", kCaseNode));
+  EXPECT_FALSE(EvalBoth("contentType ~ Pascal", kCaseNode));
+}
+
+TEST(CompiledPredicateTest, AbsentAttributeMatchesNothing) {
+  EXPECT_FALSE(EvalBoth("missing = x", kCaseNode));
+  EXPECT_FALSE(EvalBoth("missing != x", kCaseNode));
+  EXPECT_FALSE(EvalBoth("missing < x", kCaseNode));
+  EXPECT_FALSE(EvalBoth("missing ~ x", kCaseNode));
+  EXPECT_TRUE(EvalBoth("!(missing = x)", kCaseNode));
+}
+
+TEST(CompiledPredicateTest, BooleanStructure) {
+  EXPECT_TRUE(EvalBoth("codeType = procedure & document = design", kCaseNode));
+  EXPECT_FALSE(EvalBoth("codeType = procedure & document = spec", kCaseNode));
+  EXPECT_TRUE(EvalBoth("codeType = module | document = design", kCaseNode));
+  EXPECT_FALSE(EvalBoth("codeType = module | document = spec", kCaseNode));
+  // Precedence: a | b & c == a | (b & c).
+  const std::map<std::string, std::string> abc = {
+      {"a", "0"}, {"b", "1"}, {"c", "1"}};
+  EXPECT_TRUE(EvalBoth("a = 1 | b = 1 & c = 1", abc));
+  EXPECT_FALSE(EvalBoth("(a = 1 | b = 1) & c = 0", abc));
+  EXPECT_TRUE(EvalBoth("!(a = 1) & (b = 1 | c = 0)", abc));
+  EXPECT_TRUE(EvalBoth(
+      "document = spec | (codeType = procedure & version >= 10)", kCaseNode));
+}
+
+TEST(CompiledPredicateTest, SlotsAreInternedOncePerName) {
+  auto parsed =
+      Predicate::Parse("a = 1 & a = 1 & a != 2 & exists a & b = 3");
+  ASSERT_TRUE(parsed.ok());
+  CompiledPredicate program = CompiledPredicate::Compile(*parsed);
+  EXPECT_EQ(program.slot_names().size(), 2u);  // "a", "b"
+}
+
+// ------------------------------------------------- eligibility rule
+
+// The one documented predicate for "may this view be served from the
+// attribute index": current time, main thread, no open transaction.
+TEST(IndexEligibleTest, CurrentMainThreadNoTxnIsEligible) {
+  EXPECT_TRUE(ham::GraphState::IndexEligible(ham::kMainThread, nullptr, 0));
+}
+
+TEST(IndexEligibleTest, HistoricalTimeIsNotEligible) {
+  EXPECT_FALSE(ham::GraphState::IndexEligible(ham::kMainThread, nullptr, 7));
+}
+
+TEST(IndexEligibleTest, VersionThreadIsNotEligible) {
+  EXPECT_FALSE(ham::GraphState::IndexEligible(1, nullptr, 0));
+}
+
+TEST(IndexEligibleTest, OpenTransactionIsNotEligible) {
+  ham::GraphState::TxnOverlay txn;
+  EXPECT_FALSE(ham::GraphState::IndexEligible(ham::kMainThread, &txn, 0));
+}
+
+// --------------------------------------------- end-to-end plan kinds
+
+class PlannerExplainTest : public ham::HamTestBase {
+ protected:
+  void Populate(int count) {
+    kind_ = Attr("kind");
+    serial_ = Attr("serial");
+    for (int i = 0; i < count; ++i) {
+      ham::NodeIndex node = MakeNode("node " + std::to_string(i));
+      ASSERT_TRUE(ham_->SetNodeAttributeValue(
+                          ctx_, node, kind_, i % 5 == 0 ? "special" : "plain")
+                      .ok());
+      ASSERT_TRUE(ham_->SetNodeAttributeValue(ctx_, node, serial_,
+                                              std::to_string(i))
+                      .ok());
+      nodes_.push_back(node);
+    }
+  }
+
+  ham::QueryExplain Explain(const std::string& pred,
+                            ham::QueryOptions options = {}) {
+    auto result =
+        ham_->GetGraphQueryExplained(ctx_, 0, pred, "", {}, {}, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : ham::QueryExplain{};
+  }
+
+  ham::AttributeIndex kind_ = 0;
+  ham::AttributeIndex serial_ = 0;
+  std::vector<ham::NodeIndex> nodes_;
+};
+
+TEST_F(PlannerExplainTest, SingleEqualityUsesIndex) {
+  Populate(25);
+  ham::QueryExplain result = Explain("kind = special");
+  EXPECT_EQ(result.plan.kind, ham::QueryPlan::Kind::kIndex);
+  EXPECT_TRUE(result.plan.eligible);
+  EXPECT_EQ(result.plan.conjuncts, 1u);
+  EXPECT_EQ(result.graph.nodes.size(), 5u);
+  EXPECT_EQ(result.plan.candidates, 5u);
+  EXPECT_EQ(result.plan.nodes_matched, 5u);
+}
+
+TEST_F(PlannerExplainTest, ConjunctionIntersectsPostings) {
+  Populate(25);
+  ham::QueryExplain result = Explain("kind = special & serial = 10");
+  EXPECT_EQ(result.plan.kind, ham::QueryPlan::Kind::kIntersect);
+  EXPECT_EQ(result.plan.conjuncts, 2u);
+  ASSERT_EQ(result.graph.nodes.size(), 1u);
+  EXPECT_EQ(result.graph.nodes[0].node, nodes_[10]);
+  // The intersection already satisfies the whole formula, but the
+  // residual check still runs per candidate.
+  EXPECT_EQ(result.plan.candidates, 1u);
+}
+
+TEST_F(PlannerExplainTest, NonEqualityPredicateScans) {
+  Populate(25);
+  ham::QueryExplain result = Explain("serial > 10");
+  EXPECT_EQ(result.plan.kind, ham::QueryPlan::Kind::kScan);
+  EXPECT_TRUE(result.plan.eligible);  // the view allowed the index...
+  EXPECT_EQ(result.plan.conjuncts, 0u);  // ...but no conjunct to probe
+}
+
+TEST_F(PlannerExplainTest, ForceScanBypassesThePlanner) {
+  Populate(25);
+  ham::QueryOptions options;
+  options.force_scan = true;
+  ham::QueryExplain result = Explain("kind = special", options);
+  EXPECT_EQ(result.plan.kind, ham::QueryPlan::Kind::kScan);
+  EXPECT_FALSE(result.plan.eligible);
+  EXPECT_EQ(result.graph.nodes.size(), 5u);
+}
+
+TEST_F(PlannerExplainTest, HistoricalViewIsIneligible) {
+  Populate(5);
+  auto stamp = ham_->GetNodeTimeStamp(ctx_, nodes_[0]);
+  ASSERT_TRUE(stamp.ok());
+  auto result = ham_->GetGraphQueryExplained(ctx_, *stamp, "kind = special",
+                                             "", {}, {}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.kind, ham::QueryPlan::Kind::kScan);
+  EXPECT_FALSE(result->plan.eligible);
+}
+
+TEST_F(PlannerExplainTest, UnknownAttributeIsProvablyEmpty) {
+  Populate(10);
+  ham::QueryExplain result = Explain("neverInterned = x");
+  EXPECT_EQ(result.plan.kind, ham::QueryPlan::Kind::kIndex);
+  EXPECT_EQ(result.graph.nodes.size(), 0u);
+  EXPECT_EQ(result.plan.candidates, 0u);
+}
+
+TEST_F(PlannerExplainTest, WritesApplyDeltasInsteadOfRebuilding) {
+  Populate(25);
+  // First indexed query builds the index from scratch.
+  ham::QueryExplain first = Explain("kind = special");
+  EXPECT_TRUE(first.plan.rebuilt);
+  // A write stages deltas; the next query applies them incrementally.
+  ASSERT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, nodes_[1], kind_, "special").ok());
+  ham::QueryExplain second = Explain("kind = special");
+  EXPECT_FALSE(second.plan.rebuilt);
+  EXPECT_GT(second.plan.applied_deltas, 0u);
+  EXPECT_EQ(second.graph.nodes.size(), 6u);
+  // Steady state: no writes, no maintenance at all.
+  ham::QueryExplain third = Explain("kind = special");
+  EXPECT_FALSE(third.plan.rebuilt);
+  EXPECT_EQ(third.plan.applied_deltas, 0u);
+}
+
+TEST_F(PlannerExplainTest, DeleteNodeLeavesTheIndexConsistent) {
+  Populate(25);
+  (void)Explain("kind = special");  // build
+  ASSERT_TRUE(ham_->DeleteNode(ctx_, nodes_[5]).ok());
+  ham::QueryOptions options;
+  options.verify = true;
+  ham::QueryExplain result = Explain("kind = special", options);
+  EXPECT_FALSE(result.plan.rebuilt);
+  EXPECT_EQ(result.graph.nodes.size(), 4u);
+  EXPECT_TRUE(result.plan.verified);
+  EXPECT_TRUE(result.plan.verify_match);
+}
+
+TEST_F(PlannerExplainTest, PruneForcesRebuild) {
+  Populate(25);
+  (void)Explain("kind = special");  // build
+  ASSERT_TRUE(
+      ham_->SetNodeAttributeValue(ctx_, nodes_[0], serial_, "999").ok());
+  auto current = ham_->GetNodeTimeStamp(ctx_, nodes_[0]);
+  ASSERT_TRUE(current.ok());
+  ASSERT_TRUE(ham_->PruneHistory(ctx_, *current).ok());
+  ham::QueryExplain result = Explain("kind = special");
+  EXPECT_TRUE(result.plan.rebuilt);
+  EXPECT_EQ(result.graph.nodes.size(), 5u);
+}
+
+TEST_F(PlannerExplainTest, VerifyModeComparesIndexedAgainstScan) {
+  Populate(30);
+  ham::QueryOptions options;
+  options.verify = true;
+  ham::QueryExplain result = Explain("kind = special & serial = 20", options);
+  EXPECT_EQ(result.plan.kind, ham::QueryPlan::Kind::kIntersect);
+  EXPECT_TRUE(result.plan.verified);
+  EXPECT_TRUE(result.plan.verify_match);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace neptune
