@@ -7,7 +7,9 @@
 //   neptune_ctl slowops <host:port>
 //   neptune_ctl workload <host:port> <server-side-dir>
 //                [--deadline-ms <n>] [--retries <n>] [--clients <n>]
-//   neptune_ctl recover <dir>
+//   neptune_ctl recover <dir> [--json]
+//   neptune_ctl promote <dir | host:port>
+//   neptune_ctl repl <host:port> <server-side-dir>
 //   neptune_ctl ls <dir> [node-predicate]
 //   neptune_ctl query <dir> <node-predicate> [--explain|--scan|--verify]
 //   neptune_ctl query <host:port> <server-side-dir> <node-predicate>
@@ -92,7 +94,10 @@ int Usage() {
                "       neptune_ctl slowops <host:port>\n"
                "       neptune_ctl workload <host:port> <server-side-dir>"
                " [--deadline-ms <n>] [--retries <n>] [--clients <n>]"
-               " [--pipeline <0|1>]\n");
+               " [--pipeline <0|1>]\n"
+               "       neptune_ctl recover <dir> [--json]\n"
+               "       neptune_ctl promote <dir | host:port>\n"
+               "       neptune_ctl repl <host:port> <server-side-dir>\n");
   return 2;
 }
 
@@ -116,25 +121,41 @@ std::unique_ptr<rpc::RemoteHam> ConnectTo(const std::string& host,
 // Runs crash recovery on `dir` and reports what it found, then
 // cross-checks the recovered graph with the fsck pass. This is the
 // operator's "is my database OK after the machine died?" command.
-int Recover(const std::string& dir) {
+// With --json the whole outcome is one machine-readable object on
+// stdout (for CI artifact collection); problems still exit nonzero.
+int Recover(const std::string& dir, bool json) {
   RecoveredState state;
   {
     auto store = DurableStore::Open(Env::Default(), dir, &state);
     if (!store.ok()) Die(store.status());
   }
-  std::printf("%s\n", state.report.ToString().c_str());
-  std::printf("snapshot    : %zu bytes (epoch %" PRIu64 ")\n",
-              state.snapshot.size(), state.report.snapshot_epoch);
-  std::printf("wal records : %zu replayed\n", state.wal_records.size());
+  if (!json) {
+    std::printf("%s\n", state.report.ToString().c_str());
+    std::printf("snapshot    : %zu bytes (epoch %" PRIu64 ")\n",
+                state.snapshot.size(), state.report.snapshot_epoch);
+    std::printf("wal records : %zu replayed\n", state.wal_records.size());
+  }
 
   ham::Ham engine(Env::Default(), ham::HamOptions());
   ham::Context ctx = OpenByDir(&engine, dir);
   auto problems = Unwrap(engine.VerifyGraph(ctx));
-  for (const auto& problem : problems) {
-    std::printf("PROBLEM: %s\n", problem.c_str());
+  if (!json) {
+    for (const auto& problem : problems) {
+      std::printf("PROBLEM: %s\n", problem.c_str());
+    }
   }
   auto stats = Unwrap(engine.GetStats(ctx));
   Check(engine.CloseGraph(ctx));
+  if (json) {
+    std::printf("{\"report\": %s, \"snapshot_bytes\": %zu, "
+                "\"wal_records\": %zu, \"nodes\": %" PRIu64
+                ", \"links\": %" PRIu64 ", \"fsck_problems\": %zu, "
+                "\"consistent\": %s}\n",
+                state.report.ToJson().c_str(), state.snapshot.size(),
+                state.wal_records.size(), stats.node_count, stats.link_count,
+                problems.size(), problems.empty() ? "true" : "false");
+    return problems.empty() ? 0 : 1;
+  }
   std::printf("graph       : %" PRIu64 " nodes, %" PRIu64
               " links, %s\n",
               stats.node_count, stats.link_count,
@@ -142,6 +163,28 @@ int Recover(const std::string& dir) {
   if (!problems.empty()) return 1;
   std::printf(state.report.Clean() ? "store was clean\n"
                                    : "store recovered\n");
+  return 0;
+}
+
+// Offline promotion: flip a follower store's durable fencing role to
+// primary and bump the term, so a deposed primary's late appends are
+// rejected. The online path (`promote <host:port>`) does the same
+// through a running server and also lifts its read-only mode.
+int PromoteDir(const std::string& dir) {
+  RecoveredState state;
+  auto store = DurableStore::Open(Env::Default(), dir, &state);
+  if (!store.ok()) Die(store.status());
+  ReplRole role = (*store)->repl_role();
+  if (!role.follower) {
+    std::printf("%s is already a primary (term %" PRIu64 ")\n", dir.c_str(),
+                role.term);
+    return 0;
+  }
+  role.term += 1;
+  role.follower = false;
+  Check((*store)->SetReplRole(role));
+  std::printf("promoted %s to primary, fencing term %" PRIu64 "\n",
+              dir.c_str(), role.term);
   return 0;
 }
 
@@ -420,18 +463,46 @@ int main(int argc, char** argv) {
       }
       return RemoteWorkload(host, port, argv[3], options, clients);
     }
+    if (command == "promote") {
+      auto client = ConnectTo(host, port);
+      uint64_t term = Unwrap(client->Promote());
+      std::printf("promoted %s:%u to primary, fencing term %" PRIu64 "\n",
+                  host.c_str(), port, term);
+      return 0;
+    }
+    if (command == "repl") {
+      if (argc < 4) return Usage();
+      auto client = ConnectTo(host, port);
+      ham::ReplNodeStatus status = Unwrap(client->ReplStatus(argv[3]));
+      std::printf("role        : %s\n",
+                  status.follower ? "follower" : "primary");
+      std::printf("term        : %" PRIu64 "\n", status.term);
+      std::printf("epoch       : %" PRIu64 "\n", status.epoch);
+      std::printf("wal bytes   : %" PRIu64 "\n", status.wal_bytes);
+      std::printf("lag bytes   : %" PRIu64 "\n", status.lag_bytes);
+      if (status.behind_ms == ~0ull) {
+        std::printf("behind      : never caught up\n");
+      } else {
+        std::printf("behind      : %" PRIu64 " ms\n", status.behind_ms);
+      }
+      return 0;
+    }
     std::fprintf(stderr,
-                 "neptune_ctl: only stats, trace, slowops, query and "
-                 "workload accept host:port\n");
+                 "neptune_ctl: only stats, trace, slowops, query, workload, "
+                 "promote and repl accept host:port\n");
     return 2;
   }
-  if (command == "workload" || command == "trace" || command == "slowops") {
+  if (command == "workload" || command == "trace" || command == "slowops" ||
+      command == "repl") {
     std::fprintf(stderr, "neptune_ctl: %s needs a host:port target\n",
                  command.c_str());
     return 2;
   }
 
-  if (command == "recover") return Recover(dir);
+  if (command == "recover") {
+    return Recover(dir, argc > 3 && std::string(argv[3]) == "--json");
+  }
+  if (command == "promote") return PromoteDir(dir);
 
   ham::Ham engine(Env::Default(), ham::HamOptions());
 

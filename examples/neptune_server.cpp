@@ -17,6 +17,12 @@
 //       keeps spans slower than that many microseconds.
 //       --io-threads / --workers size the event loop and the request
 //       worker pool (defaults: 1 IO thread, 4 workers).
+//   ./neptune_server follow <data-dir> <port> <primary-host:port>
+//                    <primary-root> [poll-wait-ms]
+//       Runs a read-only follower: tails the primary's WAL into
+//       <data-dir> (snapshot bootstrap + per-commit shipping) and
+//       serves idempotent reads. Writes are rejected with kReadOnly.
+//       `neptune_ctl promote <host:port>` turns it into a primary.
 //   ./neptune_server demo [data-dir]
 //       Starts an in-process server on an ephemeral port, connects a
 //       RemoteHam client over real TCP, and runs a workstation session
@@ -33,6 +39,7 @@
 #include "common/metrics.h"
 #include "ham/ham.h"
 #include "rpc/remote_ham.h"
+#include "rpc/replicator.h"
 #include "rpc/server.h"
 
 using neptune::Env;
@@ -102,6 +109,45 @@ int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
       }
     }).detach();
   }
+  for (;;) pause();
+}
+
+int RunFollow(const std::string& dir, uint16_t port,
+              const std::string& primary_host, uint16_t primary_port,
+              const std::string& primary_root, unsigned poll_wait_ms) {
+  neptune::SetLogLevel(LogLevel::kInfo);
+  Env::Default()->CreateDir(dir);
+  HamOptions ham_options;
+  ham_options.follower_mode = true;
+  Ham ham(Env::Default(), ham_options);
+  Server server(&ham);
+  auto bound = server.Start(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+  auto primary = RemoteHam::Connect(primary_host, primary_port);
+  if (!primary.ok()) {
+    std::fprintf(stderr, "cannot reach primary %s:%u: %s\n",
+                 primary_host.c_str(), primary_port,
+                 primary.status().ToString().c_str());
+    return 1;
+  }
+  neptune::rpc::Replicator::Options repl_options;
+  repl_options.primary_root = primary_root;
+  repl_options.local_root = dir;
+  if (poll_wait_ms > 0) repl_options.poll_wait_ms = poll_wait_ms;
+  neptune::rpc::Replicator replicator(&ham, primary->get(), repl_options);
+  replicator.Start();
+  std::printf("neptune follower on 127.0.0.1:%u, replicating %s:%u%s%s "
+              "into %s\n",
+              *bound, primary_host.c_str(), primary_port,
+              primary_root.empty() ? "" : " root ", primary_root.c_str(),
+              dir.c_str());
+  std::printf("press Ctrl-C to stop; promote with: neptune_ctl promote "
+              "127.0.0.1:%u\n",
+              *bound);
   for (;;) pause();
 }
 
@@ -216,6 +262,30 @@ int main(int argc, char** argv) {
                     idle_timeout_ms, trace_sample_n, trace_slow_us, io_threads,
                     workers);
   }
+  if (mode == "follow") {
+    if (nargs < 6) {
+      std::fprintf(stderr,
+                   "usage: %s follow <data-dir> <port> <primary-host:port>"
+                   " <primary-root> [poll-wait-ms]\n",
+                   args[0]);
+      return 2;
+    }
+    const std::string target = args[4];
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "primary must be host:port, got %s\n",
+                   target.c_str());
+      return 2;
+    }
+    const std::string primary_host = target.substr(0, colon);
+    const uint16_t primary_port = static_cast<uint16_t>(
+        std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+    const uint16_t port = static_cast<uint16_t>(std::atoi(args[3]));
+    const unsigned poll_wait_ms =
+        nargs > 6 ? static_cast<unsigned>(std::atoi(args[6])) : 0;
+    return RunFollow(args[2], port, primary_host, primary_port, args[5],
+                     poll_wait_ms);
+  }
   if (mode == "demo") {
     return RunDemo(nargs > 2 ? args[2] : "/tmp/neptune_server_demo");
   }
@@ -223,7 +293,9 @@ int main(int argc, char** argv) {
                "usage: %s serve <data-dir> [port] [stats-interval-sec]"
                " [txn-lease-ms] [idle-timeout-ms]"
                " [trace-sample-n] [trace-slow-us]"
-               " [--io-threads=N] [--workers=N] | demo [dir]\n",
+               " [--io-threads=N] [--workers=N]"
+               " | follow <data-dir> <port> <primary-host:port>"
+               " <primary-root> [poll-wait-ms] | demo [dir]\n",
                argv[0]);
   return 2;
 }

@@ -34,7 +34,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("fresh")
-    parser.add_argument("--gate", default="B1,B3,B9",
+    parser.add_argument("--gate", default="B1,B3,B6,B9",
                         help="comma-separated B-series to enforce")
     parser.add_argument("--threshold", type=float, default=30.0,
                         help="max allowed regression, percent")
@@ -64,6 +64,29 @@ def main():
             delta = "n/a"
         mark = " (gated)" if series in gated else ""
         rows.append((series + mark, name, old_us, new_us, delta))
+
+    # B6's real story is the pipelining sub-headlines, not the single
+    # BM_OpenNodeLocal time: gate the pipelined per-op latencies (higher
+    # is worse) and the aggregate speedup (lower is worse) too.
+    if "B6" in gated:
+        old_pipe = baseline.get("B6", {}).get("pipelining", {})
+        new_pipe = fresh.get("B6", {}).get("pipelining", {})
+        for key in sorted(set(old_pipe) & set(new_pipe)):
+            old_v, new_v = old_pipe[key], new_pipe[key]
+            if not old_v or not new_v:
+                continue
+            if key.endswith("_us"):
+                delta_pct = (new_v - old_v) / old_v * 100
+                worse = delta_pct > args.threshold
+            elif key.endswith("_x"):
+                delta_pct = (old_v - new_v) / old_v * 100
+                worse = delta_pct > args.threshold
+            else:
+                continue
+            if worse:
+                failures.append(
+                    f"B6 pipelining.{key}: {old_v} -> {new_v} "
+                    f"({delta_pct:+.1f}% worse > +{args.threshold:.0f}%)")
 
     print("### Bench headline diff")
     print()

@@ -118,6 +118,21 @@ Ham::Ham(Env* env, HamOptions options)
   MetricsRegistry::Instance().GetCounter("query.index.applied_deltas");
   MetricsRegistry::Instance().GetCounter("query.index.rebuilds");
   MetricsRegistry::Instance().GetCounter("ham.demons.dispatch.indexed");
+  // Replication metrics (ROADMAP item 3): pre-registered so both roles
+  // expose the full repl.* taxonomy from the first stats scrape.
+  follower_mode_.store(options_.follower_mode, std::memory_order_release);
+  MetricsRegistry::Instance().GetGauge("repl.lag_bytes");
+  MetricsRegistry::Instance().GetGauge("repl.follower.lag_bytes");
+  MetricsRegistry::Instance().GetCounter("repl.primary.fetches");
+  MetricsRegistry::Instance().GetCounter("repl.primary.bytes_shipped");
+  MetricsRegistry::Instance().GetCounter("repl.primary.snapshots_shipped");
+  MetricsRegistry::Instance().GetCounter("repl.primary.stale_term_rejects");
+  MetricsRegistry::Instance().GetCounter("repl.follower.bytes_applied");
+  MetricsRegistry::Instance().GetCounter("repl.follower.records_applied");
+  MetricsRegistry::Instance().GetCounter("repl.follower.corrupt_chunks");
+  MetricsRegistry::Instance().GetCounter("repl.follower.snapshots_installed");
+  MetricsRegistry::Instance().GetCounter("repl.follower.rolls");
+  MetricsRegistry::Instance().GetCounter("repl.promotions");
   if (options_.txn_lease_ms > 0) {
     lease_watchdog_ = std::thread([this] { LeaseWatchdogLoop(); });
   }
@@ -241,6 +256,7 @@ Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
                                            uint32_t protections) {
   NEPTUNE_TRACE_SPAN(op_span, "ham.createGraph");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
+  NEPTUNE_RETURN_IF_ERROR(RejectIfFollower());
   // A fresh graph: logical time 1 is its creation instant.
   GraphState state;
   const Time creation = state.clock().Tick();
@@ -268,6 +284,7 @@ Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
 Status Ham::DestroyGraph(ProjectId project, const std::string& directory) {
   NEPTUNE_TRACE_SPAN(op_span, "ham.destroyGraph");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.graph");
+  NEPTUNE_RETURN_IF_ERROR(RejectIfFollower());
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     auto it = graphs_.find(directory);
@@ -303,8 +320,10 @@ Result<std::shared_ptr<Ham::GraphHandle>> Ham::LoadGraph(
   }
 
   RecoveredState recovered;
-  NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
-                           DurableStore::Open(env_, directory, &recovered));
+  NEPTUNE_ASSIGN_OR_RETURN(
+      std::unique_ptr<DurableStore> store,
+      DurableStore::Open(env_, directory, &recovered,
+                         options_.repl_keep_wal_generations));
   auto handle = std::make_shared<GraphHandle>();
   handle->directory = directory;
   handle->store = std::move(store);
@@ -451,6 +470,7 @@ void Ham::ReleaseWriter(GraphHandle* graph, uint64_t session) {
 Status Ham::BeginTransaction(Context ctx) {
   NEPTUNE_TRACE_SPAN(op_span, "ham.beginTransaction");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.txn");
+  NEPTUNE_RETURN_IF_ERROR(RejectIfFollower());
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition("a transaction is already open");
@@ -497,6 +517,8 @@ Status Ham::CommitLocked(GraphHandle* graph, Session* session) {
                         << "\"";
     }
   }
+  // Wake any follower long-polling in ReplFetch for these bytes.
+  NotifyReplWaiters(graph);
   return Status::OK();
 }
 
@@ -559,6 +581,7 @@ Status Ham::AbortTransaction(Context ctx) {
 }
 
 Status Ham::Execute(Session* session, uint64_t session_id, Op* op) {
+  NEPTUNE_RETURN_IF_ERROR(RejectIfFollower());
   if (session->lease_aborted) {
     // Refuse to silently fold what the client believes is transaction
     // work into an implicit commit; it must abort (or commit, and get

@@ -26,6 +26,17 @@
 namespace neptune {
 namespace ham {
 
+// What ReplicaApply did with one streamed WAL chunk (follower side).
+struct ReplicaApplyResult {
+  uint64_t applied_bytes = 0;    // valid frame bytes persisted + applied
+  uint64_t records_applied = 0;  // committed transactions among them
+  // The chunk's tail failed CRC validation — a torn or corrupt
+  // streamed record. The valid prefix was kept; the caller re-fetches
+  // from the new offset (truncate-and-resync).
+  bool truncated_tail = false;
+  bool mid_log_corruption = false;
+};
+
 struct HamOptions {
   // fsync the WAL on every commit. Turning this off trades the last
   // few commits on power loss for throughput (bench B5 measures both).
@@ -62,6 +73,15 @@ struct HamOptions {
   size_t max_attribute_name_bytes = 4096;
   size_t max_attribute_value_bytes = 1ull << 20;
   size_t max_attrs_per_entity = 4096;
+
+  // Replication (ROADMAP item 3) ------------------------------------
+  // Run this engine as a replication follower: client mutations are
+  // rejected with kReadOnly while ReplicaApply/ReplicaInstallSnapshot
+  // keep the state in step with a primary; Promote() flips it live.
+  bool follower_mode = false;
+  // Checkpointed WAL generations a primary retains so followers can
+  // tail across a checkpoint instead of re-snapshotting.
+  uint32_t repl_keep_wal_generations = 1;
 
   // Request tracing (common/trace.h) --------------------------------
   // Keep 1-in-N traces (0 disables tracing; 1 keeps every trace).
@@ -105,6 +125,45 @@ class Ham final : public HamInterface {
   // Reads the ProjectId stored in a graph directory without opening
   // the graph — what command-line tools use to address a database.
   static Result<ProjectId> ReadProjectId(Env* env, const std::string& dir);
+
+  // True while this engine is a replication follower (client
+  // mutations rejected with kReadOnly); cleared by Promote().
+  bool follower() const {
+    return follower_mode_.load(std::memory_order_acquire);
+  }
+
+  // Follower apply surface (driven by rpc::Replicator in-process; not
+  // part of HamInterface — the wire never carries these directly):
+  // Persists a streamed chunk of raw WAL frames and applies the valid
+  // prefix to the live state. `expected_epoch` must match the local
+  // store's generation. CRC validation uses the same tolerant ReadLog
+  // machinery as recovery; a torn tail keeps the valid prefix and is
+  // reported, not fatal. kCorruption means local state has diverged
+  // and the caller must resync from a snapshot.
+  Result<ReplicaApplyResult> ReplicaApply(const std::string& directory,
+                                          uint64_t expected_epoch,
+                                          std::string_view frames);
+  // Replaces the local store with a primary-shipped snapshot at
+  // `epoch`, adopting fencing term `term` (bootstrap or resync).
+  Status ReplicaInstallSnapshot(const std::string& directory,
+                                std::string_view meta,
+                                std::string_view snapshot, uint64_t epoch,
+                                uint64_t term);
+  // Local checkpoint advancing the follower's generation to
+  // `to_epoch` (current + 1) after the old generation fully drained —
+  // deterministic replay makes the local snapshot equivalent to the
+  // primary's at the same boundary.
+  Status ReplicaRoll(const std::string& directory, uint64_t to_epoch);
+  // Records follower freshness for ReplStatus and the lag gauge.
+  void NoteReplProgress(const std::string& directory, uint64_t lag_bytes,
+                        bool caught_up);
+
+  // HamInterface replication overrides (primary side + health).
+  Result<ReplFetchResult> ReplFetch(const ReplFetchRequest& request) override;
+  Result<ReplNodeStatus> ReplStatus(const std::string& directory) override;
+  Result<std::vector<std::string>> ReplListGraphs(
+      const std::string& root) override;
+  Result<uint64_t> Promote() override;
 
   // Local administration (not part of HamInterface):
   // Structural integrity check; one message per problem, empty = clean.
@@ -244,6 +303,26 @@ class Ham final : public HamInterface {
     std::condition_variable_any writer_cv;
     uint64_t writer_session = 0;  // session holding the writer slot
     int open_sessions = 0;
+
+    // Replication bookkeeping. repl_mu guards commit_seq and
+    // followers; it nests strictly inside mu (taken after, released
+    // before) and ReplFetch's long-poll waits on it *without* holding
+    // mu, so a poller never blocks commits.
+    std::mutex repl_mu;
+    std::condition_variable repl_cv;
+    uint64_t commit_seq = 0;  // bumped per durable commit/checkpoint
+    struct FollowerAck {
+      uint64_t epoch = 0;
+      uint64_t offset = 0;
+      uint64_t lag_bytes = 0;
+      uint64_t last_fetch_us = 0;
+    };
+    std::map<std::string, FollowerAck> followers;  // by follower_id
+
+    // Follower-side freshness, written by NoteReplProgress (the
+    // replicator's thread) and read by ReplStatus (server threads).
+    std::atomic<uint64_t> repl_lag_bytes{0};
+    std::atomic<uint64_t> repl_caught_up_us{0};  // 0 = never yet
   };
 
   // A session created by OpenGraph/OpenContext. Transaction state
@@ -312,6 +391,19 @@ class Ham final : public HamInterface {
   // Applies the commit protocol: WAL append, fold overlay, demons.
   Status CommitLocked(GraphHandle* graph, Session* session);
 
+  // Wakes ReplFetch long-pollers after a durable commit or checkpoint.
+  static void NotifyReplWaiters(GraphHandle* graph);
+
+  // Pins a follower-side graph handle so it outlives its sessions
+  // (replicated graphs stay open even with no clients) and Promote()
+  // can reach every one of them.
+  void PinReplicaGraph(const std::string& directory,
+                       std::shared_ptr<GraphHandle> handle);
+
+  // kReadOnly when this engine is a follower — the guard every client
+  // mutation path runs first.
+  Status RejectIfFollower() const;
+
   // Fires demons for a committed op list (outside the graph lock).
   void FireDemons(GraphHandle* graph, ThreadId thread,
                   const std::vector<Op>& ops);
@@ -327,8 +419,13 @@ class Ham final : public HamInterface {
   HamOptions options_;
   DemonRegistry demon_registry_;
 
-  std::mutex registry_mu_;  // guards graphs_ and sessions_
+  std::atomic<bool> follower_mode_{false};
+
+  std::mutex registry_mu_;  // guards graphs_, sessions_ and repl_pins_
   std::map<std::string, std::weak_ptr<GraphHandle>> graphs_;
+  // Strong references to replicated graphs on a follower (see
+  // PinReplicaGraph).
+  std::map<std::string, std::shared_ptr<GraphHandle>> repl_pins_;
   // shared_ptr so the watchdog can hold a candidate across the
   // registry lock's release without racing session destruction.
   std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;

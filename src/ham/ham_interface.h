@@ -199,6 +199,41 @@ class HamInterface {
 
   // The thread a session is bound to (kMainThread unless OpenContext).
   virtual Result<ThreadId> ContextThread(Context ctx) = 0;
+
+  // ------------------------------- replication (ROADMAP item 3)
+  // Defaulted to Unimplemented like GetGraphQueryExplained: only
+  // engines that actually replicate (Ham as primary, RemoteHam as the
+  // follower's stub to it) override, and an old server answers new
+  // clients with a clean status instead of a protocol error.
+
+  // Primary side: serve a chunk of WAL (or a snapshot, or a stale-term
+  // verdict) to a follower. The request's (epoch, offset) is also the
+  // follower's acked replication position.
+  virtual Result<ReplFetchResult> ReplFetch(const ReplFetchRequest& request) {
+    (void)request;
+    return Status::Unimplemented("replication is not supported");
+  }
+
+  // Replication health of this node for one graph directory.
+  virtual Result<ReplNodeStatus> ReplStatus(const std::string& directory) {
+    (void)directory;
+    return Status::Unimplemented("replication is not supported");
+  }
+
+  // Graph directories below `root` (relative paths), so a follower can
+  // mirror everything a primary serves.
+  virtual Result<std::vector<std::string>> ReplListGraphs(
+      const std::string& root) {
+    (void)root;
+    return Status::Unimplemented("replication is not supported");
+  }
+
+  // Promotes a follower to primary: stops accepting replicated bytes,
+  // starts accepting client mutations, and bumps every graph's fencing
+  // term. Returns the new term. Idempotent on a primary.
+  virtual Result<uint64_t> Promote() {
+    return Status::Unimplemented("replication is not supported");
+  }
 };
 
 }  // namespace ham

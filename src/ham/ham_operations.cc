@@ -910,12 +910,19 @@ Result<std::vector<ContextInfo>> Ham::ListContexts(Context ctx) {
 Status Ham::Checkpoint(Context ctx) {
   NEPTUNE_TRACE_SPAN(op_span, "ham.checkpoint");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
+  NEPTUNE_RETURN_IF_ERROR(RejectIfFollower());
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   GraphHandle* graph = session->graph.get();
-  std::lock_guard<std::shared_mutex> lock(graph->mu);
-  std::string snapshot;
-  graph->state.EncodeTo(&snapshot);
-  return graph->store->Checkpoint(snapshot);
+  Status status;
+  {
+    std::lock_guard<std::shared_mutex> lock(graph->mu);
+    std::string snapshot;
+    graph->state.EncodeTo(&snapshot);
+    status = graph->store->Checkpoint(snapshot);
+  }
+  // The epoch changed; long-polling followers must re-read it.
+  if (status.ok()) NotifyReplWaiters(graph);
+  return status;
 }
 
 Result<GraphStats> Ham::GetStats(Context ctx) {
@@ -957,6 +964,7 @@ Result<std::vector<std::string>> Ham::VerifyGraph(Context ctx) {
 Result<uint64_t> Ham::PruneHistory(Context ctx, Time before) {
   NEPTUNE_TRACE_SPAN(op_span, "ham.pruneHistory");
   NEPTUNE_METRIC_TIMED(timer, "ham.op.admin");
+  NEPTUNE_RETURN_IF_ERROR(RejectIfFollower());
   NEPTUNE_ASSIGN_OR_RETURN(LockedSession session, FindSession(ctx));
   if (session->in_txn) {
     return Status::FailedPrecondition(
@@ -981,6 +989,7 @@ Result<uint64_t> Ham::PruneHistory(Context ctx, Time before) {
   std::string snapshot;
   graph->state.EncodeTo(&snapshot);
   NEPTUNE_RETURN_IF_ERROR(graph->store->Checkpoint(snapshot));
+  NotifyReplWaiters(graph);
   return static_cast<uint64_t>(snapshot.size());
 }
 

@@ -229,6 +229,55 @@ struct ContextInfo {
   Time branched_at = 0;  // 0 for the main thread
 };
 
+// ------------------------------------------------- replication types
+// WAL-shipping replication (ROADMAP item 3). A follower pulls its
+// primary's WAL as raw CRC-framed byte ranges and replays them into a
+// read-only engine; these are the request/reply shapes of that
+// protocol (Method::kReplFetch / kReplStatus).
+
+struct ReplFetchRequest {
+  std::string directory;    // graph dir on the primary
+  std::string follower_id;  // stable name for ack/lag bookkeeping
+  // The follower's replication position: everything below
+  // (epoch, offset) is durably applied on the follower — the request
+  // doubles as the acked replication offset.
+  uint64_t term = 0;
+  uint64_t epoch = 0;
+  uint64_t offset = 0;
+  uint64_t max_bytes = 1 << 20;
+  // Long-poll: when no new bytes are committed, the primary may hold
+  // the request up to this long before answering empty.
+  uint64_t wait_ms = 0;
+};
+
+struct ReplFetchResult {
+  enum class Action : uint8_t {
+    kTail = 0,      // `payload` = raw WAL frames at (epoch, offset)
+    kSnapshot = 1,  // follower must resync: meta + snapshot at `epoch`
+    kStaleTerm = 2, // the *primary* is deposed (request term is newer)
+  };
+  Action action = Action::kTail;
+  uint64_t term = 0;         // primary's fencing term
+  uint64_t epoch = 0;        // generation `payload` belongs to
+  uint64_t offset = 0;       // chunk start (echo of the request)
+  bool epoch_end = false;    // generation drained; roll to epoch+1
+  uint64_t epoch_bytes = 0;  // committed bytes in that generation
+  std::string meta;          // kSnapshot only: PROJECT contents
+  std::string payload;       // frames (kTail) or snapshot blob
+};
+
+// Replication health of one node (primary or follower) for a graph.
+struct ReplNodeStatus {
+  uint64_t term = 0;
+  bool follower = false;
+  uint64_t epoch = 0;
+  uint64_t wal_bytes = 0;        // applied bytes in the live generation
+  uint64_t lag_bytes = 0;        // follower: bytes behind the primary
+  // Follower: ms since it was last fully caught up; 0 on a primary.
+  // ~0 when it has never been caught up since (re)starting.
+  uint64_t behind_ms = 0;
+};
+
 }  // namespace ham
 }  // namespace neptune
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/coding.h"
 #include "common/trace.h"
 
@@ -74,6 +75,20 @@ Result<std::unique_ptr<RemoteHam>> RemoteHam::Connect(const std::string& host,
   // The ping both verifies liveness and performs the initial connect
   // (with the same retry/backoff policy every later call gets).
   NEPTUNE_RETURN_IF_ERROR(client->Ping());
+  if (!options.follower_host.empty()) {
+    // The follower connection is best-effort: every routed read falls
+    // back to the primary, so a dead follower only costs the routing.
+    Options follower_options = options;
+    follower_options.follower_host.clear();
+    follower_options.follower_port = 0;
+    Result<std::unique_ptr<RemoteHam>> follower = Connect(
+        options.follower_host, options.follower_port, follower_options);
+    if (follower.ok()) {
+      client->follower_ = std::move(*follower);
+    } else {
+      NEPTUNE_METRIC_COUNT("repl.client.follower_connect_failed", 1);
+    }
+  }
   return client;
 }
 
@@ -725,10 +740,35 @@ Result<Context> RemoteHam::OpenGraph(ham::ProjectId project,
   if (!GetVarint64(&in, &ctx.session)) {
     return Status::Corruption(kTruncatedReply);
   }
+  if (follower_ != nullptr) {
+    // Shadow session for routed reads. Failure (follower down, graph
+    // not yet synced there) just disables routing for this session.
+    const std::string fdir = FollowerPath(directory);
+    Result<Context> fctx = follower_->OpenGraph(project, machine, fdir);
+    if (fctx.ok()) {
+      std::lock_guard<std::mutex> lock(fmu_);
+      follower_sessions_[ctx.session] =
+          FollowerSession{fctx->session, fdir, false};
+    } else {
+      NEPTUNE_METRIC_COUNT("repl.client.follower_open_failed", 1);
+    }
+  }
   return ctx;
 }
 
 Status RemoteHam::CloseGraph(Context ctx) {
+  uint64_t shadow = 0;
+  {
+    std::lock_guard<std::mutex> lock(fmu_);
+    auto it = follower_sessions_.find(ctx.session);
+    if (it != follower_sessions_.end()) {
+      shadow = it->second.follower_session;
+      follower_sessions_.erase(it);
+    }
+  }
+  if (shadow != 0 && follower_ != nullptr) {
+    (void)follower_->CloseGraph(Context{shadow});  // best-effort
+  }
   std::string args;
   PutContext(&args, ctx);
   return Call(Method::kCloseGraph, args).status();
@@ -737,19 +777,86 @@ Status RemoteHam::CloseGraph(Context ctx) {
 Status RemoteHam::BeginTransaction(Context ctx) {
   std::string args;
   PutContext(&args, ctx);
-  return Call(Method::kBeginTransaction, args).status();
+  Status status = Call(Method::kBeginTransaction, args).status();
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(fmu_);
+    auto it = follower_sessions_.find(ctx.session);
+    if (it != follower_sessions_.end()) it->second.in_txn = true;
+  }
+  return status;
 }
 
 Status RemoteHam::CommitTransaction(Context ctx) {
   std::string args;
   PutContext(&args, ctx);
-  return Call(Method::kCommitTransaction, args).status();
+  Status status = Call(Method::kCommitTransaction, args).status();
+  {
+    std::lock_guard<std::mutex> lock(fmu_);
+    auto it = follower_sessions_.find(ctx.session);
+    if (it != follower_sessions_.end()) it->second.in_txn = false;
+  }
+  return status;
 }
 
 Status RemoteHam::AbortTransaction(Context ctx) {
   std::string args;
   PutContext(&args, ctx);
-  return Call(Method::kAbortTransaction, args).status();
+  Status status = Call(Method::kAbortTransaction, args).status();
+  {
+    std::lock_guard<std::mutex> lock(fmu_);
+    auto it = follower_sessions_.find(ctx.session);
+    if (it != follower_sessions_.end()) it->second.in_txn = false;
+  }
+  return status;
+}
+
+// ------------------------------------------------- follower routing
+
+bool RemoteHam::FollowerReadContext(Context ctx, Context* fctx) {
+  if (follower_ == nullptr) return false;
+  std::string directory;
+  {
+    std::lock_guard<std::mutex> lock(fmu_);
+    auto it = follower_sessions_.find(ctx.session);
+    if (it == follower_sessions_.end() || it->second.in_txn) return false;
+    fctx->session = it->second.follower_session;
+    directory = it->second.directory;
+  }
+  return FollowerFresh(directory);
+}
+
+std::string RemoteHam::FollowerPath(const std::string& directory) const {
+  const std::string& from = options_.follower_remap_from;
+  if (from.empty()) return directory;
+  if (directory == from) return options_.follower_remap_to;
+  if (directory.size() > from.size() &&
+      directory.compare(0, from.size(), from) == 0 &&
+      directory[from.size()] == '/') {
+    return options_.follower_remap_to + directory.substr(from.size());
+  }
+  return directory;
+}
+
+bool RemoteHam::FollowerFresh(const std::string& directory) {
+  const uint64_t now = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(fmu_);
+    if (follower_status_us_ != 0 &&
+        now - follower_status_us_ <
+            options_.follower_status_ttl_ms * 1000) {
+      return follower_fresh_;
+    }
+  }
+  Result<ham::ReplNodeStatus> status = follower_->ReplStatus(directory);
+  const bool fresh =
+      status.ok() && status->follower &&
+      status->lag_bytes <= options_.follower_max_lag_bytes &&
+      status->behind_ms <= options_.follower_max_behind_ms;
+  if (!fresh) NEPTUNE_METRIC_COUNT("repl.client.stale_follower", 1);
+  std::lock_guard<std::mutex> lock(fmu_);
+  follower_status_us_ = now;
+  follower_fresh_ = fresh;
+  return fresh;
 }
 
 Result<ham::AddNodeResult> RemoteHam::AddNode(Context ctx, bool keep_history) {
@@ -820,6 +927,12 @@ Result<ham::SubGraph> RemoteHam::LinearizeGraph(
     const std::string& node_pred, const std::string& link_pred,
     const std::vector<ham::AttributeIndex>& node_attrs,
     const std::vector<ham::AttributeIndex>& link_attrs) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.LinearizeGraph(c, start, time, node_pred, link_pred,
+                                     node_attrs, link_attrs);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, start);
@@ -841,6 +954,12 @@ Result<ham::SubGraph> RemoteHam::GetGraphQuery(
     const std::string& link_pred,
     const std::vector<ham::AttributeIndex>& node_attrs,
     const std::vector<ham::AttributeIndex>& link_attrs) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.GetGraphQuery(c, time, node_pred, link_pred, node_attrs,
+                                    link_attrs);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, time);
@@ -886,6 +1005,11 @@ Result<ham::QueryExplain> RemoteHam::GetGraphQueryExplained(
 Result<ham::OpenNodeResult> RemoteHam::OpenNode(
     Context ctx, ham::NodeIndex node, ham::Time time,
     const std::vector<ham::AttributeIndex>& attrs) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.OpenNode(c, node, time, attrs);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, node);
@@ -939,6 +1063,11 @@ Status RemoteHam::ChangeNodeProtection(Context ctx, ham::NodeIndex node,
 
 Result<ham::NodeVersions> RemoteHam::GetNodeVersions(Context ctx,
                                                      ham::NodeIndex node) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.GetNodeVersions(c, node);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, node);
@@ -972,6 +1101,11 @@ Result<std::vector<delta::Difference>> RemoteHam::GetNodeDifferences(
 Result<ham::LinkEndResult> RemoteHam::GetToNode(Context ctx,
                                                 ham::LinkIndex link,
                                                 ham::Time time) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.GetToNode(c, link, time);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, link);
@@ -988,6 +1122,11 @@ Result<ham::LinkEndResult> RemoteHam::GetToNode(Context ctx,
 Result<ham::LinkEndResult> RemoteHam::GetFromNode(Context ctx,
                                                   ham::LinkIndex link,
                                                   ham::Time time) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.GetFromNode(c, link, time);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, link);
@@ -1004,6 +1143,11 @@ Result<ham::LinkEndResult> RemoteHam::GetFromNode(Context ctx,
 
 Result<std::vector<ham::AttributeEntry>> RemoteHam::GetAttributes(
     Context ctx, ham::Time time) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.GetAttributes(c, time);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, time);
@@ -1070,6 +1214,11 @@ Result<std::string> RemoteHam::GetNodeAttributeValue(Context ctx,
                                                      ham::NodeIndex node,
                                                      ham::AttributeIndex attr,
                                                      ham::Time time) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.GetNodeAttributeValue(c, node, attr, time);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, node);
@@ -1087,6 +1236,11 @@ Result<std::string> RemoteHam::GetNodeAttributeValue(Context ctx,
 
 Result<std::vector<ham::AttributeValueEntry>> RemoteHam::GetNodeAttributes(
     Context ctx, ham::NodeIndex node, ham::Time time) {
+  if (auto routed = TryFollower(ctx, [&](auto& target, Context c) {
+        return target.GetNodeAttributes(c, node, time);
+      })) {
+    return std::move(*routed);
+  }
   std::string args;
   PutContext(&args, ctx);
   PutVarint64(&args, node);
@@ -1284,6 +1438,54 @@ Result<ham::ThreadId> RemoteHam::ContextThread(Context ctx) {
   ham::ThreadId thread = 0;
   if (!GetVarint64(&in, &thread)) return Status::Corruption(kTruncatedReply);
   return thread;
+}
+
+Result<ham::ReplFetchResult> RemoteHam::ReplFetch(
+    const ham::ReplFetchRequest& request) {
+  std::string args;
+  EncodeReplFetchRequestTo(request, &args);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kReplFetch, args));
+  std::string_view in = reply;
+  ham::ReplFetchResult out;
+  if (!DecodeReplFetchResultFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<ham::ReplNodeStatus> RemoteHam::ReplStatus(
+    const std::string& directory) {
+  std::string args;
+  PutLengthPrefixed(&args, directory);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kReplStatus, args));
+  std::string_view in = reply;
+  ham::ReplNodeStatus out;
+  if (!DecodeReplNodeStatusFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> RemoteHam::ReplListGraphs(
+    const std::string& root) {
+  std::string args;
+  PutLengthPrefixed(&args, root);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kReplListGraphs, args));
+  std::string_view in = reply;
+  std::vector<std::string> out;
+  if (!DecodeStringVecFrom(&in, &out)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
+Result<uint64_t> RemoteHam::Promote() {
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply, Call(Method::kReplPromote, ""));
+  std::string_view in = reply;
+  uint64_t term = 0;
+  if (!GetVarint64(&in, &term)) return Status::Corruption(kTruncatedReply);
+  return term;
 }
 
 }  // namespace rpc

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -50,6 +51,26 @@ class RemoteHam final : public ham::HamInterface {
     // trip, ever — same discipline as the trace-context downgrade).
     bool pipeline = false;
     uint32_t max_inflight = 64;  // clamped to >= 1
+    // Follower-read routing: when follower_host is set, Connect also
+    // dials a follower replica, OpenGraph opens a shadow session on
+    // it, and curated idempotent reads are served there whenever the
+    // follower is fresh enough (both staleness bounds hold). Any
+    // follower error — connection down, graph not yet synced, stale —
+    // silently falls back to the primary; writes and transactions
+    // always go to the primary.
+    std::string follower_host;
+    uint16_t follower_port = 0;
+    uint64_t follower_max_lag_bytes = 4 << 20;
+    // Must comfortably exceed the follower's long-poll period, since
+    // its catch-up stamp refreshes once per poll cycle.
+    uint64_t follower_max_behind_ms = 10000;
+    uint64_t follower_status_ttl_ms = 500;  // staleness-probe cache
+    // Path remap for shadow sessions: a primary directory equal to (or
+    // under) follower_remap_from opens on the follower at the same
+    // relative path under follower_remap_to. Empty = the follower
+    // mirrors the primary's paths verbatim (symmetric layout).
+    std::string follower_remap_from;
+    std::string follower_remap_to;
   };
 
   // A tagged request in flight; Wait() blocks for the reply. Obtained
@@ -267,6 +288,17 @@ class RemoteHam final : public ham::HamInterface {
   Result<ham::GraphStats> GetStats(ham::Context ctx) override;
   Result<ham::ThreadId> ContextThread(ham::Context ctx) override;
 
+  // Replication protocol (forwarded verbatim; see ham_interface.h).
+  Result<ham::ReplFetchResult> ReplFetch(
+      const ham::ReplFetchRequest& request) override;
+  Result<ham::ReplNodeStatus> ReplStatus(const std::string& directory) override;
+  Result<std::vector<std::string>> ReplListGraphs(
+      const std::string& root) override;
+  Result<uint64_t> Promote() override;
+
+  // True when Connect established the optional follower connection.
+  bool has_follower() const { return follower_ != nullptr; }
+
  private:
   RemoteHam(std::string host, uint16_t port, const Options& options);
 
@@ -327,10 +359,53 @@ class RemoteHam final : public ham::HamInterface {
   std::atomic<bool> pipeline_wire_ok_{true};
   std::atomic<uint64_t> next_id_override_{0};
 
+  // Follower-read routing ---------------------------------------------
+
+  // Resolves the shadow session for a routed read: returns false when
+  // there is no follower, no shadow session, an open transaction (its
+  // reads must see its own staged writes, which only the primary has),
+  // or the follower is outside the staleness bounds.
+  bool FollowerReadContext(ham::Context ctx, ham::Context* fctx);
+  // Staleness probe with a small TTL cache so routing does not double
+  // every read's round trips.
+  bool FollowerFresh(const std::string& directory);
+  // Applies Options::follower_remap_from/_to to a primary directory.
+  std::string FollowerPath(const std::string& directory) const;
+
+  // Runs `fn` against the follower when routing applies and it
+  // succeeds; nullopt means "use the primary" (not routed, stale, or
+  // the follower failed — which is counted as a fallback).
+  template <typename Fn>
+  auto TryFollower(ham::Context ctx, Fn&& fn)
+      -> std::optional<decltype(fn(*this, ctx))> {
+    ham::Context fctx;
+    if (!FollowerReadContext(ctx, &fctx)) return std::nullopt;
+    auto result = fn(*follower_, fctx);
+    if (result.ok()) {
+      NEPTUNE_METRIC_COUNT("repl.client.follower_reads", 1);
+      return result;
+    }
+    NEPTUNE_METRIC_COUNT("repl.client.fallback_to_primary", 1);
+    return std::nullopt;
+  }
+
   std::mutex pmu_;  // guards pconn_ swaps and thread lifecycles
   std::shared_ptr<PipelineConn> pconn_;
   std::thread receiver_;
   std::thread sender_;
+
+  // Follower connection (null unless Options::follower_host is set and
+  // the dial succeeded) plus primary-session → shadow-session state.
+  std::unique_ptr<RemoteHam> follower_;
+  struct FollowerSession {
+    uint64_t follower_session = 0;
+    std::string directory;
+    bool in_txn = false;
+  };
+  std::mutex fmu_;
+  std::unordered_map<uint64_t, FollowerSession> follower_sessions_;
+  uint64_t follower_status_us_ = 0;  // last staleness probe (0 = never)
+  bool follower_fresh_ = false;
 };
 
 }  // namespace rpc

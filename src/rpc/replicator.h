@@ -1,0 +1,141 @@
+// Replicator: the follower half of WAL-shipping replication.
+//
+// One background thread tails a primary server with long-poll
+// replFetch calls and feeds the raw WAL frames into a local follower
+// Ham (ReplicaApply / ReplicaInstallSnapshot / ReplicaRoll). The
+// cursor per graph is (term, epoch, offset); the fetch request carrying
+// it doubles as the follower's ack, which is what the primary's lag
+// gauge measures.
+//
+// Robustness contract (ROADMAP item 3):
+//   - transport failures reconnect with jittered exponential backoff
+//     and resume from the durable local offset;
+//   - a follower too far behind (its generation checkpointed away) is
+//     told kSnapshot and resyncs instead of failing;
+//   - a torn/corrupt streamed chunk applies its valid prefix and
+//     re-fetches; repeated zero-progress strikes at one offset force a
+//     snapshot resync;
+//   - a primary whose term is older than ours (we were promoted, or we
+//     follow a newer primary) is refused: its late appends never land.
+
+#ifndef NEPTUNE_RPC_REPLICATOR_H_
+#define NEPTUNE_RPC_REPLICATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "ham/ham.h"
+#include "rpc/remote_ham.h"
+
+namespace neptune {
+namespace rpc {
+
+class Replicator {
+ public:
+  struct Options {
+    // Graph root on the primary (a store directory, or a tree of
+    // them); relative paths from replListGraphs are joined to it.
+    std::string primary_root;
+    // Local directory the follower mirrors the tree into.
+    std::string local_root;
+    // Long-poll budget per fetch once caught up.
+    uint64_t poll_wait_ms = 500;
+    uint64_t max_bytes = 1 << 20;
+    // Reconnect/backoff policy after a failed cycle.
+    uint32_t backoff_initial_ms = 50;
+    uint32_t backoff_max_ms = 5000;
+    // How often the graph list is refreshed from the primary.
+    uint64_t list_refresh_ms = 2000;
+    uint64_t seed = 0;            // backoff jitter; 0 = derive
+    std::string follower_id;      // "" = derived from local_root
+    // Zero-progress corrupt chunks at one offset before forcing a
+    // snapshot resync.
+    uint32_t max_corrupt_strikes = 3;
+  };
+
+  // `ham` must be a follower-mode engine (HamOptions::follower_mode);
+  // `primary` is a connected client for the primary server. Neither is
+  // owned; both must outlive the replicator.
+  Replicator(ham::Ham* ham, RemoteHam* primary, Options options);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  void Start();
+  // Stops the tail loop and joins the thread. Idempotent; also called
+  // by the destructor. After a promotion the loop exits on its own
+  // (the engine stops being a follower), but Stop() still joins it.
+  void Stop();
+
+  // Per-graph cursor snapshot, keyed by the relative path from
+  // replListGraphs ("" = the root itself is the store).
+  struct Progress {
+    uint64_t term = 0;
+    uint64_t epoch = 0;
+    uint64_t offset = 0;
+    uint64_t chunks_applied = 0;
+    uint64_t resyncs = 0;
+    uint64_t rolls = 0;
+    uint64_t stale_primary_rejects = 0;
+    bool caught_up = false;  // drained to the primary's committed end
+  };
+  Progress progress(const std::string& rel) const;
+  // True when every known graph has drained at least once.
+  bool AllCaughtUp() const;
+  // Total cycles that ended in an error + backoff (tests).
+  uint64_t error_cycles() const;
+
+  // Test hook: runs on every fetched kTail payload before it is
+  // applied, simulating corruption on the wire.
+  std::function<void(std::string*)> chunk_mutator_for_test;
+
+ private:
+  struct Cursor {
+    Progress p;
+    bool initialized = false;
+    uint32_t strikes = 0;
+    bool force_snapshot = false;
+  };
+
+  void Main();
+  // One fetch/apply cycle for one graph. Returns false when the cycle
+  // failed and the loop should back off.
+  bool TailOne(const std::string& rel, Cursor* cursor);
+  Status RefreshGraphList();
+  // Seeds a cursor from the local store (resume) or at zero (bootstrap).
+  void InitCursor(const std::string& local_dir, Cursor* cursor);
+  void Backoff(uint32_t* consecutive_failures);
+  bool SleepOrStop(uint64_t ms);
+
+  std::string LocalDir(const std::string& rel) const;
+  std::string PrimaryDir(const std::string& rel) const;
+
+  ham::Ham* const ham_;
+  RemoteHam* const primary_;
+  const Options options_;
+  std::string follower_id_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::map<std::string, Cursor> cursors_;
+  std::vector<std::string> graphs_;
+  uint64_t error_cycles_ = 0;
+  uint64_t last_list_us_ = 0;
+  Random rng_;
+
+  std::thread thread_;
+};
+
+}  // namespace rpc
+}  // namespace neptune
+
+#endif  // NEPTUNE_RPC_REPLICATOR_H_

@@ -1400,6 +1400,31 @@ std::string Server::HandleRequest(std::string_view in, SessionSet* sessions) {
       }
       return reply;
     }
+
+    case Method::kReplFetch: {
+      // No Context: the follower's replicator is not a graph session.
+      ham::ReplFetchRequest request;
+      if (!DecodeReplFetchRequestFrom(&in, &request)) {
+        return BadRequest("replFetch");
+      }
+      return ResultReply(ham_->ReplFetch(request), EncodeReplFetchResultTo);
+    }
+    case Method::kReplStatus: {
+      std::string directory;
+      if (!GetString(&in, &directory)) return BadRequest("replStatus");
+      return ResultReply(ham_->ReplStatus(directory), EncodeReplNodeStatusTo);
+    }
+    case Method::kReplListGraphs: {
+      std::string root;
+      if (!GetString(&in, &root)) return BadRequest("replListGraphs");
+      return ResultReply(ham_->ReplListGraphs(root), EncodeStringVecTo);
+    }
+    case Method::kReplPromote: {
+      return ResultReply(ham_->Promote(),
+                         [](const uint64_t& term, std::string* out) {
+                           PutVarint64(out, term);
+                         });
+    }
   }
   return BadRequest("unknown method " +
                     std::to_string(static_cast<int>(method)));

@@ -62,6 +62,10 @@ const char* MethodName(Method method) {
     case Method::kGetAttributeValuesBatch: return "getAttributeValuesBatch";
     case Method::kLinearizeAndFetch: return "linearizeAndFetch";
     case Method::kGetGraphQueryExplained: return "getGraphQueryExplained";
+    case Method::kReplFetch: return "replFetch";
+    case Method::kReplStatus: return "replStatus";
+    case Method::kReplListGraphs: return "replListGraphs";
+    case Method::kReplPromote: return "replPromote";
   }
   return "unknown";
 }
@@ -96,6 +100,13 @@ bool IsIdempotent(Method method) {
     case Method::kGetAttributeValuesBatch:
     case Method::kLinearizeAndFetch:
     case Method::kGetGraphQueryExplained:
+    // Replication reads: a fetch is a pure read of committed WAL bytes
+    // (the ack it carries is monotonic and safe to repeat), so a
+    // follower may re-send after a transport failure. Promote is a
+    // mutation and is excluded.
+    case Method::kReplFetch:
+    case Method::kReplStatus:
+    case Method::kReplListGraphs:
       return true;
     default:
       return false;
@@ -655,6 +666,85 @@ bool DecodeStatsFrom(std::string_view* in, ham::GraphStats* stats) {
          GetVarint64(in, &stats->attribute_count) &&
          GetVarint64(in, &stats->wal_bytes) &&
          GetVarint64(in, &stats->current_time);
+}
+
+void EncodeReplFetchRequestTo(const ham::ReplFetchRequest& r,
+                              std::string* out) {
+  PutLengthPrefixed(out, r.directory);
+  PutLengthPrefixed(out, r.follower_id);
+  PutVarint64(out, r.term);
+  PutVarint64(out, r.epoch);
+  PutVarint64(out, r.offset);
+  PutVarint64(out, r.max_bytes);
+  PutVarint64(out, r.wait_ms);
+}
+
+bool DecodeReplFetchRequestFrom(std::string_view* in,
+                                ham::ReplFetchRequest* r) {
+  std::string_view directory, follower_id;
+  if (!GetLengthPrefixed(in, &directory) ||
+      !GetLengthPrefixed(in, &follower_id) || !GetVarint64(in, &r->term) ||
+      !GetVarint64(in, &r->epoch) || !GetVarint64(in, &r->offset) ||
+      !GetVarint64(in, &r->max_bytes) || !GetVarint64(in, &r->wait_ms)) {
+    return false;
+  }
+  r->directory = std::string(directory);
+  r->follower_id = std::string(follower_id);
+  return true;
+}
+
+void EncodeReplFetchResultTo(const ham::ReplFetchResult& r, std::string* out) {
+  out->push_back(static_cast<char>(r.action));
+  PutVarint64(out, r.term);
+  PutVarint64(out, r.epoch);
+  PutVarint64(out, r.offset);
+  out->push_back(r.epoch_end ? '\x01' : '\x00');
+  PutVarint64(out, r.epoch_bytes);
+  PutLengthPrefixed(out, r.meta);
+  PutLengthPrefixed(out, r.payload);
+}
+
+bool DecodeReplFetchResultFrom(std::string_view* in, ham::ReplFetchResult* r) {
+  if (in->empty()) return false;
+  const uint8_t action = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  if (action >
+      static_cast<uint8_t>(ham::ReplFetchResult::Action::kStaleTerm)) {
+    return false;
+  }
+  r->action = static_cast<ham::ReplFetchResult::Action>(action);
+  if (!GetVarint64(in, &r->term) || !GetVarint64(in, &r->epoch) ||
+      !GetVarint64(in, &r->offset)) {
+    return false;
+  }
+  if (in->empty()) return false;
+  r->epoch_end = (*in)[0] != '\x00';
+  in->remove_prefix(1);
+  std::string_view meta, payload;
+  if (!GetVarint64(in, &r->epoch_bytes) || !GetLengthPrefixed(in, &meta) ||
+      !GetLengthPrefixed(in, &payload)) {
+    return false;
+  }
+  r->meta = std::string(meta);
+  r->payload = std::string(payload);
+  return true;
+}
+
+void EncodeReplNodeStatusTo(const ham::ReplNodeStatus& s, std::string* out) {
+  PutVarint64(out, s.term);
+  out->push_back(s.follower ? '\x01' : '\x00');
+  PutVarint64(out, s.epoch);
+  PutVarint64(out, s.wal_bytes);
+  PutVarint64(out, s.lag_bytes);
+  PutVarint64(out, s.behind_ms);
+}
+
+bool DecodeReplNodeStatusFrom(std::string_view* in, ham::ReplNodeStatus* s) {
+  if (!GetVarint64(in, &s->term) || in->empty()) return false;
+  s->follower = (*in)[0] != '\x00';
+  in->remove_prefix(1);
+  return GetVarint64(in, &s->epoch) && GetVarint64(in, &s->wal_bytes) &&
+         GetVarint64(in, &s->lag_bytes) && GetVarint64(in, &s->behind_ms);
 }
 
 }  // namespace rpc

@@ -91,6 +91,12 @@ enum class Method : uint8_t {
 
   // getGraphQuery with plan reporting (`neptune_ctl query --explain`).
   kGetGraphQueryExplained = 52,
+
+  // WAL-shipping replication (followers pull; see ham/types.h).
+  kReplFetch = 53,
+  kReplStatus = 54,
+  kReplListGraphs = 55,
+  kReplPromote = 56,
 };
 
 // Trace-context frame extension. A request whose method byte carries
@@ -120,8 +126,7 @@ constexpr uint8_t kRequestIdFlag = 0x40;
 
 // Methods must stay below kRequestIdFlag so the two flag bits are
 // unambiguous.
-static_assert(static_cast<uint8_t>(Method::kGetGraphQueryExplained) <
-                  kRequestIdFlag,
+static_assert(static_cast<uint8_t>(Method::kReplPromote) < kRequestIdFlag,
               "method values collide with the request-id flag bit");
 
 // Encodes/decodes the propagated trace context (common/trace.h):
@@ -239,6 +244,22 @@ bool DecodeAttachmentUpdatesFrom(std::string_view* in,
 
 void EncodeStatsTo(const ham::GraphStats& stats, std::string* out);
 bool DecodeStatsFrom(std::string_view* in, ham::GraphStats* stats);
+
+// Replication protocol (Method::kReplFetch / kReplStatus):
+//   request := string directory | string follower_id | varints term,
+//              epoch, offset, max_bytes, wait_ms
+//   fetch reply := u8 action | varints term, epoch, offset |
+//                  bool epoch_end | varint epoch_bytes |
+//                  string meta | string payload
+void EncodeReplFetchRequestTo(const ham::ReplFetchRequest& r,
+                              std::string* out);
+bool DecodeReplFetchRequestFrom(std::string_view* in,
+                                ham::ReplFetchRequest* r);
+void EncodeReplFetchResultTo(const ham::ReplFetchResult& r, std::string* out);
+bool DecodeReplFetchResultFrom(std::string_view* in, ham::ReplFetchResult* r);
+
+void EncodeReplNodeStatusTo(const ham::ReplNodeStatus& s, std::string* out);
+bool DecodeReplNodeStatusFrom(std::string_view* in, ham::ReplNodeStatus* s);
 
 }  // namespace rpc
 }  // namespace neptune

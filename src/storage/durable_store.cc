@@ -18,7 +18,29 @@ namespace {
 
 constexpr char kProjectFile[] = "PROJECT";
 constexpr char kCurrentFile[] = "CURRENT";
+constexpr char kReplFile[] = "REPL";
 constexpr char kSnapMagic[] = "NEPSNAP1";  // 8 bytes
+
+// REPL file: "term=<n> role=follower|primary". Absent file = primary
+// at term 0 (a standalone store never writes one).
+ReplRole ReadReplRole(Env* env, const std::string& dir) {
+  ReplRole role;
+  auto raw = env->ReadFileToString(JoinPath(dir, kReplFile));
+  if (!raw.ok()) return role;
+  char kind[16] = {0};
+  if (std::sscanf(raw->c_str(), "term=%" PRIu64 " role=%15s", &role.term,
+                  kind) == 2) {
+    role.follower = std::strcmp(kind, "follower") == 0;
+  }
+  return role;
+}
+
+Status WriteReplRole(Env* env, const std::string& dir, const ReplRole& role) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "term=%" PRIu64 " role=%s", role.term,
+                role.follower ? "follower" : "primary");
+  return env->WriteFileAtomic(JoinPath(dir, kReplFile), buf);
+}
 
 // SNAP file layout: magic(8) | masked_crc32c(blob)(4) | fixed64 len | blob.
 std::string EncodeSnapshot(std::string_view blob) {
@@ -87,6 +109,24 @@ std::string RecoveryReport::ToString() const {
   return out;
 }
 
+std::string RecoveryReport::ToJson() const {
+  auto b = [](bool v) { return v ? "true" : "false"; };
+  std::string out = "{";
+  out += "\"snapshot_epoch\": " + std::to_string(snapshot_epoch);
+  out += ", \"wal_epoch\": " + std::to_string(wal_epoch);
+  out += ", \"wal_files_replayed\": " + std::to_string(wal_files_replayed);
+  out += ", \"records_replayed\": " + std::to_string(records_replayed);
+  out += ", \"bytes_truncated\": " + std::to_string(bytes_truncated);
+  out += std::string(", \"wal_tail_truncated\": ") + b(wal_tail_truncated);
+  out += std::string(", \"mid_log_corruption\": ") + b(mid_log_corruption);
+  out += std::string(", \"snapshot_fallback\": ") + b(snapshot_fallback);
+  out += std::string(", \"current_rewritten\": ") + b(current_rewritten);
+  out += ", \"orphans_removed\": " + std::to_string(orphans_removed);
+  out += std::string(", \"clean\": ") + b(Clean());
+  out += "}";
+  return out;
+}
+
 DurableStore::~DurableStore() {
   if (wal_ != nullptr) wal_->Close();
 }
@@ -138,7 +178,8 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Create(
 }
 
 Result<std::unique_ptr<DurableStore>> DurableStore::Open(
-    Env* env, const std::string& dir, RecoveredState* state) {
+    Env* env, const std::string& dir, RecoveredState* state,
+    uint32_t keep_wal_generations) {
   NEPTUNE_ASSIGN_OR_RETURN(state->meta,
                            env->ReadFileToString(JoinPath(dir, kProjectFile)));
   RecoveryReport& report = state->report;
@@ -268,7 +309,13 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
       }
     }
     for (uint64_t e : wal_epochs) {
-      if (e != target && env->RemoveFile(JoinPath(dir, WalName(e))).ok()) {
+      // WAL generations within the retention window are replication
+      // tail history, not debris; generations above the committed one
+      // are uncommitted checkpoint debris regardless of retention.
+      const bool retained =
+          e < target && target - e <= keep_wal_generations;
+      if (e != target && !retained &&
+          env->RemoveFile(JoinPath(dir, WalName(e))).ok()) {
         report.orphans_removed++;
       }
     }
@@ -292,9 +339,38 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   const std::string wal_path = JoinPath(dir, WalName(target));
   NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> wal_file,
                            env->NewWritableFile(wal_path, /*truncate=*/false));
-  return std::unique_ptr<DurableStore>(new DurableStore(
+  std::unique_ptr<DurableStore> store(new DurableStore(
       env, dir, target, std::make_unique<LogWriter>(std::move(wal_file)),
       live_wal_bytes));
+  store->repl_ = ReadReplRole(env, dir);
+  store->keep_wal_generations_ = keep_wal_generations;
+  return store;
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::CreateForReplica(
+    Env* env, const std::string& dir, std::string_view meta,
+    std::string_view snapshot, uint64_t epoch, uint64_t term) {
+  // A resync replaces whatever divergent or stale store was here.
+  if (env->FileExists(dir)) {
+    NEPTUNE_RETURN_IF_ERROR(env->RemoveDirRecursive(dir));
+  }
+  NEPTUNE_RETURN_IF_ERROR(env->CreateDir(dir));
+  NEPTUNE_RETURN_IF_ERROR(env->WriteFileAtomic(
+      JoinPath(dir, SnapName(epoch)), EncodeSnapshot(snapshot)));
+  NEPTUNE_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> wal_file,
+      env->NewWritableFile(JoinPath(dir, WalName(epoch)), /*truncate=*/true));
+  NEPTUNE_RETURN_IF_ERROR(
+      env->WriteFileAtomic(JoinPath(dir, kCurrentFile), SnapName(epoch)));
+  ReplRole role{term, /*follower=*/true};
+  NEPTUNE_RETURN_IF_ERROR(WriteReplRole(env, dir, role));
+  NEPTUNE_RETURN_IF_ERROR(
+      env->WriteFileAtomic(JoinPath(dir, kProjectFile), meta));
+  std::unique_ptr<DurableStore> store(new DurableStore(
+      env, dir, epoch, std::make_unique<LogWriter>(std::move(wal_file)),
+      /*wal_bytes=*/0));
+  store->repl_ = role;
+  return store;
 }
 
 Status DurableStore::Destroy(Env* env, const std::string& dir) {
@@ -304,12 +380,8 @@ Status DurableStore::Destroy(Env* env, const std::string& dir) {
   return env->RemoveDirRecursive(dir);
 }
 
-Status DurableStore::AppendRecord(std::string_view record, bool sync) {
-  NEPTUNE_TRACE_SPAN(span, "storage.wal.append");
-  if (span.active()) {
-    span.Annotate("bytes=" + std::to_string(record.size()) +
-                  (sync ? " sync=1" : " sync=0"));
-  }
+Status DurableStore::AppendCommon(uint64_t framed_size,
+                                  const std::function<Status()>& append) {
   if (degraded_) {
     Status repaired = RepairWal();
     if (!repaired.ok()) {
@@ -318,7 +390,7 @@ Status DurableStore::AppendRecord(std::string_view record, bool sync) {
                               std::string(repaired.message()) + ")");
     }
   }
-  Status status = wal_->AddRecord(record, sync);
+  Status status = append();
   if (!status.ok()) {
     // The failed commit may have left half-written or unsynced bytes
     // past the last good record; stop trusting the writer until a
@@ -329,8 +401,77 @@ Status DurableStore::AppendRecord(std::string_view record, bool sync) {
     NEPTUNE_METRIC_COUNT("wal.recovery.degraded_entered", 1);
     return status;
   }
-  wal_bytes_ += 8 + record.size();
+  wal_bytes_ += framed_size;
   return status;
+}
+
+Status DurableStore::AppendRecord(std::string_view record, bool sync) {
+  NEPTUNE_TRACE_SPAN(span, "storage.wal.append");
+  if (span.active()) {
+    span.Annotate("bytes=" + std::to_string(record.size()) +
+                  (sync ? " sync=1" : " sync=0"));
+  }
+  return AppendCommon(8 + record.size(),
+                      [&] { return wal_->AddRecord(record, sync); });
+}
+
+Status DurableStore::AppendRawFrames(std::string_view frames, bool sync) {
+  NEPTUNE_TRACE_SPAN(span, "storage.wal.append_raw");
+  if (span.active()) {
+    span.Annotate("bytes=" + std::to_string(frames.size()) +
+                  (sync ? " sync=1" : " sync=0"));
+  }
+  return AppendCommon(frames.size(),
+                      [&] { return wal_->AddRawFrames(frames, sync); });
+}
+
+Result<WalChunk> DurableStore::ReadWalRange(uint64_t epoch, uint64_t offset,
+                                            uint64_t max_bytes) {
+  if (epoch > epoch_) {
+    return Status::NotFound("WAL generation " + std::to_string(epoch) +
+                            " is ahead of " + dir_);
+  }
+  const std::string wal_path = JoinPath(dir_, WalName(epoch));
+  WalChunk chunk;
+  if (epoch == epoch_) {
+    // Only bytes below wal_bytes_ are committed; a failed append may
+    // have left garbage past it that must never ship.
+    chunk.epoch_bytes = wal_bytes_;
+    chunk.epoch_complete = false;
+  } else {
+    if (!env_->FileExists(wal_path)) {
+      return Status::NotFound("WAL generation " + std::to_string(epoch) +
+                              " no longer retained in " + dir_);
+    }
+    NEPTUNE_ASSIGN_OR_RETURN(chunk.epoch_bytes, env_->GetFileSize(wal_path));
+    chunk.epoch_complete = true;
+  }
+  if (offset > chunk.epoch_bytes) {
+    return Status::FailedPrecondition(
+        "WAL offset " + std::to_string(offset) + " past committed end " +
+        std::to_string(chunk.epoch_bytes) + " in " + dir_);
+  }
+  if (offset < chunk.epoch_bytes) {
+    NEPTUNE_ASSIGN_OR_RETURN(std::string raw,
+                             env_->ReadFileToString(wal_path));
+    const uint64_t end =
+        std::min<uint64_t>(chunk.epoch_bytes,
+                           std::min<uint64_t>(raw.size(), offset + max_bytes));
+    if (offset < end) chunk.bytes = raw.substr(offset, end - offset);
+  }
+  return chunk;
+}
+
+Result<std::string> DurableStore::ReadSnapshotBlob() {
+  const std::string snap_path = JoinPath(dir_, SnapName(epoch_));
+  NEPTUNE_ASSIGN_OR_RETURN(std::string raw, env_->ReadFileToString(snap_path));
+  return DecodeSnapshot(raw, snap_path);
+}
+
+Status DurableStore::SetReplRole(const ReplRole& role) {
+  NEPTUNE_RETURN_IF_ERROR(WriteReplRole(env_, dir_, role));
+  repl_ = role;
+  return Status::OK();
 }
 
 Status DurableStore::RepairWal() {
@@ -387,9 +528,15 @@ Status DurableStore::Checkpoint(std::string_view snapshot) {
   if (wal_ != nullptr) wal_->Close();
   wal_ = std::make_unique<LogWriter>(*std::move(wal_file));
   degraded_ = false;  // A fresh, empty WAL is trustworthy again.
-  // Best-effort removal of the superseded generation.
+  // Best-effort removal of the superseded generation. The last
+  // keep_wal_generations_ WALs are retained so followers can tail
+  // across the checkpoint instead of re-snapshotting.
   env_->RemoveFile(JoinPath(dir_, SnapName(epoch_)));
-  env_->RemoveFile(JoinPath(dir_, WalName(epoch_)));
+  if (keep_wal_generations_ == 0) {
+    env_->RemoveFile(JoinPath(dir_, WalName(epoch_)));
+  } else if (epoch_ > keep_wal_generations_) {
+    env_->RemoveFile(JoinPath(dir_, WalName(epoch_ - keep_wal_generations_)));
+  }
   epoch_ = next;
   wal_bytes_ = 0;
   return Status::OK();

@@ -20,6 +20,7 @@
 #define NEPTUNE_STORAGE_DURABLE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -54,6 +55,31 @@ struct RecoveryReport {
            !current_rewritten && bytes_truncated == 0 && orphans_removed == 0;
   }
   std::string ToString() const;
+  // Machine-readable form (neptune_ctl recover --json).
+  std::string ToJson() const;
+};
+
+// Replication role of one store, persisted in a small REPL file next to
+// PROJECT. `term` is the fencing epoch: it is bumped exactly once per
+// promotion, so a deposed primary always carries a lower term than the
+// cluster's live primary and its stream is rejected by followers. A
+// store with no REPL file is an ordinary standalone primary at term 0.
+struct ReplRole {
+  uint64_t term = 0;
+  bool follower = false;
+};
+
+// A slice of one WAL generation, as shipped to followers. `bytes` is a
+// whole number of frames starting at the requested offset; the CRCs
+// travel with the frames so the receiver re-validates with ReadLog.
+struct WalChunk {
+  std::string bytes;
+  // Total committed bytes in the generation at read time. For an old
+  // (checkpointed) generation this is final; for the live one it grows.
+  uint64_t epoch_bytes = 0;
+  // True when the generation has been checkpointed away: once a
+  // follower drains `epoch_bytes` it should roll to the next epoch.
+  bool epoch_complete = false;
 };
 
 // Everything recovery learned from disk.
@@ -79,10 +105,19 @@ class DurableStore {
       std::string_view initial_snapshot, uint32_t dir_mode);
 
   // Opens an existing store, running recovery; the recovered state is
-  // written to `*state`.
-  static Result<std::unique_ptr<DurableStore>> Open(Env* env,
-                                                    const std::string& dir,
-                                                    RecoveredState* state);
+  // written to `*state`. `keep_wal_generations` old WAL generations
+  // below the committed one survive the healthy-recovery orphan sweep
+  // (they are replication tail history, not debris).
+  static Result<std::unique_ptr<DurableStore>> Open(
+      Env* env, const std::string& dir, RecoveredState* state,
+      uint32_t keep_wal_generations = 0);
+
+  // Creates (or atomically replaces) a store from a replicated snapshot
+  // at an explicit epoch, marked as a follower at `term`. Used when a
+  // follower bootstraps or is too far behind to tail and must resync.
+  static Result<std::unique_ptr<DurableStore>> CreateForReplica(
+      Env* env, const std::string& dir, std::string_view meta,
+      std::string_view snapshot, uint64_t epoch, uint64_t term);
 
   // Removes the store directory and everything in it.
   static Status Destroy(Env* env, const std::string& dir);
@@ -104,6 +139,25 @@ class DurableStore {
   // succeeds.
   Status AppendRecord(std::string_view record, bool sync);
 
+  // Appends already-framed replicated bytes to the live WAL (follower
+  // apply path). The caller must have CRC-validated `frames` with
+  // ReadLog; degraded-mode handling matches AppendRecord.
+  Status AppendRawFrames(std::string_view frames, bool sync);
+
+  // Reads up to `max_bytes` of committed WAL frames from generation
+  // `epoch` starting at byte `offset` (primary side of replication).
+  // For the live generation only bytes below wal_bytes() are served —
+  // anything past that is an in-flight or failed append and must not
+  // ship. NotFound: the generation is gone (follower must resync from
+  // a snapshot). FailedPrecondition: `offset` is past the committed
+  // end (histories diverged; resync).
+  Result<WalChunk> ReadWalRange(uint64_t epoch, uint64_t offset,
+                                uint64_t max_bytes);
+
+  // Reads and CRC-validates the live generation's snapshot blob
+  // (snapshot transfer to a bootstrapping or lagging follower).
+  Result<std::string> ReadSnapshotBlob();
+
   // Starts a new generation whose snapshot is `snapshot` and whose WAL
   // is empty, then removes the previous generation. On failure any
   // half-created next-generation files are removed and the store keeps
@@ -116,6 +170,15 @@ class DurableStore {
   // True while commits are being rejected with kReadOnly (see
   // AppendRecord); reads are unaffected.
   bool degraded() const { return degraded_; }
+
+  // Replication role (see ReplRole). SetReplRole persists atomically.
+  const ReplRole& repl_role() const { return repl_; }
+  Status SetReplRole(const ReplRole& role);
+
+  // How many checkpointed WAL generations Checkpoint() retains so
+  // followers can tail across a checkpoint instead of re-snapshotting.
+  void set_keep_wal_generations(uint32_t n) { keep_wal_generations_ = n; }
+  uint32_t keep_wal_generations() const { return keep_wal_generations_; }
 
  private:
   DurableStore(Env* env, std::string dir, uint64_t epoch,
@@ -133,12 +196,18 @@ class DurableStore {
   // boundary) and reopens the writer. Clears degraded_ on success.
   Status RepairWal();
 
+  // Appends through `append` with shared degraded-mode bookkeeping.
+  Status AppendCommon(uint64_t framed_size,
+                      const std::function<Status()>& append);
+
   Env* env_;
   std::string dir_;
   uint64_t epoch_;
   std::unique_ptr<LogWriter> wal_;  // null only while degraded_
   uint64_t wal_bytes_;
   bool degraded_ = false;
+  ReplRole repl_;
+  uint32_t keep_wal_generations_ = 0;
 };
 
 }  // namespace neptune

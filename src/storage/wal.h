@@ -42,6 +42,12 @@ class LogWriter {
   // this returns.
   Status AddRecord(std::string_view payload, bool sync);
 
+  // Appends bytes that are already a sequence of valid frames (WAL
+  // replication ships raw frame ranges so the receiver can re-verify
+  // the CRCs with ReadLog before trusting them). The caller must have
+  // validated `frames`; nothing is re-framed here.
+  Status AddRawFrames(std::string_view frames, bool sync);
+
   Status Close() { return file_->Close(); }
 
  private:

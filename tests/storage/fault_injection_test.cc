@@ -6,6 +6,7 @@
 
 #include <filesystem>
 
+#include "common/metrics.h"
 #include "ham/ham.h"
 #include "storage/durable_store.h"
 #include "storage/fault_injection_env.h"
@@ -226,6 +227,63 @@ TEST_F(FaultInjectionTest, UnrepairableWalDegradesToReadOnly) {
   auto healed = engine->AddNode(*ctx, true);
   ASSERT_TRUE(healed.ok()) << healed.status().ToString();
   EXPECT_EQ(engine->GetStats(*ctx)->node_count, 2u);
+}
+
+// Degraded read-only mode must be re-enterable. A checkpoint clears
+// the flag (a fresh, empty WAL is trustworthy), so a second,
+// independent WAL failure later has to degrade the store again — the
+// enter/repair/clear cycle is idempotent, not one-shot.
+TEST_F(FaultInjectionTest, DegradedModeReentersCleanlyAfterCheckpointClears) {
+  auto engine = MakeHam(true);
+  auto created = engine->CreateGraph(dir_, 0755);
+  ASSERT_TRUE(created.ok());
+  auto ctx = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx.ok());
+  auto survivor = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(survivor.ok());
+
+  const uint64_t degraded_before = MetricsRegistry::Instance()
+                                       .Snapshot()
+                                       .CounterValue("wal.recovery.degraded_entered");
+
+  // First failure: fsync and truncate both broken — no repair possible.
+  fault_env_->FailSyncsAfter(fault_env_->syncs());
+  fault_env_->FailTruncatesAfter(fault_env_->truncates());
+  EXPECT_TRUE(engine->AddNode(*ctx, true).status().IsIOError());
+  EXPECT_TRUE(engine->AddNode(*ctx, true).status().IsReadOnly());
+  fault_env_->Heal();
+
+  // A checkpoint rolls to a fresh WAL generation and clears the flag.
+  ASSERT_TRUE(engine->Checkpoint(*ctx).ok());
+  auto writable_again = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(writable_again.ok()) << writable_again.status().ToString();
+
+  // Second, independent failure: the store must degrade exactly the
+  // same way, not crash and not accept the write.
+  fault_env_->FailSyncsAfter(fault_env_->syncs());
+  fault_env_->FailTruncatesAfter(fault_env_->truncates());
+  EXPECT_TRUE(engine->AddNode(*ctx, true).status().IsIOError());
+  EXPECT_TRUE(engine->AddNode(*ctx, true).status().IsReadOnly());
+  EXPECT_GE(MetricsRegistry::Instance().Snapshot().CounterValue(
+                "wal.recovery.degraded_entered"),
+            degraded_before + 2);
+
+  // Reads stay up in degraded mode; the failed writes left no trace.
+  EXPECT_TRUE(engine->OpenNode(*ctx, survivor->node, 0, {}).ok());
+  EXPECT_EQ(engine->GetStats(*ctx)->node_count, 2u);
+
+  // Healing lets the repair path clear it a second time, too.
+  fault_env_->Heal();
+  auto healed = engine->AddNode(*ctx, true);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(engine->GetStats(*ctx)->node_count, 3u);
+
+  // Restart: only the acknowledged commits are there.
+  engine.reset();
+  engine = MakeHam(true);
+  auto ctx2 = engine->OpenGraph(created->project, "local", dir_);
+  ASSERT_TRUE(ctx2.ok()) << ctx2.status().ToString();
+  EXPECT_EQ(engine->GetStats(*ctx2)->node_count, 3u);
 }
 
 // Power cut between the SNAP-<n+1> write and the CURRENT flip: the new
