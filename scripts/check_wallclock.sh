@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Wall-clock lint: every use of the real clock or a real sleep in src/
+# must go through the TimeSource seam (src/common/clock.h) so the
+# deterministic cluster simulation (src/sim) can virtualize time. The
+# only file allowed to touch the OS clock is the RealTimeSource
+# implementation itself.
+#
+# Run from anywhere inside the repo: scripts/check_wallclock.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Direct time/sleep primitives. condition_variable::wait_for is allowed
+# (threaded production paths need it; the sim never parks a thread).
+PATTERN='std::chrono::system_clock|std::chrono::steady_clock|CLOCK_REALTIME|CLOCK_MONOTONIC|gettimeofday|clock_gettime|this_thread::sleep_for|this_thread::sleep_until|[^a-zA-Z_]usleep[[:space:]]*\(|[^a-zA-Z_]nanosleep[[:space:]]*\('
+
+# The one place the real clock may live.
+ALLOW='^src/common/clock\.cc:'
+
+matches=$(grep -rnE "$PATTERN" src/ | grep -vE "$ALLOW" || true)
+if [ -n "$matches" ]; then
+  echo "error: wall-clock or sleep primitive outside src/common/clock.cc:" >&2
+  echo "$matches" >&2
+  echo >&2
+  echo "Route time through TimeSource (src/common/clock.h) — take a" >&2
+  echo "TimeSource* option and default it to RealTimeSource() — so the" >&2
+  echo "deterministic simulation in src/sim can drive it from a virtual" >&2
+  echo "clock. See DESIGN.md, 'Deterministic cluster simulation'." >&2
+  exit 1
+fi
+echo "check_wallclock: OK (real clock confined to src/common/clock.cc)"

@@ -1,0 +1,70 @@
+// Jittered exponential backoff, shared by the RPC client retry loop
+// and the replication tailer (both previously carried private copies
+// of the same arithmetic). Policy: delay doubles from `initial_ms` up
+// to `max_ms`, and each sleep draws uniformly from [delay/2, delay]
+// ("equal jitter") so a thundering herd of retriers decorrelates.
+//
+// The class only computes delays; the caller decides how to wait.
+// Sleep() routes the wait through an injectable TimeSource so the
+// simulation harness can advance a virtual clock instead of blocking.
+
+#ifndef NEPTUNE_COMMON_BACKOFF_H_
+#define NEPTUNE_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace neptune {
+
+class Backoff {
+ public:
+  Backoff(uint64_t initial_ms, uint64_t max_ms, Random* rng)
+      : initial_ms_(std::max<uint64_t>(initial_ms, 1)),
+        max_ms_(std::max<uint64_t>(max_ms, initial_ms_)),
+        rng_(rng) {}
+
+  // Consecutive failures recorded since the last Reset().
+  int failures() const { return failures_; }
+
+  void Reset() { failures_ = 0; }
+
+  // Records one more failure and returns the jittered delay to wait
+  // before the next attempt, in milliseconds.
+  uint64_t NextDelayMs() {
+    uint64_t delay = initial_ms_;
+    for (int i = 0; i < failures_ && delay < max_ms_; ++i) delay *= 2;
+    delay = std::min(delay, max_ms_);
+    ++failures_;
+    // Uniform in [delay/2, delay]: keeps at least half the nominal
+    // delay (so retries genuinely back off) while spreading retriers.
+    const uint64_t half = delay / 2;
+    return half + rng_->Uniform(delay - half + 1);
+  }
+
+  // Jittered delay for an explicit attempt index (0-based), without
+  // touching the failure counter. Used by retry loops that track their
+  // own attempt count.
+  uint64_t DelayForAttemptMs(int attempt) {
+    uint64_t delay = initial_ms_;
+    for (int i = 0; i < attempt && delay < max_ms_; ++i) delay *= 2;
+    delay = std::min(delay, max_ms_);
+    const uint64_t half = delay / 2;
+    return half + rng_->Uniform(delay - half + 1);
+  }
+
+  // Records a failure and sleeps the jittered delay on `time`.
+  void Sleep(TimeSource* time) { time->SleepMicros(NextDelayMs() * 1000); }
+
+ private:
+  const uint64_t initial_ms_;
+  const uint64_t max_ms_;
+  Random* const rng_;  // not owned
+  int failures_ = 0;
+};
+
+}  // namespace neptune
+
+#endif  // NEPTUNE_COMMON_BACKOFF_H_

@@ -1,6 +1,7 @@
 #include "common/clock.h"
 
 #include <chrono>
+#include <thread>
 
 namespace neptune {
 
@@ -9,6 +10,29 @@ uint64_t NowMicros() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::system_clock::now().time_since_epoch())
           .count());
+}
+
+namespace {
+
+class SteadyTimeSource : public TimeSource {
+ public:
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+TimeSource* RealTimeSource() {
+  static SteadyTimeSource* const kSource = new SteadyTimeSource();
+  return kSource;
 }
 
 }  // namespace neptune

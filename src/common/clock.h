@@ -38,6 +38,27 @@ class LogicalClock {
 // Wall-clock microseconds since the Unix epoch (benchmarks, logging).
 uint64_t NowMicros();
 
+// Injectable time source. Production code paths that need "how late is
+// it" or "wait a while" take a TimeSource* so the simulation harness
+// (src/sim) can substitute a virtual clock and run hours of cluster
+// time in milliseconds, deterministically. The default is the real
+// clock below; no caller should ever see a null TimeSource.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+
+  // Monotonic-ish microseconds. Comparable only against other readings
+  // from the same TimeSource.
+  virtual uint64_t NowMicros() = 0;
+
+  // Blocks (or, in simulation, advances virtual time) for `micros`.
+  virtual void SleepMicros(uint64_t micros) = 0;
+};
+
+// The process-wide real time source: steady_clock readings, real
+// sleeps. Never destroyed.
+TimeSource* RealTimeSource();
+
 }  // namespace neptune
 
 #endif  // NEPTUNE_COMMON_CLOCK_H_

@@ -93,7 +93,12 @@ bool DemonRegistry::Fire(const DemonInvocation& invocation) const {
 // ------------------------------------------------------------- lifecycle
 
 Ham::Ham(Env* env, HamOptions options)
-    : env_(env), options_(std::move(options)) {
+    : env_(env),
+      options_(std::move(options)),
+      time_(options_.time_source != nullptr ? options_.time_source
+                                            : RealTimeSource()),
+      project_rng_(options_.project_id_seed != 0 ? options_.project_id_seed
+                                                 : (NowMicros() | 1)) {
   // The reconstruction cache is process-wide; the most recently
   // constructed engine's option wins (they normally agree).
   delta::ReconstructionCache::Instance().set_capacity_bytes(
@@ -133,7 +138,7 @@ Ham::Ham(Env* env, HamOptions options)
   MetricsRegistry::Instance().GetCounter("repl.follower.snapshots_installed");
   MetricsRegistry::Instance().GetCounter("repl.follower.rolls");
   MetricsRegistry::Instance().GetCounter("repl.promotions");
-  if (options_.txn_lease_ms > 0) {
+  if (options_.txn_lease_ms > 0 && !options_.manual_lease_sweep) {
     lease_watchdog_ = std::thread([this] { LeaseWatchdogLoop(); });
   }
 }
@@ -153,14 +158,16 @@ Ham::~Ham() {
 
 Ham::LockedSession::LockedSession(std::shared_ptr<Session> session)
     : session_(std::move(session)), lock_(session_->op_mu) {
-  session_->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
+  session_->last_touch_us.store(session_->time->NowMicros(),
+                                std::memory_order_relaxed);
 }
 
 Ham::LockedSession::~LockedSession() {
   // Renew on exit too: a long-running op must not leave the lease
   // looking stale the moment it finishes.
   if (session_ != nullptr) {
-    session_->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
+    session_->last_touch_us.store(session_->time->NowMicros(),
+                                  std::memory_order_relaxed);
   }
 }
 
@@ -178,6 +185,12 @@ void Ham::LeaseWatchdogLoop() {
   }
 }
 
+void Ham::SweepLeasesNow() {
+  if (options_.txn_lease_ms > 0) {
+    SweepExpiredLeases(options_.txn_lease_ms * 1000);
+  }
+}
+
 void Ham::SweepExpiredLeases(uint64_t lease_us) {
   // Collect candidates under the registry lock, then abort each under
   // its own op_mu with the registry lock released — the reverse order
@@ -185,7 +198,7 @@ void Ham::SweepExpiredLeases(uint64_t lease_us) {
   // openContext, which registers a session while inside an op.
   std::vector<std::shared_ptr<Session>> candidates;
   {
-    const uint64_t now = NowMicros();
+    const uint64_t now = time_->NowMicros();
     std::lock_guard<std::mutex> lock(registry_mu_);
     for (const auto& [id, session] : sessions_) {
       if (session->in_txn.load(std::memory_order_relaxed) &&
@@ -202,7 +215,7 @@ void Ham::SweepExpiredLeases(uint64_t lease_us) {
                                                    std::try_to_lock);
     if (!op_lock.owns_lock()) continue;
     if (!session->in_txn.load(std::memory_order_relaxed)) continue;
-    if (NowMicros() -
+    if (time_->NowMicros() -
             session->last_touch_us.load(std::memory_order_relaxed) <=
         lease_us) {
       continue;  // renewed while we were collecting
@@ -262,12 +275,13 @@ Result<CreateGraphResult> Ham::CreateGraph(const std::string& directory,
   const Time creation = state.clock().Tick();
 
   // Unique-enough project id (the Appendix only requires uniqueness).
-  static Random project_rng(NowMicros());
+  // The generator is per-engine and seedable (project_id_seed) so the
+  // simulation harness reproduces identical ids run-to-run.
   ProjectId project = 0;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     do {
-      project = project_rng.Next();
+      project = project_rng_.Next();
     } while (project == 0);
   }
 
@@ -378,7 +392,8 @@ Result<Context> Ham::OpenGraph(ProjectId project, const std::string& machine,
   }
   auto session = std::make_shared<Session>();
   session->graph = graph;
-  session->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
+  session->time = time_;
+  session->last_touch_us.store(time_->NowMicros(), std::memory_order_relaxed);
   GraphHandle* handle = graph.get();
   uint64_t id = 0;
   {

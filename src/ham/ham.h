@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "ham/demon_index.h"
 #include "ham/graph_state.h"
@@ -91,6 +93,19 @@ struct HamOptions {
   // JSON slow-op line, and retained in the slow-op ring regardless of
   // sampling. 0 disables the slow path.
   uint64_t trace_slow_us = 0;
+
+  // Determinism / simulation hooks ----------------------------------
+  // Clock for lease stamps and expiry sweeps. nullptr = the
+  // process-wide real clock.
+  TimeSource* time_source = nullptr;
+  // When true, the lease watchdog thread is never started even with
+  // txn_lease_ms > 0; the embedder calls SweepLeasesNow() itself. The
+  // simulation harness ticks it from the virtual clock.
+  bool manual_lease_sweep = false;
+  // Seed for CreateGraph's project-id generator. 0 = seed from the
+  // clock (the uniqueness-only default); the simulation harness pins
+  // it so graph creation is reproducible.
+  uint64_t project_id_seed = 0;
 };
 
 // Process-wide registry binding demon values to callables — the
@@ -173,6 +188,12 @@ class Ham final : public HamInterface {
   // space only materializes in a fresh snapshot). Disallowed inside an
   // open transaction. Returns the fresh snapshot's size in bytes.
   Result<uint64_t> PruneHistory(Context ctx, Time before);
+  // Runs one lease-expiry sweep immediately, exactly as the watchdog
+  // thread would (no-op when txn_lease_ms is 0). For embedders that
+  // own the clock — the simulation harness calls this on virtual-time
+  // ticks instead of running the watchdog thread
+  // (HamOptions::manual_lease_sweep).
+  void SweepLeasesNow();
 
   // HamInterface implementation ------------------------------------
   Result<CreateGraphResult> CreateGraph(const std::string& directory,
@@ -343,8 +364,11 @@ class Ham final : public HamInterface {
     // Set by the watchdog when it aborts the session's transaction;
     // tells the session's next commit/abort/mutation what happened.
     bool lease_aborted = false;
-    // Lease renewal stamp (NowMicros), updated on operation entry and
-    // exit so a long-running op is not mistaken for a silent session.
+    // Lease renewal stamp, updated on operation entry and exit so a
+    // long-running op is not mistaken for a silent session. Read
+    // against the owning Ham's time source, which `time` caches so
+    // LockedSession can renew without a backpointer.
+    TimeSource* time = nullptr;
     std::atomic<uint64_t> last_touch_us{0};
   };
 
@@ -417,6 +441,11 @@ class Ham final : public HamInterface {
 
   Env* env_;
   HamOptions options_;
+  // Injectable clock (HamOptions::time_source); never null.
+  TimeSource* time_;
+  // Project-id generator (HamOptions::project_id_seed); guarded by
+  // registry_mu_.
+  Random project_rng_;
   DemonRegistry demon_registry_;
 
   std::atomic<bool> follower_mode_{false};

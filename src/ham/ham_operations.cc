@@ -871,7 +871,9 @@ Result<Context> Ham::OpenContext(Context ctx, ThreadId thread) {
   auto new_session = std::make_shared<Session>();
   new_session->graph = session->graph;
   new_session->thread = thread;
-  new_session->last_touch_us.store(NowMicros(), std::memory_order_relaxed);
+  new_session->time = time_;
+  new_session->last_touch_us.store(time_->NowMicros(),
+                                   std::memory_order_relaxed);
   uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(registry_mu_);

@@ -66,7 +66,7 @@ Result<ReplFetchResult> Ham::ReplFetch(const ReplFetchRequest& request) {
   NEPTUNE_ASSIGN_OR_RETURN(std::shared_ptr<GraphHandle> graph,
                            LoadGraph(request.directory));
   GraphHandle* handle = graph.get();
-  const uint64_t deadline_us = NowMicros() + request.wait_ms * 1000;
+  const uint64_t deadline_us = time_->NowMicros() + request.wait_ms * 1000;
 
   for (;;) {
     // Capture the commit sequence *before* reading the store so a
@@ -146,7 +146,7 @@ Result<ReplFetchResult> Ham::ReplFetch(const ReplFetchRequest& request) {
     // has durably applied) and refresh the lag gauge.
     {
       std::lock_guard<std::mutex> lock(handle->repl_mu);
-      const uint64_t now = NowMicros();
+      const uint64_t now = time_->NowMicros();
       GraphHandle::FollowerAck& ack = handle->followers[request.follower_id];
       ack.epoch = request.epoch;
       ack.offset = request.offset;
@@ -190,7 +190,7 @@ Result<ReplFetchResult> Ham::ReplFetch(const ReplFetchRequest& request) {
     }
     // Long-poll: nothing new in the live generation. Wait for a commit
     // (NotifyReplWaiters) or the deadline, then re-read.
-    const uint64_t now = NowMicros();
+    const uint64_t now = time_->NowMicros();
     if (now >= deadline_us) {
       NEPTUNE_METRIC_COUNT("repl.primary.fetches", 1);
       NEPTUNE_METRIC_COUNT("repl.primary.empty_polls", 1);
@@ -250,7 +250,7 @@ Result<ReplNodeStatus> Ham::ReplStatus(const std::string& directory) {
     const uint64_t caught =
         handle->repl_caught_up_us.load(std::memory_order_relaxed);
     out.behind_ms =
-        caught == 0 ? ~0ull : (NowMicros() - caught) / 1000;
+        caught == 0 ? ~0ull : (time_->NowMicros() - caught) / 1000;
   } else {
     std::lock_guard<std::mutex> lock(handle->repl_mu);
     for (const auto& [id, ack] : handle->followers) {
@@ -432,7 +432,8 @@ void Ham::NoteReplProgress(const std::string& directory, uint64_t lag_bytes,
   if (graph == nullptr) return;
   graph->repl_lag_bytes.store(lag_bytes, std::memory_order_relaxed);
   if (caught_up) {
-    graph->repl_caught_up_us.store(NowMicros(), std::memory_order_relaxed);
+    graph->repl_caught_up_us.store(time_->NowMicros(),
+                                   std::memory_order_relaxed);
   }
   MetricsRegistry::Instance().GetGauge("repl.follower.lag_bytes")->Set(
       static_cast<int64_t>(lag_bytes));

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
-#include <thread>
 
+#include "common/backoff.h"
 #include "common/clock.h"
 #include "common/coding.h"
 #include "common/trace.h"
@@ -58,6 +57,8 @@ RemoteHam::RemoteHam(std::string host, uint16_t port, const Options& options)
     : host_(std::move(host)),
       port_(port),
       options_(options),
+      time_(options.time_source != nullptr ? options.time_source
+                                           : RealTimeSource()),
       rng_(options.retry_seed != 0
                ? options.retry_seed
                : static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this))) {}
@@ -92,10 +93,15 @@ Result<std::unique_ptr<RemoteHam>> RemoteHam::Connect(const std::string& host,
   return client;
 }
 
+Result<std::unique_ptr<FrameStream>> RemoteHam::Dial() {
+  if (options_.stream_factory) {
+    return options_.stream_factory(host_, port_, options_.connect_timeout_ms);
+  }
+  return FrameStream::Connect(host_, port_, options_.connect_timeout_ms);
+}
+
 Status RemoteHam::ReconnectLocked() {
-  NEPTUNE_ASSIGN_OR_RETURN(
-      std::unique_ptr<FrameStream> stream,
-      FrameStream::Connect(host_, port_, options_.connect_timeout_ms));
+  NEPTUNE_ASSIGN_OR_RETURN(std::unique_ptr<FrameStream> stream, Dial());
   NEPTUNE_RETURN_IF_ERROR(
       stream->SetTimeouts(options_.send_timeout_ms, options_.recv_timeout_ms));
   stream_ = std::move(stream);
@@ -123,6 +129,7 @@ Result<std::string> RemoteHam::CallSync(Method method, std::string_view args) {
   request.append(args);
 
   std::lock_guard<std::mutex> lock(mu_);
+  Backoff backoff(options_.backoff_initial_ms, options_.backoff_max_ms, &rng_);
   // Prepend the trace-context extension when this call is being
   // traced and the server is not known to predate the extension.
   bool flagged = false;
@@ -177,7 +184,7 @@ Result<std::string> RemoteHam::CallSync(Method method, std::string_view args) {
             // Full jitter in [delay/2, delay] spreads the herd of shed
             // clients back out.
             delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
-            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+            time_->SleepMicros(delay * 1000);
             continue;
           }
           if (flagged && IsUnknownMethodReply(status)) {
@@ -211,16 +218,10 @@ Result<std::string> RemoteHam::CallSync(Method method, std::string_view args) {
     if (attempt >= options_.max_retries) return last;
     NEPTUNE_METRIC_COUNT("rpc.client.retries", 1);
     span.Annotate("retry=" + std::to_string(attempt + 1));
-    uint64_t delay = options_.backoff_initial_ms;
-    for (uint32_t i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
-      delay *= 2;
-    }
-    delay = std::min<uint64_t>(delay, options_.backoff_max_ms);
-    if (delay > 0) {
-      // Full jitter in [delay/2, delay] keeps reconnect storms spread out.
-      delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-    }
+    // Shared jittered-exponential policy (common/backoff.h) keeps
+    // reconnect storms spread out.
+    time_->SleepMicros(backoff.DelayForAttemptMs(static_cast<int>(attempt)) *
+                       1000);
   }
 }
 
@@ -403,9 +404,7 @@ RemoteHam::EnqueueTagged(Method method, std::string_view args, bool* sent) {
       if (receiver_.joinable()) receiver_.join();
       if (sender_.joinable()) sender_.join();
       auto fresh = std::make_shared<PipelineConn>();
-      NEPTUNE_ASSIGN_OR_RETURN(
-          fresh->stream,
-          FrameStream::Connect(host_, port_, options_.connect_timeout_ms));
+      NEPTUNE_ASSIGN_OR_RETURN(fresh->stream, Dial());
       NEPTUNE_RETURN_IF_ERROR(fresh->stream->SetTimeouts(
           options_.send_timeout_ms, options_.recv_timeout_ms));
       if (pconn_ != nullptr) NEPTUNE_METRIC_COUNT("rpc.client.reconnects", 1);
@@ -493,7 +492,7 @@ Result<std::string> RemoteHam::CallPipelined(Method method,
           std::lock_guard<std::mutex> lock(mu_);
           delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        time_->SleepMicros(delay * 1000);
         continue;
       }
       NEPTUNE_RETURN_IF_ERROR(status);
@@ -515,18 +514,16 @@ Result<std::string> RemoteHam::CallPipelined(Method method,
     if (attempt >= options_.max_retries) return last;
     NEPTUNE_METRIC_COUNT("rpc.client.retries", 1);
     span.Annotate("retry=" + std::to_string(attempt + 1));
-    uint64_t delay = options_.backoff_initial_ms;
-    for (uint32_t i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
-      delay *= 2;
+    uint64_t delay_ms;
+    {
+      // rng_ is guarded by mu_; the shared policy only computes the
+      // delay, so the sleep happens outside the lock.
+      std::lock_guard<std::mutex> lock(mu_);
+      Backoff backoff(options_.backoff_initial_ms, options_.backoff_max_ms,
+                      &rng_);
+      delay_ms = backoff.DelayForAttemptMs(static_cast<int>(attempt));
     }
-    delay = std::min<uint64_t>(delay, options_.backoff_max_ms);
-    if (delay > 0) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-    }
+    time_->SleepMicros(delay_ms * 1000);
   }
 }
 
@@ -838,7 +835,7 @@ std::string RemoteHam::FollowerPath(const std::string& directory) const {
 }
 
 bool RemoteHam::FollowerFresh(const std::string& directory) {
-  const uint64_t now = NowMicros();
+  const uint64_t now = time_->NowMicros();
   {
     std::lock_guard<std::mutex> lock(fmu_);
     if (follower_status_us_ != 0 &&

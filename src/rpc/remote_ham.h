@@ -10,6 +10,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -17,6 +18,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "ham/ham_interface.h"
@@ -71,6 +73,15 @@ class RemoteHam final : public ham::HamInterface {
     // mirrors the primary's paths verbatim (symmetric layout).
     std::string follower_remap_from;
     std::string follower_remap_to;
+    // Clock for retry backoff, shed waits and follower-staleness TTLs.
+    // nullptr = the process-wide real clock. The simulation harness
+    // injects its virtual clock here.
+    TimeSource* time_source = nullptr;
+    // Dials a server; nullptr = FrameStream::Connect (real TCP). The
+    // simulation harness injects its in-memory network here.
+    std::function<Result<std::unique_ptr<FrameStream>>(
+        const std::string& host, uint16_t port, int connect_timeout_ms)>
+        stream_factory;
   };
 
   // A tagged request in flight; Wait() blocks for the reply. Obtained
@@ -319,6 +330,9 @@ class RemoteHam final : public ham::HamInterface {
   // Re-establishes stream_ (with deadlines armed). Caller holds mu_.
   Status ReconnectLocked();
 
+  // Dials the server through Options::stream_factory (or real TCP).
+  Result<std::unique_ptr<FrameStream>> Dial();
+
   // Pipelined path ---------------------------------------------------
 
   // One connection generation shared by callers and the receiver
@@ -346,6 +360,7 @@ class RemoteHam final : public ham::HamInterface {
   const std::string host_;
   const uint16_t port_;
   const Options options_;
+  TimeSource* time_;  // Options::time_source or the real clock
 
   std::mutex mu_;  // one request in flight per connection
   std::unique_ptr<FrameStream> stream_;  // null between connections

@@ -21,11 +21,14 @@ Replicator::Replicator(ham::Ham* ham, RemoteHam* primary, Options options)
     : ham_(ham),
       primary_(primary),
       options_(std::move(options)),
+      time_(options_.time_source != nullptr ? options_.time_source
+                                            : RealTimeSource()),
       follower_id_(options_.follower_id.empty() ? options_.local_root
                                                 : options_.follower_id),
       rng_(options_.seed != 0
                ? options_.seed
-               : static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this))) {}
+               : static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this))),
+      backoff_(options_.backoff_initial_ms, options_.backoff_max_ms, &rng_) {}
 
 Replicator::~Replicator() { Stop(); }
 
@@ -81,27 +84,12 @@ bool Replicator::SleepOrStop(uint64_t ms) {
   return !stop_;
 }
 
-void Replicator::Backoff(uint32_t* consecutive_failures) {
-  uint64_t delay = options_.backoff_initial_ms;
-  for (uint32_t i = 0;
-       i < *consecutive_failures && delay < options_.backoff_max_ms; ++i) {
-    delay *= 2;
-  }
-  delay = std::min<uint64_t>(delay, options_.backoff_max_ms);
-  // Full jitter in [delay/2, delay]: a fleet of followers whose
-  // primary just died must not reconnect in lockstep.
-  delay = delay / 2 + rng_.Uniform(delay / 2 + 1);
-  ++*consecutive_failures;
-  NEPTUNE_METRIC_COUNT("repl.follower.backoffs", 1);
-  SleepOrStop(delay);
-}
-
 Status Replicator::RefreshGraphList() {
   NEPTUNE_ASSIGN_OR_RETURN(std::vector<std::string> graphs,
                            primary_->ReplListGraphs(options_.primary_root));
   std::lock_guard<std::mutex> lock(mu_);
   graphs_ = std::move(graphs);
-  last_list_us_ = NowMicros();
+  last_list_us_ = time_->NowMicros();
   return Status::OK();
 }
 
@@ -134,7 +122,10 @@ bool Replicator::TailOne(const std::string& rel, Cursor* cursor) {
   request.offset = cursor->force_snapshot ? 0 : cursor->p.offset;
   request.max_bytes = options_.max_bytes;
   // Long-poll only once drained; while behind, fetch back-to-back.
-  request.wait_ms = cursor->p.caught_up && !cursor->force_snapshot
+  // With long_poll off (simulation), never park on the primary — the
+  // caller paces caught-up cycles from RunCycle()'s returned delay.
+  request.wait_ms = options_.long_poll && cursor->p.caught_up &&
+                            !cursor->force_snapshot
                         ? options_.poll_wait_ms
                         : 0;
 
@@ -245,75 +236,83 @@ bool Replicator::TailOne(const std::string& rel, Cursor* cursor) {
   return true;
 }
 
+int64_t Replicator::RunCycle() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return -1;
+  }
+  if (!ham_->follower()) {
+    // Promoted out from under us: the engine now rejects replica
+    // writes, so pulling is pointless. Exit quietly.
+    NEPTUNE_LOG(Warn) << "event=repl_tail_exit reason=promoted";
+    return -1;
+  }
+  uint64_t last_list_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_list_us = last_list_us_;
+  }
+  if (last_list_us == 0 ||
+      time_->NowMicros() - last_list_us > options_.list_refresh_ms * 1000) {
+    Status listed = RefreshGraphList();
+    if (!listed.ok()) {
+      // Back off with graphs possibly stale.
+      std::lock_guard<std::mutex> lock(mu_);
+      error_cycles_++;
+      NEPTUNE_METRIC_COUNT("repl.follower.backoffs", 1);
+      return static_cast<int64_t>(backoff_.NextDelayMs());
+    }
+  }
+  std::vector<std::string> graphs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    graphs = graphs_;
+  }
+  if (graphs.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_list_us_ = 0;  // re-list immediately next cycle
+    return static_cast<int64_t>(options_.list_refresh_ms);
+  }
+  bool all_ok = true;
+  for (const std::string& rel : graphs) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return -1;
+    }
+    Cursor cursor;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cursor = cursors_[rel];
+    }
+    const bool ok = TailOne(rel, &cursor);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cursors_[rel] = cursor;
+    }
+    all_ok = all_ok && ok;
+  }
+  if (!all_ok) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_cycles_++;
+    }
+    NEPTUNE_METRIC_COUNT("repl.follower.backoffs", 1);
+    return static_cast<int64_t>(backoff_.NextDelayMs());
+  }
+  backoff_.Reset();
+  // Without server-side long-polling a drained follower would spin on
+  // empty fetches; pace it at the poll budget instead.
+  if (!options_.long_poll && AllCaughtUp()) {
+    return static_cast<int64_t>(options_.poll_wait_ms);
+  }
+  return 0;
+}
+
 void Replicator::Main() {
-  uint32_t consecutive_failures = 0;
   for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stop_) return;
-    }
-    if (!ham_->follower()) {
-      // Promoted out from under us: the engine now rejects replica
-      // writes, so pulling is pointless. Exit quietly.
-      NEPTUNE_LOG(Warn) << "event=repl_tail_exit reason=promoted";
-      return;
-    }
-    uint64_t last_list_us = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      last_list_us = last_list_us_;
-    }
-    if (last_list_us == 0 ||
-        NowMicros() - last_list_us > options_.list_refresh_ms * 1000) {
-      Status listed = RefreshGraphList();
-      if (!listed.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        error_cycles_++;
-        // fall through to backoff below with graphs possibly stale
-      }
-      if (!listed.ok()) {
-        Backoff(&consecutive_failures);
-        continue;
-      }
-    }
-    std::vector<std::string> graphs;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      graphs = graphs_;
-    }
-    if (graphs.empty()) {
-      if (!SleepOrStop(options_.list_refresh_ms)) return;
-      std::lock_guard<std::mutex> lock(mu_);
-      last_list_us_ = 0;  // re-list immediately next cycle
-      continue;
-    }
-    bool all_ok = true;
-    for (const std::string& rel : graphs) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stop_) return;
-      }
-      Cursor cursor;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        cursor = cursors_[rel];
-      }
-      const bool ok = TailOne(rel, &cursor);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        cursors_[rel] = cursor;
-      }
-      all_ok = all_ok && ok;
-    }
-    if (all_ok) {
-      consecutive_failures = 0;
-    } else {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        error_cycles_++;
-      }
-      Backoff(&consecutive_failures);
-    }
+    const int64_t delay_ms = RunCycle();
+    if (delay_ms < 0) return;
+    if (delay_ms > 0 && !SleepOrStop(static_cast<uint64_t>(delay_ms))) return;
   }
 }
 

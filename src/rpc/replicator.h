@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/clock.h"
 #include "common/random.h"
 #include "ham/ham.h"
 #include "rpc/remote_ham.h"
@@ -58,6 +60,15 @@ class Replicator {
     // Zero-progress corrupt chunks at one offset before forcing a
     // snapshot resync.
     uint32_t max_corrupt_strikes = 3;
+    // Clock for backoff sleeps and the list-refresh cadence. nullptr =
+    // the process-wide real clock.
+    TimeSource* time_source = nullptr;
+    // When false, fetches never ask the primary to long-poll
+    // (wait_ms = 0) and a caught-up cycle reports poll_wait_ms as the
+    // delay before the next one. The simulation harness uses this to
+    // pace replication from the virtual clock instead of parking a
+    // server thread in a condition-variable wait.
+    bool long_poll = true;
   };
 
   // `ham` must be a follower-mode engine (HamOptions::follower_mode);
@@ -74,6 +85,14 @@ class Replicator {
   // by the destructor. After a promotion the loop exits on its own
   // (the engine stops being a follower), but Stop() still joins it.
   void Stop();
+
+  // One refresh+tail pass over every known graph, without sleeping.
+  // Returns the suggested delay in ms before the next cycle (0 = run
+  // again immediately), or -1 when the loop is done (stopped, or the
+  // engine was promoted out of follower mode). Main() wraps this with
+  // SleepOrStop; the simulation harness calls it directly and paces
+  // the cycles on the virtual clock.
+  int64_t RunCycle();
 
   // Per-graph cursor snapshot, keyed by the relative path from
   // replListGraphs ("" = the root itself is the store).
@@ -112,7 +131,6 @@ class Replicator {
   Status RefreshGraphList();
   // Seeds a cursor from the local store (resume) or at zero (bootstrap).
   void InitCursor(const std::string& local_dir, Cursor* cursor);
-  void Backoff(uint32_t* consecutive_failures);
   bool SleepOrStop(uint64_t ms);
 
   std::string LocalDir(const std::string& rel) const;
@@ -121,6 +139,7 @@ class Replicator {
   ham::Ham* const ham_;
   RemoteHam* const primary_;
   const Options options_;
+  TimeSource* time_;
   std::string follower_id_;
 
   mutable std::mutex mu_;
@@ -131,6 +150,9 @@ class Replicator {
   uint64_t error_cycles_ = 0;
   uint64_t last_list_us_ = 0;
   Random rng_;
+  // Shared jittered-exponential policy (common/backoff.h); touched
+  // only by the tail loop's thread (or the sim's single thread).
+  neptune::Backoff backoff_;
 
   std::thread thread_;
 };

@@ -26,9 +26,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/trace.h"
 #include "ham/ham_interface.h"
+#include "rpc/dispatch.h"
 #include "rpc/poller.h"
 #include "rpc/socket.h"
 
@@ -77,6 +79,9 @@ class Server {
     // stopped reading before force-closing them. In-flight requests
     // are always run to completion regardless.
     int drain_timeout_ms = 5000;
+    // Clock used for the idle reaper, drain deadline, and activity
+    // stamps. nullptr = the process-wide real clock.
+    TimeSource* time_source = nullptr;
   };
 
   explicit Server(ham::HamInterface* ham) : Server(ham, Options()) {}
@@ -100,20 +105,6 @@ class Server {
  private:
   struct Conn;
   struct IoLoop;
-
-  // The sessions a connection has opened, shared by the worker threads
-  // that may be executing its requests concurrently.
-  class SessionSet {
-   public:
-    void Insert(uint64_t session);
-    void Erase(uint64_t session);
-    // Empties the set, returning what it held (disconnect cleanup).
-    std::vector<uint64_t> Drain();
-
-   private:
-    std::mutex mu_;
-    std::set<uint64_t> sessions_;
-  };
 
   // One unit for the worker pool: either a decoded request or the
   // disconnect cleanup for a connection that is gone.
@@ -158,17 +149,14 @@ class Server {
   // Executes one decoded request (worker thread).
   void ExecuteRequest(Work* work);
 
-  // Admission control: non-zero means "refuse this method right now";
-  // the value distinguishes soft (reads only) from hard shedding.
-  bool ShouldShed(Method method, int inflight) const;
-
-  // Handles one request payload; returns the reply payload.
-  // Context handles opened/closed by this connection are tracked in
-  // `sessions` so disconnects can clean up.
-  std::string HandleRequest(std::string_view request, SessionSet* sessions);
+  int64_t Now() const;
 
   ham::HamInterface* ham_;
   Options options_;
+  // Decode/execute/encode lives in RequestDispatcher (rpc/dispatch.h),
+  // shared with the simulation harness.
+  RequestDispatcher dispatcher_;
+  TimeSource* time_;
   std::unique_ptr<Listener> listener_;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

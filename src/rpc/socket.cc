@@ -37,18 +37,19 @@ Status SockError(std::string_view op, int err) {
 }  // namespace
 
 FrameStream::~FrameStream() {
-  Close();
+  if (fd_ < 0) return;  // in-memory subclass: nothing to release
+  FrameStream::Close();
   ::close(fd_);
 }
 
 void FrameStream::Close() {
   // shutdown() (not close()) so another thread blocked in recv/send on
   // this fd wakes up without racing on the descriptor's lifetime.
-  if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+  if (!closed_.exchange(true) && fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void FrameStream::CloseRead() {
-  if (!closed_.load()) ::shutdown(fd_, SHUT_RD);
+  if (!closed_.load() && fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
 Status FrameStream::SetTimeouts(int send_timeout_ms, int recv_timeout_ms) {

@@ -15,11 +15,14 @@
 namespace neptune {
 namespace rpc {
 
-// A connected TCP stream exchanging CRC-framed payloads.
+// A connected TCP stream exchanging CRC-framed payloads. The framing
+// methods are virtual so the simulation harness can substitute an
+// in-memory transport (sim::SimFrameStream) under unmodified clients
+// and servers; this base class is the real-socket implementation.
 class FrameStream {
  public:
   explicit FrameStream(int fd) : fd_(fd) {}
-  ~FrameStream();
+  virtual ~FrameStream();
 
   FrameStream(const FrameStream&) = delete;
   FrameStream& operator=(const FrameStream&) = delete;
@@ -34,7 +37,7 @@ class FrameStream {
   // budget fails with kDeadlineExceeded (0 = block forever). A deadline
   // expiry can strand a partial frame on the wire, so the caller must
   // treat the stream as dead afterwards.
-  Status SetTimeouts(int send_timeout_ms, int recv_timeout_ms);
+  virtual Status SetTimeouts(int send_timeout_ms, int recv_timeout_ms);
 
   // Caps the accepted frame size (both directions) and the bytes this
   // stream will buffer for an incomplete inbound frame. 0 keeps the
@@ -43,30 +46,32 @@ class FrameStream {
 
   // Sends one framed payload; kInvalidArgument (without sending
   // anything) if the payload exceeds the frame limit.
-  Status SendFrame(std::string_view payload);
+  virtual Status SendFrame(std::string_view payload);
 
   // Sends bytes that are already framed (see AppendFrame) — one write
   // path for a batch of frames, so a pipelined burst costs one syscall.
-  Status SendBytes(std::string_view bytes);
+  virtual Status SendBytes(std::string_view bytes);
 
   uint32_t max_frame_bytes() const { return max_frame_bytes_; }
 
   // Blocks for the next complete frame. Unavailable("connection
   // closed") on orderly EOF between frames; kDeadlineExceeded when a
   // recv timeout is armed and expires.
-  Result<std::string> RecvFrame();
+  virtual Result<std::string> RecvFrame();
 
   // Shuts the connection down, unblocking a send/recv in progress on
   // another thread. The fd itself is released by the destructor, which
   // must not run until those threads are done with the stream.
-  void Close();
+  virtual void Close();
 
   // Half-close: stops reads (a blocked RecvFrame sees EOF, and the peer
   // eventually notices we stopped consuming) while replies in flight
   // can still be sent. This is how the server drains connections.
-  void CloseRead();
+  virtual void CloseRead();
 
- private:
+ protected:
+  // Subclasses (in-memory transports) pass fd = -1; the destructor
+  // skips the close() for them.
   const int fd_;
   std::atomic<bool> closed_{false};
   uint32_t max_frame_bytes_ = kMaxFrameBytes;

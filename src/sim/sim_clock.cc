@@ -1,0 +1,61 @@
+#include "sim/sim_clock.h"
+
+#include "common/crc32c.h"
+
+namespace neptune {
+namespace sim {
+
+uint64_t SimClock::Schedule(uint64_t delay_us, std::string label,
+                            std::function<void()> fn) {
+  const uint64_t seq = next_seq_++;
+  const std::pair<uint64_t, uint64_t> key{now_us_ + delay_us, seq};
+  queue_.emplace(key, Event{std::move(label), std::move(fn)});
+  by_id_[seq] = key;
+  return seq;
+}
+
+void SimClock::Cancel(uint64_t id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  queue_.erase(it->second);
+  by_id_.erase(it);
+}
+
+uint64_t SimClock::NextDueMicros() const {
+  return queue_.empty() ? ~0ull : queue_.begin()->first.first;
+}
+
+bool SimClock::RunOne() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  const uint64_t due = it->first.first;
+  const uint64_t seq = it->first.second;
+  // Move the event out before running it: the body may schedule or
+  // cancel other events, invalidating iterators.
+  Event event = std::move(it->second);
+  queue_.erase(it);
+  by_id_.erase(seq);
+  if (due > now_us_) now_us_ = due;
+  ++events_run_;
+  Note("t=" + std::to_string(now_us_) + " ev=" + event.label);
+  event.fn();
+  return true;
+}
+
+void SimClock::RunUntil(uint64_t deadline_us) {
+  // An event body may pump the clock itself (nested RunUntil), so
+  // re-check both the clock and the queue head every iteration.
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline_us) {
+    RunOne();
+  }
+  if (now_us_ < deadline_us) now_us_ = deadline_us;
+}
+
+void SimClock::Note(std::string_view line) {
+  hash_ = crc32c::Extend(hash_, line);
+  hash_ = crc32c::Extend(hash_, "\n");
+  if (record_) trace_.emplace_back(line);
+}
+
+}  // namespace sim
+}  // namespace neptune

@@ -1,0 +1,103 @@
+// SimClock: the discrete-event heart of the deterministic cluster
+// simulation (ROADMAP robustness track). One virtual clock plus one
+// ordered event queue drive every node, client, and network link in a
+// single thread — the simh/FoundationDB discipline: nothing in the
+// simulated world reads real time or really sleeps, so a scenario that
+// covers minutes of simulated failures runs in milliseconds and
+// replays bit-for-bit from its seed.
+//
+// The clock implements TimeSource (common/clock.h), so the production
+// components that take an injectable clock — Ham lease tracking,
+// RemoteHam retry backoff, Replicator pacing, the server's idle reaper
+// — run unmodified on virtual time. SleepMicros() is cooperative: it
+// pumps every event due inside the sleep window (this is how "blocked"
+// components let the rest of the cluster make progress), then advances
+// the clock to the wake-up instant.
+//
+// Every event execution is folded into a running CRC32C trace hash,
+// together with explicit Note() lines from the harness. Two runs of
+// the same scenario with the same seed must produce identical hashes;
+// the determinism test in tests/sim asserts exactly that.
+
+#ifndef NEPTUNE_SIM_SIM_CLOCK_H_
+#define NEPTUNE_SIM_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace neptune {
+namespace sim {
+
+class SimClock : public TimeSource {
+ public:
+  // The epoch is arbitrary but non-zero so "0" can keep meaning
+  // "never" in timestamps that use that convention.
+  explicit SimClock(uint64_t start_us = 1'000'000'000ull)
+      : now_us_(start_us) {}
+
+  // TimeSource ------------------------------------------------------
+  uint64_t NowMicros() override { return now_us_; }
+  // Cooperative sleep: runs every queued event due within the window,
+  // then sets the clock to the wake-up instant.
+  void SleepMicros(uint64_t micros) override { RunUntil(now_us_ + micros); }
+
+  // Event queue -----------------------------------------------------
+  // Schedules `fn` to run at now + delay_us. Events at the same
+  // instant run in scheduling order. `label` names the event in the
+  // trace hash, so it must be stable run-to-run (no pointers, no real
+  // timestamps). Returns an id usable with Cancel().
+  uint64_t Schedule(uint64_t delay_us, std::string label,
+                    std::function<void()> fn);
+  // Drops a scheduled event; no-op if it already ran or never existed.
+  void Cancel(uint64_t id);
+
+  bool HasPending() const { return !queue_.empty(); }
+  // Due instant of the earliest pending event; ~0 when idle.
+  uint64_t NextDueMicros() const;
+
+  // Advances to the next event and runs it. False when idle.
+  bool RunOne();
+  // Runs every event due at or before `deadline_us` (absolute), then
+  // advances the clock to the deadline. Events may schedule further
+  // events inside the window; they run too. Reentrant: an event may
+  // itself pump the clock (that is how a blocked RecvFrame waits).
+  void RunUntil(uint64_t deadline_us);
+
+  // Trace hashing ---------------------------------------------------
+  // Folds a harness-visible fact into the determinism hash (and into
+  // the recorded trace when recording is on).
+  void Note(std::string_view line);
+  uint32_t trace_hash() const { return hash_; }
+  uint64_t events_run() const { return events_run_; }
+  // Recording keeps every hashed line for divergence diagnosis.
+  void set_record_trace(bool on) { record_ = on; }
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  struct Event {
+    std::string label;
+    std::function<void()> fn;
+  };
+
+  // Keyed by (due, seq): strict total order, FIFO within an instant.
+  std::map<std::pair<uint64_t, uint64_t>, Event> queue_;
+  // seq -> queue key, for Cancel.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> by_id_;
+  uint64_t now_us_;
+  uint64_t next_seq_ = 1;
+  uint64_t events_run_ = 0;
+  uint32_t hash_ = 0;
+  bool record_ = false;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace sim
+}  // namespace neptune
+
+#endif  // NEPTUNE_SIM_SIM_CLOCK_H_

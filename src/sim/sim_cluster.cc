@@ -1,0 +1,206 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+
+namespace neptune {
+namespace sim {
+
+SimCluster::SimCluster(Env* base_env, SimClusterOptions options)
+    : base_env_(base_env),
+      options_(std::move(options)),
+      clock_(),
+      net_(&clock_, options_.seed * 0x9e3779b97f4a7c15ull + 1) {
+  base_env_->CreateDir(options_.root);
+  const int total = 1 + std::max(options_.followers, 0);
+  for (int i = 0; i < total; ++i) {
+    base_env_->CreateDir(NodeDir(i));
+    SimNode::Options node_options;
+    node_options.name = HostName(i);
+    node_options.directory = NodeDir(i);
+    node_options.seed = options_.seed + static_cast<uint64_t>(i) * 1001;
+    node_options.follower = i > 0;
+    node_options.txn_lease_ms = options_.txn_lease_ms;
+    node_options.service_time_us = options_.service_time_us;
+    node_options.admission = options_.admission;
+    node_options.retry_after_ms = options_.retry_after_ms;
+    node_options.checkpoint_wal_bytes = options_.checkpoint_wal_bytes;
+    nodes_.push_back(std::make_unique<SimNode>(&clock_, &net_, base_env_,
+                                               node_options));
+    for (int j = 0; j < i; ++j) {
+      net_.SetLink(HostName(j), HostName(i), options_.default_link);
+    }
+  }
+}
+
+SimCluster::~SimCluster() {
+  // Stop every replication pump before anything it references dies.
+  for (auto& [i, link] : repl_) link.active = false;
+}
+
+std::string SimCluster::NodeDir(int i) const {
+  return options_.root + "/node" + std::to_string(i);
+}
+
+std::unique_ptr<rpc::RemoteHam> SimCluster::NewClient(
+    const std::string& client_host, int target) {
+  rpc::RemoteHam::Options base;
+  base.connect_timeout_ms = 1000;
+  base.send_timeout_ms = 5000;
+  base.recv_timeout_ms = 5000;
+  return NewClient(client_host, target, base);
+}
+
+std::unique_ptr<rpc::RemoteHam> SimCluster::NewClient(
+    const std::string& client_host, int target,
+    rpc::RemoteHam::Options base) {
+  net_.SetLink(client_host, HostName(target), options_.default_link);
+  rpc::RemoteHam::Options client_options = std::move(base);
+  client_options.time_source = &clock_;
+  client_options.retry_seed =
+      options_.seed * 7919 + static_cast<uint64_t>(++clients_made_);
+  client_options.stream_factory =
+      [this, client_host](const std::string& host, uint16_t port,
+                          int connect_timeout_ms)
+      -> Result<std::unique_ptr<rpc::FrameStream>> {
+    (void)port;  // sim hosts are addressed by name alone
+    return net_.Connect(client_host, host, connect_timeout_ms);
+  };
+  auto connected =
+      rpc::RemoteHam::Connect(HostName(target), 0, client_options);
+  if (!connected.ok()) return nullptr;
+  return std::move(*connected);
+}
+
+void SimCluster::StartReplication(int follower, int primary) {
+  StopReplication(follower);
+  SimNode* node = nodes_[static_cast<size_t>(follower)].get();
+  if (!node->up()) return;
+  ReplLink& link = repl_[follower];
+  link.generation = next_generation_++;
+  link.client = NewClient(HostName(follower), primary);
+  if (link.client == nullptr) {
+    // Primary unreachable right now; retry the whole start later.
+    const uint64_t generation = link.generation;
+    link.active = true;
+    clock_.Schedule(500 * 1000, "repl.redial." + HostName(follower),
+                    [this, follower, primary, generation] {
+                      auto it = repl_.find(follower);
+                      if (it == repl_.end() ||
+                          it->second.generation != generation ||
+                          !it->second.active) {
+                        return;
+                      }
+                      StartReplication(follower, primary);
+                    });
+    return;
+  }
+  rpc::Replicator::Options repl_options;
+  repl_options.primary_root = NodeDir(primary);
+  repl_options.local_root = NodeDir(follower);
+  repl_options.poll_wait_ms = options_.repl_poll_wait_ms;
+  repl_options.follower_id = HostName(follower);
+  repl_options.seed = options_.seed * 6151 + static_cast<uint64_t>(follower) + 1;
+  repl_options.time_source = &clock_;
+  repl_options.long_poll = false;
+  link.replicator = std::make_unique<rpc::Replicator>(
+      node->ham(), link.client.get(), repl_options);
+  link.active = true;
+  clock_.Note("repl start " + HostName(follower) + "<-" + HostName(primary));
+  const uint64_t generation = link.generation;
+  clock_.Schedule(1000, "repl.cycle." + HostName(follower),
+                  [this, follower, generation] {
+                    PumpReplication(follower, generation);
+                  });
+}
+
+void SimCluster::PumpReplication(int follower, uint64_t generation) {
+  auto it = repl_.find(follower);
+  if (it == repl_.end() || !it->second.active ||
+      it->second.generation != generation) {
+    return;
+  }
+  ReplLink& link = it->second;
+  const int64_t delay_ms = link.replicator->RunCycle();
+  if (delay_ms < 0) {
+    // Stopped or promoted out of follower mode: the chain ends here.
+    link.active = false;
+    clock_.Note("repl exit " + HostName(follower));
+    return;
+  }
+  clock_.Schedule(std::max<int64_t>(delay_ms, 1) * 1000,
+                  "repl.cycle." + HostName(follower),
+                  [this, follower, generation] {
+                    PumpReplication(follower, generation);
+                  });
+}
+
+void SimCluster::StopReplication(int follower) {
+  auto it = repl_.find(follower);
+  if (it == repl_.end()) return;
+  it->second.active = false;
+  repl_.erase(it);
+}
+
+bool SimCluster::ReplicationActive(int follower) const {
+  auto it = repl_.find(follower);
+  return it != repl_.end() && it->second.active;
+}
+
+bool SimCluster::ReplicationCaughtUp(int follower) const {
+  auto it = repl_.find(follower);
+  return it != repl_.end() && it->second.replicator != nullptr &&
+         it->second.replicator->AllCaughtUp();
+}
+
+rpc::Replicator* SimCluster::replicator(int follower) {
+  auto it = repl_.find(follower);
+  return it == repl_.end() ? nullptr : it->second.replicator.get();
+}
+
+void SimCluster::Partition(int a, int b) {
+  clock_.Note("partition " + HostName(a) + "|" + HostName(b));
+  net_.Cut(HostName(a), HostName(b));
+}
+
+void SimCluster::HealPartition(int a, int b) {
+  clock_.Note("heal " + HostName(a) + "|" + HostName(b));
+  net_.HealCut(HostName(a), HostName(b));
+}
+
+void SimCluster::CrashNode(int i) {
+  // The node's own tail loop references its engine; kill it first.
+  StopReplication(i);
+  nodes_[static_cast<size_t>(i)]->Crash();
+}
+
+void SimCluster::RestartNode(int i, bool as_follower) {
+  nodes_[static_cast<size_t>(i)]->Restart(as_follower);
+}
+
+Result<uint64_t> SimCluster::Promote(int i) {
+  SimNode* node = nodes_[static_cast<size_t>(i)].get();
+  if (!node->up()) return Status::Unavailable("node is down");
+  NEPTUNE_ASSIGN_OR_RETURN(uint64_t term, node->ham()->Promote());
+  clock_.Note("promote " + HostName(i) + " term=" + std::to_string(term));
+  return term;
+}
+
+Result<std::vector<std::string>> SimCluster::FsckNode(int i,
+                                                      ham::ProjectId project) {
+  SimNode* node = nodes_[static_cast<size_t>(i)].get();
+  if (!node->up()) return Status::Unavailable("node is down");
+  NEPTUNE_ASSIGN_OR_RETURN(
+      ham::Context ctx, node->ham()->OpenGraph(project, "", NodeDir(i)));
+  Result<std::vector<std::string>> problems = node->ham()->VerifyGraph(ctx);
+  node->ham()->CloseGraph(ctx);
+  return problems;
+}
+
+Result<ham::ReplNodeStatus> SimCluster::NodeReplStatus(int i) {
+  SimNode* node = nodes_[static_cast<size_t>(i)].get();
+  if (!node->up()) return Status::Unavailable("node is down");
+  return node->ham()->ReplStatus(NodeDir(i));
+}
+
+}  // namespace sim
+}  // namespace neptune

@@ -1,0 +1,129 @@
+// SimCluster: composes a whole Neptune deployment — N SimNodes, the
+// in-memory network, WAL-shipping replication links, and scripted
+// clients — in one single-threaded deterministic process driven by a
+// shared SimClock. This is the harness the seeded failure scenarios in
+// tests/sim build on: partitions, promotions, power cuts, and client
+// vanishes all replay bit-for-bit from SimClusterOptions::seed.
+//
+// Replication runs client-paced: each follower's rpc::Replicator is
+// configured with long_poll = false and driven by RunCycle() from
+// clock events, so no thread ever parks in a real condition-variable
+// wait. Everything else (RemoteHam retries, lease sweeps, admission
+// control) rides the injectable seams added to the production code.
+
+#ifndef NEPTUNE_SIM_SIM_CLUSTER_H_
+#define NEPTUNE_SIM_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/remote_ham.h"
+#include "rpc/replicator.h"
+#include "sim/sim_clock.h"
+#include "sim/sim_node.h"
+#include "sim/sim_transport.h"
+
+namespace neptune {
+namespace sim {
+
+struct SimClusterOptions {
+  uint64_t seed = 1;
+  // Filesystem scratch root; node directories are created under it.
+  std::string root;
+  int followers = 1;
+  uint64_t txn_lease_ms = 0;
+  uint64_t service_time_us = 200;
+  rpc::AdmissionOptions admission;
+  uint32_t retry_after_ms = 20;
+  uint64_t checkpoint_wal_bytes = 8ull << 20;
+  SimNetwork::LinkOptions default_link;
+  // Pacing for a caught-up follower's fetch cycles (virtual ms).
+  uint64_t repl_poll_wait_ms = 100;
+};
+
+class SimCluster {
+ public:
+  SimCluster(Env* base_env, SimClusterOptions options);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  SimClock* clock() { return &clock_; }
+  SimNetwork* net() { return &net_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  SimNode* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
+  static std::string HostName(int i) { return "node" + std::to_string(i); }
+  std::string NodeDir(int i) const;
+
+  // Advances the whole world `micros` of virtual time.
+  void RunFor(uint64_t micros) { clock_.SleepMicros(micros); }
+
+  // A production client stub dialing node `target` through the
+  // simulated network from host `client_host` (distinct hosts can be
+  // partitioned independently). Deterministic given the cluster seed
+  // and creation order. The `base` options carry caller knobs (retry
+  // budget, timeouts); the cluster overwrites the simulation seams
+  // (time source, stream factory, retry seed) on top of them.
+  std::unique_ptr<rpc::RemoteHam> NewClient(const std::string& client_host,
+                                            int target);
+  std::unique_ptr<rpc::RemoteHam> NewClient(const std::string& client_host,
+                                            int target,
+                                            rpc::RemoteHam::Options base);
+
+  // Replication ------------------------------------------------------
+  // Starts (or re-points) follower `i`'s tail loop against `primary`.
+  // The cycle chain lives on the virtual clock until the follower is
+  // promoted, crashed, or stopped.
+  void StartReplication(int follower, int primary);
+  void StopReplication(int follower);
+  bool ReplicationActive(int follower) const;
+  bool ReplicationCaughtUp(int follower) const;
+  rpc::Replicator* replicator(int follower);
+
+  // Failure injection -----------------------------------------------
+  void Partition(int a, int b);
+  void HealPartition(int a, int b);
+  // Power-cuts the node; its replication link (if any) dies with it.
+  void CrashNode(int i);
+  void RestartNode(int i, bool as_follower);
+  // In-process promotion (the operator's failover action). Returns the
+  // new fencing term.
+  Result<uint64_t> Promote(int i);
+
+  // Invariants -------------------------------------------------------
+  // Structural fsck of the graph on node `i` (empty = clean).
+  Result<std::vector<std::string>> FsckNode(int i, ham::ProjectId project);
+  // The node's local replication position (term/epoch/wal_bytes).
+  Result<ham::ReplNodeStatus> NodeReplStatus(int i);
+
+ private:
+  struct ReplLink {
+    std::unique_ptr<rpc::RemoteHam> client;
+    std::unique_ptr<rpc::Replicator> replicator;
+    uint64_t generation = 0;
+    bool active = false;
+  };
+
+  void PumpReplication(int follower, uint64_t generation);
+
+  Env* const base_env_;
+  const SimClusterOptions options_;
+  // Declaration order is destruction order in reverse: replication
+  // links go first (their streams detach from the network), then
+  // nodes, then the network, then the clock.
+  SimClock clock_;
+  SimNetwork net_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::map<int, ReplLink> repl_;
+  uint64_t next_generation_ = 1;
+  int clients_made_ = 0;
+};
+
+}  // namespace sim
+}  // namespace neptune
+
+#endif  // NEPTUNE_SIM_SIM_CLUSTER_H_

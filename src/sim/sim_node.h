@@ -1,0 +1,98 @@
+// SimNode: one simulated Neptune server — a Ham engine behind a
+// fault-injecting filesystem, serving the production wire protocol
+// over the in-memory network. The protocol work (envelope parsing,
+// admission control, method dispatch, session cleanup on disconnect)
+// is the same code the real epoll server runs (rpc/dispatch.h); only
+// the event loop is different: frames arrive as SimClock events and
+// each request completes after a configurable virtual service time, so
+// admission control sees genuine request pileups.
+//
+// Crash() models a power cut: the node's FaultInjectionEnv drops every
+// un-fsynced byte, all its connections die without callbacks into the
+// dead node, and the host stops listening. Restart() brings the same
+// directory back up (optionally as a follower), exactly like a machine
+// rebooting into whatever the cut left on disk.
+
+#ifndef NEPTUNE_SIM_SIM_NODE_H_
+#define NEPTUNE_SIM_SIM_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ham/ham.h"
+#include "rpc/dispatch.h"
+#include "storage/fault_injection_env.h"
+#include "sim/sim_clock.h"
+#include "sim/sim_transport.h"
+
+namespace neptune {
+namespace sim {
+
+class SimNode : public SimNetwork::Endpoint {
+ public:
+  struct Options {
+    std::string name;       // host name on the simulated network
+    std::string directory;  // graph root on the (real) filesystem
+    uint64_t seed = 1;      // fault schedule + project-id derivation
+    bool follower = false;
+    // Lease watchdog: swept from the virtual clock every lease/4.
+    uint64_t txn_lease_ms = 0;
+    // Virtual time each request occupies the server; admission control
+    // counts requests between arrival and completion.
+    uint64_t service_time_us = 200;
+    rpc::AdmissionOptions admission;
+    uint32_t retry_after_ms = 50;
+    // Passed through to HamOptions.
+    uint64_t checkpoint_wal_bytes = 8ull << 20;
+    uint32_t repl_keep_wal_generations = 1;
+  };
+
+  SimNode(SimClock* clock, SimNetwork* net, Env* base_env, Options options);
+  ~SimNode() override;
+
+  SimNode(const SimNode&) = delete;
+  SimNode& operator=(const SimNode&) = delete;
+
+  const std::string& name() const { return options_.name; }
+  bool up() const { return up_; }
+  ham::Ham* ham() { return ham_.get(); }
+  FaultInjectionEnv* env() { return env_.get(); }
+
+  // Power cut: un-synced bytes are gone, connections reset, host off
+  // the network. Safe to call twice.
+  void Crash();
+  // Reboot over whatever the crash left on disk. `as_follower`
+  // overrides the role (a promoted-then-crashed node restarts primary).
+  void Restart(bool as_follower);
+
+  // SimNetwork::Endpoint --------------------------------------------
+  void OnConnect(uint64_t conn_id) override;
+  void OnFrame(uint64_t conn_id, std::string payload) override;
+  void OnDisconnect(uint64_t conn_id) override;
+
+ private:
+  struct ConnState {
+    rpc::SessionSet sessions;
+  };
+
+  void StartEngine(bool as_follower);
+  void ScheduleLeaseSweep();
+
+  SimClock* const clock_;
+  SimNetwork* const net_;
+  const Options options_;
+  std::unique_ptr<FaultInjectionEnv> env_;
+  std::unique_ptr<ham::Ham> ham_;
+  std::unique_ptr<rpc::RequestDispatcher> dispatcher_;
+  std::map<uint64_t, ConnState> conns_;
+  int inflight_ = 0;
+  bool up_ = false;
+  bool sweep_scheduled_ = false;
+};
+
+}  // namespace sim
+}  // namespace neptune
+
+#endif  // NEPTUNE_SIM_SIM_NODE_H_

@@ -1,0 +1,309 @@
+#include "sim/sim_transport.h"
+
+#include <algorithm>
+
+namespace neptune {
+namespace sim {
+
+SimNetwork::SimNetwork(SimClock* clock, uint64_t seed)
+    : clock_(clock), rng_(seed != 0 ? seed : 1) {}
+
+SimNetwork::~SimNetwork() = default;
+
+std::pair<std::string, std::string> SimNetwork::Key(const std::string& a,
+                                                    const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void SimNetwork::Listen(const std::string& host, Endpoint* endpoint) {
+  listeners_[host] = endpoint;
+}
+
+void SimNetwork::StopListening(const std::string& host) {
+  listeners_.erase(host);
+}
+
+void SimNetwork::SetLink(const std::string& a, const std::string& b,
+                         LinkOptions opts) {
+  links_[Key(a, b)] = opts;
+}
+
+void SimNetwork::Cut(const std::string& a, const std::string& b) {
+  cuts_.insert(Key(a, b));
+}
+
+void SimNetwork::HealCut(const std::string& a, const std::string& b) {
+  cuts_.erase(Key(a, b));
+}
+
+void SimNetwork::Blackhole(const std::string& from, const std::string& to) {
+  blackholes_.insert({from, to});
+}
+
+void SimNetwork::HealBlackhole(const std::string& from,
+                               const std::string& to) {
+  blackholes_.erase({from, to});
+}
+
+bool SimNetwork::Partitioned(const std::string& a,
+                             const std::string& b) const {
+  return cuts_.count(Key(a, b)) > 0;
+}
+
+SimNetwork::LinkOptions SimNetwork::LinkFor(const std::string& a,
+                                            const std::string& b) const {
+  auto it = links_.find(Key(a, b));
+  return it == links_.end() ? LinkOptions() : it->second;
+}
+
+uint64_t SimNetwork::DeliveryDelay(const LinkOptions& link,
+                                   uint64_t* fifo_floor) {
+  uint64_t delay = link.delay_us;
+  if (link.jitter_us > 0) delay += rng_.Uniform(link.jitter_us + 1);
+  // Stream FIFO: never deliver before an earlier frame on the same
+  // connection and direction.
+  const uint64_t due = std::max(clock_->NowMicros() + delay, *fifo_floor);
+  *fifo_floor = due;
+  return due - clock_->NowMicros();
+}
+
+Result<std::unique_ptr<rpc::FrameStream>> SimNetwork::Connect(
+    const std::string& client_host, const std::string& server_host,
+    int connect_timeout_ms) {
+  if (Partitioned(client_host, server_host) ||
+      blackholes_.count({client_host, server_host}) > 0) {
+    // A SYN into a blackhole costs the whole connect budget.
+    clock_->SleepMicros(static_cast<uint64_t>(
+                            connect_timeout_ms > 0 ? connect_timeout_ms : 1) *
+                        1000);
+    clock_->Note("net connect_timeout " + client_host + "->" + server_host);
+    return Status::DeadlineExceeded("sim connect timed out (partitioned)");
+  }
+  auto listener = listeners_.find(server_host);
+  if (listener == listeners_.end()) {
+    // Connection refused: immediate (an RST costs one round trip, which
+    // is noise at these scales).
+    clock_->Note("net connect_refused " + client_host + "->" + server_host);
+    return Status::Unavailable("sim connection refused by " + server_host);
+  }
+  const uint64_t id = next_conn_++;
+  Conn& conn = conns_[id];
+  conn.id = id;
+  conn.client_host = client_host;
+  conn.server_host = server_host;
+  conn.server = listener->second;
+  conn.open = true;
+  auto stream = std::make_unique<SimFrameStream>(this, clock_, id);
+  conn.client = stream.get();
+  clock_->Note("net connect " + client_host + "->" + server_host +
+               " conn=" + std::to_string(id));
+  conn.server->OnConnect(id);
+  return std::unique_ptr<rpc::FrameStream>(std::move(stream));
+}
+
+Status SimNetwork::SendFromClient(uint64_t conn_id, std::string payload) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end() || !it->second.open) {
+    return Status::Unavailable("connection closed");
+  }
+  Conn& conn = it->second;
+  const LinkOptions link = LinkFor(conn.client_host, conn.server_host);
+  if (link.loss > 0 && rng_.NextDouble() < link.loss) {
+    // Stream transports do not silently lose frames: a loss the
+    // retransmit layer cannot recover from kills the connection.
+    clock_->Note("net lose_c2s conn=" + std::to_string(conn_id));
+    KillConn(&conn, /*notify_server=*/true, /*notify_client=*/true);
+    return Status::Unavailable("connection reset (simulated loss)");
+  }
+  const uint64_t delay = DeliveryDelay(link, &conn.next_c2s_us);
+  clock_->Schedule(
+      delay, "net.c2s." + std::to_string(conn_id),
+      [this, conn_id, payload = std::move(payload)]() mutable {
+        auto cit = conns_.find(conn_id);
+        if (cit == conns_.end() || !cit->second.open) return;
+        Conn& c = cit->second;
+        if (blackholes_.count({c.client_host, c.server_host}) > 0) {
+          clock_->Note("net blackhole_c2s conn=" + std::to_string(conn_id));
+          return;  // silently gone; the peer never learns
+        }
+        if (Partitioned(c.client_host, c.server_host)) {
+          // The retransmit clock ran out mid-partition.
+          clock_->Note("net cut_c2s conn=" + std::to_string(conn_id));
+          KillConn(&c, true, true);
+          return;
+        }
+        if (c.server == nullptr) {
+          KillConn(&c, false, true);
+          return;
+        }
+        c.server->OnFrame(conn_id, std::move(payload));
+      });
+  return Status::OK();
+}
+
+void SimNetwork::SendToClient(uint64_t conn_id, std::string payload) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end() || !it->second.open) return;
+  Conn& conn = it->second;
+  const LinkOptions link = LinkFor(conn.client_host, conn.server_host);
+  if (link.loss > 0 && rng_.NextDouble() < link.loss) {
+    clock_->Note("net lose_s2c conn=" + std::to_string(conn_id));
+    KillConn(&conn, true, true);
+    return;
+  }
+  const uint64_t delay = DeliveryDelay(link, &conn.next_s2c_us);
+  clock_->Schedule(
+      delay, "net.s2c." + std::to_string(conn_id),
+      [this, conn_id, payload = std::move(payload)]() mutable {
+        auto cit = conns_.find(conn_id);
+        if (cit == conns_.end() || !cit->second.open) return;
+        Conn& c = cit->second;
+        if (blackholes_.count({c.server_host, c.client_host}) > 0) {
+          clock_->Note("net blackhole_s2c conn=" + std::to_string(conn_id));
+          return;
+        }
+        if (Partitioned(c.client_host, c.server_host)) {
+          clock_->Note("net cut_s2c conn=" + std::to_string(conn_id));
+          KillConn(&c, true, true);
+          return;
+        }
+        if (c.client == nullptr) {
+          KillConn(&c, true, false);
+          return;
+        }
+        c.client->Deliver(std::move(payload));
+      });
+}
+
+void SimNetwork::KillConn(Conn* conn, bool notify_server,
+                          bool notify_client) {
+  if (!conn->open) return;
+  conn->open = false;
+  clock_->Note("net close conn=" + std::to_string(conn->id));
+  if (notify_client && conn->client != nullptr) conn->client->OnPeerClosed();
+  if (notify_server && conn->server != nullptr) {
+    conn->server->OnDisconnect(conn->id);
+  }
+  conn->server = nullptr;
+}
+
+void SimNetwork::CloseFromClient(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  KillConn(&it->second, /*notify_server=*/true, /*notify_client=*/false);
+}
+
+void SimNetwork::CloseFromServer(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  KillConn(&it->second, /*notify_server=*/false, /*notify_client=*/true);
+}
+
+void SimNetwork::ReleaseClientStream(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  KillConn(&it->second, /*notify_server=*/true, /*notify_client=*/false);
+  conns_.erase(it);
+}
+
+void SimNetwork::CrashHost(const std::string& host) {
+  for (auto& [id, conn] : conns_) {
+    if (!conn.open) continue;
+    if (conn.server_host == host) {
+      // The server process is gone: no callbacks into it, the client
+      // end sees a reset.
+      KillConn(&conn, /*notify_server=*/false, /*notify_client=*/true);
+    } else if (conn.client_host == host) {
+      KillConn(&conn, /*notify_server=*/true, /*notify_client=*/true);
+    }
+  }
+  StopListening(host);
+}
+
+const std::string& SimNetwork::client_host(uint64_t conn_id) const {
+  static const std::string kUnknown = "?";
+  auto it = conns_.find(conn_id);
+  return it == conns_.end() ? kUnknown : it->second.client_host;
+}
+
+// ----------------------------------------------------- SimFrameStream
+
+SimFrameStream::SimFrameStream(SimNetwork* net, SimClock* clock,
+                               uint64_t conn_id)
+    : rpc::FrameStream(-1), net_(net), clock_(clock), conn_id_(conn_id) {}
+
+SimFrameStream::~SimFrameStream() { net_->ReleaseClientStream(conn_id_); }
+
+Status SimFrameStream::SetTimeouts(int send_timeout_ms, int recv_timeout_ms) {
+  (void)send_timeout_ms;  // sends never block in the simulation
+  recv_timeout_ms_ = recv_timeout_ms;
+  return Status::OK();
+}
+
+Status SimFrameStream::SendFrame(std::string_view payload) {
+  if (closed_.load() || peer_closed_) {
+    return Status::Unavailable("connection closed");
+  }
+  if (payload.size() > max_frame_bytes_) {
+    return Status::InvalidArgument("frame payload exceeds limit");
+  }
+  return net_->SendFromClient(conn_id_, std::string(payload));
+}
+
+Status SimFrameStream::SendBytes(std::string_view bytes) {
+  if (closed_.load() || peer_closed_) {
+    return Status::Unavailable("connection closed");
+  }
+  // Split through the production decoder so batched sends exercise the
+  // real framing, then deliver each payload in order.
+  std::vector<std::string> payloads;
+  rpc::FrameDecoder decoder;
+  NEPTUNE_RETURN_IF_ERROR(decoder.Feed(bytes, &payloads));
+  for (std::string& payload : payloads) {
+    NEPTUNE_RETURN_IF_ERROR(
+        net_->SendFromClient(conn_id_, std::move(payload)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> SimFrameStream::RecvFrame() {
+  const uint64_t deadline =
+      recv_timeout_ms_ > 0
+          ? clock_->NowMicros() + static_cast<uint64_t>(recv_timeout_ms_) * 1000
+          : ~0ull;
+  for (;;) {
+    if (!inbox_.empty()) {
+      std::string payload = std::move(inbox_.front());
+      inbox_.pop_front();
+      return payload;
+    }
+    if (closed_.load() || read_closed_ || peer_closed_) {
+      return Status::Unavailable("connection closed");
+    }
+    if (!clock_->HasPending()) {
+      // Nothing in the world can ever wake us: with no timeout armed
+      // this is a genuine harness deadlock, so fail loudly.
+      if (deadline == ~0ull) {
+        return Status::FailedPrecondition(
+            "sim deadlock: RecvFrame with an empty event queue");
+      }
+      clock_->RunUntil(deadline);
+      return Status::DeadlineExceeded("sim recv timed out");
+    }
+    if (clock_->NextDueMicros() > deadline) {
+      clock_->RunUntil(deadline);
+      return Status::DeadlineExceeded("sim recv timed out");
+    }
+    clock_->RunOne();
+  }
+}
+
+void SimFrameStream::Close() {
+  if (closed_.exchange(true)) return;
+  net_->CloseFromClient(conn_id_);
+}
+
+void SimFrameStream::CloseRead() { read_closed_ = true; }
+
+}  // namespace sim
+}  // namespace neptune

@@ -1,0 +1,182 @@
+// SimTransport: the in-memory network for the deterministic cluster
+// simulation. SimNetwork models hosts joined by lossy, delayed links;
+// SimFrameStream implements the production byte-stream interface
+// (rpc::FrameStream) over those links, so RemoteHam and the Replicator
+// dial simulated servers through RemoteHam::Options::stream_factory
+// without a single code change.
+//
+// The server side is asymmetric on purpose: a simulated node is not an
+// epoll loop but an Endpoint that receives whole frames as clock
+// events (sim_node.h reuses rpc::RequestDispatcher for the actual
+// protocol work). That keeps the whole cluster single-threaded — a
+// client "blocks" in RecvFrame by pumping the shared SimClock, which
+// is when deliveries, server work, and timers actually run.
+//
+// Faults are first-class and seedable:
+//   * per-link one-way delay plus uniform jitter (drawn from the
+//     network's own Random, so schedules replay from the seed);
+//   * per-link frame-loss probability — loss kills the connection, the
+//     honest TCP analogue of a retransmission timeout;
+//   * Cut()/HealCut(): a full bidirectional partition; frames in
+//     flight across a cut connection kill it at delivery time;
+//   * Blackhole()/HealBlackhole(): one-way silent loss (half-open
+//     links, vanished clients that never FIN);
+//   * CrashHost(): every connection touching the host dies; endpoints
+//     on the crashed host get no callbacks (a dead kernel sends no
+//     RST), surviving peers see a normal disconnect.
+
+#ifndef NEPTUNE_SIM_SIM_TRANSPORT_H_
+#define NEPTUNE_SIM_SIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "rpc/socket.h"
+#include "sim/sim_clock.h"
+
+namespace neptune {
+namespace sim {
+
+class SimFrameStream;
+
+class SimNetwork {
+ public:
+  // A simulated server: connection lifecycle plus one callback per
+  // delivered request frame. All calls arrive as clock events on the
+  // single simulation thread.
+  class Endpoint {
+   public:
+    virtual ~Endpoint() = default;
+    virtual void OnConnect(uint64_t conn_id) = 0;
+    virtual void OnFrame(uint64_t conn_id, std::string payload) = 0;
+    virtual void OnDisconnect(uint64_t conn_id) = 0;
+  };
+
+  struct LinkOptions {
+    uint64_t delay_us = 250;      // one-way base latency
+    uint64_t jitter_us = 250;     // extra, uniform in [0, jitter_us]
+    // Probability that a frame is lost in transit; a loss kills the
+    // connection (stream transports do not silently drop frames).
+    double loss = 0.0;
+  };
+
+  SimNetwork(SimClock* clock, uint64_t seed);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  SimClock* clock() { return clock_; }
+
+  // Host wiring -----------------------------------------------------
+  void Listen(const std::string& host, Endpoint* endpoint);
+  void StopListening(const std::string& host);
+
+  // Dials `server_host` from `client_host`. Fails immediately when no
+  // one is listening; when the pair is partitioned the full connect
+  // timeout elapses on the virtual clock first (that is what a real
+  // SYN into a blackhole costs).
+  Result<std::unique_ptr<rpc::FrameStream>> Connect(
+      const std::string& client_host, const std::string& server_host,
+      int connect_timeout_ms);
+
+  // Link shaping ----------------------------------------------------
+  void SetLink(const std::string& a, const std::string& b, LinkOptions opts);
+  void Cut(const std::string& a, const std::string& b);
+  void HealCut(const std::string& a, const std::string& b);
+  void Blackhole(const std::string& from, const std::string& to);
+  void HealBlackhole(const std::string& from, const std::string& to);
+  bool Partitioned(const std::string& a, const std::string& b) const;
+
+  // Kills every connection touching `host`. Endpoints on the host
+  // itself get no OnDisconnect (they are dead); remote peers do.
+  void CrashHost(const std::string& host);
+
+  // Frame paths (called by SimFrameStream / sim nodes) --------------
+  Status SendFromClient(uint64_t conn_id, std::string payload);
+  // Queues a reply frame from the server end of `conn_id`.
+  void SendToClient(uint64_t conn_id, std::string payload);
+  // Orderly close from the client end; the server sees OnDisconnect.
+  void CloseFromClient(uint64_t conn_id);
+  // Server-initiated close; the client end reads "connection closed".
+  void CloseFromServer(uint64_t conn_id);
+  // The client stream object is being destroyed.
+  void ReleaseClientStream(uint64_t conn_id);
+
+  const std::string& client_host(uint64_t conn_id) const;
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    std::string client_host;
+    std::string server_host;
+    Endpoint* server = nullptr;          // null once the server end died
+    SimFrameStream* client = nullptr;    // null once the stream died
+    bool open = false;
+    // Per-direction FIFO floor: a frame never overtakes an earlier one
+    // on the same connection, whatever the jitter draws.
+    uint64_t next_c2s_us = 0;
+    uint64_t next_s2c_us = 0;
+  };
+
+  LinkOptions LinkFor(const std::string& a, const std::string& b) const;
+  uint64_t DeliveryDelay(const LinkOptions& link, uint64_t* fifo_floor);
+  void KillConn(Conn* conn, bool notify_server, bool notify_client);
+  static std::pair<std::string, std::string> Key(const std::string& a,
+                                                 const std::string& b);
+
+  SimClock* const clock_;
+  Random rng_;
+  std::map<std::string, Endpoint*> listeners_;
+  std::map<uint64_t, Conn> conns_;
+  uint64_t next_conn_ = 1;
+  std::map<std::pair<std::string, std::string>, LinkOptions> links_;
+  std::set<std::pair<std::string, std::string>> cuts_;
+  std::set<std::pair<std::string, std::string>> blackholes_;  // directional
+};
+
+// The client end of a simulated connection. Passes fd = -1 to the
+// base class, which makes the base destructor and the POSIX paths
+// inert; every virtual is overridden to speak SimNetwork instead.
+class SimFrameStream : public rpc::FrameStream {
+ public:
+  SimFrameStream(SimNetwork* net, SimClock* clock, uint64_t conn_id);
+  ~SimFrameStream() override;
+
+  Status SetTimeouts(int send_timeout_ms, int recv_timeout_ms) override;
+  Status SendFrame(std::string_view payload) override;
+  // Pre-framed bytes (pipelined batches): split through the real
+  // FrameDecoder so the wire encoding stays covered, then deliver each
+  // payload in order.
+  Status SendBytes(std::string_view bytes) override;
+  // Pumps the simulation until a frame lands, the peer closes, or the
+  // armed recv timeout elapses on the virtual clock.
+  Result<std::string> RecvFrame() override;
+  void Close() override;
+  void CloseRead() override;
+
+  // SimNetwork-side entry points.
+  void Deliver(std::string payload) { inbox_.push_back(std::move(payload)); }
+  void OnPeerClosed() { peer_closed_ = true; }
+
+ private:
+  SimNetwork* const net_;
+  SimClock* const clock_;
+  const uint64_t conn_id_;
+  std::deque<std::string> inbox_;
+  bool peer_closed_ = false;
+  bool read_closed_ = false;
+  int recv_timeout_ms_ = 0;
+};
+
+}  // namespace sim
+}  // namespace neptune
+
+#endif  // NEPTUNE_SIM_SIM_TRANSPORT_H_
