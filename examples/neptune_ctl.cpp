@@ -3,6 +3,8 @@
 //
 //   neptune_ctl create <dir>
 //   neptune_ctl stats <dir | host:port> [--json]
+//   neptune_ctl top <host:port> [host:port ...]
+//                [--interval-ms <n>] [--iterations <n>] [--window <s>]
 //   neptune_ctl trace <host:port> [--chrome <out.json>]
 //   neptune_ctl slowops <host:port>
 //   neptune_ctl workload <host:port> <server-side-dir>
@@ -34,6 +36,9 @@
 // ring, and `workload` drives a short burst of remote traffic against
 // it (so a fresh server has nonzero counters and traces to show).
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -90,6 +95,8 @@ int Usage() {
                "       neptune_ctl query <dir | host:port server-side-dir> "
                "<node-predicate> [--explain] [--scan] [--verify]\n"
                "       neptune_ctl stats <host:port> [--json]\n"
+               "       neptune_ctl top <host:port> [host:port ...]"
+               " [--interval-ms <n>] [--iterations <n>] [--window <s>]\n"
                "       neptune_ctl trace <host:port> [--chrome <out.json>]\n"
                "       neptune_ctl slowops <host:port>\n"
                "       neptune_ctl workload <host:port> <server-side-dir>"
@@ -252,6 +259,161 @@ int RemoteSlowOps(const std::string& host, uint16_t port) {
                 span.annotation.c_str());
   }
   std::printf("(%zu slow ops)\n", ops.size());
+  return 0;
+}
+
+// ---- `top`: the live fleet view -------------------------------------
+//
+// One row per server, refreshed in place: role and fencing term,
+// windowed ops/s and request p99 (from getServerStatisticsDelta, so
+// the numbers are rates over the last --window seconds rather than
+// process-lifetime averages), replication lag, and event-loop health.
+// Servers running without a stats sampler still show role and gauges,
+// with the rate columns dashed.
+
+struct TopRow {
+  std::string target;
+  bool ok = false;
+  std::string error;
+  bool has_window = false;  // server runs a sampler (elapsed_us > 0)
+  double elapsed_s = 0.0;
+  MetricsSnapshot snap;  // windowed delta + newest gauges
+};
+
+int64_t GaugeOrZero(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.gauges.find(name);
+  return it == snap.gauges.end() ? 0 : it->second;
+}
+
+uint64_t HistP99(const MetricsSnapshot& snap, const std::string& name) {
+  auto it = snap.histograms.find(name);
+  return it == snap.histograms.end() ? 0 : it->second.QuantileMicros(0.99);
+}
+
+std::string FmtBytes(int64_t bytes) {
+  char buf[32];
+  if (bytes >= 10 * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fM", bytes / 1048576.0);
+  } else if (bytes >= 10 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.0fK", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld", (long long)bytes);
+  }
+  return buf;
+}
+
+std::string FmtUs(uint64_t us) {
+  char buf[32];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof buf, "%.1fs", us / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.1fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluus", (unsigned long long)us);
+  }
+  return buf;
+}
+
+// Polls one server. A fresh connection per refresh keeps the view
+// honest across restarts and failovers; the deadline keeps one dead
+// node from stalling the whole screen.
+TopRow PollOne(const std::string& target, uint32_t window_s) {
+  TopRow row;
+  row.target = target;
+  std::string host;
+  uint16_t port = 0;
+  ParseHostPort(target, &host, &port);
+  rpc::RemoteHam::Options options;
+  options.connect_timeout_ms = 2000;
+  options.send_timeout_ms = 2000;
+  options.recv_timeout_ms = 2000;
+  auto client = rpc::RemoteHam::Connect(host, port, options);
+  if (!client.ok()) {
+    row.error = client.status().ToString();
+    return row;
+  }
+  auto delta = (*client)->GetServerStatisticsDelta(window_s);
+  if (!delta.ok()) {
+    row.error = delta.status().ToString();
+    return row;
+  }
+  if (delta->elapsed_us > 0) {
+    row.has_window = true;
+    row.elapsed_s = static_cast<double>(delta->elapsed_us) / 1e6;
+    row.snap = std::move(delta->snapshot);
+  } else {
+    // No sampler on that server: gauges from the cumulative snapshot,
+    // rates unavailable.
+    auto full = (*client)->GetServerStatistics();
+    if (!full.ok()) {
+      row.error = full.status().ToString();
+      return row;
+    }
+    row.snap = std::move(*full);
+  }
+  row.ok = true;
+  return row;
+}
+
+int RunTop(const std::vector<std::string>& targets, unsigned interval_ms,
+           long iterations, uint32_t window_s) {
+  const bool tty = isatty(1) != 0;
+  for (long iter = 0; iterations <= 0 || iter < iterations; ++iter) {
+    if (iter > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::vector<TopRow> rows(targets.size());
+    std::vector<std::thread> threads;
+    threads.reserve(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      threads.emplace_back(
+          [&rows, &targets, i, window_s] {
+            rows[i] = PollOne(targets[i], window_s);
+          });
+    }
+    for (auto& t : threads) t.join();
+
+    if (tty) std::printf("\033[H\033[2J");
+    std::printf("neptune top — %zu node(s), %us window\n\n", targets.size(),
+                window_s);
+    std::printf("%-22s %-9s %5s %9s %9s %9s %7s %9s %10s\n", "NODE", "ROLE",
+                "TERM", "OPS/S", "P99", "LOOP-P99", "SHED/S", "LAG",
+                "APPLY-LAG");
+    for (const auto& row : rows) {
+      if (!row.ok) {
+        std::printf("%-22s DOWN  %s\n", row.target.c_str(),
+                    row.error.c_str());
+        continue;
+      }
+      const bool follower = GaugeOrZero(row.snap, "repl.role") == 1;
+      const int64_t term = GaugeOrZero(row.snap, "repl.term");
+      const int64_t lag_bytes =
+          follower ? GaugeOrZero(row.snap, "repl.follower.lag_bytes")
+                   : GaugeOrZero(row.snap, "repl.lag_bytes");
+      char ops[32], shed[32];
+      if (row.has_window && row.elapsed_s > 0) {
+        std::snprintf(ops, sizeof ops, "%.1f",
+                      row.snap.CounterValue("rpc.requests") / row.elapsed_s);
+        std::snprintf(shed, sizeof shed, "%.1f",
+                      row.snap.CounterValue("server.shed") / row.elapsed_s);
+      } else {
+        std::snprintf(ops, sizeof ops, "-");
+        std::snprintf(shed, sizeof shed, "-");
+      }
+      std::printf("%-22s %-9s %5lld %9s %9s %9s %7s %9s %10s\n",
+                  row.target.c_str(), follower ? "follower" : "primary",
+                  (long long)term, ops,
+                  FmtUs(HistP99(row.snap, "rpc.request_latency")).c_str(),
+                  FmtUs(HistP99(row.snap, "server.loop.lag_us")).c_str(),
+                  shed, FmtBytes(lag_bytes).c_str(),
+                  follower
+                      ? FmtUs(static_cast<uint64_t>(
+                                  GaugeOrZero(row.snap, "repl.apply_lag_us")))
+                            .c_str()
+                      : "-");
+    }
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -420,6 +582,34 @@ int main(int argc, char** argv) {
       return RemoteTrace(host, port, chrome_out);
     }
     if (command == "slowops") return RemoteSlowOps(host, port);
+    if (command == "top") {
+      std::vector<std::string> targets;
+      unsigned interval_ms = 2000;
+      long iterations = 0;  // 0 = until killed
+      uint32_t window_s = 10;
+      int i = 2;
+      for (; i < argc; ++i) {
+        std::string h;
+        uint16_t p = 0;
+        if (!ParseHostPort(argv[i], &h, &p)) break;
+        targets.push_back(argv[i]);
+      }
+      for (; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const long value = std::atol(argv[i + 1]);
+        if (flag == "--interval-ms") {
+          interval_ms = static_cast<unsigned>(value);
+        } else if (flag == "--iterations") {
+          iterations = value;
+        } else if (flag == "--window") {
+          window_s = static_cast<uint32_t>(value);
+        } else {
+          return Usage();
+        }
+      }
+      if (i != argc || targets.empty() || window_s == 0) return Usage();
+      return RunTop(targets, interval_ms, iterations, window_s);
+    }
     if (command == "query") {
       // The project id still comes from the PROJECT file, so the
       // server-side directory must be readable here too (the usual
@@ -488,12 +678,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::fprintf(stderr,
-                 "neptune_ctl: only stats, trace, slowops, query, workload, "
-                 "promote and repl accept host:port\n");
+                 "neptune_ctl: only stats, top, trace, slowops, query, "
+                 "workload, promote and repl accept host:port\n");
     return 2;
   }
   if (command == "workload" || command == "trace" || command == "slowops" ||
-      command == "repl") {
+      command == "repl" || command == "top") {
     std::fprintf(stderr, "neptune_ctl: %s needs a host:port target\n",
                  command.c_str());
     return 2;

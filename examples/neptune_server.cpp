@@ -17,8 +17,13 @@
 //       keeps spans slower than that many microseconds.
 //       --io-threads / --workers size the event loop and the request
 //       worker pool (defaults: 1 IO thread, 4 workers).
+//       --metrics-port=N opens the observability plane on
+//       127.0.0.1:N — GET /metrics (Prometheus), /statusz (JSON
+//       health), /statsz (full registry) — and starts the 1s stats
+//       sampler that powers windowed rates (and `neptune_ctl top`).
 //   ./neptune_server follow <data-dir> <port> <primary-host:port>
-//                    <primary-root> [poll-wait-ms]
+//                    <primary-root> [poll-wait-ms] [trace-sample-n]
+//                    [--metrics-port=N]
 //       Runs a read-only follower: tails the primary's WAL into
 //       <data-dir> (snapshot bootstrap + per-commit shipping) and
 //       serves idempotent reads. Writes are rejected with kReadOnly.
@@ -38,6 +43,8 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "ham/ham.h"
+#include "obs/http.h"
+#include "obs/window.h"
 #include "rpc/remote_ham.h"
 #include "rpc/replicator.h"
 #include "rpc/server.h"
@@ -62,10 +69,39 @@ using neptune::rpc::Server;
 
 namespace {
 
+// Starts the 1s registry sampler (windowed rates, `neptune_ctl top`)
+// and the /metrics + /statusz HTTP listener when --metrics-port was
+// given. Both live for the rest of the process (serve/follow modes
+// only exit via signal).
+int StartObservability(int metrics_port, uint16_t rpc_port,
+                       const std::string& dir, const char* mode) {
+  if (metrics_port < 0) return 0;
+  auto* sampler = new neptune::obs::StatsSampler(
+      &neptune::obs::MetricsWindow::Instance(), {});
+  sampler->Start();
+  neptune::obs::MetricsHttpServer::Options http_options;
+  http_options.window = &neptune::obs::MetricsWindow::Instance();
+  http_options.statusz_extra = {
+      {"mode", mode},
+      {"rpc_port", std::to_string(rpc_port)},
+      {"data_dir", dir},
+  };
+  auto* http = new neptune::obs::MetricsHttpServer(std::move(http_options));
+  auto bound = http->Start(static_cast<uint16_t>(metrics_port));
+  if (!bound.ok()) {
+    std::fprintf(stderr, "cannot start metrics listener: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("metrics on http://127.0.0.1:%u/metrics (also /statusz)\n",
+              *bound);
+  return 0;
+}
+
 int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
              unsigned txn_lease_ms, unsigned idle_timeout_ms,
              unsigned trace_sample_n, unsigned trace_slow_us, int io_threads,
-             int workers) {
+             int workers, int metrics_port) {
   neptune::SetLogLevel(LogLevel::kInfo);
   Env::Default()->CreateDir(dir);
   HamOptions ham_options;
@@ -86,6 +122,7 @@ int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
   }
   std::printf("neptune server on 127.0.0.1:%u, data under %s\n", *bound,
               dir.c_str());
+  if (StartObservability(metrics_port, *bound, dir, "serve") != 0) return 1;
   if (txn_lease_ms > 0) {
     std::printf("transaction lease: %ums\n", txn_lease_ms);
   }
@@ -114,11 +151,13 @@ int RunServe(const std::string& dir, uint16_t port, unsigned stats_interval,
 
 int RunFollow(const std::string& dir, uint16_t port,
               const std::string& primary_host, uint16_t primary_port,
-              const std::string& primary_root, unsigned poll_wait_ms) {
+              const std::string& primary_root, unsigned poll_wait_ms,
+              unsigned trace_sample_n, int metrics_port) {
   neptune::SetLogLevel(LogLevel::kInfo);
   Env::Default()->CreateDir(dir);
   HamOptions ham_options;
   ham_options.follower_mode = true;
+  ham_options.trace_sample_n = trace_sample_n;
   Ham ham(Env::Default(), ham_options);
   Server server(&ham);
   auto bound = server.Start(port);
@@ -140,6 +179,7 @@ int RunFollow(const std::string& dir, uint16_t port,
   if (poll_wait_ms > 0) repl_options.poll_wait_ms = poll_wait_ms;
   neptune::rpc::Replicator replicator(&ham, primary->get(), repl_options);
   replicator.Start();
+  if (StartObservability(metrics_port, *bound, dir, "follow") != 0) return 1;
   std::printf("neptune follower on 127.0.0.1:%u, replicating %s:%u%s%s "
               "into %s\n",
               *bound, primary_host.c_str(), primary_port,
@@ -223,6 +263,7 @@ int main(int argc, char** argv) {
   // keep their historical order, so existing invocations still work.
   int io_threads = 0;
   int workers = 0;
+  int metrics_port = -1;  // -1 = observability plane off
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -230,6 +271,8 @@ int main(int argc, char** argv) {
       io_threads = std::atoi(arg.c_str() + 13);
     } else if (arg.rfind("--workers=", 0) == 0) {
       workers = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--metrics-port=", 0) == 0) {
+      metrics_port = std::atoi(arg.c_str() + 15);
     } else {
       args.push_back(argv[i]);
     }
@@ -242,7 +285,7 @@ int main(int argc, char** argv) {
                    "usage: %s serve <data-dir> [port] [stats-interval-sec]"
                    " [txn-lease-ms] [idle-timeout-ms]"
                    " [trace-sample-n] [trace-slow-us]"
-                   " [--io-threads=N] [--workers=N]\n",
+                   " [--io-threads=N] [--workers=N] [--metrics-port=N]\n",
                    args[0]);
       return 2;
     }
@@ -260,13 +303,14 @@ int main(int argc, char** argv) {
         nargs > 8 ? static_cast<unsigned>(std::atoi(args[8])) : 0;
     return RunServe(args[2], port, stats_interval, txn_lease_ms,
                     idle_timeout_ms, trace_sample_n, trace_slow_us, io_threads,
-                    workers);
+                    workers, metrics_port);
   }
   if (mode == "follow") {
     if (nargs < 6) {
       std::fprintf(stderr,
                    "usage: %s follow <data-dir> <port> <primary-host:port>"
-                   " <primary-root> [poll-wait-ms]\n",
+                   " <primary-root> [poll-wait-ms] [trace-sample-n]"
+                   " [--metrics-port=N]\n",
                    args[0]);
       return 2;
     }
@@ -283,8 +327,10 @@ int main(int argc, char** argv) {
     const uint16_t port = static_cast<uint16_t>(std::atoi(args[3]));
     const unsigned poll_wait_ms =
         nargs > 6 ? static_cast<unsigned>(std::atoi(args[6])) : 0;
+    const unsigned trace_sample_n =
+        nargs > 7 ? static_cast<unsigned>(std::atoi(args[7])) : 0;
     return RunFollow(args[2], port, primary_host, primary_port, args[5],
-                     poll_wait_ms);
+                     poll_wait_ms, trace_sample_n, metrics_port);
   }
   if (mode == "demo") {
     return RunDemo(nargs > 2 ? args[2] : "/tmp/neptune_server_demo");
@@ -293,9 +339,10 @@ int main(int argc, char** argv) {
                "usage: %s serve <data-dir> [port] [stats-interval-sec]"
                " [txn-lease-ms] [idle-timeout-ms]"
                " [trace-sample-n] [trace-slow-us]"
-               " [--io-threads=N] [--workers=N]"
+               " [--io-threads=N] [--workers=N] [--metrics-port=N]"
                " | follow <data-dir> <port> <primary-host:port>"
-               " <primary-root> [poll-wait-ms] | demo [dir]\n",
+               " <primary-root> [poll-wait-ms] [--metrics-port=N]"
+               " | demo [dir]\n",
                argv[0]);
   return 2;
 }

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus /metrics scrape on stdin.
+
+Checks the Neptune exposition (src/obs/prometheus.cc) is structurally
+valid text format 0.0.4 and that the pre-registered families
+(src/obs/preregister.cc — keep REQUIRED_FAMILIES in sync with it) are
+all present, so a scrape of an *idle* server already carries every
+family a dashboard keys on.
+
+Usage: curl -s localhost:9100/metrics | scripts/check_metrics_format.py
+Exits nonzero with one line per violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$"
+)
+
+# Families that PreregisterServerMetrics() guarantees exist at zero.
+# A representative subset, not the full list: enough that a missing
+# preregistration call or a renamed family fails CI.
+REQUIRED_FAMILIES = [
+    ("rpc_requests_total", "counter"),
+    ("rpc_server_pipelined_total", "counter"),
+    ("rpc_server_batch_items_total", "counter"),
+    ("server_shed_total", "counter"),
+    ("server_workers_saturated_total", "counter"),
+    ("server_queue_depth", "gauge"),
+    ("server_outbuf_bytes", "gauge"),
+    ("server_ordered_backlog", "gauge"),
+    ("server_loop_lag_us", "histogram"),
+    ("rpc_request_latency", "histogram"),
+    ("repl_role", "gauge"),
+    ("repl_term", "gauge"),
+    ("repl_lag_bytes", "gauge"),
+    ("repl_apply_lag_us", "gauge"),
+    ("repl_follower_apply_us", "histogram"),
+    ("repl_follower_snapshot_install_us", "histogram"),
+    ("repl_promotions_total", "counter"),
+]
+
+
+def main():
+    text = sys.stdin.read()
+    errors = []
+    families = {}  # family -> declared TYPE
+    pending_help = None  # family that has HELP but not yet TYPE
+    current = None  # family whose samples we are inside
+    samples = {}  # family -> list of (name, labels, value)
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        def err(msg):
+            errors.append(f"line {lineno}: {msg}: {line!r}")
+
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                err("malformed HELP line")
+                continue
+            if parts[2] in families:
+                err(f"duplicate family {parts[2]!r}")
+            pending_help = parts[2]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                err("malformed TYPE line")
+                continue
+            family, ftype = parts[2], parts[3]
+            if ftype not in ("counter", "gauge", "histogram", "summary",
+                             "untyped"):
+                err(f"unknown TYPE {ftype!r}")
+            if pending_help != family:
+                err(f"TYPE for {family!r} not preceded by its HELP")
+            if family in families:
+                err(f"duplicate family {family!r}")
+            families[family] = ftype
+            samples.setdefault(family, [])
+            current = family
+            pending_help = None
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("malformed sample line")
+            continue
+        name = m.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if base not in families:
+            err(f"sample {name!r} has no preceding HELP/TYPE")
+            continue
+        if base != current:
+            err(f"sample for {base!r} outside its family block")
+        samples[base].append((name, m.group("labels") or "", m.group("value")))
+
+    # Per-family shape checks.
+    for family, ftype in families.items():
+        rows = samples.get(family, [])
+        if ftype == "counter":
+            if not family.endswith("_total"):
+                errors.append(f"counter {family!r} does not end in _total")
+            if len(rows) != 1:
+                errors.append(f"counter {family!r} has {len(rows)} samples")
+            elif rows[0][2].startswith("-"):
+                errors.append(f"counter {family!r} is negative")
+        elif ftype == "gauge":
+            if len(rows) != 1:
+                errors.append(f"gauge {family!r} has {len(rows)} samples")
+        elif ftype == "histogram":
+            buckets = [r for r in rows if r[0] == family + "_bucket"]
+            sums = [r for r in rows if r[0] == family + "_sum"]
+            counts = [r for r in rows if r[0] == family + "_count"]
+            if not any('le="+Inf"' in b[1] for b in buckets):
+                errors.append(f"histogram {family!r} lacks a +Inf bucket")
+            if len(sums) != 1 or len(counts) != 1:
+                errors.append(f"histogram {family!r} needs exactly one "
+                              f"_sum and one _count")
+            else:
+                inf = [b for b in buckets if 'le="+Inf"' in b[1]]
+                if inf and inf[-1][2] != counts[0][2]:
+                    errors.append(f"histogram {family!r}: +Inf bucket "
+                                  f"{inf[-1][2]} != _count {counts[0][2]}")
+            values = []
+            for b in buckets:
+                try:
+                    values.append(int(b[2]))
+                except ValueError:
+                    errors.append(f"histogram {family!r}: non-integer "
+                                  f"bucket value {b[2]!r}")
+            if values != sorted(values):
+                errors.append(f"histogram {family!r}: bucket counts are "
+                              f"not cumulative")
+
+    for family, ftype in REQUIRED_FAMILIES:
+        declared = families.get(family)
+        if declared is None:
+            errors.append(f"required family {family!r} missing — was its "
+                          f"preregistration dropped? (src/obs/preregister.cc)")
+        elif declared != ftype:
+            errors.append(f"required family {family!r} is TYPE {declared}, "
+                          f"expected {ftype}")
+
+    if not families:
+        errors.append("no metric families found on stdin")
+
+    if errors:
+        for e in errors:
+            print(f"check_metrics_format: {e}", file=sys.stderr)
+        return 1
+    print(f"check_metrics_format: OK ({len(families)} families, "
+          f"{sum(len(v) for v in samples.values())} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,4 +27,18 @@ if [ -n "$matches" ]; then
   echo "clock. See DESIGN.md, 'Deterministic cluster simulation'." >&2
   exit 1
 fi
+# The observability plane (src/obs) is held to a stricter rule: even
+# the free NowMicros() helper (epoch wall time, src/common/clock.h) is
+# banned there. Windowed rates and the stats sampler must be driven
+# entirely through an injected TimeSource so the simulation can feed
+# them from SimClock — a bare NowMicros() would mix real timestamps
+# into a virtual-time ring.
+OBS_PATTERN='(^|[^>.[:alnum:]_])NowMicros[[:space:]]*\('
+obs_matches=$(grep -rnE "$OBS_PATTERN" src/obs/ 2>/dev/null || true)
+if [ -n "$obs_matches" ]; then
+  echo "error: bare NowMicros() in src/obs (use an injected TimeSource):" >&2
+  echo "$obs_matches" >&2
+  exit 1
+fi
+
 echo "check_wallclock: OK (real clock confined to src/common/clock.cc)"

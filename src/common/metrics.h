@@ -49,6 +49,7 @@ class Gauge {
  public:
   void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
   void Decrement() { value_.fetch_sub(1, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
@@ -146,15 +147,22 @@ class MetricsRegistry {
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
-// Times a scope and records the elapsed wall time into a histogram,
-// optionally bumping a companion counter.
+// Times a scope and records the elapsed time into a histogram,
+// optionally bumping a companion counter. All timestamps go through
+// the TimeSource seam: pass the owning component's time source so the
+// deterministic simulation records virtual durations; the default is
+// the process-wide monotonic clock.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(Histogram* histogram, Counter* counter = nullptr)
-      : histogram_(histogram), counter_(counter), start_(NowMicros()) {}
+  explicit ScopedTimer(Histogram* histogram, Counter* counter = nullptr,
+                       TimeSource* time = nullptr)
+      : histogram_(histogram),
+        counter_(counter),
+        time_(time != nullptr ? time : RealTimeSource()),
+        start_(time_->NowMicros()) {}
   ~ScopedTimer() {
     if (counter_ != nullptr) counter_->Increment();
-    histogram_->Record(NowMicros() - start_);
+    histogram_->Record(time_->NowMicros() - start_);
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -163,6 +171,7 @@ class ScopedTimer {
  private:
   Histogram* histogram_;
   Counter* counter_;
+  TimeSource* time_;
   uint64_t start_;
 };
 

@@ -126,6 +126,13 @@ Ham::Ham(Env* env, HamOptions options)
   // Replication metrics (ROADMAP item 3): pre-registered so both roles
   // expose the full repl.* taxonomy from the first stats scrape.
   follower_mode_.store(options_.follower_mode, std::memory_order_release);
+  // Role/term gauges feed /statusz and `neptune_ctl top`: role is
+  // 0 = primary, 1 = follower; term is the highest fencing term this
+  // process has seen (updated on promote and by the replicator tail).
+  MetricsRegistry::Instance().GetGauge("repl.role")->Set(
+      options_.follower_mode ? 1 : 0);
+  MetricsRegistry::Instance().GetGauge("repl.term");
+  MetricsRegistry::Instance().GetGauge("repl.apply_lag_us");
   MetricsRegistry::Instance().GetGauge("repl.lag_bytes");
   MetricsRegistry::Instance().GetGauge("repl.follower.lag_bytes");
   MetricsRegistry::Instance().GetCounter("repl.primary.fetches");

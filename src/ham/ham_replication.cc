@@ -474,6 +474,11 @@ Result<uint64_t> Ham::Promote() {
     new_term = std::max(new_term, role.term);
   }
   if (was_follower) NEPTUNE_METRIC_COUNT("repl.promotions", 1);
+  MetricsRegistry::Instance().GetGauge("repl.role")->Set(0);
+  MetricsRegistry::Instance().GetGauge("repl.term")->Set(
+      static_cast<int64_t>(new_term));
+  // A fresh primary is by definition not lagging behind anyone.
+  MetricsRegistry::Instance().GetGauge("repl.apply_lag_us")->Set(0);
   return new_term;
 }
 

@@ -1,0 +1,94 @@
+// The embedded observability HTTP listener: a single thread on the
+// rpc::Poller readiness loop serving three GET endpoints on
+// 127.0.0.1:
+//
+//   /metrics  Prometheus text exposition of the cumulative registry
+//             (obs/prometheus.h) — what a scraper points at.
+//   /statusz  One JSON object an operator (or the router tier) reads
+//             first: role, term, replication lag, uptime, build info,
+//             and windowed request rates when a MetricsWindow is
+//             attached.
+//   /statsz   The full registry as JSON (MetricsSnapshot::ToJson).
+//
+// This is deliberately not a web server: GET only, request line + CRLF
+// headers parsed just far enough to route, every response closes the
+// connection. It shares no state with the RPC plane beyond the metrics
+// registry, so it keeps answering while the RPC loops are saturated —
+// that is the point of a separate health port.
+
+#ifndef NEPTUNE_OBS_HTTP_H_
+#define NEPTUNE_OBS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "obs/window.h"
+#include "rpc/poller.h"
+#include "rpc/socket.h"
+
+namespace neptune {
+namespace obs {
+
+// The /statusz payload. Role and term come from the repl.role /
+// repl.term gauges unless the host overrides them; `extra` lands as
+// additional string fields (e.g. data directory, RPC port).
+std::string BuildStatusz(uint64_t uptime_us, const MetricsWindow* window,
+                         const std::map<std::string, std::string>& extra);
+
+class MetricsHttpServer {
+ public:
+  struct Options {
+    // Clock for uptime and idle tracking. nullptr = process real clock.
+    TimeSource* time_source = nullptr;
+    // Windowed rates for /statusz; nullptr omits the "rates" object.
+    const MetricsWindow* window = nullptr;
+    // Extra string fields merged into /statusz.
+    std::map<std::string, std::string> statusz_extra;
+  };
+
+  explicit MetricsHttpServer(Options options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serving
+  // thread. Returns the bound port.
+  Result<uint16_t> Start(uint16_t port);
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Conn;
+
+  void Main();
+  // Routes one parsed request line; returns the full HTTP response.
+  std::string Respond(const std::string& method, const std::string& path);
+  // Feeds freshly read bytes; true once a full header is buffered and
+  // the response has been queued.
+  bool OnReadable(Conn* conn);
+  bool FlushConn(Conn* conn);  // false once the conn should be dropped
+  void CloseConn(int fd);
+
+  Options options_;
+  TimeSource* time_;
+  std::unique_ptr<rpc::Listener> listener_;
+  std::unique_ptr<rpc::Poller> poller_;
+  uint16_t port_ = 0;
+  uint64_t start_us_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace obs
+}  // namespace neptune
+
+#endif  // NEPTUNE_OBS_HTTP_H_

@@ -1,0 +1,82 @@
+#include "obs/preregister.h"
+
+#include "common/metrics.h"
+
+namespace neptune {
+namespace obs {
+
+void PreregisterServerMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+
+  // Wire plane (PR 2/6): request flow and connection lifecycle.
+  for (const char* name : {
+           "rpc.requests",
+           "rpc.bytes_in",
+           "rpc.bytes_out",
+           "rpc.connections.accepted",
+           "rpc.server.pipelined",
+           "rpc.server.batch_items",
+           "rpc.server.drains",
+           "server.shed",
+           "server.connections.reaped",
+           "server.workers.saturated",
+       }) {
+    registry.GetCounter(name);
+  }
+  for (const char* name : {
+           "rpc.connections.active",
+           "server.inflight",
+           "server.sessions.active",
+           "server.queue.depth",
+           "server.outbuf_bytes",
+           "server.ordered_backlog",
+       }) {
+    registry.GetGauge(name);
+  }
+  registry.GetHistogram("rpc.request_latency");
+  registry.GetCounter("rpc.request_latency.count");
+  registry.GetHistogram("server.loop.lag_us");
+
+  // Replication tier (PR 8) — both roles expose the full taxonomy so a
+  // fleet dashboard never keys on a missing family.
+  for (const char* name : {
+           "repl.primary.fetches",
+           "repl.primary.bytes_shipped",
+           "repl.primary.empty_polls",
+           "repl.primary.snapshots_shipped",
+           "repl.primary.snapshot_bytes",
+           "repl.primary.stale_term_rejects",
+           "repl.follower.chunks_applied",
+           "repl.follower.bytes_applied",
+           "repl.follower.records_applied",
+           "repl.follower.corrupt_chunks",
+           "repl.follower.snapshots_installed",
+           "repl.follower.rolls",
+           "repl.follower.resyncs",
+           "repl.follower.forced_resyncs",
+           "repl.follower.backoffs",
+           "repl.follower.stale_primary_rejects",
+           "repl.promotions",
+           "repl.client.follower_reads",
+           "repl.client.stale_follower",
+           "repl.client.fallback_to_primary",
+           "repl.client.follower_connect_failed",
+           "repl.client.follower_open_failed",
+       }) {
+    registry.GetCounter(name);
+  }
+  for (const char* name : {
+           "repl.lag_bytes",
+           "repl.follower.lag_bytes",
+           "repl.apply_lag_us",
+           "repl.term",
+           "repl.role",
+       }) {
+    registry.GetGauge(name);
+  }
+  registry.GetHistogram("repl.follower.apply_us");
+  registry.GetHistogram("repl.follower.snapshot_install_us");
+}
+
+}  // namespace obs
+}  // namespace neptune

@@ -1,0 +1,24 @@
+// Pre-registers every lazily-created server-plane metric at zero, so
+// a stats scrape (or /metrics) shows the full taxonomy from the first
+// request — the PR 4 convention, extended to the PR 6 event loop, the
+// PR 8 replication tier, and the observability plane itself. The
+// engine-side taxonomy (ham.*, query.*, storage recovery) is
+// pre-registered by the Ham constructor; this covers the rpc/server/
+// repl families that exist even before an engine is constructed.
+//
+// scripts/check_metrics_format.py asserts the names listed here are
+// present in a live /metrics scrape; keep the two in sync.
+
+#ifndef NEPTUNE_OBS_PREREGISTER_H_
+#define NEPTUNE_OBS_PREREGISTER_H_
+
+namespace neptune {
+namespace obs {
+
+// Idempotent; cheap after the first call.
+void PreregisterServerMetrics();
+
+}  // namespace obs
+}  // namespace neptune
+
+#endif  // NEPTUNE_OBS_PREREGISTER_H_

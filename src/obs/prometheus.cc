@@ -1,0 +1,132 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace neptune {
+namespace obs {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendFamilyHeader(std::string* out, const std::string& family,
+                        const std::string& original, const char* type) {
+  out->append("# HELP ");
+  out->append(family);
+  out->append(" Neptune metric ");
+  out->append(EscapeHelpText(original));
+  out->append("\n# TYPE ");
+  out->append(family);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    out.push_back('_');
+  }
+  for (char c : name) {
+    out.push_back(IsNameChar(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeHelpText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string family = PrometheusName(name) + "_total";
+    AppendFamilyHeader(&out, family, name, "counter");
+    out.append(family);
+    out.push_back(' ');
+    AppendU64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string family = PrometheusName(name);
+    AppendFamilyHeader(&out, family, name, "gauge");
+    out.append(family);
+    out.push_back(' ');
+    AppendI64(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string family = PrometheusName(name);
+    AppendFamilyHeader(&out, family, name, "histogram");
+    uint64_t cumulative = 0;
+    const size_t buckets = hist.buckets.size();
+    for (size_t i = 0; i < buckets; ++i) {
+      cumulative += hist.buckets[i];
+      out.append(family);
+      out.append("_bucket{le=\"");
+      if (i < Histogram::kNumBuckets - 1 && i < buckets - 1) {
+        AppendU64(&out, Histogram::kBucketBounds[i]);
+      } else {
+        out.append("+Inf");
+      }
+      out.append("\"} ");
+      AppendU64(&out, cumulative);
+      out.push_back('\n');
+    }
+    if (buckets == 0) {
+      // A histogram snapshot always carries its bucket vector, but an
+      // empty one (e.g. a default-constructed delta) still needs the
+      // mandatory +Inf bucket to be valid exposition.
+      out.append(family);
+      out.append("_bucket{le=\"+Inf\"} ");
+      AppendU64(&out, hist.count);
+      out.push_back('\n');
+    }
+    out.append(family);
+    out.append("_sum ");
+    AppendU64(&out, hist.sum);
+    out.push_back('\n');
+    out.append(family);
+    out.append("_count ");
+    AppendU64(&out, hist.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace neptune

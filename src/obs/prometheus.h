@@ -1,0 +1,36 @@
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry. Neptune's internal metric names use dotted lower-case
+// ("repl.apply_lag_us"); Prometheus requires [a-zA-Z_:][a-zA-Z0-9_:]*,
+// so dots map to underscores. Counters gain the conventional `_total`
+// suffix; histograms expand to the cumulative `_bucket{le="..."}` /
+// `_sum` / `_count` triple over the fixed microsecond bounds in
+// common/metrics.h. Every family carries `# HELP` and `# TYPE` lines.
+
+#ifndef NEPTUNE_OBS_PROMETHEUS_H_
+#define NEPTUNE_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+
+namespace neptune {
+namespace obs {
+
+// "repl.apply_lag_us" -> "repl_apply_lag_us". Any character outside
+// the Prometheus name alphabet becomes '_'; a leading digit gains a
+// '_' prefix.
+std::string PrometheusName(std::string_view name);
+
+// Escapes '\' and '\n' for a HELP line per the exposition format.
+std::string EscapeHelpText(std::string_view text);
+
+// Renders a full snapshot. Counter families first, then gauges, then
+// histograms, each alphabetical (the snapshot maps are ordered), so
+// the output is deterministic — the golden test depends on that.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace neptune
+
+#endif  // NEPTUNE_OBS_PROMETHEUS_H_

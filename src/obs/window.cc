@@ -1,0 +1,141 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+namespace neptune {
+namespace obs {
+
+MetricsWindow& MetricsWindow::Instance() {
+  static MetricsWindow* window = new MetricsWindow();
+  return *window;
+}
+
+void MetricsWindow::SampleNow(TimeSource* time) {
+  AddSample(time->NowMicros(), MetricsRegistry::Instance().Snapshot());
+}
+
+void MetricsWindow::AddSample(uint64_t at_us, MetricsSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Out-of-order stamps (two samplers racing, or a virtual clock reset
+  // between sim scenarios) would make deltas negative; keep the ring
+  // monotonic by dropping anything not newer than the newest sample.
+  if (!samples_.empty() && at_us <= samples_.back().at_us) return;
+  samples_.push_back(Sample{at_us, std::move(snapshot)});
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+size_t MetricsWindow::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+namespace {
+
+uint64_t ClampedSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+}  // namespace
+
+bool MetricsWindow::Delta(uint64_t window_us, MetricsSnapshot* out,
+                          uint64_t* elapsed_us) const {
+  *out = MetricsSnapshot();
+  *elapsed_us = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.size() < 2) return false;
+  const Sample& newest = samples_.back();
+  // The newest sample at least `window_us` old; the oldest sample when
+  // the ring does not reach back that far yet.
+  const Sample* base = &samples_.front();
+  for (size_t i = samples_.size() - 1; i-- > 0;) {
+    if (newest.at_us - samples_[i].at_us >= window_us) {
+      base = &samples_[i];
+      break;
+    }
+  }
+  if (newest.at_us <= base->at_us) return false;
+  *elapsed_us = newest.at_us - base->at_us;
+  for (const auto& [name, value] : newest.snapshot.counters) {
+    out->counters[name] = ClampedSub(value, base->snapshot.CounterValue(name));
+  }
+  out->gauges = newest.snapshot.gauges;
+  for (const auto& [name, hist] : newest.snapshot.histograms) {
+    HistogramSnapshot delta;
+    auto it = base->snapshot.histograms.find(name);
+    if (it == base->snapshot.histograms.end()) {
+      delta = hist;
+    } else {
+      const HistogramSnapshot& old = it->second;
+      delta.count = ClampedSub(hist.count, old.count);
+      delta.sum = ClampedSub(hist.sum, old.sum);
+      // Cumulative maxima cannot be subtracted; the newest max is a
+      // valid upper bound for the window.
+      delta.max = hist.max;
+      delta.buckets.reserve(hist.buckets.size());
+      for (size_t i = 0; i < hist.buckets.size(); ++i) {
+        const uint64_t before = i < old.buckets.size() ? old.buckets[i] : 0;
+        delta.buckets.push_back(ClampedSub(hist.buckets[i], before));
+      }
+    }
+    out->histograms[name] = std::move(delta);
+  }
+  return true;
+}
+
+double MetricsWindow::CounterRate(const std::string& name,
+                                  uint64_t window_us) const {
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  if (!Delta(window_us, &delta, &elapsed) || elapsed == 0) return 0.0;
+  return static_cast<double>(delta.CounterValue(name)) * 1e6 /
+         static_cast<double>(elapsed);
+}
+
+// ------------------------------------------------------------- sampler
+
+StatsSampler::StatsSampler(MetricsWindow* window, Options options)
+    : window_(window),
+      options_(options),
+      time_(options.time_source != nullptr ? options.time_source
+                                           : RealTimeSource()) {}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+void StatsSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Main(); });
+}
+
+void StatsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsSampler::Main() {
+  // Sleep the interval in short slices so Stop() never waits a full
+  // tick; all pacing goes through the TimeSource seam.
+  constexpr uint64_t kSliceUs = 100'000;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    SampleOnce();
+    uint64_t remaining = options_.interval_us;
+    while (remaining > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+      }
+      const uint64_t slice = std::min(remaining, kSliceUs);
+      time_->SleepMicros(slice);
+      remaining -= slice;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace neptune

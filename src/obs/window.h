@@ -1,0 +1,113 @@
+// Windowed rates over the cumulative metrics registry. Every Neptune
+// metric is monotonic (counters) or instantaneous (gauges); operators
+// and the router tier need *rates* — ops/s over the last second, p99
+// over the last ten. MetricsWindow keeps a fixed ring of timestamped
+// registry snapshots (one per sampler tick, default 1s, ~61 slots so a
+// 60s window always spans) and answers delta queries: counters and
+// histogram buckets subtracted between the newest sample and the
+// newest sample at least `window` older, gauges passed through at
+// their latest value.
+//
+// All timestamps come from a TimeSource, never the OS clock, so the
+// deterministic simulation can drive the window from SimClock: a sim
+// scenario calls SampleNow(clock) from virtual-clock events instead of
+// starting the sampler thread.
+
+#ifndef NEPTUNE_OBS_WINDOW_H_
+#define NEPTUNE_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace neptune {
+namespace obs {
+
+class MetricsWindow {
+ public:
+  // One more than the longest supported window in ticks, so a full
+  // 60-tick span survives ring wraparound.
+  static constexpr size_t kDefaultCapacity = 61;
+
+  explicit MetricsWindow(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // The process-wide window the kGetServerStatisticsDelta wire op
+  // reads. Fed by whatever sampler the host process starts.
+  static MetricsWindow& Instance();
+
+  // Snapshots the registry, stamped with time->NowMicros().
+  void SampleNow(TimeSource* time);
+  // Injects a pre-built sample (tests; custom registries).
+  void AddSample(uint64_t at_us, MetricsSnapshot snapshot);
+
+  size_t sample_count() const;
+
+  // Computes newest-minus-oldest over at least `window_us`: counters
+  // and histogram count/sum/buckets are subtracted (clamped at zero so
+  // a test-reset registry cannot go negative); a histogram's `max`
+  // carries the newest cumulative max, an upper bound for the window.
+  // Gauges are the newest values. Returns false — and leaves outputs
+  // zeroed — until two samples span a non-empty interval; if the ring
+  // does not reach back `window_us` yet, the widest available span is
+  // used and reported via `elapsed_us`.
+  bool Delta(uint64_t window_us, MetricsSnapshot* out,
+             uint64_t* elapsed_us) const;
+
+  // Counter rate in events/sec over `window_us` (0.0 until spanned).
+  double CounterRate(const std::string& name, uint64_t window_us) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  struct Sample {
+    uint64_t at_us = 0;
+    MetricsSnapshot snapshot;
+  };
+  std::deque<Sample> samples_;
+};
+
+// Feeds a MetricsWindow on a fixed cadence. Production servers run
+// Start() (a background thread that paces itself with
+// TimeSource::SleepMicros in short slices so Stop() stays prompt); the
+// simulation never starts the thread and calls SampleOnce() from
+// virtual-clock events instead.
+class StatsSampler {
+ public:
+  struct Options {
+    uint64_t interval_us = 1'000'000;
+    // nullptr = the process-wide real clock.
+    TimeSource* time_source = nullptr;
+  };
+
+  StatsSampler(MetricsWindow* window, Options options);
+  ~StatsSampler();
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  void Start();
+  void Stop();
+  // One tick: snapshot the registry into the window, stamped from the
+  // time source.
+  void SampleOnce() { window_->SampleNow(time_); }
+
+ private:
+  void Main();
+
+  MetricsWindow* const window_;
+  const Options options_;
+  TimeSource* const time_;
+  std::mutex mu_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace neptune
+
+#endif  // NEPTUNE_OBS_WINDOW_H_

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/metrics.h"
+#include "obs/window.h"
 
 namespace neptune {
 namespace rpc {
@@ -112,6 +113,7 @@ bool ShouldShed(Method method, int inflight, const AdmissionOptions& options) {
     case Method::kCloseGraph:
     case Method::kPing:
     case Method::kGetServerStatistics:
+    case Method::kGetServerStatisticsDelta:
     case Method::kGetRecentTraces:
     case Method::kGetSlowOps:
       return false;
@@ -635,6 +637,24 @@ std::string RequestDispatcher::Handle(std::string_view in,
       // has opened a graph.
       std::string reply = StatusReply(Status::OK());
       MetricsRegistry::Instance().Snapshot().EncodeTo(&reply);
+      return reply;
+    }
+    case Method::kGetServerStatisticsDelta: {
+      // Windowed rates from the process-wide sample ring. A server
+      // without a sampler answers elapsed_us = 0 and an empty delta —
+      // still OK, so `neptune_ctl top` can tell "no sampler" from "no
+      // traffic".
+      uint64_t window_s = 0;
+      if (!GetVarint64(&in, &window_s) || window_s == 0) {
+        return BadRequest("getServerStatisticsDelta");
+      }
+      MetricsSnapshot delta;
+      uint64_t elapsed_us = 0;
+      obs::MetricsWindow::Instance().Delta(window_s * 1'000'000, &delta,
+                                           &elapsed_us);
+      std::string reply = StatusReply(Status::OK());
+      PutVarint64(&reply, elapsed_us);
+      delta.EncodeTo(&reply);
       return reply;
     }
     case Method::kGetRecentTraces: {

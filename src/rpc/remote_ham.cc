@@ -577,6 +577,21 @@ Result<MetricsSnapshot> RemoteHam::GetServerStatistics() {
   return out;
 }
 
+Result<RemoteHam::StatisticsDelta> RemoteHam::GetServerStatisticsDelta(
+    uint32_t window_seconds) {
+  std::string args;
+  PutVarint64(&args, window_seconds);
+  NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
+                           Call(Method::kGetServerStatisticsDelta, args));
+  std::string_view in = reply;
+  StatisticsDelta out;
+  if (!GetVarint64(&in, &out.elapsed_us) ||
+      !MetricsSnapshot::DecodeFrom(&in, &out.snapshot)) {
+    return Status::Corruption(kTruncatedReply);
+  }
+  return out;
+}
+
 Result<std::vector<Trace>> RemoteHam::GetRecentTraces() {
   NEPTUNE_ASSIGN_OR_RETURN(std::string reply,
                            Call(Method::kGetRecentTraces, ""));

@@ -178,6 +178,17 @@ class RemoteHam final : public ham::HamInterface {
   // directly).
   Result<MetricsSnapshot> GetServerStatistics();
 
+  // Windowed statistics: counters and histogram buckets are deltas
+  // over the newest sampled span of at least `window_seconds`, gauges
+  // are the latest values. elapsed_us = 0 means the server runs no
+  // sampler (or has fewer than two samples yet) and the snapshot is
+  // empty.
+  struct StatisticsDelta {
+    uint64_t elapsed_us = 0;
+    MetricsSnapshot snapshot;
+  };
+  Result<StatisticsDelta> GetServerStatisticsDelta(uint32_t window_seconds);
+
   // Fetches the server's recent-trace ring / slow-op ring (RPC-only,
   // like GetServerStatistics; a local Ham reads the Tracer directly).
   Result<std::vector<Trace>> GetRecentTraces();

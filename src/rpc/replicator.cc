@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace neptune {
 namespace rpc {
@@ -110,6 +111,16 @@ void Replicator::InitCursor(const std::string& local_dir, Cursor* cursor) {
 }
 
 bool Replicator::TailOne(const std::string& rel, Cursor* cursor) {
+  // The root span of one fetch/apply hop. The RemoteHam call below
+  // opens its rpc.client.replFetch child under this and ships the
+  // context to the primary, so a sampled trace on the follower shows
+  // the whole replication fan-in: repl.tail -> rpc.client.replFetch
+  // (+ the primary's rpc.server.replFetch) -> the local apply.
+  NEPTUNE_TRACE_SPAN(tail_span, "repl.tail");
+  if (tail_span.active()) {
+    tail_span.Annotate("graph=" + (rel.empty() ? std::string("<root>") : rel) +
+                       " offset=" + std::to_string(cursor->p.offset));
+  }
   const std::string local = LocalDir(rel);
   if (!cursor->initialized) InitCursor(local, cursor);
 
@@ -150,9 +161,18 @@ bool Replicator::TailOne(const std::string& rel, Cursor* cursor) {
     return false;
   }
 
+  static Gauge* term_gauge = MetricsRegistry::Instance().GetGauge("repl.term");
+  term_gauge->Set(static_cast<int64_t>(reply.term));
+
   if (reply.action == ham::ReplFetchResult::Action::kSnapshot) {
-    Status installed = ham_->ReplicaInstallSnapshot(
-        local, reply.meta, reply.payload, reply.epoch, reply.term);
+    Status installed;
+    {
+      static Histogram* install_hist = MetricsRegistry::Instance().GetHistogram(
+          "repl.follower.snapshot_install_us");
+      ScopedTimer install_timer(install_hist, nullptr, time_);
+      installed = ham_->ReplicaInstallSnapshot(
+          local, reply.meta, reply.payload, reply.epoch, reply.term);
+    }
     if (!installed.ok()) {
       NEPTUNE_LOG(Warn) << "event=repl_snapshot_install_failed graph=" << rel
                         << " code=" << StatusCodeToString(installed.code());
@@ -177,8 +197,12 @@ bool Replicator::TailOne(const std::string& rel, Cursor* cursor) {
     chunk_mutator_for_test(&payload);
   }
   if (!payload.empty()) {
-    Result<ham::ReplicaApplyResult> applied =
-        ham_->ReplicaApply(local, cursor->p.epoch, payload);
+    Result<ham::ReplicaApplyResult> applied = [&] {
+      static Histogram* apply_hist =
+          MetricsRegistry::Instance().GetHistogram("repl.follower.apply_us");
+      ScopedTimer apply_timer(apply_hist, nullptr, time_);
+      return ham_->ReplicaApply(local, cursor->p.epoch, payload);
+    }();
     if (!applied.ok()) {
       if (applied.status().IsCorruption()) {
         // The stream decoded as frames but not as transactions, or
@@ -236,6 +260,23 @@ bool Replicator::TailOne(const std::string& rel, Cursor* cursor) {
   return true;
 }
 
+void Replicator::UpdateApplyLag() {
+  static Gauge* apply_lag =
+      MetricsRegistry::Instance().GetGauge("repl.apply_lag_us");
+  const uint64_t now = time_->NowMicros();
+  if (AllCaughtUp()) {
+    last_caught_up_us_ = now;
+    apply_lag->Set(0);
+    return;
+  }
+  // Behind (or partitioned from the primary): lag is the time since we
+  // last had every graph drained. The first cycles after start count
+  // from the first attempt, so a follower that can never connect still
+  // shows its lag growing.
+  if (last_caught_up_us_ == 0) last_caught_up_us_ = now;
+  apply_lag->Set(static_cast<int64_t>(now - last_caught_up_us_));
+}
+
 int64_t Replicator::RunCycle() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -257,9 +298,12 @@ int64_t Replicator::RunCycle() {
     Status listed = RefreshGraphList();
     if (!listed.ok()) {
       // Back off with graphs possibly stale.
-      std::lock_guard<std::mutex> lock(mu_);
-      error_cycles_++;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        error_cycles_++;
+      }
       NEPTUNE_METRIC_COUNT("repl.follower.backoffs", 1);
+      UpdateApplyLag();
       return static_cast<int64_t>(backoff_.NextDelayMs());
     }
   }
@@ -291,6 +335,7 @@ int64_t Replicator::RunCycle() {
     }
     all_ok = all_ok && ok;
   }
+  UpdateApplyLag();
   if (!all_ok) {
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -128,6 +128,9 @@ class Replicator {
   // One fetch/apply cycle for one graph. Returns false when the cycle
   // failed and the loop should back off.
   bool TailOne(const std::string& rel, Cursor* cursor);
+  // Refreshes the repl.apply_lag_us gauge (virtual-time aware): zero
+  // while every graph is drained, otherwise time since it last was.
+  void UpdateApplyLag();
   Status RefreshGraphList();
   // Seeds a cursor from the local store (resume) or at zero (bootstrap).
   void InitCursor(const std::string& local_dir, Cursor* cursor);
@@ -149,6 +152,8 @@ class Replicator {
   std::vector<std::string> graphs_;
   uint64_t error_cycles_ = 0;
   uint64_t last_list_us_ = 0;
+  // Touched only by the cycle-running thread (see backoff_).
+  uint64_t last_caught_up_us_ = 0;
   Random rng_;
   // Shared jittered-exponential policy (common/backoff.h); touched
   // only by the tail loop's thread (or the sim's single thread).

@@ -16,6 +16,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "obs/preregister.h"
 
 namespace neptune {
 namespace rpc {
@@ -119,12 +120,9 @@ Server::~Server() { Stop(); }
 int64_t Server::Now() const { return static_cast<int64_t>(time_->NowMicros()); }
 
 Result<uint16_t> Server::Start(uint16_t port) {
-  // Pre-register the overload metrics so stats show the rows at zero.
-  MetricsRegistry::Instance().GetGauge("server.inflight");
-  MetricsRegistry::Instance().GetCounter("server.shed");
-  MetricsRegistry::Instance().GetCounter("server.connections.reaped");
-  MetricsRegistry::Instance().GetCounter("rpc.server.pipelined");
-  MetricsRegistry::Instance().GetCounter("rpc.server.batch_items");
+  // Pre-register the full server-plane taxonomy so stats and /metrics
+  // show every row at zero before its first bump.
+  obs::PreregisterServerMetrics();
   NEPTUNE_ASSIGN_OR_RETURN(listener_, Listener::Bind(port));
   NEPTUNE_RETURN_IF_ERROR(listener_->SetNonblocking());
   port_ = listener_->port();
@@ -191,10 +189,42 @@ void Server::Stop() {
   loops_.clear();
 }
 
+namespace {
+
+// Event-loop health gauges (see docs/OBSERVABILITY.md): queue depth is
+// work decoded but not yet picked up by a worker, outbuf bytes are
+// framed replies not yet written to any socket, ordered backlog is
+// plain requests serialized behind an executing one.
+Gauge* QueueDepthGauge() {
+  static Gauge* g = MetricsRegistry::Instance().GetGauge("server.queue.depth");
+  return g;
+}
+
+Gauge* OutbufBytesGauge() {
+  static Gauge* g =
+      MetricsRegistry::Instance().GetGauge("server.outbuf_bytes");
+  return g;
+}
+
+Gauge* OrderedBacklogGauge() {
+  static Gauge* g =
+      MetricsRegistry::Instance().GetGauge("server.ordered_backlog");
+  return g;
+}
+
+}  // namespace
+
 void Server::EnqueueWork(Work work) {
   {
     std::lock_guard<std::mutex> lock(work_mu_);
+    // A non-empty queue means every worker is already busy: new work
+    // waits, which is the saturation signal an operator sizes the pool
+    // by.
+    if (!work_queue_.empty()) {
+      NEPTUNE_METRIC_COUNT("server.workers.saturated", 1);
+    }
     work_queue_.push_back(std::move(work));
+    QueueDepthGauge()->Set(static_cast<int64_t>(work_queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -204,7 +234,11 @@ void Server::EnqueueWorkBatch(std::vector<Work>* works) {
   const bool several = works->size() > 1;
   {
     std::lock_guard<std::mutex> lock(work_mu_);
+    if (!work_queue_.empty()) {
+      NEPTUNE_METRIC_COUNT("server.workers.saturated", 1);
+    }
     for (Work& w : *works) work_queue_.push_back(std::move(w));
+    QueueDepthGauge()->Set(static_cast<int64_t>(work_queue_.size()));
   }
   if (several) {
     work_cv_.notify_all();
@@ -227,6 +261,7 @@ void Server::WorkerMain() {
       }
       work = std::move(work_queue_.front());
       work_queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<int64_t>(work_queue_.size()));
     }
     if (work.is_cleanup) {
       // A vanished client releases everything it held (crash recovery
@@ -289,6 +324,7 @@ void Server::ExecuteRequest(Work* work) {
       if (!conn->ordered_backlog.empty()) {
         next = std::move(conn->ordered_backlog.front());
         conn->ordered_backlog.pop_front();
+        OrderedBacklogGauge()->Decrement();
         next.conn = conn;
         have_next = true;
       } else {
@@ -322,7 +358,9 @@ void Server::QueueReply(const std::shared_ptr<Conn>& conn,
     conn->kill.store(true, std::memory_order_release);
   } else {
     std::lock_guard<std::mutex> lock(conn->mu);
+    const size_t before = conn->outbuf.size();
     AppendFrame(id_prefix, payload, &conn->outbuf);
+    OutbufBytesGauge()->Add(static_cast<int64_t>(conn->outbuf.size() - before));
   }
   conn->last_active_us.store(Now(), std::memory_order_relaxed);
   if (!notify) return;
@@ -336,6 +374,13 @@ void Server::QueueReply(const std::shared_ptr<Conn>& conn,
 // ----------------------------------------------------------- IO loops
 
 void Server::IoLoopMain(IoLoop* loop) {
+  // Loop lag: time this IO thread spends *outside* Wait() per
+  // iteration — the window during which a ready socket cannot be
+  // served. Sustained growth means the loop (not the workers) is the
+  // bottleneck. Recorded per IO loop into one shared family.
+  static Histogram* loop_lag =
+      MetricsRegistry::Instance().GetHistogram("server.loop.lag_us");
+  int64_t busy_since_us = 0;
   std::vector<Poller::Event> events;
   bool drain_swept = false;
   int64_t next_reap_us =
@@ -415,7 +460,12 @@ void Server::IoLoopMain(IoLoop* loop) {
     } else if (options_.idle_timeout_ms > 0) {
       timeout_ms = std::clamp(options_.idle_timeout_ms / 2, 10, 500);
     }
+    if (busy_since_us != 0) {
+      const int64_t busy = Now() - busy_since_us;
+      if (busy >= 0) loop_lag->Record(static_cast<uint64_t>(busy));
+    }
     auto waited = loop->poller->Wait(timeout_ms, &events);
+    busy_since_us = Now();
     if (!waited.ok()) {
       NEPTUNE_LOG(Warn) << "event=poller_error detail=\""
                         << waited.status().message() << "\"";
@@ -510,6 +560,8 @@ void Server::ReadReady(IoLoop* loop, const std::shared_ptr<Conn>& conn) {
       conn->read_closed = true;
       {
         std::lock_guard<std::mutex> lock(conn->mu);
+        OutbufBytesGauge()->Add(
+            -static_cast<int64_t>(conn->outbuf.size() - conn->out_off));
         conn->out_off = conn->outbuf.size();
       }
       MaybeDestroyConn(loop, conn);
@@ -550,6 +602,7 @@ void Server::ReadReady(IoLoop* loop, const std::shared_ptr<Conn>& conn) {
       {
         std::string frame = FramePayload(StatusReply(fed));
         std::lock_guard<std::mutex> lock(conn->mu);
+        OutbufBytesGauge()->Add(static_cast<int64_t>(frame.size()));
         conn->outbuf.append(frame);
       }
       FlushConn(loop, conn);
@@ -599,6 +652,7 @@ void Server::DispatchRequest(IoLoop* loop, const std::shared_ptr<Conn>& conn,
     if (conn->ordered_busy) {
       work.conn.reset();  // backlog entries must not own the Conn (cycle)
       conn->ordered_backlog.push_back(std::move(work));
+      OrderedBacklogGauge()->Increment();
     } else {
       conn->ordered_busy = true;
       dispatch_now = true;
@@ -618,6 +672,8 @@ void Server::FlushConn(IoLoop* loop, const std::shared_ptr<Conn>& conn) {
   bool dead = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
+    const int64_t unflushed_before =
+        static_cast<int64_t>(conn->outbuf.size() - conn->out_off);
     while (conn->out_off < conn->outbuf.size()) {
       ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
                          conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
@@ -628,6 +684,9 @@ void Server::FlushConn(IoLoop* loop, const std::shared_ptr<Conn>& conn) {
             conn->want_write = true;
             loop->poller->Update(conn->fd, true);
           }
+          OutbufBytesGauge()->Add(
+              static_cast<int64_t>(conn->outbuf.size() - conn->out_off) -
+              unflushed_before);
           return;
         }
         // Peer gone mid-write: nothing left to deliver.
@@ -639,6 +698,7 @@ void Server::FlushConn(IoLoop* loop, const std::shared_ptr<Conn>& conn) {
     }
     conn->outbuf.clear();
     conn->out_off = 0;
+    OutbufBytesGauge()->Add(-unflushed_before);
     if (conn->want_write) {
       conn->want_write = false;
       loop->poller->Update(conn->fd, false);
@@ -665,10 +725,19 @@ void Server::DestroyConn(IoLoop* loop, const std::shared_ptr<Conn>& conn,
   conn->destroyed = true;
   static Gauge* active =
       MetricsRegistry::Instance().GetGauge("rpc.connections.active");
-  if (discard_output) {
+  {
     std::lock_guard<std::mutex> lock(conn->mu);
-    conn->outbuf.clear();
-    conn->out_off = 0;
+    if (discard_output) {
+      OutbufBytesGauge()->Add(
+          -static_cast<int64_t>(conn->outbuf.size() - conn->out_off));
+      conn->outbuf.clear();
+      conn->out_off = 0;
+    }
+    // A destroyed connection takes its waiting plain requests with it
+    // (their inflight counts were released before destroy was legal).
+    OrderedBacklogGauge()->Add(
+        -static_cast<int64_t>(conn->ordered_backlog.size()));
+    conn->ordered_backlog.clear();
   }
   loop->poller->Remove(conn->fd);
   {

@@ -66,6 +66,7 @@ const char* MethodName(Method method) {
     case Method::kReplStatus: return "replStatus";
     case Method::kReplListGraphs: return "replListGraphs";
     case Method::kReplPromote: return "replPromote";
+    case Method::kGetServerStatisticsDelta: return "getServerStatisticsDelta";
   }
   return "unknown";
 }
@@ -74,6 +75,7 @@ bool IsIdempotent(Method method) {
   switch (method) {
     case Method::kPing:
     case Method::kGetServerStatistics:
+    case Method::kGetServerStatisticsDelta:
     case Method::kGetRecentTraces:
     case Method::kGetSlowOps:
     case Method::kLinearizeGraph:

@@ -97,6 +97,12 @@ enum class Method : uint8_t {
   kReplStatus = 54,
   kReplListGraphs = 55,
   kReplPromote = 56,
+
+  // Windowed statistics (obs/window.h): `varint window_seconds` in,
+  // `status | varint elapsed_us | MetricsSnapshot delta` out. The
+  // delta covers the newest sampled span of at least the requested
+  // window; elapsed_us = 0 means the server has no sampler running.
+  kGetServerStatisticsDelta = 57,
 };
 
 // Trace-context frame extension. A request whose method byte carries
@@ -126,7 +132,8 @@ constexpr uint8_t kRequestIdFlag = 0x40;
 
 // Methods must stay below kRequestIdFlag so the two flag bits are
 // unambiguous.
-static_assert(static_cast<uint8_t>(Method::kReplPromote) < kRequestIdFlag,
+static_assert(static_cast<uint8_t>(Method::kGetServerStatisticsDelta) <
+                  kRequestIdFlag,
               "method values collide with the request-id flag bit");
 
 // Encodes/decodes the propagated trace context (common/trace.h):

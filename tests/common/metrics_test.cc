@@ -197,6 +197,97 @@ TEST(MetricsTest, ToLogLineSkipsZeroes) {
   EXPECT_NE(line.find("test.log.nonzero=4"), std::string::npos);
 }
 
+TEST(MetricsTest, ToJsonRendersEverySection) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetForTest();
+  registry.GetCounter("test.json.counter")->Add(7);
+  registry.GetGauge("test.json.gauge")->Set(-2);
+  registry.GetHistogram("test.json.hist")->Record(100);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"test.json.counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": -2"), std::string::npos);
+  // Histograms render as a summary object, not raw buckets.
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_us\": 100"), std::string::npos);
+}
+
+TEST(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  HistogramSnapshot hist;
+  hist.buckets.assign(Histogram::kNumBuckets, 0);
+  EXPECT_EQ(hist.QuantileMicros(0.5), 0u);
+  EXPECT_EQ(hist.QuantileMicros(0.99), 0u);
+}
+
+TEST(MetricsTest, QuantileSingleBucketReportsItsBound) {
+  Histogram* h =
+      MetricsRegistry::Instance().GetHistogram("test.hist.single");
+  for (int i = 0; i < 10; ++i) h->Record(3);  // all land in [2, 4)
+  const HistogramSnapshot hist = MetricsRegistry::Instance()
+                                     .Snapshot()
+                                     .histograms.at("test.hist.single");
+  // Every quantile collapses to the one occupied bucket's upper bound.
+  EXPECT_EQ(hist.QuantileMicros(0.01), 4u);
+  EXPECT_EQ(hist.QuantileMicros(0.50), 4u);
+  EXPECT_EQ(hist.QuantileMicros(0.999), 4u);
+}
+
+TEST(MetricsTest, QuantileOverflowBucketReportsObservedMax) {
+  Histogram* h =
+      MetricsRegistry::Instance().GetHistogram("test.hist.overflow");
+  h->Record(123'456'789);  // far past the last 8388608us bound
+  const HistogramSnapshot hist = MetricsRegistry::Instance()
+                                     .Snapshot()
+                                     .histograms.at("test.hist.overflow");
+  // The overflow bucket has no finite upper bound; the observed max is
+  // the only honest answer.
+  EXPECT_EQ(hist.QuantileMicros(0.99), 123'456'789u);
+}
+
+TEST(MetricsTest, QuantilesAreMonotonicInQ) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram("test.hist.mono");
+  for (int i = 0; i < 900; ++i) h->Record(10);
+  for (int i = 0; i < 90; ++i) h->Record(1000);
+  for (int i = 0; i < 10; ++i) h->Record(100000);
+  const HistogramSnapshot hist =
+      MetricsRegistry::Instance().Snapshot().histograms.at("test.hist.mono");
+  const uint64_t p50 = hist.QuantileMicros(0.50);
+  const uint64_t p99 = hist.QuantileMicros(0.99);
+  const uint64_t p999 = hist.QuantileMicros(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_EQ(p50, 16u);       // [8, 16) bucket
+  EXPECT_GE(p99, 1000u);     // into the 1ms samples
+  EXPECT_GE(p999, 100000u);  // into the 100ms tail
+}
+
+// A fixed fake clock, so the timer's reading is exact rather than
+// "some small number of real microseconds".
+class FixedTimeSource : public TimeSource {
+ public:
+  uint64_t NowMicros() override { return now_; }
+  void SleepMicros(uint64_t micros) override { now_ += micros; }
+  uint64_t now_ = 1'000'000;
+};
+
+TEST(MetricsTest, ScopedTimerReadsTheInjectedTimeSource) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Histogram* h = registry.GetHistogram("test.timer.fake");
+  const uint64_t before = registry.Snapshot()
+                              .histograms.at("test.timer.fake")
+                              .count;
+  FixedTimeSource time;
+  {
+    ScopedTimer timer(h, nullptr, &time);
+    time.now_ += 500;  // exactly 500us elapse on the fake clock
+  }
+  const HistogramSnapshot hist =
+      registry.Snapshot().histograms.at("test.timer.fake");
+  EXPECT_EQ(hist.count, before + 1);
+  EXPECT_EQ(hist.max, 500u);
+}
+
 TEST(MetricsTest, MacrosBumpTheNamedMetrics) {
   MetricsRegistry& registry = MetricsRegistry::Instance();
   const uint64_t before =

@@ -1,0 +1,496 @@
+// The observability plane: Prometheus text exposition (golden output),
+// windowed rate deltas over the registry, the stats sampler under an
+// injected clock, /statusz JSON, the embedded HTTP listener over a
+// real socket, the getServerStatisticsDelta wire op end to end, and
+// the replFetch trace hop across the replication plane.
+//
+// Separate binary: several tests reset the process-global metrics
+// registry and trace ring, which must not race with other suites.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "ham/ham.h"
+#include "obs/http.h"
+#include "obs/preregister.h"
+#include "obs/prometheus.h"
+#include "obs/window.h"
+#include "rpc/remote_ham.h"
+#include "rpc/replicator.h"
+#include "rpc/server.h"
+
+namespace neptune {
+namespace obs {
+namespace {
+
+// A controllable clock: NowMicros returns whatever the test set.
+class FakeTimeSource : public TimeSource {
+ public:
+  uint64_t NowMicros() override { return now_; }
+  void SleepMicros(uint64_t micros) override { now_ += micros; }
+  uint64_t now_ = 1'000'000;
+};
+
+// ------------------------------------------------- exposition format
+
+TEST(PrometheusTest, NameSanitizes) {
+  EXPECT_EQ(PrometheusName("repl.apply_lag_us"), "repl_apply_lag_us");
+  EXPECT_EQ(PrometheusName("server.loop.lag_us"), "server_loop_lag_us");
+  EXPECT_EQ(PrometheusName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusName("already_fine:ok"), "already_fine:ok");
+}
+
+TEST(PrometheusTest, EscapeHelpText) {
+  EXPECT_EQ(EscapeHelpText("plain"), "plain");
+  EXPECT_EQ(EscapeHelpText("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeHelpText("line\nbreak"), "line\\nbreak");
+}
+
+TEST(PrometheusTest, GoldenExposition) {
+  MetricsSnapshot snap;
+  snap.counters["rpc.requests"] = 42;
+  snap.gauges["repl.role"] = 1;
+  HistogramSnapshot hist;
+  hist.buckets = {1, 2, 0};  // le="1", le="2", then the +Inf bucket
+  hist.count = 3;
+  hist.sum = 10;
+  hist.max = 7;
+  snap.histograms["op.lat"] = hist;
+
+  const char* want =
+      "# HELP rpc_requests_total Neptune metric rpc.requests\n"
+      "# TYPE rpc_requests_total counter\n"
+      "rpc_requests_total 42\n"
+      "# HELP repl_role Neptune metric repl.role\n"
+      "# TYPE repl_role gauge\n"
+      "repl_role 1\n"
+      "# HELP op_lat Neptune metric op.lat\n"
+      "# TYPE op_lat histogram\n"
+      "op_lat_bucket{le=\"1\"} 1\n"
+      "op_lat_bucket{le=\"2\"} 3\n"
+      "op_lat_bucket{le=\"+Inf\"} 3\n"
+      "op_lat_sum 10\n"
+      "op_lat_count 3\n";
+  EXPECT_EQ(RenderPrometheus(snap), want);
+}
+
+TEST(PrometheusTest, EmptyHistogramStillEmitsInfBucket) {
+  MetricsSnapshot snap;
+  snap.histograms["empty.hist"] = HistogramSnapshot{};
+  const std::string out = RenderPrometheus(snap);
+  EXPECT_NE(out.find("empty_hist_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("empty_hist_count 0\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, PreregisteredFamiliesAppearAtZero) {
+  MetricsRegistry::Instance().ResetForTest();
+  PreregisterServerMetrics();
+  const std::string out =
+      RenderPrometheus(MetricsRegistry::Instance().Snapshot());
+  // The families an operator alerts on must exist before any traffic.
+  EXPECT_NE(out.find("# TYPE rpc_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE server_loop_lag_us histogram"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE repl_apply_lag_us gauge"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE server_shed_total counter"), std::string::npos);
+  EXPECT_NE(out.find("rpc_requests_total 0\n"), std::string::npos);
+}
+
+// ------------------------------------------------------- the window
+
+MetricsSnapshot CounterSample(const std::string& name, uint64_t value) {
+  MetricsSnapshot snap;
+  snap.counters[name] = value;
+  return snap;
+}
+
+TEST(MetricsWindowTest, NeedsTwoSamplesSpanningTime) {
+  MetricsWindow window;
+  MetricsSnapshot delta;
+  uint64_t elapsed = 1;
+  EXPECT_FALSE(window.Delta(1'000'000, &delta, &elapsed));
+  EXPECT_EQ(elapsed, 0u);
+  window.AddSample(1'000'000, CounterSample("c", 10));
+  EXPECT_FALSE(window.Delta(1'000'000, &delta, &elapsed));
+  window.AddSample(2'000'000, CounterSample("c", 30));
+  ASSERT_TRUE(window.Delta(1'000'000, &delta, &elapsed));
+  EXPECT_EQ(elapsed, 1'000'000u);
+  EXPECT_EQ(delta.CounterValue("c"), 20u);
+}
+
+TEST(MetricsWindowTest, PicksTheSampleSpanningTheWindow) {
+  MetricsWindow window;
+  for (uint64_t s = 0; s <= 20; ++s) {
+    window.AddSample(s * 1'000'000, CounterSample("c", s * 100));
+  }
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  // 10s window: newest (t=20) minus the newest sample >= 10s older
+  // (t=10).
+  ASSERT_TRUE(window.Delta(10'000'000, &delta, &elapsed));
+  EXPECT_EQ(elapsed, 10'000'000u);
+  EXPECT_EQ(delta.CounterValue("c"), 1000u);
+  // 1s window.
+  ASSERT_TRUE(window.Delta(1'000'000, &delta, &elapsed));
+  EXPECT_EQ(elapsed, 1'000'000u);
+  EXPECT_EQ(delta.CounterValue("c"), 100u);
+}
+
+TEST(MetricsWindowTest, FallsBackToWidestAvailableSpan) {
+  MetricsWindow window;
+  window.AddSample(1'000'000, CounterSample("c", 0));
+  window.AddSample(4'000'000, CounterSample("c", 60));
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  // Asking for 60s with only 3s of history answers the 3s span and
+  // reports it, rather than failing or lying about the interval.
+  ASSERT_TRUE(window.Delta(60'000'000, &delta, &elapsed));
+  EXPECT_EQ(elapsed, 3'000'000u);
+  EXPECT_EQ(delta.CounterValue("c"), 60u);
+}
+
+TEST(MetricsWindowTest, CounterRateIsPerSecond) {
+  MetricsWindow window;
+  window.AddSample(0, CounterSample("ops", 0));
+  window.AddSample(10'000'000, CounterSample("ops", 250));
+  EXPECT_DOUBLE_EQ(window.CounterRate("ops", 10'000'000), 25.0);
+  EXPECT_DOUBLE_EQ(window.CounterRate("missing", 10'000'000), 0.0);
+}
+
+TEST(MetricsWindowTest, DropsNonMonotonicSamples) {
+  MetricsWindow window;
+  window.AddSample(5'000'000, CounterSample("c", 50));
+  window.AddSample(3'000'000, CounterSample("c", 999));  // clock went back
+  EXPECT_EQ(window.sample_count(), 1u);
+}
+
+TEST(MetricsWindowTest, CounterDeltaClampsAtZero) {
+  MetricsWindow window;
+  window.AddSample(1'000'000, CounterSample("c", 100));
+  // A test-reset registry can make a "monotonic" counter shrink; the
+  // delta must clamp rather than wrap to 2^64 - something.
+  window.AddSample(2'000'000, CounterSample("c", 40));
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  ASSERT_TRUE(window.Delta(1'000'000, &delta, &elapsed));
+  EXPECT_EQ(delta.CounterValue("c"), 0u);
+}
+
+TEST(MetricsWindowTest, GaugesPassThroughNewest) {
+  MetricsWindow window;
+  MetricsSnapshot s1;
+  s1.gauges["g"] = 100;
+  MetricsSnapshot s2;
+  s2.gauges["g"] = -7;
+  window.AddSample(1'000'000, s1);
+  window.AddSample(2'000'000, s2);
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  ASSERT_TRUE(window.Delta(1'000'000, &delta, &elapsed));
+  EXPECT_EQ(delta.gauges.at("g"), -7);
+}
+
+TEST(MetricsWindowTest, HistogramDeltaSubtractsBuckets) {
+  MetricsWindow window;
+  MetricsSnapshot s1;
+  HistogramSnapshot h1;
+  h1.buckets = {5, 0, 0};
+  h1.count = 5;
+  h1.sum = 5;
+  h1.max = 1;
+  s1.histograms["h"] = h1;
+  MetricsSnapshot s2;
+  HistogramSnapshot h2;
+  h2.buckets = {5, 0, 3};  // three slow samples arrived in the window
+  h2.count = 8;
+  h2.sum = 3005;
+  h2.max = 1500;
+  s2.histograms["h"] = h2;
+  window.AddSample(1'000'000, s1);
+  window.AddSample(2'000'000, s2);
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  ASSERT_TRUE(window.Delta(1'000'000, &delta, &elapsed));
+  const HistogramSnapshot& hd = delta.histograms.at("h");
+  EXPECT_EQ(hd.buckets, (std::vector<uint64_t>{0, 0, 3}));
+  EXPECT_EQ(hd.count, 3u);
+  EXPECT_EQ(hd.sum, 3000u);
+  // max carries the newest cumulative max: an upper bound, never an
+  // invented per-window value.
+  EXPECT_EQ(hd.max, 1500u);
+}
+
+TEST(MetricsWindowTest, RingEvictsOldestBeyondCapacity) {
+  MetricsWindow window(3);
+  for (uint64_t s = 1; s <= 10; ++s) {
+    window.AddSample(s * 1'000'000, CounterSample("c", s));
+  }
+  EXPECT_EQ(window.sample_count(), 3u);
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  ASSERT_TRUE(window.Delta(60'000'000, &delta, &elapsed));
+  EXPECT_EQ(elapsed, 2'000'000u);  // only t=8..10 survive
+}
+
+TEST(StatsSamplerTest, SampleOnceStampsFromInjectedClock) {
+  MetricsWindow window;
+  FakeTimeSource time;
+  time.now_ = 42'000'000;
+  StatsSampler sampler(&window, {.interval_us = 1'000'000,
+                                 .time_source = &time});
+  sampler.SampleOnce();
+  time.now_ += 1'000'000;
+  sampler.SampleOnce();
+  EXPECT_EQ(window.sample_count(), 2u);
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  ASSERT_TRUE(window.Delta(1'000'000, &delta, &elapsed));
+  EXPECT_EQ(elapsed, 1'000'000u);
+}
+
+// ---------------------------------------------------------- statusz
+
+TEST(StatuszTest, ReportsRoleTermLagAndExtras) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetForTest();
+  registry.GetGauge("repl.role")->Set(1);
+  registry.GetGauge("repl.term")->Set(9);
+  registry.GetGauge("repl.follower.lag_bytes")->Set(2048);
+  registry.GetGauge("repl.apply_lag_us")->Set(1500);
+
+  const std::string json =
+      BuildStatusz(5'000'000, nullptr, {{"mode", "follow"}});
+  EXPECT_NE(json.find("\"role\": \"follower\""), std::string::npos);
+  EXPECT_NE(json.find("\"term\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"follower_lag_bytes\": 2048"), std::string::npos);
+  EXPECT_NE(json.find("\"apply_lag_us\": 1500"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_s\": 5.0"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"follow\""), std::string::npos);
+  // No window attached: no windowed rates object.
+  EXPECT_EQ(json.find("\"rates\""), std::string::npos);
+
+  registry.GetGauge("repl.role")->Set(0);
+  const std::string primary = BuildStatusz(0, nullptr, {});
+  EXPECT_NE(primary.find("\"role\": \"primary\""), std::string::npos);
+}
+
+TEST(StatuszTest, WindowedRatesWhenWindowAttached) {
+  MetricsRegistry::Instance().ResetForTest();
+  MetricsWindow window;
+  window.AddSample(1'000'000, CounterSample("rpc.requests", 0));
+  window.AddSample(2'000'000, CounterSample("rpc.requests", 50));
+  const std::string json = BuildStatusz(2'000'000, &window, {});
+  EXPECT_NE(json.find("\"rates\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc_requests_1s\": 50.0"), std::string::npos);
+}
+
+// ------------------------------------------------ the HTTP listener
+
+// A deliberately dumb blocking client: connect, write the request,
+// read to EOF (the server is Connection: close).
+std::string HttpRoundTrip(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(MetricsHttpServerTest, ServesMetricsStatuszAndErrors) {
+  MetricsRegistry::Instance().ResetForTest();
+  PreregisterServerMetrics();
+  MetricsRegistry::Instance().GetCounter("rpc.requests")->Add(5);
+
+  MetricsHttpServer::Options options;
+  options.statusz_extra = {{"mode", "test"}};
+  MetricsHttpServer http(std::move(options));
+  auto port = http.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  const std::string metrics = HttpRoundTrip(
+      *port, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("rpc_requests_total 5\n"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE server_loop_lag_us histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE repl_apply_lag_us gauge"),
+            std::string::npos);
+
+  const std::string statusz =
+      HttpRoundTrip(*port, "GET /statusz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(statusz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(statusz.find("application/json"), std::string::npos);
+  EXPECT_NE(statusz.find("\"role\""), std::string::npos);
+  EXPECT_NE(statusz.find("\"mode\": \"test\""), std::string::npos);
+
+  // A query string routes like the bare path.
+  const std::string with_query = HttpRoundTrip(
+      *port, "GET /metrics?format=prometheus HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(with_query.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  const std::string missing =
+      HttpRoundTrip(*port, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string post =
+      HttpRoundTrip(*port, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+
+  http.Stop();
+}
+
+// -------------------------------------------- the delta wire op
+
+TEST(DeltaWireOpTest, WindowedDeltaOverTheWire) {
+  // The wire op reads the process-wide window. Timestamps far past
+  // anything another test injects keep the samples monotonic.
+  const uint64_t base = 1'000'000'000'000ull;
+  MetricsSnapshot s1 = CounterSample("obs.test.wire_ops", 100);
+  s1.gauges["obs.test.wire_gauge"] = 11;
+  MetricsSnapshot s2 = CounterSample("obs.test.wire_ops", 400);
+  s2.gauges["obs.test.wire_gauge"] = 17;
+  MetricsWindow::Instance().AddSample(base, s1);
+  MetricsWindow::Instance().AddSample(base + 10'000'000, s2);
+
+  ham::Ham engine(Env::Default(), ham::HamOptions());
+  rpc::Server server(&engine);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  auto client = rpc::RemoteHam::Connect("localhost", *port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto delta = (*client)->GetServerStatisticsDelta(10);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->elapsed_us, 10'000'000u);
+  EXPECT_EQ(delta->snapshot.CounterValue("obs.test.wire_ops"), 300u);
+  EXPECT_EQ(delta->snapshot.gauges.at("obs.test.wire_gauge"), 17);
+
+  server.Stop();
+}
+
+// ------------------------------------- the replFetch hop in traces
+
+TEST(ReplTraceTest, ReplFetchHopAppearsInTheTraceTree) {
+  Tracer::Instance().ResetForTest();
+  Tracer::Instance().Configure(/*sample_n=*/1, /*slow_us=*/0);
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "neptune_obs_repltrace")
+          .string();
+  Env::Default()->RemoveDirRecursive(base);
+  ASSERT_TRUE(Env::Default()->CreateDir(base).ok());
+  const std::string primary_dir = base + "/primary";
+
+  // The Ham constructor applies its trace knobs to the process-wide
+  // tracer (most-recent-engine-wins), so sampling must be requested
+  // through the options, not only via Configure above.
+  ham::HamOptions primary_options;
+  primary_options.sync_commits = false;
+  primary_options.trace_sample_n = 1;
+  ham::Ham primary(Env::Default(), primary_options);
+  rpc::Server server(&primary);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  auto created = primary.CreateGraph(primary_dir, 0755);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto ctx = primary.OpenGraph(created->project, "local", primary_dir);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  auto added = primary.AddNode(*ctx, true);
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_TRUE(primary
+                  .ModifyNode(*ctx, added->node, added->creation_time,
+                              "a traced commit\n", {}, "v1")
+                  .ok());
+
+  ham::HamOptions follower_options;
+  follower_options.sync_commits = false;
+  follower_options.follower_mode = true;
+  follower_options.trace_sample_n = 1;
+  ham::Ham follower(Env::Default(), follower_options);
+  auto client = rpc::RemoteHam::Connect("localhost", *port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  rpc::Replicator::Options repl_options;
+  repl_options.primary_root = primary_dir;
+  repl_options.local_root = base + "/follower";
+  repl_options.poll_wait_ms = 10;
+  repl_options.list_refresh_ms = 1;
+  repl_options.seed = 7;
+  rpc::Replicator replicator(&follower, client->get(), repl_options);
+
+  // Drive cycles directly on this thread — deterministic, no sleeps.
+  for (int i = 0; i < 100 && !replicator.AllCaughtUp(); ++i) {
+    ASSERT_GE(replicator.RunCycle(), 0);
+  }
+  ASSERT_TRUE(replicator.AllCaughtUp());
+  EXPECT_GT(replicator.progress("").chunks_applied, 0u);
+
+  // The follower's tail span, its client replFetch hop, and the
+  // primary's server-side replFetch span must share one trace — the
+  // context rode the wire.
+  bool found = false;
+  std::string seen;
+  for (const Trace& trace : Tracer::Instance().RecentTraces()) {
+    bool tail = false, client_hop = false, server_hop = false;
+    seen += "trace " + std::to_string(trace.trace_id) + ":";
+    for (const Span& span : trace.spans) {
+      seen += " " + span.name;
+      if (span.name == "repl.tail") tail = true;
+      if (span.name == "rpc.client.replFetch") client_hop = true;
+      if (span.name == "rpc.server.replFetch") server_hop = true;
+    }
+    seen += "\n";
+    if (tail && client_hop && server_hop) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "no trace tree joins repl.tail -> rpc.client.replFetch -> "
+         "rpc.server.replFetch; ring contents:\n"
+      << seen;
+
+  Tracer::Instance().Configure(0, 0);
+  server.Stop();
+  Env::Default()->RemoveDirRecursive(base);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace neptune

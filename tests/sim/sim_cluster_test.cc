@@ -19,6 +19,9 @@
 //    replies and jittered retries, every operation succeeds.
 //  * PowerCutDuringFailover — power cut mid-replication: acked commits
 //    durable on the rebooted primary, then real failover + rejoin.
+//  * WindowedMetricsPartitionHeal — a MetricsWindow sampled from the
+//    virtual clock: repl.apply_lag_us zero while drained, climbing
+//    through a partition, cleared after the heal.
 //  * SeedSweep — the main scenario across NEPTUNE_SIM_SWEEP seeds
 //    (CI's sim-soak sets hundreds; the default keeps tier-1 fast).
 //
@@ -42,6 +45,7 @@
 
 #include "common/metrics.h"
 #include "ham/ham.h"
+#include "obs/window.h"
 #include "rpc/remote_ham.h"
 #include "rpc/replicator.h"
 #include "sim/sim_cluster.h"
@@ -76,6 +80,12 @@ std::string FreshRoot(const std::string& name) {
 
 uint64_t CounterNow(const std::string& name) {
   return MetricsRegistry::Instance().Snapshot().CounterValue(name);
+}
+
+int64_t GaugeNow(const std::string& name) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Instance().Snapshot();
+  auto it = snapshot.gauges.find(name);
+  return it == snapshot.gauges.end() ? 0 : it->second;
 }
 
 // One acked commit: the node index and the exact bytes the client saw
@@ -574,6 +584,92 @@ TEST(SimClusterTest, PowerCutDuringFailover) {
 
   VerifyAckedOnNode(&cluster, 1, project, all, "promoted node1");
   VerifyAckedOnNode(&cluster, 0, project, all, "demoted node0");
+  Env::Default()->RemoveDirRecursive(root);
+}
+
+// Windowed metrics under failover, entirely on the virtual clock: a
+// local MetricsWindow is sampled once per simulated second (exactly
+// what a StatsSampler tick does, minus the thread), and the follower's
+// repl.apply_lag_us gauge must sit at zero while drained, climb while
+// the primary is partitioned away, and clear after the heal. Same
+// seed, same numbers.
+TEST(SimClusterTest, WindowedMetricsPartitionHeal) {
+  const uint64_t seed = BaseSeed();
+  SCOPED_TRACE(ReproLine("WindowedMetricsPartitionHeal", seed));
+  MetricsRegistry::Instance().ResetForTest();
+  const std::string root = FreshRoot("obswin_" + std::to_string(seed));
+
+  SimClusterOptions options;
+  options.seed = seed;
+  options.root = root;
+  options.followers = 1;
+  options.repl_poll_wait_ms = 50;
+  SimCluster cluster(Env::Default(), options);
+
+  auto client = cluster.NewClient("client", 0);
+  ASSERT_NE(client, nullptr);
+  auto created = client->CreateGraph(cluster.NodeDir(0), 0755);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto ctx = client->OpenGraph(created->project, "client",
+                               cluster.NodeDir(0));
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  cluster.StartReplication(1, 0);
+
+  obs::MetricsWindow window;
+  auto sample = [&] { window.SampleNow(cluster.clock()); };
+
+  // Writes with one sampler tick per simulated second.
+  std::vector<Acked> acked;
+  sample();
+  for (int burst = 0; burst < 5; ++burst) {
+    WriteNodes(client.get(), *ctx, "obswin" + std::to_string(burst), 4,
+               &acked);
+    if (::testing::Test::HasFailure()) return;
+    cluster.RunFor(1'000'000);
+    sample();
+  }
+  ASSERT_TRUE(RunUntilSim(&cluster, 30'000'000, 1'000'000, [&] {
+    sample();
+    return cluster.ReplicationCaughtUp(1);
+  })) << "follower never drained";
+  sample();
+
+  // Drained: no apply lag, and the window saw the write traffic.
+  EXPECT_EQ(GaugeNow("repl.apply_lag_us"), 0);
+  EXPECT_GT(window.CounterRate("rpc.requests", 60'000'000), 0.0)
+      << "windowed request rate stayed zero through the write bursts";
+
+  // Partition the primary away; the follower's fetches fail and the
+  // lag gauge must climb with virtual time.
+  cluster.Partition(0, 1);
+  for (int s = 0; s < 12; ++s) {
+    cluster.RunFor(1'000'000);
+    sample();
+  }
+  const int64_t lag_during = GaugeNow("repl.apply_lag_us");
+  EXPECT_GT(lag_during, 2'000'000)
+      << "apply lag did not rise during a 12s partition";
+
+  // The windowed delta exposes the same gauge (newest value) — what
+  // getServerStatisticsDelta ships to `neptune_ctl top`.
+  MetricsSnapshot delta;
+  uint64_t elapsed = 0;
+  ASSERT_TRUE(window.Delta(5'000'000, &delta, &elapsed));
+  EXPECT_GT(elapsed, 0u);
+  auto lag_it = delta.gauges.find("repl.apply_lag_us");
+  ASSERT_NE(lag_it, delta.gauges.end());
+  EXPECT_EQ(lag_it->second, lag_during);
+
+  // Heal: the follower re-drains and the lag clears.
+  cluster.HealPartition(0, 1);
+  ASSERT_TRUE(RunUntilSim(&cluster, 30'000'000, 1'000'000, [&] {
+    sample();
+    return cluster.ReplicationCaughtUp(1);
+  })) << "follower never re-drained after the heal";
+  EXPECT_EQ(GaugeNow("repl.apply_lag_us"), 0)
+      << "apply lag did not clear after the partition healed";
+
+  VerifyAckedOnNode(&cluster, 1, created->project, acked, "follower node1");
   Env::Default()->RemoveDirRecursive(root);
 }
 
